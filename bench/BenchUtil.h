@@ -1,0 +1,135 @@
+//===- bench/BenchUtil.h - Benchmark harness helpers ------------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the paper-reproduction benchmark binaries: timed
+/// monitor runs (optimized vs. baseline), median-of-N repetition (the
+/// paper reports medians over three runs, §V) and table formatting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_BENCH_BENCHUTIL_H
+#define TESSLA_BENCH_BENCHUTIL_H
+
+#include "tessla/Analysis/Pipeline.h"
+#include "tessla/Eval/Workloads.h"
+#include "tessla/Runtime/TraceGen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tessla {
+namespace bench {
+
+/// Result of one timed monitor run.
+struct RunResult {
+  double Seconds = 0;
+  uint64_t Outputs = 0;
+  bool Failed = false;
+};
+
+/// Compiles \p S in the given mode and runs \p Events once, timing only
+/// the monitoring (not analysis/plan compilation — the paper reports
+/// monitor runtimes; compilation is benchmarked separately).
+inline RunResult timeMonitor(const Spec &S, bool Optimize,
+                             const std::vector<TraceEvent> &Events) {
+  MutabilityOptions Opts;
+  Opts.Optimize = Optimize;
+  AnalysisResult A = analyzeSpec(S, Opts);
+  MonitorPlan Plan = MonitorPlan::compile(A);
+
+  Monitor M(Plan);
+  RunResult R;
+  M.setOutputHandler(
+      [&R](Time, StreamId, const Value &) { ++R.Outputs; });
+  auto Start = std::chrono::steady_clock::now();
+  for (const auto &[Id, Ts, V] : Events)
+    if (!M.feed(Id, Ts, V))
+      break;
+  M.finish();
+  auto End = std::chrono::steady_clock::now();
+  R.Seconds = std::chrono::duration<double>(End - Start).count();
+  if (M.failed()) {
+    std::fprintf(stderr, "benchmark monitor failed: %s\n",
+                 M.errorMessage().c_str());
+    R.Failed = true;
+  }
+  return R;
+}
+
+/// Median-of-N timed runs (sanity-checks that all repetitions see the
+/// same number of outputs).
+inline RunResult medianRun(const Spec &S, bool Optimize,
+                           const std::vector<TraceEvent> &Events,
+                           unsigned Repetitions) {
+  std::vector<RunResult> Runs;
+  for (unsigned I = 0; I != Repetitions; ++I) {
+    Runs.push_back(timeMonitor(S, Optimize, Events));
+    if (Runs.back().Failed)
+      return Runs.back();
+    if (Runs.front().Outputs != Runs.back().Outputs) {
+      std::fprintf(stderr, "non-deterministic output count!\n");
+      std::exit(1);
+    }
+  }
+  std::sort(Runs.begin(), Runs.end(),
+            [](const RunResult &A, const RunResult &B) {
+              return A.Seconds < B.Seconds;
+            });
+  return Runs[Runs.size() / 2];
+}
+
+/// One optimized-vs-baseline comparison, the paper's core measurement.
+struct Comparison {
+  RunResult Optimized;
+  RunResult Baseline;
+  double speedup() const {
+    return Baseline.Seconds / Optimized.Seconds;
+  }
+};
+
+inline Comparison compare(const Spec &S,
+                          const std::vector<TraceEvent> &Events,
+                          unsigned Repetitions) {
+  Comparison C;
+  C.Optimized = medianRun(S, /*Optimize=*/true, Events, Repetitions);
+  C.Baseline = medianRun(S, /*Optimize=*/false, Events, Repetitions);
+  if (C.Optimized.Outputs != C.Baseline.Outputs) {
+    std::fprintf(stderr,
+                 "optimized/baseline output mismatch (%llu vs %llu)!\n",
+                 static_cast<unsigned long long>(C.Optimized.Outputs),
+                 static_cast<unsigned long long>(C.Baseline.Outputs));
+    std::exit(1);
+  }
+  return C;
+}
+
+/// Repetition count: paper-style median of 3 by default, overridable via
+/// the TESSLA_BENCH_REPS environment variable (e.g. 1 for quick runs).
+inline unsigned repetitions() {
+  if (const char *Env = std::getenv("TESSLA_BENCH_REPS"))
+    return std::max(1, std::atoi(Env));
+  return 3;
+}
+
+/// Scale factor for trace lengths, overridable via TESSLA_BENCH_SCALE
+/// (e.g. 0.1 for smoke runs, 10 for paper-scale patience).
+inline double scale() {
+  if (const char *Env = std::getenv("TESSLA_BENCH_SCALE"))
+    return std::max(0.001, std::atof(Env));
+  return 1.0;
+}
+
+inline size_t scaled(size_t N) {
+  return static_cast<size_t>(static_cast<double>(N) * scale());
+}
+
+} // namespace bench
+} // namespace tessla
+
+#endif // TESSLA_BENCH_BENCHUTIL_H

@@ -1,0 +1,186 @@
+//===- bench/ablation_compile_time.cpp --------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Compile-time ablation (§IV-E2, §VI): the paper notes that despite the
+/// coNP-hard implication checks and the NP-complete ordering problem,
+/// "for typical specifications our implementation showed no unusual long
+/// compilation time" (< 30 s for every evaluated spec). This benchmark
+/// measures the analysis pipeline over
+///
+///  * every bundled evaluation specification, reporting wall time plus
+///    how many implication queries the syntactic fast path answered vs.
+///    full SAT, and
+///  * synthetic accumulator chains of growing width, comparing the exact
+///    branch-and-bound edge removal against the greedy fallback.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Analysis/Pipeline.h"
+#include "tessla/Eval/Workloads.h"
+#include "tessla/Lang/Builder.h"
+#include "tessla/Lang/TypeCheck.h"
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+using namespace tessla;
+
+namespace {
+
+double seconds(std::function<void()> Fn) {
+  auto Start = std::chrono::steady_clock::now();
+  Fn();
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+void analyzeAndReport(const char *Name, Spec S) {
+  UsageGraph G(S);
+  TriggerAnalysis Triggers(S);
+  AliasAnalysis Aliases(G, Triggers);
+  MutabilityResult Result;
+  double Time = seconds([&] {
+    Result = computeMutability(G, Triggers, Aliases, MutabilityOptions());
+  });
+  std::printf("%-28s %8u %9u %10.4f %11llu %8llu\n", Name, S.numStreams(),
+              Result.mutableCount(), Time,
+              static_cast<unsigned long long>(
+                  Triggers.implicationFastPathHits()),
+              static_cast<unsigned long long>(
+                  Triggers.implicationSatQueries()));
+}
+
+/// Builds a specification whose aliasing analysis must discharge real
+/// triggering implications: parallel last-chains off a shared source
+/// with nested trigger hierarchies (the Fig. 5 pattern at depth
+/// \p Depth). Each chain level k is triggered by the union of inputs
+/// 0..k, so proving chain k+1 behind chain k requires the implication
+/// ev'(t_k) -> ev'(t_{k+1}).
+Spec lastChainSpec(unsigned Depth) {
+  SpecBuilder B;
+  std::vector<StreamId> Inputs;
+  for (unsigned I = 0; I != Depth + 1; ++I)
+    Inputs.push_back(B.input("in" + std::to_string(I), Type::integer()));
+  // Trigger hierarchy: trig_k = in_0 | ... | in_k.
+  std::vector<StreamId> Triggers{Inputs[0]};
+  for (unsigned I = 1; I != Depth + 1; ++I)
+    Triggers.push_back(B.lift("trig" + std::to_string(I),
+                              BuiltinId::Merge,
+                              {Triggers.back(), Inputs[I]}));
+  StreamId Unit = B.unit("u");
+  // Fresh set per event of the widest trigger.
+  StreamId UK = B.last("uk", Unit, Triggers.back());
+  StreamId C = B.lift("c", BuiltinId::SetEmpty, {UK});
+  StreamId M = B.lift("m", BuiltinId::Merge,
+                      {C, B.lift("e", BuiltinId::SetEmpty, {Unit})});
+  // The long chain: lasts triggered by narrower and narrower sets.
+  StreamId Chain = M;
+  for (unsigned I = 0; I != Depth; ++I)
+    Chain = B.last("chain" + std::to_string(I), Chain,
+                   Triggers[Depth - 1 - I]);
+  // A parallel short chain plus a write to force alias queries.
+  StreamId Short = B.last("short0", M, Triggers.back());
+  StreamId Written = B.lift("w", BuiltinId::SetAdd, {Chain, Inputs[0]});
+  B.markOutput(B.lift("probe", BuiltinId::SetContains,
+                      {Short, Inputs[0]}));
+  B.markOutput(Written);
+  DiagnosticEngine Diags;
+  Spec S = B.finish(Diags);
+  if (Diags.hasErrors())
+    std::abort();
+  DiagnosticEngine TDiags;
+  if (!typecheck(S, TDiags))
+    std::abort();
+  return S;
+}
+
+/// Builds a specification with \p Width independent set accumulators,
+/// each read by one probe — Width families, Width read-before-write
+/// constraints.
+Spec accumulatorChain(unsigned Width) {
+  SpecBuilder B;
+  StreamId In = B.input("i", Type::integer());
+  StreamId Unit = B.unit("u");
+  for (unsigned I = 0; I != Width; ++I) {
+    std::string N = std::to_string(I);
+    StreamId Y = B.declare("y" + N);
+    StreamId E = B.lift("e" + N, BuiltinId::SetEmpty, {Unit});
+    StreamId M = B.lift("m" + N, BuiltinId::Merge, {Y, E});
+    StreamId Prev = B.last("prev" + N, M, In);
+    B.defineLift(Y, BuiltinId::SetAdd, {Prev, In});
+    StreamId Probe =
+        B.lift("probe" + N, BuiltinId::SetContains, {Prev, In});
+    B.markOutput(Probe);
+  }
+  DiagnosticEngine Diags;
+  Spec S = B.finish(Diags);
+  if (Diags.hasErrors())
+    std::abort();
+  DiagnosticEngine TDiags;
+  if (!typecheck(S, TDiags))
+    std::abort();
+  return S;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Compile-time ablation — analysis pipeline\n\n");
+  std::printf("%-28s %8s %9s %10s %11s %8s\n", "specification", "streams",
+              "mutable", "time [s]", "impl-fast", "impl-SAT");
+  analyzeAndReport("Figure 1", workloads::figure1());
+  analyzeAndReport("Figure 4 upper", workloads::figure4Upper());
+  analyzeAndReport("Figure 4 lower", workloads::figure4Lower());
+  analyzeAndReport("Seen Set", workloads::seenSet());
+  analyzeAndReport("Map Window (200)", workloads::mapWindow(200));
+  analyzeAndReport("Queue Window (200)", workloads::queueWindow(200));
+  analyzeAndReport("DBAccessConstraint",
+                   workloads::dbAccessConstraint());
+  analyzeAndReport("DBTimeConstraint", workloads::dbTimeConstraint());
+  analyzeAndReport("PeakDetection (30)", workloads::peakDetection(30));
+  analyzeAndReport("SpectrumCalculation",
+                   workloads::spectrumCalculation());
+
+  std::printf("\nImplication-heavy parallel last-chains (SAT-backed "
+              "triggering checks, Fig. 5 pattern):\n");
+  std::printf("%-28s %8s %9s %10s %11s %8s\n", "specification", "streams",
+              "mutable", "time [s]", "impl-fast", "impl-SAT");
+  for (unsigned Depth : {2u, 4u, 8u, 16u}) {
+    std::string Name = "last-chain depth " + std::to_string(Depth);
+    analyzeAndReport(Name.c_str(), lastChainSpec(Depth));
+  }
+
+  std::printf("\nStep-4 exact branch-and-bound vs greedy on synthetic "
+              "accumulator fans:\n");
+  std::printf("%8s %8s %12s %12s %14s\n", "families", "streams",
+              "exact [s]", "greedy [s]", "mutable e/g");
+  for (unsigned Width : {2u, 8u, 16u, 24u, 48u}) {
+    Spec S = accumulatorChain(Width);
+    UsageGraph G(S);
+    TriggerAnalysis Triggers(S);
+    AliasAnalysis Aliases(G, Triggers);
+    MutabilityOptions Exact;
+    Exact.ExactEdgeRemoval = true;
+    Exact.MaxExactCandidates = 64;
+    MutabilityOptions Greedy;
+    Greedy.ExactEdgeRemoval = false;
+    MutabilityResult RExact, RGreedy;
+    double TE = seconds([&] {
+      RExact = computeMutability(G, Triggers, Aliases, Exact);
+    });
+    double TG = seconds([&] {
+      RGreedy = computeMutability(G, Triggers, Aliases, Greedy);
+    });
+    std::printf("%8u %8u %12.4f %12.4f %8u/%u\n", Width, S.numStreams(),
+                TE, TG, RExact.mutableCount(), RGreedy.mutableCount());
+  }
+  std::printf("\npaper observation (§VI): compilation time is "
+              "unproblematic for typical specifications\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+//===- bench/table1_realworld.cpp -------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reproduces Table I (§V-B): the four real-world monitoring
+/// specifications, optimized vs. non-optimized. The original traces
+/// (Nokia RV-Competition database log, ReNuBiL power data) are not
+/// public; synthetic generators with the same structure drive the same
+/// code paths (see DESIGN.md, substitution table).
+///
+/// Paper reference speedups:
+///   DBTimeConstraint        1.3x
+///   DBAccessConstraint 33%  2.1x
+///   DBAccessConstraint full >15.5x (baseline did not finish in 1 h; its
+///                           memory grew with the unbounded live-id set)
+///   PeakDetection           1.9x
+///   SpectrumCalculation     2.0x
+///
+/// The paper's runtimes include ~70 s of disk I/O for the 14 GB log; our
+/// traces are in memory, so the DB speedups here isolate the
+/// data-structure effect and land between the paper's 33% number and its
+/// synthetic ceiling.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace tessla;
+using namespace tessla::bench;
+
+namespace {
+
+void report(const char *Name, const Comparison &C, size_t Events) {
+  std::printf("%-24s %10zu %10.3f %10.3f %8.2fx\n", Name, Events,
+              C.Optimized.Seconds, C.Baseline.Seconds, C.speedup());
+  std::fflush(stdout);
+}
+
+} // namespace
+
+int main() {
+  unsigned Reps = repetitions();
+  std::printf("Table I — real-world scenarios on synthetic substitutes "
+              "(median of %u runs)\n",
+              Reps);
+  std::printf("%-24s %10s %10s %10s %9s\n", "specification", "events",
+              "opt [s]", "base [s]", "speedup");
+
+  // DBTimeConstraint: db2/db3 insert pairs, mostly within the window.
+  {
+    Spec S = workloads::dbTimeConstraint();
+    tracegen::DbPairConfig Config;
+    Config.Count = scaled(400000);
+    Config.Seed = 301;
+    auto Events = tracegen::dbPairLog(*S.lookup("db2"), *S.lookup("db3"),
+                                      Config);
+    report("DBTimeConstraint", compare(S, Events, Reps), Events.size());
+  }
+
+  // DBAccessConstraint on 33% of the trace: deletes keep the set small.
+  Spec DbAccess = workloads::dbAccessConstraint();
+  {
+    tracegen::DbLogConfig Config;
+    Config.Count = scaled(400000);
+    Config.InsertProb = 0.3;
+    Config.DeleteProb = 0.25; // churn keeps the live set bounded
+    Config.Seed = 302;
+    auto Events = tracegen::dbLog(*DbAccess.lookup("ins"),
+                                  *DbAccess.lookup("del"),
+                                  *DbAccess.lookup("acc"), Config);
+    report("DBAccessConstraint(33%)", compare(DbAccess, Events, Reps),
+           Events.size());
+  }
+
+  // DBAccessConstraint on the full trace: few deletes — the live-id set
+  // grows without bound, which is what blew up the paper's baseline.
+  {
+    tracegen::DbLogConfig Config;
+    Config.Count = scaled(1200000);
+    Config.InsertProb = 0.5;
+    Config.DeleteProb = 0.02;
+    Config.Seed = 303;
+    auto Events = tracegen::dbLog(*DbAccess.lookup("ins"),
+                                  *DbAccess.lookup("del"),
+                                  *DbAccess.lookup("acc"), Config);
+    report("DBAccessConstraint(full)", compare(DbAccess, Events, Reps),
+           Events.size());
+  }
+
+  // PeakDetection: +-15 min moving average at one sample per minute.
+  {
+    Spec S = workloads::peakDetection(30);
+    tracegen::PowerConfig Config;
+    Config.Count = scaled(500000);
+    Config.Period = 60;
+    Config.PeakProb = 0.002;
+    Config.Seed = 304;
+    auto Events = tracegen::powerSignal(*S.lookup("p"), Config);
+    report("PeakDetection", compare(S, Events, Reps), Events.size());
+  }
+
+  // SpectrumCalculation: histogram of bucketed consumption values.
+  {
+    Spec S = workloads::spectrumCalculation();
+    tracegen::PowerConfig Config;
+    Config.Count = scaled(500000);
+    Config.Period = 60;
+    Config.Seed = 305;
+    auto Events = tracegen::powerSignal(*S.lookup("p"), Config);
+    report("SpectrumCalculation", compare(S, Events, Reps),
+           Events.size());
+  }
+
+  std::printf("\npaper reference (Table I): DBTime 1.3x, "
+              "DBAccess(33%%) 2.1x, DBAccess(full) >15.5x, "
+              "PeakDetection 1.9x, Spectrum 2.0x\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+//===- examples/db_access_monitor.cpp ---------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The paper's DBAccessConstraint scenario (Table I): "a record may not
+/// be accessed before it was inserted or after it was deleted". The
+/// monitor tracks the live record ids in a set; the aggregate update
+/// analysis proves the set can be maintained in place.
+///
+/// The paper ran this on the 14 GB Nokia database log of the RV
+/// Competition 2014; this example substitutes a synthetic operation log
+/// with the same structure (see DESIGN.md) and reports both correctness
+/// results and the optimized-vs-baseline runtime.
+///
+/// Build & run:  ./build/examples/db_access_monitor [num_operations]
+///
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Analysis/Pipeline.h"
+#include "tessla/Lang/Parser.h"
+#include "tessla/Runtime/TraceGen.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace tessla;
+
+namespace {
+
+double runSeconds(const MonitorPlan &Plan,
+                  const std::vector<TraceEvent> &Events,
+                  uint64_t &Violations) {
+  Monitor M(Plan);
+  uint64_t Count = 0;
+  M.setOutputHandler(
+      [&Count](Time, StreamId, const Value &) { ++Count; });
+  auto Start = std::chrono::steady_clock::now();
+  for (const auto &[Id, Ts, V] : Events)
+    if (!M.feed(Id, Ts, V))
+      break;
+  M.finish();
+  auto End = std::chrono::steady_clock::now();
+  if (M.failed())
+    std::fprintf(stderr, "monitor error: %s\n", M.errorMessage().c_str());
+  Violations = Count;
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  size_t NumOps = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200000;
+
+  const char *Source = R"(
+    in ins: Int                           -- record inserted
+    in del: Int                           -- record deleted
+    in acc: Int                           -- record accessed
+    def anyOp := merge(merge(ins, del), acc)
+    def prev  := last(merge(live, setEmpty()), anyOp)
+    def live  := setUpdate(prev, ins, del)
+    def violation := filter(acc, !setContains(prev, acc))
+    out violation
+  )";
+
+  DiagnosticEngine Diags;
+  auto S = parseSpec(Source, Diags);
+  if (!S) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+
+  AnalysisResult Optimized = analyzeSpec(*S);
+  std::printf("%s\n", Optimized.report().c_str());
+
+  tracegen::DbLogConfig Config;
+  Config.Count = NumOps;
+  Config.Seed = 2024;
+  auto Events = tracegen::dbLog(*S->lookup("ins"), *S->lookup("del"),
+                                *S->lookup("acc"), Config);
+  std::printf("synthetic database log: %zu operations\n", Events.size());
+
+  MutabilityOptions BaseOpts;
+  BaseOpts.Optimize = false;
+  AnalysisResult Baseline = analyzeSpec(*S, BaseOpts);
+
+  MonitorPlan OptPlan = MonitorPlan::compile(Optimized);
+  MonitorPlan BasePlan = MonitorPlan::compile(Baseline);
+
+  uint64_t OptViolations = 0, BaseViolations = 0;
+  double OptTime = runSeconds(OptPlan, Events, OptViolations);
+  double BaseTime = runSeconds(BasePlan, Events, BaseViolations);
+
+  std::printf("violations found: %llu (optimized), %llu (baseline)\n",
+              static_cast<unsigned long long>(OptViolations),
+              static_cast<unsigned long long>(BaseViolations));
+  std::printf("optimized (mutable set):    %.3f s\n", OptTime);
+  std::printf("baseline (persistent set):  %.3f s\n", BaseTime);
+  std::printf("speedup: %.2fx\n", BaseTime / OptTime);
+  return OptViolations == BaseViolations ? 0 : 1;
+}

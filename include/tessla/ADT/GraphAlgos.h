@@ -1,0 +1,60 @@
+//===- tessla/ADT/GraphAlgos.h - Graph algorithms --------------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic graph algorithms over dense adjacency lists
+/// (node ids 0..N-1). Used for translation-order computation (topological
+/// sorting, §III), cycle detection in the read-before-write constraint graph
+/// (§IV-E step 4) and reachability during the aliasing analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_ADT_GRAPHALGOS_H
+#define TESSLA_ADT_GRAPHALGOS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace tessla {
+
+/// Adjacency-list graph: Adj[u] lists successors of u. Parallel edges are
+/// allowed and harmless for all algorithms here.
+using Adjacency = std::vector<std::vector<uint32_t>>;
+
+/// Computes a topological order of the graph into \p Order.
+///
+/// Deterministic: among ready nodes the smallest index is emitted first
+/// (Kahn's algorithm with a min-heap).
+///
+/// \returns true on success; false if the graph has a cycle (in which case
+/// \p Order contains the emitted prefix).
+bool topologicalSort(const Adjacency &Adj, std::vector<uint32_t> &Order);
+
+/// Finds some cycle in the graph.
+///
+/// \returns the cycle as a node sequence v0 -> v1 -> ... -> vk -> v0
+/// (without repeating v0 at the end), or an empty vector if the graph is
+/// acyclic. Deterministic (DFS from the smallest node id, exploring
+/// successors in list order).
+std::vector<uint32_t> findCycle(const Adjacency &Adj);
+
+/// Tarjan's strongly connected components, iterative.
+///
+/// \returns components in reverse topological order (a component is listed
+/// before any component it has edges into... specifically Tarjan emission
+/// order), each component's members sorted ascending.
+std::vector<std::vector<uint32_t>>
+stronglyConnectedComponents(const Adjacency &Adj);
+
+/// Marks all nodes reachable from \p Start (including \p Start).
+std::vector<bool> reachableFrom(const Adjacency &Adj, uint32_t Start);
+
+/// Builds the reverse graph.
+Adjacency reverseGraph(const Adjacency &Adj);
+
+} // namespace tessla
+
+#endif // TESSLA_ADT_GRAPHALGOS_H

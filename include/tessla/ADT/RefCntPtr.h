@@ -1,0 +1,113 @@
+//===- tessla/ADT/RefCntPtr.h - Intrusive refcounting ----------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Intrusive, non-atomic reference counting for the persistent data
+/// structures. Generated monitors are single-threaded (as in the paper's
+/// Scala backend running one monitor per trace), so a plain counter avoids
+/// the atomic-RMW cost std::shared_ptr would pay on every structural share.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_ADT_REFCNTPTR_H
+#define TESSLA_ADT_REFCNTPTR_H
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+
+namespace tessla {
+
+/// CRTP base providing the intrusive reference count. Derive as
+/// `class Node : public RefCountedBase<Node>`.
+template <typename Derived> class RefCountedBase {
+public:
+  RefCountedBase() = default;
+  // Copies start with a fresh count.
+  RefCountedBase(const RefCountedBase &) {}
+  RefCountedBase &operator=(const RefCountedBase &) { return *this; }
+
+  void retain() const { ++RefCount; }
+  void release() const {
+    assert(RefCount > 0 && "over-release");
+    if (--RefCount == 0)
+      delete static_cast<const Derived *>(this);
+  }
+  uint32_t useCount() const { return RefCount; }
+
+protected:
+  ~RefCountedBase() = default;
+
+private:
+  mutable uint32_t RefCount = 0;
+};
+
+/// Smart pointer for RefCountedBase-derived objects.
+template <typename T> class RefCntPtr {
+public:
+  RefCntPtr() = default;
+  RefCntPtr(std::nullptr_t) {}
+  explicit RefCntPtr(T *P) : Ptr(P) {
+    if (Ptr)
+      Ptr->retain();
+  }
+  RefCntPtr(const RefCntPtr &Other) : Ptr(Other.Ptr) {
+    if (Ptr)
+      Ptr->retain();
+  }
+  RefCntPtr(RefCntPtr &&Other) noexcept : Ptr(Other.Ptr) {
+    Other.Ptr = nullptr;
+  }
+  ~RefCntPtr() {
+    if (Ptr)
+      Ptr->release();
+  }
+
+  RefCntPtr &operator=(RefCntPtr Other) noexcept {
+    std::swap(Ptr, Other.Ptr);
+    return *this;
+  }
+
+  T *get() const { return Ptr; }
+  T &operator*() const {
+    assert(Ptr && "dereferencing null RefCntPtr");
+    return *Ptr;
+  }
+  T *operator->() const {
+    assert(Ptr && "dereferencing null RefCntPtr");
+    return Ptr;
+  }
+  explicit operator bool() const { return Ptr != nullptr; }
+
+  /// True if this is the only reference — enables transient in-place reuse
+  /// optimizations inside persistent structures.
+  bool unique() const { return Ptr && Ptr->useCount() == 1; }
+
+  void reset() {
+    if (Ptr)
+      Ptr->release();
+    Ptr = nullptr;
+  }
+
+  friend bool operator==(const RefCntPtr &A, const RefCntPtr &B) {
+    return A.Ptr == B.Ptr;
+  }
+  friend bool operator==(const RefCntPtr &A, std::nullptr_t) {
+    return A.Ptr == nullptr;
+  }
+
+private:
+  T *Ptr = nullptr;
+};
+
+/// Allocates a T and wraps it; analogous to std::make_shared.
+template <typename T, typename... Args> RefCntPtr<T> makeRefCnt(Args &&...As) {
+  return RefCntPtr<T>(new T(std::forward<Args>(As)...));
+}
+
+} // namespace tessla
+
+#endif // TESSLA_ADT_REFCNTPTR_H

@@ -1,0 +1,65 @@
+//===- tessla/ADT/UnionFind.h - Disjoint-set forest ------------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Union-Find (disjoint-set forest) over dense unsigned indices, with path
+/// compression and union by size. Step 1 of the paper's combined algorithm
+/// (Fig. 8) uses it to maintain "variable families" — sets of stream
+/// variables that must be all-mutable or all-persistent (consistent
+/// mutability, Def. 7 rule 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_ADT_UNIONFIND_H
+#define TESSLA_ADT_UNIONFIND_H
+
+#include <cstdint>
+#include <vector>
+
+namespace tessla {
+
+/// Disjoint-set forest over indices 0..size()-1.
+class UnionFind {
+public:
+  UnionFind() = default;
+  explicit UnionFind(uint32_t NumElements) { grow(NumElements); }
+
+  /// Extends the universe to at least \p NumElements singleton sets.
+  void grow(uint32_t NumElements);
+
+  uint32_t size() const { return static_cast<uint32_t>(Parent.size()); }
+
+  /// Returns the canonical representative of \p X's set.
+  uint32_t find(uint32_t X) const;
+
+  /// Merges the sets of \p A and \p B; returns the new representative.
+  uint32_t unite(uint32_t A, uint32_t B);
+
+  /// Returns true if \p A and \p B are in the same set.
+  bool connected(uint32_t A, uint32_t B) const { return find(A) == find(B); }
+
+  /// Number of elements in \p X's set.
+  uint32_t setSize(uint32_t X) const { return Size[find(X)]; }
+
+  /// Number of distinct sets.
+  uint32_t numSets() const { return NumSets; }
+
+  /// Groups all elements by representative. The outer vector is indexed by
+  /// an arbitrary but deterministic order (ascending representative); inner
+  /// vectors list members in ascending order.
+  std::vector<std::vector<uint32_t>> groups() const;
+
+private:
+  // Parent is mutable so find() can path-compress while staying logically
+  // const.
+  mutable std::vector<uint32_t> Parent;
+  std::vector<uint32_t> Size;
+  uint32_t NumSets = 0;
+};
+
+} // namespace tessla
+
+#endif // TESSLA_ADT_UNIONFIND_H

@@ -1,0 +1,82 @@
+//===- tessla/Analysis/Aliasing.h - Aliasing analysis (Def. 6) -*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Determines which stream variables may carry the *same* aggregate value
+/// at the *same* timestamp (potential aliases, §IV-B). Two variables are
+/// aliasing-safe when, for every common ancestor in the Pass/Last value
+/// flow and every pair of paths, one path provably runs at least one
+/// `last` "behind" the other: the longer path's cut points must
+/// trigger-imply the shorter path's last nodes (§IV-C approximation) and
+/// the shorter path's lasts must be non-replicating (Def. 5). Everything
+/// not provably safe is a potential alias.
+///
+/// Conservative fallbacks (both sound — they only cost optimization):
+///  * if the Pass/Last region around a variable contains a cycle
+///    (recursive hold patterns), all P/L-connected variables are treated
+///    as potential aliases;
+///  * if path enumeration exceeds a budget, likewise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_ANALYSIS_ALIASING_H
+#define TESSLA_ANALYSIS_ALIASING_H
+
+#include "tessla/Analysis/TriggerFormula.h"
+#include "tessla/Analysis/UsageGraph.h"
+
+#include <unordered_map>
+
+namespace tessla {
+
+/// Aliasing analysis over one usage graph.
+class AliasAnalysis {
+public:
+  /// Budget on enumerated Pass/Last paths per ancestor before falling back
+  /// to "everything aliases".
+  static constexpr size_t DefaultMaxPaths = 4096;
+
+  AliasAnalysis(const UsageGraph &G, TriggerAnalysis &Triggers,
+                size_t MaxPaths = DefaultMaxPaths)
+      : G(G), Triggers(Triggers), MaxPaths(MaxPaths) {}
+
+  /// All potential aliases of \p U (sorted ascending; always contains U
+  /// itself). Cached per stream.
+  const std::vector<StreamId> &potentialAliases(StreamId U);
+
+  /// True if \p A and \p B are potential aliases (the relation is
+  /// symmetric by construction of Def. 6).
+  bool mayAlias(StreamId A, StreamId B);
+
+  /// True when the conservative cycle/budget fallback fired for \p U —
+  /// surfaced in analysis reports.
+  bool usedFallback(StreamId U);
+
+private:
+  const UsageGraph &G;
+  TriggerAnalysis &Triggers;
+  size_t MaxPaths;
+
+  struct Result {
+    std::vector<StreamId> Aliases;
+    bool Fallback = false;
+  };
+  std::unordered_map<StreamId, Result> Cache;
+
+  const Result &compute(StreamId U);
+
+  /// The sequence of last-defined nodes along one Pass/Last path.
+  using LastSeq = std::vector<StreamId>;
+
+  /// Checks the Def. 6 structure for one path pair (both orientations).
+  bool safePair(const LastSeq &A, const LastSeq &B);
+  /// One orientation: Long must run >= 1 last behind Short.
+  bool safeOriented(const LastSeq &Long, const LastSeq &Short);
+};
+
+} // namespace tessla
+
+#endif // TESSLA_ANALYSIS_ALIASING_H

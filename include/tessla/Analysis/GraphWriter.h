@@ -1,0 +1,33 @@
+//===- tessla/Analysis/GraphWriter.h - DOT output --------------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// GraphViz (DOT) rendering of classified usage graphs — the tool-side
+/// equivalent of the paper's Fig. 3/Fig. 7 diagrams. Write edges are
+/// red, Read edges blue, Pass edges green, Last edges dashed; when a
+/// mutability result is supplied, mutable streams are drawn as filled
+/// boxes and the read-before-write constraints appear as dotted blue
+/// edges (Fig. 7's ordering constraint).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_ANALYSIS_GRAPHWRITER_H
+#define TESSLA_ANALYSIS_GRAPHWRITER_H
+
+#include "tessla/Analysis/Mutability.h"
+
+#include <string>
+
+namespace tessla {
+
+/// Renders \p G as a DOT digraph. \p Mutability may be null (edges
+/// only).
+std::string writeUsageGraphDot(const UsageGraph &G,
+                               const MutabilityResult *Mutability = nullptr);
+
+} // namespace tessla
+
+#endif // TESSLA_ANALYSIS_GRAPHWRITER_H

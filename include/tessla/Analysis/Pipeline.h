@@ -1,0 +1,60 @@
+//===- tessla/Analysis/Pipeline.h - One-call analysis driver ---*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience driver running the full compiler-phase pipeline of the
+/// paper over a (validated, type-checked) specification: usage graph,
+/// triggering approximation, aliasing, mutability set and translation
+/// order. This is what the monitor planner and the code generator consume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_ANALYSIS_PIPELINE_H
+#define TESSLA_ANALYSIS_PIPELINE_H
+
+#include "tessla/Analysis/Mutability.h"
+
+#include <memory>
+
+namespace tessla {
+
+/// All analysis artifacts for one specification. Owns (a copy of) the
+/// spec, so the result is freely movable and outlives the caller's Spec.
+class AnalysisResult {
+public:
+  AnalysisResult(std::shared_ptr<const Spec> S,
+                 const MutabilityOptions &Opts);
+
+  const Spec &spec() const { return *S; }
+  /// Shared handle for consumers that must extend the spec's lifetime
+  /// (monitor plans, generated code drivers).
+  std::shared_ptr<const Spec> sharedSpec() const { return S; }
+  const UsageGraph &graph() const { return *Graph; }
+  TriggerAnalysis &triggers() { return *Triggers; }
+  AliasAnalysis &aliases() { return *Aliases; }
+  const MutabilityResult &mutability() const { return Mutability; }
+
+  /// Shorthands.
+  bool isMutable(StreamId Id) const { return Mutability.Mutable[Id]; }
+  const std::vector<StreamId> &order() const { return Mutability.Order; }
+
+  std::string report() const { return Mutability.report(*S); }
+
+private:
+  std::shared_ptr<const Spec> S;
+  std::unique_ptr<UsageGraph> Graph;
+  std::unique_ptr<TriggerAnalysis> Triggers;
+  std::unique_ptr<AliasAnalysis> Aliases;
+  MutabilityResult Mutability;
+};
+
+/// Runs the full pipeline over (a copy of) \p S. \p Opts.Optimize=false
+/// yields the paper's baseline configuration (all aggregates persistent).
+AnalysisResult analyzeSpec(Spec S, const MutabilityOptions &Opts = {});
+
+} // namespace tessla
+
+#endif // TESSLA_ANALYSIS_PIPELINE_H

@@ -1,0 +1,51 @@
+//===- tessla/Analysis/Statistics.h - Analysis statistics ------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aggregated statistics over one analysis run: sizes of the structures
+/// the paper's algorithm operates on (edges by class, variable families,
+/// aliases, constraints, implication queries). Consumed by the compile-
+/// time ablation and by tooling output; also a stable surface for tests
+/// that pin the analysis' shape without depending on internals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_ANALYSIS_STATISTICS_H
+#define TESSLA_ANALYSIS_STATISTICS_H
+
+#include "tessla/Analysis/Pipeline.h"
+
+namespace tessla {
+
+/// Counts describing one analyzed specification.
+struct AnalysisStatistics {
+  uint32_t Streams = 0;
+  uint32_t AggregateStreams = 0;
+  uint32_t Edges = 0;
+  uint32_t WriteEdges = 0;
+  uint32_t ReadEdges = 0;
+  uint32_t PassEdges = 0;
+  uint32_t LastEdges = 0;
+  uint32_t SpecialEdges = 0;
+  /// Variable families containing at least one aggregate stream.
+  uint32_t AggregateFamilies = 0;
+  uint32_t MutableStreams = 0;
+  uint32_t PersistentFamilies = 0;
+  uint32_t ReadBeforeWriteConstraints = 0;
+  /// Triggering-implication queries answered syntactically / via SAT.
+  uint64_t ImplicationFastPath = 0;
+  uint64_t ImplicationSat = 0;
+
+  /// Key-value rendering, one "name: value" per line.
+  std::string str() const;
+};
+
+/// Collects statistics from a finished analysis.
+AnalysisStatistics collectStatistics(AnalysisResult &Analysis);
+
+} // namespace tessla
+
+#endif // TESSLA_ANALYSIS_STATISTICS_H

@@ -1,0 +1,34 @@
+//===- tessla/Analysis/TranslationOrder.h - Def. 2 orders ------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translation orders (Def. 2): total orders of the streams in which no
+/// non-special usage edge points backwards, optionally extended with the
+/// read-before-write constraints of §IV-E step 4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_ANALYSIS_TRANSLATIONORDER_H
+#define TESSLA_ANALYSIS_TRANSLATIONORDER_H
+
+#include "tessla/Analysis/UsageGraph.h"
+
+#include <optional>
+
+namespace tessla {
+
+/// Computes a translation order of \p G's streams respecting all
+/// non-special edges plus \p ExtraEdges (each pair (a, b) forces a before
+/// b). Deterministic (smallest stream id first among ready nodes).
+///
+/// \returns nullopt if the combined constraints are cyclic.
+std::optional<std::vector<StreamId>> computeTranslationOrder(
+    const UsageGraph &G,
+    const std::vector<std::pair<StreamId, StreamId>> &ExtraEdges = {});
+
+} // namespace tessla
+
+#endif // TESSLA_ANALYSIS_TRANSLATIONORDER_H

@@ -1,0 +1,80 @@
+//===- tessla/Analysis/TriggerFormula.h - ev' approximation ----*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static approximation of triggering behavior (§IV-C): a positive
+/// boolean formula ev'(s) per stream over atom streams (inputs, delays,
+/// value-dependent lifts, uninitialized lasts) such that a tautological
+/// implication ev'(u) -> ev'(v) proves that every event of u (past
+/// timestamp 0) coincides with an event of v:
+///
+///   ev'(u) -> ev'(v) in TAUT  =>  for all inputs:
+///       ev(u) \ {0} is a subset of ev(v)
+///
+/// Also provides the "always initialized at timestamp 0" analysis the
+/// last-rule depends on, and replicating-last detection (Def. 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_ANALYSIS_TRIGGERFORMULA_H
+#define TESSLA_ANALYSIS_TRIGGERFORMULA_H
+
+#include "tessla/Lang/Spec.h"
+#include "tessla/SAT/BoolExpr.h"
+#include "tessla/SAT/Solver.h"
+
+#include <memory>
+
+namespace tessla {
+
+/// Computes and caches ev' formulas, initialization facts and implication
+/// queries for one specification.
+class TriggerAnalysis {
+public:
+  explicit TriggerAnalysis(const Spec &S);
+
+  /// The positive formula ev'(s). Atom ids are StreamIds.
+  BoolExprRef formula(StreamId S) const { return Formulas[S]; }
+
+  /// True if the stream provably has an event at timestamp 0 under every
+  /// input (unit, constants, and lifts/merges of such).
+  bool alwaysInitialized(StreamId S) const { return Initialized[S]; }
+
+  /// True iff ev'(U) -> ev'(V) is a tautology, i.e. every event of U
+  /// (past timestamp 0) is provably accompanied by an event of V.
+  bool implies(StreamId U, StreamId V);
+
+  /// Replicating-last detection (Def. 5, over-approximated): a last is
+  /// replicating unless we can prove its events are a subset of its value
+  /// stream's events. Non-last streams are never replicating.
+  bool isReplicatingLast(StreamId S);
+
+  const BoolExprContext &context() const { return Ctx; }
+  BoolExprContext &context() { return Ctx; }
+
+  /// Renders ev'(s) with stream names, for tests and reports.
+  std::string formulaString(StreamId S) const;
+
+  /// Counters for the compile-time ablation benchmark.
+  uint64_t implicationFastPathHits() const {
+    return Checker.fastPathHits();
+  }
+  uint64_t implicationSatQueries() const { return Checker.satQueries(); }
+
+private:
+  const Spec &S;
+  BoolExprContext Ctx;
+  ImplicationChecker Checker;
+  std::vector<bool> Initialized;
+  std::vector<BoolExprRef> Formulas;
+
+  void computeInitialized();
+  void computeFormulas();
+};
+
+} // namespace tessla
+
+#endif // TESSLA_ANALYSIS_TRIGGERFORMULA_H

@@ -1,0 +1,82 @@
+//===- tessla/Analysis/UsageGraph.h - Usage graph (Def. 1/3) ---*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The TeSSLa usage graph of a flat specification (paper Definition 1)
+/// with the edge classification of Definition 3:
+///
+///  * nodes are the specification's streams;
+///  * (u, v) is an edge iff u is used in the expression defining v;
+///  * an edge is *special* iff v is a last/delay and u its first argument;
+///  * edges whose source has an aggregate type are classified as Write,
+///    Read, Last or Pass according to how the defining expression accesses
+///    the value; all other edges are Plain (uncategorized).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_ANALYSIS_USAGEGRAPH_H
+#define TESSLA_ANALYSIS_USAGEGRAPH_H
+
+#include "tessla/ADT/GraphAlgos.h"
+#include "tessla/Lang/Spec.h"
+
+namespace tessla {
+
+/// Classification of a usage edge (Def. 3). Plain edges carry scalar
+/// values or pure trigger/reset positions and play no role in the
+/// mutability analysis.
+enum class EdgeKind : uint8_t { Plain, Write, Read, Last, Pass };
+
+/// Returns "W", "R", "L", "P" or "-".
+std::string_view edgeKindName(EdgeKind K);
+
+/// One classified edge of the usage graph.
+struct UsageEdge {
+  StreamId From;
+  StreamId To;
+  EdgeKind Kind;
+  bool Special; // first argument of last/delay (S of Def. 1)
+};
+
+/// The usage graph of one specification. Assumes the spec type-checked
+/// (edge classification consults operand types).
+class UsageGraph {
+public:
+  explicit UsageGraph(const Spec &S);
+
+  const Spec &spec() const { return S; }
+  const std::vector<UsageEdge> &edges() const { return Edges; }
+  uint32_t numNodes() const { return S.numStreams(); }
+
+  /// Indices into edges() of edges leaving / entering a node.
+  const std::vector<uint32_t> &outEdges(StreamId U) const { return Out[U]; }
+  const std::vector<uint32_t> &inEdges(StreamId V) const { return In[V]; }
+
+  const UsageEdge &edge(uint32_t Index) const { return Edges[Index]; }
+
+  /// Adjacency of the graph without special edges — the constraint graph
+  /// whose topological orders are the valid translation orders (Def. 2).
+  const Adjacency &nonSpecialAdjacency() const { return NonSpecial; }
+
+  /// Adjacency restricted to Pass and Last edges — the value-flow subgraph
+  /// the aliasing analysis walks (Def. 6).
+  const Adjacency &passLastAdjacency() const { return PassLast; }
+  /// Reverse of passLastAdjacency().
+  const Adjacency &passLastReverse() const { return PassLastRev; }
+
+  /// Renders "u -K-> v" lines for tests and debugging.
+  std::string str() const;
+
+private:
+  const Spec &S;
+  std::vector<UsageEdge> Edges;
+  std::vector<std::vector<uint32_t>> Out, In;
+  Adjacency NonSpecial, PassLast, PassLastRev;
+};
+
+} // namespace tessla
+
+#endif // TESSLA_ANALYSIS_USAGEGRAPH_H

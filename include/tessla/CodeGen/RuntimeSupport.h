@@ -1,0 +1,245 @@
+//===- tessla/CodeGen/RuntimeSupport.h - Generated-code helpers -*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers included by monitors the CppEmitter generates. Rendering
+/// matches tessla::Value::str() exactly, so generated monitors and the
+/// interpreter produce byte-identical output traces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_CODEGEN_RUNTIMESUPPORT_H
+#define TESSLA_CODEGEN_RUNTIMESUPPORT_H
+
+#include "tessla/Persistent/HAMT.h"
+#include "tessla/Persistent/Queue.h"
+#include "tessla/Support/Format.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace tessla {
+namespace cgen {
+
+/// The unit value in generated code.
+struct UnitV {
+  friend bool operator==(UnitV, UnitV) { return true; }
+  friend bool operator<(UnitV, UnitV) { return false; }
+};
+
+struct UnitHash {
+  size_t operator()(UnitV) const { return 0; }
+};
+
+/// Generated monitors abort with a message on runtime errors (division by
+/// zero etc.) — they are standalone tools, not library code.
+[[noreturn]] inline void fail(const char *Message) {
+  std::fprintf(stderr, "monitor runtime error: %s\n", Message);
+  std::abort();
+}
+
+inline int64_t checkedDiv(int64_t A, int64_t B) {
+  if (B == 0)
+    fail("integer division by zero");
+  return A / B;
+}
+inline int64_t checkedMod(int64_t A, int64_t B) {
+  if (B == 0)
+    fail("integer modulo by zero");
+  return A % B;
+}
+
+// --- getOrElse / get over both map representations ----------------------
+
+template <typename K, typename V, typename H>
+V getOrElse(const std::unordered_map<K, V, H> &M, const K &Key,
+            const V &Default) {
+  auto It = M.find(Key);
+  return It == M.end() ? Default : It->second;
+}
+template <typename K, typename V, typename H>
+V getOrElse(const HamtMap<K, V, H> &M, const K &Key, const V &Default) {
+  const V *Found = M.find(Key);
+  return Found ? *Found : Default;
+}
+template <typename K, typename V, typename H>
+V mapGet(const std::unordered_map<K, V, H> &M, const K &Key) {
+  auto It = M.find(Key);
+  if (It == M.end())
+    fail("mapGet: key not present");
+  return It->second;
+}
+template <typename K, typename V, typename H>
+V mapGet(const HamtMap<K, V, H> &M, const K &Key) {
+  const V *Found = M.find(Key);
+  if (!Found)
+    fail("mapGet: key not present");
+  return *Found;
+}
+
+// --- queue helpers -------------------------------------------------------
+
+template <typename T> T queueFront(const std::deque<T> &Q) {
+  if (Q.empty())
+    fail("queueFront on empty queue");
+  return Q.front();
+}
+template <typename T> T queueFront(const PQueue<T> &Q) {
+  if (Q.empty())
+    fail("queueFront on empty queue");
+  return Q.front();
+}
+template <typename T> void queuePop(std::deque<T> &Q) {
+  if (Q.empty())
+    fail("queueDeq on empty queue");
+  Q.pop_front();
+}
+template <typename T> PQueue<T> queuePopped(const PQueue<T> &Q) {
+  if (Q.empty())
+    fail("queueDeq on empty queue");
+  return Q.dequeue();
+}
+template <typename T> PQueue<T> queueTrimmed(PQueue<T> Q, int64_t Bound) {
+  if (Bound < 0)
+    Bound = 0;
+  while (Q.size() > static_cast<size_t>(Bound))
+    Q = Q.dequeue();
+  return Q;
+}
+template <typename T> void queueTrim(std::deque<T> &Q, int64_t Bound) {
+  if (Bound < 0)
+    Bound = 0;
+  while (Q.size() > static_cast<size_t>(Bound))
+    Q.pop_front();
+}
+
+// --- set union / difference across representations -----------------------
+
+template <typename T, typename H>
+std::vector<T> setItems(const std::unordered_set<T, H> &S) {
+  return std::vector<T>(S.begin(), S.end());
+}
+template <typename T, typename H>
+std::vector<T> setItems(const HamtSet<T, H> &S) {
+  return S.items();
+}
+
+/// Destructive union/difference into a mutable set; the source is
+/// materialized first, so degenerate self-application stays defined.
+template <typename Dst, typename Src>
+void setUnionInto(Dst &D, const Src &S) {
+  for (auto &V : setItems(S))
+    D.insert(V);
+}
+template <typename Dst, typename Src>
+void setDiffInto(Dst &D, const Src &S) {
+  for (auto &V : setItems(S))
+    D.erase(V);
+}
+
+/// Persistent union/difference (source may use either representation —
+/// arguments can come from different variable families).
+template <typename T, typename H, typename Src>
+HamtSet<T, H> setUnionOf(HamtSet<T, H> D, const Src &S) {
+  for (auto &V : setItems(S))
+    D = D.insert(V);
+  return D;
+}
+template <typename T, typename H, typename Src>
+HamtSet<T, H> setDiffOf(HamtSet<T, H> D, const Src &S) {
+  for (auto &V : setItems(S))
+    D = D.erase(V);
+  return D;
+}
+
+// --- canonical rendering (matches tessla::Value::str()) ------------------
+
+inline std::string str(UnitV) { return "()"; }
+inline std::string str(bool B) { return B ? "true" : "false"; }
+inline std::string str(int64_t I) { return std::to_string(I); }
+inline std::string str(double D) { return formatDouble(D); }
+inline std::string str(const std::string &S) {
+  return "\"" + escapeString(S) + "\"";
+}
+
+// Elements are sorted by value (operator<), matching the canonical order
+// tessla::Value::str() uses, then rendered.
+template <typename Range> std::string strSorted(const Range &Items,
+                                                char Open, char Close) {
+  using Elem = std::decay_t<decltype(*std::begin(Items))>;
+  std::vector<Elem> Sorted(std::begin(Items), std::end(Items));
+  std::sort(Sorted.begin(), Sorted.end());
+  std::vector<std::string> Parts;
+  for (const auto &V : Sorted)
+    Parts.push_back(str(V));
+  std::string Out(1, Open);
+  Out += join(Parts, ", ");
+  Out += Close;
+  return Out;
+}
+
+template <typename T, typename H>
+std::string str(const std::unordered_set<T, H> &S) {
+  return strSorted(S, '{', '}');
+}
+template <typename T, typename H>
+std::string str(const std::shared_ptr<std::unordered_set<T, H>> &S) {
+  return str(*S);
+}
+template <typename T, typename H> std::string str(const HamtSet<T, H> &S) {
+  return strSorted(S.items(), '{', '}');
+}
+
+template <typename Pairs> std::string strMapItems(Pairs Items) {
+  std::sort(Items.begin(), Items.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  std::vector<std::string> Parts;
+  for (const auto &[Key, Val] : Items)
+    Parts.push_back(str(Key) + " -> " + str(Val));
+  return "{" + join(Parts, ", ") + "}";
+}
+
+template <typename K, typename V, typename H>
+std::string str(const std::unordered_map<K, V, H> &M) {
+  return strMapItems(std::vector<std::pair<K, V>>(M.begin(), M.end()));
+}
+template <typename K, typename V, typename H>
+std::string str(const std::shared_ptr<std::unordered_map<K, V, H>> &M) {
+  return str(*M);
+}
+template <typename K, typename V, typename H>
+std::string str(const HamtMap<K, V, H> &M) {
+  return strMapItems(M.items());
+}
+
+template <typename T> std::string str(const std::deque<T> &Q) {
+  std::vector<std::string> Parts;
+  for (const auto &V : Q)
+    Parts.push_back(str(V));
+  return "<" + join(Parts, ", ") + ">";
+}
+template <typename T>
+std::string str(const std::shared_ptr<std::deque<T>> &Q) {
+  return str(*Q);
+}
+template <typename T> std::string str(const PQueue<T> &Q) {
+  std::vector<std::string> Parts;
+  Q.forEach([&Parts](const T &V) { Parts.push_back(str(V)); });
+  return "<" + join(Parts, ", ") + ">";
+}
+
+} // namespace cgen
+} // namespace tessla
+
+#endif // TESSLA_CODEGEN_RUNTIMESUPPORT_H

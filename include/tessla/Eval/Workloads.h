@@ -1,0 +1,60 @@
+//===- tessla/Eval/Workloads.h - Evaluation specifications -----*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's worked examples (Fig. 1, Fig. 4) and evaluation workloads
+/// (§V: Seen Set, Map Window, Queue Window; Table I: DBAccessConstraint,
+/// DBTimeConstraint, PeakDetection, SpectrumCalculation) as ready-made,
+/// type-checked specifications — shared by the test suite, the examples
+/// and the benchmark harness.
+///
+/// All builders abort on internal errors (the sources are compiled in).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_EVAL_WORKLOADS_H
+#define TESSLA_EVAL_WORKLOADS_H
+
+#include "tessla/Lang/Spec.h"
+
+#include <cstdint>
+
+namespace tessla {
+namespace workloads {
+
+/// Parses and type-checks a compiled-in source; aborts on failure.
+Spec buildSpec(std::string_view Source);
+
+/// Figure 1 (§I/§II): accumulate inputs into a set, report membership.
+Spec figure1();
+/// Figure 4 upper: accumulate on i1, reproduce & read on i2 (all
+/// updates in-place).
+Spec figure4Upper();
+/// Figure 4 lower: the reproduced set is modified twice (must stay
+/// persistent).
+Spec figure4Lower();
+
+/// §V-A Seen Set: toggle membership per input, report prior containment.
+Spec seenSet();
+/// §V-A Map Window over \p N entries (ring buffer keyed by counter mod N).
+Spec mapWindow(int64_t N);
+/// §V-A Queue Window over \p N entries (enqueue, emit & drop the front
+/// when full).
+Spec queueWindow(int64_t N);
+
+/// Table I DBAccessConstraint: accesses outside insert..delete lifetimes.
+Spec dbAccessConstraint();
+/// Table I DBTimeConstraint: db3 inserts within 60 time units of db2.
+Spec dbTimeConstraint();
+/// Table I PeakDetection with a window of \p W samples.
+Spec peakDetection(int64_t W);
+/// Table I SpectrumCalculation: value histogram + above-threshold count.
+Spec spectrumCalculation();
+
+} // namespace workloads
+} // namespace tessla
+
+#endif // TESSLA_EVAL_WORKLOADS_H

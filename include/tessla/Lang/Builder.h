@@ -1,0 +1,100 @@
+//===- tessla/Lang/Builder.h - Programmatic spec construction --*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fluent construction of flat specifications. Supports the forward
+/// references recursive equations need:
+///
+/// \code
+///   SpecBuilder B;
+///   StreamId I = B.input("i", Type::integer());
+///   StreamId Y = B.declare("y");                    // defined below
+///   StreamId U = B.unit("u");
+///   StreamId E = B.lift("empty", BuiltinId::SetEmpty, {U});
+///   StreamId M = B.lift("m", BuiltinId::Merge, {Y, E});
+///   StreamId YL = B.last("yl", M, I);
+///   B.defineLift(Y, BuiltinId::SetAdd, {YL, I});
+///   StreamId S = B.lift("s", BuiltinId::SetContains, {YL, I});
+///   B.markOutput(S);
+///   Spec Spec = B.finish(Diags);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_LANG_BUILDER_H
+#define TESSLA_LANG_BUILDER_H
+
+#include "tessla/Lang/Spec.h"
+
+namespace tessla {
+
+/// Builds a Spec equation by equation.
+class SpecBuilder {
+public:
+  /// Declares an input stream with a concrete value type.
+  StreamId input(std::string Name, Type Ty,
+                 SourceLocation Loc = SourceLocation());
+
+  /// Forward-declares a stream to be defined later with one of the
+  /// define*() methods.
+  StreamId declare(std::string Name, SourceLocation Loc = SourceLocation());
+
+  StreamId nil(std::string Name, SourceLocation Loc = SourceLocation());
+  StreamId unit(std::string Name, SourceLocation Loc = SourceLocation());
+  StreamId constant(std::string Name, ConstantLit Lit,
+                    SourceLocation Loc = SourceLocation());
+  StreamId time(std::string Name, StreamId Arg,
+                SourceLocation Loc = SourceLocation());
+  StreamId lift(std::string Name, BuiltinId Fn, std::vector<StreamId> Args,
+                SourceLocation Loc = SourceLocation());
+  StreamId last(std::string Name, StreamId Value, StreamId Trigger,
+                SourceLocation Loc = SourceLocation());
+  StreamId delay(std::string Name, StreamId Delays, StreamId Reset,
+                 SourceLocation Loc = SourceLocation());
+
+  /// Fills in a forward-declared stream.
+  void defineNil(StreamId Id);
+  void defineUnit(StreamId Id);
+  void defineConstant(StreamId Id, ConstantLit Lit);
+  void defineTime(StreamId Id, StreamId Arg);
+  void defineLift(StreamId Id, BuiltinId Fn, std::vector<StreamId> Args);
+  void defineLast(StreamId Id, StreamId Value, StreamId Trigger);
+  void defineDelay(StreamId Id, StreamId Delays, StreamId Reset);
+
+  void markOutput(StreamId Id) { Built.stream(Id).IsOutput = true; }
+
+  /// Generates a fresh internal name ("_tN") — used by lowering when
+  /// flattening nested expressions.
+  std::string freshName();
+
+  /// Id of a (possibly implicitly created) canonical unit stream, used for
+  /// constant/empty-aggregate desugaring.
+  StreamId canonicalUnit();
+
+  /// Finalizes: all declared streams must be defined; runs
+  /// Spec::validate(). On error, reports to \p Diags and still returns the
+  /// (invalid) spec for inspection.
+  Spec finish(DiagnosticEngine &Diags);
+
+  /// Lookup during construction.
+  std::optional<StreamId> lookup(std::string_view Name) const {
+    return Built.lookup(Name);
+  }
+  uint32_t numStreams() const { return Built.numStreams(); }
+
+private:
+  StreamId addStream(std::string Name, SourceLocation Loc);
+  void define(StreamId Id, StreamKind K, std::vector<StreamId> Args);
+
+  Spec Built;
+  std::vector<bool> Defined;
+  uint32_t NextTemp = 0;
+  std::optional<StreamId> UnitStream;
+};
+
+} // namespace tessla
+
+#endif // TESSLA_LANG_BUILDER_H

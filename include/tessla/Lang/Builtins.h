@@ -1,0 +1,122 @@
+//===- tessla/Lang/Builtins.h - Lifted function registry -------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The registry of built-in lifted functions. Each builtin carries the
+/// metadata the paper's analyses consume:
+///
+///  * Event semantics (§IV-C): whether the lift produces an event iff ALL
+///    inputs have one (basic operators), iff ANY input has one (merge), or
+///    under a value-dependent condition (filter) that the triggering
+///    approximation must treat as an opaque atom.
+///  * Per-argument access class (§IV-A, Def. 3): whether the function
+///    performs a Read or a Write access on an aggregate argument, or may
+///    Pass the argument's value through unchanged to the result (merge,
+///    if-then-else, filter). Scalar arguments are irrelevant to edge
+///    classification and marked None.
+///  * A generic type signature over type variables '0, '1 used by the type
+///    checker (e.g. setAdd: (Set['0], '0) -> Set['0]).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_LANG_BUILTINS_H
+#define TESSLA_LANG_BUILTINS_H
+
+#include "tessla/Lang/Type.h"
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace tessla {
+
+/// Identifiers of built-in lifted functions.
+enum class BuiltinId : uint8_t {
+  // Event combination
+  Merge, // merge(a, b): a's event wins (f_merge of §II)
+  Ite,   // ite(c, a, b): a if c else b
+  Filter, // filter(a, c): a's event if c is true at this timestamp
+
+  // Arithmetic (Int or Float, dynamically checked)
+  Add, Sub, Mul, Div, Mod, Neg, Abs, Min, Max,
+  // Comparisons
+  Eq, Neq, Lt, Leq, Gt, Geq,
+  // Boolean
+  LAnd, LOr, LNot,
+  // Conversions
+  ToFloat, ToInt,
+
+  // Set[T]
+  SetEmpty, SetAdd, SetRemove, SetContains, SetSize,
+  // setToggle(s, x): remove x if contained, else add (the Seen Set
+  // workload's single-write update, §V-A)
+  SetToggle,
+  // setUpdate(s, add, rem): add/remove whichever of the optional scalar
+  // events is present (models TeSSLa's lifts over Option arguments; the
+  // DBAccessConstraint workload needs one write for two event kinds)
+  SetUpdate,
+  // setUnion/setDiff(a, b): writes a, reads b — one lift with both a
+  // Write and a Read aggregate argument (exercises rule 2 with the read
+  // and write in the same expression)
+  SetUnion, SetDiff,
+  // Map[K,V]
+  MapEmpty, MapPut, MapRemove, MapGet, MapGetOrElse, MapContains, MapSize,
+  // Queue[T]
+  QueueEmpty, QueueEnq, QueueDeq, QueueFront, QueueSize,
+  // queueTrim(q, n): dequeue from the front until size <= n (bounded
+  // sliding windows without a conditional double write)
+  QueueTrim,
+  // Strings
+  StrConcat, StrLen,
+};
+
+/// Number of distinct BuiltinId values.
+constexpr unsigned NumBuiltins = static_cast<unsigned>(BuiltinId::StrLen) + 1;
+
+/// When does lift(f)(s1..sn) produce an event? (§IV-C)
+enum class EventSemantics : uint8_t {
+  All,    // event iff all inputs have events: ev' = /\ ev'(si)
+  Any,    // event iff any input has an event:  ev' = \/ ev'(si)
+  // event iff the first input and at least one other input have events:
+  // ev' = ev'(s1) /\ (ev'(s2) \/ ... \/ ev'(sn)); models lifted partial
+  // functions over Option arguments (setUpdate)
+  FirstAndAnyRest,
+  Custom, // value-dependent (filter): ev' treats the stream as an atom
+};
+
+/// How the function accesses one argument (Def. 3 edge classes; applied
+/// only when the argument's type is an aggregate).
+enum class ArgAccess : uint8_t {
+  None,  // value not retained or scalar-only position
+  Read,  // inspects the aggregate (contains, size, get, ...)
+  Write, // produces a modified version of the aggregate
+  Pass,  // may return the aggregate unchanged (merge, ite, filter)
+};
+
+/// Static description of one builtin.
+struct BuiltinInfo {
+  BuiltinId Id;
+  std::string_view Name; // surface syntax name
+  uint8_t Arity;
+  EventSemantics Events;
+  ArgAccess Access[3]; // indexed by argument position (arity <= 3)
+  Type ParamTypes[3];  // generic, over Type::var(0..1)
+  Type ResultType;
+};
+
+/// Returns the descriptor for \p Id.
+const BuiltinInfo &builtinInfo(BuiltinId Id);
+
+/// Looks a builtin up by its surface name; nullopt if unknown.
+std::optional<BuiltinId> builtinByName(std::string_view Name);
+
+/// All builtins, for enumeration in tests and docs.
+const std::vector<BuiltinInfo> &allBuiltins();
+
+} // namespace tessla
+
+#endif // TESSLA_LANG_BUILTINS_H

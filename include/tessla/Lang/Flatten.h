@@ -1,0 +1,37 @@
+//===- tessla/Lang/Flatten.h - AST lowering / flattening -------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a parsed module into the flat Spec IR, introducing fresh
+/// identifiers for sub-expressions — the "flattening" of §II that all
+/// later phases assume. Desugars on the way:
+///
+///  * scalar literals become Const streams (one event at timestamp 0),
+///    cached per distinct literal;
+///  * nullary aggregate constructors setEmpty()/mapEmpty()/queueEmpty()
+///    become lifts applied to a shared unit stream (the f_emptyset pattern
+///    from the paper's running example);
+///  * "def a := b" aliases become merge(b, b), which is semantically the
+///    identity and carries the correct Pass edges for the analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_LANG_FLATTEN_H
+#define TESSLA_LANG_FLATTEN_H
+
+#include "tessla/Lang/Parser.h"
+#include "tessla/Lang/Spec.h"
+
+namespace tessla {
+
+/// Lowers \p M to a validated (but not yet type-checked) flat Spec.
+/// Returns nullopt and reports to \p Diags on failure.
+std::optional<Spec> lowerModule(const ast::Module &M,
+                                DiagnosticEngine &Diags);
+
+} // namespace tessla
+
+#endif // TESSLA_LANG_FLATTEN_H

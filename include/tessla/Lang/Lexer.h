@@ -1,0 +1,69 @@
+//===- tessla/Lang/Lexer.h - Specification lexer ---------------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the TeSSLa-like surface syntax:
+///
+/// \code
+///   in i: Int
+///   def yl := last(y, i)
+///   def y  := setAdd(default(yl, setEmpty()), i)   -- comment
+///   out s
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_LANG_LEXER_H
+#define TESSLA_LANG_LEXER_H
+
+#include "tessla/Support/Diagnostics.h"
+#include "tessla/Support/SourceLocation.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tessla {
+
+/// Token kinds of the surface syntax.
+enum class TokenKind : uint8_t {
+  Eof,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  StringLiteral,
+  // Keywords
+  KwIn, KwDef, KwOut, KwIf, KwThen, KwElse, KwTrue, KwFalse,
+  KwUnit, KwNil, KwTime, KwLast, KwDelay, KwDefault,
+  // Punctuation / operators
+  LParen, RParen, LBracket, RBracket, Comma, Colon, Define /* := */,
+  Plus, Minus, Star, Slash, Percent,
+  EqEq, NotEq, Lt, LtEq, Gt, GtEq,
+  AndAnd, OrOr, Bang,
+};
+
+/// One token with its source range and (for literals/identifiers) text.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLocation Loc;
+  std::string Text;    // identifier or string literal contents
+  int64_t IntValue = 0;
+  double FloatValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Tokenizes \p Source. Lexical errors are reported to \p Diags; the
+/// returned vector always ends with an Eof token.
+std::vector<Token> tokenize(std::string_view Source, DiagnosticEngine &Diags);
+
+/// Human-readable token kind name ("':='", "identifier", ...).
+std::string_view tokenKindName(TokenKind K);
+
+} // namespace tessla
+
+#endif // TESSLA_LANG_LEXER_H

@@ -1,0 +1,31 @@
+//===- tessla/Lang/PrintSource.h - Parseable spec printing -----*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints a flat specification back as surface syntax that the parser
+/// accepts, such that parse(print(S)) is structurally identical to S
+/// (stream order, names, operators, outputs). Used by tooling to persist
+/// lowered specifications and by round-trip property tests.
+///
+/// One canonicalization: unit-valued constant streams print as `unit`
+/// (a constant unit event at timestamp 0 and the unit stream are the
+/// same stream).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_LANG_PRINTSOURCE_H
+#define TESSLA_LANG_PRINTSOURCE_H
+
+#include "tessla/Lang/Spec.h"
+
+namespace tessla {
+
+/// Renders \p S as parseable surface syntax.
+std::string printSpecSource(const Spec &S);
+
+} // namespace tessla
+
+#endif // TESSLA_LANG_PRINTSOURCE_H

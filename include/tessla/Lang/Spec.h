@@ -1,0 +1,112 @@
+//===- tessla/Lang/Spec.h - Flat TeSSLa specification IR -------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flat specification IR (§II): a set of equations, each defining one
+/// stream by a single basic operator over stream *names* — exactly the
+/// "flat TeSSLa specification" the paper's translation and analyses work
+/// on. Nested surface expressions are flattened during lowering
+/// (Lang/Flatten.h).
+///
+/// Operators: input streams, nil, unit, scalar constants (sugar: one event
+/// at timestamp 0), time(s), lift(f)(s1..sn), last(v, r), delay(d, r).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_LANG_SPEC_H
+#define TESSLA_LANG_SPEC_H
+
+#include "tessla/Lang/Builtins.h"
+#include "tessla/Lang/Type.h"
+#include "tessla/Support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+namespace tessla {
+
+/// Dense stream index into Spec::streams().
+using StreamId = uint32_t;
+
+/// Timestamps. The time domain T is the non-negative integers.
+using Time = int64_t;
+
+/// Scalar literal for constant streams (one event at timestamp 0).
+struct ConstantLit {
+  // monostate renders the unit value.
+  std::variant<std::monostate, bool, int64_t, double, std::string> V;
+
+  std::string str() const;
+  friend bool operator==(const ConstantLit &, const ConstantLit &) = default;
+};
+
+/// The defining operator of a stream.
+enum class StreamKind : uint8_t {
+  Input, // external input stream
+  Nil,   // no events
+  Unit,  // single unit event at timestamp 0
+  Const, // scalar literal at timestamp 0 (sugar, §II)
+  Time,  // Args = {s}: s's timestamps as values
+  Lift,  // Args = {s1..sn}, Fn: lifted function application
+  Last,  // Args = {value, trigger}: strictly-last value of `value`
+  Delay, // Args = {delays, reset}: event `delays` after a reset
+};
+
+/// One equation of a flat specification.
+struct StreamDef {
+  std::string Name;
+  StreamKind Kind = StreamKind::Nil;
+  /// Value type; declared for inputs, inferred for the rest (TypeCheck).
+  Type Ty;
+  BuiltinId Fn = BuiltinId::Merge; // Lift only
+  ConstantLit Literal;             // Const only
+  std::vector<StreamId> Args;
+  bool IsOutput = false;
+  SourceLocation Loc;
+};
+
+/// A flat TeSSLa specification: equations indexed by StreamId.
+///
+/// Construct through SpecBuilder (Lang/Builder.h) or the parser; then run
+/// typecheck() (Lang/TypeCheck.h) before analysis or execution.
+class Spec {
+public:
+  const std::vector<StreamDef> &streams() const { return Defs; }
+  const StreamDef &stream(StreamId Id) const { return Defs[Id]; }
+  StreamDef &stream(StreamId Id) { return Defs[Id]; }
+  uint32_t numStreams() const { return static_cast<uint32_t>(Defs.size()); }
+
+  /// Id of the stream named \p Name, or nullopt.
+  std::optional<StreamId> lookup(std::string_view Name) const;
+
+  /// Input stream ids in definition order.
+  std::vector<StreamId> inputs() const;
+  /// Output-marked stream ids in definition order.
+  std::vector<StreamId> outputs() const;
+
+  /// Structural well-formedness (§II): arities match operators, argument
+  /// ids are in range, every recursion passes through the first parameter
+  /// of a last or delay (i.e. the usage graph minus special edges is
+  /// acyclic), and delay delays are Int-typed once types are known.
+  /// Reports through \p Diags; returns !Diags.hasErrors() for this run.
+  bool validate(DiagnosticEngine &Diags) const;
+
+  /// Renders the spec as flat equations, one per line — used in tests and
+  /// by the code generator's header comment.
+  std::string str() const;
+
+private:
+  friend class SpecBuilder;
+  std::vector<StreamDef> Defs;
+  std::unordered_map<std::string, StreamId> ByName;
+};
+
+} // namespace tessla
+
+#endif // TESSLA_LANG_SPEC_H

@@ -1,0 +1,104 @@
+//===- tessla/Lang/Type.h - Stream value types -----------------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Types of stream values. Scalars (Unit, Bool, Int, Float, String) and the
+/// aggregate ("complex", in the paper's wording) types Set[T], Map[K,V],
+/// Queue[T] whose implementation — mutable vs persistent — the aggregate
+/// update analysis decides. Type variables support the generic builtin
+/// signatures (e.g. setAdd: (Set[A], A) -> Set[A]).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_LANG_TYPE_H
+#define TESSLA_LANG_TYPE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tessla {
+
+/// Kind of a stream value type.
+enum class TypeKind : uint8_t {
+  Unit,
+  Bool,
+  Int,    // also used for timestamps
+  Float,
+  String,
+  Set,    // Set[Elem]
+  Map,    // Map[Key, Val]
+  Queue,  // Queue[Elem]
+  Var,    // type variable (unification)
+};
+
+/// A value type. Small value class; aggregate types carry their parameter
+/// types by value.
+class Type {
+public:
+  /// Defaults to a fresh-looking but invalid Var(0); prefer the named
+  /// constructors.
+  Type() : Kind(TypeKind::Var) {}
+
+  static Type unit() { return Type(TypeKind::Unit); }
+  static Type boolean() { return Type(TypeKind::Bool); }
+  static Type integer() { return Type(TypeKind::Int); }
+  static Type floating() { return Type(TypeKind::Float); }
+  static Type string() { return Type(TypeKind::String); }
+  static Type set(Type Elem) { return Type(TypeKind::Set, {std::move(Elem)}); }
+  static Type map(Type Key, Type Val) {
+    return Type(TypeKind::Map, {std::move(Key), std::move(Val)});
+  }
+  static Type queue(Type Elem) {
+    return Type(TypeKind::Queue, {std::move(Elem)});
+  }
+  static Type var(uint32_t Id) {
+    Type T(TypeKind::Var);
+    T.VarId = Id;
+    return T;
+  }
+
+  TypeKind kind() const { return Kind; }
+  uint32_t varId() const { return VarId; }
+  const std::vector<Type> &params() const { return Params; }
+
+  /// True for the aggregate types whose mutability the paper's analysis
+  /// decides (sets, maps, queues).
+  bool isComplex() const {
+    return Kind == TypeKind::Set || Kind == TypeKind::Map ||
+           Kind == TypeKind::Queue;
+  }
+
+  bool isVar() const { return Kind == TypeKind::Var; }
+
+  /// True if no type variable occurs anywhere in this type.
+  bool isConcrete() const;
+
+  /// True if the variable \p Id occurs in this type (occurs check).
+  bool contains(uint32_t Id) const;
+
+  /// "Int", "Set[Int]", "Map[Int, Float]", "'3" (variables).
+  std::string str() const;
+
+  friend bool operator!=(const Type &A, const Type &B) { return !(A == B); }
+
+private:
+  explicit Type(TypeKind K, std::vector<Type> Params = {})
+      : Kind(K), Params(std::move(Params)) {}
+
+  friend bool operator==(const Type &A, const Type &B);
+
+  TypeKind Kind;
+  uint32_t VarId = 0;
+  std::vector<Type> Params;
+};
+
+/// Structural type equality.
+bool operator==(const Type &A, const Type &B);
+
+} // namespace tessla
+
+#endif // TESSLA_LANG_TYPE_H

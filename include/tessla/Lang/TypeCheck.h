@@ -1,0 +1,34 @@
+//===- tessla/Lang/TypeCheck.h - Stream type inference ---------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type inference and checking over a flat specification. Every stream
+/// gets a type variable; equations contribute unification constraints
+/// (builtin signatures are instantiated per use). On success, the concrete
+/// types are written back into the StreamDefs.
+///
+/// A deliberate restriction: aggregate element/key/value types must be
+/// scalar (no Set[Set[Int]]). Extracting a nested aggregate from inside
+/// another one would create aliasing invisible to the paper's stream-level
+/// analysis; the paper's workloads never nest aggregates either.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_LANG_TYPECHECK_H
+#define TESSLA_LANG_TYPECHECK_H
+
+#include "tessla/Lang/Spec.h"
+#include "tessla/Support/Diagnostics.h"
+
+namespace tessla {
+
+/// Infers and checks stream types, writing results into \p S.
+/// \returns true on success; reports errors through \p Diags otherwise.
+bool typecheck(Spec &S, DiagnosticEngine &Diags);
+
+} // namespace tessla
+
+#endif // TESSLA_LANG_TYPECHECK_H

@@ -1,0 +1,54 @@
+//===- tessla/Lang/TypeUnifier.h - Type unification ------------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// First-order unification over Type terms, used by the type checker to
+/// solve stream types against generic builtin signatures
+/// (Hindley-Milner-style inference restricted to rank-0 stream equations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_LANG_TYPEUNIFIER_H
+#define TESSLA_LANG_TYPEUNIFIER_H
+
+#include "tessla/Lang/Type.h"
+
+#include <unordered_map>
+
+namespace tessla {
+
+/// Maintains a substitution from type variables to types and unifies type
+/// terms against it.
+class TypeUnifier {
+public:
+  /// Allocates a fresh type variable.
+  Type freshVar() { return Type::var(NextVar++); }
+
+  /// Instantiates \p T by renaming the variables 0..k it mentions to fresh
+  /// ones, consistently across one call sequence sharing \p Renaming.
+  /// Builtin signatures use small fixed variable ids; instantiate per use.
+  Type instantiate(const Type &T,
+                   std::unordered_map<uint32_t, Type> &Renaming);
+
+  /// Unifies \p A with \p B, extending the substitution. Returns false on
+  /// clash or occurs-check failure (substitution may be partially
+  /// extended; callers report an error and stop).
+  bool unify(const Type &A, const Type &B);
+
+  /// Applies the substitution exhaustively to \p T.
+  Type apply(const Type &T) const;
+
+private:
+  /// Resolves a variable chain one step at a time to its binding root.
+  Type resolve(Type T) const;
+
+  std::unordered_map<uint32_t, Type> Subst;
+  uint32_t NextVar = 1000; // leave room for signature-local variables
+};
+
+} // namespace tessla
+
+#endif // TESSLA_LANG_TYPEUNIFIER_H

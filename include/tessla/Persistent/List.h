@@ -1,0 +1,121 @@
+//===- tessla/Persistent/List.h - Persistent cons list ---------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Persistent singly-linked (cons) list with structural sharing. O(1) cons,
+/// head and tail; the spine is shared between versions. Building block of
+/// the two-list persistent queue (Persistent/Queue.h) that the paper's
+/// baseline uses for the Queue Window workload (§V-A).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_PERSISTENT_LIST_H
+#define TESSLA_PERSISTENT_LIST_H
+
+#include "tessla/ADT/RefCntPtr.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace tessla {
+
+/// Immutable cons list. Copying a PList is O(1) (shares the spine).
+template <typename T> class PList {
+  struct Node : RefCountedBase<Node> {
+    T Head;
+    RefCntPtr<Node> Tail;
+    size_t Size;
+
+    Node(T Head, RefCntPtr<Node> Tail, size_t Size)
+        : Head(std::move(Head)), Tail(std::move(Tail)), Size(Size) {}
+
+    // Release the spine iteratively: the default (recursive) destruction
+    // of long uniquely-owned chains would overflow the stack.
+    ~Node() {
+      RefCntPtr<Node> Cur = std::move(Tail);
+      while (Cur && Cur.unique()) {
+        RefCntPtr<Node> Next = std::move(Cur->Tail);
+        Cur = std::move(Next); // drops the last ref; Tail already empty
+      }
+    }
+  };
+
+  RefCntPtr<Node> First;
+
+  explicit PList(RefCntPtr<Node> First) : First(std::move(First)) {}
+
+public:
+  /// The empty list.
+  PList() = default;
+
+  bool empty() const { return !First; }
+  size_t size() const { return First ? First->Size : 0; }
+
+  /// Returns a new list with \p Value prepended. O(1).
+  PList cons(T Value) const {
+    return PList(makeRefCnt<Node>(std::move(Value), First, size() + 1));
+  }
+
+  /// First element. Precondition: !empty().
+  const T &head() const {
+    assert(First && "head of empty list");
+    return First->Head;
+  }
+
+  /// List without the first element. Precondition: !empty(). O(1).
+  PList tail() const {
+    assert(First && "tail of empty list");
+    return PList(First->Tail);
+  }
+
+  /// Returns the list reversed. O(n).
+  PList reverse() const {
+    PList Out;
+    for (const Node *N = First.get(); N; N = N->Tail.get())
+      Out = Out.cons(N->Head);
+    return Out;
+  }
+
+  /// Calls \p Fn on each element front to back.
+  template <typename Fn> void forEach(Fn &&Callback) const {
+    for (const Node *N = First.get(); N; N = N->Tail.get())
+      Callback(N->Head);
+  }
+
+  /// Structural equality (element-wise ==). O(n), O(1) when spines shared.
+  friend bool operator==(const PList &A, const PList &B) {
+    const Node *X = A.First.get(), *Y = B.First.get();
+    while (X != Y) {
+      if (!X || !Y || !(X->Head == Y->Head))
+        return false;
+      X = X->Tail.get();
+      Y = Y->Tail.get();
+    }
+    return true;
+  }
+
+  /// Minimal forward iterator (enough for range-for in tests).
+  class iterator {
+    const Node *N = nullptr;
+
+  public:
+    iterator() = default;
+    explicit iterator(const Node *N) : N(N) {}
+    const T &operator*() const { return N->Head; }
+    iterator &operator++() {
+      N = N->Tail.get();
+      return *this;
+    }
+    bool operator==(const iterator &O) const { return N == O.N; }
+  };
+
+  iterator begin() const { return iterator(First.get()); }
+  iterator end() const { return iterator(); }
+};
+
+} // namespace tessla
+
+#endif // TESSLA_PERSISTENT_LIST_H

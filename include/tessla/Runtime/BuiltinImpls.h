@@ -1,0 +1,52 @@
+//===- tessla/Runtime/BuiltinImpls.h - Lifted function eval ----*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluation of built-in lifted functions over runtime values. Every
+/// aggregate-writing builtin has two modes selected by the mutability
+/// analysis:
+///
+///  * persistent (InPlace = false): the argument payload is left
+///    untouched; the result is a fresh handle around the persistent
+///    structure's updated version (path copying);
+///  * destructive (InPlace = true): the mutable payload is updated in
+///    place and the argument handle is returned as the result — the
+///    "destructive update" of §I.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_RUNTIME_BUILTINIMPLS_H
+#define TESSLA_RUNTIME_BUILTINIMPLS_H
+
+#include "tessla/Runtime/Containers.h"
+
+namespace tessla {
+
+/// Collects the first runtime evaluation error (division by zero, missing
+/// map key, empty queue, dynamic type mismatch).
+struct EvalError {
+  bool Failed = false;
+  std::string Message;
+
+  void fail(std::string Msg) {
+    if (!Failed) {
+      Failed = true;
+      Message = std::move(Msg);
+    }
+  }
+};
+
+/// Applies builtin \p Fn to \p Args (array of \p NumArgs pointers;
+/// entries may be null only for builtins with optional presence, i.e.
+/// EventSemantics::FirstAndAnyRest). \p InPlace selects the destructive
+/// mode for aggregate updates and the representation of freshly created
+/// aggregates. On error, sets \p Err and returns unit.
+Value applyBuiltin(BuiltinId Fn, const Value *const *Args, unsigned NumArgs,
+                   bool InPlace, EvalError &Err);
+
+} // namespace tessla
+
+#endif // TESSLA_RUNTIME_BUILTINIMPLS_H

@@ -1,0 +1,90 @@
+//===- tessla/Runtime/Containers.h - Aggregate payloads --------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The aggregate payloads behind Value handles. Each payload is either
+/// persistent (our HAMT / banker's queue — the paper's baseline, safe
+/// under arbitrary sharing) or mutable (hash set/map, deque — the
+/// optimized representation, safe only where the mutability analysis
+/// proved exclusivity). A family of streams uses one representation
+/// consistently (Def. 7 rule 3), so the two never mix within a value's
+/// lifetime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_RUNTIME_CONTAINERS_H
+#define TESSLA_RUNTIME_CONTAINERS_H
+
+#include "tessla/Persistent/HAMT.h"
+#include "tessla/Persistent/Queue.h"
+#include "tessla/Runtime/Value.h"
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tessla {
+
+/// Set payload: one of the two representations is active per IsMutable.
+struct SetData {
+  bool IsMutable;
+  HamtSet<Value, ValueHash> Persistent;
+  std::unordered_set<Value, ValueHash> Mutable;
+
+  explicit SetData(bool IsMutable) : IsMutable(IsMutable) {}
+
+  size_t size() const {
+    return IsMutable ? Mutable.size() : Persistent.size();
+  }
+  bool contains(const Value &V) const {
+    return IsMutable ? Mutable.count(V) != 0 : Persistent.contains(V);
+  }
+  /// Elements in unspecified order.
+  std::vector<Value> items() const;
+};
+
+/// Map payload.
+struct MapData {
+  bool IsMutable;
+  HamtMap<Value, Value, ValueHash> Persistent;
+  std::unordered_map<Value, Value, ValueHash> Mutable;
+
+  explicit MapData(bool IsMutable) : IsMutable(IsMutable) {}
+
+  size_t size() const {
+    return IsMutable ? Mutable.size() : Persistent.size();
+  }
+  /// nullptr if absent. The pointer is invalidated by any update.
+  const Value *find(const Value &Key) const;
+  /// Entries in unspecified order.
+  std::vector<std::pair<Value, Value>> items() const;
+};
+
+/// FIFO queue payload.
+struct QueueData {
+  bool IsMutable;
+  PQueue<Value> Persistent;
+  std::deque<Value> Mutable;
+
+  explicit QueueData(bool IsMutable) : IsMutable(IsMutable) {}
+
+  size_t size() const {
+    return IsMutable ? Mutable.size() : Persistent.size();
+  }
+  bool empty() const { return size() == 0; }
+  /// Elements front (oldest) first.
+  std::vector<Value> items() const;
+};
+
+/// Fresh empty payloads in the requested representation.
+std::shared_ptr<SetData> makeSetData(bool IsMutable);
+std::shared_ptr<MapData> makeMapData(bool IsMutable);
+std::shared_ptr<QueueData> makeQueueData(bool IsMutable);
+
+} // namespace tessla
+
+#endif // TESSLA_RUNTIME_CONTAINERS_H

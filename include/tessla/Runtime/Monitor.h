@@ -1,0 +1,124 @@
+//===- tessla/Runtime/Monitor.h - Monitor execution engine -----*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a compiled MonitorPlan: the calculation section runs the plan
+/// steps in translation order for one timestamp; the triggering section
+/// (§III-B) drives it — once per timestamp with buffered input events,
+/// plus once per firing delay in the gaps between input timestamps.
+///
+/// Usage:
+/// \code
+///   Monitor M(Plan);
+///   M.setOutputHandler([](Time T, StreamId Id, const Value &V) { ... });
+///   M.feed(InputId, 3, Value::integer(7));   // time-ordered
+///   M.feed(InputId, 5, Value::integer(9));
+///   M.finish();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_RUNTIME_MONITOR_H
+#define TESSLA_RUNTIME_MONITOR_H
+
+#include "tessla/Runtime/BuiltinImpls.h"
+#include "tessla/Runtime/MonitorPlan.h"
+
+#include <functional>
+#include <optional>
+
+namespace tessla {
+
+/// One output event (also used for recorded traces).
+struct OutputEvent {
+  Time Ts;
+  StreamId Id;
+  Value V;
+};
+
+/// The monitor engine. Not thread-safe; one instance per trace run.
+class Monitor {
+public:
+  using OutputHandler =
+      std::function<void(Time, StreamId, const Value &)>;
+
+  explicit Monitor(const MonitorPlan &Plan);
+
+  /// Called for every event on an output-marked stream; emission happens
+  /// once per timestamp after the calculation section, in stream
+  /// definition order. The Value reference is *borrowed*: with the
+  /// optimization enabled, mutable aggregates behind it are destructively
+  /// updated at later timestamps — render it immediately or store
+  /// V.deepCopy().
+  void setOutputHandler(OutputHandler Handler) {
+    this->Handler = std::move(Handler);
+  }
+
+  /// Feeds one input event. Events must arrive in non-decreasing
+  /// timestamp order; at most one event per stream and timestamp.
+  /// \returns false if the monitor already failed or the event was
+  /// rejected (the error message tells why).
+  bool feed(StreamId Input, Time Ts, Value V);
+
+  /// Signals end of input (t = infinity in §III-B): processes the pending
+  /// timestamp and drains scheduled delays. \p Horizon bounds the drain
+  /// (inclusive) — required for self-resetting periodic delays, which
+  /// would otherwise fire forever.
+  void finish(std::optional<Time> Horizon = std::nullopt);
+
+  bool failed() const { return Err.Failed; }
+  const std::string &errorMessage() const { return Err.Message; }
+
+  /// Number of calculation-section executions so far (statistics).
+  uint64_t calcRuns() const { return NumCalcRuns; }
+  /// Number of emitted output events so far.
+  uint64_t outputEvents() const { return NumOutputs; }
+
+private:
+  const MonitorPlan &Plan;
+  OutputHandler Handler;
+  EvalError Err;
+
+  // Current-timestamp value slots (the paper's per-stream variables).
+  std::vector<Value> Cur;
+  std::vector<char> Present;
+  std::vector<StreamId> Touched;
+
+  // *_last slots for streams used as first argument of a last.
+  std::vector<Value> LastVal;
+  std::vector<char> LastInit;
+
+  // *_nextTs slots per delay (indexed like Plan.delays()).
+  std::vector<Time> NextTs;
+  std::vector<char> NextTsSet;
+
+  Time PendingTs = 0;
+  bool CalcDoneForPending = false;
+  bool Finished = false;
+
+  uint64_t NumCalcRuns = 0;
+  uint64_t NumOutputs = 0;
+
+  void setValue(StreamId Id, Value V);
+  void runCalc(Time Ts);
+  /// Runs the pending timestamp's calculation and all delay firings
+  /// strictly before \p T.
+  void flushBefore(Time T);
+  std::optional<Time> minNextDelay() const;
+  void failAt(Time Ts, StreamId Id, const std::string &Message);
+};
+
+/// Runs \p Events (already time-ordered) through a fresh monitor over
+/// \p Plan, collecting outputs. Convenience for tests and benchmarks.
+std::vector<OutputEvent>
+runMonitor(const MonitorPlan &Plan,
+           const std::vector<std::tuple<StreamId, Time, Value>> &Events,
+           std::optional<Time> Horizon = std::nullopt,
+           std::string *ErrorOut = nullptr);
+
+} // namespace tessla
+
+#endif // TESSLA_RUNTIME_MONITOR_H

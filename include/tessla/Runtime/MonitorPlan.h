@@ -1,0 +1,81 @@
+//===- tessla/Runtime/MonitorPlan.h - Compiled monitor plan ----*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executable form of a specification: the calculation section's steps
+/// in translation order (§III-A), plus the bookkeeping the triggering
+/// section needs (last-value slots, delay scheduling, outputs). This is
+/// the interpreter analogue of the paper's generated Scala code; the
+/// CodeGen library emits the same plan as C++ source instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_RUNTIME_MONITORPLAN_H
+#define TESSLA_RUNTIME_MONITORPLAN_H
+
+#include "tessla/Analysis/Pipeline.h"
+#include "tessla/Runtime/Value.h"
+
+namespace tessla {
+
+/// One statement of the calculation section.
+struct PlanStep {
+  StreamId Id;
+  StreamKind Kind;
+  BuiltinId Fn = BuiltinId::Merge;          // Lift only
+  EventSemantics Events = EventSemantics::All; // Lift only (cached)
+  /// True when this stream's aggregate family is mutable: aggregate
+  /// updates run destructively and fresh aggregates use the mutable
+  /// representation.
+  bool InPlace = false;
+  std::vector<StreamId> Args;
+  Value ConstVal; // Const steps (also Unit's payload)
+};
+
+/// A delay stream with its operand slots.
+struct DelayInfo {
+  StreamId Id;
+  StreamId DelaysArg;
+  StreamId ResetArg;
+};
+
+/// Compiled plan; shares ownership of the spec with the analysis result.
+class MonitorPlan {
+public:
+  /// Compiles \p Analysis' spec using its translation order and
+  /// mutability set. Pass a baseline AnalysisResult (Optimize=false) for
+  /// the paper's all-persistent reference monitor.
+  static MonitorPlan compile(const AnalysisResult &Analysis);
+
+  const Spec &spec() const { return *S; }
+  const std::vector<PlanStep> &steps() const { return Steps; }
+  /// Streams used as the first argument of some last (need a *_last slot).
+  const std::vector<StreamId> &lastValueSources() const {
+    return LastSources;
+  }
+  const std::vector<DelayInfo> &delays() const { return Delays; }
+  const std::vector<StreamId> &outputs() const { return Outputs; }
+  uint32_t numStreams() const { return S->numStreams(); }
+
+  /// Number of steps executing destructive aggregate updates (stats).
+  uint32_t inPlaceStepCount() const;
+
+  /// Renders the calculation section's steps, one per line, with the
+  /// in-place markers — the interpreter-side analogue of reading the
+  /// generated code.
+  std::string str() const;
+
+private:
+  std::shared_ptr<const Spec> S;
+  std::vector<PlanStep> Steps;
+  std::vector<StreamId> LastSources;
+  std::vector<DelayInfo> Delays;
+  std::vector<StreamId> Outputs;
+};
+
+} // namespace tessla
+
+#endif // TESSLA_RUNTIME_MONITORPLAN_H

@@ -1,0 +1,83 @@
+//===- tessla/Runtime/TraceGen.h - Synthetic workload traces ---*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthetic trace generators for the paper's evaluation
+/// (§V). The synthetic workloads generate random input data "directly by
+/// the generated monitor" in the paper; here the generators produce the
+/// equivalent event streams:
+///
+///  * randomInts — uniform values driving Seen Set / Map Window / Queue
+///    Window; the value domain bounds the structure size.
+///  * dbLog — substitute for the Nokia RV-competition database log
+///    (insert/delete/access operations over record ids).
+///  * powerSignal — substitute for the ReNuBiL power-consumption log
+///    (base load + daily sinusoid + noise + injected peaks).
+///
+/// All generators are pure functions of their seeds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_RUNTIME_TRACEGEN_H
+#define TESSLA_RUNTIME_TRACEGEN_H
+
+#include "tessla/Runtime/TraceIO.h"
+
+namespace tessla {
+namespace tracegen {
+
+/// \p Count uniform values from [0, Domain) on stream \p Id at timestamps
+/// 1, 2, 3, ...
+std::vector<TraceEvent> randomInts(StreamId Id, size_t Count,
+                                   int64_t Domain, uint64_t Seed);
+
+/// Configuration of the synthetic database-operation log.
+struct DbLogConfig {
+  size_t Count = 100000;      ///< total operations (one per timestamp)
+  double InsertProb = 0.45;   ///< P(insert); remainder splits below
+  double DeleteProb = 0.10;   ///< P(delete existing record)
+  double BadAccessProb = 0.01; ///< P(access references a missing record)
+  uint64_t Seed = 1;
+};
+
+/// Insert/delete/access operations over record ids: inserts mint fresh
+/// ids, deletes and accesses draw from the live set (accesses occasionally
+/// miss, producing the violations DBAccessConstraint reports). Exactly
+/// one operation per timestamp.
+std::vector<TraceEvent> dbLog(StreamId Insert, StreamId Delete,
+                              StreamId Access, const DbLogConfig &Config);
+
+/// Two-table insert log for DBTimeConstraint: db2 inserts an id, and db3
+/// inserts usually follow within \p MaxLag time units (violations appear
+/// with \p LateProb).
+struct DbPairConfig {
+  size_t Count = 100000;
+  Time MaxLag = 60;
+  double LateProb = 0.02;
+  uint64_t Seed = 1;
+};
+std::vector<TraceEvent> dbPairLog(StreamId Db2, StreamId Db3,
+                                  const DbPairConfig &Config);
+
+/// Configuration of the synthetic power-consumption signal.
+struct PowerConfig {
+  size_t Count = 100000;   ///< samples
+  Time Period = 60;        ///< sampling period (time units)
+  double Base = 40.0;      ///< base load (kW)
+  double DailyAmp = 15.0;  ///< daily sinusoid amplitude
+  double Noise = 2.0;      ///< gaussian noise sigma
+  double PeakProb = 0.001; ///< probability of an injected peak per sample
+  double PeakScale = 3.0;  ///< peak multiplier
+  uint64_t Seed = 1;
+};
+
+/// Float samples on stream \p Id at timestamps Period, 2*Period, ...
+std::vector<TraceEvent> powerSignal(StreamId Id, const PowerConfig &Config);
+
+} // namespace tracegen
+} // namespace tessla
+
+#endif // TESSLA_RUNTIME_TRACEGEN_H

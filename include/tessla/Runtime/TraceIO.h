@@ -1,0 +1,51 @@
+//===- tessla/Runtime/TraceIO.h - Textual event traces ---------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reading and writing TeSSLa-style textual traces, one event per line:
+///
+/// \code
+///   0: i = 7
+///   3: i = 9
+///   3: ready = ()
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_RUNTIME_TRACEIO_H
+#define TESSLA_RUNTIME_TRACEIO_H
+
+#include "tessla/Runtime/Monitor.h"
+#include "tessla/Support/Diagnostics.h"
+
+#include <tuple>
+
+namespace tessla {
+
+/// One parsed/generated input event.
+using TraceEvent = std::tuple<StreamId, Time, Value>;
+
+/// Parses a textual trace against \p S's input streams. Events must be
+/// listed in non-decreasing timestamp order (checked by the monitor, not
+/// here). Lines that are empty or start with '#'/"--" are skipped.
+/// Returns nullopt and reports through \p Diags on malformed lines or
+/// unknown stream names.
+std::optional<std::vector<TraceEvent>>
+parseTrace(std::string_view Text, const Spec &S, DiagnosticEngine &Diags);
+
+/// Parses one scalar value literal (42, 1.5, true, "s", ()).
+std::optional<Value> parseValueLiteral(std::string_view Text);
+
+/// Renders one output event as "ts: name = value".
+std::string formatEvent(const Spec &S, const OutputEvent &E);
+
+/// Renders a whole output trace, one event per line.
+std::string formatOutputs(const Spec &S,
+                          const std::vector<OutputEvent> &Events);
+
+} // namespace tessla
+
+#endif // TESSLA_RUNTIME_TRACEIO_H

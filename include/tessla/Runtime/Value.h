@@ -1,0 +1,137 @@
+//===- tessla/Runtime/Value.h - Runtime stream values ----------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic value carried by one stream event: a scalar (unit, bool,
+/// int, float, string) or a handle to an aggregate (set, map, queue).
+/// Aggregate payloads live behind shared_ptr handles so that values can be
+/// passed between streams in O(1); whether a handle's payload is a
+/// persistent structure (copied-on-update, baseline) or a mutable one
+/// (updated in place, optimized) is decided per stream family by the
+/// aggregate update analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_RUNTIME_VALUE_H
+#define TESSLA_RUNTIME_VALUE_H
+
+#include "tessla/Lang/Spec.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+
+namespace tessla {
+
+struct SetData;
+struct MapData;
+struct QueueData;
+
+/// Runtime value. Cheap to copy (scalars by value, aggregates by handle).
+class Value {
+public:
+  enum class Kind : uint8_t { Unit, Bool, Int, Float, String, Set, Map,
+                              Queue };
+
+  /// Defaults to the unit value.
+  Value() = default;
+  ~Value();
+  Value(const Value &) = default;
+  Value(Value &&) noexcept = default;
+  Value &operator=(const Value &) = default;
+  Value &operator=(Value &&) noexcept = default;
+
+  static Value unit() { return Value(); }
+  static Value boolean(bool B) { return Value(Payload(B)); }
+  static Value integer(int64_t I) { return Value(Payload(I)); }
+  static Value floating(double D) { return Value(Payload(D)); }
+  static Value string(std::string S) { return Value(Payload(std::move(S))); }
+  static Value set(std::shared_ptr<SetData> D) {
+    return Value(Payload(std::move(D)));
+  }
+  static Value map(std::shared_ptr<MapData> D) {
+    return Value(Payload(std::move(D)));
+  }
+  static Value queue(std::shared_ptr<QueueData> D) {
+    return Value(Payload(std::move(D)));
+  }
+
+  /// Builds a value from a specification literal.
+  static Value fromLiteral(const ConstantLit &Lit);
+
+  Kind kind() const { return static_cast<Kind>(V.index()); }
+  bool isAggregate() const {
+    return kind() == Kind::Set || kind() == Kind::Map ||
+           kind() == Kind::Queue;
+  }
+
+  bool getBool() const { return std::get<bool>(V); }
+  int64_t getInt() const { return std::get<int64_t>(V); }
+  double getFloat() const { return std::get<double>(V); }
+  const std::string &getString() const { return std::get<std::string>(V); }
+  const std::shared_ptr<SetData> &getSet() const {
+    return std::get<std::shared_ptr<SetData>>(V);
+  }
+  const std::shared_ptr<MapData> &getMap() const {
+    return std::get<std::shared_ptr<MapData>>(V);
+  }
+  const std::shared_ptr<QueueData> &getQueue() const {
+    return std::get<std::shared_ptr<QueueData>>(V);
+  }
+
+  /// Returns a value unaffected by future destructive updates: mutable
+  /// aggregate payloads are cloned, persistent ones (immutable by
+  /// construction) and scalars are shared. Required when storing values
+  /// received from a monitor output handler beyond the callback.
+  Value deepCopy() const;
+
+  /// Deep structural equality (aggregates compared element-wise,
+  /// independent of representation).
+  friend bool operator==(const Value &A, const Value &B);
+  friend bool operator!=(const Value &A, const Value &B) {
+    return !(A == B);
+  }
+
+  /// Total order across all values: by kind, then by content. Gives
+  /// aggregates a canonical (sorted) rendering so optimized and baseline
+  /// monitors print byte-identical traces.
+  friend int compareValues(const Value &A, const Value &B);
+
+  /// Deep hash consistent with operator==.
+  size_t hash() const;
+
+  /// Canonical rendering: 42, 1.5, true, "s", (), {1, 2}, {1 -> 2},
+  /// <1, 2, 3> (queue front first).
+  std::string str() const;
+
+private:
+  using Payload =
+      std::variant<std::monostate, bool, int64_t, double, std::string,
+                   std::shared_ptr<SetData>, std::shared_ptr<MapData>,
+                   std::shared_ptr<QueueData>>;
+
+  explicit Value(Payload P) : V(std::move(P)) {}
+
+  Payload V;
+};
+
+/// Deep structural equality across representations.
+bool operator==(const Value &A, const Value &B);
+/// Total order over values (see the friend declaration above).
+int compareValues(const Value &A, const Value &B);
+
+/// Hash functor for containers of Values.
+struct ValueHash {
+  size_t operator()(const Value &V) const { return V.hash(); }
+};
+
+/// Human-readable kind name ("Int", "Set", ...).
+std::string_view valueKindName(Value::Kind K);
+
+} // namespace tessla
+
+#endif // TESSLA_RUNTIME_VALUE_H

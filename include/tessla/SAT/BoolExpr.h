@@ -1,0 +1,104 @@
+//===- tessla/SAT/BoolExpr.h - Positive boolean formulas -------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hash-consed positive (negation-free) boolean formulas over numbered
+/// atoms. The triggering-behavior approximation of §IV-C maps every stream
+/// to such a formula (ev'); the aliasing analysis then asks whether
+/// ev'(u) -> ev'(v) is a tautology.
+///
+/// Formulas are built through a BoolExprContext that maximally shares
+/// structurally identical subterms, so the compositional construction of
+/// ev' over a specification yields a DAG, not a tree — the paper notes the
+/// formulas "may have an exponential size in terms of the specification
+/// length in the worst case" when expanded; sharing keeps construction
+/// linear and defers the cost to the (coNP-complete) implication check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_SAT_BOOLEXPR_H
+#define TESSLA_SAT_BOOLEXPR_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tessla {
+
+/// Opaque handle to a formula node inside a BoolExprContext.
+using BoolExprRef = uint32_t;
+
+/// Node kind of a positive boolean formula.
+enum class BoolExprKind : uint8_t { False, True, Atom, And, Or };
+
+/// Arena and uniquing table for positive boolean formulas.
+///
+/// Construction applies cheap local simplifications: neutral/absorbing
+/// constants, flattening of nested conjunction/disjunction, duplicate-child
+/// removal, and child sorting (for canonical form). It does NOT apply
+/// absorption or distribution — those are the SAT solver's job.
+class BoolExprContext {
+public:
+  BoolExprContext();
+
+  BoolExprRef falseExpr() const { return FalseRef; }
+  BoolExprRef trueExpr() const { return TrueRef; }
+
+  /// Returns the unique node for atom \p AtomId.
+  BoolExprRef atom(uint32_t AtomId);
+
+  /// Conjunction of \p Children (empty -> true).
+  BoolExprRef conj(std::vector<BoolExprRef> Children);
+  BoolExprRef conj(BoolExprRef A, BoolExprRef B) { return conj({A, B}); }
+
+  /// Disjunction of \p Children (empty -> false).
+  BoolExprRef disj(std::vector<BoolExprRef> Children);
+  BoolExprRef disj(BoolExprRef A, BoolExprRef B) { return disj({A, B}); }
+
+  BoolExprKind kind(BoolExprRef E) const { return Nodes[E].Kind; }
+  /// Atom id of an Atom node.
+  uint32_t atomId(BoolExprRef E) const;
+  /// Children of an And/Or node.
+  const std::vector<BoolExprRef> &children(BoolExprRef E) const;
+
+  /// Evaluates \p E under \p Assignment (indexed by atom id; missing atoms
+  /// read as false).
+  bool evaluate(BoolExprRef E, const std::vector<bool> &Assignment) const;
+
+  /// Collects the distinct atom ids occurring in \p E, ascending.
+  std::vector<uint32_t> atoms(BoolExprRef E) const;
+
+  /// Number of distinct DAG nodes reachable from \p E (incl. E itself).
+  size_t dagSize(BoolExprRef E) const;
+
+  /// Renders \p E using \p AtomName for atoms (defaults to "a<i>").
+  std::string
+  str(BoolExprRef E,
+      const std::vector<std::string> *AtomNames = nullptr) const;
+
+  size_t numNodes() const { return Nodes.size(); }
+
+private:
+  struct Node {
+    BoolExprKind Kind;
+    uint32_t AtomId = 0;             // Atom only
+    std::vector<BoolExprRef> Kids;   // And/Or only
+  };
+
+  BoolExprRef internNary(BoolExprKind K, std::vector<BoolExprRef> Children);
+
+  std::vector<Node> Nodes;
+  BoolExprRef FalseRef = 0;
+  BoolExprRef TrueRef = 1;
+  std::unordered_map<uint32_t, BoolExprRef> AtomCache;
+  // Uniquing key: kind byte followed by sorted child refs.
+  std::unordered_map<std::string, BoolExprRef> NaryCache;
+};
+
+} // namespace tessla
+
+#endif // TESSLA_SAT_BOOLEXPR_H

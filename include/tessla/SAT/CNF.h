@@ -1,0 +1,74 @@
+//===- tessla/SAT/CNF.h - CNF and Tseitin encoding -------------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Clause database plus the Tseitin transformation from positive boolean
+/// formulas. Implication validity of positive formulas (the paper's
+/// coNP-complete triggering check, §IV-C/E2) is decided by encoding
+/// f AND NOT g and asking the DPLL solver for unsatisfiability.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_SAT_CNF_H
+#define TESSLA_SAT_CNF_H
+
+#include "tessla/SAT/BoolExpr.h"
+
+#include <vector>
+
+namespace tessla {
+
+/// A CNF literal: variable index (1-based) with sign; -v is the negation
+/// of v.
+using Lit = int32_t;
+
+/// Conjunction of clauses over variables 1..NumVars.
+struct CNF {
+  uint32_t NumVars = 0;
+  std::vector<std::vector<Lit>> Clauses;
+
+  /// Allocates a fresh variable and returns its (positive) index.
+  uint32_t newVar() { return ++NumVars; }
+
+  void addClause(std::vector<Lit> Clause) {
+    Clauses.push_back(std::move(Clause));
+  }
+  void addUnit(Lit L) { Clauses.push_back({L}); }
+  void addBinary(Lit A, Lit B) { Clauses.push_back({A, B}); }
+};
+
+/// Incremental Tseitin encoder mapping BoolExpr DAG nodes to CNF variables.
+///
+/// Atoms of the formula context are mapped consistently across multiple
+/// encode() calls, so two formulas encoded into the same TseitinEncoder
+/// share their atom variables — exactly what the implication check needs.
+class TseitinEncoder {
+public:
+  explicit TseitinEncoder(const BoolExprContext &Ctx) : Ctx(Ctx) {}
+
+  /// Encodes \p E and returns the CNF literal that is equivalent to E.
+  Lit encode(BoolExprRef E);
+
+  CNF &cnf() { return Formula; }
+  const CNF &cnf() const { return Formula; }
+
+  /// CNF variable backing atom \p AtomId, allocating it if necessary.
+  uint32_t atomVar(uint32_t AtomId);
+
+private:
+  const BoolExprContext &Ctx;
+  CNF Formula;
+  std::unordered_map<BoolExprRef, Lit> NodeLit;
+  std::unordered_map<uint32_t, uint32_t> AtomVars;
+  // Lazily created variable fixed to true (for True/False leaves).
+  uint32_t TrueVar = 0;
+
+  Lit trueLit();
+};
+
+} // namespace tessla
+
+#endif // TESSLA_SAT_CNF_H

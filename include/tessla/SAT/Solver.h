@@ -1,0 +1,77 @@
+//===- tessla/SAT/Solver.h - DPLL SAT solver -------------------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact DPLL solver (two-watched-literal unit propagation,
+/// chronological backtracking) and the positive-formula implication check
+/// built on top of it. Instances coming from triggering analyses are tiny;
+/// DPLL without clause learning is more than sufficient and easy to audit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_SAT_SOLVER_H
+#define TESSLA_SAT_SOLVER_H
+
+#include "tessla/SAT/CNF.h"
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace tessla {
+
+/// Result of a SAT query.
+enum class SatResult : uint8_t { Sat, Unsat };
+
+/// DPLL solver. Construct, then call solve(); model() is valid after a
+/// Sat answer.
+class SatSolver {
+public:
+  /// Decides satisfiability of \p Formula.
+  SatResult solve(const CNF &Formula);
+
+  /// Variable assignment of the last Sat answer, indexed by variable
+  /// (entry 0 unused).
+  const std::vector<bool> &model() const { return Model; }
+
+  /// Number of decisions made in the last solve() — exposed for the
+  /// compile-time ablation benchmark.
+  uint64_t lastDecisions() const { return Decisions; }
+
+private:
+  std::vector<bool> Model;
+  uint64_t Decisions = 0;
+};
+
+/// Decides tautology of the implication F -> G for positive formulas via
+/// UNSAT(F & !G), with syntactic fast paths. Caches results per (F, G)
+/// pair, as the aliasing analysis re-queries the same pairs while walking
+/// paths (§IV-E steps 2-3).
+class ImplicationChecker {
+public:
+  explicit ImplicationChecker(const BoolExprContext &Ctx) : Ctx(Ctx) {}
+
+  /// Returns true iff F -> G holds under every atom assignment.
+  bool implies(BoolExprRef F, BoolExprRef G);
+
+  /// Queries answered by the syntactic fast path vs. full SAT (for the
+  /// ablation benchmark).
+  uint64_t fastPathHits() const { return FastHits; }
+  uint64_t satQueries() const { return SatQueries; }
+
+private:
+  const BoolExprContext &Ctx;
+  std::unordered_map<uint64_t, bool> Cache;
+  uint64_t FastHits = 0;
+  uint64_t SatQueries = 0;
+
+  std::optional<bool> syntacticCheck(BoolExprRef F, BoolExprRef G) const;
+};
+
+} // namespace tessla
+
+#endif // TESSLA_SAT_SOLVER_H

@@ -1,0 +1,47 @@
+//===- tessla/Support/Format.h - Small string helpers ----------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal string formatting helpers shared across the library: printf-style
+/// formatting into std::string, joining, and number rendering used by trace
+/// I/O and the code generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_SUPPORT_FORMAT_H
+#define TESSLA_SUPPORT_FORMAT_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tessla {
+
+/// printf-style formatting that returns a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins \p Parts with \p Sep in between ("a, b, c" style).
+std::string join(const std::vector<std::string> &Parts, std::string_view Sep);
+
+/// Renders a double so that it round-trips and prints integral values
+/// without a trailing ".0"-explosion ("1.5", "2", "0.25").
+std::string formatDouble(double V);
+
+/// Escapes a string for inclusion in double quotes ("a\"b" -> a\"b, with
+/// \n, \t, \\ handled).
+std::string escapeString(std::string_view S);
+
+/// Returns true and writes to \p Out if \p S parses completely as a signed
+/// 64-bit integer.
+bool parseInt64(std::string_view S, int64_t &Out);
+
+/// Returns true and writes to \p Out if \p S parses completely as a double.
+bool parseDouble(std::string_view S, double &Out);
+
+} // namespace tessla
+
+#endif // TESSLA_SUPPORT_FORMAT_H

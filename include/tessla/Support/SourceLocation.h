@@ -1,0 +1,50 @@
+//===- tessla/Support/SourceLocation.h - Source positions ------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+// Reproduction of "Aggregate Update Problem for Multi-clocked Dataflow
+// Languages" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight line/column positions used by the lexer, parser and
+/// diagnostics. Lines and columns are 1-based; a default-constructed
+/// location is "unknown".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_SUPPORT_SOURCELOCATION_H
+#define TESSLA_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+#include <string>
+
+namespace tessla {
+
+/// A position in a specification source text.
+struct SourceLocation {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  constexpr SourceLocation() = default;
+  constexpr SourceLocation(uint32_t Line, uint32_t Column)
+      : Line(Line), Column(Column) {}
+
+  /// Returns true unless this is the unknown location.
+  constexpr bool isValid() const { return Line != 0; }
+
+  /// Renders "line:col", or "<unknown>" for the unknown location.
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+
+  friend constexpr bool operator==(SourceLocation A, SourceLocation B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+};
+
+} // namespace tessla
+
+#endif // TESSLA_SUPPORT_SOURCELOCATION_H

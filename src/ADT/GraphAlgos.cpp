@@ -1,0 +1,163 @@
+//===- ADT/GraphAlgos.cpp ---------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/ADT/GraphAlgos.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+using namespace tessla;
+
+bool tessla::topologicalSort(const Adjacency &Adj,
+                             std::vector<uint32_t> &Order) {
+  uint32_t N = static_cast<uint32_t>(Adj.size());
+  Order.clear();
+  Order.reserve(N);
+
+  std::vector<uint32_t> InDegree(N, 0);
+  for (const auto &Succs : Adj)
+    for (uint32_t V : Succs)
+      ++InDegree[V];
+
+  std::priority_queue<uint32_t, std::vector<uint32_t>, std::greater<>> Ready;
+  for (uint32_t U = 0; U != N; ++U)
+    if (InDegree[U] == 0)
+      Ready.push(U);
+
+  while (!Ready.empty()) {
+    uint32_t U = Ready.top();
+    Ready.pop();
+    Order.push_back(U);
+    for (uint32_t V : Adj[U])
+      if (--InDegree[V] == 0)
+        Ready.push(V);
+  }
+  return Order.size() == N;
+}
+
+std::vector<uint32_t> tessla::findCycle(const Adjacency &Adj) {
+  uint32_t N = static_cast<uint32_t>(Adj.size());
+  // 0 = white, 1 = on stack (gray), 2 = done (black).
+  std::vector<uint8_t> Color(N, 0);
+  // DFS stack of (node, next successor index). Iterative to survive deep
+  // graphs.
+  std::vector<std::pair<uint32_t, size_t>> Stack;
+  std::vector<uint32_t> Path; // gray nodes in stack order
+
+  for (uint32_t Root = 0; Root != N; ++Root) {
+    if (Color[Root] != 0)
+      continue;
+    Stack.push_back({Root, 0});
+    Color[Root] = 1;
+    Path.push_back(Root);
+    while (!Stack.empty()) {
+      auto &[U, NextIdx] = Stack.back();
+      if (NextIdx == Adj[U].size()) {
+        Color[U] = 2;
+        Path.pop_back();
+        Stack.pop_back();
+        continue;
+      }
+      uint32_t V = Adj[U][NextIdx++];
+      if (Color[V] == 1) {
+        // Found a back edge U -> V; the cycle is the path suffix from V.
+        auto It = std::find(Path.begin(), Path.end(), V);
+        assert(It != Path.end() && "gray node must be on path");
+        return std::vector<uint32_t>(It, Path.end());
+      }
+      if (Color[V] == 0) {
+        Color[V] = 1;
+        Path.push_back(V);
+        Stack.push_back({V, 0});
+      }
+    }
+  }
+  return {};
+}
+
+std::vector<std::vector<uint32_t>>
+tessla::stronglyConnectedComponents(const Adjacency &Adj) {
+  uint32_t N = static_cast<uint32_t>(Adj.size());
+  constexpr uint32_t Undef = ~0u;
+  std::vector<uint32_t> Index(N, Undef), LowLink(N, 0);
+  std::vector<bool> OnStack(N, false);
+  std::vector<uint32_t> TarjanStack;
+  std::vector<std::vector<uint32_t>> Components;
+  uint32_t NextIndex = 0;
+
+  // Iterative Tarjan: frames of (node, next successor index).
+  std::vector<std::pair<uint32_t, size_t>> Frames;
+  for (uint32_t Root = 0; Root != N; ++Root) {
+    if (Index[Root] != Undef)
+      continue;
+    Frames.push_back({Root, 0});
+    while (!Frames.empty()) {
+      auto &[U, NextIdx] = Frames.back();
+      if (NextIdx == 0) {
+        Index[U] = LowLink[U] = NextIndex++;
+        TarjanStack.push_back(U);
+        OnStack[U] = true;
+      }
+      bool Recursed = false;
+      while (NextIdx < Adj[U].size()) {
+        uint32_t V = Adj[U][NextIdx++];
+        if (Index[V] == Undef) {
+          Frames.push_back({V, 0});
+          Recursed = true;
+          break;
+        }
+        if (OnStack[V])
+          LowLink[U] = std::min(LowLink[U], Index[V]);
+      }
+      if (Recursed)
+        continue;
+      if (LowLink[U] == Index[U]) {
+        std::vector<uint32_t> Component;
+        for (;;) {
+          uint32_t W = TarjanStack.back();
+          TarjanStack.pop_back();
+          OnStack[W] = false;
+          Component.push_back(W);
+          if (W == U)
+            break;
+        }
+        std::sort(Component.begin(), Component.end());
+        Components.push_back(std::move(Component));
+      }
+      uint32_t Finished = U;
+      Frames.pop_back();
+      if (!Frames.empty())
+        LowLink[Frames.back().first] =
+            std::min(LowLink[Frames.back().first], LowLink[Finished]);
+    }
+  }
+  return Components;
+}
+
+std::vector<bool> tessla::reachableFrom(const Adjacency &Adj, uint32_t Start) {
+  std::vector<bool> Seen(Adj.size(), false);
+  std::vector<uint32_t> Worklist{Start};
+  Seen[Start] = true;
+  while (!Worklist.empty()) {
+    uint32_t U = Worklist.back();
+    Worklist.pop_back();
+    for (uint32_t V : Adj[U])
+      if (!Seen[V]) {
+        Seen[V] = true;
+        Worklist.push_back(V);
+      }
+  }
+  return Seen;
+}
+
+Adjacency tessla::reverseGraph(const Adjacency &Adj) {
+  Adjacency Rev(Adj.size());
+  for (uint32_t U = 0, N = static_cast<uint32_t>(Adj.size()); U != N; ++U)
+    for (uint32_t V : Adj[U])
+      Rev[V].push_back(U);
+  return Rev;
+}

@@ -1,0 +1,60 @@
+//===- ADT/UnionFind.cpp ----------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/ADT/UnionFind.h"
+
+#include <cassert>
+
+using namespace tessla;
+
+void UnionFind::grow(uint32_t NumElements) {
+  uint32_t Old = size();
+  if (NumElements <= Old)
+    return;
+  Parent.resize(NumElements);
+  Size.resize(NumElements, 1);
+  for (uint32_t I = Old; I != NumElements; ++I)
+    Parent[I] = I;
+  NumSets += NumElements - Old;
+}
+
+uint32_t UnionFind::find(uint32_t X) const {
+  assert(X < Parent.size() && "element out of range");
+  uint32_t Root = X;
+  while (Parent[Root] != Root)
+    Root = Parent[Root];
+  // Path compression.
+  while (Parent[X] != Root) {
+    uint32_t Next = Parent[X];
+    Parent[X] = Root;
+    X = Next;
+  }
+  return Root;
+}
+
+uint32_t UnionFind::unite(uint32_t A, uint32_t B) {
+  uint32_t RA = find(A), RB = find(B);
+  if (RA == RB)
+    return RA;
+  // Union by size, tie broken toward the smaller index for determinism.
+  if (Size[RA] < Size[RB] || (Size[RA] == Size[RB] && RB < RA))
+    std::swap(RA, RB);
+  Parent[RB] = RA;
+  Size[RA] += Size[RB];
+  --NumSets;
+  return RA;
+}
+
+std::vector<std::vector<uint32_t>> UnionFind::groups() const {
+  std::vector<std::vector<uint32_t>> ByRoot(size());
+  for (uint32_t I = 0, E = size(); I != E; ++I)
+    ByRoot[find(I)].push_back(I);
+  std::vector<std::vector<uint32_t>> Out;
+  for (auto &G : ByRoot)
+    if (!G.empty())
+      Out.push_back(std::move(G));
+  return Out;
+}

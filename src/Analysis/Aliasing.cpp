@@ -1,0 +1,192 @@
+//===- Analysis/Aliasing.cpp ------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Analysis/Aliasing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace tessla;
+
+namespace {
+
+/// Collects all nodes that reach \p Start in \p Rev (including Start).
+std::vector<StreamId> collectReachable(const Adjacency &Adj,
+                                       StreamId Start) {
+  std::vector<bool> Seen = reachableFrom(Adj, Start);
+  std::vector<StreamId> Out;
+  for (StreamId V = 0; V != Seen.size(); ++V)
+    if (Seen[V])
+      Out.push_back(V);
+  return Out;
+}
+
+/// Detects a cycle within the subgraph of \p Adj induced by \p Region.
+bool regionHasCycle(const Adjacency &Adj, const std::vector<bool> &Region) {
+  Adjacency Induced(Adj.size());
+  for (StreamId U = 0; U != Adj.size(); ++U) {
+    if (!Region[U])
+      continue;
+    for (StreamId V : Adj[U])
+      if (Region[V])
+        Induced[U].push_back(V);
+  }
+  return !findCycle(Induced).empty();
+}
+
+} // namespace
+
+bool AliasAnalysis::safeOriented(const LastSeq &Long, const LastSeq &Short) {
+  if (Long.size() < Short.size() + 1)
+    return false;
+  // All lasts on the shorter path must be non-replicating: a replicating
+  // last could re-emit the value later, letting the longer path's copy
+  // catch up (Def. 6, second condition).
+  for (StreamId L : Short)
+    if (Triggers.isReplicatingLast(L))
+      return false;
+  // Greedy increasing matching of cut points: for the i-th last of the
+  // shorter path find the earliest unused last of the longer path whose
+  // events imply it (ev(u_i) subset of ev(v_i)). One last of the longer
+  // path must remain after the final match — the extra `last` that keeps
+  // the longer path strictly behind.
+  size_t J = 0;
+  for (size_t I = 0; I != Short.size(); ++I) {
+    for (;; ++J) {
+      if (J + (Short.size() - I) > Long.size() - 1)
+        return false; // not enough lasts left (incl. the trailing one)
+      if (Triggers.implies(Long[J], Short[I])) {
+        ++J;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+bool AliasAnalysis::safePair(const LastSeq &A, const LastSeq &B) {
+  if (A.size() > B.size())
+    return safeOriented(A, B);
+  if (B.size() > A.size())
+    return safeOriented(B, A);
+  // Equal last counts: both paths deliver the common ancestor's value at
+  // potentially the same timestamps.
+  return false;
+}
+
+const AliasAnalysis::Result &AliasAnalysis::compute(StreamId U) {
+  auto It = Cache.find(U);
+  if (It != Cache.end())
+    return It->second;
+  Result R;
+
+  const Adjacency &Fwd = G.passLastAdjacency();
+  const Adjacency &Rev = G.passLastReverse();
+
+  // Common ancestors are exactly the nodes that reach U via Pass/Last
+  // edges (including U itself with the empty path).
+  std::vector<StreamId> UpSet = collectReachable(Rev, U);
+
+  // The whole region touched: ancestors plus everything they reach.
+  std::vector<bool> Region(G.numNodes(), false);
+  for (StreamId C : UpSet)
+    for (StreamId V : collectReachable(Fwd, C))
+      Region[V] = true;
+  for (StreamId C : UpSet)
+    Region[C] = true;
+
+  std::set<StreamId> Aliases;
+  Aliases.insert(U); // a variable always aliases itself
+
+  if (regionHasCycle(Fwd, Region)) {
+    // Recursive hold pattern: looping paths would accumulate unbounded
+    // last counts; treat every value-flow-connected node as an alias.
+    R.Fallback = true;
+    for (StreamId V = 0; V != G.numNodes(); ++V)
+      if (Region[V])
+        Aliases.insert(V);
+    R.Aliases.assign(Aliases.begin(), Aliases.end());
+    It = Cache.emplace(U, std::move(R)).first;
+    return It->second;
+  }
+
+  // Per ancestor: enumerate every path (the region is a DAG, so paths are
+  // finite) and record the last-node sequence per reached node.
+  for (StreamId C : UpSet) {
+    std::unordered_map<StreamId, std::vector<LastSeq>> PathsTo;
+    size_t NumPaths = 0;
+    bool Overflow = false;
+
+    // DFS carrying the last-sequence of the current path.
+    LastSeq CurLasts;
+    auto Dfs = [&](auto &&Self, StreamId Node) -> void {
+      if (Overflow)
+        return;
+      if (++NumPaths > MaxPaths) {
+        Overflow = true;
+        return;
+      }
+      PathsTo[Node].push_back(CurLasts);
+      for (uint32_t EI : G.outEdges(Node)) {
+        const UsageEdge &E = G.edge(EI);
+        if (E.Kind != EdgeKind::Pass && E.Kind != EdgeKind::Last)
+          continue;
+        bool IsLast = E.Kind == EdgeKind::Last;
+        if (IsLast)
+          CurLasts.push_back(E.To);
+        Self(Self, E.To);
+        if (IsLast)
+          CurLasts.pop_back();
+      }
+    };
+    Dfs(Dfs, C);
+
+    if (Overflow) {
+      R.Fallback = true;
+      for (StreamId V : collectReachable(Fwd, C))
+        Aliases.insert(V);
+      continue;
+    }
+
+    auto PathsToU = PathsTo.find(U);
+    if (PathsToU == PathsTo.end())
+      continue; // defensive; C reaches U by construction
+
+    for (const auto &[Candidate, CandPaths] : PathsTo) {
+      if (Aliases.count(Candidate))
+        continue;
+      bool Safe = true;
+      for (const LastSeq &PU : PathsToU->second) {
+        for (const LastSeq &PC : CandPaths) {
+          if (!safePair(PU, PC)) {
+            Safe = false;
+            break;
+          }
+        }
+        if (!Safe)
+          break;
+      }
+      if (!Safe)
+        Aliases.insert(Candidate);
+    }
+  }
+
+  R.Aliases.assign(Aliases.begin(), Aliases.end());
+  It = Cache.emplace(U, std::move(R)).first;
+  return It->second;
+}
+
+const std::vector<StreamId> &AliasAnalysis::potentialAliases(StreamId U) {
+  return compute(U).Aliases;
+}
+
+bool AliasAnalysis::mayAlias(StreamId A, StreamId B) {
+  const std::vector<StreamId> &Aliases = potentialAliases(A);
+  return std::binary_search(Aliases.begin(), Aliases.end(), B);
+}
+
+bool AliasAnalysis::usedFallback(StreamId U) { return compute(U).Fallback; }

@@ -1,0 +1,67 @@
+//===- Analysis/GraphWriter.cpp ---------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Analysis/GraphWriter.h"
+
+#include "tessla/Support/Format.h"
+
+using namespace tessla;
+
+static const char *edgeColor(EdgeKind K) {
+  switch (K) {
+  case EdgeKind::Write:
+    return "red";
+  case EdgeKind::Read:
+    return "blue";
+  case EdgeKind::Pass:
+    return "darkgreen";
+  case EdgeKind::Last:
+    return "black";
+  case EdgeKind::Plain:
+    return "gray50";
+  }
+  return "black";
+}
+
+std::string
+tessla::writeUsageGraphDot(const UsageGraph &G,
+                           const MutabilityResult *Mutability) {
+  const Spec &S = G.spec();
+  std::string Out = "digraph usage {\n"
+                    "  rankdir=LR;\n"
+                    "  node [fontname=\"Helvetica\", fontsize=11];\n";
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id) {
+    const StreamDef &D = S.stream(Id);
+    std::string Shape = D.Ty.isComplex() ? "box" : "ellipse";
+    std::string Style;
+    if (Mutability && D.Ty.isComplex())
+      Style = Mutability->Mutable[Id]
+                  ? ", style=filled, fillcolor=palegreen"
+                  : ", style=filled, fillcolor=mistyrose";
+    Out += formatString(
+        "  n%u [label=\"%s\\n%s\", shape=%s%s];\n", Id, D.Name.c_str(),
+        D.Ty.str().c_str(), Shape.c_str(), Style.c_str());
+  }
+  for (const UsageEdge &E : G.edges()) {
+    std::string Attrs = formatString("color=%s", edgeColor(E.Kind));
+    if (E.Kind != EdgeKind::Plain) {
+      Attrs += formatString(", label=\"%s\"",
+                            std::string(edgeKindName(E.Kind)).c_str());
+    }
+    if (E.Special)
+      Attrs += ", style=dashed";
+    Out += formatString("  n%u -> n%u [%s];\n", E.From, E.To,
+                        Attrs.c_str());
+  }
+  if (Mutability) {
+    for (auto [Reader, Writer] : Mutability->ReadBeforeWrite)
+      Out += formatString("  n%u -> n%u [style=dotted, color=blue, "
+                          "label=\"before\"];\n",
+                          Reader, Writer);
+  }
+  Out += "}\n";
+  return Out;
+}

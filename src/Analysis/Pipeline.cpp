@@ -1,0 +1,20 @@
+//===- Analysis/Pipeline.cpp ------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Analysis/Pipeline.h"
+
+using namespace tessla;
+
+AnalysisResult::AnalysisResult(std::shared_ptr<const Spec> Spec_,
+                               const MutabilityOptions &Opts)
+    : S(std::move(Spec_)), Graph(std::make_unique<UsageGraph>(*S)),
+      Triggers(std::make_unique<TriggerAnalysis>(*S)),
+      Aliases(std::make_unique<AliasAnalysis>(*Graph, *Triggers)),
+      Mutability(computeMutability(*Graph, *Triggers, *Aliases, Opts)) {}
+
+AnalysisResult tessla::analyzeSpec(Spec S, const MutabilityOptions &Opts) {
+  return AnalysisResult(std::make_shared<const Spec>(std::move(S)), Opts);
+}

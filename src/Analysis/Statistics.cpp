@@ -1,0 +1,81 @@
+//===- Analysis/Statistics.cpp ----------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Analysis/Statistics.h"
+
+#include "tessla/Support/Format.h"
+
+#include <set>
+
+using namespace tessla;
+
+AnalysisStatistics tessla::collectStatistics(AnalysisResult &Analysis) {
+  AnalysisStatistics Stats;
+  const Spec &S = Analysis.spec();
+  const UsageGraph &G = Analysis.graph();
+  const MutabilityResult &Mut = Analysis.mutability();
+
+  Stats.Streams = S.numStreams();
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id)
+    if (S.stream(Id).Ty.isComplex())
+      ++Stats.AggregateStreams;
+
+  Stats.Edges = static_cast<uint32_t>(G.edges().size());
+  for (const UsageEdge &E : G.edges()) {
+    switch (E.Kind) {
+    case EdgeKind::Write:
+      ++Stats.WriteEdges;
+      break;
+    case EdgeKind::Read:
+      ++Stats.ReadEdges;
+      break;
+    case EdgeKind::Pass:
+      ++Stats.PassEdges;
+      break;
+    case EdgeKind::Last:
+      ++Stats.LastEdges;
+      break;
+    case EdgeKind::Plain:
+      break;
+    }
+    if (E.Special)
+      ++Stats.SpecialEdges;
+  }
+
+  std::set<uint32_t> Families;
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id)
+    if (S.stream(Id).Ty.isComplex())
+      Families.insert(Mut.FamilyRep[Id]);
+  Stats.AggregateFamilies = static_cast<uint32_t>(Families.size());
+
+  Stats.MutableStreams = Mut.mutableCount();
+  Stats.PersistentFamilies =
+      static_cast<uint32_t>(Mut.PersistentFamilies.size());
+  Stats.ReadBeforeWriteConstraints =
+      static_cast<uint32_t>(Mut.ReadBeforeWrite.size());
+  Stats.ImplicationFastPath = Analysis.triggers().implicationFastPathHits();
+  Stats.ImplicationSat = Analysis.triggers().implicationSatQueries();
+  return Stats;
+}
+
+std::string AnalysisStatistics::str() const {
+  std::string Out;
+  Out += formatString("streams: %u (aggregates: %u)\n", Streams,
+                      AggregateStreams);
+  Out += formatString(
+      "edges: %u (W: %u, R: %u, P: %u, L: %u, special: %u)\n", Edges,
+      WriteEdges, ReadEdges, PassEdges, LastEdges, SpecialEdges);
+  Out += formatString("aggregate families: %u (forced persistent: %u)\n",
+                      AggregateFamilies, PersistentFamilies);
+  Out += formatString("mutable streams: %u\n", MutableStreams);
+  Out += formatString("read-before-write constraints: %u\n",
+                      ReadBeforeWriteConstraints);
+  Out += formatString(
+      "implication checks: %llu fast-path, %llu via SAT\n",
+      static_cast<unsigned long long>(ImplicationFastPath),
+      static_cast<unsigned long long>(ImplicationSat));
+  return Out;
+}

@@ -1,0 +1,21 @@
+//===- Analysis/TranslationOrder.cpp ----------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Analysis/TranslationOrder.h"
+
+using namespace tessla;
+
+std::optional<std::vector<StreamId>> tessla::computeTranslationOrder(
+    const UsageGraph &G,
+    const std::vector<std::pair<StreamId, StreamId>> &ExtraEdges) {
+  Adjacency Adj = G.nonSpecialAdjacency();
+  for (auto [From, To] : ExtraEdges)
+    Adj[From].push_back(To);
+  std::vector<uint32_t> Order;
+  if (!topologicalSort(Adj, Order))
+    return std::nullopt;
+  return Order;
+}

@@ -1,0 +1,166 @@
+//===- Analysis/TriggerFormula.cpp ------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Analysis/TriggerFormula.h"
+
+#include <cassert>
+
+using namespace tessla;
+
+TriggerAnalysis::TriggerAnalysis(const Spec &Spec_)
+    : S(Spec_), Checker(Ctx) {
+  computeInitialized();
+  computeFormulas();
+}
+
+void TriggerAnalysis::computeInitialized() {
+  uint32_t N = S.numStreams();
+  Initialized.assign(N, false);
+  // Memoized DFS. Recursion only follows non-special edges (last/delay are
+  // never initialized at 0), which are acyclic by spec validation; the
+  // Visiting state is a defensive guard anyway.
+  enum class State : uint8_t { Unvisited, Visiting, Done };
+  std::vector<State> States(N, State::Unvisited);
+
+  // Iterative DFS with explicit result computation via recursion-free
+  // post-order is overkill here; the natural recursion depth is bounded by
+  // the spec's expression depth. Use a small recursive lambda.
+  auto Compute = [&](auto &&Self, StreamId Id) -> bool {
+    if (States[Id] == State::Done)
+      return Initialized[Id];
+    if (States[Id] == State::Visiting)
+      return false; // defensive: cycles are never initialized
+    States[Id] = State::Visiting;
+    const StreamDef &D = S.stream(Id);
+    bool Result = false;
+    switch (D.Kind) {
+    case StreamKind::Unit:
+    case StreamKind::Const:
+      Result = true;
+      break;
+    case StreamKind::Time:
+      Result = Self(Self, D.Args[0]);
+      break;
+    case StreamKind::Lift: {
+      EventSemantics Ev = builtinInfo(D.Fn).Events;
+      if (Ev == EventSemantics::All) {
+        Result = true;
+        for (StreamId A : D.Args)
+          Result = Self(Self, A) && Result;
+      } else if (Ev == EventSemantics::Any) {
+        Result = false;
+        for (StreamId A : D.Args)
+          Result = Self(Self, A) || Result;
+      } else if (Ev == EventSemantics::FirstAndAnyRest) {
+        bool AnyRest = false;
+        for (size_t I = 1; I != D.Args.size(); ++I)
+          AnyRest = Self(Self, D.Args[I]) || AnyRest;
+        Result = Self(Self, D.Args[0]) && AnyRest;
+      } else {
+        Result = false; // value-dependent lifts may drop the event
+      }
+      break;
+    }
+    case StreamKind::Input:  // inputs need not start at 0
+    case StreamKind::Nil:
+    case StreamKind::Last:   // strictly-last: no event at 0
+    case StreamKind::Delay:  // delays fire strictly after their reset
+      Result = false;
+      break;
+    }
+    Initialized[Id] = Result;
+    States[Id] = State::Done;
+    return Result;
+  };
+  for (StreamId Id = 0; Id != N; ++Id)
+    Compute(Compute, Id);
+}
+
+void TriggerAnalysis::computeFormulas() {
+  uint32_t N = S.numStreams();
+  constexpr BoolExprRef Unset = ~0u;
+  Formulas.assign(N, Unset);
+
+  // Memoized DFS over the (acyclic, see computeInitialized) recursion
+  // structure: lift/time arguments and last triggers.
+  enum class State : uint8_t { Unvisited, Visiting, Done };
+  std::vector<State> States(N, State::Unvisited);
+
+  auto Compute = [&](auto &&Self, StreamId Id) -> BoolExprRef {
+    if (States[Id] == State::Done)
+      return Formulas[Id];
+    if (States[Id] == State::Visiting)
+      return Ctx.atom(Id); // defensive: break unexpected cycles as atoms
+    States[Id] = State::Visiting;
+    const StreamDef &D = S.stream(Id);
+    BoolExprRef F = Ctx.falseExpr();
+    switch (D.Kind) {
+    case StreamKind::Nil:
+      F = Ctx.falseExpr();
+      break;
+    case StreamKind::Time:
+      F = Self(Self, D.Args[0]);
+      break;
+    case StreamKind::Lift: {
+      EventSemantics Ev = builtinInfo(D.Fn).Events;
+      if (Ev == EventSemantics::Custom) {
+        F = Ctx.atom(Id);
+        break;
+      }
+      std::vector<BoolExprRef> Parts;
+      for (StreamId A : D.Args)
+        Parts.push_back(Self(Self, A));
+      if (Ev == EventSemantics::All) {
+        F = Ctx.conj(std::move(Parts));
+      } else if (Ev == EventSemantics::Any) {
+        F = Ctx.disj(std::move(Parts));
+      } else {
+        assert(Ev == EventSemantics::FirstAndAnyRest);
+        std::vector<BoolExprRef> Rest(Parts.begin() + 1, Parts.end());
+        F = Ctx.conj(Parts[0], Ctx.disj(std::move(Rest)));
+      }
+      break;
+    }
+    case StreamKind::Last:
+      // last(v, r) ticks with r — provided v always has a value, i.e. is
+      // provably initialized at timestamp 0 (§IV-C).
+      F = Initialized[D.Args[0]] ? Self(Self, D.Args[1]) : Ctx.atom(Id);
+      break;
+    case StreamKind::Input:
+    case StreamKind::Unit:
+    case StreamKind::Const:
+    case StreamKind::Delay:
+      F = Ctx.atom(Id);
+      break;
+    }
+    Formulas[Id] = F;
+    States[Id] = State::Done;
+    return F;
+  };
+  for (StreamId Id = 0; Id != N; ++Id)
+    Compute(Compute, Id);
+}
+
+bool TriggerAnalysis::implies(StreamId U, StreamId V) {
+  return Checker.implies(Formulas[U], Formulas[V]);
+}
+
+bool TriggerAnalysis::isReplicatingLast(StreamId Id) {
+  const StreamDef &D = S.stream(Id);
+  if (D.Kind != StreamKind::Last)
+    return false;
+  // Def. 5: replicating iff possibly ev(s) not subset of ev(v); we prove
+  // the negation via the formula implication.
+  return !implies(Id, D.Args[0]);
+}
+
+std::string TriggerAnalysis::formulaString(StreamId Id) const {
+  std::vector<std::string> Names;
+  Names.reserve(S.numStreams());
+  for (const StreamDef &D : S.streams())
+    Names.push_back(D.Name);
+  return Ctx.str(Formulas[Id], &Names);
+}

@@ -1,0 +1,122 @@
+//===- Analysis/UsageGraph.cpp ----------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Analysis/UsageGraph.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace tessla;
+
+std::string_view tessla::edgeKindName(EdgeKind K) {
+  switch (K) {
+  case EdgeKind::Plain:
+    return "-";
+  case EdgeKind::Write:
+    return "W";
+  case EdgeKind::Read:
+    return "R";
+  case EdgeKind::Last:
+    return "L";
+  case EdgeKind::Pass:
+    return "P";
+  }
+  return "?";
+}
+
+/// Maps a builtin argument access class to an edge kind (only consulted
+/// for aggregate-typed operands).
+static EdgeKind accessToKind(ArgAccess A) {
+  switch (A) {
+  case ArgAccess::None:
+    return EdgeKind::Plain;
+  case ArgAccess::Read:
+    return EdgeKind::Read;
+  case ArgAccess::Write:
+    return EdgeKind::Write;
+  case ArgAccess::Pass:
+    return EdgeKind::Pass;
+  }
+  return EdgeKind::Plain;
+}
+
+UsageGraph::UsageGraph(const Spec &Spec_) : S(Spec_) {
+  uint32_t N = S.numStreams();
+  Out.resize(N);
+  In.resize(N);
+  NonSpecial.resize(N);
+  PassLast.resize(N);
+  PassLastRev.resize(N);
+
+  // Deduplicate parallel edges with identical classification (they arise
+  // from e.g. merge(b, b) aliases and carry no extra information).
+  std::set<std::tuple<StreamId, StreamId, EdgeKind, bool>> Seen;
+  auto addEdge = [&](StreamId From, StreamId To, EdgeKind Kind,
+                     bool Special) {
+    if (!Seen.insert({From, To, Kind, Special}).second)
+      return;
+    uint32_t Index = static_cast<uint32_t>(Edges.size());
+    Edges.push_back({From, To, Kind, Special});
+    Out[From].push_back(Index);
+    In[To].push_back(Index);
+    if (!Special)
+      NonSpecial[From].push_back(To);
+    if (Kind == EdgeKind::Pass || Kind == EdgeKind::Last) {
+      PassLast[From].push_back(To);
+      PassLastRev[To].push_back(From);
+    }
+  };
+
+  for (StreamId V = 0; V != N; ++V) {
+    const StreamDef &D = S.stream(V);
+    switch (D.Kind) {
+    case StreamKind::Input:
+    case StreamKind::Nil:
+    case StreamKind::Unit:
+    case StreamKind::Const:
+      break;
+    case StreamKind::Time:
+      addEdge(D.Args[0], V, EdgeKind::Plain, /*Special=*/false);
+      break;
+    case StreamKind::Lift: {
+      const BuiltinInfo &Info = builtinInfo(D.Fn);
+      for (unsigned I = 0; I != D.Args.size(); ++I) {
+        StreamId U = D.Args[I];
+        EdgeKind Kind = S.stream(U).Ty.isComplex()
+                            ? accessToKind(Info.Access[I])
+                            : EdgeKind::Plain;
+        addEdge(U, V, Kind, /*Special=*/false);
+      }
+      break;
+    }
+    case StreamKind::Last: {
+      StreamId Value = D.Args[0], Trigger = D.Args[1];
+      EdgeKind Kind = S.stream(Value).Ty.isComplex() ? EdgeKind::Last
+                                                     : EdgeKind::Plain;
+      addEdge(Value, V, Kind, /*Special=*/true);
+      addEdge(Trigger, V, EdgeKind::Plain, /*Special=*/false);
+      break;
+    }
+    case StreamKind::Delay:
+      addEdge(D.Args[0], V, EdgeKind::Plain, /*Special=*/true);
+      addEdge(D.Args[1], V, EdgeKind::Plain, /*Special=*/false);
+      break;
+    }
+  }
+}
+
+std::string UsageGraph::str() const {
+  std::string OutStr;
+  for (const UsageEdge &E : Edges) {
+    OutStr += S.stream(E.From).Name;
+    OutStr += " -";
+    OutStr += edgeKindName(E.Kind);
+    OutStr += E.Special ? "*-> " : "-> ";
+    OutStr += S.stream(E.To).Name;
+    OutStr += '\n';
+  }
+  return OutStr;
+}

@@ -1,0 +1,819 @@
+//===- CodeGen/CppEmitter.cpp -----------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/CodeGen/CppEmitter.h"
+
+#include "tessla/Support/Format.h"
+
+#include <cassert>
+
+using namespace tessla;
+
+namespace {
+
+/// Stateful emitter for one specification.
+class Emitter {
+public:
+  Emitter(const Spec &S, const AnalysisResult &Analysis,
+          const CppEmitterOptions &Opts, DiagnosticEngine &Diags)
+      : S(S), Analysis(Analysis), Opts(Opts), Diags(Diags) {}
+
+  std::optional<std::string> run();
+
+private:
+  const Spec &S;
+  const AnalysisResult &Analysis;
+  const CppEmitterOptions &Opts;
+  DiagnosticEngine &Diags;
+  std::string Out;
+  bool Failed = false;
+
+  void line(const std::string &Text = "") {
+    Out += Text;
+    Out += '\n';
+  }
+  void unsupported(StreamId Id, const std::string &What) {
+    Diags.error(S.stream(Id).Loc,
+                formatString("C++ backend: %s (stream '%s')", What.c_str(),
+                             S.stream(Id).Name.c_str()));
+    Failed = true;
+  }
+
+  bool isMut(StreamId Id) const { return Analysis.isMutable(Id); }
+  std::string var(StreamId Id) const { return "v_" + S.stream(Id).Name; }
+  std::string has(StreamId Id) const { return var(Id) + "_has"; }
+
+  std::string hashFor(const Type &Elem) const {
+    if (Elem.kind() == TypeKind::Unit)
+      return "tessla::cgen::UnitHash";
+    return "std::hash<" + scalarType(Elem) + ">";
+  }
+
+  std::string scalarType(const Type &T) const {
+    switch (T.kind()) {
+    case TypeKind::Unit:
+      return "tessla::cgen::UnitV";
+    case TypeKind::Bool:
+      return "bool";
+    case TypeKind::Int:
+      return "int64_t";
+    case TypeKind::Float:
+      return "double";
+    case TypeKind::String:
+      return "std::string";
+    default:
+      return "/*unsupported*/void";
+    }
+  }
+
+  /// C++ type of a stream variable.
+  std::string cppType(StreamId Id) const {
+    const Type &T = S.stream(Id).Ty;
+    bool Mut = isMut(Id);
+    switch (T.kind()) {
+    case TypeKind::Set: {
+      std::string E = scalarType(T.params()[0]);
+      std::string H = hashFor(T.params()[0]);
+      if (Mut)
+        return "std::shared_ptr<std::unordered_set<" + E + ", " + H + ">>";
+      return "tessla::HamtSet<" + E + ", " + H + ">";
+    }
+    case TypeKind::Map: {
+      std::string K = scalarType(T.params()[0]);
+      std::string V = scalarType(T.params()[1]);
+      std::string H = hashFor(T.params()[0]);
+      if (Mut)
+        return "std::shared_ptr<std::unordered_map<" + K + ", " + V + ", " +
+               H + ">>";
+      return "tessla::HamtMap<" + K + ", " + V + ", " + H + ">";
+    }
+    case TypeKind::Queue: {
+      std::string E = scalarType(T.params()[0]);
+      if (Mut)
+        return "std::shared_ptr<std::deque<" + E + ">>";
+      return "tessla::PQueue<" + E + ">";
+    }
+    default:
+      return scalarType(T);
+    }
+  }
+
+  /// The element type inside an aggregate variable (for make_shared).
+  std::string innerType(StreamId Id) const {
+    std::string Full = cppType(Id);
+    assert(Full.substr(0, 16) == "std::shared_ptr<" && "not a mutable agg");
+    return Full.substr(16, Full.size() - 17);
+  }
+
+  std::string literal(const ConstantLit &Lit) const {
+    struct Renderer {
+      std::string operator()(std::monostate) const {
+        return "tessla::cgen::UnitV{}";
+      }
+      std::string operator()(bool B) const { return B ? "true" : "false"; }
+      std::string operator()(int64_t I) const {
+        return "int64_t{" + std::to_string(I) + "}";
+      }
+      std::string operator()(double D) const {
+        std::string Text = formatDouble(D);
+        if (Text.find_first_of(".eE") == std::string::npos)
+          Text += ".0";
+        return Text;
+      }
+      std::string operator()(const std::string &Str) const {
+        return "std::string(\"" + escapeString(Str) + "\")";
+      }
+    };
+    return std::visit(Renderer{}, Lit.V);
+  }
+
+  void emitHeader();
+  void emitVariables();
+  void emitFeeds();
+  void emitTriggering();
+  void emitCalc();
+  void emitLiftBody(const StreamDef &D, StreamId Id);
+  void emitMain();
+  void emitBenchMain();
+};
+
+std::optional<std::string> Emitter::run() {
+  // Pre-flight checks for unsupported constructs.
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id) {
+    const StreamDef &D = S.stream(Id);
+    if (D.Kind == StreamKind::Input && D.Ty.isComplex())
+      unsupported(Id, "aggregate-typed input streams");
+    if (D.Kind == StreamKind::Lift) {
+      bool Comparison =
+          D.Fn == BuiltinId::Eq || D.Fn == BuiltinId::Neq ||
+          D.Fn == BuiltinId::Lt || D.Fn == BuiltinId::Leq ||
+          D.Fn == BuiltinId::Gt || D.Fn == BuiltinId::Geq ||
+          D.Fn == BuiltinId::Min || D.Fn == BuiltinId::Max;
+      if (Comparison)
+        for (StreamId A : D.Args)
+          if (S.stream(A).Ty.isComplex())
+            unsupported(Id, "comparisons between aggregates");
+    }
+  }
+  if (Failed)
+    return std::nullopt;
+
+  emitHeader();
+  line("class " + Opts.ClassName + " {");
+  line("public:");
+  line("  using OutputFn =");
+  line("      std::function<void(int64_t, const char *, const "
+       "std::string &)>;");
+  line("  void setOutputHandler(OutputFn Fn) { Out = std::move(Fn); }");
+  line();
+  emitFeeds();
+  line("  void finish(int64_t Horizon = "
+       "std::numeric_limits<int64_t>::max()) {");
+  line("    flushBefore(Horizon == std::numeric_limits<int64_t>::max()");
+  line("                    ? Horizon");
+  line("                    : Horizon + 1);");
+  line("    Finished = true;");
+  line("  }");
+  line();
+  line("private:");
+  line("  OutputFn Out;");
+  line("  int64_t PendingTs = 0;");
+  line("  bool CalcDone = false;");
+  line("  bool Finished = false;");
+  line();
+  emitVariables();
+  emitTriggering();
+  emitCalc();
+  line("};");
+  if (Opts.EmitBenchMain)
+    emitBenchMain();
+  else if (Opts.EmitMain)
+    emitMain();
+  if (Failed)
+    return std::nullopt;
+  return Out;
+}
+
+void Emitter::emitHeader() {
+  line("// Monitor generated by the tessla-aggregate-update C++ backend.");
+  line("//");
+  line("// Flat specification:");
+  std::string SpecText = S.str();
+  size_t Pos = 0;
+  while (Pos < SpecText.size()) {
+    size_t End = SpecText.find('\n', Pos);
+    if (End == std::string::npos)
+      End = SpecText.size();
+    line("//   " + SpecText.substr(Pos, End - Pos));
+    Pos = End + 1;
+  }
+  line("//");
+  line("// Mutable aggregate streams:");
+  std::string Muts;
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id)
+    if (Analysis.isMutable(Id))
+      Muts += " " + S.stream(Id).Name;
+  line("//  " + (Muts.empty() ? " (none)" : Muts));
+  line();
+  line("#include \"tessla/CodeGen/RuntimeSupport.h\"");
+  line();
+  line("#include <cmath>");
+  line("#include <cstdint>");
+  line("#include <functional>");
+  line("#include <limits>");
+  line("#include <string>");
+  line();
+}
+
+void Emitter::emitVariables() {
+  line("  // Stream variables (current timestamp).");
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id) {
+    if (S.stream(Id).Kind == StreamKind::Nil)
+      continue; // nil never carries events; no storage needed
+    line("  bool " + has(Id) + " = false;");
+    line("  " + cppType(Id) + " " + var(Id) + "{};");
+  }
+  line();
+  // *_last slots.
+  std::vector<bool> NeedsLast(S.numStreams(), false);
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id)
+    if (S.stream(Id).Kind == StreamKind::Last)
+      NeedsLast[S.stream(Id).Args[0]] = true;
+  bool AnyLast = false;
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id) {
+    if (!NeedsLast[Id])
+      continue;
+    if (!AnyLast) {
+      line("  // *_last slots (value of the most recent event).");
+      AnyLast = true;
+    }
+    line("  bool " + var(Id) + "_last_init = false;");
+    line("  " + cppType(Id) + " " + var(Id) + "_last{};");
+  }
+  if (AnyLast)
+    line();
+  // *_nextTs slots.
+  bool AnyDelay = false;
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id) {
+    if (S.stream(Id).Kind != StreamKind::Delay)
+      continue;
+    if (!AnyDelay) {
+      line("  // *_nextTs slots (next potential delay event).");
+      AnyDelay = true;
+    }
+    line("  bool " + var(Id) + "_nextTs_set = false;");
+    line("  int64_t " + var(Id) + "_nextTs = 0;");
+  }
+  if (AnyDelay)
+    line();
+}
+
+void Emitter::emitFeeds() {
+  for (StreamId Id : S.inputs()) {
+    const StreamDef &D = S.stream(Id);
+    line("  void feed_" + D.Name + "(int64_t Ts, " + cppType(Id) +
+         " Value) {");
+    line("    if (Finished || Ts < PendingTs ||");
+    line("        (Ts == PendingTs && CalcDone))");
+    line("      tessla::cgen::fail(\"input events out of order\");");
+    line("    if (Ts > PendingTs) {");
+    line("      flushBefore(Ts);");
+    line("      PendingTs = Ts;");
+    line("      CalcDone = false;");
+    line("    }");
+    line("    " + var(Id) + " = std::move(Value);");
+    line("    " + has(Id) + " = true;");
+    line("  }");
+  }
+  line();
+}
+
+void Emitter::emitTriggering() {
+  line("  // --- Triggering section (paper, section III-B). ---");
+  line("  int64_t minNextDelay() const {");
+  line("    int64_t Min = std::numeric_limits<int64_t>::max();");
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id)
+    if (S.stream(Id).Kind == StreamKind::Delay) {
+      line("    if (" + var(Id) + "_nextTs_set && " + var(Id) +
+           "_nextTs < Min)");
+      line("      Min = " + var(Id) + "_nextTs;");
+    }
+  line("    return Min;");
+  line("  }");
+  line();
+  line("  void flushBefore(int64_t T) {");
+  line("    if (!CalcDone) {");
+  line("      calc(PendingTs);");
+  line("      CalcDone = true;");
+  line("    }");
+  line("    for (;;) {");
+  line("      int64_t M = minNextDelay();");
+  line("      if (M >= T)");
+  line("        return;");
+  line("      calc(M);");
+  line("    }");
+  line("  }");
+  line();
+}
+
+void Emitter::emitLiftBody(const StreamDef &D, StreamId Id) {
+  const BuiltinInfo &Info = builtinInfo(D.Fn);
+  bool Mut = isMut(Id);
+  auto A = [&](unsigned I) { return var(D.Args[I]); };
+  // Mutable aggregates are accessed through the shared_ptr; helpers take
+  // the pointee.
+  auto Deref = [&](unsigned I) {
+    return isMut(D.Args[I]) ? "*" + A(I) : A(I);
+  };
+  std::string R = var(Id);
+  std::vector<std::string> Body; // statements (without guard/indent)
+
+  auto Assign = [&](const std::string &Expr) {
+    Body.push_back(R + " = " + Expr + ";");
+  };
+
+  switch (D.Fn) {
+  case BuiltinId::Merge:
+  case BuiltinId::Filter:
+  case BuiltinId::SetUpdate:
+    assert(false && "handled by the caller's presence logic");
+    break;
+  case BuiltinId::Ite:
+    Assign(A(0) + " ? " + A(1) + " : " + A(2));
+    break;
+  case BuiltinId::Add:
+    Assign(A(0) + " + " + A(1));
+    break;
+  case BuiltinId::Sub:
+    Assign(A(0) + " - " + A(1));
+    break;
+  case BuiltinId::Mul:
+    Assign(A(0) + " * " + A(1));
+    break;
+  case BuiltinId::Div:
+    if (S.stream(D.Args[0]).Ty.kind() == TypeKind::Int)
+      Assign("tessla::cgen::checkedDiv(" + A(0) + ", " + A(1) + ")");
+    else
+      Assign(A(0) + " / " + A(1));
+    break;
+  case BuiltinId::Mod:
+    if (S.stream(D.Args[0]).Ty.kind() == TypeKind::Int)
+      Assign("tessla::cgen::checkedMod(" + A(0) + ", " + A(1) + ")");
+    else
+      Assign("std::fmod(" + A(0) + ", " + A(1) + ")");
+    break;
+  case BuiltinId::Neg:
+    Assign("-" + A(0));
+    break;
+  case BuiltinId::Abs:
+    if (S.stream(D.Args[0]).Ty.kind() == TypeKind::Int)
+      Assign(A(0) + " < 0 ? -" + A(0) + " : " + A(0));
+    else
+      Assign("std::fabs(" + A(0) + ")");
+    break;
+  case BuiltinId::Min:
+    Assign("std::min(" + A(0) + ", " + A(1) + ")");
+    break;
+  case BuiltinId::Max:
+    Assign("std::max(" + A(0) + ", " + A(1) + ")");
+    break;
+  case BuiltinId::Eq:
+    Assign(A(0) + " == " + A(1));
+    break;
+  case BuiltinId::Neq:
+    Assign(A(0) + " != " + A(1));
+    break;
+  case BuiltinId::Lt:
+    Assign(A(0) + " < " + A(1));
+    break;
+  case BuiltinId::Leq:
+    Assign(A(0) + " <= " + A(1));
+    break;
+  case BuiltinId::Gt:
+    Assign(A(0) + " > " + A(1));
+    break;
+  case BuiltinId::Geq:
+    Assign(A(0) + " >= " + A(1));
+    break;
+  case BuiltinId::LAnd:
+    Assign(A(0) + " && " + A(1));
+    break;
+  case BuiltinId::LOr:
+    Assign(A(0) + " || " + A(1));
+    break;
+  case BuiltinId::LNot:
+    Assign("!" + A(0));
+    break;
+  case BuiltinId::ToFloat:
+    Assign("static_cast<double>(" + A(0) + ")");
+    break;
+  case BuiltinId::ToInt:
+    Assign("static_cast<int64_t>(" + A(0) + ")");
+    break;
+
+  case BuiltinId::SetEmpty:
+  case BuiltinId::MapEmpty:
+  case BuiltinId::QueueEmpty:
+    if (Mut)
+      Assign("std::make_shared<" + innerType(Id) + ">()");
+    else
+      Assign(cppType(Id) + "{}");
+    break;
+
+  case BuiltinId::SetAdd:
+    if (Mut) {
+      Assign(A(0));
+      Body.push_back(R + "->insert(" + A(1) + ");");
+    } else {
+      Assign(A(0) + ".insert(" + A(1) + ")");
+    }
+    break;
+  case BuiltinId::SetRemove:
+    if (Mut) {
+      Assign(A(0));
+      Body.push_back(R + "->erase(" + A(1) + ");");
+    } else {
+      Assign(A(0) + ".erase(" + A(1) + ")");
+    }
+    break;
+  case BuiltinId::SetToggle:
+    if (Mut) {
+      Assign(A(0));
+      Body.push_back("if (" + R + "->count(" + A(1) + "))");
+      Body.push_back("  " + R + "->erase(" + A(1) + ");");
+      Body.push_back("else");
+      Body.push_back("  " + R + "->insert(" + A(1) + ");");
+    } else {
+      Assign(A(0) + ".contains(" + A(1) + ") ? " + A(0) + ".erase(" + A(1) +
+             ") : " + A(0) + ".insert(" + A(1) + ")");
+    }
+    break;
+  case BuiltinId::SetUnion:
+  case BuiltinId::SetDiff: {
+    const char *IntoFn = D.Fn == BuiltinId::SetUnion
+                             ? "tessla::cgen::setUnionInto"
+                             : "tessla::cgen::setDiffInto";
+    const char *OfFn = D.Fn == BuiltinId::SetUnion
+                           ? "tessla::cgen::setUnionOf"
+                           : "tessla::cgen::setDiffOf";
+    if (Mut) {
+      Assign(A(0));
+      Body.push_back(std::string(IntoFn) + "(*" + R + ", " + Deref(1) +
+                     ");");
+    } else {
+      Assign(std::string(OfFn) + "(" + A(0) + ", " + Deref(1) + ")");
+    }
+    break;
+  }
+  case BuiltinId::StrConcat:
+    Assign(A(0) + " + " + A(1));
+    break;
+  case BuiltinId::StrLen:
+    Assign("static_cast<int64_t>(" + A(0) + ".size())");
+    break;
+  case BuiltinId::SetContains:
+    Assign(isMut(D.Args[0]) ? A(0) + "->count(" + A(1) + ") != 0"
+                            : A(0) + ".contains(" + A(1) + ")");
+    break;
+  case BuiltinId::SetSize:
+  case BuiltinId::MapSize:
+  case BuiltinId::QueueSize:
+    Assign("static_cast<int64_t>(" +
+           (isMut(D.Args[0]) ? A(0) + "->size()" : A(0) + ".size()") + ")");
+    break;
+
+  case BuiltinId::MapPut:
+    if (Mut) {
+      Assign(A(0));
+      Body.push_back("(*" + R + ")[" + A(1) + "] = " + A(2) + ";");
+    } else {
+      Assign(A(0) + ".set(" + A(1) + ", " + A(2) + ")");
+    }
+    break;
+  case BuiltinId::MapRemove:
+    if (Mut) {
+      Assign(A(0));
+      Body.push_back(R + "->erase(" + A(1) + ");");
+    } else {
+      Assign(A(0) + ".erase(" + A(1) + ")");
+    }
+    break;
+  case BuiltinId::MapGet:
+    Assign("tessla::cgen::mapGet(" + Deref(0) + ", " + A(1) + ")");
+    break;
+  case BuiltinId::MapGetOrElse:
+    Assign("tessla::cgen::getOrElse(" + Deref(0) + ", " + A(1) + ", " +
+           A(2) + ")");
+    break;
+  case BuiltinId::MapContains:
+    Assign(isMut(D.Args[0]) ? A(0) + "->count(" + A(1) + ") != 0"
+                            : A(0) + ".find(" + A(1) + ") != nullptr");
+    break;
+
+  case BuiltinId::QueueEnq:
+    if (Mut) {
+      Assign(A(0));
+      Body.push_back(R + "->push_back(" + A(1) + ");");
+    } else {
+      Assign(A(0) + ".enqueue(" + A(1) + ")");
+    }
+    break;
+  case BuiltinId::QueueDeq:
+    if (Mut) {
+      Assign(A(0));
+      Body.push_back("tessla::cgen::queuePop(*" + R + ");");
+    } else {
+      Assign("tessla::cgen::queuePopped(" + A(0) + ")");
+    }
+    break;
+  case BuiltinId::QueueFront:
+    Assign("tessla::cgen::queueFront(" + Deref(0) + ")");
+    break;
+  case BuiltinId::QueueTrim:
+    if (Mut) {
+      Assign(A(0));
+      Body.push_back("tessla::cgen::queueTrim(*" + R + ", " + A(1) + ");");
+    } else {
+      Assign("tessla::cgen::queueTrimmed(" + A(0) + ", " + A(1) + ")");
+    }
+    break;
+  }
+
+  // All-present guard.
+  std::string Guard;
+  for (unsigned I = 0; I != Info.Arity; ++I) {
+    if (I)
+      Guard += " && ";
+    Guard += has(D.Args[I]);
+  }
+  line("    if (" + Guard + ") {");
+  for (const std::string &Stmt : Body)
+    line("      " + Stmt);
+  line("      " + has(Id) + " = true;");
+  line("    }");
+}
+
+void Emitter::emitCalc() {
+  line("  // --- Calculation section (paper, section III-A), in the");
+  line("  // analysis' translation order. ---");
+  line("  void calc(int64_t ts) {");
+  for (StreamId Id : Analysis.order()) {
+    const StreamDef &D = S.stream(Id);
+    std::string Name = D.Name;
+    switch (D.Kind) {
+    case StreamKind::Input:
+      line("    // " + Name + ": input (buffered by feed_" + Name + ")");
+      break;
+    case StreamKind::Nil:
+      line("    // " + Name + ": nil");
+      break;
+    case StreamKind::Unit:
+      line("    // " + Name + " = unit");
+      line("    if (ts == 0) {");
+      line("      " + var(Id) + " = tessla::cgen::UnitV{};");
+      line("      " + has(Id) + " = true;");
+      line("    }");
+      break;
+    case StreamKind::Const:
+      line("    // " + Name + " = const " + D.Literal.str());
+      line("    if (ts == 0) {");
+      line("      " + var(Id) + " = " + literal(D.Literal) + ";");
+      line("      " + has(Id) + " = true;");
+      line("    }");
+      break;
+    case StreamKind::Time:
+      line("    // " + Name + " = time(" + S.stream(D.Args[0]).Name + ")");
+      line("    if (" + has(D.Args[0]) + ") {");
+      line("      " + var(Id) + " = ts;");
+      line("      " + has(Id) + " = true;");
+      line("    }");
+      break;
+    case StreamKind::Last:
+      line("    // " + Name + " = last(" + S.stream(D.Args[0]).Name + ", " +
+           S.stream(D.Args[1]).Name + ")");
+      line("    if (" + has(D.Args[1]) + " && " + var(D.Args[0]) +
+           "_last_init) {");
+      line("      " + var(Id) + " = " + var(D.Args[0]) + "_last;");
+      line("      " + has(Id) + " = true;");
+      line("    }");
+      break;
+    case StreamKind::Delay:
+      line("    // " + Name + " = delay(" + S.stream(D.Args[0]).Name +
+           ", " + S.stream(D.Args[1]).Name + ")");
+      line("    if (" + var(Id) + "_nextTs_set && " + var(Id) +
+           "_nextTs == ts) {");
+      line("      " + var(Id) + " = tessla::cgen::UnitV{};");
+      line("      " + has(Id) + " = true;");
+      line("    }");
+      break;
+    case StreamKind::Lift: {
+      const BuiltinInfo &Info = builtinInfo(D.Fn);
+      line("    // " + Name + " = " + std::string(Info.Name) + "(...)");
+      if (D.Fn == BuiltinId::Merge) {
+        line("    if (" + has(D.Args[0]) + ") {");
+        line("      " + var(Id) + " = " + var(D.Args[0]) + ";");
+        line("      " + has(Id) + " = true;");
+        line("    } else if (" + has(D.Args[1]) + ") {");
+        line("      " + var(Id) + " = " + var(D.Args[1]) + ";");
+        line("      " + has(Id) + " = true;");
+        line("    }");
+      } else if (D.Fn == BuiltinId::Filter) {
+        line("    if (" + has(D.Args[0]) + " && " + has(D.Args[1]) +
+             " && " + var(D.Args[1]) + ") {");
+        line("      " + var(Id) + " = " + var(D.Args[0]) + ";");
+        line("      " + has(Id) + " = true;");
+        line("    }");
+      } else if (D.Fn == BuiltinId::SetUpdate) {
+        bool Mut = isMut(Id);
+        line("    if (" + has(D.Args[0]) + " && (" + has(D.Args[1]) +
+             " || " + has(D.Args[2]) + ")) {");
+        line("      " + var(Id) + " = " + var(D.Args[0]) + ";");
+        if (Mut) {
+          line("      if (" + has(D.Args[1]) + ")");
+          line("        " + var(Id) + "->insert(" + var(D.Args[1]) + ");");
+          line("      if (" + has(D.Args[2]) + ")");
+          line("        " + var(Id) + "->erase(" + var(D.Args[2]) + ");");
+        } else {
+          line("      if (" + has(D.Args[1]) + ")");
+          line("        " + var(Id) + " = " + var(Id) + ".insert(" +
+               var(D.Args[1]) + ");");
+          line("      if (" + has(D.Args[2]) + ")");
+          line("        " + var(Id) + " = " + var(Id) + ".erase(" +
+               var(D.Args[2]) + ");");
+        }
+        line("      " + has(Id) + " = true;");
+        line("    }");
+      } else {
+        emitLiftBody(D, Id);
+      }
+      break;
+    }
+    }
+  }
+
+  line();
+  line("    // --- Emit outputs. ---");
+  for (StreamId Id : S.outputs()) {
+    line("    if (" + has(Id) + " && Out)");
+    line("      Out(ts, \"" + S.stream(Id).Name + "\", tessla::cgen::str(" +
+         var(Id) + "));");
+  }
+
+  line();
+  line("    // --- Update *_last slots. ---");
+  std::vector<bool> NeedsLast(S.numStreams(), false);
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id)
+    if (S.stream(Id).Kind == StreamKind::Last)
+      NeedsLast[S.stream(Id).Args[0]] = true;
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id) {
+    if (!NeedsLast[Id])
+      continue;
+    line("    if (" + has(Id) + ") {");
+    line("      " + var(Id) + "_last = " + var(Id) + ";");
+    line("      " + var(Id) + "_last_init = true;");
+    line("    }");
+  }
+
+  bool AnyDelay = false;
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id)
+    AnyDelay |= S.stream(Id).Kind == StreamKind::Delay;
+  if (AnyDelay) {
+    line();
+    line("    // --- Delay scheduling. ---");
+    for (StreamId Id = 0; Id != S.numStreams(); ++Id) {
+      const StreamDef &D = S.stream(Id);
+      if (D.Kind != StreamKind::Delay)
+        continue;
+      line("    if (" + has(D.Args[1]) + " || " + has(Id) + ") {");
+      line("      if (" + has(D.Args[0]) + ") {");
+      line("        if (" + var(D.Args[0]) + " <= 0)");
+      line("          tessla::cgen::fail(\"delay amounts must be "
+           "positive\");");
+      line("        " + var(Id) + "_nextTs = ts + " + var(D.Args[0]) + ";");
+      line("        " + var(Id) + "_nextTs_set = true;");
+      line("      } else {");
+      line("        " + var(Id) + "_nextTs_set = false;");
+      line("      }");
+      line("    }");
+    }
+  }
+
+  line();
+  line("    // --- Reset current-value slots. ---");
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id) {
+    if (S.stream(Id).Kind == StreamKind::Nil)
+      continue;
+    line("    " + has(Id) + " = false;");
+  }
+  line("  }");
+}
+
+void Emitter::emitMain() {
+  line();
+  line("// Reads 'ts: name = value' lines from stdin, prints outputs.");
+  line("#include <iostream>");
+  line("#include <sstream>");
+  line();
+  line("int main() {");
+  line("  " + Opts.ClassName + " M;");
+  line("  M.setOutputHandler([](int64_t Ts, const char *Name,");
+  line("                        const std::string &V) {");
+  line("    std::cout << Ts << \": \" << Name << \" = \" << V << \"\\n\";");
+  line("  });");
+  line("  std::string Line;");
+  line("  while (std::getline(std::cin, Line)) {");
+  line("    if (Line.empty() || Line[0] == '#')");
+  line("      continue;");
+  line("    std::istringstream In(Line);");
+  line("    int64_t Ts;");
+  line("    std::string Name, Eq, Val;");
+  line("    char Colon;");
+  line("    if (!(In >> Ts >> Colon >> Name >> Eq >> Val))");
+  line("      continue;");
+  for (StreamId Id : S.inputs()) {
+    const StreamDef &D = S.stream(Id);
+    std::string Conv;
+    switch (D.Ty.kind()) {
+    case TypeKind::Int:
+      Conv = "std::stoll(Val)";
+      break;
+    case TypeKind::Float:
+      Conv = "std::stod(Val)";
+      break;
+    case TypeKind::Bool:
+      Conv = "Val == \"true\"";
+      break;
+    case TypeKind::String:
+      Conv = "Val";
+      break;
+    case TypeKind::Unit:
+      Conv = "tessla::cgen::UnitV{}";
+      break;
+    default:
+      Conv = "{}";
+      break;
+    }
+    line("    if (Name == \"" + D.Name + "\")");
+    line("      M.feed_" + D.Name + "(Ts, " + Conv + ");");
+  }
+  line("  }");
+  line("  M.finish();");
+  line("  return 0;");
+  line("}");
+}
+
+void Emitter::emitBenchMain() {
+  std::vector<StreamId> Inputs = S.inputs();
+  if (Inputs.size() != 1 ||
+      S.stream(Inputs[0]).Ty.kind() != TypeKind::Int) {
+    unsupported(Inputs.empty() ? 0 : Inputs[0],
+                "benchmark driver needs exactly one Int input");
+    return;
+  }
+  const std::string Feed = "feed_" + S.stream(Inputs[0]).Name;
+  line();
+  line("// Self-measuring synthetic benchmark driver:");
+  line("//   ./monitor <count> <domain> <seed>");
+  line("// prints \"<outputs> <seconds>\".");
+  line("#include <chrono>");
+  line("#include <cinttypes>");
+  line("#include <random>");
+  line();
+  line("int main(int argc, char **argv) {");
+  line("  uint64_t Count = argc > 1 ? std::strtoull(argv[1], nullptr, "
+       "10) : 1000000;");
+  line("  int64_t Domain = argc > 2 ? std::strtoll(argv[2], nullptr, 10) "
+       ": 1000;");
+  line("  uint64_t Seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) "
+       ": 1;");
+  line("  " + Opts.ClassName + " M;");
+  line("  uint64_t Outputs = 0;");
+  line("  M.setOutputHandler([&Outputs](int64_t, const char *,");
+  line("                                const std::string &) {");
+  line("    ++Outputs;");
+  line("  });");
+  line("  std::mt19937_64 Rng(Seed);");
+  line("  std::uniform_int_distribution<int64_t> Dist(0, Domain - 1);");
+  line("  auto Start = std::chrono::steady_clock::now();");
+  line("  for (uint64_t I = 0; I != Count; ++I)");
+  line("    M." + Feed + "(static_cast<int64_t>(I + 1), Dist(Rng));");
+  line("  M.finish();");
+  line("  auto End = std::chrono::steady_clock::now();");
+  line("  double Seconds =");
+  line("      std::chrono::duration<double>(End - Start).count();");
+  line("  std::printf(\"%\" PRIu64 \" %.6f\\n\", Outputs, Seconds);");
+  line("  return 0;");
+  line("}");
+}
+
+} // namespace
+
+std::optional<std::string>
+tessla::emitCppMonitor(const Spec &S, const AnalysisResult &Analysis,
+                       const CppEmitterOptions &Opts,
+                       DiagnosticEngine &Diags) {
+  return Emitter(S, Analysis, Opts, Diags).run();
+}

@@ -1,0 +1,153 @@
+//===- Eval/Workloads.cpp ---------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Eval/Workloads.h"
+
+#include "tessla/Lang/Parser.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace tessla;
+
+Spec workloads::buildSpec(std::string_view Source) {
+  DiagnosticEngine Diags;
+  auto S = parseSpec(Source, Diags);
+  if (!S) {
+    std::fprintf(stderr, "internal workload spec failed to build:\n%s",
+                 Diags.str().c_str());
+    std::abort();
+  }
+  return std::move(*S);
+}
+
+Spec workloads::figure1() {
+  return buildSpec(R"(
+    in i: Int
+    def m  := merge(y, setEmpty())
+    def yl := last(m, i)
+    def y  := setAdd(yl, i)
+    def s  := setContains(yl, i)
+    out s
+  )");
+}
+
+Spec workloads::figure4Upper() {
+  return buildSpec(R"(
+    in i1: Int
+    in i2: Int
+    def m  := merge(y, setEmpty())
+    def yl := last(m, i1)
+    def y  := setAdd(yl, i1)
+    def yr := last(m, i2)
+    def s  := setContains(yr, i2)
+    out s
+  )");
+}
+
+Spec workloads::figure4Lower() {
+  return buildSpec(R"(
+    in i1: Int
+    in i2: Int
+    def m  := merge(y, setEmpty())
+    def yl := last(m, i1)
+    def y  := setAdd(yl, i1)
+    def yr := last(m, i2)
+    def s  := setAdd(yr, i2)
+    out s
+  )");
+}
+
+Spec workloads::seenSet() {
+  return buildSpec(R"(
+    in x: Int
+    def prev := last(merge(y, setEmpty()), x)
+    def seen := setContains(prev, x)
+    def y    := setToggle(prev, x)
+    out seen
+  )");
+}
+
+Spec workloads::mapWindow(int64_t N) {
+  std::string NS = std::to_string(N);
+  return buildSpec(R"(
+    in x: Int
+    def c    := merge(last(c, x) + 1, 0)
+    def prev := last(merge(m, mapEmpty()), x)
+    def m    := mapPut(prev, c % )" + NS + R"(, x)
+    def nth  := mapGetOrElse(prev, c % )" + NS + R"(, -1)
+    out nth
+  )");
+}
+
+Spec workloads::queueWindow(int64_t N) {
+  std::string NS = std::to_string(N);
+  return buildSpec(R"(
+    in x: Int
+    def qpre  := last(merge(q, queueEmpty()), x)
+    def qenq  := queueEnq(qpre, x)
+    def front := queueFront(filter(qenq, queueSize(qenq) > )" + NS + R"())
+    def q     := queueTrim(qenq, )" + NS + R"()
+    out front
+  )");
+}
+
+Spec workloads::dbAccessConstraint() {
+  return buildSpec(R"(
+    in ins: Int
+    in del: Int
+    in acc: Int
+    def anyOp := merge(merge(ins, del), acc)
+    def prev  := last(merge(live, setEmpty()), anyOp)
+    def live  := setUpdate(prev, ins, del)
+    def violation := filter(acc, !setContains(prev, acc))
+    out violation
+  )");
+}
+
+Spec workloads::dbTimeConstraint() {
+  return buildSpec(R"(
+    in db2: Int
+    in db3: Int
+    def anyOp := merge(db2, db3)
+    def prev  := last(merge(times, mapEmpty()), anyOp)
+    def times := mapPut(prev, db2, time(db2))
+    def age   := time(db3) - mapGetOrElse(prev, db3, -1000000)
+    def violation := filter(db3, age > 60)
+    out violation
+  )");
+}
+
+Spec workloads::peakDetection(int64_t W) {
+  std::string WS = std::to_string(W);
+  return buildSpec(R"(
+    in p: Float
+    def qprev := last(merge(q, queueEmpty()), p)
+    def qenq  := queueEnq(qprev, p)
+    def full  := queueSize(qenq) > )" + WS + R"(
+    def dropped := queueFront(filter(qenq, full))
+    def q     := queueTrim(qenq, )" + WS + R"()
+    def dz    := merge(dropped, 0.0 * p)
+    def sprev := last(s, p)
+    def s     := merge(sprev + p - dz, 0.0)
+    def mean  := s / )" + WS + R"(.0
+    def dev   := abs(dropped - mean)
+    def peak  := filter(dropped, dev > mean * 0.4)
+    out peak
+  )");
+}
+
+Spec workloads::spectrumCalculation() {
+  return buildSpec(R"(
+    in p: Float
+    def bucket := toInt(p / 10.0)
+    def prev   := last(merge(hist, mapEmpty()), p)
+    def hist   := mapPut(prev, bucket, mapGetOrElse(prev, bucket, 0) + 1)
+    def above  := merge(last(above, p) + (if p > 100.0 then 1 else 0), 0)
+    out above
+  )");
+}

@@ -1,0 +1,145 @@
+//===- Lang/Builder.cpp -----------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Lang/Builder.h"
+
+#include "tessla/Support/Format.h"
+
+#include <cassert>
+
+using namespace tessla;
+
+StreamId SpecBuilder::addStream(std::string Name, SourceLocation Loc) {
+  assert(!Name.empty() && "streams need names; use freshName()");
+  StreamId Id = Built.numStreams();
+  auto [It, Inserted] = Built.ByName.emplace(Name, Id);
+  (void)It;
+  assert(Inserted && "duplicate stream name");
+  StreamDef D;
+  D.Name = std::move(Name);
+  D.Loc = Loc;
+  Built.Defs.push_back(std::move(D));
+  Defined.push_back(false);
+  return Id;
+}
+
+void SpecBuilder::define(StreamId Id, StreamKind K,
+                         std::vector<StreamId> Args) {
+  assert(Id < Built.numStreams() && "unknown stream");
+  assert(!Defined[Id] && "stream defined twice");
+  StreamDef &D = Built.stream(Id);
+  D.Kind = K;
+  D.Args = std::move(Args);
+  Defined[Id] = true;
+}
+
+StreamId SpecBuilder::input(std::string Name, Type Ty, SourceLocation Loc) {
+  StreamId Id = addStream(std::move(Name), Loc);
+  Built.stream(Id).Kind = StreamKind::Input;
+  Built.stream(Id).Ty = std::move(Ty);
+  Defined[Id] = true;
+  return Id;
+}
+
+StreamId SpecBuilder::declare(std::string Name, SourceLocation Loc) {
+  return addStream(std::move(Name), Loc);
+}
+
+StreamId SpecBuilder::nil(std::string Name, SourceLocation Loc) {
+  StreamId Id = addStream(std::move(Name), Loc);
+  define(Id, StreamKind::Nil, {});
+  return Id;
+}
+
+StreamId SpecBuilder::unit(std::string Name, SourceLocation Loc) {
+  StreamId Id = addStream(std::move(Name), Loc);
+  define(Id, StreamKind::Unit, {});
+  return Id;
+}
+
+StreamId SpecBuilder::constant(std::string Name, ConstantLit Lit,
+                               SourceLocation Loc) {
+  StreamId Id = addStream(std::move(Name), Loc);
+  define(Id, StreamKind::Const, {});
+  Built.stream(Id).Literal = std::move(Lit);
+  return Id;
+}
+
+StreamId SpecBuilder::time(std::string Name, StreamId Arg,
+                           SourceLocation Loc) {
+  StreamId Id = addStream(std::move(Name), Loc);
+  define(Id, StreamKind::Time, {Arg});
+  return Id;
+}
+
+StreamId SpecBuilder::lift(std::string Name, BuiltinId Fn,
+                           std::vector<StreamId> Args, SourceLocation Loc) {
+  StreamId Id = addStream(std::move(Name), Loc);
+  defineLift(Id, Fn, std::move(Args));
+  return Id;
+}
+
+StreamId SpecBuilder::last(std::string Name, StreamId Value,
+                           StreamId Trigger, SourceLocation Loc) {
+  StreamId Id = addStream(std::move(Name), Loc);
+  define(Id, StreamKind::Last, {Value, Trigger});
+  return Id;
+}
+
+StreamId SpecBuilder::delay(std::string Name, StreamId Delays,
+                            StreamId Reset, SourceLocation Loc) {
+  StreamId Id = addStream(std::move(Name), Loc);
+  define(Id, StreamKind::Delay, {Delays, Reset});
+  return Id;
+}
+
+void SpecBuilder::defineNil(StreamId Id) { define(Id, StreamKind::Nil, {}); }
+void SpecBuilder::defineUnit(StreamId Id) {
+  define(Id, StreamKind::Unit, {});
+}
+void SpecBuilder::defineConstant(StreamId Id, ConstantLit Lit) {
+  define(Id, StreamKind::Const, {});
+  Built.stream(Id).Literal = std::move(Lit);
+}
+void SpecBuilder::defineTime(StreamId Id, StreamId Arg) {
+  define(Id, StreamKind::Time, {Arg});
+}
+void SpecBuilder::defineLift(StreamId Id, BuiltinId Fn,
+                             std::vector<StreamId> Args) {
+  define(Id, StreamKind::Lift, std::move(Args));
+  Built.stream(Id).Fn = Fn;
+}
+void SpecBuilder::defineLast(StreamId Id, StreamId Value, StreamId Trigger) {
+  define(Id, StreamKind::Last, {Value, Trigger});
+}
+void SpecBuilder::defineDelay(StreamId Id, StreamId Delays, StreamId Reset) {
+  define(Id, StreamKind::Delay, {Delays, Reset});
+}
+
+std::string SpecBuilder::freshName() {
+  for (;;) {
+    std::string Name = "_t" + std::to_string(NextTemp++);
+    if (!Built.lookup(Name))
+      return Name;
+  }
+}
+
+StreamId SpecBuilder::canonicalUnit() {
+  if (!UnitStream)
+    UnitStream = unit(freshName() + "_unit");
+  return *UnitStream;
+}
+
+Spec SpecBuilder::finish(DiagnosticEngine &Diags) {
+  for (StreamId Id = 0; Id != Built.numStreams(); ++Id)
+    if (!Defined[Id])
+      Diags.error(Built.stream(Id).Loc,
+                  formatString("stream '%s' is declared but never defined",
+                               Built.stream(Id).Name.c_str()));
+  if (!Diags.hasErrors())
+    Built.validate(Diags);
+  return std::move(Built);
+}

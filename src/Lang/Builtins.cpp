@@ -1,0 +1,199 @@
+//===- Lang/Builtins.cpp ----------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Lang/Builtins.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace tessla;
+
+namespace {
+
+// Shorthands for the table below.
+Type tv(uint32_t I) { return Type::var(I); }
+
+BuiltinInfo make(BuiltinId Id, std::string_view Name, uint8_t Arity,
+                 EventSemantics Ev, std::initializer_list<ArgAccess> Acc,
+                 std::initializer_list<Type> Params, Type Result) {
+  BuiltinInfo Info;
+  Info.Id = Id;
+  Info.Name = Name;
+  Info.Arity = Arity;
+  Info.Events = Ev;
+  assert(Acc.size() == Arity && Params.size() == Arity &&
+         "access/params must match arity");
+  unsigned I = 0;
+  for (ArgAccess A : Acc)
+    Info.Access[I++] = A;
+  I = 0;
+  for (const Type &T : Params)
+    Info.ParamTypes[I++] = T;
+  Info.ResultType = std::move(Result);
+  return Info;
+}
+
+std::vector<BuiltinInfo> buildTable() {
+  using B = BuiltinId;
+  using A = ArgAccess;
+  const EventSemantics All = EventSemantics::All;
+  const EventSemantics Any = EventSemantics::Any;
+  const EventSemantics Custom = EventSemantics::Custom;
+  const Type I = Type::integer(), F = Type::floating(), Bo = Type::boolean(),
+             U = Type::unit();
+
+  std::vector<BuiltinInfo> T;
+  // Event combination. merge prioritizes the first stream (f_merge, §II);
+  // both arguments may flow through unchanged -> Pass edges.
+  T.push_back(make(B::Merge, "merge", 2, Any, {A::Pass, A::Pass},
+                   {tv(0), tv(0)}, tv(0)));
+  T.push_back(make(B::Ite, "ite", 3, All, {A::None, A::Pass, A::Pass},
+                   {Bo, tv(0), tv(0)}, tv(0)));
+  // filter(a, c) passes a's event iff c's current value is true; whether an
+  // event is produced depends on a *value*, so ev' must treat the defined
+  // stream as an atom (Custom).
+  T.push_back(make(B::Filter, "filter", 2, Custom, {A::Pass, A::None},
+                   {tv(0), Bo}, tv(0)));
+
+  // Arithmetic: polymorphic over Int/Float, checked at runtime.
+  T.push_back(make(B::Add, "add", 2, All, {A::Read, A::Read}, {tv(0), tv(0)},
+                   tv(0)));
+  T.push_back(make(B::Sub, "sub", 2, All, {A::Read, A::Read}, {tv(0), tv(0)},
+                   tv(0)));
+  T.push_back(make(B::Mul, "mul", 2, All, {A::Read, A::Read}, {tv(0), tv(0)},
+                   tv(0)));
+  T.push_back(make(B::Div, "div", 2, All, {A::Read, A::Read}, {tv(0), tv(0)},
+                   tv(0)));
+  T.push_back(make(B::Mod, "mod", 2, All, {A::Read, A::Read}, {tv(0), tv(0)},
+                   tv(0)));
+  T.push_back(make(B::Neg, "neg", 1, All, {A::Read}, {tv(0)}, tv(0)));
+  T.push_back(make(B::Abs, "abs", 1, All, {A::Read}, {tv(0)}, tv(0)));
+  T.push_back(make(B::Min, "min", 2, All, {A::Read, A::Read}, {tv(0), tv(0)},
+                   tv(0)));
+  T.push_back(make(B::Max, "max", 2, All, {A::Read, A::Read}, {tv(0), tv(0)},
+                   tv(0)));
+
+  // Comparisons (Eq/Neq are deep and may read aggregates).
+  T.push_back(make(B::Eq, "eq", 2, All, {A::Read, A::Read}, {tv(0), tv(0)},
+                   Bo));
+  T.push_back(make(B::Neq, "neq", 2, All, {A::Read, A::Read}, {tv(0), tv(0)},
+                   Bo));
+  T.push_back(make(B::Lt, "lt", 2, All, {A::Read, A::Read}, {tv(0), tv(0)},
+                   Bo));
+  T.push_back(make(B::Leq, "leq", 2, All, {A::Read, A::Read}, {tv(0), tv(0)},
+                   Bo));
+  T.push_back(make(B::Gt, "gt", 2, All, {A::Read, A::Read}, {tv(0), tv(0)},
+                   Bo));
+  T.push_back(make(B::Geq, "geq", 2, All, {A::Read, A::Read}, {tv(0), tv(0)},
+                   Bo));
+
+  // Boolean connectives.
+  T.push_back(make(B::LAnd, "and", 2, All, {A::None, A::None}, {Bo, Bo}, Bo));
+  T.push_back(make(B::LOr, "or", 2, All, {A::None, A::None}, {Bo, Bo}, Bo));
+  T.push_back(make(B::LNot, "not", 1, All, {A::None}, {Bo}, Bo));
+
+  // Conversions.
+  T.push_back(make(B::ToFloat, "toFloat", 1, All, {A::None}, {I}, F));
+  T.push_back(make(B::ToInt, "toInt", 1, All, {A::None}, {F}, I));
+
+  // Set[T]. The *Empty constructors take the unit stream and mint a fresh
+  // aggregate per event (f_emptyset of §II's desugaring example).
+  T.push_back(make(B::SetEmpty, "setEmpty", 1, All, {A::None}, {U},
+                   Type::set(tv(0))));
+  T.push_back(make(B::SetAdd, "setAdd", 2, All, {A::Write, A::None},
+                   {Type::set(tv(0)), tv(0)}, Type::set(tv(0))));
+  T.push_back(make(B::SetRemove, "setRemove", 2, All, {A::Write, A::None},
+                   {Type::set(tv(0)), tv(0)}, Type::set(tv(0))));
+  T.push_back(make(B::SetContains, "setContains", 2, All,
+                   {A::Read, A::None}, {Type::set(tv(0)), tv(0)}, Bo));
+  T.push_back(make(B::SetSize, "setSize", 1, All, {A::Read},
+                   {Type::set(tv(0))}, I));
+  T.push_back(make(B::SetToggle, "setToggle", 2, All, {A::Write, A::None},
+                   {Type::set(tv(0)), tv(0)}, Type::set(tv(0))));
+  T.push_back(make(B::SetUpdate, "setUpdate", 3,
+                   EventSemantics::FirstAndAnyRest,
+                   {A::Write, A::None, A::None},
+                   {Type::set(tv(0)), tv(0), tv(0)}, Type::set(tv(0))));
+  // Write + Read in one lift: the destructive union may only run if no
+  // alias of either argument is consulted afterwards.
+  T.push_back(make(B::SetUnion, "setUnion", 2, All, {A::Write, A::Read},
+                   {Type::set(tv(0)), Type::set(tv(0))},
+                   Type::set(tv(0))));
+  T.push_back(make(B::SetDiff, "setDiff", 2, All, {A::Write, A::Read},
+                   {Type::set(tv(0)), Type::set(tv(0))},
+                   Type::set(tv(0))));
+
+  // Map[K,V].
+  T.push_back(make(B::MapEmpty, "mapEmpty", 1, All, {A::None}, {U},
+                   Type::map(tv(0), tv(1))));
+  T.push_back(make(B::MapPut, "mapPut", 3, All,
+                   {A::Write, A::None, A::None},
+                   {Type::map(tv(0), tv(1)), tv(0), tv(1)},
+                   Type::map(tv(0), tv(1))));
+  T.push_back(make(B::MapRemove, "mapRemove", 2, All, {A::Write, A::None},
+                   {Type::map(tv(0), tv(1)), tv(0)},
+                   Type::map(tv(0), tv(1))));
+  T.push_back(make(B::MapGet, "mapGet", 2, All, {A::Read, A::None},
+                   {Type::map(tv(0), tv(1)), tv(0)}, tv(1)));
+  T.push_back(make(B::MapGetOrElse, "mapGetOrElse", 3, All,
+                   {A::Read, A::None, A::None},
+                   {Type::map(tv(0), tv(1)), tv(0), tv(1)}, tv(1)));
+  T.push_back(make(B::MapContains, "mapContains", 2, All,
+                   {A::Read, A::None}, {Type::map(tv(0), tv(1)), tv(0)},
+                   Bo));
+  T.push_back(make(B::MapSize, "mapSize", 1, All, {A::Read},
+                   {Type::map(tv(0), tv(1))}, I));
+
+  // Queue[T].
+  T.push_back(make(B::QueueEmpty, "queueEmpty", 1, All, {A::None}, {U},
+                   Type::queue(tv(0))));
+  T.push_back(make(B::QueueEnq, "queueEnq", 2, All, {A::Write, A::None},
+                   {Type::queue(tv(0)), tv(0)}, Type::queue(tv(0))));
+  T.push_back(make(B::QueueDeq, "queueDeq", 1, All, {A::Write},
+                   {Type::queue(tv(0))}, Type::queue(tv(0))));
+  T.push_back(make(B::QueueFront, "queueFront", 1, All, {A::Read},
+                   {Type::queue(tv(0))}, tv(0)));
+  T.push_back(make(B::QueueSize, "queueSize", 1, All, {A::Read},
+                   {Type::queue(tv(0))}, I));
+  T.push_back(make(B::QueueTrim, "queueTrim", 2, All, {A::Write, A::None},
+                   {Type::queue(tv(0)), I}, Type::queue(tv(0))));
+
+  // Strings.
+  const Type Str = Type::string();
+  T.push_back(make(B::StrConcat, "strConcat", 2, All, {A::None, A::None},
+                   {Str, Str}, Str));
+  T.push_back(make(B::StrLen, "strLen", 1, All, {A::None}, {Str}, I));
+  return T;
+}
+
+} // namespace
+
+const std::vector<BuiltinInfo> &tessla::allBuiltins() {
+  static const std::vector<BuiltinInfo> Table = buildTable();
+  return Table;
+}
+
+const BuiltinInfo &tessla::builtinInfo(BuiltinId Id) {
+  const auto &Table = allBuiltins();
+  for (const BuiltinInfo &Info : Table)
+    if (Info.Id == Id)
+      return Info;
+  assert(false && "unknown builtin id");
+  return Table.front();
+}
+
+std::optional<BuiltinId> tessla::builtinByName(std::string_view Name) {
+  static const std::unordered_map<std::string_view, BuiltinId> ByName = [] {
+    std::unordered_map<std::string_view, BuiltinId> M;
+    for (const BuiltinInfo &Info : allBuiltins())
+      M.emplace(Info.Name, Info.Id);
+    return M;
+  }();
+  auto It = ByName.find(Name);
+  if (It == ByName.end())
+    return std::nullopt;
+  return It->second;
+}

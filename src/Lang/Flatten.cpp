@@ -1,0 +1,321 @@
+//===- Lang/Flatten.cpp -----------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Lang/Flatten.h"
+
+#include "tessla/Lang/Builder.h"
+#include "tessla/Support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace tessla;
+using namespace tessla::ast;
+
+namespace {
+
+class Lowering {
+public:
+  Lowering(const Module &M, DiagnosticEngine &Diags) : M(M), Diags(Diags) {}
+
+  std::optional<Spec> run() {
+    unsigned Before = Diags.errorCount();
+
+    for (const InputDecl &In : M.Inputs) {
+      if (B.lookup(In.Name)) {
+        Diags.error(In.Loc, formatString("duplicate stream name '%s'",
+                                         In.Name.c_str()));
+        continue;
+      }
+      B.input(In.Name, In.Ty, In.Loc);
+    }
+    for (const StreamDecl &D : M.Defs) {
+      if (B.lookup(D.Name)) {
+        Diags.error(D.Loc, formatString("duplicate stream name '%s'",
+                                        D.Name.c_str()));
+        continue;
+      }
+      B.declare(D.Name, D.Loc);
+    }
+    if (Diags.errorCount() != Before)
+      return std::nullopt;
+
+    for (const StreamDecl &D : M.Defs)
+      lowerDef(D);
+    for (const OutputDecl &Out : M.Outputs) {
+      auto Id = B.lookup(Out.Name);
+      if (!Id) {
+        Diags.error(Out.Loc, formatString("unknown output stream '%s'",
+                                          Out.Name.c_str()));
+        continue;
+      }
+      B.markOutput(*Id);
+    }
+    if (Diags.errorCount() != Before)
+      return std::nullopt;
+
+    Spec S = B.finish(Diags);
+    if (Diags.errorCount() != Before)
+      return std::nullopt;
+    return S;
+  }
+
+private:
+  const Module &M;
+  DiagnosticEngine &Diags;
+  SpecBuilder B;
+  std::unordered_map<std::string, StreamId> LiteralCache;
+  // (literal stream, trigger stream) -> held-constant stream.
+  std::map<std::pair<StreamId, StreamId>, StreamId> HeldCache;
+
+  /// Defines the already-declared stream \p Target as \p E.
+  void lowerDef(const StreamDecl &D) {
+    StreamId Target = *B.lookup(D.Name);
+    const Expr &E = *D.Body;
+    switch (E.Kind) {
+    case ExprKind::Ident: {
+      auto Ref = resolveIdent(E);
+      if (!Ref)
+        return;
+      // Alias: merge(b, b) is the identity stream transformation.
+      B.defineLift(Target, BuiltinId::Merge, {*Ref, *Ref});
+      return;
+    }
+    case ExprKind::Literal:
+      B.defineConstant(Target, E.Lit);
+      return;
+    case ExprKind::UnitVal:
+      B.defineUnit(Target);
+      return;
+    case ExprKind::NilVal:
+      B.defineNil(Target);
+      return;
+    case ExprKind::TimeOp: {
+      auto A = lowerExpr(*E.Args[0]);
+      if (A)
+        B.defineTime(Target, *A);
+      return;
+    }
+    case ExprKind::LastOp:
+    case ExprKind::DelayOp: {
+      auto A0 = lowerExpr(*E.Args[0]);
+      auto A1 = lowerExpr(*E.Args[1]);
+      if (!A0 || !A1)
+        return;
+      if (E.Kind == ExprKind::LastOp) {
+        B.defineLast(Target, *A0, *A1);
+      } else {
+        if (E.Args[0]->Kind == ExprKind::Literal)
+          A0 = heldConstant(*A0, delayTrigger(*A1, Target, E.Loc));
+        B.defineDelay(Target, *A0, *A1);
+      }
+      return;
+    }
+    case ExprKind::Call: {
+      if (E.Callee == "hold") {
+        auto Args = lowerHoldArgs(E);
+        if (Args)
+          B.defineLift(Target, BuiltinId::Merge, {Args->first,
+                                                  Args->second});
+        return;
+      }
+      auto Parts = lowerCallParts(E);
+      if (Parts)
+        B.defineLift(Target, Parts->first, std::move(Parts->second));
+      return;
+    }
+    }
+  }
+
+  /// hold(x, t) — the signal-holding idiom merge(x, last(x, t)): x's
+  /// value, refreshed at t's events. Returns the merge's two operands.
+  std::optional<std::pair<StreamId, StreamId>>
+  lowerHoldArgs(const Expr &E) {
+    if (E.Args.size() != 2) {
+      Diags.error(E.Loc, formatString("'hold' takes 2 arguments, got %zu",
+                                      E.Args.size()));
+      return std::nullopt;
+    }
+    auto X = lowerExpr(*E.Args[0]);
+    auto T = lowerExpr(*E.Args[1]);
+    if (!X || !T)
+      return std::nullopt;
+    StreamId LastX = B.last(B.freshName(), *X, *T, E.Loc);
+    return std::make_pair(*X, LastX);
+  }
+
+  std::optional<StreamId> resolveIdent(const Expr &E) {
+    auto Id = B.lookup(E.Callee);
+    if (!Id)
+      Diags.error(E.Loc,
+                  formatString("unknown stream '%s'", E.Callee.c_str()));
+    return Id;
+  }
+
+  /// Turns the constant stream \p Lit into a *held* constant with events
+  /// at \p Trigger's timestamps (plus 0): merge(c, last(c, trigger)).
+  /// This is the signal-semantics desugaring surface TeSSLa applies when
+  /// mixing constants into lifted operators — under pure event semantics
+  /// the constant would only tick at timestamp 0 and an All-lift would
+  /// never fire.
+  StreamId heldConstant(StreamId Lit, StreamId Trigger) {
+    auto [It, Inserted] =
+        HeldCache.try_emplace({Lit, Trigger}, StreamId(0));
+    if (!Inserted)
+      return It->second;
+    StreamId LastC = B.last(B.freshName(), Lit, Trigger);
+    StreamId Held =
+        B.lift(B.freshName(), BuiltinId::Merge, {Lit, LastC});
+    It->second = Held;
+    return Held;
+  }
+
+  /// Trigger for a literal delay amount: the timer re-arms on any reset,
+  /// i.e. on events of the reset stream *or* the delay stream itself
+  /// (§III-B) — the latter makes `delay(10, unit)` a periodic clock.
+  StreamId delayTrigger(StreamId Reset, StreamId DelayStream,
+                        SourceLocation Loc) {
+    return makeTrigger({Reset, DelayStream}, Loc);
+  }
+
+  /// Builds a trigger stream whose events cover the union of \p Ids'
+  /// events. Mixed types are normalized through time().
+  StreamId makeTrigger(const std::vector<StreamId> &Ids,
+                       SourceLocation Loc) {
+    assert(!Ids.empty() && "trigger needs at least one source");
+    if (Ids.size() == 1)
+      return Ids.front();
+    StreamId Acc = B.time(B.freshName(), Ids[0], Loc);
+    for (size_t I = 1; I != Ids.size(); ++I) {
+      StreamId Next = B.time(B.freshName(), Ids[I], Loc);
+      Acc = B.lift(B.freshName(), BuiltinId::Merge, {Acc, Next}, Loc);
+    }
+    return Acc;
+  }
+
+  /// Resolves a call's builtin and lowers its arguments, applying the
+  /// nullary aggregate-constructor desugaring and the held-constant
+  /// desugaring for literal operands.
+  std::optional<std::pair<BuiltinId, std::vector<StreamId>>>
+  lowerCallParts(const Expr &E) {
+    auto Fn = builtinByName(E.Callee);
+    if (!Fn) {
+      Diags.error(E.Loc,
+                  formatString("unknown function '%s'", E.Callee.c_str()));
+      return std::nullopt;
+    }
+    const BuiltinInfo &Info = builtinInfo(*Fn);
+    std::vector<StreamId> Args;
+    std::vector<bool> IsLiteral;
+    bool ImplicitUnit =
+        (*Fn == BuiltinId::SetEmpty || *Fn == BuiltinId::MapEmpty ||
+         *Fn == BuiltinId::QueueEmpty) &&
+        E.Args.empty();
+    if (ImplicitUnit) {
+      Args.push_back(B.canonicalUnit());
+      IsLiteral.push_back(false);
+    }
+    for (const ExprPtr &A : E.Args) {
+      auto Id = lowerExpr(*A);
+      if (!Id)
+        return std::nullopt;
+      Args.push_back(*Id);
+      IsLiteral.push_back(A->Kind == ExprKind::Literal);
+    }
+    if (Args.size() != Info.Arity) {
+      Diags.error(E.Loc, formatString("'%s' takes %u argument(s), got %zu",
+                                      E.Callee.c_str(), Info.Arity,
+                                      Args.size()));
+      return std::nullopt;
+    }
+    // Hold literal operands at the other operands' event times. merge is
+    // exempt: default(x, lit) deliberately means "lit at timestamp 0".
+    if (*Fn != BuiltinId::Merge) {
+      std::vector<StreamId> NonLiterals;
+      for (size_t I = 0; I != Args.size(); ++I)
+        if (!IsLiteral[I])
+          NonLiterals.push_back(Args[I]);
+      bool AnyLiteral =
+          std::find(IsLiteral.begin(), IsLiteral.end(), true) !=
+          IsLiteral.end();
+      if (AnyLiteral && !NonLiterals.empty()) {
+        StreamId Trigger = makeTrigger(NonLiterals, E.Loc);
+        for (size_t I = 0; I != Args.size(); ++I)
+          if (IsLiteral[I])
+            Args[I] = heldConstant(Args[I], Trigger);
+      }
+    }
+    return std::make_pair(*Fn, std::move(Args));
+  }
+
+  /// Lowers a nested expression to a stream id, materializing temporaries.
+  std::optional<StreamId> lowerExpr(const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::Ident:
+      return resolveIdent(E);
+    case ExprKind::Literal: {
+      // The variant index disambiguates literals with equal rendering
+      // (int 30 vs float 30.0).
+      std::string Key =
+          std::to_string(E.Lit.V.index()) + ":" + E.Lit.str();
+      auto It = LiteralCache.find(Key);
+      if (It != LiteralCache.end())
+        return It->second;
+      StreamId Id = B.constant(B.freshName(), E.Lit, E.Loc);
+      LiteralCache.emplace(std::move(Key), Id);
+      return Id;
+    }
+    case ExprKind::UnitVal:
+      return B.canonicalUnit();
+    case ExprKind::NilVal:
+      return B.nil(B.freshName(), E.Loc);
+    case ExprKind::TimeOp: {
+      auto A = lowerExpr(*E.Args[0]);
+      if (!A)
+        return std::nullopt;
+      return B.time(B.freshName(), *A, E.Loc);
+    }
+    case ExprKind::LastOp:
+    case ExprKind::DelayOp: {
+      auto A0 = lowerExpr(*E.Args[0]);
+      auto A1 = lowerExpr(*E.Args[1]);
+      if (!A0 || !A1)
+        return std::nullopt;
+      if (E.Kind == ExprKind::LastOp)
+        return B.last(B.freshName(), *A0, *A1, E.Loc);
+      if (E.Args[0]->Kind != ExprKind::Literal)
+        return B.delay(B.freshName(), *A0, *A1, E.Loc);
+      StreamId Fresh = B.declare(B.freshName(), E.Loc);
+      StreamId Held = heldConstant(*A0, delayTrigger(*A1, Fresh, E.Loc));
+      B.defineDelay(Fresh, Held, *A1);
+      return Fresh;
+    }
+    case ExprKind::Call: {
+      if (E.Callee == "hold") {
+        auto Args = lowerHoldArgs(E);
+        if (!Args)
+          return std::nullopt;
+        return B.lift(B.freshName(), BuiltinId::Merge,
+                      {Args->first, Args->second}, E.Loc);
+      }
+      auto Parts = lowerCallParts(E);
+      if (!Parts)
+        return std::nullopt;
+      return B.lift(B.freshName(), Parts->first, std::move(Parts->second),
+                    E.Loc);
+    }
+    }
+    return std::nullopt;
+  }
+};
+
+} // namespace
+
+std::optional<Spec> tessla::lowerModule(const ast::Module &M,
+                                        DiagnosticEngine &Diags) {
+  return Lowering(M, Diags).run();
+}

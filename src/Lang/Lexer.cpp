@@ -1,0 +1,306 @@
+//===- Lang/Lexer.cpp -------------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Lang/Lexer.h"
+
+#include "tessla/Support/Format.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace tessla;
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind> Keywords = {
+    {"in", TokenKind::KwIn},         {"def", TokenKind::KwDef},
+    {"out", TokenKind::KwOut},       {"if", TokenKind::KwIf},
+    {"then", TokenKind::KwThen},     {"else", TokenKind::KwElse},
+    {"true", TokenKind::KwTrue},     {"false", TokenKind::KwFalse},
+    {"unit", TokenKind::KwUnit},     {"nil", TokenKind::KwNil},
+    {"time", TokenKind::KwTime},     {"last", TokenKind::KwLast},
+    {"delay", TokenKind::KwDelay},   {"default", TokenKind::KwDefault},
+};
+
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Tokens;
+    for (;;) {
+      skipTrivia();
+      Token T = next();
+      bool IsEof = T.is(TokenKind::Eof);
+      Tokens.push_back(std::move(T));
+      if (IsEof)
+        return Tokens;
+    }
+  }
+
+private:
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1, Col = 1;
+
+  bool atEnd() const { return Pos >= Source.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+  SourceLocation here() const { return SourceLocation(Line, Col); }
+
+  void skipTrivia() {
+    for (;;) {
+      if (atEnd())
+        return;
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      // Comments: "--" or "#" to end of line.
+      if (C == '#' || (C == '-' && peek(1) == '-')) {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token make(TokenKind K, SourceLocation Loc) {
+    Token T;
+    T.Kind = K;
+    T.Loc = Loc;
+    return T;
+  }
+
+  Token next() {
+    if (atEnd())
+      return make(TokenKind::Eof, here());
+    SourceLocation Loc = here();
+    char C = advance();
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+      return identifier(C, Loc);
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return number(C, Loc);
+
+    switch (C) {
+    case '(': return make(TokenKind::LParen, Loc);
+    case ')': return make(TokenKind::RParen, Loc);
+    case '[': return make(TokenKind::LBracket, Loc);
+    case ']': return make(TokenKind::RBracket, Loc);
+    case ',': return make(TokenKind::Comma, Loc);
+    case '+': return make(TokenKind::Plus, Loc);
+    case '-': return make(TokenKind::Minus, Loc);
+    case '*': return make(TokenKind::Star, Loc);
+    case '/': return make(TokenKind::Slash, Loc);
+    case '%': return make(TokenKind::Percent, Loc);
+    case ':':
+      if (peek() == '=') {
+        advance();
+        return make(TokenKind::Define, Loc);
+      }
+      return make(TokenKind::Colon, Loc);
+    case '=':
+      if (peek() == '=') {
+        advance();
+        return make(TokenKind::EqEq, Loc);
+      }
+      Diags.error(Loc, "unexpected '='; definitions use ':='");
+      return make(TokenKind::Define, Loc);
+    case '!':
+      if (peek() == '=') {
+        advance();
+        return make(TokenKind::NotEq, Loc);
+      }
+      return make(TokenKind::Bang, Loc);
+    case '<':
+      if (peek() == '=') {
+        advance();
+        return make(TokenKind::LtEq, Loc);
+      }
+      return make(TokenKind::Lt, Loc);
+    case '>':
+      if (peek() == '=') {
+        advance();
+        return make(TokenKind::GtEq, Loc);
+      }
+      return make(TokenKind::Gt, Loc);
+    case '&':
+      if (peek() == '&') {
+        advance();
+        return make(TokenKind::AndAnd, Loc);
+      }
+      Diags.error(Loc, "expected '&&'");
+      return make(TokenKind::AndAnd, Loc);
+    case '|':
+      if (peek() == '|') {
+        advance();
+        return make(TokenKind::OrOr, Loc);
+      }
+      Diags.error(Loc, "expected '||'");
+      return make(TokenKind::OrOr, Loc);
+    case '"':
+      return stringLiteral(Loc);
+    default:
+      Diags.error(Loc, formatString("unexpected character '%c'", C));
+      return next();
+    }
+  }
+
+  Token identifier(char First, SourceLocation Loc) {
+    std::string Text(1, First);
+    while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                        peek() == '_'))
+      Text += advance();
+    auto It = Keywords.find(Text);
+    if (It != Keywords.end())
+      return make(It->second, Loc);
+    Token T = make(TokenKind::Identifier, Loc);
+    T.Text = std::move(Text);
+    return T;
+  }
+
+  Token number(char First, SourceLocation Loc) {
+    std::string Text(1, First);
+    bool IsFloat = false;
+    while (!atEnd()) {
+      char C = peek();
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        Text += advance();
+        continue;
+      }
+      // A '.' only continues the number when a digit follows (so "1.foo"
+      // still lexes as "1" "." ...; we have no '.' token, so report).
+      if (C == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) &&
+          !IsFloat) {
+        IsFloat = true;
+        Text += advance();
+        continue;
+      }
+      if ((C == 'e' || C == 'E') &&
+          (std::isdigit(static_cast<unsigned char>(peek(1))) ||
+           ((peek(1) == '+' || peek(1) == '-') &&
+            std::isdigit(static_cast<unsigned char>(peek(2)))))) {
+        IsFloat = true;
+        Text += advance(); // e
+        if (peek() == '+' || peek() == '-')
+          Text += advance();
+        continue;
+      }
+      break;
+    }
+    if (IsFloat) {
+      Token T = make(TokenKind::FloatLiteral, Loc);
+      if (!parseDouble(Text, T.FloatValue))
+        Diags.error(Loc, formatString("invalid float literal '%s'",
+                                      Text.c_str()));
+      return T;
+    }
+    Token T = make(TokenKind::IntLiteral, Loc);
+    if (!parseInt64(Text, T.IntValue))
+      Diags.error(Loc,
+                  formatString("invalid integer literal '%s'", Text.c_str()));
+    return T;
+  }
+
+  Token stringLiteral(SourceLocation Loc) {
+    std::string Text;
+    for (;;) {
+      if (atEnd() || peek() == '\n') {
+        Diags.error(Loc, "unterminated string literal");
+        break;
+      }
+      char C = advance();
+      if (C == '"')
+        break;
+      if (C == '\\') {
+        char E = atEnd() ? '\0' : advance();
+        switch (E) {
+        case 'n': Text += '\n'; break;
+        case 't': Text += '\t'; break;
+        case 'r': Text += '\r'; break;
+        case '"': Text += '"'; break;
+        case '\\': Text += '\\'; break;
+        default:
+          Diags.error(here(), formatString("unknown escape '\\%c'", E));
+        }
+        continue;
+      }
+      Text += C;
+    }
+    Token T = make(TokenKind::StringLiteral, Loc);
+    T.Text = std::move(Text);
+    return T;
+  }
+};
+
+} // namespace
+
+std::vector<Token> tessla::tokenize(std::string_view Source,
+                                    DiagnosticEngine &Diags) {
+  return Lexer(Source, Diags).run();
+}
+
+std::string_view tessla::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Eof: return "end of input";
+  case TokenKind::Identifier: return "identifier";
+  case TokenKind::IntLiteral: return "integer literal";
+  case TokenKind::FloatLiteral: return "float literal";
+  case TokenKind::StringLiteral: return "string literal";
+  case TokenKind::KwIn: return "'in'";
+  case TokenKind::KwDef: return "'def'";
+  case TokenKind::KwOut: return "'out'";
+  case TokenKind::KwIf: return "'if'";
+  case TokenKind::KwThen: return "'then'";
+  case TokenKind::KwElse: return "'else'";
+  case TokenKind::KwTrue: return "'true'";
+  case TokenKind::KwFalse: return "'false'";
+  case TokenKind::KwUnit: return "'unit'";
+  case TokenKind::KwNil: return "'nil'";
+  case TokenKind::KwTime: return "'time'";
+  case TokenKind::KwLast: return "'last'";
+  case TokenKind::KwDelay: return "'delay'";
+  case TokenKind::KwDefault: return "'default'";
+  case TokenKind::LParen: return "'('";
+  case TokenKind::RParen: return "')'";
+  case TokenKind::LBracket: return "'['";
+  case TokenKind::RBracket: return "']'";
+  case TokenKind::Comma: return "','";
+  case TokenKind::Colon: return "':'";
+  case TokenKind::Define: return "':='";
+  case TokenKind::Plus: return "'+'";
+  case TokenKind::Minus: return "'-'";
+  case TokenKind::Star: return "'*'";
+  case TokenKind::Slash: return "'/'";
+  case TokenKind::Percent: return "'%'";
+  case TokenKind::EqEq: return "'=='";
+  case TokenKind::NotEq: return "'!='";
+  case TokenKind::Lt: return "'<'";
+  case TokenKind::LtEq: return "'<='";
+  case TokenKind::Gt: return "'>'";
+  case TokenKind::GtEq: return "'>='";
+  case TokenKind::AndAnd: return "'&&'";
+  case TokenKind::OrOr: return "'||'";
+  case TokenKind::Bang: return "'!'";
+  }
+  return "?";
+}

@@ -1,0 +1,60 @@
+//===- Lang/PrintSource.cpp -------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Lang/PrintSource.h"
+
+#include "tessla/Support/Format.h"
+
+using namespace tessla;
+
+std::string tessla::printSpecSource(const Spec &S) {
+  std::string Out;
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id) {
+    const StreamDef &D = S.stream(Id);
+    auto Arg = [&](unsigned I) { return S.stream(D.Args[I]).Name; };
+    switch (D.Kind) {
+    case StreamKind::Input:
+      Out += "in " + D.Name + ": " + D.Ty.str() + "\n";
+      continue;
+    case StreamKind::Nil:
+      Out += "def " + D.Name + " := nil\n";
+      continue;
+    case StreamKind::Unit:
+      Out += "def " + D.Name + " := unit\n";
+      continue;
+    case StreamKind::Const:
+      // Unit constants canonicalize to the unit stream (see header).
+      if (std::holds_alternative<std::monostate>(D.Literal.V))
+        Out += "def " + D.Name + " := unit\n";
+      else
+        Out += "def " + D.Name + " := " + D.Literal.str() + "\n";
+      continue;
+    case StreamKind::Time:
+      Out += "def " + D.Name + " := time(" + Arg(0) + ")\n";
+      continue;
+    case StreamKind::Last:
+      Out += "def " + D.Name + " := last(" + Arg(0) + ", " + Arg(1) +
+             ")\n";
+      continue;
+    case StreamKind::Delay:
+      Out += "def " + D.Name + " := delay(" + Arg(0) + ", " + Arg(1) +
+             ")\n";
+      continue;
+    case StreamKind::Lift: {
+      std::vector<std::string> Args;
+      for (unsigned I = 0; I != D.Args.size(); ++I)
+        Args.push_back(Arg(I));
+      Out += "def " + D.Name + " := " +
+             std::string(builtinInfo(D.Fn).Name) + "(" +
+             join(Args, ", ") + ")\n";
+      continue;
+    }
+    }
+  }
+  for (StreamId Id : S.outputs())
+    Out += "out " + S.stream(Id).Name + "\n";
+  return Out;
+}

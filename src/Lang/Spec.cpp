@@ -1,0 +1,166 @@
+//===- Lang/Spec.cpp --------------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Lang/Spec.h"
+
+#include "tessla/ADT/GraphAlgos.h"
+#include "tessla/Support/Format.h"
+
+using namespace tessla;
+
+std::string ConstantLit::str() const {
+  struct Renderer {
+    std::string operator()(std::monostate) const { return "()"; }
+    std::string operator()(bool B) const { return B ? "true" : "false"; }
+    std::string operator()(int64_t I) const { return std::to_string(I); }
+    std::string operator()(double D) const {
+      std::string S = formatDouble(D);
+      // Keep a decimal marker so the literal re-parses as a Float
+      // ("2.0", not "2").
+      if (S.find_first_not_of("-0123456789") == std::string::npos)
+        S += ".0";
+      return S;
+    }
+    std::string operator()(const std::string &S) const {
+      return "\"" + escapeString(S) + "\"";
+    }
+  };
+  return std::visit(Renderer{}, V);
+}
+
+std::optional<StreamId> Spec::lookup(std::string_view Name) const {
+  auto It = ByName.find(std::string(Name));
+  if (It == ByName.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::vector<StreamId> Spec::inputs() const {
+  std::vector<StreamId> Out;
+  for (StreamId Id = 0; Id != numStreams(); ++Id)
+    if (Defs[Id].Kind == StreamKind::Input)
+      Out.push_back(Id);
+  return Out;
+}
+
+std::vector<StreamId> Spec::outputs() const {
+  std::vector<StreamId> Out;
+  for (StreamId Id = 0; Id != numStreams(); ++Id)
+    if (Defs[Id].IsOutput)
+      Out.push_back(Id);
+  return Out;
+}
+
+static unsigned expectedArity(const StreamDef &D) {
+  switch (D.Kind) {
+  case StreamKind::Input:
+  case StreamKind::Nil:
+  case StreamKind::Unit:
+  case StreamKind::Const:
+    return 0;
+  case StreamKind::Time:
+    return 1;
+  case StreamKind::Lift:
+    return builtinInfo(D.Fn).Arity;
+  case StreamKind::Last:
+  case StreamKind::Delay:
+    return 2;
+  }
+  return 0;
+}
+
+bool Spec::validate(DiagnosticEngine &Diags) const {
+  unsigned Before = Diags.errorCount();
+  uint32_t N = numStreams();
+  for (StreamId Id = 0; Id != N; ++Id) {
+    const StreamDef &D = Defs[Id];
+    if (D.Name.empty())
+      Diags.error(D.Loc, formatString("stream #%u has no name", Id));
+    if (D.Args.size() != expectedArity(D))
+      Diags.error(D.Loc,
+                  formatString("stream '%s' has %zu arguments, expected %u",
+                               D.Name.c_str(), D.Args.size(),
+                               expectedArity(D)));
+    for (StreamId A : D.Args)
+      if (A >= N)
+        Diags.error(D.Loc,
+                    formatString("stream '%s' references out-of-range id %u",
+                                 D.Name.c_str(), A));
+    if (D.Kind == StreamKind::Input && !D.Ty.isConcrete())
+      Diags.error(D.Loc, formatString(
+                             "input stream '%s' needs a concrete type",
+                             D.Name.c_str()));
+  }
+  if (Diags.errorCount() != Before)
+    return false;
+
+  // Recursion check: the usage graph without special edges (first argument
+  // of last/delay) must be acyclic (§II, §III Def. 2).
+  Adjacency Adj(N);
+  for (StreamId Id = 0; Id != N; ++Id) {
+    const StreamDef &D = Defs[Id];
+    for (size_t AI = 0, AE = D.Args.size(); AI != AE; ++AI) {
+      bool Special =
+          (D.Kind == StreamKind::Last || D.Kind == StreamKind::Delay) &&
+          AI == 0;
+      if (!Special)
+        Adj[D.Args[AI]].push_back(Id);
+    }
+  }
+  std::vector<uint32_t> Cycle = findCycle(Adj);
+  if (!Cycle.empty()) {
+    std::vector<std::string> Names;
+    for (uint32_t Id : Cycle)
+      Names.push_back(Defs[Id].Name);
+    Diags.error(formatString("invalid recursion (must pass through the "
+                             "first argument of last/delay): %s",
+                             join(Names, " -> ").c_str()));
+    return false;
+  }
+  return true;
+}
+
+std::string Spec::str() const {
+  std::string Out;
+  for (StreamId Id = 0; Id != numStreams(); ++Id) {
+    const StreamDef &D = Defs[Id];
+    auto ArgName = [&](unsigned I) { return Defs[D.Args[I]].Name; };
+    std::string Rhs;
+    switch (D.Kind) {
+    case StreamKind::Input:
+      Rhs = "<input " + D.Ty.str() + ">";
+      break;
+    case StreamKind::Nil:
+      Rhs = "nil";
+      break;
+    case StreamKind::Unit:
+      Rhs = "unit";
+      break;
+    case StreamKind::Const:
+      Rhs = "const " + D.Literal.str();
+      break;
+    case StreamKind::Time:
+      Rhs = "time(" + ArgName(0) + ")";
+      break;
+    case StreamKind::Lift: {
+      std::vector<std::string> Args;
+      for (unsigned I = 0; I != D.Args.size(); ++I)
+        Args.push_back(ArgName(I));
+      Rhs = std::string(builtinInfo(D.Fn).Name) + "(" + join(Args, ", ") +
+            ")";
+      break;
+    }
+    case StreamKind::Last:
+      Rhs = "last(" + ArgName(0) + ", " + ArgName(1) + ")";
+      break;
+    case StreamKind::Delay:
+      Rhs = "delay(" + ArgName(0) + ", " + ArgName(1) + ")";
+      break;
+    }
+    Out += (D.IsOutput ? "out " : "    ") + D.Name + " = " + Rhs + "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,59 @@
+//===- Lang/Type.cpp --------------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Lang/Type.h"
+
+using namespace tessla;
+
+bool Type::isConcrete() const {
+  if (Kind == TypeKind::Var)
+    return false;
+  for (const Type &P : Params)
+    if (!P.isConcrete())
+      return false;
+  return true;
+}
+
+bool Type::contains(uint32_t Id) const {
+  if (Kind == TypeKind::Var)
+    return VarId == Id;
+  for (const Type &P : Params)
+    if (P.contains(Id))
+      return true;
+  return false;
+}
+
+std::string Type::str() const {
+  switch (Kind) {
+  case TypeKind::Unit:
+    return "Unit";
+  case TypeKind::Bool:
+    return "Bool";
+  case TypeKind::Int:
+    return "Int";
+  case TypeKind::Float:
+    return "Float";
+  case TypeKind::String:
+    return "String";
+  case TypeKind::Set:
+    return "Set[" + Params[0].str() + "]";
+  case TypeKind::Map:
+    return "Map[" + Params[0].str() + ", " + Params[1].str() + "]";
+  case TypeKind::Queue:
+    return "Queue[" + Params[0].str() + "]";
+  case TypeKind::Var:
+    return "'" + std::to_string(VarId);
+  }
+  return "?";
+}
+
+bool tessla::operator==(const Type &A, const Type &B) {
+  if (A.Kind != B.Kind)
+    return false;
+  if (A.Kind == TypeKind::Var)
+    return A.VarId == B.VarId;
+  return A.Params == B.Params;
+}

@@ -1,0 +1,127 @@
+//===- Lang/TypeCheck.cpp ---------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Lang/TypeCheck.h"
+
+#include "tessla/Lang/TypeUnifier.h"
+#include "tessla/Support/Format.h"
+
+using namespace tessla;
+
+static Type literalType(const ConstantLit &Lit) {
+  struct Visitor {
+    Type operator()(std::monostate) const { return Type::unit(); }
+    Type operator()(bool) const { return Type::boolean(); }
+    Type operator()(int64_t) const { return Type::integer(); }
+    Type operator()(double) const { return Type::floating(); }
+    Type operator()(const std::string &) const { return Type::string(); }
+  };
+  return std::visit(Visitor{}, Lit.V);
+}
+
+/// Rejects aggregates whose parameters are themselves aggregates (see file
+/// header of TypeCheck.h).
+static bool checkNoNestedAggregates(const Type &T) {
+  if (T.isComplex()) {
+    for (const Type &P : T.params())
+      if (P.isComplex())
+        return false;
+  }
+  for (const Type &P : T.params())
+    if (!checkNoNestedAggregates(P))
+      return false;
+  return true;
+}
+
+bool tessla::typecheck(Spec &S, DiagnosticEngine &Diags) {
+  unsigned Before = Diags.errorCount();
+  TypeUnifier U;
+  uint32_t N = S.numStreams();
+
+  // One variable per stream. Stream variables occupy ids >= 2e6 to stay
+  // clear of both signature-local ids (0..1) and TypeUnifier fresh vars.
+  auto StreamVar = [](StreamId Id) { return Type::var(2000000 + Id); };
+
+  for (StreamId Id = 0; Id != N; ++Id) {
+    const StreamDef &D = S.stream(Id);
+    Type V = StreamVar(Id);
+    auto Mismatch = [&](const std::string &What) {
+      Diags.error(D.Loc, formatString("type mismatch in '%s': %s",
+                                      D.Name.c_str(), What.c_str()));
+    };
+    switch (D.Kind) {
+    case StreamKind::Input:
+      if (!U.unify(V, D.Ty))
+        Mismatch("input type conflicts with use");
+      break;
+    case StreamKind::Nil:
+      break; // any type; must become concrete through uses
+    case StreamKind::Unit:
+      if (!U.unify(V, Type::unit()))
+        Mismatch("unit stream used at non-Unit type");
+      break;
+    case StreamKind::Const:
+      if (!U.unify(V, literalType(D.Literal)))
+        Mismatch("literal type conflicts with use");
+      break;
+    case StreamKind::Time:
+      if (!U.unify(V, Type::integer()))
+        Mismatch("time(...) must have type Int");
+      break;
+    case StreamKind::Lift: {
+      const BuiltinInfo &Info = builtinInfo(D.Fn);
+      std::unordered_map<uint32_t, Type> Renaming;
+      for (unsigned I = 0; I != Info.Arity; ++I) {
+        Type Param = U.instantiate(Info.ParamTypes[I], Renaming);
+        if (!U.unify(StreamVar(D.Args[I]), Param))
+          Mismatch(formatString(
+              "argument %u of %s does not fit the expected type %s", I + 1,
+              std::string(Info.Name).c_str(),
+              U.apply(Param).str().c_str()));
+      }
+      Type Result = U.instantiate(Info.ResultType, Renaming);
+      if (!U.unify(V, Result))
+        Mismatch(formatString("result of %s does not fit its uses",
+                              std::string(Info.Name).c_str()));
+      break;
+    }
+    case StreamKind::Last:
+      if (!U.unify(V, StreamVar(D.Args[0])))
+        Mismatch("last(v, r) must have v's type");
+      break;
+    case StreamKind::Delay:
+      if (!U.unify(StreamVar(D.Args[0]), Type::integer()))
+        Mismatch("delay amounts must have type Int");
+      if (!U.unify(V, Type::unit()))
+        Mismatch("delay(...) must have type Unit");
+      break;
+    }
+  }
+  if (Diags.errorCount() != Before)
+    return false;
+
+  // Resolve and write back.
+  for (StreamId Id = 0; Id != N; ++Id) {
+    StreamDef &D = S.stream(Id);
+    Type Resolved = U.apply(StreamVar(Id));
+    if (!Resolved.isConcrete()) {
+      Diags.error(D.Loc,
+                  formatString("cannot infer a concrete type for stream "
+                               "'%s' (got %s); add uses or annotations",
+                               D.Name.c_str(), Resolved.str().c_str()));
+      continue;
+    }
+    if (!checkNoNestedAggregates(Resolved)) {
+      Diags.error(D.Loc,
+                  formatString("stream '%s' has nested aggregate type %s; "
+                               "aggregate elements must be scalar",
+                               D.Name.c_str(), Resolved.str().c_str()));
+      continue;
+    }
+    D.Ty = Resolved;
+  }
+  return Diags.errorCount() == Before;
+}

@@ -1,0 +1,77 @@
+//===- Lang/TypeUnifier.cpp -------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Lang/TypeUnifier.h"
+
+#include <cassert>
+
+using namespace tessla;
+
+Type TypeUnifier::instantiate(const Type &T,
+                              std::unordered_map<uint32_t, Type> &Renaming) {
+  if (T.isVar()) {
+    auto [It, Inserted] = Renaming.try_emplace(T.varId(), Type());
+    if (Inserted)
+      It->second = freshVar();
+    return It->second;
+  }
+  switch (T.kind()) {
+  case TypeKind::Set:
+    return Type::set(instantiate(T.params()[0], Renaming));
+  case TypeKind::Map:
+    return Type::map(instantiate(T.params()[0], Renaming),
+                     instantiate(T.params()[1], Renaming));
+  case TypeKind::Queue:
+    return Type::queue(instantiate(T.params()[0], Renaming));
+  default:
+    return T;
+  }
+}
+
+Type TypeUnifier::resolve(Type T) const {
+  while (T.isVar()) {
+    auto It = Subst.find(T.varId());
+    if (It == Subst.end())
+      return T;
+    T = It->second;
+  }
+  return T;
+}
+
+bool TypeUnifier::unify(const Type &RawA, const Type &RawB) {
+  Type A = resolve(RawA), B = resolve(RawB);
+  if (A == B)
+    return true;
+  if (A.isVar()) {
+    // Occurs check against the applied form of B.
+    if (apply(B).contains(A.varId()))
+      return false;
+    Subst.emplace(A.varId(), B);
+    return true;
+  }
+  if (B.isVar())
+    return unify(B, A);
+  if (A.kind() != B.kind() || A.params().size() != B.params().size())
+    return false;
+  for (size_t I = 0, E = A.params().size(); I != E; ++I)
+    if (!unify(A.params()[I], B.params()[I]))
+      return false;
+  return true;
+}
+
+Type TypeUnifier::apply(const Type &T) const {
+  Type R = resolve(T);
+  switch (R.kind()) {
+  case TypeKind::Set:
+    return Type::set(apply(R.params()[0]));
+  case TypeKind::Map:
+    return Type::map(apply(R.params()[0]), apply(R.params()[1]));
+  case TypeKind::Queue:
+    return Type::queue(apply(R.params()[0]));
+  default:
+    return R;
+  }
+}

@@ -1,0 +1,358 @@
+//===- Runtime/BuiltinImpls.cpp ---------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Runtime/BuiltinImpls.h"
+
+#include "tessla/Support/Format.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace tessla;
+
+namespace {
+
+bool isNumeric(const Value &V) {
+  return V.kind() == Value::Kind::Int || V.kind() == Value::Kind::Float;
+}
+
+/// Applies an Int/Float binary arithmetic operator.
+Value arith(BuiltinId Fn, const Value &A, const Value &B, EvalError &Err) {
+  if (!isNumeric(A) || !isNumeric(B) || A.kind() != B.kind()) {
+    Err.fail(formatString("arithmetic on non-numeric or mixed kinds "
+                          "(%s, %s)",
+                          std::string(valueKindName(A.kind())).c_str(),
+                          std::string(valueKindName(B.kind())).c_str()));
+    return Value::unit();
+  }
+  if (A.kind() == Value::Kind::Int) {
+    int64_t X = A.getInt(), Y = B.getInt();
+    switch (Fn) {
+    case BuiltinId::Add:
+      return Value::integer(X + Y);
+    case BuiltinId::Sub:
+      return Value::integer(X - Y);
+    case BuiltinId::Mul:
+      return Value::integer(X * Y);
+    case BuiltinId::Div:
+      if (Y == 0) {
+        Err.fail("integer division by zero");
+        return Value::unit();
+      }
+      return Value::integer(X / Y);
+    case BuiltinId::Mod:
+      if (Y == 0) {
+        Err.fail("integer modulo by zero");
+        return Value::unit();
+      }
+      return Value::integer(X % Y);
+    case BuiltinId::Min:
+      return Value::integer(std::min(X, Y));
+    case BuiltinId::Max:
+      return Value::integer(std::max(X, Y));
+    default:
+      break;
+    }
+  } else {
+    double X = A.getFloat(), Y = B.getFloat();
+    switch (Fn) {
+    case BuiltinId::Add:
+      return Value::floating(X + Y);
+    case BuiltinId::Sub:
+      return Value::floating(X - Y);
+    case BuiltinId::Mul:
+      return Value::floating(X * Y);
+    case BuiltinId::Div:
+      return Value::floating(X / Y); // IEEE semantics for float division
+    case BuiltinId::Mod:
+      return Value::floating(std::fmod(X, Y));
+    case BuiltinId::Min:
+      return Value::floating(std::min(X, Y));
+    case BuiltinId::Max:
+      return Value::floating(std::max(X, Y));
+    default:
+      break;
+    }
+  }
+  assert(false && "not an arithmetic builtin");
+  return Value::unit();
+}
+
+Value expectBool(const Value &V, EvalError &Err) {
+  if (V.kind() != Value::Kind::Bool) {
+    Err.fail("boolean operator applied to non-Bool value");
+    return Value::boolean(false);
+  }
+  return V;
+}
+
+// --- Set operations ------------------------------------------------------
+
+Value setWithInsert(const Value &S, const Value &X, bool InPlace) {
+  if (InPlace) {
+    S.getSet()->Mutable.insert(X);
+    return S;
+  }
+  auto Fresh = makeSetData(false);
+  Fresh->Persistent = S.getSet()->Persistent.insert(X);
+  return Value::set(std::move(Fresh));
+}
+
+Value setWithErase(const Value &S, const Value &X, bool InPlace) {
+  if (InPlace) {
+    S.getSet()->Mutable.erase(X);
+    return S;
+  }
+  auto Fresh = makeSetData(false);
+  Fresh->Persistent = S.getSet()->Persistent.erase(X);
+  return Value::set(std::move(Fresh));
+}
+
+// --- Queue operations ----------------------------------------------------
+
+Value queueWithEnq(const Value &Q, const Value &X, bool InPlace) {
+  if (InPlace) {
+    Q.getQueue()->Mutable.push_back(X);
+    return Q;
+  }
+  auto Fresh = makeQueueData(false);
+  Fresh->Persistent = Q.getQueue()->Persistent.enqueue(X);
+  return Value::queue(std::move(Fresh));
+}
+
+Value queueWithDeq(const Value &Q, bool InPlace, EvalError &Err) {
+  if (Q.getQueue()->empty()) {
+    Err.fail("queueDeq on empty queue");
+    return Value::unit();
+  }
+  if (InPlace) {
+    Q.getQueue()->Mutable.pop_front();
+    return Q;
+  }
+  auto Fresh = makeQueueData(false);
+  Fresh->Persistent = Q.getQueue()->Persistent.dequeue();
+  return Value::queue(std::move(Fresh));
+}
+
+Value queueTrimmed(const Value &Q, int64_t Bound, bool InPlace) {
+  if (Bound < 0)
+    Bound = 0;
+  if (InPlace) {
+    auto &Deque = Q.getQueue()->Mutable;
+    while (Deque.size() > static_cast<size_t>(Bound))
+      Deque.pop_front();
+    return Q;
+  }
+  PQueue<Value> P = Q.getQueue()->Persistent;
+  if (P.size() <= static_cast<size_t>(Bound))
+    return Q; // unchanged: share the handle
+  while (P.size() > static_cast<size_t>(Bound))
+    P = P.dequeue();
+  auto Fresh = makeQueueData(false);
+  Fresh->Persistent = std::move(P);
+  return Value::queue(std::move(Fresh));
+}
+
+} // namespace
+
+Value tessla::applyBuiltin(BuiltinId Fn, const Value *const *Args,
+                           unsigned NumArgs, bool InPlace, EvalError &Err) {
+  (void)NumArgs;
+  auto Arg = [&](unsigned I) -> const Value & {
+    assert(I < NumArgs && Args[I] && "required argument missing");
+    return *Args[I];
+  };
+
+  switch (Fn) {
+  // Event combination (merge is handled by the engine; ite/filter pass
+  // values through unchanged).
+  case BuiltinId::Merge:
+    return Arg(0); // engine already selected the first present argument
+  case BuiltinId::Ite:
+    return expectBool(Arg(0), Err).getBool() ? Arg(1) : Arg(2);
+  case BuiltinId::Filter:
+    return Arg(0); // engine checked the condition
+
+  // Arithmetic.
+  case BuiltinId::Add:
+  case BuiltinId::Sub:
+  case BuiltinId::Mul:
+  case BuiltinId::Div:
+  case BuiltinId::Mod:
+  case BuiltinId::Min:
+  case BuiltinId::Max:
+    return arith(Fn, Arg(0), Arg(1), Err);
+  case BuiltinId::Neg:
+    if (Arg(0).kind() == Value::Kind::Int)
+      return Value::integer(-Arg(0).getInt());
+    if (Arg(0).kind() == Value::Kind::Float)
+      return Value::floating(-Arg(0).getFloat());
+    Err.fail("neg on non-numeric value");
+    return Value::unit();
+  case BuiltinId::Abs:
+    if (Arg(0).kind() == Value::Kind::Int)
+      return Value::integer(std::abs(Arg(0).getInt()));
+    if (Arg(0).kind() == Value::Kind::Float)
+      return Value::floating(std::fabs(Arg(0).getFloat()));
+    Err.fail("abs on non-numeric value");
+    return Value::unit();
+
+  // Comparisons (total order over same-kind values).
+  case BuiltinId::Eq:
+    return Value::boolean(Arg(0) == Arg(1));
+  case BuiltinId::Neq:
+    return Value::boolean(!(Arg(0) == Arg(1)));
+  case BuiltinId::Lt:
+    return Value::boolean(compareValues(Arg(0), Arg(1)) < 0);
+  case BuiltinId::Leq:
+    return Value::boolean(compareValues(Arg(0), Arg(1)) <= 0);
+  case BuiltinId::Gt:
+    return Value::boolean(compareValues(Arg(0), Arg(1)) > 0);
+  case BuiltinId::Geq:
+    return Value::boolean(compareValues(Arg(0), Arg(1)) >= 0);
+
+  // Boolean.
+  case BuiltinId::LAnd:
+    return Value::boolean(expectBool(Arg(0), Err).getBool() &&
+                          expectBool(Arg(1), Err).getBool());
+  case BuiltinId::LOr:
+    return Value::boolean(expectBool(Arg(0), Err).getBool() ||
+                          expectBool(Arg(1), Err).getBool());
+  case BuiltinId::LNot:
+    return Value::boolean(!expectBool(Arg(0), Err).getBool());
+
+  // Conversions.
+  case BuiltinId::ToFloat:
+    return Value::floating(static_cast<double>(Arg(0).getInt()));
+  case BuiltinId::ToInt:
+    return Value::integer(static_cast<int64_t>(Arg(0).getFloat()));
+
+  // Sets.
+  case BuiltinId::SetEmpty:
+    return Value::set(makeSetData(InPlace));
+  case BuiltinId::SetAdd:
+    return setWithInsert(Arg(0), Arg(1), InPlace);
+  case BuiltinId::SetRemove:
+    return setWithErase(Arg(0), Arg(1), InPlace);
+  case BuiltinId::SetToggle:
+    return Arg(0).getSet()->contains(Arg(1))
+               ? setWithErase(Arg(0), Arg(1), InPlace)
+               : setWithInsert(Arg(0), Arg(1), InPlace);
+  case BuiltinId::SetUpdate: {
+    // Optional presence: Args[1] = value to add, Args[2] = value to
+    // remove; at least one is present (engine enforced).
+    Value Result = Arg(0);
+    if (Args[1])
+      Result = setWithInsert(Result, *Args[1], InPlace);
+    if (Args[2])
+      Result = setWithErase(Result, *Args[2], InPlace);
+    return Result;
+  }
+  case BuiltinId::SetUnion: {
+    // Writes Arg(0), reads Arg(1); the reader side is
+    // representation-agnostic.
+    if (InPlace) {
+      const Value &Dst = Arg(0);
+      // items() materializes a copy, so even a (degenerate) self-union
+      // does not iterate a container being modified.
+      for (const Value &V : Arg(1).getSet()->items())
+        Dst.getSet()->Mutable.insert(V);
+      return Dst;
+    }
+    auto Fresh = makeSetData(false);
+    Fresh->Persistent = Arg(0).getSet()->Persistent;
+    for (const Value &V : Arg(1).getSet()->items())
+      Fresh->Persistent = Fresh->Persistent.insert(V);
+    return Value::set(std::move(Fresh));
+  }
+  case BuiltinId::SetDiff: {
+    if (InPlace) {
+      const Value &Dst = Arg(0);
+      for (const Value &V : Arg(1).getSet()->items())
+        Dst.getSet()->Mutable.erase(V);
+      return Dst;
+    }
+    auto Fresh = makeSetData(false);
+    Fresh->Persistent = Arg(0).getSet()->Persistent;
+    for (const Value &V : Arg(1).getSet()->items())
+      Fresh->Persistent = Fresh->Persistent.erase(V);
+    return Value::set(std::move(Fresh));
+  }
+  case BuiltinId::SetContains:
+    return Value::boolean(Arg(0).getSet()->contains(Arg(1)));
+  case BuiltinId::SetSize:
+    return Value::integer(static_cast<int64_t>(Arg(0).getSet()->size()));
+
+  // Maps.
+  case BuiltinId::MapEmpty:
+    return Value::map(makeMapData(InPlace));
+  case BuiltinId::MapPut: {
+    const Value &M = Arg(0);
+    if (InPlace) {
+      M.getMap()->Mutable[Arg(1)] = Arg(2);
+      return M;
+    }
+    auto Fresh = makeMapData(false);
+    Fresh->Persistent = M.getMap()->Persistent.set(Arg(1), Arg(2));
+    return Value::map(std::move(Fresh));
+  }
+  case BuiltinId::MapRemove: {
+    const Value &M = Arg(0);
+    if (InPlace) {
+      M.getMap()->Mutable.erase(Arg(1));
+      return M;
+    }
+    auto Fresh = makeMapData(false);
+    Fresh->Persistent = M.getMap()->Persistent.erase(Arg(1));
+    return Value::map(std::move(Fresh));
+  }
+  case BuiltinId::MapGet: {
+    const Value *Found = Arg(0).getMap()->find(Arg(1));
+    if (!Found) {
+      Err.fail("mapGet: key " + Arg(1).str() + " not present");
+      return Value::unit();
+    }
+    return *Found;
+  }
+  case BuiltinId::MapGetOrElse: {
+    const Value *Found = Arg(0).getMap()->find(Arg(1));
+    return Found ? *Found : Arg(2);
+  }
+  case BuiltinId::MapContains:
+    return Value::boolean(Arg(0).getMap()->find(Arg(1)) != nullptr);
+  case BuiltinId::MapSize:
+    return Value::integer(static_cast<int64_t>(Arg(0).getMap()->size()));
+
+  // Queues.
+  case BuiltinId::QueueEmpty:
+    return Value::queue(makeQueueData(InPlace));
+  case BuiltinId::QueueEnq:
+    return queueWithEnq(Arg(0), Arg(1), InPlace);
+  case BuiltinId::QueueDeq:
+    return queueWithDeq(Arg(0), InPlace, Err);
+  case BuiltinId::QueueFront: {
+    const QueueData &Q = *Arg(0).getQueue();
+    if (Q.empty()) {
+      Err.fail("queueFront on empty queue");
+      return Value::unit();
+    }
+    return Q.IsMutable ? Q.Mutable.front() : Q.Persistent.front();
+  }
+  case BuiltinId::QueueSize:
+    return Value::integer(static_cast<int64_t>(Arg(0).getQueue()->size()));
+  case BuiltinId::QueueTrim:
+    return queueTrimmed(Arg(0), Arg(1).getInt(), InPlace);
+
+  // Strings.
+  case BuiltinId::StrConcat:
+    return Value::string(Arg(0).getString() + Arg(1).getString());
+  case BuiltinId::StrLen:
+    return Value::integer(
+        static_cast<int64_t>(Arg(0).getString().size()));
+  }
+  assert(false && "unhandled builtin");
+  return Value::unit();
+}

@@ -1,0 +1,49 @@
+//===- Runtime/Containers.cpp -----------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Runtime/Containers.h"
+
+using namespace tessla;
+
+std::vector<Value> SetData::items() const {
+  if (IsMutable)
+    return std::vector<Value>(Mutable.begin(), Mutable.end());
+  return Persistent.items();
+}
+
+const Value *MapData::find(const Value &Key) const {
+  if (IsMutable) {
+    auto It = Mutable.find(Key);
+    return It == Mutable.end() ? nullptr : &It->second;
+  }
+  return Persistent.find(Key);
+}
+
+std::vector<std::pair<Value, Value>> MapData::items() const {
+  if (IsMutable)
+    return std::vector<std::pair<Value, Value>>(Mutable.begin(),
+                                                Mutable.end());
+  return Persistent.items();
+}
+
+std::vector<Value> QueueData::items() const {
+  if (IsMutable)
+    return std::vector<Value>(Mutable.begin(), Mutable.end());
+  std::vector<Value> Out;
+  Out.reserve(Persistent.size());
+  Persistent.forEach([&Out](const Value &V) { Out.push_back(V); });
+  return Out;
+}
+
+std::shared_ptr<SetData> tessla::makeSetData(bool IsMutable) {
+  return std::make_shared<SetData>(IsMutable);
+}
+std::shared_ptr<MapData> tessla::makeMapData(bool IsMutable) {
+  return std::make_shared<MapData>(IsMutable);
+}
+std::shared_ptr<QueueData> tessla::makeQueueData(bool IsMutable) {
+  return std::make_shared<QueueData>(IsMutable);
+}

@@ -1,0 +1,283 @@
+//===- Runtime/Monitor.cpp --------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Runtime/Monitor.h"
+
+#include "tessla/Support/Format.h"
+
+#include <cassert>
+#include <limits>
+
+using namespace tessla;
+
+Monitor::Monitor(const MonitorPlan &Plan_) : Plan(Plan_) {
+  uint32_t N = Plan.numStreams();
+  Cur.resize(N);
+  Present.assign(N, 0);
+  LastVal.resize(N);
+  LastInit.assign(N, 0);
+  NextTs.assign(Plan.delays().size(), 0);
+  NextTsSet.assign(Plan.delays().size(), 0);
+}
+
+void Monitor::failAt(Time Ts, StreamId Id, const std::string &Message) {
+  Err.fail(formatString("at t=%lld, stream '%s': %s",
+                        static_cast<long long>(Ts),
+                        Plan.spec().stream(Id).Name.c_str(),
+                        Message.c_str()));
+}
+
+void Monitor::setValue(StreamId Id, Value V) {
+  Cur[Id] = std::move(V);
+  if (!Present[Id]) {
+    Present[Id] = 1;
+    Touched.push_back(Id);
+  }
+}
+
+std::optional<Time> Monitor::minNextDelay() const {
+  std::optional<Time> Min;
+  for (size_t I = 0, E = NextTs.size(); I != E; ++I)
+    if (NextTsSet[I] && (!Min || NextTs[I] < *Min))
+      Min = NextTs[I];
+  return Min;
+}
+
+void Monitor::runCalc(Time Ts) {
+  ++NumCalcRuns;
+
+  // --- Calculation section (§III-A), in translation order. ---
+  for (const PlanStep &Step : Plan.steps()) {
+    if (Err.Failed)
+      return;
+    switch (Step.Kind) {
+    case StreamKind::Input:
+    case StreamKind::Nil:
+      break; // inputs were buffered by feed(); nil never fires
+    case StreamKind::Unit:
+    case StreamKind::Const:
+      if (Ts == 0)
+        setValue(Step.Id, Step.ConstVal);
+      break;
+    case StreamKind::Time:
+      if (Present[Step.Args[0]])
+        setValue(Step.Id, Value::integer(Ts));
+      break;
+    case StreamKind::Last:
+      if (Present[Step.Args[1]] && LastInit[Step.Args[0]])
+        setValue(Step.Id, LastVal[Step.Args[0]]);
+      break;
+    case StreamKind::Delay: {
+      // NextTs slots are indexed by position in Plan.delays(); find ours.
+      // (Linear scan is fine: specs have few delays; cached lookup would
+      // complicate the plan for no measurable gain.)
+      for (size_t I = 0, E = Plan.delays().size(); I != E; ++I)
+        if (Plan.delays()[I].Id == Step.Id) {
+          if (NextTsSet[I] && NextTs[I] == Ts)
+            setValue(Step.Id, Value::unit());
+          break;
+        }
+      break;
+    }
+    case StreamKind::Lift: {
+      const Value *Args[3] = {nullptr, nullptr, nullptr};
+      unsigned NumArgs = static_cast<unsigned>(Step.Args.size());
+      switch (Step.Events) {
+      case EventSemantics::All: {
+        bool AllPresent = true;
+        for (unsigned I = 0; I != NumArgs; ++I) {
+          if (!Present[Step.Args[I]]) {
+            AllPresent = false;
+            break;
+          }
+          Args[I] = &Cur[Step.Args[I]];
+        }
+        if (!AllPresent)
+          break;
+        Value Result = applyBuiltin(Step.Fn, Args, NumArgs, Step.InPlace,
+                                    Err);
+        if (Err.Failed) {
+          failAt(Ts, Step.Id, Err.Message);
+          return;
+        }
+        setValue(Step.Id, std::move(Result));
+        break;
+      }
+      case EventSemantics::Any:
+        // merge: the first stream's event wins (f_merge, §II).
+        for (unsigned I = 0; I != NumArgs; ++I)
+          if (Present[Step.Args[I]]) {
+            setValue(Step.Id, Cur[Step.Args[I]]);
+            break;
+          }
+        break;
+      case EventSemantics::FirstAndAnyRest: {
+        if (!Present[Step.Args[0]])
+          break;
+        bool AnyRest = false;
+        Args[0] = &Cur[Step.Args[0]];
+        for (unsigned I = 1; I != NumArgs; ++I)
+          if (Present[Step.Args[I]]) {
+            Args[I] = &Cur[Step.Args[I]];
+            AnyRest = true;
+          }
+        if (!AnyRest)
+          break;
+        Value Result = applyBuiltin(Step.Fn, Args, NumArgs, Step.InPlace,
+                                    Err);
+        if (Err.Failed) {
+          failAt(Ts, Step.Id, Err.Message);
+          return;
+        }
+        setValue(Step.Id, std::move(Result));
+        break;
+      }
+      case EventSemantics::Custom: {
+        // filter(a, c): pass a's event iff c is currently true.
+        assert(Step.Fn == BuiltinId::Filter &&
+               "only filter has Custom semantics");
+        if (!Present[Step.Args[0]] || !Present[Step.Args[1]])
+          break;
+        const Value &Cond = Cur[Step.Args[1]];
+        if (Cond.kind() != Value::Kind::Bool) {
+          failAt(Ts, Step.Id, "filter condition is not a Bool");
+          return;
+        }
+        if (Cond.getBool())
+          setValue(Step.Id, Cur[Step.Args[0]]);
+        break;
+      }
+      }
+      break;
+    }
+    }
+  }
+
+  // --- Emit outputs. ---
+  if (Handler) {
+    for (StreamId Out : Plan.outputs())
+      if (Present[Out]) {
+        ++NumOutputs;
+        Handler(Ts, Out, Cur[Out]);
+      }
+  } else {
+    for (StreamId Out : Plan.outputs())
+      if (Present[Out])
+        ++NumOutputs;
+  }
+
+  // --- End of calculation: update *_last slots (§III-A). ---
+  for (StreamId V : Plan.lastValueSources())
+    if (Present[V]) {
+      LastVal[V] = Cur[V];
+      LastInit[V] = 1;
+    }
+
+  // --- Delay scheduling (§III-B): an event of the reset stream or the
+  // delay itself is a reset; with a delays-value event it re-arms the
+  // timer, without one it cancels it. ---
+  for (size_t I = 0, E = Plan.delays().size(); I != E; ++I) {
+    const DelayInfo &D = Plan.delays()[I];
+    bool ResetEvent = Present[D.ResetArg] || Present[D.Id];
+    if (!ResetEvent)
+      continue;
+    if (Present[D.DelaysArg]) {
+      int64_t Amount = Cur[D.DelaysArg].getInt();
+      if (Amount <= 0) {
+        failAt(Ts, D.Id, "delay amounts must be positive");
+        return;
+      }
+      NextTs[I] = Ts + Amount;
+      NextTsSet[I] = 1;
+    } else {
+      NextTsSet[I] = 0;
+    }
+  }
+
+  // --- Reset current-value slots for the next timestamp. ---
+  for (StreamId Id : Touched) {
+    Present[Id] = 0;
+    Cur[Id] = Value(); // release aggregate handles promptly
+  }
+  Touched.clear();
+}
+
+void Monitor::flushBefore(Time T) {
+  if (!CalcDoneForPending) {
+    runCalc(PendingTs);
+    CalcDoneForPending = true;
+  }
+  while (!Err.Failed) {
+    std::optional<Time> Min = minNextDelay();
+    if (!Min || *Min >= T)
+      return;
+    runCalc(*Min);
+  }
+}
+
+bool Monitor::feed(StreamId Input, Time Ts, Value V) {
+  if (Err.Failed)
+    return false;
+  if (Finished) {
+    Err.fail("feed() after finish()");
+    return false;
+  }
+  assert(Plan.spec().stream(Input).Kind == StreamKind::Input &&
+         "feed() targets must be input streams");
+  if (Ts < 0) {
+    failAt(Ts, Input, "timestamps must be non-negative");
+    return false;
+  }
+  if (Ts < PendingTs || (CalcDoneForPending && Ts == PendingTs)) {
+    failAt(Ts, Input, "input events must arrive in timestamp order");
+    return false;
+  }
+  if (Ts > PendingTs) {
+    flushBefore(Ts);
+    if (Err.Failed)
+      return false;
+    PendingTs = Ts;
+    CalcDoneForPending = false;
+  } else if (Present[Input]) {
+    failAt(Ts, Input, "two events on one stream at the same timestamp");
+    return false;
+  }
+  setValue(Input, std::move(V));
+  return true;
+}
+
+void Monitor::finish(std::optional<Time> Horizon) {
+  if (Err.Failed || Finished)
+    return;
+  Time Bound = Horizon ? (*Horizon == std::numeric_limits<Time>::max()
+                              ? *Horizon
+                              : *Horizon + 1)
+                       : std::numeric_limits<Time>::max();
+  flushBefore(Bound);
+  Finished = true;
+}
+
+std::vector<OutputEvent> tessla::runMonitor(
+    const MonitorPlan &Plan,
+    const std::vector<std::tuple<StreamId, Time, Value>> &Events,
+    std::optional<Time> Horizon, std::string *ErrorOut) {
+  Monitor M(Plan);
+  std::vector<OutputEvent> Out;
+  M.setOutputHandler([&Out](Time Ts, StreamId Id, const Value &V) {
+    // The handler's value is borrowed: with the optimization on, the
+    // aggregate behind it will be destructively updated at later
+    // timestamps. Recording requires a deep copy.
+    Out.push_back({Ts, Id, V.deepCopy()});
+  });
+  for (const auto &[Id, Ts, V] : Events) {
+    if (!M.feed(Id, Ts, V))
+      break;
+  }
+  M.finish(Horizon);
+  if (ErrorOut)
+    *ErrorOut = M.failed() ? M.errorMessage() : "";
+  return Out;
+}

@@ -1,0 +1,116 @@
+//===- Runtime/MonitorPlan.cpp ----------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Runtime/MonitorPlan.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tessla;
+
+MonitorPlan MonitorPlan::compile(const AnalysisResult &Analysis) {
+  MonitorPlan Plan;
+  Plan.S = Analysis.sharedSpec();
+  const Spec &S = *Plan.S;
+
+  const MutabilityResult &Mut = Analysis.mutability();
+  assert(Mut.Order.size() == S.numStreams() &&
+         "analysis order must cover all streams");
+
+  for (StreamId Id : Mut.Order) {
+    const StreamDef &D = S.stream(Id);
+    PlanStep Step;
+    Step.Id = Id;
+    Step.Kind = D.Kind;
+    Step.Args = D.Args;
+    Step.InPlace = Mut.Mutable[Id];
+    if (D.Kind == StreamKind::Lift) {
+      Step.Fn = D.Fn;
+      Step.Events = builtinInfo(D.Fn).Events;
+    }
+    if (D.Kind == StreamKind::Const)
+      Step.ConstVal = Value::fromLiteral(D.Literal);
+    if (D.Kind == StreamKind::Unit)
+      Step.ConstVal = Value::unit();
+    Plan.Steps.push_back(std::move(Step));
+  }
+
+  std::vector<bool> NeedsLast(S.numStreams(), false);
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id) {
+    const StreamDef &D = S.stream(Id);
+    if (D.Kind == StreamKind::Last)
+      NeedsLast[D.Args[0]] = true;
+    if (D.Kind == StreamKind::Delay)
+      Plan.Delays.push_back({Id, D.Args[0], D.Args[1]});
+    if (D.IsOutput)
+      Plan.Outputs.push_back(Id);
+  }
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id)
+    if (NeedsLast[Id])
+      Plan.LastSources.push_back(Id);
+  return Plan;
+}
+
+std::string MonitorPlan::str() const {
+  std::string Out;
+  unsigned Index = 0;
+  for (const PlanStep &Step : Steps) {
+    const StreamDef &D = S->stream(Step.Id);
+    std::string Kind;
+    switch (Step.Kind) {
+    case StreamKind::Input:
+      Kind = "input";
+      break;
+    case StreamKind::Nil:
+      Kind = "nil";
+      break;
+    case StreamKind::Unit:
+      Kind = "unit";
+      break;
+    case StreamKind::Const:
+      Kind = "const " + D.Literal.str();
+      break;
+    case StreamKind::Time:
+      Kind = "time(" + S->stream(Step.Args[0]).Name + ")";
+      break;
+    case StreamKind::Lift: {
+      std::vector<std::string> Args;
+      for (StreamId A : Step.Args)
+        Args.push_back(S->stream(A).Name);
+      Kind = std::string(builtinInfo(Step.Fn).Name) + "(" +
+             [&Args] {
+               std::string Joined;
+               for (size_t I = 0; I != Args.size(); ++I)
+                 Joined += (I ? ", " : "") + Args[I];
+               return Joined;
+             }() +
+             ")";
+      break;
+    }
+    case StreamKind::Last:
+      Kind = "last(" + S->stream(Step.Args[0]).Name + ", " +
+             S->stream(Step.Args[1]).Name + ")";
+      break;
+    case StreamKind::Delay:
+      Kind = "delay(" + S->stream(Step.Args[0]).Name + ", " +
+             S->stream(Step.Args[1]).Name + ")";
+      break;
+    }
+    Out += std::to_string(Index++) + ": " + D.Name + " = " + Kind;
+    if (Step.InPlace && Step.Kind == StreamKind::Lift)
+      Out += "   [in-place]";
+    Out += '\n';
+  }
+  return Out;
+}
+
+uint32_t MonitorPlan::inPlaceStepCount() const {
+  uint32_t Count = 0;
+  for (const PlanStep &Step : Steps)
+    if (Step.InPlace && Step.Kind == StreamKind::Lift)
+      ++Count;
+  return Count;
+}

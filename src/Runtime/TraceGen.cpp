@@ -1,0 +1,126 @@
+//===- Runtime/TraceGen.cpp -------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Runtime/TraceGen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+using namespace tessla;
+using namespace tessla::tracegen;
+
+std::vector<TraceEvent> tracegen::randomInts(StreamId Id, size_t Count,
+                                             int64_t Domain,
+                                             uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  std::uniform_int_distribution<int64_t> Dist(0, Domain - 1);
+  std::vector<TraceEvent> Events;
+  Events.reserve(Count);
+  for (size_t I = 0; I != Count; ++I)
+    Events.emplace_back(Id, static_cast<Time>(I + 1),
+                        Value::integer(Dist(Rng)));
+  return Events;
+}
+
+std::vector<TraceEvent> tracegen::dbLog(StreamId Insert, StreamId Delete,
+                                        StreamId Access,
+                                        const DbLogConfig &Config) {
+  std::mt19937_64 Rng(Config.Seed);
+  std::uniform_real_distribution<double> Coin(0.0, 1.0);
+  std::vector<TraceEvent> Events;
+  Events.reserve(Config.Count);
+  std::vector<int64_t> Live;
+  int64_t NextId = 0;
+
+  for (size_t I = 0; I != Config.Count; ++I) {
+    Time Ts = static_cast<Time>(I + 1);
+    double C = Coin(Rng);
+    if (C < Config.InsertProb || Live.empty()) {
+      Live.push_back(NextId);
+      Events.emplace_back(Insert, Ts, Value::integer(NextId));
+      ++NextId;
+      continue;
+    }
+    C -= Config.InsertProb;
+    std::uniform_int_distribution<size_t> Pick(0, Live.size() - 1);
+    if (C < Config.DeleteProb) {
+      size_t Idx = Pick(Rng);
+      Events.emplace_back(Delete, Ts, Value::integer(Live[Idx]));
+      Live[Idx] = Live.back();
+      Live.pop_back();
+      continue;
+    }
+    // Access: usually a live record, occasionally a missing one.
+    if (Coin(Rng) < Config.BadAccessProb) {
+      Events.emplace_back(Access, Ts, Value::integer(NextId + 1000000));
+    } else {
+      Events.emplace_back(Access, Ts, Value::integer(Live[Pick(Rng)]));
+    }
+  }
+  return Events;
+}
+
+std::vector<TraceEvent> tracegen::dbPairLog(StreamId Db2, StreamId Db3,
+                                            const DbPairConfig &Config) {
+  std::mt19937_64 Rng(Config.Seed);
+  std::uniform_real_distribution<double> Coin(0.0, 1.0);
+  std::uniform_int_distribution<Time> Lag(1, Config.MaxLag);
+  std::vector<TraceEvent> Events;
+  Events.reserve(2 * Config.Count);
+
+  Time Ts = 0;
+  for (size_t I = 0; I != Config.Count; ++I) {
+    int64_t Id = static_cast<int64_t>(I);
+    Ts += 1 + static_cast<Time>(Coin(Rng) * 5);
+    Events.emplace_back(Db2, Ts, Value::integer(Id));
+    // db3 follows, usually within the window.
+    Time FollowLag = Coin(Rng) < Config.LateProb
+                         ? Config.MaxLag + 1 + Lag(Rng)
+                         : Lag(Rng);
+    Events.emplace_back(Db3, Ts + FollowLag, Value::integer(Id));
+  }
+  // db3 events were appended out of order relative to later db2 events;
+  // restore global timestamp order (stable to keep determinism).
+  std::stable_sort(Events.begin(), Events.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     if (std::get<1>(A) != std::get<1>(B))
+                       return std::get<1>(A) < std::get<1>(B);
+                     return std::get<0>(A) < std::get<0>(B);
+                   });
+  // Drop same-(stream, ts) duplicates the lag randomness may create.
+  std::vector<TraceEvent> Deduped;
+  Deduped.reserve(Events.size());
+  for (TraceEvent &E : Events) {
+    if (!Deduped.empty() &&
+        std::get<0>(Deduped.back()) == std::get<0>(E) &&
+        std::get<1>(Deduped.back()) == std::get<1>(E))
+      continue;
+    Deduped.push_back(std::move(E));
+  }
+  return Deduped;
+}
+
+std::vector<TraceEvent> tracegen::powerSignal(StreamId Id,
+                                              const PowerConfig &Config) {
+  std::mt19937_64 Rng(Config.Seed);
+  std::normal_distribution<double> Noise(0.0, Config.Noise);
+  std::uniform_real_distribution<double> Coin(0.0, 1.0);
+  std::vector<TraceEvent> Events;
+  Events.reserve(Config.Count);
+
+  const double SamplesPerDay = 86400.0 / static_cast<double>(Config.Period);
+  for (size_t I = 0; I != Config.Count; ++I) {
+    Time Ts = static_cast<Time>(I + 1) * Config.Period;
+    double Phase = 2.0 * M_PI * static_cast<double>(I) / SamplesPerDay;
+    double V = Config.Base + Config.DailyAmp * std::sin(Phase) +
+               Noise(Rng);
+    if (Coin(Rng) < Config.PeakProb)
+      V *= Config.PeakScale;
+    Events.emplace_back(Id, Ts, Value::floating(V));
+  }
+  return Events;
+}

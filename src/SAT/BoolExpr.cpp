@@ -1,0 +1,188 @@
+//===- SAT/BoolExpr.cpp -----------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/SAT/BoolExpr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <unordered_set>
+
+using namespace tessla;
+
+BoolExprContext::BoolExprContext() {
+  Nodes.push_back({BoolExprKind::False, 0, {}});
+  Nodes.push_back({BoolExprKind::True, 0, {}});
+}
+
+BoolExprRef BoolExprContext::atom(uint32_t AtomId) {
+  auto [It, Inserted] = AtomCache.try_emplace(AtomId, 0);
+  if (Inserted) {
+    It->second = static_cast<BoolExprRef>(Nodes.size());
+    Nodes.push_back({BoolExprKind::Atom, AtomId, {}});
+  }
+  return It->second;
+}
+
+uint32_t BoolExprContext::atomId(BoolExprRef E) const {
+  assert(Nodes[E].Kind == BoolExprKind::Atom && "not an atom");
+  return Nodes[E].AtomId;
+}
+
+const std::vector<BoolExprRef> &
+BoolExprContext::children(BoolExprRef E) const {
+  assert((Nodes[E].Kind == BoolExprKind::And ||
+          Nodes[E].Kind == BoolExprKind::Or) &&
+         "not an and/or node");
+  return Nodes[E].Kids;
+}
+
+BoolExprRef
+BoolExprContext::internNary(BoolExprKind K,
+                            std::vector<BoolExprRef> Children) {
+  std::sort(Children.begin(), Children.end());
+  Children.erase(std::unique(Children.begin(), Children.end()),
+                 Children.end());
+  if (Children.size() == 1)
+    return Children.front();
+
+  std::string Key;
+  Key.reserve(1 + Children.size() * sizeof(BoolExprRef));
+  Key.push_back(static_cast<char>(K));
+  Key.append(reinterpret_cast<const char *>(Children.data()),
+             Children.size() * sizeof(BoolExprRef));
+  auto [It, Inserted] = NaryCache.try_emplace(std::move(Key), 0);
+  if (Inserted) {
+    It->second = static_cast<BoolExprRef>(Nodes.size());
+    Nodes.push_back({K, 0, std::move(Children)});
+  }
+  return It->second;
+}
+
+BoolExprRef BoolExprContext::conj(std::vector<BoolExprRef> Children) {
+  std::vector<BoolExprRef> Flat;
+  for (BoolExprRef C : Children) {
+    if (C == FalseRef)
+      return FalseRef;
+    if (C == TrueRef)
+      continue;
+    if (Nodes[C].Kind == BoolExprKind::And) {
+      Flat.insert(Flat.end(), Nodes[C].Kids.begin(), Nodes[C].Kids.end());
+      continue;
+    }
+    Flat.push_back(C);
+  }
+  if (Flat.empty())
+    return TrueRef;
+  return internNary(BoolExprKind::And, std::move(Flat));
+}
+
+BoolExprRef BoolExprContext::disj(std::vector<BoolExprRef> Children) {
+  std::vector<BoolExprRef> Flat;
+  for (BoolExprRef C : Children) {
+    if (C == TrueRef)
+      return TrueRef;
+    if (C == FalseRef)
+      continue;
+    if (Nodes[C].Kind == BoolExprKind::Or) {
+      Flat.insert(Flat.end(), Nodes[C].Kids.begin(), Nodes[C].Kids.end());
+      continue;
+    }
+    Flat.push_back(C);
+  }
+  if (Flat.empty())
+    return FalseRef;
+  return internNary(BoolExprKind::Or, std::move(Flat));
+}
+
+bool BoolExprContext::evaluate(BoolExprRef E,
+                               const std::vector<bool> &Assignment) const {
+  switch (Nodes[E].Kind) {
+  case BoolExprKind::False:
+    return false;
+  case BoolExprKind::True:
+    return true;
+  case BoolExprKind::Atom: {
+    uint32_t Id = Nodes[E].AtomId;
+    return Id < Assignment.size() && Assignment[Id];
+  }
+  case BoolExprKind::And:
+    for (BoolExprRef C : Nodes[E].Kids)
+      if (!evaluate(C, Assignment))
+        return false;
+    return true;
+  case BoolExprKind::Or:
+    for (BoolExprRef C : Nodes[E].Kids)
+      if (evaluate(C, Assignment))
+        return true;
+    return false;
+  }
+  return false;
+}
+
+std::vector<uint32_t> BoolExprContext::atoms(BoolExprRef E) const {
+  std::unordered_set<BoolExprRef> Seen;
+  std::vector<BoolExprRef> Worklist{E};
+  std::vector<uint32_t> Out;
+  while (!Worklist.empty()) {
+    BoolExprRef Cur = Worklist.back();
+    Worklist.pop_back();
+    if (!Seen.insert(Cur).second)
+      continue;
+    const Node &N = Nodes[Cur];
+    if (N.Kind == BoolExprKind::Atom)
+      Out.push_back(N.AtomId);
+    else
+      for (BoolExprRef C : N.Kids)
+        Worklist.push_back(C);
+  }
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+size_t BoolExprContext::dagSize(BoolExprRef E) const {
+  std::unordered_set<BoolExprRef> Seen;
+  std::vector<BoolExprRef> Worklist{E};
+  while (!Worklist.empty()) {
+    BoolExprRef Cur = Worklist.back();
+    Worklist.pop_back();
+    if (!Seen.insert(Cur).second)
+      continue;
+    for (BoolExprRef C : Nodes[Cur].Kids)
+      Worklist.push_back(C);
+  }
+  return Seen.size();
+}
+
+std::string
+BoolExprContext::str(BoolExprRef E,
+                     const std::vector<std::string> *AtomNames) const {
+  const Node &N = Nodes[E];
+  switch (N.Kind) {
+  case BoolExprKind::False:
+    return "false";
+  case BoolExprKind::True:
+    return "true";
+  case BoolExprKind::Atom:
+    if (AtomNames && N.AtomId < AtomNames->size())
+      return (*AtomNames)[N.AtomId];
+    return "a" + std::to_string(N.AtomId);
+  case BoolExprKind::And:
+  case BoolExprKind::Or: {
+    const char *Op = N.Kind == BoolExprKind::And ? " & " : " | ";
+    std::string Out = "(";
+    for (size_t I = 0; I != N.Kids.size(); ++I) {
+      if (I != 0)
+        Out += Op;
+      Out += str(N.Kids[I], AtomNames);
+    }
+    Out += ")";
+    return Out;
+  }
+  }
+  return "?";
+}

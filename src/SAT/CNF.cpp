@@ -1,0 +1,77 @@
+//===- SAT/CNF.cpp ----------------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/SAT/CNF.h"
+
+#include <cassert>
+
+using namespace tessla;
+
+Lit TseitinEncoder::trueLit() {
+  if (TrueVar == 0) {
+    TrueVar = Formula.newVar();
+    Formula.addUnit(static_cast<Lit>(TrueVar));
+  }
+  return static_cast<Lit>(TrueVar);
+}
+
+uint32_t TseitinEncoder::atomVar(uint32_t AtomId) {
+  auto [It, Inserted] = AtomVars.try_emplace(AtomId, 0);
+  if (Inserted)
+    It->second = Formula.newVar();
+  return It->second;
+}
+
+Lit TseitinEncoder::encode(BoolExprRef E) {
+  auto Cached = NodeLit.find(E);
+  if (Cached != NodeLit.end())
+    return Cached->second;
+
+  Lit Result = 0;
+  switch (Ctx.kind(E)) {
+  case BoolExprKind::True:
+    Result = trueLit();
+    break;
+  case BoolExprKind::False:
+    Result = -trueLit();
+    break;
+  case BoolExprKind::Atom:
+    Result = static_cast<Lit>(atomVar(Ctx.atomId(E)));
+    break;
+  case BoolExprKind::And: {
+    // n <-> c1 & ... & ck
+    std::vector<Lit> Kids;
+    for (BoolExprRef C : Ctx.children(E))
+      Kids.push_back(encode(C));
+    Lit N = static_cast<Lit>(Formula.newVar());
+    std::vector<Lit> Long{N};
+    for (Lit C : Kids) {
+      Formula.addBinary(-N, C);
+      Long.push_back(-C);
+    }
+    Formula.addClause(std::move(Long));
+    Result = N;
+    break;
+  }
+  case BoolExprKind::Or: {
+    // n <-> c1 | ... | ck
+    std::vector<Lit> Kids;
+    for (BoolExprRef C : Ctx.children(E))
+      Kids.push_back(encode(C));
+    Lit N = static_cast<Lit>(Formula.newVar());
+    std::vector<Lit> Long{-N};
+    for (Lit C : Kids) {
+      Formula.addBinary(N, -C);
+      Long.push_back(C);
+    }
+    Formula.addClause(std::move(Long));
+    Result = N;
+    break;
+  }
+  }
+  NodeLit.emplace(E, Result);
+  return Result;
+}

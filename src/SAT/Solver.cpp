@@ -1,0 +1,266 @@
+//===- SAT/Solver.cpp -------------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/SAT/Solver.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tessla;
+
+namespace {
+
+/// Internal DPLL state. Literals are remapped to indices 2v / 2v+1
+/// (positive / negative) for dense watch lists.
+class DPLL {
+public:
+  explicit DPLL(const CNF &Formula) : NumVars(Formula.NumVars) {
+    Assign.assign(NumVars + 1, Unassigned);
+    Watches.assign(2 * (NumVars + 1), {});
+    Reason.assign(NumVars + 1, false);
+    for (const auto &Clause : Formula.Clauses)
+      if (!addClause(Clause))
+        Contradiction = true;
+  }
+
+  SatResult run(std::vector<bool> &Model, uint64_t &Decisions) {
+    Decisions = 0;
+    if (Contradiction)
+      return SatResult::Unsat;
+    if (!propagate())
+      return SatResult::Unsat;
+    for (;;) {
+      uint32_t Var = pickBranchVar();
+      if (Var == 0) {
+        Model.assign(NumVars + 1, false);
+        for (uint32_t V = 1; V <= NumVars; ++V)
+          Model[V] = Assign[V] == TrueVal;
+        return SatResult::Sat;
+      }
+      ++Decisions;
+      DecisionStack.push_back(Trail.size());
+      // Try false first: CNFs from positive-formula implications are
+      // falsification searches, where sparse assignments succeed quickly.
+      enqueue(-static_cast<Lit>(Var));
+      while (!propagate()) {
+        // Backtrack: flip the most recent decision still untried.
+        if (!backtrack())
+          return SatResult::Unsat;
+      }
+    }
+  }
+
+private:
+  static constexpr int8_t Unassigned = 0, TrueVal = 1, FalseVal = -1;
+
+  struct ClauseData {
+    std::vector<Lit> Lits; // Lits[0], Lits[1] are the watched literals
+  };
+
+  uint32_t NumVars;
+  bool Contradiction = false;
+  std::vector<ClauseData> Clauses;
+  std::vector<int8_t> Assign;
+  // Watches[litIndex] lists clauses watching that literal.
+  std::vector<std::vector<uint32_t>> Watches;
+  // Trail of assigned literals (in assignment order).
+  std::vector<Lit> Trail;
+  size_t PropHead = 0;
+  // Trail positions where decisions were made.
+  std::vector<size_t> DecisionStack;
+  // FlippedAtLevel[i] == true if decision i has already been flipped.
+  std::vector<bool> Flipped;
+  // Reason[v] unused placeholder kept for symmetry (no learning).
+  std::vector<bool> Reason;
+
+  static uint32_t litIndex(Lit L) {
+    uint32_t V = static_cast<uint32_t>(L > 0 ? L : -L);
+    return 2 * V + (L < 0 ? 1 : 0);
+  }
+
+  int8_t value(Lit L) const {
+    int8_t A = Assign[L > 0 ? L : -L];
+    return L > 0 ? A : static_cast<int8_t>(-A);
+  }
+
+  bool addClause(const std::vector<Lit> &In) {
+    // Simplify: drop duplicate literals; a clause with l and -l is true.
+    std::vector<Lit> Lits(In);
+    std::sort(Lits.begin(), Lits.end(),
+              [](Lit A, Lit B) { return std::abs(A) < std::abs(B) ||
+                                        (std::abs(A) == std::abs(B) && A < B); });
+    Lits.erase(std::unique(Lits.begin(), Lits.end()), Lits.end());
+    for (size_t I = 0; I + 1 < Lits.size(); ++I)
+      if (Lits[I] == -Lits[I + 1])
+        return true; // tautological clause
+    if (Lits.empty())
+      return false;
+    if (Lits.size() == 1) {
+      if (value(Lits[0]) == FalseVal)
+        return false;
+      if (value(Lits[0]) == Unassigned)
+        enqueue(Lits[0]);
+      return true;
+    }
+    uint32_t Idx = static_cast<uint32_t>(Clauses.size());
+    Clauses.push_back({std::move(Lits)});
+    Watches[litIndex(Clauses[Idx].Lits[0])].push_back(Idx);
+    Watches[litIndex(Clauses[Idx].Lits[1])].push_back(Idx);
+    return true;
+  }
+
+  void enqueue(Lit L) {
+    assert(value(L) == Unassigned && "enqueueing assigned literal");
+    Assign[L > 0 ? L : -L] = L > 0 ? TrueVal : FalseVal;
+    Trail.push_back(L);
+  }
+
+  /// Unit propagation. Returns false on conflict.
+  bool propagate() {
+    while (PropHead < Trail.size()) {
+      Lit Assigned = Trail[PropHead++];
+      // Clauses watching the falsified literal -Assigned must be visited.
+      uint32_t WatchIdx = litIndex(-Assigned);
+      std::vector<uint32_t> &WatchList = Watches[WatchIdx];
+      size_t Keep = 0;
+      bool Conflict = false;
+      for (size_t I = 0; I != WatchList.size(); ++I) {
+        uint32_t CI = WatchList[I];
+        ClauseData &C = Clauses[CI];
+        // Normalize so that Lits[0] is the falsified watch.
+        if (litIndex(C.Lits[0]) != WatchIdx)
+          std::swap(C.Lits[0], C.Lits[1]);
+        if (value(C.Lits[1]) == TrueVal) {
+          WatchList[Keep++] = CI;
+          continue;
+        }
+        // Search a replacement watch.
+        bool Replaced = false;
+        for (size_t K = 2; K != C.Lits.size(); ++K) {
+          if (value(C.Lits[K]) != FalseVal) {
+            std::swap(C.Lits[0], C.Lits[K]);
+            Watches[litIndex(C.Lits[0])].push_back(CI);
+            Replaced = true;
+            break;
+          }
+        }
+        if (Replaced)
+          continue;
+        // Clause is unit or conflicting.
+        WatchList[Keep++] = CI;
+        if (value(C.Lits[1]) == FalseVal) {
+          // Conflict: keep remaining watches and bail out.
+          for (size_t K = I + 1; K != WatchList.size(); ++K)
+            WatchList[Keep++] = WatchList[K];
+          Conflict = true;
+          break;
+        }
+        enqueue(C.Lits[1]);
+      }
+      WatchList.resize(Keep);
+      if (Conflict)
+        return false;
+    }
+    return true;
+  }
+
+  uint32_t pickBranchVar() const {
+    for (uint32_t V = 1; V <= NumVars; ++V)
+      if (Assign[V] == Unassigned)
+        return V;
+    return 0;
+  }
+
+  /// Undoes to the most recent unflipped decision and flips it.
+  /// Returns false if no decision remains (UNSAT).
+  bool backtrack() {
+    while (!DecisionStack.empty()) {
+      size_t Mark = DecisionStack.back();
+      bool WasFlipped =
+          Flipped.size() >= DecisionStack.size() &&
+          Flipped[DecisionStack.size() - 1];
+      Lit Decision = Trail[Mark];
+      // Undo assignments above (and including) the decision.
+      while (Trail.size() > Mark) {
+        Lit L = Trail.back();
+        Trail.pop_back();
+        Assign[L > 0 ? L : -L] = Unassigned;
+      }
+      PropHead = Trail.size();
+      if (!WasFlipped) {
+        if (Flipped.size() < DecisionStack.size())
+          Flipped.resize(DecisionStack.size(), false);
+        Flipped[DecisionStack.size() - 1] = true;
+        enqueue(-Decision);
+        return true;
+      }
+      Flipped.resize(DecisionStack.size() - 1);
+      DecisionStack.pop_back();
+    }
+    return false;
+  }
+};
+
+} // namespace
+
+SatResult SatSolver::solve(const CNF &Formula) {
+  DPLL Engine(Formula);
+  return Engine.run(Model, Decisions);
+}
+
+std::optional<bool> ImplicationChecker::syntacticCheck(BoolExprRef F,
+                                                       BoolExprRef G) const {
+  if (F == G)
+    return true;
+  if (F == Ctx.falseExpr() || G == Ctx.trueExpr())
+    return true;
+  // Positive formulas: only the constant true is a tautology, and only the
+  // constant false is unsatisfiable (all-false falsifies, all-true
+  // satisfies everything else).
+  if (F == Ctx.trueExpr())
+    return G == Ctx.trueExpr();
+  if (G == Ctx.falseExpr())
+    return F == Ctx.falseExpr();
+  // F -> G1 & ... & Gk  needs all conjuncts; F1 | ... | Fk -> G needs all
+  // disjuncts; both are handled by SAT. Cheap hit: G is a disjunction
+  // containing F as a child.
+  if (Ctx.kind(G) == BoolExprKind::Or) {
+    const auto &Kids = Ctx.children(G);
+    if (std::find(Kids.begin(), Kids.end(), F) != Kids.end())
+      return true;
+  }
+  // F is a conjunction containing G as a child.
+  if (Ctx.kind(F) == BoolExprKind::And) {
+    const auto &Kids = Ctx.children(F);
+    if (std::find(Kids.begin(), Kids.end(), G) != Kids.end())
+      return true;
+  }
+  return std::nullopt;
+}
+
+bool ImplicationChecker::implies(BoolExprRef F, BoolExprRef G) {
+  uint64_t Key = (static_cast<uint64_t>(F) << 32) | G;
+  auto Cached = Cache.find(Key);
+  if (Cached != Cache.end())
+    return Cached->second;
+
+  bool Result;
+  if (std::optional<bool> Fast = syntacticCheck(F, G)) {
+    ++FastHits;
+    Result = *Fast;
+  } else {
+    ++SatQueries;
+    TseitinEncoder Enc(Ctx);
+    Lit LF = Enc.encode(F);
+    Lit LG = Enc.encode(G);
+    Enc.cnf().addUnit(LF);
+    Enc.cnf().addUnit(-LG);
+    SatSolver Solver;
+    Result = Solver.solve(Enc.cnf()) == SatResult::Unsat;
+  }
+  Cache.emplace(Key, Result);
+  return Result;
+}

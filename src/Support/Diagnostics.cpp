@@ -1,0 +1,41 @@
+//===- Support/Diagnostics.cpp --------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Support/Diagnostics.h"
+
+using namespace tessla;
+
+static const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "error";
+}
+
+std::string Diagnostic::str() const {
+  std::string Out = severityName(Severity);
+  if (Loc.isValid()) {
+    Out += " ";
+    Out += Loc.str();
+  }
+  Out += ": ";
+  Out += Message;
+  return Out;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

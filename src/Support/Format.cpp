@@ -1,0 +1,99 @@
+//===- Support/Format.cpp --------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Support/Format.h"
+
+#include <cassert>
+#include <cerrno>
+#include <charconv>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace tessla;
+
+std::string tessla::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  assert(Needed >= 0 && "invalid format string");
+  std::string Out(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Out;
+}
+
+std::string tessla::join(const std::vector<std::string> &Parts,
+                         std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string tessla::formatDouble(double V) {
+  // %.17g round-trips but is ugly; try increasing precision until the value
+  // round-trips exactly.
+  for (int Precision = 6; Precision <= 17; ++Precision) {
+    std::string S = formatString("%.*g", Precision, V);
+    if (std::strtod(S.c_str(), nullptr) == V)
+      return S;
+  }
+  return formatString("%.17g", V);
+}
+
+std::string tessla::escapeString(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+bool tessla::parseInt64(std::string_view S, int64_t &Out) {
+  if (S.empty())
+    return false;
+  const char *Begin = S.data(), *End = S.data() + S.size();
+  auto [Ptr, Ec] = std::from_chars(Begin, End, Out);
+  return Ec == std::errc() && Ptr == End;
+}
+
+bool tessla::parseDouble(std::string_view S, double &Out) {
+  if (S.empty())
+    return false;
+  // std::from_chars for double is available in libstdc++ 11+.
+  std::string Buf(S);
+  char *EndPtr = nullptr;
+  errno = 0;
+  Out = std::strtod(Buf.c_str(), &EndPtr);
+  return errno == 0 && EndPtr == Buf.c_str() + Buf.size();
+}

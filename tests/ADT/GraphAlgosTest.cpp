@@ -1,0 +1,124 @@
+//===- tests/ADT/GraphAlgosTest.cpp -----------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/ADT/GraphAlgos.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+using namespace tessla;
+
+TEST(TopologicalSortTest, EmptyGraph) {
+  std::vector<uint32_t> Order;
+  EXPECT_TRUE(topologicalSort({}, Order));
+  EXPECT_TRUE(Order.empty());
+}
+
+TEST(TopologicalSortTest, Chain) {
+  Adjacency Adj{{1}, {2}, {}};
+  std::vector<uint32_t> Order;
+  ASSERT_TRUE(topologicalSort(Adj, Order));
+  EXPECT_EQ(Order, (std::vector<uint32_t>{0, 1, 2}));
+}
+
+TEST(TopologicalSortTest, DeterministicSmallestFirst) {
+  // 2 -> 0, 2 -> 1; among ready nodes the smallest id is emitted first.
+  Adjacency Adj{{}, {}, {0, 1}};
+  std::vector<uint32_t> Order;
+  ASSERT_TRUE(topologicalSort(Adj, Order));
+  EXPECT_EQ(Order, (std::vector<uint32_t>{2, 0, 1}));
+}
+
+TEST(TopologicalSortTest, DetectsCycle) {
+  Adjacency Adj{{1}, {2}, {0}};
+  std::vector<uint32_t> Order;
+  EXPECT_FALSE(topologicalSort(Adj, Order));
+}
+
+TEST(TopologicalSortTest, RespectsAllEdges) {
+  std::mt19937 Rng(7);
+  for (int Round = 0; Round != 30; ++Round) {
+    // Random DAG: edges only from lower to higher shuffled rank.
+    uint32_t N = 2 + Rng() % 20;
+    std::vector<uint32_t> Rank(N);
+    for (uint32_t I = 0; I != N; ++I)
+      Rank[I] = I;
+    std::shuffle(Rank.begin(), Rank.end(), Rng);
+    Adjacency Adj(N);
+    for (uint32_t U = 0; U != N; ++U)
+      for (uint32_t V = 0; V != N; ++V)
+        if (Rank[U] < Rank[V] && Rng() % 4 == 0)
+          Adj[U].push_back(V);
+    std::vector<uint32_t> Order;
+    ASSERT_TRUE(topologicalSort(Adj, Order));
+    std::vector<uint32_t> Position(N);
+    for (uint32_t I = 0; I != N; ++I)
+      Position[Order[I]] = I;
+    for (uint32_t U = 0; U != N; ++U)
+      for (uint32_t V : Adj[U])
+        EXPECT_LT(Position[U], Position[V]);
+  }
+}
+
+TEST(FindCycleTest, AcyclicReturnsEmpty) {
+  Adjacency Adj{{1, 2}, {2}, {}};
+  EXPECT_TRUE(findCycle(Adj).empty());
+}
+
+TEST(FindCycleTest, SelfLoop) {
+  Adjacency Adj{{0}};
+  auto Cycle = findCycle(Adj);
+  EXPECT_EQ(Cycle, (std::vector<uint32_t>{0}));
+}
+
+TEST(FindCycleTest, ReturnsActualCycle) {
+  // 0 -> 1 -> 2 -> 3 -> 1.
+  Adjacency Adj{{1}, {2}, {3}, {1}};
+  auto Cycle = findCycle(Adj);
+  ASSERT_FALSE(Cycle.empty());
+  // Consecutive elements (cyclically) must be edges.
+  for (size_t I = 0; I != Cycle.size(); ++I) {
+    uint32_t U = Cycle[I], V = Cycle[(I + 1) % Cycle.size()];
+    bool HasEdge =
+        std::find(Adj[U].begin(), Adj[U].end(), V) != Adj[U].end();
+    EXPECT_TRUE(HasEdge) << U << " -> " << V;
+  }
+}
+
+TEST(SCCTest, ChainGivesSingletons) {
+  Adjacency Adj{{1}, {2}, {}};
+  auto Comps = stronglyConnectedComponents(Adj);
+  EXPECT_EQ(Comps.size(), 3u);
+}
+
+TEST(SCCTest, CycleIsOneComponent) {
+  Adjacency Adj{{1}, {2}, {0}, {0}};
+  auto Comps = stronglyConnectedComponents(Adj);
+  ASSERT_EQ(Comps.size(), 2u);
+  // The 3-cycle forms one component; node 3 is a singleton.
+  std::set<std::vector<uint32_t>> Set(Comps.begin(), Comps.end());
+  EXPECT_TRUE(Set.count({0, 1, 2}));
+  EXPECT_TRUE(Set.count({3}));
+}
+
+TEST(ReachabilityTest, ForwardOnly) {
+  Adjacency Adj{{1}, {2}, {}, {0}};
+  auto Seen = reachableFrom(Adj, 0);
+  EXPECT_TRUE(Seen[0]);
+  EXPECT_TRUE(Seen[1]);
+  EXPECT_TRUE(Seen[2]);
+  EXPECT_FALSE(Seen[3]);
+}
+
+TEST(ReverseGraphTest, FlipsEdges) {
+  Adjacency Adj{{1, 2}, {2}, {}};
+  Adjacency Rev = reverseGraph(Adj);
+  EXPECT_EQ(Rev[2], (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(Rev[1], (std::vector<uint32_t>{0}));
+  EXPECT_TRUE(Rev[0].empty());
+}

@@ -1,0 +1,74 @@
+//===- tests/ADT/RefCntPtrTest.cpp ------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/ADT/RefCntPtr.h"
+
+#include <gtest/gtest.h>
+
+using namespace tessla;
+
+namespace {
+struct Tracked : RefCountedBase<Tracked> {
+  static int Alive;
+  int Payload;
+  explicit Tracked(int Payload) : Payload(Payload) { ++Alive; }
+  Tracked(const Tracked &Other)
+      : RefCountedBase<Tracked>(Other), Payload(Other.Payload) {
+    ++Alive;
+  }
+  ~Tracked() { --Alive; }
+};
+int Tracked::Alive = 0;
+} // namespace
+
+TEST(RefCntPtrTest, LifetimeFollowsReferences) {
+  ASSERT_EQ(Tracked::Alive, 0);
+  {
+    RefCntPtr<Tracked> P = makeRefCnt<Tracked>(7);
+    EXPECT_EQ(Tracked::Alive, 1);
+    EXPECT_EQ(P->Payload, 7);
+    EXPECT_TRUE(P.unique());
+    {
+      RefCntPtr<Tracked> Q = P;
+      EXPECT_EQ(Tracked::Alive, 1);
+      EXPECT_FALSE(P.unique());
+      EXPECT_EQ(Q.get(), P.get());
+    }
+    EXPECT_TRUE(P.unique());
+  }
+  EXPECT_EQ(Tracked::Alive, 0);
+}
+
+TEST(RefCntPtrTest, MoveTransfersOwnership) {
+  RefCntPtr<Tracked> P = makeRefCnt<Tracked>(1);
+  RefCntPtr<Tracked> Q = std::move(P);
+  EXPECT_FALSE(P);
+  EXPECT_TRUE(Q);
+  EXPECT_EQ(Tracked::Alive, 1);
+  Q.reset();
+  EXPECT_EQ(Tracked::Alive, 0);
+}
+
+TEST(RefCntPtrTest, AssignmentReleasesOld) {
+  RefCntPtr<Tracked> P = makeRefCnt<Tracked>(1);
+  RefCntPtr<Tracked> Q = makeRefCnt<Tracked>(2);
+  EXPECT_EQ(Tracked::Alive, 2);
+  P = Q;
+  EXPECT_EQ(Tracked::Alive, 1);
+  EXPECT_EQ(P->Payload, 2);
+  P = P; // self-assignment is safe
+  EXPECT_EQ(Tracked::Alive, 1);
+}
+
+TEST(RefCntPtrTest, CopyOfObjectGetsFreshCount) {
+  RefCntPtr<Tracked> P = makeRefCnt<Tracked>(3);
+  RefCntPtr<Tracked> Q = P;
+  // Copy the pointee: new object must start at refcount 0, retained to 1.
+  RefCntPtr<Tracked> Copy = makeRefCnt<Tracked>(*P);
+  EXPECT_EQ(Copy->useCount(), 1u);
+  EXPECT_EQ(P->useCount(), 2u);
+  EXPECT_EQ(Copy->Payload, 3);
+}

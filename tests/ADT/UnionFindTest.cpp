@@ -1,0 +1,95 @@
+//===- tests/ADT/UnionFindTest.cpp ------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/ADT/UnionFind.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+using namespace tessla;
+
+TEST(UnionFindTest, SingletonsInitially) {
+  UnionFind UF(5);
+  EXPECT_EQ(UF.numSets(), 5u);
+  for (uint32_t I = 0; I != 5; ++I) {
+    EXPECT_EQ(UF.find(I), I);
+    EXPECT_EQ(UF.setSize(I), 1u);
+  }
+}
+
+TEST(UnionFindTest, UniteMergesSets) {
+  UnionFind UF(4);
+  UF.unite(0, 1);
+  EXPECT_TRUE(UF.connected(0, 1));
+  EXPECT_FALSE(UF.connected(0, 2));
+  EXPECT_EQ(UF.numSets(), 3u);
+  EXPECT_EQ(UF.setSize(0), 2u);
+  UF.unite(2, 3);
+  UF.unite(1, 3);
+  EXPECT_TRUE(UF.connected(0, 2));
+  EXPECT_EQ(UF.numSets(), 1u);
+  EXPECT_EQ(UF.setSize(3), 4u);
+}
+
+TEST(UnionFindTest, UniteIsIdempotent) {
+  UnionFind UF(3);
+  UF.unite(0, 1);
+  uint32_t Rep = UF.find(0);
+  EXPECT_EQ(UF.unite(0, 1), Rep);
+  EXPECT_EQ(UF.numSets(), 2u);
+}
+
+TEST(UnionFindTest, GrowAddsSingletons) {
+  UnionFind UF(2);
+  UF.unite(0, 1);
+  UF.grow(4);
+  EXPECT_EQ(UF.numSets(), 3u);
+  EXPECT_FALSE(UF.connected(1, 3));
+}
+
+TEST(UnionFindTest, GroupsListsAllMembersSorted) {
+  UnionFind UF(6);
+  UF.unite(0, 3);
+  UF.unite(3, 5);
+  UF.unite(1, 2);
+  auto Groups = UF.groups();
+  ASSERT_EQ(Groups.size(), 3u);
+  // Every element appears exactly once, groups internally sorted.
+  std::vector<uint32_t> All;
+  for (const auto &G : Groups) {
+    EXPECT_TRUE(std::is_sorted(G.begin(), G.end()));
+    All.insert(All.end(), G.begin(), G.end());
+  }
+  std::sort(All.begin(), All.end());
+  std::vector<uint32_t> Expected(6);
+  std::iota(Expected.begin(), Expected.end(), 0);
+  EXPECT_EQ(All, Expected);
+}
+
+/// Property: union-find agrees with a naive labeling under random unions.
+TEST(UnionFindTest, MatchesNaiveLabelsUnderRandomUnions) {
+  std::mt19937 Rng(42);
+  for (int Round = 0; Round != 20; ++Round) {
+    uint32_t N = 1 + Rng() % 64;
+    UnionFind UF(N);
+    std::vector<uint32_t> Label(N);
+    std::iota(Label.begin(), Label.end(), 0);
+    for (int Op = 0; Op != 100; ++Op) {
+      uint32_t A = Rng() % N, B = Rng() % N;
+      UF.unite(A, B);
+      uint32_t From = Label[B], To = Label[A];
+      for (uint32_t &L : Label)
+        if (L == From)
+          L = To;
+    }
+    for (uint32_t I = 0; I != N; ++I)
+      for (uint32_t J = 0; J != N; ++J)
+        EXPECT_EQ(UF.connected(I, J), Label[I] == Label[J])
+            << "round " << Round << " pair " << I << "," << J;
+  }
+}

@@ -1,0 +1,62 @@
+//===- tests/Analysis/GraphWriterTest.cpp -----------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Analysis/GraphWriter.h"
+#include "tessla/Analysis/Pipeline.h"
+#include "tessla/Support/Format.h"
+
+#include "../TestSpecs.h"
+
+#include <gtest/gtest.h>
+
+using namespace tessla;
+using namespace tessla::testspecs;
+
+TEST(GraphWriterTest, EmitsWellFormedDot) {
+  Spec S = figure1();
+  UsageGraph G(S);
+  std::string Dot = writeUsageGraphDot(G);
+  EXPECT_EQ(Dot.substr(0, 14), "digraph usage ");
+  EXPECT_EQ(Dot.substr(Dot.size() - 2), "}\n");
+  // One node line per stream.
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id)
+    EXPECT_NE(Dot.find("\"" + S.stream(Id).Name + "\\n"),
+              std::string::npos)
+        << S.stream(Id).Name;
+}
+
+TEST(GraphWriterTest, EdgeStyling) {
+  Spec S = figure1();
+  UsageGraph G(S);
+  std::string Dot = writeUsageGraphDot(G);
+  // Write edge yl -> y in red with label W.
+  StreamId YL = *S.lookup("yl"), Y = *S.lookup("y"), M = *S.lookup("m");
+  EXPECT_NE(Dot.find(formatString("n%u -> n%u [color=red, label=\"W\"]",
+                                  YL, Y)),
+            std::string::npos)
+      << Dot;
+  // Special last edge m -> yl dashed.
+  EXPECT_NE(Dot.find(formatString(
+                "n%u -> n%u [color=black, label=\"L\", style=dashed]", M,
+                YL)),
+            std::string::npos)
+      << Dot;
+}
+
+TEST(GraphWriterTest, MutabilityColorsAndConstraints) {
+  Spec S = figure1();
+  AnalysisResult A = analyzeSpec(S);
+  std::string Dot = writeUsageGraphDot(A.graph(), &A.mutability());
+  EXPECT_NE(Dot.find("fillcolor=palegreen"), std::string::npos)
+      << "mutable aggregates highlighted";
+  EXPECT_NE(Dot.find("label=\"before\""), std::string::npos)
+      << "read-before-write constraint rendered";
+  // Figure 4 lower: persistent aggregates in the other color.
+  Spec S2 = figure4Lower();
+  AnalysisResult A2 = analyzeSpec(S2);
+  std::string Dot2 = writeUsageGraphDot(A2.graph(), &A2.mutability());
+  EXPECT_NE(Dot2.find("fillcolor=mistyrose"), std::string::npos);
+}

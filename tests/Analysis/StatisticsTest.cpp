@@ -1,0 +1,54 @@
+//===- tests/Analysis/StatisticsTest.cpp ------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Analysis/Statistics.h"
+
+#include "../TestSpecs.h"
+
+#include <gtest/gtest.h>
+
+using namespace tessla;
+using namespace tessla::testspecs;
+
+TEST(StatisticsTest, Figure1Shape) {
+  AnalysisResult A = analyzeSpec(figure1());
+  AnalysisStatistics Stats = collectStatistics(A);
+  EXPECT_EQ(Stats.Streams, 7u); // i, m, yl, y, s + unit + setEmpty temps
+  EXPECT_EQ(Stats.AggregateStreams, 4u); // m, yl, y, empty
+  EXPECT_EQ(Stats.WriteEdges, 1u);       // yl -W-> y
+  EXPECT_EQ(Stats.ReadEdges, 1u);        // yl -R-> s
+  EXPECT_EQ(Stats.LastEdges, 1u);        // m -L-> yl
+  EXPECT_EQ(Stats.PassEdges, 2u);        // y -P-> m, empty -P-> m
+  EXPECT_EQ(Stats.SpecialEdges, 1u);
+  EXPECT_EQ(Stats.AggregateFamilies, 1u);
+  EXPECT_EQ(Stats.MutableStreams, 4u);
+  EXPECT_EQ(Stats.PersistentFamilies, 0u);
+  EXPECT_EQ(Stats.ReadBeforeWriteConstraints, 1u);
+}
+
+TEST(StatisticsTest, Figure4LowerCountsPersistentFamily) {
+  AnalysisResult A = analyzeSpec(figure4Lower());
+  AnalysisStatistics Stats = collectStatistics(A);
+  EXPECT_EQ(Stats.MutableStreams, 0u);
+  EXPECT_GE(Stats.PersistentFamilies, 1u);
+  EXPECT_EQ(Stats.WriteEdges, 2u); // the double write
+}
+
+TEST(StatisticsTest, RenderingMentionsEverything) {
+  AnalysisResult A = analyzeSpec(seenSet());
+  std::string Text = collectStatistics(A).str();
+  for (const char *Needle :
+       {"streams:", "edges:", "aggregate families:", "mutable streams:",
+        "read-before-write", "implication checks:"})
+    EXPECT_NE(Text.find(Needle), std::string::npos) << Text;
+}
+
+TEST(StatisticsTest, BaselineReportsNoMutables) {
+  MutabilityOptions Opts;
+  Opts.Optimize = false;
+  AnalysisResult A = analyzeSpec(figure1(), Opts);
+  EXPECT_EQ(collectStatistics(A).MutableStreams, 0u);
+}

@@ -1,0 +1,147 @@
+//===- tests/Analysis/UsageGraphTest.cpp ------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Analysis/UsageGraph.h"
+
+#include "../TestSpecs.h"
+
+#include <gtest/gtest.h>
+
+using namespace tessla;
+using namespace tessla::testspecs;
+
+namespace {
+
+/// Finds the edge u -> v, failing the test if absent.
+const UsageEdge *edgeBetween(const UsageGraph &G, const Spec &S,
+                             const char *From, const char *To) {
+  StreamId U = *S.lookup(From), V = *S.lookup(To);
+  for (uint32_t EI : G.outEdges(U))
+    if (G.edge(EI).To == V)
+      return &G.edge(EI);
+  ADD_FAILURE() << "no edge " << From << " -> " << To;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(UsageGraphTest, Figure3EdgeClassification) {
+  // The classified usage graph of the paper's Fig. 1 / Fig. 3:
+  //   y -P-> m, empty -P-> m, m -L*-> yl, yl -W-> y, yl -R-> s,
+  //   i -> yl (trigger, plain), i -> y, i -> s (scalar args, plain).
+  Spec S = figure1();
+  UsageGraph G(S);
+
+  const UsageEdge *E = edgeBetween(G, S, "y", "m");
+  ASSERT_TRUE(E);
+  EXPECT_EQ(E->Kind, EdgeKind::Pass);
+  EXPECT_FALSE(E->Special);
+
+  E = edgeBetween(G, S, "m", "yl");
+  ASSERT_TRUE(E);
+  EXPECT_EQ(E->Kind, EdgeKind::Last);
+  EXPECT_TRUE(E->Special);
+
+  E = edgeBetween(G, S, "yl", "y");
+  ASSERT_TRUE(E);
+  EXPECT_EQ(E->Kind, EdgeKind::Write);
+
+  E = edgeBetween(G, S, "yl", "s");
+  ASSERT_TRUE(E);
+  EXPECT_EQ(E->Kind, EdgeKind::Read);
+
+  E = edgeBetween(G, S, "i", "yl");
+  ASSERT_TRUE(E);
+  EXPECT_EQ(E->Kind, EdgeKind::Plain);
+  EXPECT_FALSE(E->Special);
+
+  E = edgeBetween(G, S, "i", "y");
+  ASSERT_TRUE(E);
+  EXPECT_EQ(E->Kind, EdgeKind::Plain);
+}
+
+TEST(UsageGraphTest, ScalarLastEdgesAreNotLastKind) {
+  // Edge kinds only apply to aggregate-typed sources (Def. 3 note).
+  Spec S = parseOrDie(R"(
+    in i: Int
+    def l := last(i, i)
+    out l
+  )");
+  UsageGraph G(S);
+  const UsageEdge *E = edgeBetween(G, S, "i", "l");
+  ASSERT_TRUE(E);
+  EXPECT_EQ(E->Kind, EdgeKind::Plain);
+  EXPECT_TRUE(E->Special);
+}
+
+TEST(UsageGraphTest, NonSpecialAdjacencyExcludesLastValueEdges) {
+  Spec S = figure1();
+  UsageGraph G(S);
+  StreamId M = *S.lookup("m"), YL = *S.lookup("yl");
+  const Adjacency &Adj = G.nonSpecialAdjacency();
+  EXPECT_TRUE(std::find(Adj[M].begin(), Adj[M].end(), YL) == Adj[M].end())
+      << "special edge must not constrain the translation order";
+  // The non-special graph of a valid spec is acyclic.
+  std::vector<uint32_t> Order;
+  EXPECT_TRUE(topologicalSort(Adj, Order));
+}
+
+TEST(UsageGraphTest, PassLastSubgraph) {
+  Spec S = figure1();
+  UsageGraph G(S);
+  StreamId Y = *S.lookup("y"), M = *S.lookup("m"), YL = *S.lookup("yl");
+  const Adjacency &PL = G.passLastAdjacency();
+  EXPECT_TRUE(std::find(PL[Y].begin(), PL[Y].end(), M) != PL[Y].end());
+  EXPECT_TRUE(std::find(PL[M].begin(), PL[M].end(), YL) != PL[M].end());
+  // Write edges are not value-flow edges for aliasing.
+  EXPECT_TRUE(std::find(PL[YL].begin(), PL[YL].end(), Y) == PL[YL].end());
+  // Reverse graph mirrors it.
+  const Adjacency &Rev = G.passLastReverse();
+  EXPECT_TRUE(std::find(Rev[M].begin(), Rev[M].end(), Y) != Rev[M].end());
+}
+
+TEST(UsageGraphTest, DelayEdges) {
+  Spec S = parseOrDie(R"(
+    in r: Int
+    def d := delay(r, r)
+    out d
+  )");
+  UsageGraph G(S);
+  StreamId R = *S.lookup("r"), D = *S.lookup("d");
+  bool SawSpecial = false, SawPlain = false;
+  for (uint32_t EI : G.outEdges(R)) {
+    if (G.edge(EI).To != D)
+      continue;
+    (G.edge(EI).Special ? SawSpecial : SawPlain) = true;
+  }
+  EXPECT_TRUE(SawSpecial) << "delay amount edge is special";
+  EXPECT_TRUE(SawPlain) << "delay reset edge is plain";
+}
+
+TEST(UsageGraphTest, ParallelIdenticalEdgesDeduplicated) {
+  Spec S = parseOrDie(R"(
+    in a: Int
+    def b := a
+    out b
+  )");
+  // Alias lowering produces merge(a, a); identical pass edges collapse.
+  UsageGraph G(S);
+  StreamId A = *S.lookup("a"), B = *S.lookup("b");
+  unsigned Count = 0;
+  for (uint32_t EI : G.outEdges(A))
+    if (G.edge(EI).To == B)
+      ++Count;
+  EXPECT_EQ(Count, 1u);
+}
+
+TEST(UsageGraphTest, RendersClassifiedEdges) {
+  Spec S = figure1();
+  UsageGraph G(S);
+  std::string Text = G.str();
+  EXPECT_NE(Text.find("yl -W-> y"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("m -L*-> yl"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("yl -R-> s"), std::string::npos) << Text;
+}

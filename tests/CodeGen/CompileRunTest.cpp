@@ -1,0 +1,126 @@
+//===- tests/CodeGen/CompileRunTest.cpp -------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// End-to-end validation of the C++ backend: the generated monitor is
+/// compiled with the system compiler, run on a trace, and its output is
+/// compared byte-for-byte with the interpreter's.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tessla/CodeGen/CppEmitter.h"
+#include "tessla/Runtime/TraceGen.h"
+
+#include "../TestSpecs.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace tessla;
+using namespace tessla::testspecs;
+
+namespace {
+
+std::string tempDir() {
+  std::string Dir = ::testing::TempDir() + "tessla_cgen_XXXXXX";
+  std::vector<char> Buf(Dir.begin(), Dir.end());
+  Buf.push_back('\0');
+  const char *Result = mkdtemp(Buf.data());
+  EXPECT_NE(Result, nullptr);
+  return Result ? Result : std::string();
+}
+
+void writeFile(const std::string &Path, const std::string &Contents) {
+  std::ofstream Out(Path);
+  Out << Contents;
+  ASSERT_TRUE(Out.good());
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+/// Emits, compiles and runs \p S on \p Events, returning the generated
+/// monitor's stdout.
+std::string compileAndRun(const Spec &S, bool Optimize,
+                          const std::vector<TraceEvent> &Events) {
+  MutabilityOptions MOpts;
+  MOpts.Optimize = Optimize;
+  AnalysisResult A = analyzeSpec(S, MOpts);
+  CppEmitterOptions Opts;
+  Opts.EmitMain = true;
+  DiagnosticEngine Diags;
+  auto Source = emitCppMonitor(S, A, Opts, Diags);
+  EXPECT_TRUE(Source) << Diags.str();
+  if (!Source)
+    return "";
+
+  std::string Dir = tempDir();
+  writeFile(Dir + "/monitor.cpp", *Source);
+
+  std::string TraceText;
+  for (const auto &[Id, Ts, V] : Events)
+    TraceText += std::to_string(Ts) + ": " + S.stream(Id).Name + " = " +
+                 V.str() + "\n";
+  writeFile(Dir + "/trace.txt", TraceText);
+
+  std::string Compile = "c++ -std=c++20 -O1 -I " TESSLA_INCLUDE_DIR " " +
+                        Dir + "/monitor.cpp -o " + Dir +
+                        "/monitor 2> " + Dir + "/compile.log";
+  int CompileRc = std::system(Compile.c_str());
+  EXPECT_EQ(CompileRc, 0) << readFile(Dir + "/compile.log") << "\n"
+                          << *Source;
+  if (CompileRc != 0)
+    return "";
+
+  std::string Run = Dir + "/monitor < " + Dir + "/trace.txt > " + Dir +
+                    "/out.txt";
+  EXPECT_EQ(std::system(Run.c_str()), 0);
+  return readFile(Dir + "/out.txt");
+}
+
+/// Interpreter reference output.
+std::string interpret(const Spec &S, const std::vector<TraceEvent> &Events) {
+  AnalysisResult A = analyzeSpec(S);
+  MonitorPlan Plan = MonitorPlan::compile(A);
+  std::string Error;
+  auto Out = runMonitor(Plan, Events, std::nullopt, &Error);
+  EXPECT_EQ(Error, "");
+  return formatOutputs(Plan.spec(), Out);
+}
+
+} // namespace
+
+TEST(CompileRunTest, SeenSetGeneratedMatchesInterpreter) {
+  Spec S = seenSet();
+  auto Events = tracegen::randomInts(*S.lookup("x"), 400, 30, 31);
+  std::string Expected = interpret(S, Events);
+  ASSERT_FALSE(Expected.empty());
+  EXPECT_EQ(compileAndRun(S, /*Optimize=*/true, Events), Expected);
+  EXPECT_EQ(compileAndRun(S, /*Optimize=*/false, Events), Expected);
+}
+
+TEST(CompileRunTest, QueueWindowGeneratedMatchesInterpreter) {
+  Spec S = queueWindow(6);
+  auto Events = tracegen::randomInts(*S.lookup("x"), 300, 100, 32);
+  std::string Expected = interpret(S, Events);
+  ASSERT_FALSE(Expected.empty());
+  EXPECT_EQ(compileAndRun(S, /*Optimize=*/true, Events), Expected);
+}
+
+TEST(CompileRunTest, MapWindowGeneratedMatchesInterpreter) {
+  Spec S = mapWindow(6);
+  auto Events = tracegen::randomInts(*S.lookup("x"), 300, 100, 33);
+  std::string Expected = interpret(S, Events);
+  ASSERT_FALSE(Expected.empty());
+  EXPECT_EQ(compileAndRun(S, /*Optimize=*/true, Events), Expected);
+}

@@ -1,0 +1,264 @@
+//===- tests/Integration/SemanticsOracleTest.cpp ----------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// An independent semantics oracle: a *denotational* evaluator computing
+/// each stream's value at each timestamp directly from the operator
+/// definitions of §II (streams as functions T -> D + bottom; `last`
+/// searches the previous event by recursion over earlier timestamps).
+/// It shares no code with the incremental monitor engine beyond the
+/// builtin value functions, so agreement is strong evidence that the
+/// engine's calculation/triggering sections implement the semantics.
+///
+/// Delay-free specifications only (the oracle's timestamp universe is
+/// the input timestamps plus 0).
+///
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Runtime/TraceGen.h"
+
+#include "../TestSpecs.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <set>
+
+using namespace tessla;
+using namespace tessla::testspecs;
+
+namespace {
+
+/// Recursive, memoized evaluation of stream values at timestamps.
+class Oracle {
+public:
+  Oracle(const Spec &S, const std::vector<TraceEvent> &Events) : S(S) {
+    std::set<Time> Ts{0};
+    for (const auto &[Id, T, V] : Events) {
+      Inputs[{Id, T}] = V;
+      Ts.insert(T);
+    }
+    Timestamps.assign(Ts.begin(), Ts.end());
+  }
+
+  /// The value of stream \p Id at time \p T, or nullopt (bottom).
+  std::optional<Value> eval(StreamId Id, Time T) {
+    auto Key = std::make_pair(Id, T);
+    auto It = Memo.find(Key);
+    if (It != Memo.end())
+      return It->second;
+    // Seed the memo to cut (invalid-by-construction) cycles defensively.
+    Memo[Key] = std::nullopt;
+    std::optional<Value> Result = compute(Id, T);
+    Memo[Key] = Result;
+    return Result;
+  }
+
+  const std::vector<Time> &timestamps() const { return Timestamps; }
+
+private:
+  const Spec &S;
+  std::map<std::pair<StreamId, Time>, Value> Inputs;
+  std::map<std::pair<StreamId, Time>, std::optional<Value>> Memo;
+  std::vector<Time> Timestamps;
+
+  std::optional<Value> compute(StreamId Id, Time T) {
+    const StreamDef &D = S.stream(Id);
+    switch (D.Kind) {
+    case StreamKind::Input: {
+      auto It = Inputs.find({Id, T});
+      if (It == Inputs.end())
+        return std::nullopt;
+      return It->second;
+    }
+    case StreamKind::Nil:
+      return std::nullopt;
+    case StreamKind::Unit:
+      return T == 0 ? std::optional<Value>(Value::unit()) : std::nullopt;
+    case StreamKind::Const:
+      return T == 0 ? std::optional<Value>(Value::fromLiteral(D.Literal))
+                    : std::nullopt;
+    case StreamKind::Time:
+      if (eval(D.Args[0], T))
+        return Value::integer(T);
+      return std::nullopt;
+    case StreamKind::Last: {
+      // last(v, r): r must tick now; the value is v's event at the
+      // greatest earlier timestamp carrying one.
+      if (!eval(D.Args[1], T))
+        return std::nullopt;
+      for (auto It = std::lower_bound(Timestamps.begin(),
+                                      Timestamps.end(), T);
+           It != Timestamps.begin();) {
+        --It;
+        if (auto V = eval(D.Args[0], *It))
+          return V;
+      }
+      return std::nullopt;
+    }
+    case StreamKind::Delay:
+      ADD_FAILURE() << "oracle does not support delay";
+      return std::nullopt;
+    case StreamKind::Lift: {
+      const BuiltinInfo &Info = builtinInfo(D.Fn);
+      std::optional<Value> Vals[3];
+      const Value *Ptrs[3] = {nullptr, nullptr, nullptr};
+      unsigned Present = 0;
+      for (unsigned I = 0; I != Info.Arity; ++I) {
+        Vals[I] = eval(D.Args[I], T);
+        if (Vals[I]) {
+          Ptrs[I] = &*Vals[I];
+          ++Present;
+        }
+      }
+      switch (Info.Events) {
+      case EventSemantics::All:
+        if (Present != Info.Arity)
+          return std::nullopt;
+        break;
+      case EventSemantics::Any:
+        if (Present == 0)
+          return std::nullopt;
+        // merge: first present argument wins.
+        return Vals[0] ? Vals[0] : Vals[1];
+      case EventSemantics::FirstAndAnyRest:
+        if (!Vals[0] || Present < 2)
+          return std::nullopt;
+        break;
+      case EventSemantics::Custom:
+        // filter(a, c).
+        if (!Vals[0] || !Vals[1] || !Vals[1]->getBool())
+          return std::nullopt;
+        return Vals[0];
+      }
+      EvalError Err;
+      Value Result = applyBuiltin(D.Fn, Ptrs, Info.Arity,
+                                  /*InPlace=*/false, Err);
+      EXPECT_FALSE(Err.Failed) << Err.Message;
+      return Result;
+    }
+    }
+    return std::nullopt;
+  }
+};
+
+/// Renders the oracle's output trace in formatOutputs() format.
+std::string oracleOutputs(const Spec &S,
+                          const std::vector<TraceEvent> &Events) {
+  Oracle O(S, Events);
+  std::string Out;
+  for (Time T : O.timestamps()) {
+    for (StreamId Id : S.outputs()) {
+      if (auto V = O.eval(Id, T))
+        Out += formatEvent(S, {T, Id, *V}) + "\n";
+    }
+  }
+  return Out;
+}
+
+std::string engineOutputs(const Spec &S,
+                          const std::vector<TraceEvent> &Events,
+                          bool Optimize) {
+  MutabilityOptions Opts;
+  Opts.Optimize = Optimize;
+  AnalysisResult A = analyzeSpec(S, Opts);
+  MonitorPlan Plan = MonitorPlan::compile(A);
+  std::string Error;
+  auto Out = runMonitor(Plan, Events, std::nullopt, &Error);
+  EXPECT_EQ(Error, "");
+  return formatOutputs(Plan.spec(), Out);
+}
+
+void expectOracleAgreement(const Spec &S,
+                           const std::vector<TraceEvent> &Events) {
+  std::string Expected = oracleOutputs(S, Events);
+  EXPECT_EQ(engineOutputs(S, Events, true), Expected);
+  EXPECT_EQ(engineOutputs(S, Events, false), Expected);
+  EXPECT_FALSE(Expected.empty()) << "vacuous oracle comparison";
+}
+
+} // namespace
+
+TEST(SemanticsOracleTest, Figure1) {
+  Spec S = figure1();
+  expectOracleAgreement(S,
+                        tracegen::randomInts(*S.lookup("i"), 200, 15, 51));
+}
+
+TEST(SemanticsOracleTest, SeenSet) {
+  Spec S = seenSet();
+  expectOracleAgreement(S,
+                        tracegen::randomInts(*S.lookup("x"), 200, 10, 52));
+}
+
+TEST(SemanticsOracleTest, MapWindow) {
+  Spec S = mapWindow(5);
+  expectOracleAgreement(
+      S, tracegen::randomInts(*S.lookup("x"), 150, 100, 53));
+}
+
+TEST(SemanticsOracleTest, QueueWindow) {
+  Spec S = queueWindow(5);
+  expectOracleAgreement(
+      S, tracegen::randomInts(*S.lookup("x"), 150, 100, 54));
+}
+
+TEST(SemanticsOracleTest, CountingRecursion) {
+  Spec S = parseOrDie(R"(
+    in x: Int
+    def c := merge(last(c, x) + 1, 0)
+    def even := filter(c, c % 2 == 0)
+    out c
+    out even
+  )");
+  expectOracleAgreement(S,
+                        tracegen::randomInts(*S.lookup("x"), 100, 5, 55));
+}
+
+TEST(SemanticsOracleTest, MixedOperators) {
+  Spec S = parseOrDie(R"(
+    in a: Int
+    in b: Int
+    def t := time(merge(a, b))
+    def held := hold(a, b)
+    def sum := held + b
+    def choice := if sum > 50 then sum else -sum
+    out t
+    out choice
+  )");
+  std::mt19937_64 Rng(56);
+  std::vector<TraceEvent> Events;
+  Time T = 0;
+  for (int I = 0; I != 200; ++I) {
+    T += 1 + Rng() % 3;
+    Events.emplace_back(Rng() % 2 ? *S.lookup("a") : *S.lookup("b"), T,
+                        Value::integer(static_cast<int64_t>(Rng() % 60)));
+  }
+  expectOracleAgreement(S, Events);
+}
+
+TEST(SemanticsOracleTest, SameTimestampOnBothInputs) {
+  Spec S = parseOrDie(R"(
+    in a: Int
+    in b: Int
+    def sum := a + b
+    def m := merge(a, b)
+    def l := last(m, merge(time(a), time(b)))
+    out sum
+    out m
+    out l
+  )");
+  std::vector<TraceEvent> Events;
+  StreamId A = *S.lookup("a"), B = *S.lookup("b");
+  // Mix of coinciding and separate timestamps.
+  Events.emplace_back(A, 1, Value::integer(1));
+  Events.emplace_back(B, 1, Value::integer(2));
+  Events.emplace_back(A, 2, Value::integer(3));
+  Events.emplace_back(B, 3, Value::integer(4));
+  Events.emplace_back(A, 4, Value::integer(5));
+  Events.emplace_back(B, 4, Value::integer(6));
+  expectOracleAgreement(S, Events);
+}

@@ -1,0 +1,209 @@
+//===- tests/Integration/WorkloadTest.cpp -----------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// End-to-end behavior of the evaluation workloads (§V) checked against
+/// direct C++ reference simulations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Runtime/TraceGen.h"
+
+#include "../TestSpecs.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+#include <set>
+
+using namespace tessla;
+using namespace tessla::testspecs;
+
+namespace {
+
+std::vector<OutputEvent> run(const Spec &S,
+                             const std::vector<TraceEvent> &Events) {
+  AnalysisResult A = analyzeSpec(S);
+  MonitorPlan Plan = MonitorPlan::compile(A);
+  std::string Error;
+  auto Out = runMonitor(Plan, Events, std::nullopt, &Error);
+  EXPECT_EQ(Error, "");
+  return Out;
+}
+
+} // namespace
+
+TEST(WorkloadTest, SeenSetMatchesReferenceSimulation) {
+  Spec S = seenSet();
+  auto Events = tracegen::randomInts(*S.lookup("x"), 3000, 40, 21);
+  auto Out = run(S, Events);
+  ASSERT_EQ(Out.size(), Events.size());
+  std::set<int64_t> Ref;
+  for (size_t I = 0; I != Events.size(); ++I) {
+    int64_t V = std::get<2>(Events[I]).getInt();
+    bool Seen = Ref.count(V) != 0;
+    EXPECT_EQ(Out[I].V.getBool(), Seen) << "event " << I;
+    if (Seen)
+      Ref.erase(V);
+    else
+      Ref.insert(V);
+  }
+}
+
+TEST(WorkloadTest, MapWindowEmitsNthLastValue) {
+  constexpr int64_t N = 8;
+  Spec S = mapWindow(N);
+  auto Events = tracegen::randomInts(*S.lookup("x"), 500, 1000, 22);
+  auto Out = run(S, Events);
+  // Verify against a reference ring buffer: before a slot is first
+  // filled the spec emits the -1 default, afterwards the value stored N
+  // events ago.
+  std::vector<int64_t> Values;
+  for (auto &[Id, Ts, V] : Events)
+    Values.push_back(V.getInt());
+  std::map<int64_t, int64_t> Ring;
+  size_t OutIdx = 0;
+  for (size_t I = 0; I != Values.size(); ++I) {
+    int64_t C = static_cast<int64_t>(I) + 1;
+    int64_t Slot = C % N;
+    int64_t Expected = Ring.count(Slot) ? Ring[Slot] : -1;
+    ASSERT_LT(OutIdx, Out.size());
+    EXPECT_EQ(Out[OutIdx].V.getInt(), Expected) << "event " << I;
+    ++OutIdx;
+    Ring[Slot] = Values[I];
+  }
+  EXPECT_EQ(OutIdx, Out.size());
+}
+
+TEST(WorkloadTest, QueueWindowEmitsOldestWhenFull) {
+  constexpr int64_t N = 8;
+  Spec S = queueWindow(N);
+  auto Events = tracegen::randomInts(*S.lookup("x"), 500, 1000, 23);
+  auto Out = run(S, Events);
+  std::deque<int64_t> Ref;
+  size_t OutIdx = 0;
+  for (auto &[Id, Ts, V] : Events) {
+    Ref.push_back(V.getInt());
+    if (Ref.size() > static_cast<size_t>(N)) {
+      ASSERT_LT(OutIdx, Out.size());
+      EXPECT_EQ(Out[OutIdx].V.getInt(), Ref.front());
+      ++OutIdx;
+      Ref.pop_front();
+    }
+  }
+  EXPECT_EQ(OutIdx, Out.size());
+}
+
+TEST(WorkloadTest, DbAccessConstraintFlagsExactlyTheBadAccesses) {
+  Spec S = dbAccessConstraint();
+  tracegen::DbLogConfig Config;
+  Config.Count = 4000;
+  Config.Seed = 24;
+  auto Events = tracegen::dbLog(*S.lookup("ins"), *S.lookup("del"),
+                                *S.lookup("acc"), Config);
+  auto Out = run(S, Events);
+  // Reference: live set simulation.
+  std::set<int64_t> Live;
+  std::vector<Time> ExpectedViolations;
+  StreamId Ins = *S.lookup("ins"), Del = *S.lookup("del"),
+           Acc = *S.lookup("acc");
+  for (auto &[Id, Ts, V] : Events) {
+    int64_t Record = V.getInt();
+    if (Id == Ins)
+      Live.insert(Record);
+    else if (Id == Del)
+      Live.erase(Record);
+    else if (Id == Acc && !Live.count(Record))
+      ExpectedViolations.push_back(Ts);
+  }
+  ASSERT_EQ(Out.size(), ExpectedViolations.size());
+  for (size_t I = 0; I != Out.size(); ++I)
+    EXPECT_EQ(Out[I].Ts, ExpectedViolations[I]);
+  EXPECT_GT(Out.size(), 0u);
+}
+
+TEST(WorkloadTest, DbTimeConstraintFlagsLateInserts) {
+  Spec S = dbTimeConstraint();
+  tracegen::DbPairConfig Config;
+  Config.Count = 2000;
+  Config.Seed = 25;
+  auto Events = tracegen::dbPairLog(*S.lookup("db2"), *S.lookup("db3"),
+                                    Config);
+  auto Out = run(S, Events);
+  // Reference.
+  std::map<int64_t, Time> Db2Times;
+  StreamId Db2 = *S.lookup("db2");
+  std::vector<Time> Expected;
+  for (auto &[Id, Ts, V] : Events) {
+    if (Id == Db2) {
+      Db2Times[V.getInt()] = Ts;
+      continue;
+    }
+    auto It = Db2Times.find(V.getInt());
+    Time Age = It == Db2Times.end() ? 2000000 + Ts : Ts - It->second;
+    if (Age > 60)
+      Expected.push_back(Ts);
+  }
+  ASSERT_EQ(Out.size(), Expected.size());
+  EXPECT_GT(Out.size(), 0u);
+  for (size_t I = 0; I != Out.size(); ++I)
+    EXPECT_EQ(Out[I].Ts, Expected[I]);
+}
+
+TEST(WorkloadTest, PeakDetectionFindsInjectedPeaks) {
+  constexpr int64_t W = 16;
+  Spec S = peakDetection(W);
+  tracegen::PowerConfig Config;
+  Config.Count = 3000;
+  Config.PeakProb = 0.01;
+  Config.PeakScale = 4.0;
+  Config.Seed = 26;
+  auto Events = tracegen::powerSignal(*S.lookup("p"), Config);
+  auto Out = run(S, Events);
+  // Reference simulation of the spec's own definition: when a sample
+  // leaves the W-window, flag it if it deviates >40% from the current
+  // window mean.
+  std::deque<double> Window;
+  double Sum = 0;
+  std::vector<Time> Expected;
+  for (auto &[Id, Ts, V] : Events) {
+    double X = V.getFloat();
+    Window.push_back(X);
+    Sum += X;
+    if (Window.size() > static_cast<size_t>(W)) {
+      double Dropped = Window.front();
+      Window.pop_front();
+      Sum -= Dropped;
+      double Mean = Sum / static_cast<double>(W);
+      if (std::abs(Dropped - Mean) > Mean * 0.4)
+        Expected.push_back(Ts);
+    }
+  }
+  ASSERT_EQ(Out.size(), Expected.size());
+  EXPECT_GT(Out.size(), 0u) << "injected peaks must be detected";
+  for (size_t I = 0; I != Out.size(); ++I)
+    EXPECT_EQ(Out[I].Ts, Expected[I]);
+}
+
+TEST(WorkloadTest, SpectrumCountsAboveThreshold) {
+  Spec S = spectrumCalculation();
+  tracegen::PowerConfig Config;
+  Config.Count = 3000;
+  Config.PeakProb = 0.02;
+  Config.PeakScale = 3.0;
+  Config.Seed = 27;
+  auto Events = tracegen::powerSignal(*S.lookup("p"), Config);
+  auto Out = run(S, Events);
+  // The 'above' counter emits at every sample (plus t=0); its final value
+  // must equal the reference count.
+  int64_t Expected = 0;
+  for (auto &[Id, Ts, V] : Events)
+    if (V.getFloat() > 100.0)
+      ++Expected;
+  ASSERT_FALSE(Out.empty());
+  EXPECT_EQ(Out.back().V.getInt(), Expected);
+  EXPECT_GT(Expected, 0);
+}

@@ -1,0 +1,90 @@
+//===- tests/Lang/BuiltinsTest.cpp ------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Lang/Builtins.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace tessla;
+
+TEST(BuiltinsTest, TableIsCompleteAndConsistent) {
+  const auto &All = allBuiltins();
+  EXPECT_EQ(All.size(), NumBuiltins);
+  std::set<std::string_view> Names;
+  std::set<BuiltinId> Ids;
+  for (const BuiltinInfo &Info : All) {
+    EXPECT_TRUE(Names.insert(Info.Name).second)
+        << "duplicate name " << Info.Name;
+    EXPECT_TRUE(Ids.insert(Info.Id).second);
+    EXPECT_GE(Info.Arity, 1u);
+    EXPECT_LE(Info.Arity, 3u);
+  }
+}
+
+TEST(BuiltinsTest, LookupByName) {
+  auto Id = builtinByName("setAdd");
+  ASSERT_TRUE(Id);
+  EXPECT_EQ(*Id, BuiltinId::SetAdd);
+  EXPECT_FALSE(builtinByName("definitelyNotABuiltin"));
+}
+
+TEST(BuiltinsTest, InfoRoundTrip) {
+  for (const BuiltinInfo &Info : allBuiltins())
+    EXPECT_EQ(builtinInfo(Info.Id).Name, Info.Name);
+}
+
+TEST(BuiltinsTest, MergeIsAnyWithPassAccess) {
+  const BuiltinInfo &Merge = builtinInfo(BuiltinId::Merge);
+  EXPECT_EQ(Merge.Events, EventSemantics::Any);
+  EXPECT_EQ(Merge.Access[0], ArgAccess::Pass);
+  EXPECT_EQ(Merge.Access[1], ArgAccess::Pass);
+}
+
+TEST(BuiltinsTest, FilterIsCustomWithPassAccess) {
+  const BuiltinInfo &Filter = builtinInfo(BuiltinId::Filter);
+  EXPECT_EQ(Filter.Events, EventSemantics::Custom);
+  EXPECT_EQ(Filter.Access[0], ArgAccess::Pass);
+}
+
+TEST(BuiltinsTest, SetUpdateIsFirstAndAnyRest) {
+  const BuiltinInfo &Update = builtinInfo(BuiltinId::SetUpdate);
+  EXPECT_EQ(Update.Events, EventSemantics::FirstAndAnyRest);
+  EXPECT_EQ(Update.Access[0], ArgAccess::Write);
+}
+
+TEST(BuiltinsTest, AccessClassesForAggregateOps) {
+  // Writers.
+  for (BuiltinId Id : {BuiltinId::SetAdd, BuiltinId::SetRemove,
+                       BuiltinId::SetToggle, BuiltinId::SetUnion,
+                       BuiltinId::SetDiff, BuiltinId::MapPut,
+                       BuiltinId::MapRemove, BuiltinId::QueueEnq,
+                       BuiltinId::QueueDeq, BuiltinId::QueueTrim})
+    EXPECT_EQ(builtinInfo(Id).Access[0], ArgAccess::Write)
+        << builtinInfo(Id).Name;
+  // setUnion/setDiff also *read* their second argument.
+  EXPECT_EQ(builtinInfo(BuiltinId::SetUnion).Access[1], ArgAccess::Read);
+  EXPECT_EQ(builtinInfo(BuiltinId::SetDiff).Access[1], ArgAccess::Read);
+  // Readers.
+  for (BuiltinId Id : {BuiltinId::SetContains, BuiltinId::SetSize,
+                       BuiltinId::MapGet, BuiltinId::MapGetOrElse,
+                       BuiltinId::MapContains, BuiltinId::MapSize,
+                       BuiltinId::QueueFront, BuiltinId::QueueSize})
+    EXPECT_EQ(builtinInfo(Id).Access[0], ArgAccess::Read)
+        << builtinInfo(Id).Name;
+}
+
+TEST(BuiltinsTest, SignatureSanity) {
+  // Every parameter/result type mentions only variables 0 and 1.
+  for (const BuiltinInfo &Info : allBuiltins()) {
+    for (unsigned I = 0; I != Info.Arity; ++I)
+      for (uint32_t Var = 2; Var != 8; ++Var)
+        EXPECT_FALSE(Info.ParamTypes[I].contains(Var));
+    for (uint32_t Var = 2; Var != 8; ++Var)
+      EXPECT_FALSE(Info.ResultType.contains(Var));
+  }
+}

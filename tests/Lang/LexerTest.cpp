@@ -1,0 +1,111 @@
+//===- tests/Lang/LexerTest.cpp ---------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace tessla;
+
+namespace {
+std::vector<TokenKind> kinds(std::string_view Source) {
+  DiagnosticEngine Diags;
+  std::vector<Token> Tokens = tokenize(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  std::vector<TokenKind> Out;
+  for (const Token &T : Tokens)
+    Out.push_back(T.Kind);
+  return Out;
+}
+} // namespace
+
+TEST(LexerTest, EmptyInput) {
+  EXPECT_EQ(kinds(""), (std::vector<TokenKind>{TokenKind::Eof}));
+  EXPECT_EQ(kinds("   \n\t "), (std::vector<TokenKind>{TokenKind::Eof}));
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  auto K = kinds("in def out if then else unit nil time last delay foo");
+  EXPECT_EQ(K, (std::vector<TokenKind>{
+                   TokenKind::KwIn, TokenKind::KwDef, TokenKind::KwOut,
+                   TokenKind::KwIf, TokenKind::KwThen, TokenKind::KwElse,
+                   TokenKind::KwUnit, TokenKind::KwNil, TokenKind::KwTime,
+                   TokenKind::KwLast, TokenKind::KwDelay,
+                   TokenKind::Identifier, TokenKind::Eof}));
+}
+
+TEST(LexerTest, Numbers) {
+  DiagnosticEngine Diags;
+  auto Tokens = tokenize("42 3.25 1e3 2.5e-2 7", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  ASSERT_EQ(Tokens.size(), 6u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Tokens[0].IntValue, 42);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(Tokens[1].FloatValue, 3.25);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(Tokens[2].FloatValue, 1000.0);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(Tokens[3].FloatValue, 0.025);
+  EXPECT_EQ(Tokens[4].IntValue, 7);
+}
+
+TEST(LexerTest, Strings) {
+  DiagnosticEngine Diags;
+  auto Tokens = tokenize(R"("hello" "a\nb" "q\"q")", Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_EQ(Tokens[0].Text, "hello");
+  EXPECT_EQ(Tokens[1].Text, "a\nb");
+  EXPECT_EQ(Tokens[2].Text, "q\"q");
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto K = kinds(":= : ( ) [ ] , + - * / % == != < <= > >= && || !");
+  EXPECT_EQ(K, (std::vector<TokenKind>{
+                   TokenKind::Define, TokenKind::Colon, TokenKind::LParen,
+                   TokenKind::RParen, TokenKind::LBracket,
+                   TokenKind::RBracket, TokenKind::Comma, TokenKind::Plus,
+                   TokenKind::Minus, TokenKind::Star, TokenKind::Slash,
+                   TokenKind::Percent, TokenKind::EqEq, TokenKind::NotEq,
+                   TokenKind::Lt, TokenKind::LtEq, TokenKind::Gt,
+                   TokenKind::GtEq, TokenKind::AndAnd, TokenKind::OrOr,
+                   TokenKind::Bang, TokenKind::Eof}));
+}
+
+TEST(LexerTest, Comments) {
+  auto K = kinds("def -- trailing comment\n# whole line\nx");
+  EXPECT_EQ(K, (std::vector<TokenKind>{TokenKind::KwDef,
+                                       TokenKind::Identifier,
+                                       TokenKind::Eof}));
+}
+
+TEST(LexerTest, MinusVsCommentDisambiguation) {
+  // A single '-' is minus; "--" starts a comment.
+  auto K = kinds("a - b");
+  EXPECT_EQ(K, (std::vector<TokenKind>{TokenKind::Identifier,
+                                       TokenKind::Minus,
+                                       TokenKind::Identifier,
+                                       TokenKind::Eof}));
+}
+
+TEST(LexerTest, SourceLocations) {
+  DiagnosticEngine Diags;
+  auto Tokens = tokenize("ab\n  cd", Diags);
+  EXPECT_EQ(Tokens[0].Loc, SourceLocation(1, 1));
+  EXPECT_EQ(Tokens[1].Loc, SourceLocation(2, 3));
+}
+
+TEST(LexerTest, ErrorsReported) {
+  DiagnosticEngine Diags;
+  tokenize("a ? b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  DiagnosticEngine Diags2;
+  tokenize("\"unterminated", Diags2);
+  EXPECT_TRUE(Diags2.hasErrors());
+  DiagnosticEngine Diags3;
+  tokenize("a = b", Diags3); // '=' instead of ':='
+  EXPECT_TRUE(Diags3.hasErrors());
+}

@@ -1,0 +1,108 @@
+//===- tests/Lang/ParserFuzzTest.cpp ----------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Robustness: the front end must never crash or hang — every input
+/// either parses or produces diagnostics. Random byte soup, random token
+/// soup, and truncations of valid specifications.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace tessla;
+
+namespace {
+
+/// Parses and returns whether diagnostics were produced; the test only
+/// cares that we return at all and that failure implies diagnostics.
+void parseAnything(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto S = parseSpec(Source, Diags);
+  if (!S) {
+    EXPECT_TRUE(Diags.hasErrors())
+        << "silent failure on input: " << Source;
+  }
+}
+
+} // namespace
+
+TEST(ParserFuzzTest, RandomBytes) {
+  std::mt19937_64 Rng(71);
+  for (int Round = 0; Round != 500; ++Round) {
+    size_t Length = Rng() % 200;
+    std::string Source;
+    for (size_t I = 0; I != Length; ++I)
+      Source += static_cast<char>(32 + Rng() % 95); // printable ASCII
+    parseAnything(Source);
+  }
+}
+
+TEST(ParserFuzzTest, RandomTokenSoup) {
+  const char *Tokens[] = {"in",   "def",  "out",    "if",    "then",
+                          "else", "unit", "nil",    "time",  "last",
+                          "delay", ":=",  ":",      "(",     ")",
+                          "[",    "]",    ",",      "+",     "-",
+                          "*",    "/",    "%",      "==",    "!=",
+                          "<",    "<=",   ">",      ">=",    "&&",
+                          "||",   "!",    "x",      "y",     "Int",
+                          "Set",  "42",   "3.5",    "true",  "\"s\"",
+                          "merge", "setAdd", "hold", "default"};
+  std::mt19937_64 Rng(72);
+  for (int Round = 0; Round != 500; ++Round) {
+    size_t Length = 1 + Rng() % 40;
+    std::string Source;
+    for (size_t I = 0; I != Length; ++I) {
+      Source += Tokens[Rng() % (sizeof(Tokens) / sizeof(*Tokens))];
+      Source += Rng() % 8 ? " " : "\n";
+    }
+    parseAnything(Source);
+  }
+}
+
+TEST(ParserFuzzTest, TruncationsOfValidSpec) {
+  const std::string Valid = R"(
+in x: Int
+def prev := last(merge(y, setEmpty()), x)
+def seen := setContains(prev, x)
+def y    := setToggle(prev, x)
+def c    := merge(last(c, x) + 1, 0)
+out seen
+out c
+)";
+  for (size_t Length = 0; Length <= Valid.size(); ++Length)
+    parseAnything(Valid.substr(0, Length));
+}
+
+TEST(ParserFuzzTest, PathologicalNesting) {
+  // Deep parenthesization must not blow the stack unreasonably.
+  std::string Source = "in a: Int\ndef x := ";
+  for (int I = 0; I != 200; ++I)
+    Source += "(";
+  Source += "a";
+  for (int I = 0; I != 200; ++I)
+    Source += ")";
+  Source += "\nout x";
+  parseAnything(Source);
+
+  // Long operator chain.
+  std::string Chain = "in a: Int\ndef x := a";
+  for (int I = 0; I != 2000; ++I)
+    Chain += " + a";
+  Chain += "\nout x";
+  parseAnything(Chain);
+}
+
+TEST(ParserFuzzTest, UnterminatedConstructs) {
+  for (const char *Source :
+       {"in", "in x", "in x:", "in x: Set[", "def", "def x", "def x :=",
+        "def x := if a then", "def x := merge(a", "out",
+        "def x := \"abc", "in x: Map[Int", "def x := last(a,"})
+    parseAnything(Source);
+}

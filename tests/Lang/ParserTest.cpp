@@ -1,0 +1,205 @@
+//===- tests/Lang/ParserTest.cpp --------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Lang/Parser.h"
+
+#include "../TestSpecs.h"
+
+#include <gtest/gtest.h>
+
+using namespace tessla;
+
+TEST(ParserTest, InputDeclarations) {
+  DiagnosticEngine Diags;
+  auto M = parseModule("in x: Int\nin s: Set[Int]\nin m: Map[Int, Float]",
+                       Diags);
+  ASSERT_TRUE(M) << Diags.str();
+  ASSERT_EQ(M->Inputs.size(), 3u);
+  EXPECT_EQ(M->Inputs[0].Ty, Type::integer());
+  EXPECT_EQ(M->Inputs[1].Ty, Type::set(Type::integer()));
+  EXPECT_EQ(M->Inputs[2].Ty, Type::map(Type::integer(), Type::floating()));
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  DiagnosticEngine Diags;
+  auto M = parseModule("in a: Int\ndef x := a + a * a", Diags);
+  ASSERT_TRUE(M) << Diags.str();
+  const ast::Expr &Body = *M->Defs[0].Body;
+  ASSERT_EQ(Body.Kind, ast::ExprKind::Call);
+  EXPECT_EQ(Body.Callee, "add");
+  EXPECT_EQ(Body.Args[1]->Callee, "mul");
+}
+
+TEST(ParserTest, ComparisonDoesNotChain) {
+  DiagnosticEngine Diags;
+  // "a < b < c" would parse as (a<b) < c with chaining; we stop after one.
+  auto M = parseModule("in a: Int\ndef x := a < a", Diags);
+  ASSERT_TRUE(M) << Diags.str();
+  EXPECT_EQ(M->Defs[0].Body->Callee, "lt");
+}
+
+TEST(ParserTest, IfThenElse) {
+  DiagnosticEngine Diags;
+  auto M = parseModule(
+      "in a: Int\ndef x := if a > 0 then a else -a", Diags);
+  ASSERT_TRUE(M) << Diags.str();
+  EXPECT_EQ(M->Defs[0].Body->Callee, "ite");
+  EXPECT_EQ(M->Defs[0].Body->Args.size(), 3u);
+}
+
+TEST(ParserTest, UnaryOperators) {
+  DiagnosticEngine Diags;
+  auto M = parseModule("in a: Bool\ndef x := !a\ndef y := -5", Diags);
+  ASSERT_TRUE(M) << Diags.str();
+  EXPECT_EQ(M->Defs[0].Body->Callee, "not");
+  // Negative literals fold.
+  ASSERT_EQ(M->Defs[1].Body->Kind, ast::ExprKind::Literal);
+  EXPECT_EQ(std::get<int64_t>(M->Defs[1].Body->Lit.V), -5);
+}
+
+TEST(ParserTest, CoreOperators) {
+  DiagnosticEngine Diags;
+  auto M = parseModule(
+      "in a: Int\ndef t := time(a)\ndef l := last(t, a)\n"
+      "def d := delay(l, a)\ndef u := unit\ndef n := nil",
+      Diags);
+  ASSERT_TRUE(M) << Diags.str();
+  EXPECT_EQ(M->Defs[0].Body->Kind, ast::ExprKind::TimeOp);
+  EXPECT_EQ(M->Defs[1].Body->Kind, ast::ExprKind::LastOp);
+  EXPECT_EQ(M->Defs[2].Body->Kind, ast::ExprKind::DelayOp);
+  EXPECT_EQ(M->Defs[3].Body->Kind, ast::ExprKind::UnitVal);
+  EXPECT_EQ(M->Defs[4].Body->Kind, ast::ExprKind::NilVal);
+}
+
+TEST(ParserTest, DefaultDesugarsToMerge) {
+  DiagnosticEngine Diags;
+  auto M = parseModule("in a: Int\ndef x := default(a, 0)", Diags);
+  ASSERT_TRUE(M) << Diags.str();
+  EXPECT_EQ(M->Defs[0].Body->Callee, "merge");
+}
+
+TEST(ParserTest, ErrorsRecoverPerDeclaration) {
+  DiagnosticEngine Diags;
+  auto M = parseModule("def x := (1 +\nin ok: Int\n", Diags);
+  EXPECT_FALSE(M);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(ParserTest, ReportsArityErrors) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(parseModule("in a: Int\ndef x := time(a, a)", Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+// --- Lowering / flattening ------------------------------------------------
+
+TEST(LoweringTest, Figure1FlattensToPaperForm) {
+  Spec S = testspecs::figure1();
+  // The named streams all exist.
+  for (const char *Name : {"i", "m", "yl", "y", "s"})
+    EXPECT_TRUE(S.lookup(Name)) << Name;
+  // yl = last(m, i).
+  const StreamDef &YL = S.stream(*S.lookup("yl"));
+  EXPECT_EQ(YL.Kind, StreamKind::Last);
+  EXPECT_EQ(S.stream(YL.Args[0]).Name, "m");
+  EXPECT_EQ(S.stream(YL.Args[1]).Name, "i");
+  // m = merge(y, <setEmpty temp>).
+  const StreamDef &MDef = S.stream(*S.lookup("m"));
+  EXPECT_EQ(MDef.Kind, StreamKind::Lift);
+  EXPECT_EQ(MDef.Fn, BuiltinId::Merge);
+  EXPECT_EQ(S.stream(MDef.Args[0]).Name, "y");
+  EXPECT_EQ(S.stream(MDef.Args[1]).Fn, BuiltinId::SetEmpty);
+  // The setEmpty temp feeds on the shared unit stream.
+  const StreamDef &Empty = S.stream(MDef.Args[1]);
+  EXPECT_EQ(S.stream(Empty.Args[0]).Kind, StreamKind::Unit);
+  // s is an output.
+  EXPECT_TRUE(S.stream(*S.lookup("s")).IsOutput);
+}
+
+TEST(LoweringTest, NestedExpressionsGetFreshTemps) {
+  Spec S = testspecs::parseOrDie(R"(
+    in a: Int
+    def x := (a + a) * (a + a)
+    out x
+  )");
+  // (a + a) appears twice; lowering introduces temps per occurrence.
+  const StreamDef &X = S.stream(*S.lookup("x"));
+  EXPECT_EQ(X.Fn, BuiltinId::Mul);
+  EXPECT_EQ(S.stream(X.Args[0]).Fn, BuiltinId::Add);
+  EXPECT_EQ(S.stream(X.Args[1]).Fn, BuiltinId::Add);
+}
+
+TEST(LoweringTest, AliasDefBecomesIdentityMerge) {
+  Spec S = testspecs::parseOrDie(R"(
+    in a: Int
+    def b := a
+    out b
+  )");
+  const StreamDef &B = S.stream(*S.lookup("b"));
+  EXPECT_EQ(B.Kind, StreamKind::Lift);
+  EXPECT_EQ(B.Fn, BuiltinId::Merge);
+  EXPECT_EQ(B.Args[0], *S.lookup("a"));
+  EXPECT_EQ(B.Args[1], *S.lookup("a"));
+}
+
+TEST(LoweringTest, LiteralsSharedAcrossUses) {
+  Spec S = testspecs::parseOrDie(R"(
+    in a: Int
+    def x := default(a, 7)
+    def y := default(a, 7)
+    out x
+    out y
+  )");
+  const StreamDef &X = S.stream(*S.lookup("x"));
+  const StreamDef &Y = S.stream(*S.lookup("y"));
+  EXPECT_EQ(X.Args[1], Y.Args[1]) << "same literal -> same const stream";
+}
+
+TEST(LoweringTest, LiteralOperandsAreHeld) {
+  // a + 1: the literal is wrapped as merge(c, last(c, a)) so the addition
+  // fires at every a event, not only at timestamp 0.
+  Spec S = testspecs::parseOrDie(R"(
+    in a: Int
+    def x := a + 1
+    out x
+  )");
+  const StreamDef &X = S.stream(*S.lookup("x"));
+  ASSERT_EQ(X.Fn, BuiltinId::Add);
+  const StreamDef &Held = S.stream(X.Args[1]);
+  EXPECT_EQ(Held.Fn, BuiltinId::Merge);
+  EXPECT_EQ(S.stream(Held.Args[0]).Kind, StreamKind::Const);
+  const StreamDef &Last = S.stream(Held.Args[1]);
+  EXPECT_EQ(Last.Kind, StreamKind::Last);
+  EXPECT_EQ(Last.Args[1], *S.lookup("a"));
+}
+
+TEST(LoweringTest, MergeKeepsRawLiterals) {
+  // default(x, 0) == merge(x, 0) must keep the plain timestamp-0 constant.
+  Spec S = testspecs::parseOrDie(R"(
+    in a: Int
+    def x := default(a, 0)
+    out x
+  )");
+  const StreamDef &X = S.stream(*S.lookup("x"));
+  EXPECT_EQ(X.Fn, BuiltinId::Merge);
+  EXPECT_EQ(S.stream(X.Args[1]).Kind, StreamKind::Const);
+}
+
+TEST(LoweringTest, UnknownNamesReported) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(parseSpec("def x := nope\nout x", Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+  DiagnosticEngine Diags2;
+  EXPECT_FALSE(parseSpec("in a: Int\nout missing", Diags2));
+  DiagnosticEngine Diags3;
+  EXPECT_FALSE(parseSpec("in a: Int\ndef x := frobnicate(a)", Diags3));
+}
+
+TEST(LoweringTest, DuplicateNamesReported) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(parseSpec("in a: Int\ndef a := 1", Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+}

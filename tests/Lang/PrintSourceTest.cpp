@@ -1,0 +1,94 @@
+//===- tests/Lang/PrintSourceTest.cpp ---------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Lang/PrintSource.h"
+
+#include "../TestSpecs.h"
+
+#include <gtest/gtest.h>
+
+using namespace tessla;
+using namespace tessla::testspecs;
+
+namespace {
+
+/// parse(print(S)) must be structurally identical to S.
+void expectRoundTrip(const Spec &S) {
+  std::string Printed = printSpecSource(S);
+  DiagnosticEngine Diags;
+  auto Reparsed = parseSpec(Printed, Diags);
+  ASSERT_TRUE(Reparsed) << Diags.str() << "\nsource:\n" << Printed;
+  ASSERT_EQ(Reparsed->numStreams(), S.numStreams()) << Printed;
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id) {
+    const StreamDef &A = S.stream(Id);
+    const StreamDef &B = Reparsed->stream(Id);
+    EXPECT_EQ(A.Name, B.Name);
+    EXPECT_EQ(A.Ty, B.Ty) << A.Name;
+    EXPECT_EQ(A.Args, B.Args) << A.Name;
+    EXPECT_EQ(A.IsOutput, B.IsOutput) << A.Name;
+    if (A.Kind == StreamKind::Lift) {
+      EXPECT_EQ(A.Fn, B.Fn) << A.Name;
+    }
+  }
+  // Printing again reaches a fixpoint.
+  EXPECT_EQ(printSpecSource(*Reparsed), Printed);
+}
+
+} // namespace
+
+TEST(PrintSourceTest, RoundTripsAllWorkloads) {
+  expectRoundTrip(figure1());
+  expectRoundTrip(figure4Upper());
+  expectRoundTrip(figure4Lower());
+  expectRoundTrip(seenSet());
+  expectRoundTrip(mapWindow(10));
+  expectRoundTrip(queueWindow(10));
+  expectRoundTrip(dbAccessConstraint());
+  expectRoundTrip(dbTimeConstraint());
+  expectRoundTrip(peakDetection(30));
+  expectRoundTrip(spectrumCalculation());
+}
+
+TEST(PrintSourceTest, RoundTripsOperatorsAndLiterals) {
+  expectRoundTrip(parseOrDie(R"(
+    in a: Int
+    in b: Float
+    in s: String
+    def x := a * 2 + 1
+    def y := if a > 0 then a else -a
+    def z := b / 2.5
+    def w := strConcat(s, "suffix")
+    def t := time(a)
+    def d := delay(a, a)
+    def n := merge(a, nil)
+    out x
+    out w
+    out d
+  )"));
+}
+
+TEST(PrintSourceTest, RoundTripsHoldSugar) {
+  Spec S = parseOrDie(R"(
+    in a: Int
+    in t: Int
+    def h := hold(a, t)
+    out h
+  )");
+  // hold desugars to merge(a, last(a, t)).
+  const StreamDef &H = S.stream(*S.lookup("h"));
+  EXPECT_EQ(H.Kind, StreamKind::Lift);
+  EXPECT_EQ(H.Fn, BuiltinId::Merge);
+  const StreamDef &LastA = S.stream(H.Args[1]);
+  EXPECT_EQ(LastA.Kind, StreamKind::Last);
+  expectRoundTrip(S);
+}
+
+TEST(PrintSourceTest, OutputIsParseableText) {
+  std::string Printed = printSpecSource(figure1());
+  EXPECT_NE(Printed.find("in i: Int"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("def yl := last(m, i)"), std::string::npos);
+  EXPECT_NE(Printed.find("out s"), std::string::npos);
+}

@@ -1,0 +1,62 @@
+//===- tests/Lang/SpecFilesTest.cpp -----------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Every bundled specs/*.tessla file must parse, type-check and analyze
+/// (the repository-level analogue of the artifact's src/examples).
+///
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Analysis/Pipeline.h"
+#include "tessla/Lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace tessla;
+
+namespace {
+
+std::vector<std::filesystem::path> specFiles() {
+  std::vector<std::filesystem::path> Files;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(TESSLA_SPECS_DIR))
+    if (Entry.path().extension() == ".tessla")
+      Files.push_back(Entry.path());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+} // namespace
+
+class SpecFilesTest
+    : public ::testing::TestWithParam<std::filesystem::path> {};
+
+TEST_P(SpecFilesTest, ParsesAndAnalyzes) {
+  std::ifstream In(GetParam());
+  ASSERT_TRUE(In) << GetParam();
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  DiagnosticEngine Diags;
+  auto S = parseSpec(Buffer.str(), Diags);
+  ASSERT_TRUE(S) << GetParam() << "\n" << Diags.str();
+  AnalysisResult A = analyzeSpec(*S);
+  EXPECT_EQ(A.order().size(), S->numStreams());
+  EXPECT_FALSE(S->outputs().empty()) << "specs should declare outputs";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBundledSpecs, SpecFilesTest, ::testing::ValuesIn(specFiles()),
+    [](const ::testing::TestParamInfo<std::filesystem::path> &Info) {
+      std::string Name = Info.param.stem().string();
+      for (char &C : Name)
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });

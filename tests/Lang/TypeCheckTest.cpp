@@ -1,0 +1,155 @@
+//===- tests/Lang/TypeCheckTest.cpp -----------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Lang/TypeCheck.h"
+
+#include "../TestSpecs.h"
+
+#include <gtest/gtest.h>
+
+using namespace tessla;
+
+namespace {
+Type typeOf(const Spec &S, const char *Name) {
+  auto Id = S.lookup(Name);
+  EXPECT_TRUE(Id) << Name;
+  return Id ? S.stream(*Id).Ty : Type();
+}
+} // namespace
+
+TEST(TypeCheckTest, Figure1Types) {
+  Spec S = testspecs::figure1();
+  EXPECT_EQ(typeOf(S, "i"), Type::integer());
+  EXPECT_EQ(typeOf(S, "y"), Type::set(Type::integer()));
+  EXPECT_EQ(typeOf(S, "yl"), Type::set(Type::integer()));
+  EXPECT_EQ(typeOf(S, "m"), Type::set(Type::integer()));
+  EXPECT_EQ(typeOf(S, "s"), Type::boolean());
+}
+
+TEST(TypeCheckTest, GenericBuiltinsInstantiatePerUse) {
+  Spec S = testspecs::parseOrDie(R"(
+    in a: Int
+    in b: String
+    def sa := setAdd(setEmpty(), a)
+    def sb := setAdd(setEmpty(), b)
+    out sa
+    out sb
+  )");
+  EXPECT_EQ(typeOf(S, "sa"), Type::set(Type::integer()));
+  EXPECT_EQ(typeOf(S, "sb"), Type::set(Type::string()));
+}
+
+TEST(TypeCheckTest, MapKeyValueInference) {
+  Spec S = testspecs::parseOrDie(R"(
+    in k: Int
+    in v: Float
+    def m := mapPut(mapEmpty(), k, v)
+    def got := mapGetOrElse(m, k, 0.0)
+    out got
+  )");
+  EXPECT_EQ(typeOf(S, "m"), Type::map(Type::integer(), Type::floating()));
+  EXPECT_EQ(typeOf(S, "got"), Type::floating());
+}
+
+TEST(TypeCheckTest, TimeAndDelayTypes) {
+  Spec S = testspecs::parseOrDie(R"(
+    in a: Int
+    def t := time(a)
+    def d := delay(a, a)
+    out t
+    out d
+  )");
+  EXPECT_EQ(typeOf(S, "t"), Type::integer());
+  EXPECT_EQ(typeOf(S, "d"), Type::unit());
+}
+
+TEST(TypeCheckTest, LastHasValueType) {
+  Spec S = testspecs::parseOrDie(R"(
+    in a: Float
+    in t: Int
+    def l := last(a, t)
+    out l
+  )");
+  EXPECT_EQ(typeOf(S, "l"), Type::floating());
+}
+
+TEST(TypeCheckTest, MismatchReported) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(parseSpec(R"(
+    in a: Int
+    in b: Bool
+    def x := a + b
+    out x
+  )",
+                         Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(TypeCheckTest, DelayAmountMustBeInt) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(parseSpec(R"(
+    in a: Float
+    def d := delay(a, a)
+    out d
+  )",
+                         Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(TypeCheckTest, UnconstrainedTypeReported) {
+  DiagnosticEngine Diags;
+  // nil's type has no constraining use.
+  EXPECT_FALSE(parseSpec("def x := nil\nout x", Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(TypeCheckTest, NilInfersFromUse) {
+  Spec S = testspecs::parseOrDie(R"(
+    in a: Int
+    def x := merge(a, nil)
+    out x
+  )");
+  EXPECT_EQ(typeOf(S, "x"), Type::integer());
+}
+
+TEST(TypeCheckTest, NestedAggregatesRejected) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(parseSpec(R"(
+    in a: Int
+    def inner := setAdd(setEmpty(), a)
+    def outer := setAdd(setEmpty(), inner)
+    out outer
+  )",
+                         Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("nested aggregate"), std::string::npos)
+      << Diags.str();
+}
+
+TEST(TypeCheckTest, FilterConditionMustBeBool) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(parseSpec(R"(
+    in a: Int
+    def x := filter(a, a)
+    out x
+  )",
+                         Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(TypeCheckTest, AllWorkloadSpecsTypecheck) {
+  // Smoke: every bundled workload builds and typechecks.
+  testspecs::figure1();
+  testspecs::figure4Upper();
+  testspecs::figure4Lower();
+  testspecs::seenSet();
+  testspecs::mapWindow(10);
+  testspecs::queueWindow(10);
+  testspecs::dbAccessConstraint();
+  testspecs::dbTimeConstraint();
+  testspecs::peakDetection(30);
+  testspecs::spectrumCalculation();
+}

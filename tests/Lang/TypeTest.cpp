@@ -1,0 +1,96 @@
+//===- tests/Lang/TypeTest.cpp ----------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Lang/TypeUnifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace tessla;
+
+TEST(TypeTest, Rendering) {
+  EXPECT_EQ(Type::integer().str(), "Int");
+  EXPECT_EQ(Type::set(Type::integer()).str(), "Set[Int]");
+  EXPECT_EQ(Type::map(Type::integer(), Type::floating()).str(),
+            "Map[Int, Float]");
+  EXPECT_EQ(Type::queue(Type::string()).str(), "Queue[String]");
+  EXPECT_EQ(Type::var(3).str(), "'3");
+}
+
+TEST(TypeTest, Equality) {
+  EXPECT_EQ(Type::integer(), Type::integer());
+  EXPECT_NE(Type::integer(), Type::floating());
+  EXPECT_EQ(Type::set(Type::integer()), Type::set(Type::integer()));
+  EXPECT_NE(Type::set(Type::integer()), Type::set(Type::boolean()));
+  EXPECT_EQ(Type::var(1), Type::var(1));
+  EXPECT_NE(Type::var(1), Type::var(2));
+}
+
+TEST(TypeTest, ComplexPredicate) {
+  EXPECT_FALSE(Type::integer().isComplex());
+  EXPECT_FALSE(Type::unit().isComplex());
+  EXPECT_TRUE(Type::set(Type::integer()).isComplex());
+  EXPECT_TRUE(Type::map(Type::integer(), Type::integer()).isComplex());
+  EXPECT_TRUE(Type::queue(Type::integer()).isComplex());
+}
+
+TEST(TypeTest, ConcretenessAndOccurs) {
+  EXPECT_TRUE(Type::set(Type::integer()).isConcrete());
+  EXPECT_FALSE(Type::set(Type::var(0)).isConcrete());
+  EXPECT_TRUE(Type::map(Type::integer(), Type::var(7)).contains(7));
+  EXPECT_FALSE(Type::map(Type::integer(), Type::var(7)).contains(8));
+}
+
+TEST(TypeUnifierTest, BindsVariables) {
+  TypeUnifier U;
+  Type V = U.freshVar();
+  EXPECT_TRUE(U.unify(V, Type::integer()));
+  EXPECT_EQ(U.apply(V), Type::integer());
+}
+
+TEST(TypeUnifierTest, UnifiesStructurally) {
+  TypeUnifier U;
+  Type A = U.freshVar(), B = U.freshVar();
+  EXPECT_TRUE(U.unify(Type::map(A, Type::floating()),
+                      Type::map(Type::integer(), B)));
+  EXPECT_EQ(U.apply(A), Type::integer());
+  EXPECT_EQ(U.apply(B), Type::floating());
+}
+
+TEST(TypeUnifierTest, RejectsClashes) {
+  TypeUnifier U;
+  EXPECT_FALSE(U.unify(Type::integer(), Type::floating()));
+  EXPECT_FALSE(
+      U.unify(Type::set(Type::integer()), Type::queue(Type::integer())));
+}
+
+TEST(TypeUnifierTest, OccursCheck) {
+  TypeUnifier U;
+  Type V = U.freshVar();
+  EXPECT_FALSE(U.unify(V, Type::set(V)));
+}
+
+TEST(TypeUnifierTest, ChainsResolve) {
+  TypeUnifier U;
+  Type A = U.freshVar(), B = U.freshVar(), C = U.freshVar();
+  EXPECT_TRUE(U.unify(A, B));
+  EXPECT_TRUE(U.unify(B, C));
+  EXPECT_TRUE(U.unify(C, Type::string()));
+  EXPECT_EQ(U.apply(A), Type::string());
+}
+
+TEST(TypeUnifierTest, InstantiateRenamesConsistently) {
+  TypeUnifier U;
+  std::unordered_map<uint32_t, Type> Renaming;
+  // setAdd-like signature: (Set['0], '0) -> Set['0].
+  Type P0 = U.instantiate(Type::set(Type::var(0)), Renaming);
+  Type P1 = U.instantiate(Type::var(0), Renaming);
+  // Same source variable maps to the same fresh one.
+  EXPECT_EQ(P0.params()[0], P1);
+  // Fresh variables differ between instantiations.
+  std::unordered_map<uint32_t, Type> Renaming2;
+  Type Q1 = U.instantiate(Type::var(0), Renaming2);
+  EXPECT_NE(P1, Q1);
+}

@@ -1,0 +1,192 @@
+//===- tests/Persistent/HamtTest.cpp ----------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Persistent/HAMT.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+
+using namespace tessla;
+
+TEST(HamtMapTest, EmptyMap) {
+  HamtMap<int, int> M;
+  EXPECT_TRUE(M.empty());
+  EXPECT_EQ(M.size(), 0u);
+  EXPECT_EQ(M.find(1), nullptr);
+}
+
+TEST(HamtMapTest, SetAndFind) {
+  HamtMap<int, std::string> M;
+  M = M.set(1, "one").set(2, "two");
+  EXPECT_EQ(M.size(), 2u);
+  ASSERT_NE(M.find(1), nullptr);
+  EXPECT_EQ(*M.find(1), "one");
+  ASSERT_NE(M.find(2), nullptr);
+  EXPECT_EQ(*M.find(2), "two");
+  EXPECT_EQ(M.find(3), nullptr);
+}
+
+TEST(HamtMapTest, OverwriteKeepsSize) {
+  HamtMap<int, int> M;
+  M = M.set(7, 1).set(7, 2);
+  EXPECT_EQ(M.size(), 1u);
+  EXPECT_EQ(*M.find(7), 2);
+}
+
+TEST(HamtMapTest, EraseRemoves) {
+  HamtMap<int, int> M;
+  M = M.set(1, 10).set(2, 20).set(3, 30);
+  M = M.erase(2);
+  EXPECT_EQ(M.size(), 2u);
+  EXPECT_EQ(M.find(2), nullptr);
+  EXPECT_NE(M.find(1), nullptr);
+  EXPECT_NE(M.find(3), nullptr);
+  // Erasing an absent key is a no-op.
+  M = M.erase(99);
+  EXPECT_EQ(M.size(), 2u);
+}
+
+TEST(HamtMapTest, PersistenceOldVersionsValid) {
+  HamtMap<int, int> V0;
+  HamtMap<int, int> V1 = V0.set(1, 100);
+  HamtMap<int, int> V2 = V1.set(2, 200);
+  HamtMap<int, int> V3 = V2.erase(1);
+  EXPECT_EQ(V0.size(), 0u);
+  EXPECT_EQ(V1.size(), 1u);
+  EXPECT_EQ(V2.size(), 2u);
+  EXPECT_EQ(V3.size(), 1u);
+  EXPECT_EQ(*V1.find(1), 100);
+  EXPECT_EQ(*V2.find(1), 100);
+  EXPECT_EQ(V3.find(1), nullptr);
+  EXPECT_EQ(*V3.find(2), 200);
+}
+
+namespace {
+/// Hash functor with deliberate collisions to exercise collision nodes.
+struct BadHash {
+  size_t operator()(int X) const { return static_cast<size_t>(X % 3); }
+};
+} // namespace
+
+TEST(HamtMapTest, CollisionsHandled) {
+  HamtMap<int, int, BadHash> M;
+  // All keys with equal remainder collide completely under BadHash.
+  for (int I = 0; I != 60; ++I)
+    M = M.set(I * 3, I);
+  EXPECT_EQ(M.size(), 60u);
+  for (int I = 0; I != 60; ++I) {
+    ASSERT_NE(M.find(I * 3), nullptr) << I;
+    EXPECT_EQ(*M.find(I * 3), I);
+  }
+  for (int I = 0; I != 30; ++I)
+    M = M.erase(I * 3);
+  EXPECT_EQ(M.size(), 30u);
+  for (int I = 30; I != 60; ++I)
+    EXPECT_NE(M.find(I * 3), nullptr);
+  for (int I = 0; I != 30; ++I)
+    EXPECT_EQ(M.find(I * 3), nullptr);
+}
+
+TEST(HamtMapTest, ItemsEnumeratesAll) {
+  HamtMap<int, int> M;
+  for (int I = 0; I != 100; ++I)
+    M = M.set(I, I * I);
+  auto Items = M.items();
+  EXPECT_EQ(Items.size(), 100u);
+  std::map<int, int> Sorted(Items.begin(), Items.end());
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(Sorted[I], I * I);
+}
+
+/// Property: agrees with std::map under random operations; snapshots stay
+/// intact (the persistence property the baseline monitors rely on).
+TEST(HamtMapTest, MatchesStdMapUnderRandomOps) {
+  std::mt19937 Rng(17);
+  for (int Round = 0; Round != 10; ++Round) {
+    HamtMap<int, int> M;
+    std::map<int, int> Ref;
+    std::vector<std::pair<HamtMap<int, int>, std::map<int, int>>> Snaps;
+    for (int Op = 0; Op != 2000; ++Op) {
+      int Key = static_cast<int>(Rng() % 500);
+      if (Rng() % 3 != 0) {
+        int Val = static_cast<int>(Rng());
+        M = M.set(Key, Val);
+        Ref[Key] = Val;
+      } else {
+        M = M.erase(Key);
+        Ref.erase(Key);
+      }
+      ASSERT_EQ(M.size(), Ref.size());
+      if (Op % 500 == 0)
+        Snaps.push_back({M, Ref});
+    }
+    for (auto &[K, V] : Ref) {
+      ASSERT_NE(M.find(K), nullptr);
+      EXPECT_EQ(*M.find(K), V);
+    }
+    for (auto &[SnapM, SnapRef] : Snaps) {
+      EXPECT_EQ(SnapM.size(), SnapRef.size());
+      for (auto &[K, V] : SnapRef) {
+        ASSERT_NE(SnapM.find(K), nullptr);
+        EXPECT_EQ(*SnapM.find(K), V);
+      }
+    }
+  }
+}
+
+TEST(HamtSetTest, InsertContainsErase) {
+  HamtSet<std::string> S;
+  S = S.insert("a").insert("b");
+  EXPECT_EQ(S.size(), 2u);
+  EXPECT_TRUE(S.contains("a"));
+  EXPECT_FALSE(S.contains("c"));
+  S = S.erase("a");
+  EXPECT_FALSE(S.contains("a"));
+  EXPECT_TRUE(S.contains("b"));
+}
+
+TEST(HamtSetTest, DuplicateInsertKeepsSize) {
+  HamtSet<int> S;
+  S = S.insert(1).insert(1).insert(1);
+  EXPECT_EQ(S.size(), 1u);
+}
+
+TEST(HamtSetTest, MatchesStdSetUnderRandomOps) {
+  std::mt19937 Rng(29);
+  HamtSet<int> S;
+  std::set<int> Ref;
+  for (int Op = 0; Op != 5000; ++Op) {
+    int V = static_cast<int>(Rng() % 1000);
+    if (Rng() % 2) {
+      S = S.insert(V);
+      Ref.insert(V);
+    } else {
+      S = S.erase(V);
+      Ref.erase(V);
+    }
+    ASSERT_EQ(S.size(), Ref.size());
+  }
+  for (int V : Ref)
+    EXPECT_TRUE(S.contains(V));
+  auto Items = S.items();
+  EXPECT_EQ(std::set<int>(Items.begin(), Items.end()), Ref);
+}
+
+TEST(HamtSetTest, LargeScaleGrowShrink) {
+  HamtSet<int> S;
+  for (int I = 0; I != 20000; ++I)
+    S = S.insert(I);
+  EXPECT_EQ(S.size(), 20000u);
+  for (int I = 0; I != 20000; I += 2)
+    S = S.erase(I);
+  EXPECT_EQ(S.size(), 10000u);
+  for (int I = 0; I != 20000; ++I)
+    EXPECT_EQ(S.contains(I), I % 2 == 1) << I;
+}

@@ -1,0 +1,114 @@
+//===- tests/Runtime/TraceGenTest.cpp ---------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Runtime/TraceGen.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace tessla;
+using namespace tessla::tracegen;
+
+TEST(TraceGenTest, RandomIntsShape) {
+  auto Events = randomInts(/*Id=*/0, /*Count=*/1000, /*Domain=*/20,
+                           /*Seed=*/7);
+  ASSERT_EQ(Events.size(), 1000u);
+  for (size_t I = 0; I != Events.size(); ++I) {
+    EXPECT_EQ(std::get<1>(Events[I]), static_cast<Time>(I + 1));
+    int64_t V = std::get<2>(Events[I]).getInt();
+    EXPECT_GE(V, 0);
+    EXPECT_LT(V, 20);
+  }
+}
+
+TEST(TraceGenTest, Deterministic) {
+  EXPECT_EQ(randomInts(0, 100, 10, 42), randomInts(0, 100, 10, 42));
+  EXPECT_NE(randomInts(0, 100, 10, 42), randomInts(0, 100, 10, 43));
+}
+
+TEST(TraceGenTest, DbLogInvariants) {
+  DbLogConfig Config;
+  Config.Count = 5000;
+  Config.Seed = 3;
+  auto Events = dbLog(/*Insert=*/0, /*Delete=*/1, /*Access=*/2, Config);
+  ASSERT_EQ(Events.size(), Config.Count);
+  std::set<int64_t> Live;
+  size_t BadAccesses = 0, Inserts = 0, Deletes = 0;
+  for (const auto &[Stream, Ts, V] : Events) {
+    int64_t Id = V.getInt();
+    switch (Stream) {
+    case 0:
+      EXPECT_FALSE(Live.count(Id)) << "fresh ids only";
+      Live.insert(Id);
+      ++Inserts;
+      break;
+    case 1:
+      EXPECT_TRUE(Live.count(Id)) << "deletes target live records";
+      Live.erase(Id);
+      ++Deletes;
+      break;
+    case 2:
+      if (!Live.count(Id))
+        ++BadAccesses;
+      break;
+    default:
+      FAIL();
+    }
+  }
+  EXPECT_GT(Inserts, 1000u);
+  EXPECT_GT(Deletes, 100u);
+  EXPECT_GT(BadAccesses, 0u) << "violations must occur";
+  EXPECT_LT(BadAccesses, 300u) << "...but rarely";
+}
+
+TEST(TraceGenTest, DbPairLogOrderedAndMostlyTimely) {
+  DbPairConfig Config;
+  Config.Count = 2000;
+  Config.Seed = 5;
+  auto Events = dbPairLog(/*Db2=*/0, /*Db3=*/1, Config);
+  Time Prev = 0;
+  std::map<int64_t, Time> Db2Times;
+  size_t Late = 0, Db3Count = 0;
+  for (const auto &[Stream, Ts, V] : Events) {
+    EXPECT_GE(Ts, Prev) << "global timestamp order";
+    Prev = Ts;
+    if (Stream == 0) {
+      Db2Times[V.getInt()] = Ts;
+    } else {
+      ++Db3Count;
+      auto It = Db2Times.find(V.getInt());
+      if (It == Db2Times.end() || Ts - It->second > Config.MaxLag)
+        ++Late;
+    }
+  }
+  EXPECT_GT(Db3Count, 1500u);
+  EXPECT_GT(Late, 0u);
+  EXPECT_LT(static_cast<double>(Late) / Db3Count, 0.1);
+}
+
+TEST(TraceGenTest, PowerSignalShape) {
+  PowerConfig Config;
+  Config.Count = 2000;
+  Config.Seed = 11;
+  auto Events = powerSignal(/*Id=*/0, Config);
+  ASSERT_EQ(Events.size(), Config.Count);
+  double Sum = 0;
+  size_t Peaks = 0;
+  Time Prev = 0;
+  for (const auto &[Stream, Ts, V] : Events) {
+    EXPECT_EQ(Ts, Prev + Config.Period) << "fixed sampling period";
+    Prev = Ts;
+    double X = V.getFloat();
+    Sum += X;
+    if (X > Config.Base + Config.DailyAmp + 5 * Config.Noise)
+      ++Peaks;
+  }
+  double Mean = Sum / Config.Count;
+  EXPECT_NEAR(Mean, Config.Base, 5.0) << "sinusoid averages out";
+  EXPECT_GT(Peaks, 0u) << "injected peaks present";
+}

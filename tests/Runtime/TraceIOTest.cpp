@@ -1,0 +1,81 @@
+//===- tests/Runtime/TraceIOTest.cpp ----------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Runtime/TraceIO.h"
+
+#include "../TestSpecs.h"
+
+#include <gtest/gtest.h>
+
+using namespace tessla;
+using namespace tessla::testspecs;
+
+TEST(ValueLiteralTest, ParsesScalars) {
+  EXPECT_EQ(parseValueLiteral("42")->getInt(), 42);
+  EXPECT_EQ(parseValueLiteral("-3")->getInt(), -3);
+  EXPECT_DOUBLE_EQ(parseValueLiteral("2.5")->getFloat(), 2.5);
+  EXPECT_EQ(parseValueLiteral("true")->getBool(), true);
+  EXPECT_EQ(parseValueLiteral("false")->getBool(), false);
+  EXPECT_EQ(parseValueLiteral("()")->kind(), Value::Kind::Unit);
+  EXPECT_EQ(parseValueLiteral("\"hi\\n\"")->getString(), "hi\n");
+  EXPECT_EQ(parseValueLiteral("  7 ")->getInt(), 7) << "trims whitespace";
+}
+
+TEST(ValueLiteralTest, RejectsGarbage) {
+  EXPECT_FALSE(parseValueLiteral(""));
+  EXPECT_FALSE(parseValueLiteral("4x"));
+  EXPECT_FALSE(parseValueLiteral("\"unterminated"));
+  EXPECT_FALSE(parseValueLiteral("\"bad\\q\""));
+}
+
+TEST(TraceIOTest, ParsesEventsAgainstSpec) {
+  Spec S = parseOrDie("in i: Int\nin f: Float\ndef t := time(i)\nout t");
+  DiagnosticEngine Diags;
+  auto Events = parseTrace(R"(
+# comment
+0: i = 1
+-- another comment
+3: f = 2.5
+
+7: i = -4
+)",
+                           S, Diags);
+  ASSERT_TRUE(Events) << Diags.str();
+  ASSERT_EQ(Events->size(), 3u);
+  EXPECT_EQ(std::get<0>((*Events)[0]), *S.lookup("i"));
+  EXPECT_EQ(std::get<1>((*Events)[1]), 3);
+  EXPECT_DOUBLE_EQ(std::get<2>((*Events)[1]).getFloat(), 2.5);
+  EXPECT_EQ(std::get<2>((*Events)[2]).getInt(), -4);
+}
+
+TEST(TraceIOTest, RejectsUnknownAndNonInputStreams) {
+  Spec S = parseOrDie("in i: Int\ndef t := time(i)\nout t");
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(parseTrace("0: nope = 1", S, Diags));
+  DiagnosticEngine Diags2;
+  EXPECT_FALSE(parseTrace("0: t = 1", S, Diags2))
+      << "derived streams cannot be fed";
+}
+
+TEST(TraceIOTest, RejectsMalformedLines) {
+  Spec S = parseOrDie("in i: Int\ndef t := time(i)\nout t");
+  for (const char *Bad : {"i = 1", "x: i = 1", "-1: i = 1", "0: i 1",
+                          "0: i = @"}) {
+    DiagnosticEngine Diags;
+    EXPECT_FALSE(parseTrace(Bad, S, Diags)) << Bad;
+  }
+}
+
+TEST(TraceIOTest, RoundTripThroughMonitor) {
+  Spec S = parseOrDie("in i: Int\ndef x := i + i\nout x");
+  DiagnosticEngine Diags;
+  auto Events = parseTrace("1: i = 2\n5: i = 10\n", S, Diags);
+  ASSERT_TRUE(Events);
+  AnalysisResult A = analyzeSpec(S);
+  MonitorPlan Plan = MonitorPlan::compile(A);
+  auto Out = runMonitor(Plan, *Events);
+  EXPECT_EQ(formatOutputs(Plan.spec(), Out), "1: x = 4\n5: x = 20\n");
+}

@@ -1,0 +1,126 @@
+//===- tests/Runtime/ValueTest.cpp ------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Runtime/Containers.h"
+
+#include <gtest/gtest.h>
+
+using namespace tessla;
+
+TEST(ValueTest, ScalarConstructionAndAccess) {
+  EXPECT_EQ(Value::unit().kind(), Value::Kind::Unit);
+  EXPECT_EQ(Value::boolean(true).getBool(), true);
+  EXPECT_EQ(Value::integer(-7).getInt(), -7);
+  EXPECT_DOUBLE_EQ(Value::floating(1.5).getFloat(), 1.5);
+  EXPECT_EQ(Value::string("hi").getString(), "hi");
+}
+
+TEST(ValueTest, FromLiteral) {
+  EXPECT_EQ(Value::fromLiteral(ConstantLit{int64_t{3}}).getInt(), 3);
+  EXPECT_EQ(Value::fromLiteral(ConstantLit{std::monostate{}}).kind(),
+            Value::Kind::Unit);
+  EXPECT_EQ(Value::fromLiteral(ConstantLit{true}).getBool(), true);
+}
+
+TEST(ValueTest, ScalarEqualityAndOrder) {
+  EXPECT_EQ(Value::integer(1), Value::integer(1));
+  EXPECT_NE(Value::integer(1), Value::integer(2));
+  EXPECT_NE(Value::integer(1), Value::floating(1.0)) << "kinds differ";
+  EXPECT_LT(compareValues(Value::integer(1), Value::integer(2)), 0);
+  EXPECT_GT(compareValues(Value::string("b"), Value::string("a")), 0);
+  EXPECT_EQ(compareValues(Value::unit(), Value::unit()), 0);
+}
+
+TEST(ValueTest, ScalarRendering) {
+  EXPECT_EQ(Value::unit().str(), "()");
+  EXPECT_EQ(Value::boolean(false).str(), "false");
+  EXPECT_EQ(Value::integer(42).str(), "42");
+  EXPECT_EQ(Value::floating(2.5).str(), "2.5");
+  EXPECT_EQ(Value::string("a\"b").str(), "\"a\\\"b\"");
+}
+
+namespace {
+
+Value mutableSetOf(std::initializer_list<int64_t> Items) {
+  auto Data = makeSetData(true);
+  for (int64_t I : Items)
+    Data->Mutable.insert(Value::integer(I));
+  return Value::set(std::move(Data));
+}
+
+Value persistentSetOf(std::initializer_list<int64_t> Items) {
+  auto Data = makeSetData(false);
+  for (int64_t I : Items)
+    Data->Persistent = Data->Persistent.insert(Value::integer(I));
+  return Value::set(std::move(Data));
+}
+
+} // namespace
+
+TEST(ValueTest, AggregateEqualityAcrossRepresentations) {
+  // The differential tests rely on representation-independent equality.
+  EXPECT_EQ(mutableSetOf({1, 2, 3}), persistentSetOf({3, 2, 1}));
+  EXPECT_NE(mutableSetOf({1, 2}), persistentSetOf({1, 2, 3}));
+  EXPECT_NE(mutableSetOf({1, 2}), persistentSetOf({1, 4}));
+}
+
+TEST(ValueTest, AggregateCanonicalRendering) {
+  // Sorted element order regardless of hash iteration order and
+  // representation.
+  EXPECT_EQ(mutableSetOf({10, 2, 35}).str(), "{2, 10, 35}");
+  EXPECT_EQ(persistentSetOf({10, 2, 35}).str(), "{2, 10, 35}");
+  EXPECT_EQ(mutableSetOf({}).str(), "{}");
+}
+
+TEST(ValueTest, MapRenderingAndEquality) {
+  auto M1 = makeMapData(true);
+  M1->Mutable[Value::integer(2)] = Value::string("b");
+  M1->Mutable[Value::integer(1)] = Value::string("a");
+  auto M2 = makeMapData(false);
+  M2->Persistent =
+      M2->Persistent.set(Value::integer(1), Value::string("a"));
+  M2->Persistent =
+      M2->Persistent.set(Value::integer(2), Value::string("b"));
+  EXPECT_EQ(Value::map(M1), Value::map(M2));
+  EXPECT_EQ(Value::map(M1).str(), "{1 -> \"a\", 2 -> \"b\"}");
+}
+
+TEST(ValueTest, QueueRenderingKeepsOrder) {
+  auto Q = makeQueueData(true);
+  Q->Mutable.push_back(Value::integer(3));
+  Q->Mutable.push_back(Value::integer(1));
+  Q->Mutable.push_back(Value::integer(2));
+  EXPECT_EQ(Value::queue(Q).str(), "<3, 1, 2>");
+
+  auto P = makeQueueData(false);
+  P->Persistent =
+      P->Persistent.enqueue(Value::integer(3)).enqueue(Value::integer(1));
+  P->Persistent = P->Persistent.enqueue(Value::integer(2));
+  EXPECT_EQ(Value::queue(P), Value::queue(Q));
+  // Different order -> unequal.
+  auto Q2 = makeQueueData(true);
+  Q2->Mutable.push_back(Value::integer(1));
+  Q2->Mutable.push_back(Value::integer(3));
+  Q2->Mutable.push_back(Value::integer(2));
+  EXPECT_NE(Value::queue(Q2), Value::queue(Q));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(mutableSetOf({5, 6}).hash(), persistentSetOf({6, 5}).hash());
+  EXPECT_EQ(Value::integer(9).hash(), Value::integer(9).hash());
+  // Hash must distinguish kinds (no Int/Bool collisions by construction).
+  EXPECT_NE(Value::integer(1).hash(), Value::boolean(true).hash());
+}
+
+TEST(ValueTest, HandleSharingSemantics) {
+  // Copying a Value copies the handle, not the payload — the mechanism
+  // destructive updates rely on.
+  Value A = mutableSetOf({1});
+  Value B = A;
+  B.getSet()->Mutable.insert(Value::integer(2));
+  EXPECT_EQ(A.getSet()->size(), 2u);
+  EXPECT_EQ(A.getSet().get(), B.getSet().get());
+}

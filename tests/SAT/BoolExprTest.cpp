@@ -1,0 +1,103 @@
+//===- tests/SAT/BoolExprTest.cpp -------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/SAT/BoolExpr.h"
+
+#include <gtest/gtest.h>
+
+using namespace tessla;
+
+TEST(BoolExprTest, ConstantsAndAtoms) {
+  BoolExprContext Ctx;
+  EXPECT_EQ(Ctx.kind(Ctx.trueExpr()), BoolExprKind::True);
+  EXPECT_EQ(Ctx.kind(Ctx.falseExpr()), BoolExprKind::False);
+  BoolExprRef A = Ctx.atom(3);
+  EXPECT_EQ(Ctx.kind(A), BoolExprKind::Atom);
+  EXPECT_EQ(Ctx.atomId(A), 3u);
+  // Atoms are uniqued.
+  EXPECT_EQ(Ctx.atom(3), A);
+  EXPECT_NE(Ctx.atom(4), A);
+}
+
+TEST(BoolExprTest, ConjunctionSimplifications) {
+  BoolExprContext Ctx;
+  BoolExprRef A = Ctx.atom(0), B = Ctx.atom(1);
+  EXPECT_EQ(Ctx.conj({}), Ctx.trueExpr());
+  EXPECT_EQ(Ctx.conj(A, Ctx.trueExpr()), A);
+  EXPECT_EQ(Ctx.conj(A, Ctx.falseExpr()), Ctx.falseExpr());
+  // Idempotence: a & a == a (the i & i of the paper's worked example).
+  EXPECT_EQ(Ctx.conj(A, A), A);
+  // Commutativity through canonical child order.
+  EXPECT_EQ(Ctx.conj(A, B), Ctx.conj(B, A));
+  // Flattening: (a & b) & a == a & b.
+  EXPECT_EQ(Ctx.conj(Ctx.conj(A, B), A), Ctx.conj(A, B));
+}
+
+TEST(BoolExprTest, DisjunctionSimplifications) {
+  BoolExprContext Ctx;
+  BoolExprRef A = Ctx.atom(0), B = Ctx.atom(1);
+  EXPECT_EQ(Ctx.disj({}), Ctx.falseExpr());
+  EXPECT_EQ(Ctx.disj(A, Ctx.falseExpr()), A);
+  EXPECT_EQ(Ctx.disj(A, Ctx.trueExpr()), Ctx.trueExpr());
+  EXPECT_EQ(Ctx.disj(A, A), A);
+  EXPECT_EQ(Ctx.disj(A, B), Ctx.disj(B, A));
+  EXPECT_EQ(Ctx.disj(Ctx.disj(A, B), B), Ctx.disj(A, B));
+}
+
+TEST(BoolExprTest, HashConsingSharesStructure) {
+  BoolExprContext Ctx;
+  BoolExprRef A = Ctx.atom(0), B = Ctx.atom(1), C = Ctx.atom(2);
+  BoolExprRef X = Ctx.conj(Ctx.disj(A, B), C);
+  BoolExprRef Y = Ctx.conj(C, Ctx.disj(B, A));
+  EXPECT_EQ(X, Y);
+  size_t Before = Ctx.numNodes();
+  (void)Ctx.conj(Ctx.disj(A, B), C); // identical term: no new nodes
+  EXPECT_EQ(Ctx.numNodes(), Before);
+}
+
+TEST(BoolExprTest, Evaluate) {
+  BoolExprContext Ctx;
+  BoolExprRef F =
+      Ctx.disj(Ctx.conj(Ctx.atom(0), Ctx.atom(1)), Ctx.atom(2));
+  EXPECT_FALSE(Ctx.evaluate(F, {false, false, false}));
+  EXPECT_TRUE(Ctx.evaluate(F, {true, true, false}));
+  EXPECT_TRUE(Ctx.evaluate(F, {false, false, true}));
+  EXPECT_FALSE(Ctx.evaluate(F, {true, false, false}));
+  // Missing atoms read as false.
+  EXPECT_FALSE(Ctx.evaluate(F, {}));
+}
+
+TEST(BoolExprTest, AtomsCollection) {
+  BoolExprContext Ctx;
+  BoolExprRef F =
+      Ctx.conj(Ctx.disj(Ctx.atom(5), Ctx.atom(2)), Ctx.atom(5));
+  EXPECT_EQ(Ctx.atoms(F), (std::vector<uint32_t>{2, 5}));
+  EXPECT_TRUE(Ctx.atoms(Ctx.trueExpr()).empty());
+}
+
+TEST(BoolExprTest, Rendering) {
+  BoolExprContext Ctx;
+  // Intern atoms in a fixed sequence so the canonical (ref-ordered) child
+  // order is deterministic for this test.
+  BoolExprRef I = Ctx.atom(0);
+  BoolExprRef J = Ctx.atom(1);
+  BoolExprRef U = Ctx.atom(2);
+  BoolExprRef F = Ctx.disj(Ctx.conj(I, J), U);
+  std::vector<std::string> Names = {"i", "j", "u"};
+  EXPECT_EQ(Ctx.str(F, &Names), "(u | (i & j))");
+  EXPECT_EQ(Ctx.str(Ctx.falseExpr(), &Names), "false");
+  EXPECT_EQ(Ctx.str(Ctx.trueExpr(), &Names), "true");
+  // Without names, atoms render by id.
+  EXPECT_EQ(Ctx.str(I), "a0");
+}
+
+TEST(BoolExprTest, DagSizeCountsSharedNodesOnce) {
+  BoolExprContext Ctx;
+  BoolExprRef AB = Ctx.conj(Ctx.atom(0), Ctx.atom(1));
+  BoolExprRef F = Ctx.disj(AB, Ctx.conj(AB, Ctx.atom(2)));
+  // Nodes: a0, a1, a2, AB, (AB & a2), top. AB counted once.
+  EXPECT_EQ(Ctx.dagSize(F), 6u);
+}

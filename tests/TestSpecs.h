@@ -1,0 +1,50 @@
+//===- tests/TestSpecs.h - Shared specification fixtures --------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Test-facing wrappers around the evaluation workload specifications
+/// (tessla/Eval/Workloads.h) plus a gtest-flavored parse helper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_TESTS_TESTSPECS_H
+#define TESSLA_TESTS_TESTSPECS_H
+
+#include "tessla/Eval/Workloads.h"
+#include "tessla/Lang/Builder.h"
+#include "tessla/Lang/Parser.h"
+#include "tessla/Lang/TypeCheck.h"
+
+#include <gtest/gtest.h>
+
+namespace tessla {
+namespace testspecs {
+
+/// Parses and type-checks \p Source, failing the test on any diagnostic.
+inline Spec parseOrDie(std::string_view Source) {
+  DiagnosticEngine Diags;
+  auto S = parseSpec(Source, Diags);
+  EXPECT_TRUE(S) << Diags.str();
+  if (!S)
+    return Spec();
+  return std::move(*S);
+}
+
+using workloads::dbAccessConstraint;
+using workloads::dbTimeConstraint;
+using workloads::figure1;
+using workloads::figure4Lower;
+using workloads::figure4Upper;
+using workloads::mapWindow;
+using workloads::peakDetection;
+using workloads::queueWindow;
+using workloads::seenSet;
+using workloads::spectrumCalculation;
+
+} // namespace testspecs
+} // namespace tessla
+
+#endif // TESSLA_TESTS_TESTSPECS_H

@@ -1,0 +1,136 @@
+//===- tests/Tools/TesslacTest.cpp ------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Drives the tesslac compiler binary end to end (report/flat/dot/plan/
+/// cpp emission and trace execution).
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  return ::testing::TempDir() + Name;
+}
+
+void writeFile(const std::string &Path, const std::string &Contents) {
+  std::ofstream Out(Path);
+  Out << Contents;
+  ASSERT_TRUE(Out.good());
+}
+
+/// Runs tesslac with \p Args, captures stdout, returns (exit, output).
+std::pair<int, std::string> runTool(const std::string &Args) {
+  std::string OutPath = tempPath("tesslac_out.txt");
+  std::string Cmd = std::string(TESSLAC_PATH) + " " + Args + " > " +
+                    OutPath + " 2> " + tempPath("tesslac_err.txt");
+  int Rc = std::system(Cmd.c_str());
+  std::ifstream In(OutPath);
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return {Rc, Buffer.str()};
+}
+
+const char *SeenSetSource = R"(
+in x: Int
+def prev := last(merge(y, setEmpty()), x)
+def seen := setContains(prev, x)
+def y    := setToggle(prev, x)
+out seen
+)";
+
+std::string specFile() {
+  std::string Path = tempPath("seen.tessla");
+  writeFile(Path, SeenSetSource);
+  return Path;
+}
+
+} // namespace
+
+TEST(TesslacTest, DefaultReportsMutability) {
+  auto [Rc, Out] = runTool(specFile());
+  EXPECT_EQ(Rc, 0);
+  EXPECT_NE(Out.find("mutability analysis report"), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("mutable"), std::string::npos);
+}
+
+TEST(TesslacTest, EmitFlat) {
+  auto [Rc, Out] = runTool(specFile() + " --emit=flat");
+  EXPECT_EQ(Rc, 0);
+  EXPECT_NE(Out.find("prev = last("), std::string::npos) << Out;
+}
+
+TEST(TesslacTest, EmitDot) {
+  auto [Rc, Out] = runTool(specFile() + " --emit=dot");
+  EXPECT_EQ(Rc, 0);
+  EXPECT_EQ(Out.substr(0, 7), "digraph");
+}
+
+TEST(TesslacTest, EmitPlanShowsInPlace) {
+  auto [Rc, Out] = runTool(specFile() + " --emit=plan");
+  EXPECT_EQ(Rc, 0);
+  EXPECT_NE(Out.find("[in-place]"), std::string::npos) << Out;
+  auto [RcBase, OutBase] =
+      runTool(specFile() + " --emit=plan --baseline");
+  EXPECT_EQ(RcBase, 0);
+  EXPECT_EQ(OutBase.find("[in-place]"), std::string::npos) << OutBase;
+}
+
+TEST(TesslacTest, EmitSourceRoundTrips) {
+  auto [Rc, Out] = runTool(specFile() + " --emit=source");
+  EXPECT_EQ(Rc, 0);
+  // The emitted source is itself a valid spec: feed it back in.
+  std::string Path = tempPath("roundtrip.tessla");
+  writeFile(Path, Out);
+  auto [Rc2, Out2] = runTool(Path + " --emit=source");
+  EXPECT_EQ(Rc2, 0);
+  EXPECT_EQ(Out, Out2);
+}
+
+TEST(TesslacTest, EmitStats) {
+  auto [Rc, Out] = runTool(specFile() + " --emit=stats");
+  EXPECT_EQ(Rc, 0);
+  EXPECT_NE(Out.find("mutable streams:"), std::string::npos) << Out;
+}
+
+TEST(TesslacTest, EmitCppWithMain) {
+  auto [Rc, Out] = runTool(specFile() + " --emit=cpp --main");
+  EXPECT_EQ(Rc, 0);
+  EXPECT_NE(Out.find("class GeneratedMonitor"), std::string::npos);
+  EXPECT_NE(Out.find("int main()"), std::string::npos);
+}
+
+TEST(TesslacTest, RunTrace) {
+  std::string TracePath = tempPath("seen_trace.txt");
+  writeFile(TracePath, "1: x = 5\n2: x = 5\n3: x = 6\n");
+  auto [Rc, Out] = runTool(specFile() + " --run " + TracePath);
+  EXPECT_EQ(Rc, 0);
+  EXPECT_EQ(Out, "1: seen = false\n2: seen = true\n3: seen = false\n");
+  // Optimized and baseline agree.
+  auto [RcB, OutB] =
+      runTool(specFile() + " --baseline --run " + TracePath);
+  EXPECT_EQ(RcB, 0);
+  EXPECT_EQ(Out, OutB);
+}
+
+TEST(TesslacTest, ErrorsOnBadInput) {
+  std::string BadPath = tempPath("bad.tessla");
+  writeFile(BadPath, "def x := nope\nout x\n");
+  auto [Rc, Out] = runTool(BadPath);
+  EXPECT_NE(Rc, 0);
+  auto [Rc2, Out2] = runTool("/definitely/not/here.tessla");
+  EXPECT_NE(Rc2, 0);
+  auto [Rc3, Out3] = runTool(specFile() + " --emit=nonsense");
+  EXPECT_NE(Rc3, 0);
+}

@@ -1,0 +1,187 @@
+//===- tools/tesslac.cpp - TeSSLa compiler driver ---------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The compiler driver: the command-line face of the library, analogous
+/// to the paper's TeSSLa compiler binary.
+///
+/// \code
+///   tesslac spec.tessla                      # analysis report
+///   tesslac spec.tessla --emit=flat          # flattened equations
+///   tesslac spec.tessla --emit=dot | dot -Tsvg ...   # usage graph
+///   tesslac spec.tessla --emit=plan          # interpreter plan
+///   tesslac spec.tessla --emit=cpp --main > monitor.cpp
+///   tesslac spec.tessla --run trace.txt      # execute on a trace
+///   tesslac spec.tessla --baseline --run trace.txt   # all-persistent
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Analysis/GraphWriter.h"
+#include "tessla/Analysis/Pipeline.h"
+#include "tessla/Analysis/Statistics.h"
+#include "tessla/CodeGen/CppEmitter.h"
+#include "tessla/Lang/Parser.h"
+#include "tessla/Lang/PrintSource.h"
+#include "tessla/Runtime/TraceIO.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+using namespace tessla;
+
+namespace {
+
+void printUsage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <spec.tessla> [options]\n"
+      "  --emit=report|flat|source|stats|dot|plan|cpp\n"
+      "                                    what to print (default report)\n"
+      "  --baseline                        disable the aggregate update\n"
+      "                                    optimization (all persistent)\n"
+      "  --main                            add a main() to --emit=cpp\n"
+      "  --run <trace.txt>                 execute the monitor on a trace\n"
+      "  --horizon <t>                     bound delay draining at finish\n",
+      Argv0);
+}
+
+std::optional<std::string> readFile(const char *Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return std::nullopt;
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *SpecPath = nullptr;
+  const char *TracePath = nullptr;
+  std::string Emit = "report";
+  bool Baseline = false;
+  bool EmitMain = false;
+  std::optional<Time> Horizon;
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (std::strncmp(Arg, "--emit=", 7) == 0) {
+      Emit = Arg + 7;
+    } else if (std::strcmp(Arg, "--baseline") == 0) {
+      Baseline = true;
+    } else if (std::strcmp(Arg, "--main") == 0) {
+      EmitMain = true;
+    } else if (std::strcmp(Arg, "--run") == 0 && I + 1 < argc) {
+      TracePath = argv[++I];
+      Emit = "run";
+    } else if (std::strcmp(Arg, "--horizon") == 0 && I + 1 < argc) {
+      Horizon = std::strtoll(argv[++I], nullptr, 10);
+    } else if (std::strcmp(Arg, "--help") == 0) {
+      printUsage(argv[0]);
+      return 0;
+    } else if (Arg[0] != '-' && !SpecPath) {
+      SpecPath = Arg;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", Arg);
+      printUsage(argv[0]);
+      return 2;
+    }
+  }
+  if (!SpecPath) {
+    printUsage(argv[0]);
+    return 2;
+  }
+
+  auto Source = readFile(SpecPath);
+  if (!Source) {
+    std::fprintf(stderr, "cannot open %s\n", SpecPath);
+    return 1;
+  }
+  DiagnosticEngine Diags;
+  auto S = parseSpec(*Source, Diags);
+  if (!S) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+
+  MutabilityOptions Opts;
+  Opts.Optimize = !Baseline;
+  AnalysisResult Analysis = analyzeSpec(*S, Opts);
+
+  if (Emit == "report") {
+    std::printf("%s", Analysis.report().c_str());
+    return 0;
+  }
+  if (Emit == "flat") {
+    std::printf("%s", Analysis.spec().str().c_str());
+    return 0;
+  }
+  if (Emit == "source") {
+    std::printf("%s", printSpecSource(Analysis.spec()).c_str());
+    return 0;
+  }
+  if (Emit == "stats") {
+    std::printf("%s", collectStatistics(Analysis).str().c_str());
+    return 0;
+  }
+  if (Emit == "dot") {
+    std::printf("%s", writeUsageGraphDot(Analysis.graph(),
+                                         &Analysis.mutability())
+                          .c_str());
+    return 0;
+  }
+  if (Emit == "plan") {
+    MonitorPlan Plan = MonitorPlan::compile(Analysis);
+    std::printf("%s", Plan.str().c_str());
+    return 0;
+  }
+  if (Emit == "cpp") {
+    CppEmitterOptions EOpts;
+    EOpts.EmitMain = EmitMain;
+    auto Code = emitCppMonitor(Analysis.spec(), Analysis, EOpts, Diags);
+    if (!Code) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      return 1;
+    }
+    std::fputs(Code->c_str(), stdout);
+    return 0;
+  }
+  if (Emit == "run") {
+    auto TraceText = readFile(TracePath);
+    if (!TraceText) {
+      std::fprintf(stderr, "cannot open %s\n", TracePath);
+      return 1;
+    }
+    auto Events = parseTrace(*TraceText, Analysis.spec(), Diags);
+    if (!Events) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      return 1;
+    }
+    MonitorPlan Plan = MonitorPlan::compile(Analysis);
+    Monitor M(Plan);
+    M.setOutputHandler([&Plan](Time Ts, StreamId Id, const Value &V) {
+      std::printf("%lld: %s = %s\n", static_cast<long long>(Ts),
+                  Plan.spec().stream(Id).Name.c_str(), V.str().c_str());
+    });
+    for (const auto &[Id, Ts, V] : *Events)
+      if (!M.feed(Id, Ts, V))
+        break;
+    M.finish(Horizon);
+    if (M.failed()) {
+      std::fprintf(stderr, "monitor error: %s\n",
+                   M.errorMessage().c_str());
+      return 1;
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "unknown --emit mode '%s'\n", Emit.c_str());
+  return 2;
+}
