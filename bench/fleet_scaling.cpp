@@ -1,0 +1,166 @@
+//===- bench/fleet_scaling.cpp ----------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Fleet shard-count scaling: many independent monitor sessions (the
+/// ROADMAP's "heavy traffic from millions of users" axis, scaled down)
+/// over the Seen Set and db-log workloads, swept across worker shard
+/// counts. Each session is pinned to one shard, so the ideal curve is
+/// linear until the hardware runs out of cores — the printed hardware
+/// concurrency bounds the achievable speedup (on a 1-core container all
+/// shard counts collapse to the same throughput).
+///
+/// Knobs: TESSLA_BENCH_SCALE scales events per session,
+/// TESSLA_BENCH_SESSIONS overrides the session count (default 64),
+/// TESSLA_BENCH_REPS the median repetition count.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "tessla/Runtime/MonitorFleet.h"
+
+#include <thread>
+
+using namespace tessla;
+using namespace tessla::bench;
+
+namespace {
+
+unsigned sessionCount() {
+  if (const char *Env = std::getenv("TESSLA_BENCH_SESSIONS"))
+    return std::max(1, std::atoi(Env));
+  return 64;
+}
+
+/// Per-session traces for one workload.
+struct FleetWorkload {
+  const char *Label;
+  Spec S;
+  std::vector<std::vector<TraceEvent>> SessionTraces;
+  size_t TotalEvents = 0;
+};
+
+FleetWorkload seenSetWorkload(unsigned Sessions, size_t EventsPerSession) {
+  FleetWorkload W{"seen set", workloads::seenSet(), {}, 0};
+  StreamId X = *W.S.lookup("x");
+  for (unsigned I = 0; I != Sessions; ++I) {
+    W.SessionTraces.push_back(
+        tracegen::randomInts(X, EventsPerSession, 400, 9000 + I));
+    W.TotalEvents += W.SessionTraces.back().size();
+  }
+  return W;
+}
+
+FleetWorkload dbLogWorkload(unsigned Sessions, size_t EventsPerSession) {
+  FleetWorkload W{"db-log", workloads::dbAccessConstraint(), {}, 0};
+  for (unsigned I = 0; I != Sessions; ++I) {
+    tracegen::DbLogConfig Config;
+    Config.Count = EventsPerSession;
+    Config.Seed = 7000 + I;
+    W.SessionTraces.push_back(tracegen::dbLog(*W.S.lookup("ins"),
+                                              *W.S.lookup("del"),
+                                              *W.S.lookup("acc"), Config));
+    W.TotalEvents += W.SessionTraces.back().size();
+  }
+  return W;
+}
+
+/// One timed fleet run: ingest all sessions round-robin (chunks of 64
+/// events per session, per-session order preserved), then finish.
+double timeFleet(const FleetWorkload &W, const MonitorPlan &Plan,
+                 unsigned Shards, uint64_t &OutputsOut) {
+  FleetOptions Opts;
+  Opts.Shards = Shards;
+  Opts.CollectOutputs = false; // throughput only; counters still run
+  MonitorFleet Fleet(Plan, Opts);
+
+  auto Start = std::chrono::steady_clock::now();
+  const size_t Chunk = 64;
+  size_t MaxLen = 0;
+  for (const auto &Trace : W.SessionTraces)
+    MaxLen = std::max(MaxLen, Trace.size());
+  for (size_t Base = 0; Base < MaxLen; Base += Chunk) {
+    for (SessionId Session = 0; Session != W.SessionTraces.size();
+         ++Session) {
+      const auto &Trace = W.SessionTraces[Session];
+      size_t End = std::min(Base + Chunk, Trace.size());
+      for (size_t I = Base; I < End; ++I) {
+        const auto &[Id, Ts, V] = Trace[I];
+        Fleet.feed(Session, Id, Ts, V);
+      }
+    }
+  }
+  Fleet.finish();
+  auto EndTime = std::chrono::steady_clock::now();
+  if (Fleet.failed()) {
+    std::fprintf(stderr, "fleet benchmark failed: %s\n",
+                 Fleet.errors().front().Message.c_str());
+    std::exit(1);
+  }
+  OutputsOut = Fleet.stats().totalOutputs();
+  return std::chrono::duration<double>(EndTime - Start).count();
+}
+
+double medianFleet(const FleetWorkload &W, const MonitorPlan &Plan,
+                   unsigned Shards, unsigned Reps, uint64_t &OutputsOut) {
+  std::vector<double> Times;
+  uint64_t FirstOutputs = 0;
+  for (unsigned I = 0; I != Reps; ++I) {
+    uint64_t Outputs = 0;
+    Times.push_back(timeFleet(W, Plan, Shards, Outputs));
+    if (I == 0)
+      FirstOutputs = Outputs;
+    else if (Outputs != FirstOutputs) {
+      std::fprintf(stderr, "non-deterministic fleet output count!\n");
+      std::exit(1);
+    }
+  }
+  std::sort(Times.begin(), Times.end());
+  OutputsOut = FirstOutputs;
+  return Times[Times.size() / 2];
+}
+
+} // namespace
+
+int main() {
+  unsigned Reps = repetitions();
+  unsigned Sessions = sessionCount();
+  const unsigned ShardCounts[] = {1, 2, 4, 8};
+
+  std::printf("Fleet scaling — multi-session throughput vs shard count "
+              "(median of %u runs)\n",
+              Reps);
+  std::printf("hardware concurrency: %u; sessions: %u\n\n",
+              std::thread::hardware_concurrency(), Sessions);
+
+  FleetWorkload Workloads[] = {
+      seenSetWorkload(Sessions, scaled(5000)),
+      dbLogWorkload(Sessions, scaled(5000)),
+  };
+
+  std::printf("%-10s %8s %10s %10s %12s %9s\n", "workload", "shards",
+              "events", "time [s]", "Mev/s", "speedup");
+  for (FleetWorkload &W : Workloads) {
+    MutabilityOptions MOpts; // optimized monitors; the opt-vs-baseline
+    AnalysisResult A = analyzeSpec(W.S, MOpts); // axis is fig9/fig10
+    MonitorPlan Plan = MonitorPlan::compile(A);
+    double OneShard = 0;
+    for (unsigned Shards : ShardCounts) {
+      uint64_t Outputs = 0;
+      double Seconds = medianFleet(W, Plan, Shards, Reps, Outputs);
+      if (Shards == 1)
+        OneShard = Seconds;
+      std::printf("%-10s %8u %10zu %10.4f %12.3f %8.2fx\n", W.Label,
+                  Shards, W.TotalEvents, Seconds,
+                  static_cast<double>(W.TotalEvents) / Seconds / 1e6,
+                  OneShard / Seconds);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nsessions are shard-pinned and independent; scaling is "
+              "bounded by min(shards, cores, busy sessions)\n");
+  return 0;
+}

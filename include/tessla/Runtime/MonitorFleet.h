@@ -1,0 +1,170 @@
+//===- tessla/Runtime/MonitorFleet.h - Sharded multi-session runtime -*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A multi-session monitor runtime: one MonitorPlan served to many
+/// concurrent trace sessions across N worker shards. Each session id is
+/// pinned to a shard (hash(session) % shards) and runs its own
+/// independent Monitor, so everything the single-session engine relies
+/// on for speed — non-atomic RefCntPtr spines, destructively updated
+/// mutable aggregates — stays strictly single-threaded *within* a shard.
+/// No monitor state is ever shared between threads.
+///
+/// Ingestion is batched: the (single) caller thread buffers
+/// (session, event) records per shard and hands full batches to the
+/// shard's worker over a bounded lock-free SPSC ring. Outputs are
+/// collected per session and merged deterministically — by session id,
+/// then per-session emission order (timestamp, then stream definition
+/// order) — so fleet output is byte-identical regardless of the shard
+/// count. The determinism property is enforced by
+/// tests/Runtime/MonitorFleetTest.cpp against the sequential engine.
+///
+/// Usage:
+/// \code
+///   MonitorFleet Fleet(Plan, {.Shards = 4});
+///   Fleet.feed(SessionA, InputId, 3, Value::integer(7));
+///   Fleet.feed(SessionB, InputId, 1, Value::integer(9));
+///   Fleet.finish();
+///   for (const SessionOutputEvent &E : Fleet.takeOutputs()) ...
+///   Fleet.stats().str();   // per-shard counters
+/// \endcode
+///
+/// Threading contract: feed()/finish()/takeOutputs() must be called from
+/// one thread (the ingest thread); the fleet owns its worker threads.
+/// Per-session event order is preserved; cross-session order within a
+/// shard follows the ingest interleaving, which is invisible in the
+/// output because sessions are independent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_RUNTIME_MONITORFLEET_H
+#define TESSLA_RUNTIME_MONITORFLEET_H
+
+#include "tessla/Runtime/Monitor.h"
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace tessla {
+
+/// Identifies one monitoring session (e.g. one user/connection).
+using SessionId = uint64_t;
+
+/// Fleet construction knobs.
+struct FleetOptions {
+  /// Worker shards (threads). 0 is clamped to 1.
+  unsigned Shards = 1;
+  /// Events buffered per shard before the batch is handed to the worker.
+  /// Larger batches amortize queue traffic; smaller ones cut latency.
+  size_t BatchSize = 256;
+  /// Bounded SPSC ring capacity, in batches, per shard. The ingest
+  /// thread blocks when a shard falls this far behind (backpressure).
+  size_t QueueCapacity = 64;
+  /// Horizon handed to every session's Monitor::finish() — required for
+  /// specs with self-resetting periodic delays.
+  std::optional<Time> Horizon;
+  /// Record per-session outputs (deep-copied) for takeOutputs(). Turn
+  /// off for throughput benchmarks that only need the counters.
+  bool CollectOutputs = true;
+};
+
+/// Counters of one worker shard (written by the worker, read after
+/// finish()).
+struct ShardStats {
+  uint64_t EventsProcessed = 0; ///< records fed into session monitors
+  uint64_t BatchesDrained = 0;  ///< batches popped from the ring
+  uint64_t QueueHighWater = 0;  ///< max batches in flight in the ring
+  uint64_t Sessions = 0;        ///< distinct sessions pinned here
+  uint64_t OutputsEmitted = 0;  ///< sum of session monitor outputs
+  uint64_t FailedSessions = 0;  ///< sessions whose monitor failed
+};
+
+/// Aggregated observability report for one fleet run.
+struct FleetStats {
+  std::vector<ShardStats> Shards;
+
+  uint64_t totalEvents() const;
+  uint64_t totalOutputs() const;
+  uint64_t totalSessions() const;
+  uint64_t totalFailedSessions() const;
+
+  /// Renders the per-shard table plus totals.
+  std::string str() const;
+};
+
+/// One output event attributed to its session.
+struct SessionOutputEvent {
+  SessionId Session;
+  OutputEvent Event;
+};
+
+/// A failed session's diagnostic.
+struct SessionError {
+  SessionId Session;
+  std::string Message;
+};
+
+/// The sharded multi-session runtime. See the file comment for the
+/// threading contract.
+class MonitorFleet {
+public:
+  MonitorFleet(const MonitorPlan &Plan, FleetOptions Opts = FleetOptions());
+  ~MonitorFleet();
+
+  MonitorFleet(const MonitorFleet &) = delete;
+  MonitorFleet &operator=(const MonitorFleet &) = delete;
+
+  /// Buffers one input event for \p Session. Events of one session must
+  /// arrive in non-decreasing timestamp order (the per-session Monitor
+  /// enforces it; violations fail that session only). \returns false
+  /// after finish().
+  bool feed(SessionId Session, StreamId Input, Time Ts, Value V);
+
+  /// Flushes all buffered batches, signals end-of-input to every
+  /// session (Monitor::finish with the configured horizon) and joins
+  /// the workers. Idempotent.
+  void finish();
+
+  /// True once finish() ran and at least one session's monitor failed.
+  bool failed() const;
+
+  /// Failed sessions in ascending session-id order. Valid after
+  /// finish().
+  std::vector<SessionError> errors() const;
+
+  /// The deterministic merged output trace: sessions in ascending id
+  /// order, each session's events in emission order (timestamp, then
+  /// stream definition order). Valid after finish(); moves the events
+  /// out.
+  std::vector<SessionOutputEvent> takeOutputs();
+
+  /// Per-shard counters. Valid after finish().
+  const FleetStats &stats() const { return Stats; }
+
+  unsigned shardCount() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// The shard a session is pinned to: hash(session) % shards, with a
+  /// bit-mixing hash so sequential ids spread evenly.
+  unsigned shardOf(SessionId Session) const;
+
+private:
+  struct Shard;
+
+  const MonitorPlan &Plan;
+  FleetOptions Opts;
+  std::vector<std::unique_ptr<Shard>> Workers;
+  FleetStats Stats;
+  bool Finished = false;
+
+  void flushPending(unsigned ShardIdx);
+};
+
+} // namespace tessla
+
+#endif // TESSLA_RUNTIME_MONITORFLEET_H

@@ -1,0 +1,300 @@
+//===- Runtime/MonitorFleet.cpp ---------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Runtime/MonitorFleet.h"
+
+#include "tessla/Support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tessla;
+
+namespace {
+
+/// One ingested record as it travels from the ingest thread to a shard.
+struct Record {
+  SessionId Session;
+  StreamId Input;
+  Time Ts;
+  Value V;
+};
+
+using Batch = std::vector<Record>;
+
+/// splitmix64 finalizer — sequential session ids must not all land on
+/// shard (id % N).
+uint64_t mixHash(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+namespace tessla {
+
+/// Bounded single-producer single-consumer ring of batches. The producer
+/// is the ingest thread, the consumer one worker. Slot contents are
+/// published by the release store to Tail and reclaimed by the release
+/// store to Head; blocking uses C++20 atomic wait/notify on those
+/// counters. End-of-input is an in-band sentinel (empty batch) so the
+/// consumer never needs to wait on anything but Tail.
+class SpscBatchRing {
+public:
+  explicit SpscBatchRing(size_t Capacity)
+      : Cap(std::max<size_t>(Capacity, 1)), Slots(Cap) {}
+
+  /// Producer: blocks while the ring is full.
+  void push(Batch B) {
+    size_t T = Tail.load(std::memory_order_relaxed);
+    size_t H = Head.load(std::memory_order_acquire);
+    while (T - H == Cap) {
+      Head.wait(H, std::memory_order_acquire);
+      H = Head.load(std::memory_order_acquire);
+    }
+    Slots[T % Cap] = std::move(B);
+    Tail.store(T + 1, std::memory_order_release);
+    Tail.notify_one();
+    HighWater = std::max<uint64_t>(HighWater, T + 1 - H);
+  }
+
+  /// Consumer: blocks while empty; false on the end-of-input sentinel.
+  bool pop(Batch &Out) {
+    size_t H = Head.load(std::memory_order_relaxed);
+    size_t T = Tail.load(std::memory_order_acquire);
+    while (T == H) {
+      Tail.wait(T, std::memory_order_acquire);
+      T = Tail.load(std::memory_order_acquire);
+    }
+    Out = std::move(Slots[H % Cap]);
+    Head.store(H + 1, std::memory_order_release);
+    Head.notify_one();
+    return !Out.empty();
+  }
+
+  /// Producer-side high-water mark (batches in flight after a push);
+  /// read after the worker joined.
+  uint64_t highWater() const { return HighWater; }
+
+private:
+  const size_t Cap;
+  std::vector<Batch> Slots;
+  std::atomic<size_t> Head{0};
+  std::atomic<size_t> Tail{0};
+  uint64_t HighWater = 0;
+};
+
+/// One worker shard: ring + thread + the sessions pinned here. All
+/// members below `Thread` are touched only by the worker until it
+/// joins; the join is the synchronization point for the final reads.
+struct MonitorFleet::Shard {
+  explicit Shard(size_t QueueCapacity) : Ring(QueueCapacity) {}
+
+  struct SessionState {
+    std::unique_ptr<Monitor> M;
+    std::vector<OutputEvent> Outputs;
+  };
+
+  SpscBatchRing Ring;
+  Batch Pending; // ingest-thread buffer, not yet handed off
+  std::thread Thread;
+
+  // Worker-owned state (ordered map => deterministic iteration).
+  std::map<SessionId, SessionState> Sessions;
+  ShardStats Stats;
+
+  void run(const MonitorPlan &Plan, const FleetOptions &Opts);
+};
+
+void MonitorFleet::Shard::run(const MonitorPlan &Plan,
+                              const FleetOptions &Opts) {
+  Batch B;
+  while (Ring.pop(B)) {
+    ++Stats.BatchesDrained;
+    for (Record &R : B) {
+      SessionState &SS = Sessions[R.Session];
+      if (!SS.M) {
+        SS.M = std::make_unique<Monitor>(Plan);
+        if (Opts.CollectOutputs) {
+          auto *Outputs = &SS.Outputs;
+          SS.M->setOutputHandler(
+              [Outputs](Time Ts, StreamId Id, const Value &V) {
+                // The handler's value is borrowed; recording it beyond
+                // the callback requires a deep copy (see Monitor.h).
+                Outputs->push_back({Ts, Id, V.deepCopy()});
+              });
+        }
+      }
+      ++Stats.EventsProcessed;
+      if (!SS.M->failed())
+        SS.M->feed(R.Input, R.Ts, std::move(R.V));
+    }
+    B.clear();
+  }
+  for (auto &[Id, SS] : Sessions) {
+    SS.M->finish(Opts.Horizon);
+    Stats.OutputsEmitted += SS.M->outputEvents();
+    if (SS.M->failed())
+      ++Stats.FailedSessions;
+  }
+  Stats.Sessions = Sessions.size();
+  // QueueHighWater is producer-side state; finish() fills it in after
+  // the join (reading it here would race with the last push).
+}
+
+MonitorFleet::MonitorFleet(const MonitorPlan &Plan_, FleetOptions Opts_)
+    : Plan(Plan_), Opts(Opts_) {
+  if (Opts.Shards == 0)
+    Opts.Shards = 1;
+  if (Opts.BatchSize == 0)
+    Opts.BatchSize = 1;
+  Workers.reserve(Opts.Shards);
+  for (unsigned I = 0; I != Opts.Shards; ++I) {
+    Workers.push_back(std::make_unique<Shard>(Opts.QueueCapacity));
+    Workers.back()->Pending.reserve(Opts.BatchSize);
+  }
+  for (auto &W : Workers)
+    W->Thread = std::thread([this, S = W.get()] { S->run(Plan, Opts); });
+}
+
+MonitorFleet::~MonitorFleet() { finish(); }
+
+unsigned MonitorFleet::shardOf(SessionId Session) const {
+  return static_cast<unsigned>(mixHash(Session) % Workers.size());
+}
+
+bool MonitorFleet::feed(SessionId Session, StreamId Input, Time Ts,
+                        Value V) {
+  if (Finished)
+    return false;
+  Shard &S = *Workers[shardOf(Session)];
+  S.Pending.push_back({Session, Input, Ts, std::move(V)});
+  if (S.Pending.size() >= Opts.BatchSize)
+    flushPending(shardOf(Session));
+  return true;
+}
+
+void MonitorFleet::flushPending(unsigned ShardIdx) {
+  Shard &S = *Workers[ShardIdx];
+  if (S.Pending.empty())
+    return;
+  Batch B;
+  B.reserve(Opts.BatchSize);
+  B.swap(S.Pending);
+  S.Ring.push(std::move(B));
+}
+
+void MonitorFleet::finish() {
+  if (Finished)
+    return;
+  Finished = true;
+  for (unsigned I = 0, E = static_cast<unsigned>(Workers.size()); I != E;
+       ++I) {
+    flushPending(I);
+    Workers[I]->Ring.push(Batch()); // end-of-input sentinel
+  }
+  for (auto &W : Workers)
+    W->Thread.join();
+  Stats.Shards.clear();
+  for (auto &W : Workers) {
+    W->Stats.QueueHighWater = W->Ring.highWater();
+    Stats.Shards.push_back(W->Stats);
+  }
+}
+
+bool MonitorFleet::failed() const {
+  return Stats.totalFailedSessions() != 0;
+}
+
+std::vector<SessionError> MonitorFleet::errors() const {
+  assert(Finished && "errors() is valid after finish()");
+  std::map<SessionId, std::string> Sorted;
+  for (const auto &W : Workers)
+    for (const auto &[Id, SS] : W->Sessions)
+      if (SS.M->failed())
+        Sorted[Id] = SS.M->errorMessage();
+  std::vector<SessionError> Result;
+  Result.reserve(Sorted.size());
+  for (auto &[Id, Msg] : Sorted)
+    Result.push_back({Id, std::move(Msg)});
+  return Result;
+}
+
+std::vector<SessionOutputEvent> MonitorFleet::takeOutputs() {
+  assert(Finished && "takeOutputs() is valid after finish()");
+  // Sessions ascending; each shard's map is already ordered, so a merge
+  // over the shard maps yields the global order. Within one session the
+  // monitor emitted in (timestamp, stream definition order) already.
+  std::map<SessionId, std::vector<OutputEvent> *> Merged;
+  for (const auto &W : Workers)
+    for (auto &[Id, SS] : W->Sessions)
+      Merged[Id] = &SS.Outputs;
+  std::vector<SessionOutputEvent> Result;
+  size_t Total = 0;
+  for (auto &[Id, Outs] : Merged)
+    Total += Outs->size();
+  Result.reserve(Total);
+  for (auto &[Id, Outs] : Merged) {
+    for (OutputEvent &E : *Outs)
+      Result.push_back({Id, std::move(E)});
+    Outs->clear();
+  }
+  return Result;
+}
+
+uint64_t FleetStats::totalEvents() const {
+  uint64_t N = 0;
+  for (const ShardStats &S : Shards)
+    N += S.EventsProcessed;
+  return N;
+}
+
+uint64_t FleetStats::totalOutputs() const {
+  uint64_t N = 0;
+  for (const ShardStats &S : Shards)
+    N += S.OutputsEmitted;
+  return N;
+}
+
+uint64_t FleetStats::totalSessions() const {
+  uint64_t N = 0;
+  for (const ShardStats &S : Shards)
+    N += S.Sessions;
+  return N;
+}
+
+uint64_t FleetStats::totalFailedSessions() const {
+  uint64_t N = 0;
+  for (const ShardStats &S : Shards)
+    N += S.FailedSessions;
+  return N;
+}
+
+std::string FleetStats::str() const {
+  std::string Out = formatString(
+      "fleet: %zu shard(s), %llu session(s), %llu event(s), "
+      "%llu output(s)\n",
+      Shards.size(), static_cast<unsigned long long>(totalSessions()),
+      static_cast<unsigned long long>(totalEvents()),
+      static_cast<unsigned long long>(totalOutputs()));
+  for (size_t I = 0; I != Shards.size(); ++I) {
+    const ShardStats &S = Shards[I];
+    Out += formatString(
+        "  shard %zu: sessions=%llu events=%llu batches=%llu "
+        "queue-high-water=%llu outputs=%llu failed=%llu\n",
+        I, static_cast<unsigned long long>(S.Sessions),
+        static_cast<unsigned long long>(S.EventsProcessed),
+        static_cast<unsigned long long>(S.BatchesDrained),
+        static_cast<unsigned long long>(S.QueueHighWater),
+        static_cast<unsigned long long>(S.OutputsEmitted),
+        static_cast<unsigned long long>(S.FailedSessions));
+  }
+  return Out;
+}
+
+} // namespace tessla

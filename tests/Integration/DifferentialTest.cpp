@@ -14,6 +14,7 @@
 
 #include "tessla/Runtime/TraceGen.h"
 
+#include "../RandomSpecGen.h"
 #include "../TestSpecs.h"
 
 #include <gtest/gtest.h>
@@ -148,158 +149,49 @@ TEST(DifferentialTest, SpectrumCalculation) {
 }
 
 // --- Randomized specifications -------------------------------------------
-
-namespace {
-
-/// Generates a random valid specification over two Int inputs: layered
-/// (acyclic) definitions mixing scalar and aggregate operators plus
-/// accumulator patterns, with every stream marked as output.
-Spec randomSpec(uint64_t Seed) {
-  std::mt19937_64 Rng(Seed);
-  SpecBuilder B;
-  std::vector<StreamId> Ints;
-  std::vector<StreamId> Bools;
-  std::vector<StreamId> Sets;
-  std::vector<StreamId> Maps;
-  std::vector<StreamId> Queues;
-
-  Ints.push_back(B.input("a", Type::integer()));
-  Ints.push_back(B.input("b", Type::integer()));
-  StreamId Unit = B.unit("u");
-  Sets.push_back(B.lift("e0", BuiltinId::SetEmpty, {Unit}));
-  Maps.push_back(B.lift("em0", BuiltinId::MapEmpty, {Unit}));
-  Queues.push_back(B.lift("eq0", BuiltinId::QueueEmpty, {Unit}));
-  Ints.push_back(B.constant("c0", ConstantLit{int64_t{3}}));
-
-  auto Pick = [&Rng](const std::vector<StreamId> &Pool) {
-    return Pool[Rng() % Pool.size()];
-  };
-
-  unsigned NumDefs = 8 + Rng() % 20;
-  for (unsigned I = 0; I != NumDefs; ++I) {
-    std::string Name = "s" + std::to_string(I);
-    switch (Rng() % 16) {
-    case 0:
-      Ints.push_back(B.lift(Name, BuiltinId::Add, {Pick(Ints),
-                                                   Pick(Ints)}));
-      break;
-    case 1:
-      Ints.push_back(B.lift(Name, BuiltinId::Merge, {Pick(Ints),
-                                                     Pick(Ints)}));
-      break;
-    case 2:
-      Ints.push_back(B.time(Name, Pick(Ints)));
-      break;
-    case 3:
-      Ints.push_back(B.last(Name, Pick(Ints), Pick(Ints)));
-      break;
-    case 4:
-      Bools.push_back(B.lift(Name, BuiltinId::SetContains,
-                             {Pick(Sets), Pick(Ints)}));
-      break;
-    case 5:
-      Sets.push_back(B.lift(Name,
-                            Rng() % 2 ? BuiltinId::SetAdd
-                                      : BuiltinId::SetToggle,
-                            {Pick(Sets), Pick(Ints)}));
-      break;
-    case 6:
-      Sets.push_back(B.lift(Name, BuiltinId::Merge, {Pick(Sets),
-                                                     Pick(Sets)}));
-      break;
-    case 7:
-      Sets.push_back(B.last(Name, Pick(Sets), Pick(Ints)));
-      break;
-    case 8:
-      Maps.push_back(B.lift(Name, BuiltinId::MapPut,
-                            {Pick(Maps), Pick(Ints), Pick(Ints)}));
-      break;
-    case 9:
-      Ints.push_back(B.lift(Name, BuiltinId::MapGetOrElse,
-                            {Pick(Maps), Pick(Ints), Pick(Ints)}));
-      break;
-    case 10:
-      Queues.push_back(B.lift(Name, BuiltinId::QueueEnq,
-                              {Pick(Queues), Pick(Ints)}));
-      break;
-    case 11:
-      if (!Bools.empty()) {
-        Sets.push_back(B.lift(Name, BuiltinId::Filter,
-                              {Pick(Sets), Pick(Bools)}));
-      } else {
-        Ints.push_back(B.lift(Name, BuiltinId::SetSize, {Pick(Sets)}));
-      }
-      break;
-    case 12:
-      Sets.push_back(B.lift(Name,
-                            Rng() % 2 ? BuiltinId::SetUnion
-                                      : BuiltinId::SetDiff,
-                            {Pick(Sets), Pick(Sets)}));
-      break;
-    case 13:
-      Queues.push_back(B.lift(Name, BuiltinId::QueueTrim,
-                              {Pick(Queues), Pick(Ints)}));
-      break;
-    case 14:
-      Maps.push_back(B.lift(Name, BuiltinId::MapRemove,
-                            {Pick(Maps), Pick(Ints)}));
-      break;
-    case 15:
-      Ints.push_back(B.lift(Name, BuiltinId::QueueSize, {Pick(Queues)}));
-      break;
-    }
-  }
-  // Anchor the empty-aggregate constructors with one concrete use each so
-  // their element types are always inferable.
-  B.lift("anchorS", BuiltinId::SetAdd, {Sets[0], Ints[0]});
-  B.lift("anchorM", BuiltinId::MapPut, {Maps[0], Ints[0], Ints[0]});
-  B.lift("anchorQ", BuiltinId::QueueEnq, {Queues[0], Ints[0]});
-
-  // Also build one accumulator (write-into-last loop) to exercise the
-  // interesting mutability pattern.
-  StreamId Acc = B.declare("acc");
-  StreamId M = B.lift("accm", BuiltinId::Merge,
-                      {Acc, B.lift("acce", BuiltinId::SetEmpty, {Unit})});
-  StreamId Prev = B.last("accprev", M, Ints[0]);
-  B.defineLift(Acc, BuiltinId::SetAdd, {Prev, Ints[0]});
-  StreamId Probe = B.lift("accprobe", BuiltinId::SetContains,
-                          {Prev, Ints[1 % Ints.size()]});
-
-  // Outputs: every scalar result plus sizes of aggregates (canonical
-  // rendering of whole aggregates is exercised separately; sizes keep
-  // traces compact).
-  for (StreamId Id : Bools)
-    B.markOutput(Id);
-  for (StreamId Id : Ints)
-    B.markOutput(Id);
-  B.markOutput(Probe);
-  DiagnosticEngine Diags;
-  Spec S = B.finish(Diags);
-  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
-  DiagnosticEngine TDiags;
-  EXPECT_TRUE(typecheck(S, TDiags)) << TDiags.str();
-  return S;
-}
-
-} // namespace
+//
+// The generator lives in tests/RandomSpecGen.h (shared with the fleet
+// determinism suite and the semantics oracle's delay-free subset).
 
 TEST(DifferentialTest, RandomSpecsAgree) {
+  uint32_t TotalMutable = 0;
   for (uint64_t Seed = 1; Seed <= 25; ++Seed) {
-    Spec S = randomSpec(Seed);
-    // Random interleaved trace on both inputs.
-    std::mt19937_64 Rng(Seed * 977);
-    std::vector<TraceEvent> Events;
-    Time Ts = 0;
-    for (int I = 0; I != 600; ++I) {
-      Ts += 1 + Rng() % 3;
-      StreamId In = Rng() % 2 ? *S.lookup("a") : *S.lookup("b");
-      Events.emplace_back(In, Ts,
-                          Value::integer(static_cast<int64_t>(Rng() % 50)));
-    }
-    std::string Optimized = runWith(S, Events, true);
+    Spec S = testrandom::randomSpec(Seed);
+    auto Events = testrandom::randomSpecTrace(S, 600, Seed * 977);
+    uint32_t MutableCount = 0;
+    std::string Optimized = runWith(S, Events, true, &MutableCount);
     std::string Baseline = runWith(S, Events, false);
     EXPECT_EQ(Optimized, Baseline) << "seed " << Seed << "\n" << S.str();
+    EXPECT_FALSE(Optimized.empty())
+        << "vacuous comparison at seed " << Seed;
+    TotalMutable += MutableCount;
   }
+  // Not every seed must trigger the optimization, but the batch as a
+  // whole must — otherwise all 25 comparisons are trivially vacuous.
+  EXPECT_GT(TotalMutable, 0u)
+      << "optimization never kicked in; the property is vacuous";
+}
+
+TEST(DifferentialTest, RandomSpecsWithDelayAgree) {
+  // Delay streams make the triggering section fire between input
+  // timestamps (§III-B); the firing schedule must not depend on the
+  // aggregate representation.
+  testrandom::RandomSpecOptions Opts;
+  Opts.WithDelay = true;
+  uint32_t TotalMutable = 0;
+  for (uint64_t Seed = 1; Seed <= 15; ++Seed) {
+    Spec S = testrandom::randomSpec(Seed, Opts);
+    auto Events = testrandom::randomSpecTrace(S, 400, Seed * 1313);
+    uint32_t MutableCount = 0;
+    std::string Optimized = runWith(S, Events, true, &MutableCount);
+    std::string Baseline = runWith(S, Events, false);
+    EXPECT_EQ(Optimized, Baseline) << "seed " << Seed << "\n" << S.str();
+    EXPECT_FALSE(Optimized.empty())
+        << "vacuous comparison at seed " << Seed;
+    TotalMutable += MutableCount;
+  }
+  EXPECT_GT(TotalMutable, 0u)
+      << "optimization never kicked in; the property is vacuous";
 }
 
 TEST(DifferentialTest, WholeAggregateOutputsAgree) {

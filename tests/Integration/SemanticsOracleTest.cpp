@@ -19,6 +19,7 @@
 
 #include "tessla/Runtime/TraceGen.h"
 
+#include "../RandomSpecGen.h"
 #include "../TestSpecs.h"
 
 #include <gtest/gtest.h>
@@ -238,6 +239,20 @@ TEST(SemanticsOracleTest, MixedOperators) {
                         Value::integer(static_cast<int64_t>(Rng() % 60)));
   }
   expectOracleAgreement(S, Events);
+}
+
+TEST(SemanticsOracleTest, RandomSpecsAgreeWithOracle) {
+  // The shared random-spec generator, restricted to its delay-free
+  // subset (the oracle's timestamp universe is the input timestamps plus
+  // 0, so delay firings between input events are out of scope). Short
+  // traces: the oracle's last() is a linear scan per evaluation.
+  testrandom::RandomSpecOptions Opts;
+  Opts.WithDelay = false;
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    Spec S = testrandom::randomSpec(Seed, Opts);
+    auto Events = testrandom::randomSpecTrace(S, 120, Seed * 7177);
+    expectOracleAgreement(S, Events);
+  }
 }
 
 TEST(SemanticsOracleTest, SameTimestampOnBothInputs) {

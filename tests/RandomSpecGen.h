@@ -1,0 +1,222 @@
+//===- tests/RandomSpecGen.h - Random specification generator ---*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random valid specifications for property tests: layered
+/// (acyclic) definitions over two Int inputs mixing scalar and aggregate
+/// operators, accumulator (write-into-last) loops, and — optionally —
+/// delay streams. Shared by the differential suite (optimized vs
+/// baseline), the semantics oracle (delay-free subset; the oracle's
+/// timestamp universe is the input timestamps) and the fleet determinism
+/// suite (fleet vs sequential engine).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_TESTS_RANDOMSPECGEN_H
+#define TESSLA_TESTS_RANDOMSPECGEN_H
+
+#include "tessla/Lang/Builder.h"
+#include "tessla/Lang/TypeCheck.h"
+#include "tessla/Runtime/TraceIO.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace tessla {
+namespace testrandom {
+
+struct RandomSpecOptions {
+  /// Also generate delay streams. Amounts are taken from time(reset), so
+  /// they are positive whenever input timestamps start at 1, and every
+  /// armed timer fires at most once per re-arm — finish() terminates
+  /// without a horizon.
+  bool WithDelay = false;
+  /// Also generate queueDeq/queueFront (guarded by a fresh enqueue so
+  /// the queue is never empty at evaluation time).
+  bool WithQueueOps = true;
+};
+
+/// Generates a random valid specification over two Int inputs "a" and
+/// "b", with every scalar stream marked as output. Pure function of
+/// \p Seed and \p Opts.
+inline Spec randomSpec(uint64_t Seed,
+                       const RandomSpecOptions &Opts = RandomSpecOptions()) {
+  std::mt19937_64 Rng(Seed);
+  SpecBuilder B;
+  std::vector<StreamId> Ints;
+  std::vector<StreamId> Bools;
+  std::vector<StreamId> Sets;
+  std::vector<StreamId> Maps;
+  std::vector<StreamId> Queues;
+
+  Ints.push_back(B.input("a", Type::integer()));
+  Ints.push_back(B.input("b", Type::integer()));
+  StreamId Unit = B.unit("u");
+  Sets.push_back(B.lift("e0", BuiltinId::SetEmpty, {Unit}));
+  Maps.push_back(B.lift("em0", BuiltinId::MapEmpty, {Unit}));
+  Queues.push_back(B.lift("eq0", BuiltinId::QueueEmpty, {Unit}));
+  Ints.push_back(B.constant("c0", ConstantLit{int64_t{3}}));
+
+  auto Pick = [&Rng](const std::vector<StreamId> &Pool) {
+    return Pool[Rng() % Pool.size()];
+  };
+
+  unsigned NumCases = 16 + (Opts.WithQueueOps ? 1 : 0) +
+                      (Opts.WithDelay ? 1 : 0);
+  unsigned NumDefs = 8 + Rng() % 20;
+  for (unsigned I = 0; I != NumDefs; ++I) {
+    std::string Name = "s" + std::to_string(I);
+    switch (Rng() % NumCases) {
+    case 0:
+      Ints.push_back(B.lift(Name, BuiltinId::Add, {Pick(Ints),
+                                                   Pick(Ints)}));
+      break;
+    case 1:
+      Ints.push_back(B.lift(Name, BuiltinId::Merge, {Pick(Ints),
+                                                     Pick(Ints)}));
+      break;
+    case 2:
+      Ints.push_back(B.time(Name, Pick(Ints)));
+      break;
+    case 3:
+      Ints.push_back(B.last(Name, Pick(Ints), Pick(Ints)));
+      break;
+    case 4:
+      Bools.push_back(B.lift(Name, BuiltinId::SetContains,
+                             {Pick(Sets), Pick(Ints)}));
+      break;
+    case 5:
+      Sets.push_back(B.lift(Name,
+                            Rng() % 2 ? BuiltinId::SetAdd
+                                      : BuiltinId::SetToggle,
+                            {Pick(Sets), Pick(Ints)}));
+      break;
+    case 6:
+      Sets.push_back(B.lift(Name, BuiltinId::Merge, {Pick(Sets),
+                                                     Pick(Sets)}));
+      break;
+    case 7:
+      Sets.push_back(B.last(Name, Pick(Sets), Pick(Ints)));
+      break;
+    case 8:
+      Maps.push_back(B.lift(Name, BuiltinId::MapPut,
+                            {Pick(Maps), Pick(Ints), Pick(Ints)}));
+      break;
+    case 9:
+      Ints.push_back(B.lift(Name, BuiltinId::MapGetOrElse,
+                            {Pick(Maps), Pick(Ints), Pick(Ints)}));
+      break;
+    case 10:
+      Queues.push_back(B.lift(Name, BuiltinId::QueueEnq,
+                              {Pick(Queues), Pick(Ints)}));
+      break;
+    case 11:
+      if (!Bools.empty()) {
+        Sets.push_back(B.lift(Name, BuiltinId::Filter,
+                              {Pick(Sets), Pick(Bools)}));
+      } else {
+        Ints.push_back(B.lift(Name, BuiltinId::SetSize, {Pick(Sets)}));
+      }
+      break;
+    case 12:
+      Sets.push_back(B.lift(Name,
+                            Rng() % 2 ? BuiltinId::SetUnion
+                                      : BuiltinId::SetDiff,
+                            {Pick(Sets), Pick(Sets)}));
+      break;
+    case 13:
+      Queues.push_back(B.lift(Name, BuiltinId::QueueTrim,
+                              {Pick(Queues), Pick(Ints)}));
+      break;
+    case 14:
+      Maps.push_back(B.lift(Name, BuiltinId::MapRemove,
+                            {Pick(Maps), Pick(Ints)}));
+      break;
+    case 15:
+      Ints.push_back(B.lift(Name, BuiltinId::QueueSize, {Pick(Queues)}));
+      break;
+    case 16: {
+      // queueDeq/queueFront error on empty queues, so guard them with a
+      // fresh enqueue: whenever the composite fires, the queue holds at
+      // least the just-enqueued element.
+      StreamId NonEmpty = B.lift(Name + "e", BuiltinId::QueueEnq,
+                                 {Pick(Queues), Pick(Ints)});
+      if (Rng() % 2)
+        Queues.push_back(B.lift(Name, BuiltinId::QueueDeq, {NonEmpty}));
+      else
+        Ints.push_back(B.lift(Name, BuiltinId::QueueFront, {NonEmpty}));
+      break;
+    }
+    case 17: {
+      // delay(time(r), r): every event of r re-arms the timer to fire
+      // at 2*t(r). The reset must be one of the raw inputs — derived
+      // streams can fire at t=0 (via constants), where time() is 0 and
+      // delay amounts must be positive. Traces start at t >= 1
+      // (randomSpecTrace guarantees it), and a firing never re-arms
+      // itself, so the drain at finish() is finite.
+      StreamId Reset = Ints[Rng() % 2];
+      StreamId Amount = B.time(Name + "t", Reset);
+      StreamId D = B.delay(Name, Amount, Reset);
+      B.markOutput(D);
+      Ints.push_back(B.time(Name + "dt", D));
+      break;
+    }
+    }
+  }
+  // Anchor the empty-aggregate constructors with one concrete use each so
+  // their element types are always inferable.
+  B.lift("anchorS", BuiltinId::SetAdd, {Sets[0], Ints[0]});
+  B.lift("anchorM", BuiltinId::MapPut, {Maps[0], Ints[0], Ints[0]});
+  B.lift("anchorQ", BuiltinId::QueueEnq, {Queues[0], Ints[0]});
+
+  // Also build one accumulator (write-into-last loop) to exercise the
+  // interesting mutability pattern.
+  StreamId Acc = B.declare("acc");
+  StreamId M = B.lift("accm", BuiltinId::Merge,
+                      {Acc, B.lift("acce", BuiltinId::SetEmpty, {Unit})});
+  StreamId Prev = B.last("accprev", M, Ints[0]);
+  B.defineLift(Acc, BuiltinId::SetAdd, {Prev, Ints[0]});
+  StreamId Probe = B.lift("accprobe", BuiltinId::SetContains,
+                          {Prev, Ints[1 % Ints.size()]});
+
+  // Outputs: every scalar result plus sizes of aggregates (canonical
+  // rendering of whole aggregates is exercised separately; sizes keep
+  // traces compact).
+  for (StreamId Id : Bools)
+    B.markOutput(Id);
+  for (StreamId Id : Ints)
+    B.markOutput(Id);
+  B.markOutput(Probe);
+  DiagnosticEngine Diags;
+  Spec S = B.finish(Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  DiagnosticEngine TDiags;
+  EXPECT_TRUE(typecheck(S, TDiags)) << TDiags.str();
+  return S;
+}
+
+/// A random interleaved trace over the two inputs of a randomSpec():
+/// \p Count events at strictly positive, non-decreasing timestamps.
+inline std::vector<TraceEvent> randomSpecTrace(const Spec &S, size_t Count,
+                                               uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  std::vector<TraceEvent> Events;
+  Events.reserve(Count);
+  Time Ts = 0;
+  for (size_t I = 0; I != Count; ++I) {
+    Ts += 1 + Rng() % 3;
+    StreamId In = Rng() % 2 ? *S.lookup("a") : *S.lookup("b");
+    Events.emplace_back(In, Ts,
+                        Value::integer(static_cast<int64_t>(Rng() % 50)));
+  }
+  return Events;
+}
+
+} // namespace testrandom
+} // namespace tessla
+
+#endif // TESSLA_TESTS_RANDOMSPECGEN_H

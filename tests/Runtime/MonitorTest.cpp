@@ -244,9 +244,63 @@ TEST(MonitorTest, BaselineProducesSameOutputs) {
   std::vector<std::tuple<std::string, Time, Value>> Events;
   for (int I = 0; I != 50; ++I)
     Events.push_back({"i", I + 1, Value::integer(I % 7)});
-  EXPECT_EQ(Opt.run(Events), Base.run(Events));
+  std::string Optimized = Opt.run(Events);
+  std::string Baseline = Base.run(Events);
+  EXPECT_EQ(Optimized, Baseline);
+  EXPECT_FALSE(Optimized.empty()) << "vacuous comparison";
   EXPECT_GT(Opt.Plan.inPlaceStepCount(), 0u);
   EXPECT_EQ(Base.Plan.inPlaceStepCount(), 0u);
+}
+
+// Pins the output-handler contract documented in Monitor.h: the Value
+// reference is *borrowed*. With the optimization on, a handler that
+// stores the value shallowly (sharing the aggregate handle) observes
+// destructive updates at later timestamps, while V.deepCopy() is
+// unaffected; with the optimization off both stay stable.
+TEST(MonitorTest, OutputHandlerValuesAreBorrowed) {
+  Spec S = parseOrDie(R"(
+    in x: Int
+    def prev := last(merge(y, setEmpty()), x)
+    def y := setAdd(prev, x)
+    out y
+  )");
+  auto RunAndSnapshot = [&](bool Optimize, Value &Shallow, Value &Deep) {
+    MutabilityOptions Opts;
+    Opts.Optimize = Optimize;
+    AnalysisResult A = analyzeSpec(S, Opts);
+    MonitorPlan Plan = MonitorPlan::compile(A);
+    EXPECT_EQ(Plan.inPlaceStepCount() > 0, Optimize)
+        << "mutability premise broken; test is vacuous";
+    Monitor M(Plan);
+    bool First = true;
+    M.setOutputHandler([&](Time, StreamId, const Value &V) {
+      if (!First)
+        return;
+      First = false;
+      Shallow = V;            // shares the aggregate handle
+      Deep = V.deepCopy();    // snapshot
+    });
+    for (int I = 0; I != 5; ++I)
+      M.feed(*S.lookup("x"), I + 1, Value::integer(I));
+    M.finish();
+    EXPECT_FALSE(M.failed()) << M.errorMessage();
+  };
+
+  Value Shallow, Deep;
+  RunAndSnapshot(/*Optimize=*/true, Shallow, Deep);
+  // The first emission was {0}; four more adds mutated the same set
+  // behind the stored handle.
+  EXPECT_EQ(Deep.str(), "{0}");
+  EXPECT_EQ(Shallow.str(), "{0, 1, 2, 3, 4}");
+  EXPECT_NE(Shallow, Deep) << "expected the borrowed value to observe "
+                              "destructive updates";
+
+  // Baseline: persistent structures are immutable, so even the shallow
+  // copy keeps the old version.
+  RunAndSnapshot(/*Optimize=*/false, Shallow, Deep);
+  EXPECT_EQ(Deep.str(), "{0}");
+  EXPECT_EQ(Shallow.str(), "{0}");
+  EXPECT_EQ(Shallow, Deep);
 }
 
 TEST(MonitorTest, OutOfOrderInputRejected) {

@@ -124,6 +124,29 @@ TEST(TesslacTest, RunTrace) {
   EXPECT_EQ(Out, OutB);
 }
 
+TEST(TesslacTest, FleetReplayMatchesSequentialPerSession) {
+  std::string TracePath = tempPath("seen_trace_fleet.txt");
+  writeFile(TracePath, "1: x = 5\n2: x = 5\n3: x = 6\n");
+  auto [RcSeq, OutSeq] = runTool(specFile() + " --run " + TracePath);
+  ASSERT_EQ(RcSeq, 0);
+  // Every session replays the same trace; the merged output is the
+  // per-session sequential trace with an "s<id>| " prefix, sessions in
+  // ascending order — independent of the shard count.
+  std::string Expected;
+  for (int Session = 0; Session != 3; ++Session) {
+    std::istringstream Lines(OutSeq);
+    std::string Line;
+    while (std::getline(Lines, Line))
+      Expected += "s" + std::to_string(Session) + "| " + Line + "\n";
+  }
+  for (const char *Shards : {"1", "2", "4"}) {
+    auto [Rc, Out] = runTool(specFile() + " --run " + TracePath +
+                             " --fleet " + Shards + " --sessions 3");
+    EXPECT_EQ(Rc, 0);
+    EXPECT_EQ(Out, Expected) << "shards=" << Shards;
+  }
+}
+
 TEST(TesslacTest, ErrorsOnBadInput) {
   std::string BadPath = tempPath("bad.tessla");
   writeFile(BadPath, "def x := nope\nout x\n");

@@ -15,6 +15,8 @@
 ///   tesslac spec.tessla --emit=cpp --main > monitor.cpp
 ///   tesslac spec.tessla --run trace.txt      # execute on a trace
 ///   tesslac spec.tessla --baseline --run trace.txt   # all-persistent
+///   tesslac spec.tessla --run trace.txt --fleet 4 --sessions 64
+///                                            # sharded multi-session replay
 /// \endcode
 ///
 //===----------------------------------------------------------------------===//
@@ -25,8 +27,10 @@
 #include "tessla/CodeGen/CppEmitter.h"
 #include "tessla/Lang/Parser.h"
 #include "tessla/Lang/PrintSource.h"
+#include "tessla/Runtime/MonitorFleet.h"
 #include "tessla/Runtime/TraceIO.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -48,7 +52,12 @@ void printUsage(const char *Argv0) {
       "                                    optimization (all persistent)\n"
       "  --main                            add a main() to --emit=cpp\n"
       "  --run <trace.txt>                 execute the monitor on a trace\n"
-      "  --horizon <t>                     bound delay draining at finish\n",
+      "  --horizon <t>                     bound delay draining at finish\n"
+      "  --fleet <n>                       replay through a MonitorFleet\n"
+      "                                    with n worker shards\n"
+      "  --sessions <m>                    fleet sessions; the trace is\n"
+      "                                    replayed once per session\n"
+      "                                    (default 1)\n",
       Argv0);
 }
 
@@ -70,6 +79,8 @@ int main(int argc, char **argv) {
   bool Baseline = false;
   bool EmitMain = false;
   std::optional<Time> Horizon;
+  unsigned FleetShards = 0; // 0 = single-session sequential replay
+  unsigned FleetSessions = 1;
 
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
@@ -84,6 +95,12 @@ int main(int argc, char **argv) {
       Emit = "run";
     } else if (std::strcmp(Arg, "--horizon") == 0 && I + 1 < argc) {
       Horizon = std::strtoll(argv[++I], nullptr, 10);
+    } else if (std::strcmp(Arg, "--fleet") == 0 && I + 1 < argc) {
+      FleetShards = static_cast<unsigned>(
+          std::max(1ll, std::strtoll(argv[++I], nullptr, 10)));
+    } else if (std::strcmp(Arg, "--sessions") == 0 && I + 1 < argc) {
+      FleetSessions = static_cast<unsigned>(
+          std::max(1ll, std::strtoll(argv[++I], nullptr, 10)));
     } else if (std::strcmp(Arg, "--help") == 0) {
       printUsage(argv[0]);
       return 0;
@@ -166,6 +183,34 @@ int main(int argc, char **argv) {
       return 1;
     }
     MonitorPlan Plan = MonitorPlan::compile(Analysis);
+    if (FleetShards > 0) {
+      // Multi-session replay: every session receives the same trace;
+      // ingest interleaves sessions per event (round-robin), mimicking a
+      // multiplexed feed. Output is the deterministic fleet merge.
+      FleetOptions FOpts;
+      FOpts.Shards = FleetShards;
+      FOpts.Horizon = Horizon;
+      MonitorFleet Fleet(Plan, FOpts);
+      for (const auto &[Id, Ts, V] : *Events)
+        for (SessionId Session = 0; Session != FleetSessions; ++Session)
+          Fleet.feed(Session, Id, Ts, V);
+      Fleet.finish();
+      for (const SessionOutputEvent &E : Fleet.takeOutputs())
+        std::printf("s%llu| %lld: %s = %s\n",
+                    static_cast<unsigned long long>(E.Session),
+                    static_cast<long long>(E.Event.Ts),
+                    Plan.spec().stream(E.Event.Id).Name.c_str(),
+                    E.Event.V.str().c_str());
+      std::fprintf(stderr, "%s", Fleet.stats().str().c_str());
+      if (Fleet.failed()) {
+        for (const SessionError &E : Fleet.errors())
+          std::fprintf(stderr, "session %llu error: %s\n",
+                       static_cast<unsigned long long>(E.Session),
+                       E.Message.c_str());
+        return 1;
+      }
+      return 0;
+    }
     Monitor M(Plan);
     M.setOutputHandler([&Plan](Time Ts, StreamId Id, const Value &V) {
       std::printf("%lld: %s = %s\n", static_cast<long long>(Ts),
