@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_codegen"
+  "../bench/ablation_codegen.pdb"
+  "CMakeFiles/ablation_codegen.dir/ablation_codegen.cpp.o"
+  "CMakeFiles/ablation_codegen.dir/ablation_codegen.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_compile_time"
+  "../bench/ablation_compile_time.pdb"
+  "CMakeFiles/ablation_compile_time.dir/ablation_compile_time.cpp.o"
+  "CMakeFiles/ablation_compile_time.dir/ablation_compile_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compile_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_structures"
+  "../bench/ablation_structures.pdb"
+  "CMakeFiles/ablation_structures.dir/ablation_structures.cpp.o"
+  "CMakeFiles/ablation_structures.dir/ablation_structures.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

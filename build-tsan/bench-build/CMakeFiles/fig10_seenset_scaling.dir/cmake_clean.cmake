@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_seenset_scaling"
+  "../bench/fig10_seenset_scaling.pdb"
+  "CMakeFiles/fig10_seenset_scaling.dir/fig10_seenset_scaling.cpp.o"
+  "CMakeFiles/fig10_seenset_scaling.dir/fig10_seenset_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_seenset_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_synthetic"
+  "../bench/fig9_synthetic.pdb"
+  "CMakeFiles/fig9_synthetic.dir/fig9_synthetic.cpp.o"
+  "CMakeFiles/fig9_synthetic.dir/fig9_synthetic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fleet_scaling"
+  "../bench/fleet_scaling.pdb"
+  "CMakeFiles/fleet_scaling.dir/fleet_scaling.cpp.o"
+  "CMakeFiles/fleet_scaling.dir/fleet_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_realworld"
+  "../bench/table1_realworld.pdb"
+  "CMakeFiles/table1_realworld.dir/table1_realworld.cpp.o"
+  "CMakeFiles/table1_realworld.dir/table1_realworld.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_realworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

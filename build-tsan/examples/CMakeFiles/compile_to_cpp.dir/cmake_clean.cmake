@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_to_cpp.dir/compile_to_cpp.cpp.o"
+  "CMakeFiles/compile_to_cpp.dir/compile_to_cpp.cpp.o.d"
+  "compile_to_cpp"
+  "compile_to_cpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_to_cpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_access_monitor.dir/db_access_monitor.cpp.o"
+  "CMakeFiles/db_access_monitor.dir/db_access_monitor.cpp.o.d"
+  "db_access_monitor"
+  "db_access_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_access_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peak_detection.dir/peak_detection.cpp.o"
+  "CMakeFiles/peak_detection.dir/peak_detection.cpp.o.d"
+  "peak_detection"
+  "peak_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peak_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ADT/GraphAlgos.cpp" "src/CMakeFiles/tessla_adt.dir/ADT/GraphAlgos.cpp.o" "gcc" "src/CMakeFiles/tessla_adt.dir/ADT/GraphAlgos.cpp.o.d"
+  "/root/repo/src/ADT/UnionFind.cpp" "src/CMakeFiles/tessla_adt.dir/ADT/UnionFind.cpp.o" "gcc" "src/CMakeFiles/tessla_adt.dir/ADT/UnionFind.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/tessla_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

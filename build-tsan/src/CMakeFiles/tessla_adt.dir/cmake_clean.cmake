@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tessla_adt.dir/ADT/GraphAlgos.cpp.o"
+  "CMakeFiles/tessla_adt.dir/ADT/GraphAlgos.cpp.o.d"
+  "CMakeFiles/tessla_adt.dir/ADT/UnionFind.cpp.o"
+  "CMakeFiles/tessla_adt.dir/ADT/UnionFind.cpp.o.d"
+  "libtessla_adt.a"
+  "libtessla_adt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tessla_adt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtessla_adt.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/Analysis/Aliasing.cpp" "src/CMakeFiles/tessla_analysis.dir/Analysis/Aliasing.cpp.o" "gcc" "src/CMakeFiles/tessla_analysis.dir/Analysis/Aliasing.cpp.o.d"
+  "/root/repo/src/Analysis/GraphWriter.cpp" "src/CMakeFiles/tessla_analysis.dir/Analysis/GraphWriter.cpp.o" "gcc" "src/CMakeFiles/tessla_analysis.dir/Analysis/GraphWriter.cpp.o.d"
+  "/root/repo/src/Analysis/Mutability.cpp" "src/CMakeFiles/tessla_analysis.dir/Analysis/Mutability.cpp.o" "gcc" "src/CMakeFiles/tessla_analysis.dir/Analysis/Mutability.cpp.o.d"
+  "/root/repo/src/Analysis/Pipeline.cpp" "src/CMakeFiles/tessla_analysis.dir/Analysis/Pipeline.cpp.o" "gcc" "src/CMakeFiles/tessla_analysis.dir/Analysis/Pipeline.cpp.o.d"
+  "/root/repo/src/Analysis/Statistics.cpp" "src/CMakeFiles/tessla_analysis.dir/Analysis/Statistics.cpp.o" "gcc" "src/CMakeFiles/tessla_analysis.dir/Analysis/Statistics.cpp.o.d"
+  "/root/repo/src/Analysis/TranslationOrder.cpp" "src/CMakeFiles/tessla_analysis.dir/Analysis/TranslationOrder.cpp.o" "gcc" "src/CMakeFiles/tessla_analysis.dir/Analysis/TranslationOrder.cpp.o.d"
+  "/root/repo/src/Analysis/TriggerFormula.cpp" "src/CMakeFiles/tessla_analysis.dir/Analysis/TriggerFormula.cpp.o" "gcc" "src/CMakeFiles/tessla_analysis.dir/Analysis/TriggerFormula.cpp.o.d"
+  "/root/repo/src/Analysis/UsageGraph.cpp" "src/CMakeFiles/tessla_analysis.dir/Analysis/UsageGraph.cpp.o" "gcc" "src/CMakeFiles/tessla_analysis.dir/Analysis/UsageGraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/tessla_lang.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tessla_sat.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tessla_adt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tessla_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

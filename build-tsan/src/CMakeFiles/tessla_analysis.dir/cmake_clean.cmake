@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tessla_analysis.dir/Analysis/Aliasing.cpp.o"
+  "CMakeFiles/tessla_analysis.dir/Analysis/Aliasing.cpp.o.d"
+  "CMakeFiles/tessla_analysis.dir/Analysis/GraphWriter.cpp.o"
+  "CMakeFiles/tessla_analysis.dir/Analysis/GraphWriter.cpp.o.d"
+  "CMakeFiles/tessla_analysis.dir/Analysis/Mutability.cpp.o"
+  "CMakeFiles/tessla_analysis.dir/Analysis/Mutability.cpp.o.d"
+  "CMakeFiles/tessla_analysis.dir/Analysis/Pipeline.cpp.o"
+  "CMakeFiles/tessla_analysis.dir/Analysis/Pipeline.cpp.o.d"
+  "CMakeFiles/tessla_analysis.dir/Analysis/Statistics.cpp.o"
+  "CMakeFiles/tessla_analysis.dir/Analysis/Statistics.cpp.o.d"
+  "CMakeFiles/tessla_analysis.dir/Analysis/TranslationOrder.cpp.o"
+  "CMakeFiles/tessla_analysis.dir/Analysis/TranslationOrder.cpp.o.d"
+  "CMakeFiles/tessla_analysis.dir/Analysis/TriggerFormula.cpp.o"
+  "CMakeFiles/tessla_analysis.dir/Analysis/TriggerFormula.cpp.o.d"
+  "CMakeFiles/tessla_analysis.dir/Analysis/UsageGraph.cpp.o"
+  "CMakeFiles/tessla_analysis.dir/Analysis/UsageGraph.cpp.o.d"
+  "libtessla_analysis.a"
+  "libtessla_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tessla_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

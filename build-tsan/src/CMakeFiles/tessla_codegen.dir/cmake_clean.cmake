@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tessla_codegen.dir/CodeGen/CppEmitter.cpp.o"
+  "CMakeFiles/tessla_codegen.dir/CodeGen/CppEmitter.cpp.o.d"
+  "libtessla_codegen.a"
+  "libtessla_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tessla_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

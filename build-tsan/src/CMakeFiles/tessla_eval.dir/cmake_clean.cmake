@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tessla_eval.dir/Eval/Workloads.cpp.o"
+  "CMakeFiles/tessla_eval.dir/Eval/Workloads.cpp.o.d"
+  "libtessla_eval.a"
+  "libtessla_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tessla_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

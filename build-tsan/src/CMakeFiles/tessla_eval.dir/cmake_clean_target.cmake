@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtessla_eval.a"
+)

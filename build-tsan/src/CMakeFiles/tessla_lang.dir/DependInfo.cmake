@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/Lang/Builder.cpp" "src/CMakeFiles/tessla_lang.dir/Lang/Builder.cpp.o" "gcc" "src/CMakeFiles/tessla_lang.dir/Lang/Builder.cpp.o.d"
+  "/root/repo/src/Lang/Builtins.cpp" "src/CMakeFiles/tessla_lang.dir/Lang/Builtins.cpp.o" "gcc" "src/CMakeFiles/tessla_lang.dir/Lang/Builtins.cpp.o.d"
+  "/root/repo/src/Lang/Flatten.cpp" "src/CMakeFiles/tessla_lang.dir/Lang/Flatten.cpp.o" "gcc" "src/CMakeFiles/tessla_lang.dir/Lang/Flatten.cpp.o.d"
+  "/root/repo/src/Lang/Lexer.cpp" "src/CMakeFiles/tessla_lang.dir/Lang/Lexer.cpp.o" "gcc" "src/CMakeFiles/tessla_lang.dir/Lang/Lexer.cpp.o.d"
+  "/root/repo/src/Lang/Parser.cpp" "src/CMakeFiles/tessla_lang.dir/Lang/Parser.cpp.o" "gcc" "src/CMakeFiles/tessla_lang.dir/Lang/Parser.cpp.o.d"
+  "/root/repo/src/Lang/PrintSource.cpp" "src/CMakeFiles/tessla_lang.dir/Lang/PrintSource.cpp.o" "gcc" "src/CMakeFiles/tessla_lang.dir/Lang/PrintSource.cpp.o.d"
+  "/root/repo/src/Lang/Spec.cpp" "src/CMakeFiles/tessla_lang.dir/Lang/Spec.cpp.o" "gcc" "src/CMakeFiles/tessla_lang.dir/Lang/Spec.cpp.o.d"
+  "/root/repo/src/Lang/Type.cpp" "src/CMakeFiles/tessla_lang.dir/Lang/Type.cpp.o" "gcc" "src/CMakeFiles/tessla_lang.dir/Lang/Type.cpp.o.d"
+  "/root/repo/src/Lang/TypeCheck.cpp" "src/CMakeFiles/tessla_lang.dir/Lang/TypeCheck.cpp.o" "gcc" "src/CMakeFiles/tessla_lang.dir/Lang/TypeCheck.cpp.o.d"
+  "/root/repo/src/Lang/TypeUnifier.cpp" "src/CMakeFiles/tessla_lang.dir/Lang/TypeUnifier.cpp.o" "gcc" "src/CMakeFiles/tessla_lang.dir/Lang/TypeUnifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/tessla_adt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tessla_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tessla_lang.dir/Lang/Builder.cpp.o"
+  "CMakeFiles/tessla_lang.dir/Lang/Builder.cpp.o.d"
+  "CMakeFiles/tessla_lang.dir/Lang/Builtins.cpp.o"
+  "CMakeFiles/tessla_lang.dir/Lang/Builtins.cpp.o.d"
+  "CMakeFiles/tessla_lang.dir/Lang/Flatten.cpp.o"
+  "CMakeFiles/tessla_lang.dir/Lang/Flatten.cpp.o.d"
+  "CMakeFiles/tessla_lang.dir/Lang/Lexer.cpp.o"
+  "CMakeFiles/tessla_lang.dir/Lang/Lexer.cpp.o.d"
+  "CMakeFiles/tessla_lang.dir/Lang/Parser.cpp.o"
+  "CMakeFiles/tessla_lang.dir/Lang/Parser.cpp.o.d"
+  "CMakeFiles/tessla_lang.dir/Lang/PrintSource.cpp.o"
+  "CMakeFiles/tessla_lang.dir/Lang/PrintSource.cpp.o.d"
+  "CMakeFiles/tessla_lang.dir/Lang/Spec.cpp.o"
+  "CMakeFiles/tessla_lang.dir/Lang/Spec.cpp.o.d"
+  "CMakeFiles/tessla_lang.dir/Lang/Type.cpp.o"
+  "CMakeFiles/tessla_lang.dir/Lang/Type.cpp.o.d"
+  "CMakeFiles/tessla_lang.dir/Lang/TypeCheck.cpp.o"
+  "CMakeFiles/tessla_lang.dir/Lang/TypeCheck.cpp.o.d"
+  "CMakeFiles/tessla_lang.dir/Lang/TypeUnifier.cpp.o"
+  "CMakeFiles/tessla_lang.dir/Lang/TypeUnifier.cpp.o.d"
+  "libtessla_lang.a"
+  "libtessla_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tessla_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

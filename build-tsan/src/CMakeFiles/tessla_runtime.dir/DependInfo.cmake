@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/Runtime/BuiltinImpls.cpp" "src/CMakeFiles/tessla_runtime.dir/Runtime/BuiltinImpls.cpp.o" "gcc" "src/CMakeFiles/tessla_runtime.dir/Runtime/BuiltinImpls.cpp.o.d"
+  "/root/repo/src/Runtime/Containers.cpp" "src/CMakeFiles/tessla_runtime.dir/Runtime/Containers.cpp.o" "gcc" "src/CMakeFiles/tessla_runtime.dir/Runtime/Containers.cpp.o.d"
+  "/root/repo/src/Runtime/Monitor.cpp" "src/CMakeFiles/tessla_runtime.dir/Runtime/Monitor.cpp.o" "gcc" "src/CMakeFiles/tessla_runtime.dir/Runtime/Monitor.cpp.o.d"
+  "/root/repo/src/Runtime/MonitorFleet.cpp" "src/CMakeFiles/tessla_runtime.dir/Runtime/MonitorFleet.cpp.o" "gcc" "src/CMakeFiles/tessla_runtime.dir/Runtime/MonitorFleet.cpp.o.d"
+  "/root/repo/src/Runtime/MonitorPlan.cpp" "src/CMakeFiles/tessla_runtime.dir/Runtime/MonitorPlan.cpp.o" "gcc" "src/CMakeFiles/tessla_runtime.dir/Runtime/MonitorPlan.cpp.o.d"
+  "/root/repo/src/Runtime/TraceGen.cpp" "src/CMakeFiles/tessla_runtime.dir/Runtime/TraceGen.cpp.o" "gcc" "src/CMakeFiles/tessla_runtime.dir/Runtime/TraceGen.cpp.o.d"
+  "/root/repo/src/Runtime/TraceIO.cpp" "src/CMakeFiles/tessla_runtime.dir/Runtime/TraceIO.cpp.o" "gcc" "src/CMakeFiles/tessla_runtime.dir/Runtime/TraceIO.cpp.o.d"
+  "/root/repo/src/Runtime/Value.cpp" "src/CMakeFiles/tessla_runtime.dir/Runtime/Value.cpp.o" "gcc" "src/CMakeFiles/tessla_runtime.dir/Runtime/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/tessla_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tessla_lang.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tessla_sat.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tessla_adt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tessla_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

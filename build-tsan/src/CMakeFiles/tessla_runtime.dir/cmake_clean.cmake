@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tessla_runtime.dir/Runtime/BuiltinImpls.cpp.o"
+  "CMakeFiles/tessla_runtime.dir/Runtime/BuiltinImpls.cpp.o.d"
+  "CMakeFiles/tessla_runtime.dir/Runtime/Containers.cpp.o"
+  "CMakeFiles/tessla_runtime.dir/Runtime/Containers.cpp.o.d"
+  "CMakeFiles/tessla_runtime.dir/Runtime/Monitor.cpp.o"
+  "CMakeFiles/tessla_runtime.dir/Runtime/Monitor.cpp.o.d"
+  "CMakeFiles/tessla_runtime.dir/Runtime/MonitorFleet.cpp.o"
+  "CMakeFiles/tessla_runtime.dir/Runtime/MonitorFleet.cpp.o.d"
+  "CMakeFiles/tessla_runtime.dir/Runtime/MonitorPlan.cpp.o"
+  "CMakeFiles/tessla_runtime.dir/Runtime/MonitorPlan.cpp.o.d"
+  "CMakeFiles/tessla_runtime.dir/Runtime/TraceGen.cpp.o"
+  "CMakeFiles/tessla_runtime.dir/Runtime/TraceGen.cpp.o.d"
+  "CMakeFiles/tessla_runtime.dir/Runtime/TraceIO.cpp.o"
+  "CMakeFiles/tessla_runtime.dir/Runtime/TraceIO.cpp.o.d"
+  "CMakeFiles/tessla_runtime.dir/Runtime/Value.cpp.o"
+  "CMakeFiles/tessla_runtime.dir/Runtime/Value.cpp.o.d"
+  "libtessla_runtime.a"
+  "libtessla_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tessla_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tessla_sat.dir/SAT/BoolExpr.cpp.o"
+  "CMakeFiles/tessla_sat.dir/SAT/BoolExpr.cpp.o.d"
+  "CMakeFiles/tessla_sat.dir/SAT/CNF.cpp.o"
+  "CMakeFiles/tessla_sat.dir/SAT/CNF.cpp.o.d"
+  "CMakeFiles/tessla_sat.dir/SAT/Solver.cpp.o"
+  "CMakeFiles/tessla_sat.dir/SAT/Solver.cpp.o.d"
+  "libtessla_sat.a"
+  "libtessla_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tessla_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

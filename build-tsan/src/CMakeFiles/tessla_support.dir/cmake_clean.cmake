@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tessla_support.dir/Support/Diagnostics.cpp.o"
+  "CMakeFiles/tessla_support.dir/Support/Diagnostics.cpp.o.d"
+  "CMakeFiles/tessla_support.dir/Support/Format.cpp.o"
+  "CMakeFiles/tessla_support.dir/Support/Format.cpp.o.d"
+  "libtessla_support.a"
+  "libtessla_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tessla_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adt_graph_algos_test.dir/ADT/GraphAlgosTest.cpp.o"
+  "CMakeFiles/adt_graph_algos_test.dir/ADT/GraphAlgosTest.cpp.o.d"
+  "adt_graph_algos_test"
+  "adt_graph_algos_test.pdb"
+  "adt_graph_algos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adt_graph_algos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adt_refcntptr_test.dir/ADT/RefCntPtrTest.cpp.o"
+  "CMakeFiles/adt_refcntptr_test.dir/ADT/RefCntPtrTest.cpp.o.d"
+  "adt_refcntptr_test"
+  "adt_refcntptr_test.pdb"
+  "adt_refcntptr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adt_refcntptr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

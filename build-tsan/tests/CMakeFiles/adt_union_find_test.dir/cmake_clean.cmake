@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adt_union_find_test.dir/ADT/UnionFindTest.cpp.o"
+  "CMakeFiles/adt_union_find_test.dir/ADT/UnionFindTest.cpp.o.d"
+  "adt_union_find_test"
+  "adt_union_find_test.pdb"
+  "adt_union_find_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adt_union_find_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_aliasing_test.dir/Analysis/AliasingTest.cpp.o"
+  "CMakeFiles/analysis_aliasing_test.dir/Analysis/AliasingTest.cpp.o.d"
+  "analysis_aliasing_test"
+  "analysis_aliasing_test.pdb"
+  "analysis_aliasing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_aliasing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

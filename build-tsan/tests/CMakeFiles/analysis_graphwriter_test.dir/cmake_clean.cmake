@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_graphwriter_test.dir/Analysis/GraphWriterTest.cpp.o"
+  "CMakeFiles/analysis_graphwriter_test.dir/Analysis/GraphWriterTest.cpp.o.d"
+  "analysis_graphwriter_test"
+  "analysis_graphwriter_test.pdb"
+  "analysis_graphwriter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_graphwriter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

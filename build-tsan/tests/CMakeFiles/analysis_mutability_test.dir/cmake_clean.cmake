@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_mutability_test.dir/Analysis/MutabilityTest.cpp.o"
+  "CMakeFiles/analysis_mutability_test.dir/Analysis/MutabilityTest.cpp.o.d"
+  "analysis_mutability_test"
+  "analysis_mutability_test.pdb"
+  "analysis_mutability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_mutability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_statistics_test.dir/Analysis/StatisticsTest.cpp.o"
+  "CMakeFiles/analysis_statistics_test.dir/Analysis/StatisticsTest.cpp.o.d"
+  "analysis_statistics_test"
+  "analysis_statistics_test.pdb"
+  "analysis_statistics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_statistics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_trigger_test.dir/Analysis/TriggerFormulaTest.cpp.o"
+  "CMakeFiles/analysis_trigger_test.dir/Analysis/TriggerFormulaTest.cpp.o.d"
+  "analysis_trigger_test"
+  "analysis_trigger_test.pdb"
+  "analysis_trigger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_trigger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

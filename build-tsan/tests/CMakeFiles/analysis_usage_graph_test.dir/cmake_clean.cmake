@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_usage_graph_test.dir/Analysis/UsageGraphTest.cpp.o"
+  "CMakeFiles/analysis_usage_graph_test.dir/Analysis/UsageGraphTest.cpp.o.d"
+  "analysis_usage_graph_test"
+  "analysis_usage_graph_test.pdb"
+  "analysis_usage_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_usage_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_compile_run_test.dir/CodeGen/CompileRunTest.cpp.o"
+  "CMakeFiles/codegen_compile_run_test.dir/CodeGen/CompileRunTest.cpp.o.d"
+  "codegen_compile_run_test"
+  "codegen_compile_run_test.pdb"
+  "codegen_compile_run_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_compile_run_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_emitter_test.dir/CodeGen/CppEmitterTest.cpp.o"
+  "CMakeFiles/codegen_emitter_test.dir/CodeGen/CppEmitterTest.cpp.o.d"
+  "codegen_emitter_test"
+  "codegen_emitter_test.pdb"
+  "codegen_emitter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_emitter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

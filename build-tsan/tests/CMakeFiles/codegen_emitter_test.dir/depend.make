@@ -1,0 +1,2 @@
+# Empty dependencies file for codegen_emitter_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_oracle_test.dir/Integration/SemanticsOracleTest.cpp.o"
+  "CMakeFiles/integration_oracle_test.dir/Integration/SemanticsOracleTest.cpp.o.d"
+  "integration_oracle_test"
+  "integration_oracle_test.pdb"
+  "integration_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

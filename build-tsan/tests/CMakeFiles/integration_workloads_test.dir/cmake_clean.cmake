@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_workloads_test.dir/Integration/WorkloadTest.cpp.o"
+  "CMakeFiles/integration_workloads_test.dir/Integration/WorkloadTest.cpp.o.d"
+  "integration_workloads_test"
+  "integration_workloads_test.pdb"
+  "integration_workloads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_workloads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

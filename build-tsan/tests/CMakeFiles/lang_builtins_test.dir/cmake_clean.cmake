@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_builtins_test.dir/Lang/BuiltinsTest.cpp.o"
+  "CMakeFiles/lang_builtins_test.dir/Lang/BuiltinsTest.cpp.o.d"
+  "lang_builtins_test"
+  "lang_builtins_test.pdb"
+  "lang_builtins_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_builtins_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_parser_fuzz_test.dir/Lang/ParserFuzzTest.cpp.o"
+  "CMakeFiles/lang_parser_fuzz_test.dir/Lang/ParserFuzzTest.cpp.o.d"
+  "lang_parser_fuzz_test"
+  "lang_parser_fuzz_test.pdb"
+  "lang_parser_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_parser_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

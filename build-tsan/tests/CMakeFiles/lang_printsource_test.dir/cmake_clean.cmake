@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_printsource_test.dir/Lang/PrintSourceTest.cpp.o"
+  "CMakeFiles/lang_printsource_test.dir/Lang/PrintSourceTest.cpp.o.d"
+  "lang_printsource_test"
+  "lang_printsource_test.pdb"
+  "lang_printsource_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_printsource_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_spec_test.dir/Lang/SpecTest.cpp.o"
+  "CMakeFiles/lang_spec_test.dir/Lang/SpecTest.cpp.o.d"
+  "lang_spec_test"
+  "lang_spec_test.pdb"
+  "lang_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/Lang/SpecFilesTest.cpp" "tests/CMakeFiles/lang_specfiles_test.dir/Lang/SpecFilesTest.cpp.o" "gcc" "tests/CMakeFiles/lang_specfiles_test.dir/Lang/SpecFilesTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/tessla_codegen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tessla_eval.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tessla_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tessla_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tessla_lang.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tessla_sat.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tessla_adt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tessla_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

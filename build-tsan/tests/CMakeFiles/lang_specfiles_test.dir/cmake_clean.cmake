@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_specfiles_test.dir/Lang/SpecFilesTest.cpp.o"
+  "CMakeFiles/lang_specfiles_test.dir/Lang/SpecFilesTest.cpp.o.d"
+  "lang_specfiles_test"
+  "lang_specfiles_test.pdb"
+  "lang_specfiles_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_specfiles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_type_test.dir/Lang/TypeTest.cpp.o"
+  "CMakeFiles/lang_type_test.dir/Lang/TypeTest.cpp.o.d"
+  "lang_type_test"
+  "lang_type_test.pdb"
+  "lang_type_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_type_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

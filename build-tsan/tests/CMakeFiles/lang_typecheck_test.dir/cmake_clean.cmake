@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_typecheck_test.dir/Lang/TypeCheckTest.cpp.o"
+  "CMakeFiles/lang_typecheck_test.dir/Lang/TypeCheckTest.cpp.o.d"
+  "lang_typecheck_test"
+  "lang_typecheck_test.pdb"
+  "lang_typecheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_typecheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

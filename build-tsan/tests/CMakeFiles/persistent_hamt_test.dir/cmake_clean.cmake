@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_hamt_test.dir/Persistent/HamtTest.cpp.o"
+  "CMakeFiles/persistent_hamt_test.dir/Persistent/HamtTest.cpp.o.d"
+  "persistent_hamt_test"
+  "persistent_hamt_test.pdb"
+  "persistent_hamt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_hamt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

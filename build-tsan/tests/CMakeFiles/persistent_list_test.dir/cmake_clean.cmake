@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_list_test.dir/Persistent/ListTest.cpp.o"
+  "CMakeFiles/persistent_list_test.dir/Persistent/ListTest.cpp.o.d"
+  "persistent_list_test"
+  "persistent_list_test.pdb"
+  "persistent_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

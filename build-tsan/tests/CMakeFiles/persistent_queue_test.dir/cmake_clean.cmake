@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_queue_test.dir/Persistent/QueueTest.cpp.o"
+  "CMakeFiles/persistent_queue_test.dir/Persistent/QueueTest.cpp.o.d"
+  "persistent_queue_test"
+  "persistent_queue_test.pdb"
+  "persistent_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_builtins_test.dir/Runtime/BuiltinImplsTest.cpp.o"
+  "CMakeFiles/runtime_builtins_test.dir/Runtime/BuiltinImplsTest.cpp.o.d"
+  "runtime_builtins_test"
+  "runtime_builtins_test.pdb"
+  "runtime_builtins_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_builtins_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

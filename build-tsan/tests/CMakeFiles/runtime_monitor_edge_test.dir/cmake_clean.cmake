@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_monitor_edge_test.dir/Runtime/MonitorEdgeCasesTest.cpp.o"
+  "CMakeFiles/runtime_monitor_edge_test.dir/Runtime/MonitorEdgeCasesTest.cpp.o.d"
+  "runtime_monitor_edge_test"
+  "runtime_monitor_edge_test.pdb"
+  "runtime_monitor_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_monitor_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

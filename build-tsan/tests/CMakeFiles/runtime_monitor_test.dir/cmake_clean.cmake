@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_monitor_test.dir/Runtime/MonitorTest.cpp.o"
+  "CMakeFiles/runtime_monitor_test.dir/Runtime/MonitorTest.cpp.o.d"
+  "runtime_monitor_test"
+  "runtime_monitor_test.pdb"
+  "runtime_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

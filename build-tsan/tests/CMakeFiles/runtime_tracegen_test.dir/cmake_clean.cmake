@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_tracegen_test.dir/Runtime/TraceGenTest.cpp.o"
+  "CMakeFiles/runtime_tracegen_test.dir/Runtime/TraceGenTest.cpp.o.d"
+  "runtime_tracegen_test"
+  "runtime_tracegen_test.pdb"
+  "runtime_tracegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_tracegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

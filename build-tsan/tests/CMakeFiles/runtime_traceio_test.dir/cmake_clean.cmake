@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_traceio_test.dir/Runtime/TraceIOTest.cpp.o"
+  "CMakeFiles/runtime_traceio_test.dir/Runtime/TraceIOTest.cpp.o.d"
+  "runtime_traceio_test"
+  "runtime_traceio_test.pdb"
+  "runtime_traceio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_traceio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_value_test.dir/Runtime/ValueTest.cpp.o"
+  "CMakeFiles/runtime_value_test.dir/Runtime/ValueTest.cpp.o.d"
+  "runtime_value_test"
+  "runtime_value_test.pdb"
+  "runtime_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

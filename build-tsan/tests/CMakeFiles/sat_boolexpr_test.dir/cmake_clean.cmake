@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_boolexpr_test.dir/SAT/BoolExprTest.cpp.o"
+  "CMakeFiles/sat_boolexpr_test.dir/SAT/BoolExprTest.cpp.o.d"
+  "sat_boolexpr_test"
+  "sat_boolexpr_test.pdb"
+  "sat_boolexpr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_boolexpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

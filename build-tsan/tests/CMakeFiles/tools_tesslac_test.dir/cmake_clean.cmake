@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tools_tesslac_test.dir/Tools/TesslacTest.cpp.o"
+  "CMakeFiles/tools_tesslac_test.dir/Tools/TesslacTest.cpp.o.d"
+  "tools_tesslac_test"
+  "tools_tesslac_test.pdb"
+  "tools_tesslac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tools_tesslac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

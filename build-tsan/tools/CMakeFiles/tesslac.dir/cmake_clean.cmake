@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tesslac.dir/tesslac.cpp.o"
+  "CMakeFiles/tesslac.dir/tesslac.cpp.o.d"
+  "tesslac"
+  "tesslac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tesslac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
