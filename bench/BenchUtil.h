@@ -41,7 +41,7 @@ inline RunResult timeMonitor(const Spec &S, bool Optimize,
   MutabilityOptions Opts;
   Opts.Optimize = Optimize;
   AnalysisResult A = analyzeSpec(S, Opts);
-  MonitorPlan Plan = MonitorPlan::compile(A);
+  Program Plan = Program::compile(A);
 
   Monitor M(Plan);
   RunResult R;

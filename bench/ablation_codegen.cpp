@@ -53,7 +53,7 @@ std::string emitAndCompile(const Spec &S, bool Optimize,
   CppEmitterOptions EOpts;
   EOpts.EmitBenchMain = true;
   DiagnosticEngine Diags;
-  auto Source = emitCppMonitor(S, A, EOpts, Diags);
+  auto Source = emitCppMonitor(Program::compile(A), EOpts, Diags);
   if (!Source) {
     std::fprintf(stderr, "emission failed:\n%s", Diags.str().c_str());
     return "";

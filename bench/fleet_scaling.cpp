@@ -70,7 +70,7 @@ FleetWorkload dbLogWorkload(unsigned Sessions, size_t EventsPerSession) {
 
 /// One timed fleet run: ingest all sessions round-robin (chunks of 64
 /// events per session, per-session order preserved), then finish.
-double timeFleet(const FleetWorkload &W, const MonitorPlan &Plan,
+double timeFleet(const FleetWorkload &W, const Program &Plan,
                  unsigned Shards, uint64_t &OutputsOut) {
   FleetOptions Opts;
   Opts.Shards = Shards;
@@ -104,7 +104,7 @@ double timeFleet(const FleetWorkload &W, const MonitorPlan &Plan,
   return std::chrono::duration<double>(EndTime - Start).count();
 }
 
-double medianFleet(const FleetWorkload &W, const MonitorPlan &Plan,
+double medianFleet(const FleetWorkload &W, const Program &Plan,
                    unsigned Shards, unsigned Reps, uint64_t &OutputsOut) {
   std::vector<double> Times;
   uint64_t FirstOutputs = 0;
@@ -146,7 +146,7 @@ int main() {
   for (FleetWorkload &W : Workloads) {
     MutabilityOptions MOpts; // optimized monitors; the opt-vs-baseline
     AnalysisResult A = analyzeSpec(W.S, MOpts); // axis is fig9/fig10
-    MonitorPlan Plan = MonitorPlan::compile(A);
+    Program Plan = Program::compile(A);
     double OneShard = 0;
     for (unsigned Shards : ShardCounts) {
       uint64_t Outputs = 0;

@@ -64,7 +64,7 @@ int main(int argc, char **argv) {
 
   CppEmitterOptions EOpts;
   EOpts.EmitMain = true;
-  auto Code = emitCppMonitor(*S, A, EOpts, Diags);
+  auto Code = emitCppMonitor(Program::compile(A), EOpts, Diags);
   if (!Code) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
     return 1;

@@ -30,7 +30,7 @@ using namespace tessla;
 
 namespace {
 
-double runSeconds(const MonitorPlan &Plan,
+double runSeconds(const Program &Plan,
                   const std::vector<TraceEvent> &Events,
                   uint64_t &Violations) {
   Monitor M(Plan);
@@ -86,8 +86,8 @@ int main(int argc, char **argv) {
   BaseOpts.Optimize = false;
   AnalysisResult Baseline = analyzeSpec(*S, BaseOpts);
 
-  MonitorPlan OptPlan = MonitorPlan::compile(Optimized);
-  MonitorPlan BasePlan = MonitorPlan::compile(Baseline);
+  Program OptPlan = Program::compile(Optimized);
+  Program BasePlan = Program::compile(Baseline);
 
   uint64_t OptViolations = 0, BaseViolations = 0;
   double OptTime = runSeconds(OptPlan, Events, OptViolations);

@@ -66,7 +66,7 @@ int main(int argc, char **argv) {
   Config.Seed = 7;
   auto Events = tracegen::powerSignal(*S->lookup("p"), Config);
 
-  MonitorPlan Plan = MonitorPlan::compile(A);
+  Program Plan = Program::compile(A);
   Monitor M(Plan);
   unsigned Shown = 0;
   uint64_t Total = 0;

@@ -62,7 +62,7 @@ int main() {
     return 1;
   }
 
-  MonitorPlan Plan = MonitorPlan::compile(Optimized);
+  Program Plan = Program::compile(Optimized);
   Monitor M(Plan);
   M.setOutputHandler([&](Time Ts, StreamId Id, const Value &V) {
     std::printf("%lld: %s = %s\n", static_cast<long long>(Ts),

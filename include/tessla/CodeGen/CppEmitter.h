@@ -5,13 +5,16 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Emits a specification as a standalone C++ monitor class — the paper's
-/// translation scheme (§III) with the aggregate update optimization
-/// (§IV) applied: one typed variable per stream, the calculation section
-/// in the analysis' translation order, destructive container updates for
-/// mutable families and persistent structures for the rest. (The paper's
-/// implementation emits Scala; §I notes "the same scheme could also be
-/// used for translation to other imperative languages".)
+/// Emits a lowered Program as a standalone C++ monitor class — the
+/// paper's translation scheme (§III) with the aggregate update
+/// optimization (§IV) applied: one typed variable per stream, the
+/// calculation section in the program's step order, destructive container
+/// updates for mutable families and persistent structures for the rest.
+/// (The paper's implementation emits Scala; §I notes "the same scheme
+/// could also be used for translation to other imperative languages".)
+///
+/// The emitter consumes the same Program IR the interpreter executes
+/// (see tessla/Program/Program.h), so both backends follow one lowering.
 ///
 /// Generated code depends only on tessla/CodeGen/RuntimeSupport.h (and
 /// through it on the persistent containers).
@@ -21,7 +24,7 @@
 #ifndef TESSLA_CODEGEN_CPPEMITTER_H
 #define TESSLA_CODEGEN_CPPEMITTER_H
 
-#include "tessla/Analysis/Pipeline.h"
+#include "tessla/Program/Program.h"
 #include "tessla/Support/Diagnostics.h"
 
 #include <optional>
@@ -45,14 +48,13 @@ struct CppEmitterOptions {
   bool EmitBenchMain = false;
 };
 
-/// Emits \p S as a C++ translation unit, using \p Analysis' translation
+/// Emits \p P as a C++ translation unit, following the program's step
 /// order and mutability set.
 ///
 /// \returns the source text, or nullopt (with diagnostics) for the few
 /// constructs the typed backend does not support (aggregate-typed inputs,
 /// ordering/equality comparisons between aggregates).
-std::optional<std::string> emitCppMonitor(const Spec &S,
-                                          const AnalysisResult &Analysis,
+std::optional<std::string> emitCppMonitor(const Program &P,
                                           const CppEmitterOptions &Opts,
                                           DiagnosticEngine &Diags);
 

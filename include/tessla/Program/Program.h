@@ -1,0 +1,167 @@
+//===- tessla/Program/Program.h - Lowered program IR -----------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fully lowered, backend-neutral form of a specification — the single
+/// product of the paper's translation scheme (§III): the calculation
+/// section's steps in translation order with the mutability set applied,
+/// plus the bookkeeping the triggering section needs (last-value slots,
+/// delay scheduling, outputs).
+///
+/// Both execution backends consume exactly this IR:
+///
+///   Analysis/Pipeline ──▶ Program::compile ──┬─▶ Runtime/Monitor
+///                                            └─▶ CodeGen/CppEmitter
+///
+/// so the interpreter and the generated C++ agree by construction — there
+/// is one lowering, not two.
+///
+/// Lowering resolves everything the per-event hot path would otherwise
+/// re-derive:
+///
+///  * a **dense value-slot** per event-carrying stream (nil streams share
+///    one dead slot), so engine state is indexed by slot, not StreamId;
+///  * dense **last slots** for streams used as the first argument of a
+///    last, and dense **delay slots** for delay streams — each referencing
+///    step carries its slot index directly (no per-event search);
+///  * a pre-resolved **opcode** merging the stream operator with its
+///    builtin's event semantics, and for lift steps a pre-resolved
+///    **function pointer** for the (BuiltinId, InPlace) combination — the
+///    interpreter executes one flat dispatch per step instead of nested
+///    switches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_PROGRAM_PROGRAM_H
+#define TESSLA_PROGRAM_PROGRAM_H
+
+#include "tessla/Analysis/Pipeline.h"
+#include "tessla/Runtime/BuiltinImpls.h"
+#include "tessla/Runtime/Value.h"
+
+namespace tessla {
+
+/// Engine state index. Slots are dense: 0..numValueSlots()-1 address the
+/// current-timestamp value of one stream each; nil streams (which never
+/// carry events) all map to the dead slot numValueSlots(), which no step
+/// ever writes.
+using SlotId = uint16_t;
+
+/// Pre-resolved dispatch opcode of one program step: StreamKind and (for
+/// lifts) EventSemantics folded into one flat enum so the interpreter's
+/// per-step dispatch is a single switch.
+enum class Opcode : uint8_t {
+  Skip,          // Input (buffered by feed()) and Nil — no calculation
+  Const,         // Const/Unit: one event at timestamp 0
+  Time,          // time(s): s' timestamp as value
+  Last,          // last(v, r): last-slot value when r fires
+  Delay,         // delay(d, r): fire when the armed timer matches
+  LiftAll,       // lift, EventSemantics::All — Impl over all arguments
+  LiftMerge,     // lift, EventSemantics::Any — first present wins
+  LiftFirstRest, // lift, EventSemantics::FirstAndAnyRest — Impl
+  LiftFilter,    // lift, EventSemantics::Custom — pass iff condition
+};
+
+/// One lowered statement of the calculation section.
+struct ProgramStep {
+  Opcode Op = Opcode::Skip;
+  /// Original operator (pretty-printing and code generation).
+  StreamKind Kind = StreamKind::Nil;
+  BuiltinId Fn = BuiltinId::Merge; // Lift only
+  /// True when this stream's aggregate family is mutable: aggregate
+  /// updates run destructively and fresh aggregates use the mutable
+  /// representation.
+  bool InPlace = false;
+  uint8_t NumArgs = 0;
+  /// Destination value slot.
+  SlotId Dst = 0;
+  /// Value slots of Args (gathered without a StreamId indirection).
+  SlotId ArgSlot[3] = {0, 0, 0};
+  /// Last steps: dense last-slot index of Args[0]. Delay steps: dense
+  /// delay index into Program::delays(). Unused otherwise.
+  SlotId Aux = 0;
+  /// Pre-resolved evaluator for LiftAll/LiftFirstRest steps; null for
+  /// every other opcode (merge/filter never reach an evaluator).
+  BuiltinFn Impl = nullptr;
+  /// The defined stream (diagnostics, printing, code generation).
+  StreamId Id = 0;
+  /// Stream-level operands (code generation, printing).
+  std::vector<StreamId> Args;
+  Value ConstVal; // Const steps (also Unit's payload)
+};
+
+/// One *_last slot: the most recent value of Source, updated at the end
+/// of every timestamp where Source fired.
+struct LastSlot {
+  StreamId Source;
+  SlotId ValueSlot; // Source's value slot
+};
+
+/// One delay stream with pre-resolved operand slots.
+struct DelaySlot {
+  StreamId Id;
+  StreamId DelaysArg;
+  StreamId ResetArg;
+  SlotId ValueSlot;  // the delay stream's own value slot
+  SlotId DelaysSlot; // value slot of the delays argument
+  SlotId ResetSlot;  // value slot of the reset argument
+};
+
+/// One output-marked stream.
+struct OutputSlot {
+  StreamId Id;
+  SlotId ValueSlot;
+};
+
+/// The lowered program; shares ownership of the spec with the analysis
+/// result. Compile once, execute from any backend.
+class Program {
+public:
+  /// Lowers \p Analysis' spec using its translation order and mutability
+  /// set. Pass a baseline AnalysisResult (Optimize=false) for the paper's
+  /// all-persistent reference program.
+  static Program compile(const AnalysisResult &Analysis);
+
+  const Spec &spec() const { return *S; }
+  const std::vector<ProgramStep> &steps() const { return Steps; }
+  /// Dense *_last slots (streams used as first argument of some last).
+  const std::vector<LastSlot> &lastSlots() const { return LastSlots; }
+  const std::vector<DelaySlot> &delays() const { return Delays; }
+  const std::vector<OutputSlot> &outputs() const { return Outputs; }
+
+  uint32_t numStreams() const { return S->numStreams(); }
+  /// Number of live value slots. Engines must size their state to
+  /// numValueSlots() + 1: the extra entry is the shared dead slot of nil
+  /// streams, which stays never-present forever.
+  SlotId numValueSlots() const { return NumValueSlots; }
+  /// The value slot of \p Id (the dead slot numValueSlots() for nil).
+  SlotId valueSlot(StreamId Id) const { return ValueSlots[Id]; }
+  /// Whether \p Id's aggregate family is implemented destructively.
+  bool isMutable(StreamId Id) const { return Mutable[Id]; }
+
+  /// Number of steps executing destructive aggregate updates (stats).
+  uint32_t inPlaceStepCount() const;
+
+  /// Renders the lowered program, one step per line with its slot
+  /// assignment and in-place markers, followed by the last/delay/output
+  /// slot tables — the single human-readable form of what both backends
+  /// execute.
+  std::string str() const;
+
+private:
+  std::shared_ptr<const Spec> S;
+  std::vector<ProgramStep> Steps;
+  std::vector<LastSlot> LastSlots;
+  std::vector<DelaySlot> Delays;
+  std::vector<OutputSlot> Outputs;
+  std::vector<SlotId> ValueSlots; // indexed by StreamId
+  std::vector<bool> Mutable;      // indexed by StreamId
+  SlotId NumValueSlots = 0;
+};
+
+} // namespace tessla
+
+#endif // TESSLA_PROGRAM_PROGRAM_H

@@ -39,11 +39,21 @@ struct EvalError {
   }
 };
 
-/// Applies builtin \p Fn to \p Args (array of \p NumArgs pointers;
-/// entries may be null only for builtins with optional presence, i.e.
-/// EventSemantics::FirstAndAnyRest). \p InPlace selects the destructive
-/// mode for aggregate updates and the representation of freshly created
-/// aggregates. On error, sets \p Err and returns unit.
+/// Uniform evaluator signature shared by every builtin: \p Args holds the
+/// argument pointers (entries may be null only for builtins with optional
+/// presence, i.e. EventSemantics::FirstAndAnyRest); \p InPlace selects the
+/// destructive mode for aggregate updates and the representation of
+/// freshly created aggregates. On error, sets \p Err and returns unit.
+using BuiltinFn = Value (*)(const Value *const *Args, bool InPlace,
+                            EvalError &Err);
+
+/// Returns the evaluator for \p Fn — the compile-time half of the
+/// interpreter's dispatch. Program::compile resolves every lift step to
+/// its function pointer once, so the per-event hot path never switches
+/// over BuiltinId.
+BuiltinFn builtinImpl(BuiltinId Fn);
+
+/// One-shot convenience wrapper: builtinImpl(Fn)(Args, InPlace, Err).
 Value applyBuiltin(BuiltinId Fn, const Value *const *Args, unsigned NumArgs,
                    bool InPlace, EvalError &Err);
 

@@ -5,14 +5,18 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Executes a compiled MonitorPlan: the calculation section runs the plan
+/// Executes a lowered Program: the calculation section runs the program
 /// steps in translation order for one timestamp; the triggering section
 /// (§III-B) drives it — once per timestamp with buffered input events,
 /// plus once per firing delay in the gaps between input timestamps.
 ///
+/// The engine is deliberately thin: every step carries its pre-resolved
+/// opcode, argument slots and builtin function pointer, so the per-event
+/// work is one flat dispatch per step over dense slot arrays.
+///
 /// Usage:
 /// \code
-///   Monitor M(Plan);
+///   Monitor M(Prog);
 ///   M.setOutputHandler([](Time T, StreamId Id, const Value &V) { ... });
 ///   M.feed(InputId, 3, Value::integer(7));   // time-ordered
 ///   M.feed(InputId, 5, Value::integer(9));
@@ -24,8 +28,7 @@
 #ifndef TESSLA_RUNTIME_MONITOR_H
 #define TESSLA_RUNTIME_MONITOR_H
 
-#include "tessla/Runtime/BuiltinImpls.h"
-#include "tessla/Runtime/MonitorPlan.h"
+#include "tessla/Program/Program.h"
 
 #include <functional>
 #include <optional>
@@ -45,7 +48,7 @@ public:
   using OutputHandler =
       std::function<void(Time, StreamId, const Value &)>;
 
-  explicit Monitor(const MonitorPlan &Plan);
+  explicit Monitor(const Program &Prog);
 
   /// Called for every event on an output-marked stream; emission happens
   /// once per timestamp after the calculation section, in stream
@@ -78,20 +81,22 @@ public:
   uint64_t outputEvents() const { return NumOutputs; }
 
 private:
-  const MonitorPlan &Plan;
+  const Program &Prog;
   OutputHandler Handler;
   EvalError Err;
 
-  // Current-timestamp value slots (the paper's per-stream variables).
+  // Current-timestamp value slots (the paper's per-stream variables),
+  // indexed by the program's dense SlotId; the trailing entry is the
+  // never-present dead slot shared by nil streams.
   std::vector<Value> Cur;
   std::vector<char> Present;
-  std::vector<StreamId> Touched;
+  std::vector<SlotId> Touched;
 
-  // *_last slots for streams used as first argument of a last.
+  // *_last slots, indexed like Program::lastSlots().
   std::vector<Value> LastVal;
   std::vector<char> LastInit;
 
-  // *_nextTs slots per delay (indexed like Plan.delays()).
+  // *_nextTs slots per delay (indexed like Program::delays()).
   std::vector<Time> NextTs;
   std::vector<char> NextTsSet;
 
@@ -102,7 +107,7 @@ private:
   uint64_t NumCalcRuns = 0;
   uint64_t NumOutputs = 0;
 
-  void setValue(StreamId Id, Value V);
+  void setValue(SlotId Slot, Value V);
   void runCalc(Time Ts);
   /// Runs the pending timestamp's calculation and all delay firings
   /// strictly before \p T.
@@ -112,9 +117,9 @@ private:
 };
 
 /// Runs \p Events (already time-ordered) through a fresh monitor over
-/// \p Plan, collecting outputs. Convenience for tests and benchmarks.
+/// \p Prog, collecting outputs. Convenience for tests and benchmarks.
 std::vector<OutputEvent>
-runMonitor(const MonitorPlan &Plan,
+runMonitor(const Program &Prog,
            const std::vector<std::tuple<StreamId, Time, Value>> &Events,
            std::optional<Time> Horizon = std::nullopt,
            std::string *ErrorOut = nullptr);

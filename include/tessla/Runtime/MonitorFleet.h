@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A multi-session monitor runtime: one MonitorPlan served to many
+/// A multi-session monitor runtime: one Program served to many
 /// concurrent trace sessions across N worker shards. Each session id is
 /// pinned to a shard (hash(session) % shards) and runs its own
 /// independent Monitor, so everything the single-session engine relies
@@ -24,7 +24,7 @@
 ///
 /// Usage:
 /// \code
-///   MonitorFleet Fleet(Plan, {.Shards = 4});
+///   MonitorFleet Fleet(Prog, {.Shards = 4});
 ///   Fleet.feed(SessionA, InputId, 3, Value::integer(7));
 ///   Fleet.feed(SessionB, InputId, 1, Value::integer(9));
 ///   Fleet.finish();
@@ -114,7 +114,7 @@ struct SessionError {
 /// threading contract.
 class MonitorFleet {
 public:
-  MonitorFleet(const MonitorPlan &Plan, FleetOptions Opts = FleetOptions());
+  MonitorFleet(const Program &Prog, FleetOptions Opts = FleetOptions());
   ~MonitorFleet();
 
   MonitorFleet(const MonitorFleet &) = delete;
@@ -156,7 +156,7 @@ public:
 private:
   struct Shard;
 
-  const MonitorPlan &Plan;
+  const Program &Prog;
   FleetOptions Opts;
   std::vector<std::unique_ptr<Shard>> Workers;
   FleetStats Stats;

@@ -14,18 +14,18 @@ using namespace tessla;
 
 namespace {
 
-/// Stateful emitter for one specification.
+/// Stateful emitter for one lowered program.
 class Emitter {
 public:
-  Emitter(const Spec &S, const AnalysisResult &Analysis,
-          const CppEmitterOptions &Opts, DiagnosticEngine &Diags)
-      : S(S), Analysis(Analysis), Opts(Opts), Diags(Diags) {}
+  Emitter(const Program &P, const CppEmitterOptions &Opts,
+          DiagnosticEngine &Diags)
+      : P(P), S(P.spec()), Opts(Opts), Diags(Diags) {}
 
   std::optional<std::string> run();
 
 private:
+  const Program &P;
   const Spec &S;
-  const AnalysisResult &Analysis;
   const CppEmitterOptions &Opts;
   DiagnosticEngine &Diags;
   std::string Out;
@@ -42,7 +42,7 @@ private:
     Failed = true;
   }
 
-  bool isMut(StreamId Id) const { return Analysis.isMutable(Id); }
+  bool isMut(StreamId Id) const { return P.isMutable(Id); }
   std::string var(StreamId Id) const { return "v_" + S.stream(Id).Name; }
   std::string has(StreamId Id) const { return var(Id) + "_has"; }
 
@@ -214,7 +214,7 @@ void Emitter::emitHeader() {
   line("// Mutable aggregate streams:");
   std::string Muts;
   for (StreamId Id = 0; Id != S.numStreams(); ++Id)
-    if (Analysis.isMutable(Id))
+    if (P.isMutable(Id))
       Muts += " " + S.stream(Id).Name;
   line("//  " + (Muts.empty() ? " (none)" : Muts));
   line();
@@ -237,38 +237,24 @@ void Emitter::emitVariables() {
     line("  " + cppType(Id) + " " + var(Id) + "{};");
   }
   line();
-  // *_last slots.
-  std::vector<bool> NeedsLast(S.numStreams(), false);
-  for (StreamId Id = 0; Id != S.numStreams(); ++Id)
-    if (S.stream(Id).Kind == StreamKind::Last)
-      NeedsLast[S.stream(Id).Args[0]] = true;
-  bool AnyLast = false;
-  for (StreamId Id = 0; Id != S.numStreams(); ++Id) {
-    if (!NeedsLast[Id])
-      continue;
-    if (!AnyLast) {
-      line("  // *_last slots (value of the most recent event).");
-      AnyLast = true;
+  // *_last slots, straight from the program's slot table.
+  if (!P.lastSlots().empty()) {
+    line("  // *_last slots (value of the most recent event).");
+    for (const LastSlot &L : P.lastSlots()) {
+      line("  bool " + var(L.Source) + "_last_init = false;");
+      line("  " + cppType(L.Source) + " " + var(L.Source) + "_last{};");
     }
-    line("  bool " + var(Id) + "_last_init = false;");
-    line("  " + cppType(Id) + " " + var(Id) + "_last{};");
-  }
-  if (AnyLast)
     line();
-  // *_nextTs slots.
-  bool AnyDelay = false;
-  for (StreamId Id = 0; Id != S.numStreams(); ++Id) {
-    if (S.stream(Id).Kind != StreamKind::Delay)
-      continue;
-    if (!AnyDelay) {
-      line("  // *_nextTs slots (next potential delay event).");
-      AnyDelay = true;
+  }
+  // *_nextTs slots, one per program delay slot.
+  if (!P.delays().empty()) {
+    line("  // *_nextTs slots (next potential delay event).");
+    for (const DelaySlot &D : P.delays()) {
+      line("  bool " + var(D.Id) + "_nextTs_set = false;");
+      line("  int64_t " + var(D.Id) + "_nextTs = 0;");
     }
-    line("  bool " + var(Id) + "_nextTs_set = false;");
-    line("  int64_t " + var(Id) + "_nextTs = 0;");
-  }
-  if (AnyDelay)
     line();
+  }
 }
 
 void Emitter::emitFeeds() {
@@ -295,12 +281,11 @@ void Emitter::emitTriggering() {
   line("  // --- Triggering section (paper, section III-B). ---");
   line("  int64_t minNextDelay() const {");
   line("    int64_t Min = std::numeric_limits<int64_t>::max();");
-  for (StreamId Id = 0; Id != S.numStreams(); ++Id)
-    if (S.stream(Id).Kind == StreamKind::Delay) {
-      line("    if (" + var(Id) + "_nextTs_set && " + var(Id) +
-           "_nextTs < Min)");
-      line("      Min = " + var(Id) + "_nextTs;");
-    }
+  for (const DelaySlot &D : P.delays()) {
+    line("    if (" + var(D.Id) + "_nextTs_set && " + var(D.Id) +
+         "_nextTs < Min)");
+    line("      Min = " + var(D.Id) + "_nextTs;");
+  }
   line("    return Min;");
   line("  }");
   line();
@@ -558,9 +543,10 @@ void Emitter::emitLiftBody(const StreamDef &D, StreamId Id) {
 
 void Emitter::emitCalc() {
   line("  // --- Calculation section (paper, section III-A), in the");
-  line("  // analysis' translation order. ---");
+  line("  // program's step order. ---");
   line("  void calc(int64_t ts) {");
-  for (StreamId Id : Analysis.order()) {
+  for (const ProgramStep &Step : P.steps()) {
+    StreamId Id = Step.Id;
     const StreamDef &D = S.stream(Id);
     std::string Name = D.Name;
     switch (D.Kind) {
@@ -656,46 +642,35 @@ void Emitter::emitCalc() {
 
   line();
   line("    // --- Emit outputs. ---");
-  for (StreamId Id : S.outputs()) {
-    line("    if (" + has(Id) + " && Out)");
-    line("      Out(ts, \"" + S.stream(Id).Name + "\", tessla::cgen::str(" +
-         var(Id) + "));");
+  for (const OutputSlot &O : P.outputs()) {
+    line("    if (" + has(O.Id) + " && Out)");
+    line("      Out(ts, \"" + S.stream(O.Id).Name +
+         "\", tessla::cgen::str(" + var(O.Id) + "));");
   }
 
   line();
   line("    // --- Update *_last slots. ---");
-  std::vector<bool> NeedsLast(S.numStreams(), false);
-  for (StreamId Id = 0; Id != S.numStreams(); ++Id)
-    if (S.stream(Id).Kind == StreamKind::Last)
-      NeedsLast[S.stream(Id).Args[0]] = true;
-  for (StreamId Id = 0; Id != S.numStreams(); ++Id) {
-    if (!NeedsLast[Id])
-      continue;
-    line("    if (" + has(Id) + ") {");
-    line("      " + var(Id) + "_last = " + var(Id) + ";");
-    line("      " + var(Id) + "_last_init = true;");
+  for (const LastSlot &L : P.lastSlots()) {
+    line("    if (" + has(L.Source) + ") {");
+    line("      " + var(L.Source) + "_last = " + var(L.Source) + ";");
+    line("      " + var(L.Source) + "_last_init = true;");
     line("    }");
   }
 
-  bool AnyDelay = false;
-  for (StreamId Id = 0; Id != S.numStreams(); ++Id)
-    AnyDelay |= S.stream(Id).Kind == StreamKind::Delay;
-  if (AnyDelay) {
+  if (!P.delays().empty()) {
     line();
     line("    // --- Delay scheduling. ---");
-    for (StreamId Id = 0; Id != S.numStreams(); ++Id) {
-      const StreamDef &D = S.stream(Id);
-      if (D.Kind != StreamKind::Delay)
-        continue;
-      line("    if (" + has(D.Args[1]) + " || " + has(Id) + ") {");
-      line("      if (" + has(D.Args[0]) + ") {");
-      line("        if (" + var(D.Args[0]) + " <= 0)");
+    for (const DelaySlot &D : P.delays()) {
+      line("    if (" + has(D.ResetArg) + " || " + has(D.Id) + ") {");
+      line("      if (" + has(D.DelaysArg) + ") {");
+      line("        if (" + var(D.DelaysArg) + " <= 0)");
       line("          tessla::cgen::fail(\"delay amounts must be "
            "positive\");");
-      line("        " + var(Id) + "_nextTs = ts + " + var(D.Args[0]) + ";");
-      line("        " + var(Id) + "_nextTs_set = true;");
+      line("        " + var(D.Id) + "_nextTs = ts + " + var(D.DelaysArg) +
+           ";");
+      line("        " + var(D.Id) + "_nextTs_set = true;");
       line("      } else {");
-      line("        " + var(Id) + "_nextTs_set = false;");
+      line("        " + var(D.Id) + "_nextTs_set = false;");
       line("      }");
       line("    }");
     }
@@ -812,8 +787,7 @@ void Emitter::emitBenchMain() {
 } // namespace
 
 std::optional<std::string>
-tessla::emitCppMonitor(const Spec &S, const AnalysisResult &Analysis,
-                       const CppEmitterOptions &Opts,
+tessla::emitCppMonitor(const Program &P, const CppEmitterOptions &Opts,
                        DiagnosticEngine &Diags) {
-  return Emitter(S, Analysis, Opts, Diags).run();
+  return Emitter(P, Opts, Diags).run();
 }

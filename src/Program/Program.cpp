@@ -1,0 +1,216 @@
+//===- Program/Program.cpp --------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Program/Program.h"
+
+#include "tessla/Support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+using namespace tessla;
+
+Program Program::compile(const AnalysisResult &Analysis) {
+  Program P;
+  P.S = Analysis.sharedSpec();
+  const Spec &S = *P.S;
+
+  const MutabilityResult &Mut = Analysis.mutability();
+  assert(Mut.Order.size() == S.numStreams() &&
+         "analysis order must cover all streams");
+  assert(S.numStreams() <
+             std::numeric_limits<SlotId>::max() &&
+         "slot ids are 16-bit");
+  P.Mutable.assign(Mut.Mutable.begin(), Mut.Mutable.end());
+
+  // --- Dense value slots: every event-carrying stream gets one; all nil
+  // streams share the dead slot NumValueSlots, which no step writes. ---
+  P.ValueSlots.assign(S.numStreams(), 0);
+  SlotId Next = 0;
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id)
+    if (S.stream(Id).Kind != StreamKind::Nil)
+      P.ValueSlots[Id] = Next++;
+  P.NumValueSlots = Next;
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id)
+    if (S.stream(Id).Kind == StreamKind::Nil)
+      P.ValueSlots[Id] = P.NumValueSlots;
+
+  // --- Dense last/delay slots and outputs, in definition order. ---
+  std::vector<SlotId> LastIndex(S.numStreams(), 0);
+  std::vector<SlotId> DelayIndex(S.numStreams(), 0);
+  std::vector<bool> NeedsLast(S.numStreams(), false);
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id) {
+    const StreamDef &D = S.stream(Id);
+    if (D.Kind == StreamKind::Last)
+      NeedsLast[D.Args[0]] = true;
+    if (D.Kind == StreamKind::Delay) {
+      DelayIndex[Id] = static_cast<SlotId>(P.Delays.size());
+      P.Delays.push_back({Id, D.Args[0], D.Args[1], P.ValueSlots[Id],
+                          P.ValueSlots[D.Args[0]],
+                          P.ValueSlots[D.Args[1]]});
+    }
+    if (D.IsOutput)
+      P.Outputs.push_back({Id, P.ValueSlots[Id]});
+  }
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id)
+    if (NeedsLast[Id]) {
+      LastIndex[Id] = static_cast<SlotId>(P.LastSlots.size());
+      P.LastSlots.push_back({Id, P.ValueSlots[Id]});
+    }
+
+  // --- Lowered steps in translation order, with dispatch pre-resolved. ---
+  for (StreamId Id : Mut.Order) {
+    const StreamDef &D = S.stream(Id);
+    ProgramStep Step;
+    Step.Id = Id;
+    Step.Kind = D.Kind;
+    Step.Args = D.Args;
+    Step.InPlace = Mut.Mutable[Id];
+    Step.Dst = P.ValueSlots[Id];
+    assert(D.Args.size() <= 3 && "builtin arity is at most 3");
+    Step.NumArgs = static_cast<uint8_t>(D.Args.size());
+    for (unsigned I = 0; I != Step.NumArgs; ++I)
+      Step.ArgSlot[I] = P.ValueSlots[D.Args[I]];
+    switch (D.Kind) {
+    case StreamKind::Input:
+    case StreamKind::Nil:
+      Step.Op = Opcode::Skip;
+      break;
+    case StreamKind::Unit:
+      Step.Op = Opcode::Const;
+      Step.ConstVal = Value::unit();
+      break;
+    case StreamKind::Const:
+      Step.Op = Opcode::Const;
+      Step.ConstVal = Value::fromLiteral(D.Literal);
+      break;
+    case StreamKind::Time:
+      Step.Op = Opcode::Time;
+      break;
+    case StreamKind::Last:
+      Step.Op = Opcode::Last;
+      Step.Aux = LastIndex[D.Args[0]];
+      break;
+    case StreamKind::Delay:
+      Step.Op = Opcode::Delay;
+      Step.Aux = DelayIndex[Id];
+      break;
+    case StreamKind::Lift:
+      Step.Fn = D.Fn;
+      switch (builtinInfo(D.Fn).Events) {
+      case EventSemantics::All:
+        Step.Op = Opcode::LiftAll;
+        Step.Impl = builtinImpl(D.Fn);
+        break;
+      case EventSemantics::Any:
+        Step.Op = Opcode::LiftMerge;
+        break;
+      case EventSemantics::FirstAndAnyRest:
+        Step.Op = Opcode::LiftFirstRest;
+        Step.Impl = builtinImpl(D.Fn);
+        break;
+      case EventSemantics::Custom:
+        Step.Op = Opcode::LiftFilter;
+        break;
+      }
+      break;
+    }
+    P.Steps.push_back(std::move(Step));
+  }
+  return P;
+}
+
+std::string Program::str() const {
+  std::string Out;
+  unsigned Index = 0;
+  for (const ProgramStep &Step : Steps) {
+    const StreamDef &D = S->stream(Step.Id);
+    std::string Kind;
+    switch (Step.Kind) {
+    case StreamKind::Input:
+      Kind = "input";
+      break;
+    case StreamKind::Nil:
+      Kind = "nil";
+      break;
+    case StreamKind::Unit:
+      Kind = "unit";
+      break;
+    case StreamKind::Const:
+      Kind = "const " + D.Literal.str();
+      break;
+    case StreamKind::Time:
+      Kind = "time(" + S->stream(Step.Args[0]).Name + ")";
+      break;
+    case StreamKind::Lift: {
+      std::vector<std::string> Args;
+      for (StreamId A : Step.Args)
+        Args.push_back(S->stream(A).Name);
+      Kind = std::string(builtinInfo(Step.Fn).Name) + "(" +
+             [&Args] {
+               std::string Joined;
+               for (size_t I = 0; I != Args.size(); ++I)
+                 Joined += (I ? ", " : "") + Args[I];
+               return Joined;
+             }() +
+             ")";
+      break;
+    }
+    case StreamKind::Last:
+      Kind = "last(" + S->stream(Step.Args[0]).Name + ", " +
+             S->stream(Step.Args[1]).Name + ")";
+      break;
+    case StreamKind::Delay:
+      Kind = "delay(" + S->stream(Step.Args[0]).Name + ", " +
+             S->stream(Step.Args[1]).Name + ")";
+      break;
+    }
+    Out += std::to_string(Index++) + ": " + D.Name + " = " + Kind;
+    if (Step.InPlace && Step.Kind == StreamKind::Lift)
+      Out += "   [in-place]";
+    if (Step.Kind != StreamKind::Nil)
+      Out += "   @" + std::to_string(Step.Dst);
+    if (Step.Kind == StreamKind::Last)
+      Out += " last[" + std::to_string(Step.Aux) + "]";
+    if (Step.Kind == StreamKind::Delay)
+      Out += " delay[" + std::to_string(Step.Aux) + "]";
+    Out += '\n';
+  }
+
+  Out += formatString("slots: value=%u last=%zu delay=%zu\n",
+                      static_cast<unsigned>(NumValueSlots),
+                      LastSlots.size(), Delays.size());
+  for (size_t I = 0; I != LastSlots.size(); ++I)
+    Out += "last[" + std::to_string(I) + "]: " +
+           S->stream(LastSlots[I].Source).Name + " @" +
+           std::to_string(LastSlots[I].ValueSlot) + "\n";
+  for (size_t I = 0; I != Delays.size(); ++I) {
+    const DelaySlot &D = Delays[I];
+    Out += "delay[" + std::to_string(I) + "]: " + S->stream(D.Id).Name +
+           " @" + std::to_string(D.ValueSlot) + " delays=" +
+           S->stream(D.DelaysArg).Name + "@" +
+           std::to_string(D.DelaysSlot) + " reset=" +
+           S->stream(D.ResetArg).Name + "@" +
+           std::to_string(D.ResetSlot) + "\n";
+  }
+  if (!Outputs.empty()) {
+    Out += "outputs:";
+    for (const OutputSlot &O : Outputs)
+      Out += " " + S->stream(O.Id).Name + "@" +
+             std::to_string(O.ValueSlot);
+    Out += '\n';
+  }
+  return Out;
+}
+
+uint32_t Program::inPlaceStepCount() const {
+  uint32_t Count = 0;
+  for (const ProgramStep &Step : Steps)
+    if (Step.InPlace && Step.Kind == StreamKind::Lift)
+      ++Count;
+  return Count;
+}

@@ -156,203 +156,365 @@ Value queueTrimmed(const Value &Q, int64_t Bound, bool InPlace) {
   return Value::queue(std::move(Fresh));
 }
 
+// --- Per-builtin evaluators ----------------------------------------------
+//
+// One function per builtin, all with the uniform BuiltinFn signature, so
+// Program::compile can resolve a lift step to a direct function pointer
+// once and the per-event hot path never dispatches over BuiltinId.
+
+/// Shorthand for the required-argument access inside an evaluator.
+#define TESSLA_ARG(I) (*Args[I])
+
+template <BuiltinId Fn>
+Value evalArith(const Value *const *Args, bool, EvalError &Err) {
+  // `arith`'s inner switch over Fn constant-folds per instantiation.
+  return arith(Fn, TESSLA_ARG(0), TESSLA_ARG(1), Err);
+}
+
+Value evalMerge(const Value *const *Args, bool, EvalError &) {
+  return TESSLA_ARG(0); // engine already selected the winning argument
+}
+
+Value evalIte(const Value *const *Args, bool, EvalError &Err) {
+  return expectBool(TESSLA_ARG(0), Err).getBool() ? TESSLA_ARG(1)
+                                                  : TESSLA_ARG(2);
+}
+
+Value evalFilter(const Value *const *Args, bool, EvalError &) {
+  return TESSLA_ARG(0); // engine checked the condition
+}
+
+Value evalNeg(const Value *const *Args, bool, EvalError &Err) {
+  if (TESSLA_ARG(0).kind() == Value::Kind::Int)
+    return Value::integer(-TESSLA_ARG(0).getInt());
+  if (TESSLA_ARG(0).kind() == Value::Kind::Float)
+    return Value::floating(-TESSLA_ARG(0).getFloat());
+  Err.fail("neg on non-numeric value");
+  return Value::unit();
+}
+
+Value evalAbs(const Value *const *Args, bool, EvalError &Err) {
+  if (TESSLA_ARG(0).kind() == Value::Kind::Int)
+    return Value::integer(std::abs(TESSLA_ARG(0).getInt()));
+  if (TESSLA_ARG(0).kind() == Value::Kind::Float)
+    return Value::floating(std::fabs(TESSLA_ARG(0).getFloat()));
+  Err.fail("abs on non-numeric value");
+  return Value::unit();
+}
+
+Value evalEq(const Value *const *Args, bool, EvalError &) {
+  return Value::boolean(TESSLA_ARG(0) == TESSLA_ARG(1));
+}
+
+Value evalNeq(const Value *const *Args, bool, EvalError &) {
+  return Value::boolean(!(TESSLA_ARG(0) == TESSLA_ARG(1)));
+}
+
+Value evalLt(const Value *const *Args, bool, EvalError &) {
+  return Value::boolean(compareValues(TESSLA_ARG(0), TESSLA_ARG(1)) < 0);
+}
+
+Value evalLeq(const Value *const *Args, bool, EvalError &) {
+  return Value::boolean(compareValues(TESSLA_ARG(0), TESSLA_ARG(1)) <= 0);
+}
+
+Value evalGt(const Value *const *Args, bool, EvalError &) {
+  return Value::boolean(compareValues(TESSLA_ARG(0), TESSLA_ARG(1)) > 0);
+}
+
+Value evalGeq(const Value *const *Args, bool, EvalError &) {
+  return Value::boolean(compareValues(TESSLA_ARG(0), TESSLA_ARG(1)) >= 0);
+}
+
+Value evalLAnd(const Value *const *Args, bool, EvalError &Err) {
+  return Value::boolean(expectBool(TESSLA_ARG(0), Err).getBool() &&
+                        expectBool(TESSLA_ARG(1), Err).getBool());
+}
+
+Value evalLOr(const Value *const *Args, bool, EvalError &Err) {
+  return Value::boolean(expectBool(TESSLA_ARG(0), Err).getBool() ||
+                        expectBool(TESSLA_ARG(1), Err).getBool());
+}
+
+Value evalLNot(const Value *const *Args, bool, EvalError &Err) {
+  return Value::boolean(!expectBool(TESSLA_ARG(0), Err).getBool());
+}
+
+Value evalToFloat(const Value *const *Args, bool, EvalError &) {
+  return Value::floating(static_cast<double>(TESSLA_ARG(0).getInt()));
+}
+
+Value evalToInt(const Value *const *Args, bool, EvalError &) {
+  return Value::integer(static_cast<int64_t>(TESSLA_ARG(0).getFloat()));
+}
+
+Value evalSetEmpty(const Value *const *, bool InPlace, EvalError &) {
+  return Value::set(makeSetData(InPlace));
+}
+
+Value evalSetAdd(const Value *const *Args, bool InPlace, EvalError &) {
+  return setWithInsert(TESSLA_ARG(0), TESSLA_ARG(1), InPlace);
+}
+
+Value evalSetRemove(const Value *const *Args, bool InPlace, EvalError &) {
+  return setWithErase(TESSLA_ARG(0), TESSLA_ARG(1), InPlace);
+}
+
+Value evalSetToggle(const Value *const *Args, bool InPlace, EvalError &) {
+  return TESSLA_ARG(0).getSet()->contains(TESSLA_ARG(1))
+             ? setWithErase(TESSLA_ARG(0), TESSLA_ARG(1), InPlace)
+             : setWithInsert(TESSLA_ARG(0), TESSLA_ARG(1), InPlace);
+}
+
+Value evalSetUpdate(const Value *const *Args, bool InPlace, EvalError &) {
+  // Optional presence: Args[1] = value to add, Args[2] = value to
+  // remove; at least one is present (engine enforced).
+  Value Result = TESSLA_ARG(0);
+  if (Args[1])
+    Result = setWithInsert(Result, *Args[1], InPlace);
+  if (Args[2])
+    Result = setWithErase(Result, *Args[2], InPlace);
+  return Result;
+}
+
+Value evalSetUnion(const Value *const *Args, bool InPlace, EvalError &) {
+  // Writes Args[0], reads Args[1]; the reader side is
+  // representation-agnostic.
+  if (InPlace) {
+    const Value &Dst = TESSLA_ARG(0);
+    // items() materializes a copy, so even a (degenerate) self-union
+    // does not iterate a container being modified.
+    for (const Value &V : TESSLA_ARG(1).getSet()->items())
+      Dst.getSet()->Mutable.insert(V);
+    return Dst;
+  }
+  auto Fresh = makeSetData(false);
+  Fresh->Persistent = TESSLA_ARG(0).getSet()->Persistent;
+  for (const Value &V : TESSLA_ARG(1).getSet()->items())
+    Fresh->Persistent = Fresh->Persistent.insert(V);
+  return Value::set(std::move(Fresh));
+}
+
+Value evalSetDiff(const Value *const *Args, bool InPlace, EvalError &) {
+  if (InPlace) {
+    const Value &Dst = TESSLA_ARG(0);
+    for (const Value &V : TESSLA_ARG(1).getSet()->items())
+      Dst.getSet()->Mutable.erase(V);
+    return Dst;
+  }
+  auto Fresh = makeSetData(false);
+  Fresh->Persistent = TESSLA_ARG(0).getSet()->Persistent;
+  for (const Value &V : TESSLA_ARG(1).getSet()->items())
+    Fresh->Persistent = Fresh->Persistent.erase(V);
+  return Value::set(std::move(Fresh));
+}
+
+Value evalSetContains(const Value *const *Args, bool, EvalError &) {
+  return Value::boolean(TESSLA_ARG(0).getSet()->contains(TESSLA_ARG(1)));
+}
+
+Value evalSetSize(const Value *const *Args, bool, EvalError &) {
+  return Value::integer(
+      static_cast<int64_t>(TESSLA_ARG(0).getSet()->size()));
+}
+
+Value evalMapEmpty(const Value *const *, bool InPlace, EvalError &) {
+  return Value::map(makeMapData(InPlace));
+}
+
+Value evalMapPut(const Value *const *Args, bool InPlace, EvalError &) {
+  const Value &M = TESSLA_ARG(0);
+  if (InPlace) {
+    M.getMap()->Mutable[TESSLA_ARG(1)] = TESSLA_ARG(2);
+    return M;
+  }
+  auto Fresh = makeMapData(false);
+  Fresh->Persistent =
+      M.getMap()->Persistent.set(TESSLA_ARG(1), TESSLA_ARG(2));
+  return Value::map(std::move(Fresh));
+}
+
+Value evalMapRemove(const Value *const *Args, bool InPlace, EvalError &) {
+  const Value &M = TESSLA_ARG(0);
+  if (InPlace) {
+    M.getMap()->Mutable.erase(TESSLA_ARG(1));
+    return M;
+  }
+  auto Fresh = makeMapData(false);
+  Fresh->Persistent = M.getMap()->Persistent.erase(TESSLA_ARG(1));
+  return Value::map(std::move(Fresh));
+}
+
+Value evalMapGet(const Value *const *Args, bool, EvalError &Err) {
+  const Value *Found = TESSLA_ARG(0).getMap()->find(TESSLA_ARG(1));
+  if (!Found) {
+    Err.fail("mapGet: key " + TESSLA_ARG(1).str() + " not present");
+    return Value::unit();
+  }
+  return *Found;
+}
+
+Value evalMapGetOrElse(const Value *const *Args, bool, EvalError &) {
+  const Value *Found = TESSLA_ARG(0).getMap()->find(TESSLA_ARG(1));
+  return Found ? *Found : TESSLA_ARG(2);
+}
+
+Value evalMapContains(const Value *const *Args, bool, EvalError &) {
+  return Value::boolean(TESSLA_ARG(0).getMap()->find(TESSLA_ARG(1)) !=
+                        nullptr);
+}
+
+Value evalMapSize(const Value *const *Args, bool, EvalError &) {
+  return Value::integer(
+      static_cast<int64_t>(TESSLA_ARG(0).getMap()->size()));
+}
+
+Value evalQueueEmpty(const Value *const *, bool InPlace, EvalError &) {
+  return Value::queue(makeQueueData(InPlace));
+}
+
+Value evalQueueEnq(const Value *const *Args, bool InPlace, EvalError &) {
+  return queueWithEnq(TESSLA_ARG(0), TESSLA_ARG(1), InPlace);
+}
+
+Value evalQueueDeq(const Value *const *Args, bool InPlace, EvalError &Err) {
+  return queueWithDeq(TESSLA_ARG(0), InPlace, Err);
+}
+
+Value evalQueueFront(const Value *const *Args, bool, EvalError &Err) {
+  const QueueData &Q = *TESSLA_ARG(0).getQueue();
+  if (Q.empty()) {
+    Err.fail("queueFront on empty queue");
+    return Value::unit();
+  }
+  return Q.IsMutable ? Q.Mutable.front() : Q.Persistent.front();
+}
+
+Value evalQueueSize(const Value *const *Args, bool, EvalError &) {
+  return Value::integer(
+      static_cast<int64_t>(TESSLA_ARG(0).getQueue()->size()));
+}
+
+Value evalQueueTrim(const Value *const *Args, bool InPlace, EvalError &) {
+  return queueTrimmed(TESSLA_ARG(0), TESSLA_ARG(1).getInt(), InPlace);
+}
+
+Value evalStrConcat(const Value *const *Args, bool, EvalError &) {
+  return Value::string(TESSLA_ARG(0).getString() + TESSLA_ARG(1).getString());
+}
+
+Value evalStrLen(const Value *const *Args, bool, EvalError &) {
+  return Value::integer(
+      static_cast<int64_t>(TESSLA_ARG(0).getString().size()));
+}
+
+#undef TESSLA_ARG
+
 } // namespace
+
+BuiltinFn tessla::builtinImpl(BuiltinId Fn) {
+  switch (Fn) {
+  case BuiltinId::Merge:
+    return evalMerge;
+  case BuiltinId::Ite:
+    return evalIte;
+  case BuiltinId::Filter:
+    return evalFilter;
+  case BuiltinId::Add:
+    return evalArith<BuiltinId::Add>;
+  case BuiltinId::Sub:
+    return evalArith<BuiltinId::Sub>;
+  case BuiltinId::Mul:
+    return evalArith<BuiltinId::Mul>;
+  case BuiltinId::Div:
+    return evalArith<BuiltinId::Div>;
+  case BuiltinId::Mod:
+    return evalArith<BuiltinId::Mod>;
+  case BuiltinId::Min:
+    return evalArith<BuiltinId::Min>;
+  case BuiltinId::Max:
+    return evalArith<BuiltinId::Max>;
+  case BuiltinId::Neg:
+    return evalNeg;
+  case BuiltinId::Abs:
+    return evalAbs;
+  case BuiltinId::Eq:
+    return evalEq;
+  case BuiltinId::Neq:
+    return evalNeq;
+  case BuiltinId::Lt:
+    return evalLt;
+  case BuiltinId::Leq:
+    return evalLeq;
+  case BuiltinId::Gt:
+    return evalGt;
+  case BuiltinId::Geq:
+    return evalGeq;
+  case BuiltinId::LAnd:
+    return evalLAnd;
+  case BuiltinId::LOr:
+    return evalLOr;
+  case BuiltinId::LNot:
+    return evalLNot;
+  case BuiltinId::ToFloat:
+    return evalToFloat;
+  case BuiltinId::ToInt:
+    return evalToInt;
+  case BuiltinId::SetEmpty:
+    return evalSetEmpty;
+  case BuiltinId::SetAdd:
+    return evalSetAdd;
+  case BuiltinId::SetRemove:
+    return evalSetRemove;
+  case BuiltinId::SetContains:
+    return evalSetContains;
+  case BuiltinId::SetSize:
+    return evalSetSize;
+  case BuiltinId::SetToggle:
+    return evalSetToggle;
+  case BuiltinId::SetUpdate:
+    return evalSetUpdate;
+  case BuiltinId::SetUnion:
+    return evalSetUnion;
+  case BuiltinId::SetDiff:
+    return evalSetDiff;
+  case BuiltinId::MapEmpty:
+    return evalMapEmpty;
+  case BuiltinId::MapPut:
+    return evalMapPut;
+  case BuiltinId::MapRemove:
+    return evalMapRemove;
+  case BuiltinId::MapGet:
+    return evalMapGet;
+  case BuiltinId::MapGetOrElse:
+    return evalMapGetOrElse;
+  case BuiltinId::MapContains:
+    return evalMapContains;
+  case BuiltinId::MapSize:
+    return evalMapSize;
+  case BuiltinId::QueueEmpty:
+    return evalQueueEmpty;
+  case BuiltinId::QueueEnq:
+    return evalQueueEnq;
+  case BuiltinId::QueueDeq:
+    return evalQueueDeq;
+  case BuiltinId::QueueFront:
+    return evalQueueFront;
+  case BuiltinId::QueueSize:
+    return evalQueueSize;
+  case BuiltinId::QueueTrim:
+    return evalQueueTrim;
+  case BuiltinId::StrConcat:
+    return evalStrConcat;
+  case BuiltinId::StrLen:
+    return evalStrLen;
+  }
+  assert(false && "unhandled builtin");
+  return evalMerge;
+}
 
 Value tessla::applyBuiltin(BuiltinId Fn, const Value *const *Args,
                            unsigned NumArgs, bool InPlace, EvalError &Err) {
   (void)NumArgs;
-  auto Arg = [&](unsigned I) -> const Value & {
-    assert(I < NumArgs && Args[I] && "required argument missing");
-    return *Args[I];
-  };
-
-  switch (Fn) {
-  // Event combination (merge is handled by the engine; ite/filter pass
-  // values through unchanged).
-  case BuiltinId::Merge:
-    return Arg(0); // engine already selected the first present argument
-  case BuiltinId::Ite:
-    return expectBool(Arg(0), Err).getBool() ? Arg(1) : Arg(2);
-  case BuiltinId::Filter:
-    return Arg(0); // engine checked the condition
-
-  // Arithmetic.
-  case BuiltinId::Add:
-  case BuiltinId::Sub:
-  case BuiltinId::Mul:
-  case BuiltinId::Div:
-  case BuiltinId::Mod:
-  case BuiltinId::Min:
-  case BuiltinId::Max:
-    return arith(Fn, Arg(0), Arg(1), Err);
-  case BuiltinId::Neg:
-    if (Arg(0).kind() == Value::Kind::Int)
-      return Value::integer(-Arg(0).getInt());
-    if (Arg(0).kind() == Value::Kind::Float)
-      return Value::floating(-Arg(0).getFloat());
-    Err.fail("neg on non-numeric value");
-    return Value::unit();
-  case BuiltinId::Abs:
-    if (Arg(0).kind() == Value::Kind::Int)
-      return Value::integer(std::abs(Arg(0).getInt()));
-    if (Arg(0).kind() == Value::Kind::Float)
-      return Value::floating(std::fabs(Arg(0).getFloat()));
-    Err.fail("abs on non-numeric value");
-    return Value::unit();
-
-  // Comparisons (total order over same-kind values).
-  case BuiltinId::Eq:
-    return Value::boolean(Arg(0) == Arg(1));
-  case BuiltinId::Neq:
-    return Value::boolean(!(Arg(0) == Arg(1)));
-  case BuiltinId::Lt:
-    return Value::boolean(compareValues(Arg(0), Arg(1)) < 0);
-  case BuiltinId::Leq:
-    return Value::boolean(compareValues(Arg(0), Arg(1)) <= 0);
-  case BuiltinId::Gt:
-    return Value::boolean(compareValues(Arg(0), Arg(1)) > 0);
-  case BuiltinId::Geq:
-    return Value::boolean(compareValues(Arg(0), Arg(1)) >= 0);
-
-  // Boolean.
-  case BuiltinId::LAnd:
-    return Value::boolean(expectBool(Arg(0), Err).getBool() &&
-                          expectBool(Arg(1), Err).getBool());
-  case BuiltinId::LOr:
-    return Value::boolean(expectBool(Arg(0), Err).getBool() ||
-                          expectBool(Arg(1), Err).getBool());
-  case BuiltinId::LNot:
-    return Value::boolean(!expectBool(Arg(0), Err).getBool());
-
-  // Conversions.
-  case BuiltinId::ToFloat:
-    return Value::floating(static_cast<double>(Arg(0).getInt()));
-  case BuiltinId::ToInt:
-    return Value::integer(static_cast<int64_t>(Arg(0).getFloat()));
-
-  // Sets.
-  case BuiltinId::SetEmpty:
-    return Value::set(makeSetData(InPlace));
-  case BuiltinId::SetAdd:
-    return setWithInsert(Arg(0), Arg(1), InPlace);
-  case BuiltinId::SetRemove:
-    return setWithErase(Arg(0), Arg(1), InPlace);
-  case BuiltinId::SetToggle:
-    return Arg(0).getSet()->contains(Arg(1))
-               ? setWithErase(Arg(0), Arg(1), InPlace)
-               : setWithInsert(Arg(0), Arg(1), InPlace);
-  case BuiltinId::SetUpdate: {
-    // Optional presence: Args[1] = value to add, Args[2] = value to
-    // remove; at least one is present (engine enforced).
-    Value Result = Arg(0);
-    if (Args[1])
-      Result = setWithInsert(Result, *Args[1], InPlace);
-    if (Args[2])
-      Result = setWithErase(Result, *Args[2], InPlace);
-    return Result;
-  }
-  case BuiltinId::SetUnion: {
-    // Writes Arg(0), reads Arg(1); the reader side is
-    // representation-agnostic.
-    if (InPlace) {
-      const Value &Dst = Arg(0);
-      // items() materializes a copy, so even a (degenerate) self-union
-      // does not iterate a container being modified.
-      for (const Value &V : Arg(1).getSet()->items())
-        Dst.getSet()->Mutable.insert(V);
-      return Dst;
-    }
-    auto Fresh = makeSetData(false);
-    Fresh->Persistent = Arg(0).getSet()->Persistent;
-    for (const Value &V : Arg(1).getSet()->items())
-      Fresh->Persistent = Fresh->Persistent.insert(V);
-    return Value::set(std::move(Fresh));
-  }
-  case BuiltinId::SetDiff: {
-    if (InPlace) {
-      const Value &Dst = Arg(0);
-      for (const Value &V : Arg(1).getSet()->items())
-        Dst.getSet()->Mutable.erase(V);
-      return Dst;
-    }
-    auto Fresh = makeSetData(false);
-    Fresh->Persistent = Arg(0).getSet()->Persistent;
-    for (const Value &V : Arg(1).getSet()->items())
-      Fresh->Persistent = Fresh->Persistent.erase(V);
-    return Value::set(std::move(Fresh));
-  }
-  case BuiltinId::SetContains:
-    return Value::boolean(Arg(0).getSet()->contains(Arg(1)));
-  case BuiltinId::SetSize:
-    return Value::integer(static_cast<int64_t>(Arg(0).getSet()->size()));
-
-  // Maps.
-  case BuiltinId::MapEmpty:
-    return Value::map(makeMapData(InPlace));
-  case BuiltinId::MapPut: {
-    const Value &M = Arg(0);
-    if (InPlace) {
-      M.getMap()->Mutable[Arg(1)] = Arg(2);
-      return M;
-    }
-    auto Fresh = makeMapData(false);
-    Fresh->Persistent = M.getMap()->Persistent.set(Arg(1), Arg(2));
-    return Value::map(std::move(Fresh));
-  }
-  case BuiltinId::MapRemove: {
-    const Value &M = Arg(0);
-    if (InPlace) {
-      M.getMap()->Mutable.erase(Arg(1));
-      return M;
-    }
-    auto Fresh = makeMapData(false);
-    Fresh->Persistent = M.getMap()->Persistent.erase(Arg(1));
-    return Value::map(std::move(Fresh));
-  }
-  case BuiltinId::MapGet: {
-    const Value *Found = Arg(0).getMap()->find(Arg(1));
-    if (!Found) {
-      Err.fail("mapGet: key " + Arg(1).str() + " not present");
-      return Value::unit();
-    }
-    return *Found;
-  }
-  case BuiltinId::MapGetOrElse: {
-    const Value *Found = Arg(0).getMap()->find(Arg(1));
-    return Found ? *Found : Arg(2);
-  }
-  case BuiltinId::MapContains:
-    return Value::boolean(Arg(0).getMap()->find(Arg(1)) != nullptr);
-  case BuiltinId::MapSize:
-    return Value::integer(static_cast<int64_t>(Arg(0).getMap()->size()));
-
-  // Queues.
-  case BuiltinId::QueueEmpty:
-    return Value::queue(makeQueueData(InPlace));
-  case BuiltinId::QueueEnq:
-    return queueWithEnq(Arg(0), Arg(1), InPlace);
-  case BuiltinId::QueueDeq:
-    return queueWithDeq(Arg(0), InPlace, Err);
-  case BuiltinId::QueueFront: {
-    const QueueData &Q = *Arg(0).getQueue();
-    if (Q.empty()) {
-      Err.fail("queueFront on empty queue");
-      return Value::unit();
-    }
-    return Q.IsMutable ? Q.Mutable.front() : Q.Persistent.front();
-  }
-  case BuiltinId::QueueSize:
-    return Value::integer(static_cast<int64_t>(Arg(0).getQueue()->size()));
-  case BuiltinId::QueueTrim:
-    return queueTrimmed(Arg(0), Arg(1).getInt(), InPlace);
-
-  // Strings.
-  case BuiltinId::StrConcat:
-    return Value::string(Arg(0).getString() + Arg(1).getString());
-  case BuiltinId::StrLen:
-    return Value::integer(
-        static_cast<int64_t>(Arg(0).getString().size()));
-  }
-  assert(false && "unhandled builtin");
-  return Value::unit();
+  return builtinImpl(Fn)(Args, InPlace, Err);
 }

@@ -13,28 +13,29 @@
 
 using namespace tessla;
 
-Monitor::Monitor(const MonitorPlan &Plan_) : Plan(Plan_) {
-  uint32_t N = Plan.numStreams();
+Monitor::Monitor(const Program &Prog_) : Prog(Prog_) {
+  // +1: the shared dead slot of nil streams stays never-present.
+  uint32_t N = Prog.numValueSlots() + 1u;
   Cur.resize(N);
   Present.assign(N, 0);
-  LastVal.resize(N);
-  LastInit.assign(N, 0);
-  NextTs.assign(Plan.delays().size(), 0);
-  NextTsSet.assign(Plan.delays().size(), 0);
+  LastVal.resize(Prog.lastSlots().size());
+  LastInit.assign(Prog.lastSlots().size(), 0);
+  NextTs.assign(Prog.delays().size(), 0);
+  NextTsSet.assign(Prog.delays().size(), 0);
 }
 
 void Monitor::failAt(Time Ts, StreamId Id, const std::string &Message) {
   Err.fail(formatString("at t=%lld, stream '%s': %s",
                         static_cast<long long>(Ts),
-                        Plan.spec().stream(Id).Name.c_str(),
+                        Prog.spec().stream(Id).Name.c_str(),
                         Message.c_str()));
 }
 
-void Monitor::setValue(StreamId Id, Value V) {
-  Cur[Id] = std::move(V);
-  if (!Present[Id]) {
-    Present[Id] = 1;
-    Touched.push_back(Id);
+void Monitor::setValue(SlotId Slot, Value V) {
+  Cur[Slot] = std::move(V);
+  if (!Present[Slot]) {
+    Present[Slot] = 1;
+    Touched.push_back(Slot);
   }
 }
 
@@ -49,108 +50,90 @@ std::optional<Time> Monitor::minNextDelay() const {
 void Monitor::runCalc(Time Ts) {
   ++NumCalcRuns;
 
-  // --- Calculation section (§III-A), in translation order. ---
-  for (const PlanStep &Step : Plan.steps()) {
+  // --- Calculation section (§III-A), in translation order: one flat
+  // dispatch per step over pre-resolved slots and function pointers. ---
+  for (const ProgramStep &Step : Prog.steps()) {
     if (Err.Failed)
       return;
-    switch (Step.Kind) {
-    case StreamKind::Input:
-    case StreamKind::Nil:
+    switch (Step.Op) {
+    case Opcode::Skip:
       break; // inputs were buffered by feed(); nil never fires
-    case StreamKind::Unit:
-    case StreamKind::Const:
+    case Opcode::Const:
       if (Ts == 0)
-        setValue(Step.Id, Step.ConstVal);
+        setValue(Step.Dst, Step.ConstVal);
       break;
-    case StreamKind::Time:
-      if (Present[Step.Args[0]])
-        setValue(Step.Id, Value::integer(Ts));
+    case Opcode::Time:
+      if (Present[Step.ArgSlot[0]])
+        setValue(Step.Dst, Value::integer(Ts));
       break;
-    case StreamKind::Last:
-      if (Present[Step.Args[1]] && LastInit[Step.Args[0]])
-        setValue(Step.Id, LastVal[Step.Args[0]]);
+    case Opcode::Last:
+      if (Present[Step.ArgSlot[1]] && LastInit[Step.Aux])
+        setValue(Step.Dst, LastVal[Step.Aux]);
       break;
-    case StreamKind::Delay: {
-      // NextTs slots are indexed by position in Plan.delays(); find ours.
-      // (Linear scan is fine: specs have few delays; cached lookup would
-      // complicate the plan for no measurable gain.)
-      for (size_t I = 0, E = Plan.delays().size(); I != E; ++I)
-        if (Plan.delays()[I].Id == Step.Id) {
-          if (NextTsSet[I] && NextTs[I] == Ts)
-            setValue(Step.Id, Value::unit());
+    case Opcode::Delay:
+      if (NextTsSet[Step.Aux] && NextTs[Step.Aux] == Ts)
+        setValue(Step.Dst, Value::unit());
+      break;
+    case Opcode::LiftAll: {
+      const Value *Args[3];
+      bool AllPresent = true;
+      for (unsigned I = 0; I != Step.NumArgs; ++I) {
+        if (!Present[Step.ArgSlot[I]]) {
+          AllPresent = false;
           break;
         }
+        Args[I] = &Cur[Step.ArgSlot[I]];
+      }
+      if (!AllPresent)
+        break;
+      Value Result = Step.Impl(Args, Step.InPlace, Err);
+      if (Err.Failed) {
+        failAt(Ts, Step.Id, Err.Message);
+        return;
+      }
+      setValue(Step.Dst, std::move(Result));
       break;
     }
-    case StreamKind::Lift: {
+    case Opcode::LiftMerge:
+      // merge: the first stream's event wins (f_merge, §II).
+      for (unsigned I = 0; I != Step.NumArgs; ++I)
+        if (Present[Step.ArgSlot[I]]) {
+          setValue(Step.Dst, Cur[Step.ArgSlot[I]]);
+          break;
+        }
+      break;
+    case Opcode::LiftFirstRest: {
+      if (!Present[Step.ArgSlot[0]])
+        break;
       const Value *Args[3] = {nullptr, nullptr, nullptr};
-      unsigned NumArgs = static_cast<unsigned>(Step.Args.size());
-      switch (Step.Events) {
-      case EventSemantics::All: {
-        bool AllPresent = true;
-        for (unsigned I = 0; I != NumArgs; ++I) {
-          if (!Present[Step.Args[I]]) {
-            AllPresent = false;
-            break;
-          }
-          Args[I] = &Cur[Step.Args[I]];
+      bool AnyRest = false;
+      Args[0] = &Cur[Step.ArgSlot[0]];
+      for (unsigned I = 1; I != Step.NumArgs; ++I)
+        if (Present[Step.ArgSlot[I]]) {
+          Args[I] = &Cur[Step.ArgSlot[I]];
+          AnyRest = true;
         }
-        if (!AllPresent)
-          break;
-        Value Result = applyBuiltin(Step.Fn, Args, NumArgs, Step.InPlace,
-                                    Err);
-        if (Err.Failed) {
-          failAt(Ts, Step.Id, Err.Message);
-          return;
-        }
-        setValue(Step.Id, std::move(Result));
+      if (!AnyRest)
         break;
+      Value Result = Step.Impl(Args, Step.InPlace, Err);
+      if (Err.Failed) {
+        failAt(Ts, Step.Id, Err.Message);
+        return;
       }
-      case EventSemantics::Any:
-        // merge: the first stream's event wins (f_merge, §II).
-        for (unsigned I = 0; I != NumArgs; ++I)
-          if (Present[Step.Args[I]]) {
-            setValue(Step.Id, Cur[Step.Args[I]]);
-            break;
-          }
+      setValue(Step.Dst, std::move(Result));
+      break;
+    }
+    case Opcode::LiftFilter: {
+      // filter(a, c): pass a's event iff c is currently true.
+      if (!Present[Step.ArgSlot[0]] || !Present[Step.ArgSlot[1]])
         break;
-      case EventSemantics::FirstAndAnyRest: {
-        if (!Present[Step.Args[0]])
-          break;
-        bool AnyRest = false;
-        Args[0] = &Cur[Step.Args[0]];
-        for (unsigned I = 1; I != NumArgs; ++I)
-          if (Present[Step.Args[I]]) {
-            Args[I] = &Cur[Step.Args[I]];
-            AnyRest = true;
-          }
-        if (!AnyRest)
-          break;
-        Value Result = applyBuiltin(Step.Fn, Args, NumArgs, Step.InPlace,
-                                    Err);
-        if (Err.Failed) {
-          failAt(Ts, Step.Id, Err.Message);
-          return;
-        }
-        setValue(Step.Id, std::move(Result));
-        break;
+      const Value &Cond = Cur[Step.ArgSlot[1]];
+      if (Cond.kind() != Value::Kind::Bool) {
+        failAt(Ts, Step.Id, "filter condition is not a Bool");
+        return;
       }
-      case EventSemantics::Custom: {
-        // filter(a, c): pass a's event iff c is currently true.
-        assert(Step.Fn == BuiltinId::Filter &&
-               "only filter has Custom semantics");
-        if (!Present[Step.Args[0]] || !Present[Step.Args[1]])
-          break;
-        const Value &Cond = Cur[Step.Args[1]];
-        if (Cond.kind() != Value::Kind::Bool) {
-          failAt(Ts, Step.Id, "filter condition is not a Bool");
-          return;
-        }
-        if (Cond.getBool())
-          setValue(Step.Id, Cur[Step.Args[0]]);
-        break;
-      }
-      }
+      if (Cond.getBool())
+        setValue(Step.Dst, Cur[Step.ArgSlot[0]]);
       break;
     }
     }
@@ -158,34 +141,36 @@ void Monitor::runCalc(Time Ts) {
 
   // --- Emit outputs. ---
   if (Handler) {
-    for (StreamId Out : Plan.outputs())
-      if (Present[Out]) {
+    for (const OutputSlot &Out : Prog.outputs())
+      if (Present[Out.ValueSlot]) {
         ++NumOutputs;
-        Handler(Ts, Out, Cur[Out]);
+        Handler(Ts, Out.Id, Cur[Out.ValueSlot]);
       }
   } else {
-    for (StreamId Out : Plan.outputs())
-      if (Present[Out])
+    for (const OutputSlot &Out : Prog.outputs())
+      if (Present[Out.ValueSlot])
         ++NumOutputs;
   }
 
   // --- End of calculation: update *_last slots (§III-A). ---
-  for (StreamId V : Plan.lastValueSources())
+  for (size_t I = 0, E = Prog.lastSlots().size(); I != E; ++I) {
+    SlotId V = Prog.lastSlots()[I].ValueSlot;
     if (Present[V]) {
-      LastVal[V] = Cur[V];
-      LastInit[V] = 1;
+      LastVal[I] = Cur[V];
+      LastInit[I] = 1;
     }
+  }
 
   // --- Delay scheduling (§III-B): an event of the reset stream or the
   // delay itself is a reset; with a delays-value event it re-arms the
   // timer, without one it cancels it. ---
-  for (size_t I = 0, E = Plan.delays().size(); I != E; ++I) {
-    const DelayInfo &D = Plan.delays()[I];
-    bool ResetEvent = Present[D.ResetArg] || Present[D.Id];
+  for (size_t I = 0, E = Prog.delays().size(); I != E; ++I) {
+    const DelaySlot &D = Prog.delays()[I];
+    bool ResetEvent = Present[D.ResetSlot] || Present[D.ValueSlot];
     if (!ResetEvent)
       continue;
-    if (Present[D.DelaysArg]) {
-      int64_t Amount = Cur[D.DelaysArg].getInt();
+    if (Present[D.DelaysSlot]) {
+      int64_t Amount = Cur[D.DelaysSlot].getInt();
       if (Amount <= 0) {
         failAt(Ts, D.Id, "delay amounts must be positive");
         return;
@@ -198,9 +183,9 @@ void Monitor::runCalc(Time Ts) {
   }
 
   // --- Reset current-value slots for the next timestamp. ---
-  for (StreamId Id : Touched) {
-    Present[Id] = 0;
-    Cur[Id] = Value(); // release aggregate handles promptly
+  for (SlotId Slot : Touched) {
+    Present[Slot] = 0;
+    Cur[Slot] = Value(); // release aggregate handles promptly
   }
   Touched.clear();
 }
@@ -225,8 +210,9 @@ bool Monitor::feed(StreamId Input, Time Ts, Value V) {
     Err.fail("feed() after finish()");
     return false;
   }
-  assert(Plan.spec().stream(Input).Kind == StreamKind::Input &&
+  assert(Prog.spec().stream(Input).Kind == StreamKind::Input &&
          "feed() targets must be input streams");
+  SlotId Slot = Prog.valueSlot(Input);
   if (Ts < 0) {
     failAt(Ts, Input, "timestamps must be non-negative");
     return false;
@@ -241,11 +227,11 @@ bool Monitor::feed(StreamId Input, Time Ts, Value V) {
       return false;
     PendingTs = Ts;
     CalcDoneForPending = false;
-  } else if (Present[Input]) {
+  } else if (Present[Slot]) {
     failAt(Ts, Input, "two events on one stream at the same timestamp");
     return false;
   }
-  setValue(Input, std::move(V));
+  setValue(Slot, std::move(V));
   return true;
 }
 
@@ -261,10 +247,10 @@ void Monitor::finish(std::optional<Time> Horizon) {
 }
 
 std::vector<OutputEvent> tessla::runMonitor(
-    const MonitorPlan &Plan,
+    const Program &Prog,
     const std::vector<std::tuple<StreamId, Time, Value>> &Events,
     std::optional<Time> Horizon, std::string *ErrorOut) {
-  Monitor M(Plan);
+  Monitor M(Prog);
   std::vector<OutputEvent> Out;
   M.setOutputHandler([&Out](Time Ts, StreamId Id, const Value &V) {
     // The handler's value is borrowed: with the optimization on, the

@@ -108,10 +108,10 @@ struct MonitorFleet::Shard {
   std::map<SessionId, SessionState> Sessions;
   ShardStats Stats;
 
-  void run(const MonitorPlan &Plan, const FleetOptions &Opts);
+  void run(const Program &Prog, const FleetOptions &Opts);
 };
 
-void MonitorFleet::Shard::run(const MonitorPlan &Plan,
+void MonitorFleet::Shard::run(const Program &Prog,
                               const FleetOptions &Opts) {
   Batch B;
   while (Ring.pop(B)) {
@@ -119,7 +119,7 @@ void MonitorFleet::Shard::run(const MonitorPlan &Plan,
     for (Record &R : B) {
       SessionState &SS = Sessions[R.Session];
       if (!SS.M) {
-        SS.M = std::make_unique<Monitor>(Plan);
+        SS.M = std::make_unique<Monitor>(Prog);
         if (Opts.CollectOutputs) {
           auto *Outputs = &SS.Outputs;
           SS.M->setOutputHandler(
@@ -147,8 +147,8 @@ void MonitorFleet::Shard::run(const MonitorPlan &Plan,
   // the join (reading it here would race with the last push).
 }
 
-MonitorFleet::MonitorFleet(const MonitorPlan &Plan_, FleetOptions Opts_)
-    : Plan(Plan_), Opts(Opts_) {
+MonitorFleet::MonitorFleet(const Program &Prog_, FleetOptions Opts_)
+    : Prog(Prog_), Opts(Opts_) {
   if (Opts.Shards == 0)
     Opts.Shards = 1;
   if (Opts.BatchSize == 0)
@@ -159,7 +159,7 @@ MonitorFleet::MonitorFleet(const MonitorPlan &Plan_, FleetOptions Opts_)
     Workers.back()->Pending.reserve(Opts.BatchSize);
   }
   for (auto &W : Workers)
-    W->Thread = std::thread([this, S = W.get()] { S->run(Plan, Opts); });
+    W->Thread = std::thread([this, S = W.get()] { S->run(Prog, Opts); });
 }
 
 MonitorFleet::~MonitorFleet() { finish(); }

@@ -59,7 +59,7 @@ std::string compileAndRun(const Spec &S, bool Optimize,
   CppEmitterOptions Opts;
   Opts.EmitMain = true;
   DiagnosticEngine Diags;
-  auto Source = emitCppMonitor(S, A, Opts, Diags);
+  auto Source = emitCppMonitor(Program::compile(A), Opts, Diags);
   EXPECT_TRUE(Source) << Diags.str();
   if (!Source)
     return "";
@@ -91,7 +91,7 @@ std::string compileAndRun(const Spec &S, bool Optimize,
 /// Interpreter reference output.
 std::string interpret(const Spec &S, const std::vector<TraceEvent> &Events) {
   AnalysisResult A = analyzeSpec(S);
-  MonitorPlan Plan = MonitorPlan::compile(A);
+  Program Plan = Program::compile(A);
   std::string Error;
   auto Out = runMonitor(Plan, Events, std::nullopt, &Error);
   EXPECT_EQ(Error, "");

@@ -22,7 +22,7 @@ std::string emit(const Spec &S, bool Optimize, bool EmitMain = false) {
   CppEmitterOptions Opts;
   Opts.EmitMain = EmitMain;
   DiagnosticEngine Diags;
-  auto Source = emitCppMonitor(S, A, Opts, Diags);
+  auto Source = emitCppMonitor(Program::compile(A), Opts, Diags);
   EXPECT_TRUE(Source) << Diags.str();
   return Source ? *Source : std::string();
 }
@@ -117,7 +117,7 @@ TEST(CppEmitterTest, UnsupportedConstructsReported) {
     )");
     AnalysisResult A = analyzeSpec(S);
     DiagnosticEngine Diags;
-    EXPECT_FALSE(emitCppMonitor(S, A, CppEmitterOptions(), Diags));
+    EXPECT_FALSE(emitCppMonitor(Program::compile(A), CppEmitterOptions(), Diags));
     EXPECT_TRUE(Diags.hasErrors());
   }
   // Aggregate equality.
@@ -131,7 +131,7 @@ TEST(CppEmitterTest, UnsupportedConstructsReported) {
     )");
     AnalysisResult A = analyzeSpec(S);
     DiagnosticEngine Diags;
-    EXPECT_FALSE(emitCppMonitor(S, A, CppEmitterOptions(), Diags));
+    EXPECT_FALSE(emitCppMonitor(Program::compile(A), CppEmitterOptions(), Diags));
     EXPECT_TRUE(Diags.hasErrors());
   }
 }

@@ -33,7 +33,7 @@ std::string runWith(const Spec &S, const std::vector<TraceEvent> &Events,
   AnalysisResult A = analyzeSpec(S, Opts);
   if (MutableCount)
     *MutableCount = A.mutability().mutableCount();
-  MonitorPlan Plan = MonitorPlan::compile(A);
+  Program Plan = Program::compile(A);
   std::string Error;
   auto Out = runMonitor(Plan, Events, std::nullopt, &Error);
   EXPECT_EQ(Error, "");

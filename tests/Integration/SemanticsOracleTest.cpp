@@ -166,7 +166,7 @@ std::string engineOutputs(const Spec &S,
   MutabilityOptions Opts;
   Opts.Optimize = Optimize;
   AnalysisResult A = analyzeSpec(S, Opts);
-  MonitorPlan Plan = MonitorPlan::compile(A);
+  Program Plan = Program::compile(A);
   std::string Error;
   auto Out = runMonitor(Plan, Events, std::nullopt, &Error);
   EXPECT_EQ(Error, "");

@@ -27,7 +27,7 @@ namespace {
 std::vector<OutputEvent> run(const Spec &S,
                              const std::vector<TraceEvent> &Events) {
   AnalysisResult A = analyzeSpec(S);
-  MonitorPlan Plan = MonitorPlan::compile(A);
+  Program Plan = Program::compile(A);
   std::string Error;
   auto Out = runMonitor(Plan, Events, std::nullopt, &Error);
   EXPECT_EQ(Error, "");

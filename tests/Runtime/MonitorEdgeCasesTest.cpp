@@ -24,7 +24,7 @@ namespace {
 std::string run(const Spec &S, const std::vector<TraceEvent> &Events,
                 std::optional<Time> Horizon = std::nullopt) {
   AnalysisResult A = analyzeSpec(S);
-  MonitorPlan Plan = MonitorPlan::compile(A);
+  Program Plan = Program::compile(A);
   std::string Error;
   auto Out = runMonitor(Plan, Events, Horizon, &Error);
   EXPECT_EQ(Error, "");

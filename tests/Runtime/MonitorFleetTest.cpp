@@ -38,7 +38,7 @@ std::string renderLine(const Spec &S, SessionId Session,
 
 /// The reference: each session through its own sequential Monitor,
 /// sessions concatenated in ascending id order.
-std::string sequentialReference(const MonitorPlan &Plan,
+std::string sequentialReference(const Program &Plan,
                                 const SessionTraces &Traces,
                                 std::optional<Time> Horizon = std::nullopt) {
   std::string Out;
@@ -55,7 +55,7 @@ std::string sequentialReference(const MonitorPlan &Plan,
 /// Runs the same traces through a fleet with \p Shards workers, feeding
 /// in a seed-determined random interleaving across sessions (per-session
 /// order preserved).
-std::string fleetRun(const MonitorPlan &Plan, const SessionTraces &Traces,
+std::string fleetRun(const Program &Plan, const SessionTraces &Traces,
                      unsigned Shards, uint64_t InterleaveSeed,
                      FleetStats *StatsOut = nullptr,
                      std::optional<Time> Horizon = std::nullopt) {
@@ -98,7 +98,7 @@ std::string fleetRun(const MonitorPlan &Plan, const SessionTraces &Traces,
 
 struct CompiledSpec {
   AnalysisResult Analysis;
-  MonitorPlan Plan;
+  Program Plan;
   uint32_t MutableCount;
 
   CompiledSpec(const Spec &S, bool Optimize)
@@ -108,7 +108,7 @@ struct CompiledSpec {
                                Opts.Optimize = Optimize;
                                return Opts;
                              }())),
-        Plan(MonitorPlan::compile(Analysis)),
+        Plan(Program::compile(Analysis)),
         MutableCount(Analysis.mutability().mutableCount()) {}
 };
 

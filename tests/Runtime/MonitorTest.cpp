@@ -23,7 +23,7 @@ namespace {
 struct Runner {
   Spec S;
   AnalysisResult Analysis;
-  MonitorPlan Plan;
+  Program Plan;
 
   Runner(Spec Spec_, bool Optimize = true)
       : S(std::move(Spec_)),
@@ -33,7 +33,7 @@ struct Runner {
                                Opts.Optimize = Optimize;
                                return Opts;
                              }())),
-        Plan(MonitorPlan::compile(Analysis)) {}
+        Plan(Program::compile(Analysis)) {}
 
   /// Runs events given as (name, ts, value) and renders the output trace.
   std::string run(
@@ -268,7 +268,7 @@ TEST(MonitorTest, OutputHandlerValuesAreBorrowed) {
     MutabilityOptions Opts;
     Opts.Optimize = Optimize;
     AnalysisResult A = analyzeSpec(S, Opts);
-    MonitorPlan Plan = MonitorPlan::compile(A);
+    Program Plan = Program::compile(A);
     EXPECT_EQ(Plan.inPlaceStepCount() > 0, Optimize)
         << "mutability premise broken; test is vacuous";
     Monitor M(Plan);
@@ -306,7 +306,7 @@ TEST(MonitorTest, OutputHandlerValuesAreBorrowed) {
 TEST(MonitorTest, OutOfOrderInputRejected) {
   Spec S = parseOrDie("in a: Int\ndef t := time(a)\nout t");
   AnalysisResult A = analyzeSpec(S);
-  MonitorPlan Plan = MonitorPlan::compile(A);
+  Program Plan = Program::compile(A);
   Monitor M(Plan);
   EXPECT_TRUE(M.feed(*S.lookup("a"), 10, Value::integer(1)));
   EXPECT_FALSE(M.feed(*S.lookup("a"), 5, Value::integer(2)));
@@ -317,7 +317,7 @@ TEST(MonitorTest, OutOfOrderInputRejected) {
 TEST(MonitorTest, DuplicateEventSameTimestampRejected) {
   Spec S = parseOrDie("in a: Int\ndef t := time(a)\nout t");
   AnalysisResult A = analyzeSpec(S);
-  MonitorPlan Plan = MonitorPlan::compile(A);
+  Program Plan = Program::compile(A);
   Monitor M(Plan);
   EXPECT_TRUE(M.feed(*S.lookup("a"), 10, Value::integer(1)));
   EXPECT_FALSE(M.feed(*S.lookup("a"), 10, Value::integer(2)));
@@ -331,7 +331,7 @@ TEST(MonitorTest, RuntimeErrorsSurface) {
     out x
   )");
   AnalysisResult A = analyzeSpec(S);
-  MonitorPlan Plan = MonitorPlan::compile(A);
+  Program Plan = Program::compile(A);
   Monitor M(Plan);
   M.feed(*S.lookup("a"), 1, Value::integer(0));
   M.finish();
@@ -343,7 +343,7 @@ TEST(MonitorTest, RuntimeErrorsSurface) {
 TEST(MonitorTest, FeedAfterFinishRejected) {
   Spec S = parseOrDie("in a: Int\ndef t := time(a)\nout t");
   AnalysisResult A = analyzeSpec(S);
-  MonitorPlan Plan = MonitorPlan::compile(A);
+  Program Plan = Program::compile(A);
   Monitor M(Plan);
   M.finish();
   EXPECT_FALSE(M.feed(*S.lookup("a"), 1, Value::integer(1)));

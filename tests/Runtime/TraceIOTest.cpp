@@ -75,7 +75,7 @@ TEST(TraceIOTest, RoundTripThroughMonitor) {
   auto Events = parseTrace("1: i = 2\n5: i = 10\n", S, Diags);
   ASSERT_TRUE(Events);
   AnalysisResult A = analyzeSpec(S);
-  MonitorPlan Plan = MonitorPlan::compile(A);
+  Program Plan = Program::compile(A);
   auto Out = runMonitor(Plan, *Events);
   EXPECT_EQ(formatOutputs(Plan.spec(), Out), "1: x = 4\n5: x = 20\n");
 }

@@ -156,14 +156,14 @@ int main(int argc, char **argv) {
     return 0;
   }
   if (Emit == "plan") {
-    MonitorPlan Plan = MonitorPlan::compile(Analysis);
+    Program Plan = Program::compile(Analysis);
     std::printf("%s", Plan.str().c_str());
     return 0;
   }
   if (Emit == "cpp") {
     CppEmitterOptions EOpts;
     EOpts.EmitMain = EmitMain;
-    auto Code = emitCppMonitor(Analysis.spec(), Analysis, EOpts, Diags);
+    auto Code = emitCppMonitor(Program::compile(Analysis), EOpts, Diags);
     if (!Code) {
       std::fprintf(stderr, "%s", Diags.str().c_str());
       return 1;
@@ -182,7 +182,7 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "%s", Diags.str().c_str());
       return 1;
     }
-    MonitorPlan Plan = MonitorPlan::compile(Analysis);
+    Program Plan = Program::compile(Analysis);
     if (FleetShards > 0) {
       // Multi-session replay: every session receives the same trace;
       // ingest interleaves sessions per event (round-robin), mimicking a
