@@ -1,0 +1,140 @@
+//===- bench/opt_levels.cpp -------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Interpreter throughput of the Fig. 9 workloads (Seen Set, Map Window,
+/// Queue Window) at program optimization level -O0 vs -O1 (constant
+/// folding, step fusion, dead-step elimination), plus the step/slot-table
+/// reduction the passes achieve. Both levels run with the aggregate
+/// update (mutability) optimization on — this measures the pass
+/// framework, not the paper's persistent-vs-mutable axis.
+///
+/// Scale trace lengths with TESSLA_BENCH_SCALE, repetitions with
+/// TESSLA_BENCH_REPS.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "tessla/Opt/PassManager.h"
+
+using namespace tessla;
+using namespace tessla::bench;
+
+namespace {
+
+/// Lowers the analyzed spec at the given level.
+Program planAt(unsigned Level, AnalysisResult &A,
+               OptStatistics *Stats = nullptr) {
+  Program P = Program::compile(A);
+  if (Level >= 1) {
+    opt::OptOptions Opts;
+    Opts.Level = Level;
+    DiagnosticEngine Diags;
+    if (!opt::optimizeProgram(P, A, Opts, Diags, Stats)) {
+      std::fprintf(stderr, "optimizer failed:\n%s", Diags.str().c_str());
+      std::exit(1);
+    }
+  }
+  return P;
+}
+
+RunResult timePlan(const Program &Plan,
+                   const std::vector<TraceEvent> &Events) {
+  Monitor M(Plan);
+  RunResult R;
+  M.setOutputHandler([&R](Time, StreamId, const Value &) { ++R.Outputs; });
+  auto Start = std::chrono::steady_clock::now();
+  for (const auto &[Id, Ts, V] : Events)
+    if (!M.feed(Id, Ts, V))
+      break;
+  M.finish();
+  auto End = std::chrono::steady_clock::now();
+  R.Seconds = std::chrono::duration<double>(End - Start).count();
+  if (M.failed()) {
+    std::fprintf(stderr, "benchmark monitor failed: %s\n",
+                 M.errorMessage().c_str());
+    R.Failed = true;
+  }
+  return R;
+}
+
+RunResult medianPlan(const Program &Plan,
+                     const std::vector<TraceEvent> &Events,
+                     unsigned Reps) {
+  std::vector<RunResult> Runs;
+  for (unsigned I = 0; I != Reps; ++I) {
+    Runs.push_back(timePlan(Plan, Events));
+    if (Runs.back().Failed)
+      std::exit(1);
+  }
+  std::sort(Runs.begin(), Runs.end(),
+            [](const RunResult &A, const RunResult &B) {
+              return A.Seconds < B.Seconds;
+            });
+  return Runs[Runs.size() / 2];
+}
+
+void benchWorkload(const char *Name, const Spec &S,
+                   const std::vector<TraceEvent> &Events, unsigned Reps) {
+  MutabilityOptions MOpts;
+  MOpts.Optimize = true;
+  AnalysisResult A = analyzeSpec(S, MOpts);
+
+  Program P0 = planAt(0, A);
+  OptStatistics Stats;
+  Program P1 = planAt(1, A, &Stats);
+
+  RunResult R0 = medianPlan(P0, Events, Reps);
+  RunResult R1 = medianPlan(P1, Events, Reps);
+  if (R0.Outputs != R1.Outputs) {
+    std::fprintf(stderr, "-O0/-O1 output mismatch (%llu vs %llu)!\n",
+                 static_cast<unsigned long long>(R0.Outputs),
+                 static_cast<unsigned long long>(R1.Outputs));
+    std::exit(1);
+  }
+
+  double MevS0 = static_cast<double>(Events.size()) / R0.Seconds / 1e6;
+  double MevS1 = static_cast<double>(Events.size()) / R1.Seconds / 1e6;
+  std::printf("%-13s %10zu %8.2f %8.2f %8.2fx   %2u -> %2u steps, "
+              "fold %u fuse %u elim %u\n",
+              Name, Events.size(), MevS0, MevS1, R0.Seconds / R1.Seconds,
+              Stats.Passes.empty() ? 0 : Stats.Passes.front().StepsBefore,
+              Stats.Passes.empty() ? 0 : Stats.Passes.back().StepsAfter,
+              Stats.totalFolded(), Stats.totalFused(),
+              Stats.totalEliminated());
+  std::fflush(stdout);
+}
+
+} // namespace
+
+int main() {
+  unsigned Reps = repetitions();
+  std::printf("Optimization levels — interpreter throughput -O0 vs -O1 "
+              "(median of %u runs)\n",
+              Reps);
+  std::printf("%-13s %10s %8s %8s %9s   %s\n", "workload", "events",
+              "-O0 Me/s", "-O1 Me/s", "speedup", "pass statistics");
+
+  size_t Length = scaled(2000000);
+  {
+    Spec S = workloads::seenSet();
+    auto Events = tracegen::randomInts(*S.lookup("x"), Length, 400, 201);
+    benchWorkload("Seen Set", S, Events, Reps);
+  }
+  {
+    Spec S = workloads::mapWindow(200);
+    auto Events =
+        tracegen::randomInts(*S.lookup("x"), Length, 1 << 20, 202);
+    benchWorkload("Map Window", S, Events, Reps);
+  }
+  {
+    Spec S = workloads::queueWindow(200);
+    auto Events =
+        tracegen::randomInts(*S.lookup("x"), Length, 1 << 20, 203);
+    benchWorkload("Queue Window", S, Events, Reps);
+  }
+  return 0;
+}

@@ -46,6 +46,42 @@ struct AnalysisStatistics {
 /// Collects statistics from a finished analysis.
 AnalysisStatistics collectStatistics(AnalysisResult &Analysis);
 
+/// Before/after counts of one optimization pass over a Program
+/// (`tesslac --dump-passes`). Plain data: filled in by the pass manager
+/// in Opt/, rendered here.
+struct PassStatistics {
+  std::string Pass;
+  uint32_t StepsBefore = 0;
+  uint32_t StepsAfter = 0;
+  /// Steps rewritten to Const/ConstTick/Skip by constant folding.
+  uint32_t Folded = 0;
+  /// Producer steps merged into their consumer by step fusion.
+  uint32_t Fused = 0;
+  /// Steps removed by dead-step elimination.
+  uint32_t Eliminated = 0;
+  uint32_t ValueSlotsBefore = 0;
+  uint32_t ValueSlotsAfter = 0;
+  uint32_t LastSlotsBefore = 0;
+  uint32_t LastSlotsAfter = 0;
+  uint32_t DelaySlotsBefore = 0;
+  uint32_t DelaySlotsAfter = 0;
+
+  /// One-line rendering: "pass: steps N -> M (folded F, fused U, ...)".
+  std::string str() const;
+};
+
+/// The statistics of one full pipeline run.
+struct OptStatistics {
+  std::vector<PassStatistics> Passes;
+
+  uint32_t totalFolded() const;
+  uint32_t totalFused() const;
+  uint32_t totalEliminated() const;
+
+  /// One line per pass plus a slot-table summary line.
+  std::string str() const;
+};
+
 } // namespace tessla
 
 #endif // TESSLA_ANALYSIS_STATISTICS_H

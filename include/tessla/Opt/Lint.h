@@ -1,0 +1,50 @@
+//===- tessla/Opt/Lint.h - Specification linter ----------------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Spec-level lint diagnostics, surfaced through `tesslac --lint`. The
+/// linter works on the Spec (not the lowered Program) so warnings carry
+/// the original source locations and names, before any desugaring or
+/// optimization obscures them.
+///
+/// Rules (all driven by a can-fire over-approximation, so there are no
+/// false "statically nil" positives on specs whose streams can fire):
+///
+///  * `unused-stream`      — a defined, non-output stream no other stream
+///                           reads (prefix the name with '_' to silence);
+///  * `nil-output`         — an output that provably never carries an
+///                           event, under any input;
+///  * `uninitialized-last` — a self-referential last whose value side can
+///                           never produce the event its own reset side
+///                           demands, so it stays silent forever;
+///  * `shadows-builtin`    — a stream named like a builtin function,
+///                           shadowing it for later definitions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_OPT_LINT_H
+#define TESSLA_OPT_LINT_H
+
+#include "tessla/Lang/Spec.h"
+#include "tessla/Support/Diagnostics.h"
+
+namespace tessla {
+namespace opt {
+
+struct LintOptions {
+  /// Report lint findings as errors instead of warnings (`--werror`).
+  bool WarningsAsErrors = false;
+};
+
+/// Runs every lint rule over \p S, appending findings to \p Diags.
+/// Returns the number of findings.
+unsigned lintSpec(const Spec &S, DiagnosticEngine &Diags,
+                  const LintOptions &Opts = {});
+
+} // namespace opt
+} // namespace tessla
+
+#endif // TESSLA_OPT_LINT_H

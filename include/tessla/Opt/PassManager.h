@@ -1,0 +1,99 @@
+//===- tessla/Opt/PassManager.h - Program pass framework -------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimization pass framework over the lowered Program IR: a pass is
+/// a semantics-preserving in-place rewrite of the step/slot tables; the
+/// manager runs a pipeline, records per-pass statistics, and re-verifies
+/// the IR invariants after every pass so a broken rewrite surfaces as a
+/// diagnostic instead of a miscompile.
+///
+/// Every pass receives the AnalysisResult the program was compiled from —
+/// the clock-aware rewrites (constant folding under AND/OR event
+/// semantics, step fusion on provably identical clocks) consult the
+/// triggering approximation ev' (§IV-C) for their soundness proofs.
+///
+/// The standard pipeline behind `tesslac -O1` is
+///
+///   constant-fold  →  step-fusion  →  dead-step-elim
+///
+/// with verification between passes; see DESIGN.md §3b for ordering and
+/// the clock-soundness argument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_OPT_PASSMANAGER_H
+#define TESSLA_OPT_PASSMANAGER_H
+
+#include "tessla/Analysis/Statistics.h"
+#include "tessla/Program/Program.h"
+
+#include <memory>
+
+namespace tessla {
+namespace opt {
+
+/// One in-place rewrite of a Program. Passes must keep the program
+/// executable and byte-identical in observable behavior at every pass
+/// boundary (each pass is individually semantics-preserving).
+class Pass {
+public:
+  virtual ~Pass() = default;
+  virtual std::string_view name() const = 0;
+  /// Rewrites \p P. \p A must be the analysis result \p P was compiled
+  /// from (the pass consults spec-level clock facts). Counters go into
+  /// \p Stats; internal failures are reported through \p Diags and
+  /// return false.
+  virtual bool run(Program &P, AnalysisResult &A, PassStatistics &Stats,
+                   DiagnosticEngine &Diags) = 0;
+};
+
+std::unique_ptr<Pass> createConstantFoldPass();
+std::unique_ptr<Pass> createStepFusionPass();
+std::unique_ptr<Pass> createDeadStepEliminationPass();
+
+/// Checks the Program IR invariants both backends rely on: slot indices
+/// in range, dense unique destination slots, Args/ArgSlot agreement,
+/// dispatch pointers resolved for the opcodes that call through them,
+/// and last/delay tables consistent with their referencing steps.
+/// Reports every violation through \p Diags; returns true if clean.
+bool verifyProgram(const Program &P, DiagnosticEngine &Diags);
+
+/// Runs a pass pipeline with per-pass statistics and verification.
+class PassManager {
+public:
+  void add(std::unique_ptr<Pass> P) { Passes.push_back(std::move(P)); }
+
+  /// Runs every pass in order. When \p Verify is set, verifyProgram runs
+  /// after each pass and a violation aborts the pipeline with an error
+  /// diagnostic naming the offending pass. \p Stats (optional) receives
+  /// one PassStatistics entry per executed pass.
+  bool run(Program &P, AnalysisResult &A, DiagnosticEngine &Diags,
+           OptStatistics *Stats = nullptr, bool Verify = true);
+
+private:
+  std::vector<std::unique_ptr<Pass>> Passes;
+};
+
+/// Optimization driver options (the `tesslac -O<level>` surface).
+struct OptOptions {
+  /// 0 = no passes; 1 = constant-fold + step-fusion + dead-step-elim.
+  unsigned Level = 1;
+  /// Re-verify IR invariants after every pass.
+  bool Verify = true;
+};
+
+/// Builds and runs the standard pipeline for \p Opts.Level over \p P.
+/// Returns false (with diagnostics) on pass or verification failure; the
+/// program must not be executed in that case.
+bool optimizeProgram(Program &P, AnalysisResult &A, const OptOptions &Opts,
+                     DiagnosticEngine &Diags,
+                     OptStatistics *Stats = nullptr);
+
+} // namespace opt
+} // namespace tessla
+
+#endif // TESSLA_OPT_PASSMANAGER_H

@@ -53,6 +53,10 @@ using SlotId = uint16_t;
 /// Pre-resolved dispatch opcode of one program step: StreamKind and (for
 /// lifts) EventSemantics folded into one flat enum so the interpreter's
 /// per-step dispatch is a single switch.
+///
+/// The last three opcodes are never produced by Program::compile; they
+/// are introduced by the optimization passes in tessla::opt (Opt/) and
+/// executed by both backends.
 enum class Opcode : uint8_t {
   Skip,          // Input (buffered by feed()) and Nil — no calculation
   Const,         // Const/Unit: one event at timestamp 0
@@ -63,6 +67,13 @@ enum class Opcode : uint8_t {
   LiftMerge,     // lift, EventSemantics::Any — first present wins
   LiftFirstRest, // lift, EventSemantics::FirstAndAnyRest — Impl
   LiftFilter,    // lift, EventSemantics::Custom — pass iff condition
+  // --- Opt-introduced opcodes ---
+  ConstTick,     // ConstVal at timestamp 0 and whenever Args[0] fires
+                 // (a collapsed held constant merge(c, last(c, t)))
+  FusedLastLift, // last(v, r) fused into its LiftAll consumer: reads
+                 // the last slot directly, no intermediate step/slot
+  FusedLiftLift, // single-consumer LiftAll producer fused into its
+                 // LiftAll consumer: Impl2 feeds Impl in one step
 };
 
 /// One lowered statement of the calculation section.
@@ -83,14 +94,37 @@ struct ProgramStep {
   /// Last steps: dense last-slot index of Args[0]. Delay steps: dense
   /// delay index into Program::delays(). Unused otherwise.
   SlotId Aux = 0;
-  /// Pre-resolved evaluator for LiftAll/LiftFirstRest steps; null for
-  /// every other opcode (merge/filter never reach an evaluator).
+  /// Pre-resolved evaluator for LiftAll/LiftFirstRest steps (and the
+  /// consumer half of fused steps); null for every other opcode
+  /// (merge/filter never reach an evaluator).
   BuiltinFn Impl = nullptr;
   /// The defined stream (diagnostics, printing, code generation).
   StreamId Id = 0;
-  /// Stream-level operands (code generation, printing).
+  /// Stream-level operands (code generation, printing, and backward
+  /// reachability in the optimizer). Per-opcode layout:
+  ///  * ConstTick: {trigger} — NumArgs == 1;
+  ///  * FusedLastLift: {v, r, rest...} of the fused last(v, r), so
+  ///    Args.size() == NumArgs + 1 and ArgSlot[0] is r's slot followed
+  ///    by the rest slots;
+  ///  * FusedLiftLift: producer args then consumer rest args, aligned
+  ///    with ArgSlot;
+  ///  * everything else: the spec operands, aligned with ArgSlot.
   std::vector<StreamId> Args;
-  Value ConstVal; // Const steps (also Unit's payload)
+  Value ConstVal; // Const/ConstTick steps (always a scalar)
+
+  // --- Fields used only by the opt-introduced opcodes. ---
+  /// FusedLiftLift: evaluator/builtin/mutability of the fused producer.
+  BuiltinFn Impl2 = nullptr;
+  BuiltinId Fn2 = BuiltinId::Merge;
+  bool InPlace2 = false;
+  /// FusedLiftLift: arity of the fused producer (its argument slots are
+  /// ArgSlot[0..FusedArity), the consumer's rest follows).
+  uint8_t FusedArity = 0;
+  /// Fused steps: the stream of the fused-away producer (printing, code
+  /// generation, mutability lookups).
+  StreamId FusedId = 0;
+  /// True when ConstantFold rewrote this step (printing/statistics).
+  bool Folded = false;
 };
 
 /// One *_last slot: the most recent value of Source, updated at the end
@@ -146,10 +180,26 @@ public:
   uint32_t inPlaceStepCount() const;
 
   /// Renders the lowered program, one step per line with its slot
-  /// assignment and in-place markers, followed by the last/delay/output
-  /// slot tables — the single human-readable form of what both backends
-  /// execute.
+  /// assignment and in-place/folded/fused markers, followed by the
+  /// last/delay/output slot tables — the single human-readable form of
+  /// what both backends execute.
   std::string str() const;
+
+  /// Mutable access to the IR tables for the optimization passes in
+  /// tessla::opt. Invariants (dense slot ranges, dispatch pointers,
+  /// Args/ArgSlot agreement) are re-checked by opt::verifyProgram after
+  /// every pass; all other code must treat Program as immutable.
+  struct OptView {
+    std::vector<ProgramStep> &Steps;
+    std::vector<LastSlot> &LastSlots;
+    std::vector<DelaySlot> &Delays;
+    std::vector<OutputSlot> &Outputs;
+    std::vector<SlotId> &ValueSlots;
+    SlotId &NumValueSlots;
+  };
+  OptView optView() {
+    return {Steps, LastSlots, Delays, Outputs, ValueSlots, NumValueSlots};
+  }
 
 private:
   std::shared_ptr<const Spec> S;

@@ -79,3 +79,59 @@ std::string AnalysisStatistics::str() const {
       static_cast<unsigned long long>(ImplicationSat));
   return Out;
 }
+
+std::string PassStatistics::str() const {
+  std::string Out = formatString("%s: steps %u -> %u", Pass.c_str(),
+                                 StepsBefore, StepsAfter);
+  if (Folded)
+    Out += formatString(" (folded %u)", Folded);
+  if (Fused)
+    Out += formatString(" (fused %u)", Fused);
+  if (Eliminated)
+    Out += formatString(" (eliminated %u)", Eliminated);
+  if (ValueSlotsBefore != ValueSlotsAfter ||
+      LastSlotsBefore != LastSlotsAfter ||
+      DelaySlotsBefore != DelaySlotsAfter)
+    Out += formatString(" slots value=%u->%u last=%u->%u delay=%u->%u",
+                        ValueSlotsBefore, ValueSlotsAfter, LastSlotsBefore,
+                        LastSlotsAfter, DelaySlotsBefore, DelaySlotsAfter);
+  return Out;
+}
+
+uint32_t OptStatistics::totalFolded() const {
+  uint32_t N = 0;
+  for (const PassStatistics &P : Passes)
+    N += P.Folded;
+  return N;
+}
+
+uint32_t OptStatistics::totalFused() const {
+  uint32_t N = 0;
+  for (const PassStatistics &P : Passes)
+    N += P.Fused;
+  return N;
+}
+
+uint32_t OptStatistics::totalEliminated() const {
+  uint32_t N = 0;
+  for (const PassStatistics &P : Passes)
+    N += P.Eliminated;
+  return N;
+}
+
+std::string OptStatistics::str() const {
+  std::string Out;
+  for (const PassStatistics &P : Passes)
+    Out += P.str() + "\n";
+  if (!Passes.empty()) {
+    const PassStatistics &First = Passes.front();
+    const PassStatistics &Last = Passes.back();
+    Out += formatString(
+        "total: steps %u -> %u, slots value=%u->%u last=%u->%u "
+        "delay=%u->%u\n",
+        First.StepsBefore, Last.StepsAfter, First.ValueSlotsBefore,
+        Last.ValueSlotsAfter, First.LastSlotsBefore, Last.LastSlotsAfter,
+        First.DelaySlotsBefore, Last.DelaySlotsAfter);
+  }
+  return Out;
+}

@@ -14,7 +14,19 @@ using namespace tessla;
 
 namespace {
 
-/// Stateful emitter for one lowered program.
+/// One argument of an emitted lift body: the stream it stands for (type
+/// and mutability queries) plus the C++ expression that reads it — the
+/// stream's variable normally, a last-slot or a fused-producer local for
+/// the fused opcodes.
+struct ArgRef {
+  StreamId Id;
+  std::string Expr;
+};
+
+/// Stateful emitter for one lowered program. Emission is driven by the
+/// program's *steps* (opcodes), not the spec's stream kinds, so optimized
+/// programs — folded constants, fused steps, compacted slot tables —
+/// emit exactly what the interpreter executes.
 class Emitter {
 public:
   Emitter(const Program &P, const CppEmitterOptions &Opts,
@@ -43,6 +55,12 @@ private:
   }
 
   bool isMut(StreamId Id) const { return P.isMutable(Id); }
+  /// A stream without a value slot never carries an event (nil, or
+  /// optimized away); it gets no variable and every read of it folds to
+  /// "absent".
+  bool dead(StreamId Id) const {
+    return P.valueSlot(Id) == P.numValueSlots();
+  }
   std::string var(StreamId Id) const { return "v_" + S.stream(Id).Name; }
   std::string has(StreamId Id) const { return var(Id) + "_has"; }
 
@@ -130,32 +148,86 @@ private:
     return std::visit(Renderer{}, Lit.V);
   }
 
+  /// Renders a folded scalar constant (Const/ConstTick payloads).
+  std::string valueLiteral(StreamId Id, const Value &V) {
+    switch (V.kind()) {
+    case Value::Kind::Unit:
+      return "tessla::cgen::UnitV{}";
+    case Value::Kind::Bool:
+      return V.getBool() ? "true" : "false";
+    case Value::Kind::Int:
+      return "int64_t{" + std::to_string(V.getInt()) + "}";
+    case Value::Kind::Float: {
+      std::string Text = formatDouble(V.getFloat());
+      if (Text.find_first_of(".eE") == std::string::npos)
+        Text += ".0";
+      return Text;
+    }
+    case Value::Kind::String:
+      return "std::string(\"" + escapeString(V.getString()) + "\")";
+    default:
+      unsupported(Id, "aggregate-valued constant step");
+      return "{}";
+    }
+  }
+
   void emitHeader();
   void emitVariables();
   void emitFeeds();
   void emitTriggering();
   void emitCalc();
-  void emitLiftBody(const StreamDef &D, StreamId Id);
+  void emitStep(const ProgramStep &Step);
+  std::vector<std::string> liftBodyStmts(BuiltinId Fn, StreamId DstId,
+                                         const std::string &Dst, bool Mut,
+                                         const std::vector<ArgRef> &Args);
   void emitMain();
   void emitBenchMain();
 };
 
 std::optional<std::string> Emitter::run() {
-  // Pre-flight checks for unsupported constructs.
-  for (StreamId Id = 0; Id != S.numStreams(); ++Id) {
-    const StreamDef &D = S.stream(Id);
-    if (D.Kind == StreamKind::Input && D.Ty.isComplex())
+  // Pre-flight checks for unsupported constructs, against the *steps*
+  // actually emitted (after optimization the spec may mention lifts that
+  // no longer exist, and fused steps carry two builtins each).
+  for (StreamId Id : S.inputs())
+    if (S.stream(Id).Ty.isComplex())
       unsupported(Id, "aggregate-typed input streams");
-    if (D.Kind == StreamKind::Lift) {
-      bool Comparison =
-          D.Fn == BuiltinId::Eq || D.Fn == BuiltinId::Neq ||
-          D.Fn == BuiltinId::Lt || D.Fn == BuiltinId::Leq ||
-          D.Fn == BuiltinId::Gt || D.Fn == BuiltinId::Geq ||
-          D.Fn == BuiltinId::Min || D.Fn == BuiltinId::Max;
-      if (Comparison)
-        for (StreamId A : D.Args)
-          if (S.stream(A).Ty.isComplex())
-            unsupported(Id, "comparisons between aggregates");
+  auto CheckCmp = [&](StreamId At, BuiltinId Fn,
+                      const std::vector<StreamId> &Args) {
+    bool Comparison =
+        Fn == BuiltinId::Eq || Fn == BuiltinId::Neq ||
+        Fn == BuiltinId::Lt || Fn == BuiltinId::Leq ||
+        Fn == BuiltinId::Gt || Fn == BuiltinId::Geq ||
+        Fn == BuiltinId::Min || Fn == BuiltinId::Max;
+    if (!Comparison)
+      return;
+    for (StreamId A : Args)
+      if (S.stream(A).Ty.isComplex())
+        unsupported(At, "comparisons between aggregates");
+  };
+  for (const ProgramStep &Step : P.steps()) {
+    switch (Step.Op) {
+    case Opcode::LiftAll:
+    case Opcode::LiftFirstRest:
+      CheckCmp(Step.Id, Step.Fn, Step.Args);
+      break;
+    case Opcode::FusedLastLift: {
+      std::vector<StreamId> Args{Step.Args[0]};
+      Args.insert(Args.end(), Step.Args.begin() + 2, Step.Args.end());
+      CheckCmp(Step.Id, Step.Fn, Args);
+      break;
+    }
+    case Opcode::FusedLiftLift: {
+      std::vector<StreamId> Inner(Step.Args.begin(),
+                                  Step.Args.begin() + Step.FusedArity);
+      CheckCmp(Step.Id, Step.Fn2, Inner);
+      std::vector<StreamId> Outer{Step.FusedId};
+      Outer.insert(Outer.end(), Step.Args.begin() + Step.FusedArity,
+                   Step.Args.end());
+      CheckCmp(Step.Id, Step.Fn, Outer);
+      break;
+    }
+    default:
+      break;
     }
   }
   if (Failed)
@@ -229,10 +301,11 @@ void Emitter::emitHeader() {
 }
 
 void Emitter::emitVariables() {
-  line("  // Stream variables (current timestamp).");
+  line("  // Stream variables (current timestamp), one per live value");
+  line("  // slot of the program.");
   for (StreamId Id = 0; Id != S.numStreams(); ++Id) {
-    if (S.stream(Id).Kind == StreamKind::Nil)
-      continue; // nil never carries events; no storage needed
+    if (dead(Id))
+      continue; // no slot: nil or optimized away, never carries events
     line("  bool " + has(Id) + " = false;");
     line("  " + cppType(Id) + " " + var(Id) + "{};");
   }
@@ -241,6 +314,8 @@ void Emitter::emitVariables() {
   if (!P.lastSlots().empty()) {
     line("  // *_last slots (value of the most recent event).");
     for (const LastSlot &L : P.lastSlots()) {
+      if (dead(L.Source))
+        continue; // the source never fires; the slot stays empty
       line("  bool " + var(L.Source) + "_last_init = false;");
       line("  " + cppType(L.Source) + " " + var(L.Source) + "_last{};");
     }
@@ -304,23 +379,24 @@ void Emitter::emitTriggering() {
   line();
 }
 
-void Emitter::emitLiftBody(const StreamDef &D, StreamId Id) {
-  const BuiltinInfo &Info = builtinInfo(D.Fn);
-  bool Mut = isMut(Id);
-  auto A = [&](unsigned I) { return var(D.Args[I]); };
+std::vector<std::string>
+Emitter::liftBodyStmts(BuiltinId Fn, StreamId DstId, const std::string &Dst,
+                       bool Mut, const std::vector<ArgRef> &Args) {
+  auto A = [&](unsigned I) { return Args[I].Expr; };
   // Mutable aggregates are accessed through the shared_ptr; helpers take
   // the pointee.
   auto Deref = [&](unsigned I) {
-    return isMut(D.Args[I]) ? "*" + A(I) : A(I);
+    return isMut(Args[I].Id) ? "*" + A(I) : A(I);
   };
-  std::string R = var(Id);
+  auto ArgTy = [&](unsigned I) { return S.stream(Args[I].Id).Ty.kind(); };
+  const std::string &R = Dst;
   std::vector<std::string> Body; // statements (without guard/indent)
 
   auto Assign = [&](const std::string &Expr) {
     Body.push_back(R + " = " + Expr + ";");
   };
 
-  switch (D.Fn) {
+  switch (Fn) {
   case BuiltinId::Merge:
   case BuiltinId::Filter:
   case BuiltinId::SetUpdate:
@@ -339,13 +415,13 @@ void Emitter::emitLiftBody(const StreamDef &D, StreamId Id) {
     Assign(A(0) + " * " + A(1));
     break;
   case BuiltinId::Div:
-    if (S.stream(D.Args[0]).Ty.kind() == TypeKind::Int)
+    if (ArgTy(0) == TypeKind::Int)
       Assign("tessla::cgen::checkedDiv(" + A(0) + ", " + A(1) + ")");
     else
       Assign(A(0) + " / " + A(1));
     break;
   case BuiltinId::Mod:
-    if (S.stream(D.Args[0]).Ty.kind() == TypeKind::Int)
+    if (ArgTy(0) == TypeKind::Int)
       Assign("tessla::cgen::checkedMod(" + A(0) + ", " + A(1) + ")");
     else
       Assign("std::fmod(" + A(0) + ", " + A(1) + ")");
@@ -354,7 +430,7 @@ void Emitter::emitLiftBody(const StreamDef &D, StreamId Id) {
     Assign("-" + A(0));
     break;
   case BuiltinId::Abs:
-    if (S.stream(D.Args[0]).Ty.kind() == TypeKind::Int)
+    if (ArgTy(0) == TypeKind::Int)
       Assign(A(0) + " < 0 ? -" + A(0) + " : " + A(0));
     else
       Assign("std::fabs(" + A(0) + ")");
@@ -403,9 +479,9 @@ void Emitter::emitLiftBody(const StreamDef &D, StreamId Id) {
   case BuiltinId::MapEmpty:
   case BuiltinId::QueueEmpty:
     if (Mut)
-      Assign("std::make_shared<" + innerType(Id) + ">()");
+      Assign("std::make_shared<" + innerType(DstId) + ">()");
     else
-      Assign(cppType(Id) + "{}");
+      Assign(cppType(DstId) + "{}");
     break;
 
   case BuiltinId::SetAdd:
@@ -438,10 +514,10 @@ void Emitter::emitLiftBody(const StreamDef &D, StreamId Id) {
     break;
   case BuiltinId::SetUnion:
   case BuiltinId::SetDiff: {
-    const char *IntoFn = D.Fn == BuiltinId::SetUnion
+    const char *IntoFn = Fn == BuiltinId::SetUnion
                              ? "tessla::cgen::setUnionInto"
                              : "tessla::cgen::setDiffInto";
-    const char *OfFn = D.Fn == BuiltinId::SetUnion
+    const char *OfFn = Fn == BuiltinId::SetUnion
                            ? "tessla::cgen::setUnionOf"
                            : "tessla::cgen::setDiffOf";
     if (Mut) {
@@ -460,14 +536,14 @@ void Emitter::emitLiftBody(const StreamDef &D, StreamId Id) {
     Assign("static_cast<int64_t>(" + A(0) + ".size())");
     break;
   case BuiltinId::SetContains:
-    Assign(isMut(D.Args[0]) ? A(0) + "->count(" + A(1) + ") != 0"
-                            : A(0) + ".contains(" + A(1) + ")");
+    Assign(isMut(Args[0].Id) ? A(0) + "->count(" + A(1) + ") != 0"
+                             : A(0) + ".contains(" + A(1) + ")");
     break;
   case BuiltinId::SetSize:
   case BuiltinId::MapSize:
   case BuiltinId::QueueSize:
     Assign("static_cast<int64_t>(" +
-           (isMut(D.Args[0]) ? A(0) + "->size()" : A(0) + ".size()") + ")");
+           (isMut(Args[0].Id) ? A(0) + "->size()" : A(0) + ".size()") + ")");
     break;
 
   case BuiltinId::MapPut:
@@ -494,8 +570,8 @@ void Emitter::emitLiftBody(const StreamDef &D, StreamId Id) {
            A(2) + ")");
     break;
   case BuiltinId::MapContains:
-    Assign(isMut(D.Args[0]) ? A(0) + "->count(" + A(1) + ") != 0"
-                            : A(0) + ".find(" + A(1) + ") != nullptr");
+    Assign(isMut(Args[0].Id) ? A(0) + "->count(" + A(1) + ") != 0"
+                             : A(0) + ".find(" + A(1) + ") != nullptr");
     break;
 
   case BuiltinId::QueueEnq:
@@ -526,123 +602,295 @@ void Emitter::emitLiftBody(const StreamDef &D, StreamId Id) {
     }
     break;
   }
+  return Body;
+}
 
-  // All-present guard.
-  std::string Guard;
-  for (unsigned I = 0; I != Info.Arity; ++I) {
-    if (I)
-      Guard += " && ";
-    Guard += has(D.Args[I]);
+void Emitter::emitStep(const ProgramStep &Step) {
+  StreamId Id = Step.Id;
+  std::string Name = S.stream(Id).Name;
+
+  // A guard over the presence flags of live streams; any dead stream
+  // makes the whole conjunction statically false.
+  auto AllPresent = [&](const std::vector<StreamId> &Ids,
+                        std::string &Guard) {
+    Guard.clear();
+    for (StreamId A : Ids) {
+      if (dead(A))
+        return false;
+      if (!Guard.empty())
+        Guard += " && ";
+      Guard += has(A);
+    }
+    return true;
+  };
+  auto Never = [&](const std::string &Why) {
+    line("    // " + Name + ": never fires (" + Why + ")");
+  };
+
+  switch (Step.Op) {
+  case Opcode::Skip:
+    if (Step.Kind == StreamKind::Input)
+      line("    // " + Name + ": input (buffered by feed_" + Name + ")");
+    else if (Step.Kind == StreamKind::Nil)
+      line("    // " + Name + ": nil");
+    else
+      Never("folded");
+    break;
+
+  case Opcode::Const:
+    line("    // " + Name + " = const " + Step.ConstVal.str() +
+         (Step.Folded ? "   [folded]" : ""));
+    line("    if (ts == 0) {");
+    line("      " + var(Id) + " = " + valueLiteral(Id, Step.ConstVal) +
+         ";");
+    line("      " + has(Id) + " = true;");
+    line("    }");
+    break;
+
+  case Opcode::ConstTick: {
+    line("    // " + Name + " = const " + Step.ConstVal.str() + " on " +
+         S.stream(Step.Args[0]).Name + "   [folded]");
+    std::string Cond = "ts == 0";
+    if (!dead(Step.Args[0]))
+      Cond += " || " + has(Step.Args[0]);
+    line("    if (" + Cond + ") {");
+    line("      " + var(Id) + " = " + valueLiteral(Id, Step.ConstVal) +
+         ";");
+    line("      " + has(Id) + " = true;");
+    line("    }");
+    break;
   }
-  line("    if (" + Guard + ") {");
-  for (const std::string &Stmt : Body)
-    line("      " + Stmt);
-  line("      " + has(Id) + " = true;");
-  line("    }");
+
+  case Opcode::Time: {
+    line("    // " + Name + " = time(" + S.stream(Step.Args[0]).Name +
+         ")");
+    if (dead(Step.Args[0])) {
+      Never("silent operand");
+      break;
+    }
+    line("    if (" + has(Step.Args[0]) + ") {");
+    line("      " + var(Id) + " = ts;");
+    line("      " + has(Id) + " = true;");
+    line("    }");
+    break;
+  }
+
+  case Opcode::Last: {
+    StreamId V = Step.Args[0], R = Step.Args[1];
+    line("    // " + Name + " = last(" + S.stream(V).Name + ", " +
+         S.stream(R).Name + ")");
+    if (dead(V) || dead(R)) {
+      Never("silent operand");
+      break;
+    }
+    line("    if (" + has(R) + " && " + var(V) + "_last_init) {");
+    line("      " + var(Id) + " = " + var(V) + "_last;");
+    line("      " + has(Id) + " = true;");
+    line("    }");
+    break;
+  }
+
+  case Opcode::Delay:
+    line("    // " + Name + " = delay(" + S.stream(Step.Args[0]).Name +
+         ", " + S.stream(Step.Args[1]).Name + ")");
+    line("    if (" + var(Id) + "_nextTs_set && " + var(Id) +
+         "_nextTs == ts) {");
+    line("      " + var(Id) + " = tessla::cgen::UnitV{};");
+    line("      " + has(Id) + " = true;");
+    line("    }");
+    break;
+
+  case Opcode::LiftMerge: {
+    line("    // " + Name + " = merge(...)");
+    bool Any = false;
+    for (StreamId A : Step.Args) {
+      if (dead(A))
+        continue;
+      line(std::string(Any ? "    } else if (" : "    if (") + has(A) +
+           ") {");
+      line("      " + var(Id) + " = " + var(A) + ";");
+      line("      " + has(Id) + " = true;");
+      Any = true;
+    }
+    if (Any)
+      line("    }");
+    else
+      Never("all operands silent");
+    break;
+  }
+
+  case Opcode::LiftFilter: {
+    StreamId A0 = Step.Args[0], C = Step.Args[1];
+    line("    // " + Name + " = filter(" + S.stream(A0).Name + ", " +
+         S.stream(C).Name + ")");
+    if (dead(A0) || dead(C)) {
+      Never("silent operand");
+      break;
+    }
+    line("    if (" + has(A0) + " && " + has(C) + " && " + var(C) + ") {");
+    line("      " + var(Id) + " = " + var(A0) + ";");
+    line("      " + has(Id) + " = true;");
+    line("    }");
+    break;
+  }
+
+  case Opcode::LiftFirstRest: {
+    if (Step.Fn != BuiltinId::SetUpdate) {
+      unsupported(Id, "unknown first-and-any-rest builtin");
+      break;
+    }
+    StreamId Base = Step.Args[0];
+    line("    // " + Name + " = setUpdate(...)");
+    std::vector<StreamId> Rest;
+    for (size_t I = 1; I != Step.Args.size(); ++I)
+      if (!dead(Step.Args[I]))
+        Rest.push_back(Step.Args[I]);
+    if (dead(Base) || Rest.empty()) {
+      Never("silent operand");
+      break;
+    }
+    std::string Or;
+    for (StreamId A : Rest)
+      Or += (Or.empty() ? "" : " || ") + has(A);
+    line("    if (" + has(Base) + " && (" + Or + ")) {");
+    line("      " + var(Id) + " = " + var(Base) + ";");
+    bool Mut = isMut(Id);
+    auto Update = [&](size_t ArgIndex, const char *MutOp,
+                      const char *PersistOp) {
+      if (ArgIndex >= Step.Args.size() || dead(Step.Args[ArgIndex]))
+        return;
+      StreamId A = Step.Args[ArgIndex];
+      line("      if (" + has(A) + ")");
+      if (Mut)
+        line("        " + var(Id) + "->" + MutOp + "(" + var(A) + ");");
+      else
+        line("        " + var(Id) + " = " + var(Id) + "." + PersistOp +
+             "(" + var(A) + ");");
+    };
+    Update(1, "insert", "insert");
+    Update(2, "erase", "erase");
+    line("      " + has(Id) + " = true;");
+    line("    }");
+    break;
+  }
+
+  case Opcode::LiftAll: {
+    line("    // " + Name + " = " +
+         std::string(builtinInfo(Step.Fn).Name) + "(...)");
+    std::string Guard;
+    if (!AllPresent(Step.Args, Guard)) {
+      Never("silent operand");
+      break;
+    }
+    std::vector<ArgRef> Args;
+    for (StreamId A : Step.Args)
+      Args.push_back({A, var(A)});
+    line("    if (" + Guard + ") {");
+    for (const std::string &Stmt :
+         liftBodyStmts(Step.Fn, Id, var(Id), isMut(Id), Args))
+      line("      " + Stmt);
+    line("      " + has(Id) + " = true;");
+    line("    }");
+    break;
+  }
+
+  case Opcode::FusedLastLift: {
+    // Consumer lift reading the fused last(v, r) straight from the last
+    // slot: fires when r fires, the slot is initialized and the rest is
+    // present — the unfused pair's guards verbatim.
+    StreamId V = Step.Args[0], R = Step.Args[1];
+    line("    // " + Name + " = " +
+         std::string(builtinInfo(Step.Fn).Name) + "(last(" +
+         S.stream(V).Name + ", " + S.stream(R).Name + "), ...)   [fused]");
+    std::vector<StreamId> Rest(Step.Args.begin() + 2, Step.Args.end());
+    std::string RestGuard;
+    if (dead(V) || dead(R) || !AllPresent(Rest, RestGuard)) {
+      Never("silent operand");
+      break;
+    }
+    std::string Guard = has(R) + " && " + var(V) + "_last_init";
+    if (!RestGuard.empty())
+      Guard += " && " + RestGuard;
+    std::vector<ArgRef> Args;
+    Args.push_back({V, var(V) + "_last"});
+    for (StreamId A : Rest)
+      Args.push_back({A, var(A)});
+    line("    if (" + Guard + ") {");
+    for (const std::string &Stmt :
+         liftBodyStmts(Step.Fn, Id, var(Id), isMut(Id), Args))
+      line("      " + Stmt);
+    line("      " + has(Id) + " = true;");
+    line("    }");
+    break;
+  }
+
+  case Opcode::FusedLiftLift: {
+    // The fused-away producer evaluates into a scoped local whenever its
+    // own arguments are present (destructive updates and failures happen
+    // exactly as unfused), and the consumer fires only when its rest is
+    // present too.
+    std::vector<StreamId> Inner(Step.Args.begin(),
+                                Step.Args.begin() + Step.FusedArity);
+    std::vector<StreamId> Rest(Step.Args.begin() + Step.FusedArity,
+                               Step.Args.end());
+    line("    // " + Name + " = " +
+         std::string(builtinInfo(Step.Fn).Name) + "(" +
+         std::string(builtinInfo(Step.Fn2).Name) + "(...), ...)   "
+         "[fused]");
+    std::string InnerGuard;
+    if (!AllPresent(Inner, InnerGuard)) {
+      Never("silent operand");
+      break;
+    }
+    std::string RestGuard;
+    bool RestLive = AllPresent(Rest, RestGuard);
+    std::vector<ArgRef> InnerArgs;
+    for (StreamId A : Inner)
+      InnerArgs.push_back({A, var(A)});
+    std::string Tmp = var(Step.FusedId);
+    line("    if (" + InnerGuard + ") {");
+    line("      " + cppType(Step.FusedId) + " " + Tmp + "{};");
+    for (const std::string &Stmt :
+         liftBodyStmts(Step.Fn2, Step.FusedId, Tmp, isMut(Step.FusedId),
+                       InnerArgs))
+      line("      " + Stmt);
+    if (RestLive) {
+      std::string Indent = "      ";
+      if (!RestGuard.empty()) {
+        line("      if (" + RestGuard + ") {");
+        Indent = "        ";
+      }
+      std::vector<ArgRef> OuterArgs;
+      OuterArgs.push_back({Step.FusedId, Tmp});
+      for (StreamId A : Rest)
+        OuterArgs.push_back({A, var(A)});
+      for (const std::string &Stmt :
+           liftBodyStmts(Step.Fn, Id, var(Id), isMut(Id), OuterArgs))
+        line(Indent + Stmt);
+      line(Indent + has(Id) + " = true;");
+      if (!RestGuard.empty())
+        line("      }");
+    }
+    line("    }");
+    break;
+  }
+  }
 }
 
 void Emitter::emitCalc() {
   line("  // --- Calculation section (paper, section III-A), in the");
   line("  // program's step order. ---");
   line("  void calc(int64_t ts) {");
-  for (const ProgramStep &Step : P.steps()) {
-    StreamId Id = Step.Id;
-    const StreamDef &D = S.stream(Id);
-    std::string Name = D.Name;
-    switch (D.Kind) {
-    case StreamKind::Input:
-      line("    // " + Name + ": input (buffered by feed_" + Name + ")");
-      break;
-    case StreamKind::Nil:
-      line("    // " + Name + ": nil");
-      break;
-    case StreamKind::Unit:
-      line("    // " + Name + " = unit");
-      line("    if (ts == 0) {");
-      line("      " + var(Id) + " = tessla::cgen::UnitV{};");
-      line("      " + has(Id) + " = true;");
-      line("    }");
-      break;
-    case StreamKind::Const:
-      line("    // " + Name + " = const " + D.Literal.str());
-      line("    if (ts == 0) {");
-      line("      " + var(Id) + " = " + literal(D.Literal) + ";");
-      line("      " + has(Id) + " = true;");
-      line("    }");
-      break;
-    case StreamKind::Time:
-      line("    // " + Name + " = time(" + S.stream(D.Args[0]).Name + ")");
-      line("    if (" + has(D.Args[0]) + ") {");
-      line("      " + var(Id) + " = ts;");
-      line("      " + has(Id) + " = true;");
-      line("    }");
-      break;
-    case StreamKind::Last:
-      line("    // " + Name + " = last(" + S.stream(D.Args[0]).Name + ", " +
-           S.stream(D.Args[1]).Name + ")");
-      line("    if (" + has(D.Args[1]) + " && " + var(D.Args[0]) +
-           "_last_init) {");
-      line("      " + var(Id) + " = " + var(D.Args[0]) + "_last;");
-      line("      " + has(Id) + " = true;");
-      line("    }");
-      break;
-    case StreamKind::Delay:
-      line("    // " + Name + " = delay(" + S.stream(D.Args[0]).Name +
-           ", " + S.stream(D.Args[1]).Name + ")");
-      line("    if (" + var(Id) + "_nextTs_set && " + var(Id) +
-           "_nextTs == ts) {");
-      line("      " + var(Id) + " = tessla::cgen::UnitV{};");
-      line("      " + has(Id) + " = true;");
-      line("    }");
-      break;
-    case StreamKind::Lift: {
-      const BuiltinInfo &Info = builtinInfo(D.Fn);
-      line("    // " + Name + " = " + std::string(Info.Name) + "(...)");
-      if (D.Fn == BuiltinId::Merge) {
-        line("    if (" + has(D.Args[0]) + ") {");
-        line("      " + var(Id) + " = " + var(D.Args[0]) + ";");
-        line("      " + has(Id) + " = true;");
-        line("    } else if (" + has(D.Args[1]) + ") {");
-        line("      " + var(Id) + " = " + var(D.Args[1]) + ";");
-        line("      " + has(Id) + " = true;");
-        line("    }");
-      } else if (D.Fn == BuiltinId::Filter) {
-        line("    if (" + has(D.Args[0]) + " && " + has(D.Args[1]) +
-             " && " + var(D.Args[1]) + ") {");
-        line("      " + var(Id) + " = " + var(D.Args[0]) + ";");
-        line("      " + has(Id) + " = true;");
-        line("    }");
-      } else if (D.Fn == BuiltinId::SetUpdate) {
-        bool Mut = isMut(Id);
-        line("    if (" + has(D.Args[0]) + " && (" + has(D.Args[1]) +
-             " || " + has(D.Args[2]) + ")) {");
-        line("      " + var(Id) + " = " + var(D.Args[0]) + ";");
-        if (Mut) {
-          line("      if (" + has(D.Args[1]) + ")");
-          line("        " + var(Id) + "->insert(" + var(D.Args[1]) + ");");
-          line("      if (" + has(D.Args[2]) + ")");
-          line("        " + var(Id) + "->erase(" + var(D.Args[2]) + ");");
-        } else {
-          line("      if (" + has(D.Args[1]) + ")");
-          line("        " + var(Id) + " = " + var(Id) + ".insert(" +
-               var(D.Args[1]) + ");");
-          line("      if (" + has(D.Args[2]) + ")");
-          line("        " + var(Id) + " = " + var(Id) + ".erase(" +
-               var(D.Args[2]) + ");");
-        }
-        line("      " + has(Id) + " = true;");
-        line("    }");
-      } else {
-        emitLiftBody(D, Id);
-      }
-      break;
-    }
-    }
-  }
+  for (const ProgramStep &Step : P.steps())
+    emitStep(Step);
 
   line();
   line("    // --- Emit outputs. ---");
   for (const OutputSlot &O : P.outputs()) {
+    if (dead(O.Id)) {
+      line("    // output " + S.stream(O.Id).Name + ": never fires");
+      continue;
+    }
     line("    if (" + has(O.Id) + " && Out)");
     line("      Out(ts, \"" + S.stream(O.Id).Name +
          "\", tessla::cgen::str(" + var(O.Id) + "));");
@@ -651,6 +899,8 @@ void Emitter::emitCalc() {
   line();
   line("    // --- Update *_last slots. ---");
   for (const LastSlot &L : P.lastSlots()) {
+    if (dead(L.Source))
+      continue;
     line("    if (" + has(L.Source) + ") {");
     line("      " + var(L.Source) + "_last = " + var(L.Source) + ";");
     line("      " + var(L.Source) + "_last_init = true;");
@@ -661,17 +911,24 @@ void Emitter::emitCalc() {
     line();
     line("    // --- Delay scheduling. ---");
     for (const DelaySlot &D : P.delays()) {
-      line("    if (" + has(D.ResetArg) + " || " + has(D.Id) + ") {");
-      line("      if (" + has(D.DelaysArg) + ") {");
-      line("        if (" + var(D.DelaysArg) + " <= 0)");
-      line("          tessla::cgen::fail(\"delay amounts must be "
-           "positive\");");
-      line("        " + var(D.Id) + "_nextTs = ts + " + var(D.DelaysArg) +
-           ";");
-      line("        " + var(D.Id) + "_nextTs_set = true;");
-      line("      } else {");
-      line("        " + var(D.Id) + "_nextTs_set = false;");
-      line("      }");
+      std::string Reset = has(D.Id);
+      if (!dead(D.ResetArg))
+        Reset = has(D.ResetArg) + " || " + Reset;
+      line("    if (" + Reset + ") {");
+      if (dead(D.DelaysArg)) {
+        line("      " + var(D.Id) + "_nextTs_set = false;");
+      } else {
+        line("      if (" + has(D.DelaysArg) + ") {");
+        line("        if (" + var(D.DelaysArg) + " <= 0)");
+        line("          tessla::cgen::fail(\"delay amounts must be "
+             "positive\");");
+        line("        " + var(D.Id) + "_nextTs = ts + " + var(D.DelaysArg) +
+             ";");
+        line("        " + var(D.Id) + "_nextTs_set = true;");
+        line("      } else {");
+        line("        " + var(D.Id) + "_nextTs_set = false;");
+        line("      }");
+      }
       line("    }");
     }
   }
@@ -679,7 +936,7 @@ void Emitter::emitCalc() {
   line();
   line("    // --- Reset current-value slots. ---");
   for (StreamId Id = 0; Id != S.numStreams(); ++Id) {
-    if (S.stream(Id).Kind == StreamKind::Nil)
+    if (dead(Id))
       continue;
     line("    " + has(Id) + " = false;");
   }

@@ -1,0 +1,172 @@
+//===- Opt/DeadStepElim.cpp -------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+// Dead-step elimination with full slot-table compaction. Roots are the
+// output streams (their values are observable) and the input streams
+// (feed() writes their slots and the generated feed_* API must keep
+// working); everything not backward-reachable over step operands — which
+// include last sources, delay operands and fused-away operand lists — is
+// removed. Afterwards the value/last/delay slot tables are rebuilt
+// densely over the surviving steps, exactly like Program::compile lays
+// them out, and every step's slot fields are recomputed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Opt/PassManager.h"
+
+#include <unordered_map>
+
+using namespace tessla;
+using namespace tessla::opt;
+
+namespace {
+
+class DeadStepElim : public Pass {
+public:
+  std::string_view name() const override { return "dead-step-elim"; }
+
+  bool run(Program &P, AnalysisResult &A, PassStatistics &Stats,
+           DiagnosticEngine &Diags) override;
+};
+
+bool DeadStepElim::run(Program &P, AnalysisResult &A, PassStatistics &Stats,
+                       DiagnosticEngine &Diags) {
+  (void)A;
+  (void)Diags;
+  const Spec &S = P.spec();
+  Program::OptView View = P.optView();
+
+  std::unordered_map<StreamId, size_t> StepOf;
+  for (size_t I = 0; I != View.Steps.size(); ++I)
+    StepOf[View.Steps[I].Id] = I;
+
+  // --- Backward reachability from outputs and inputs. ---
+  std::vector<bool> Live(S.numStreams(), false);
+  std::vector<StreamId> Work;
+  auto mark = [&](StreamId Id) {
+    if (!Live[Id]) {
+      Live[Id] = true;
+      Work.push_back(Id);
+    }
+  };
+  for (const OutputSlot &O : View.Outputs)
+    mark(O.Id);
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id)
+    if (S.stream(Id).Kind == StreamKind::Input)
+      mark(Id);
+  while (!Work.empty()) {
+    StreamId Id = Work.back();
+    Work.pop_back();
+    auto It = StepOf.find(Id);
+    if (It == StepOf.end())
+      continue;
+    for (StreamId Arg : View.Steps[It->second].Args)
+      mark(Arg);
+  }
+
+  // --- Keep live steps; skip-steps of non-input streams do nothing and
+  // go too, even when the stream itself is live (a folded-silent output
+  // keeps its output entry but needs no step). ---
+  std::vector<ProgramStep> NewSteps;
+  NewSteps.reserve(View.Steps.size());
+  for (ProgramStep &Step : View.Steps) {
+    if (!Live[Step.Id])
+      continue;
+    if (Step.Op == Opcode::Skip && Step.Kind != StreamKind::Input)
+      continue;
+    NewSteps.push_back(std::move(Step));
+  }
+  Stats.Eliminated =
+      static_cast<uint32_t>(View.Steps.size() - NewSteps.size());
+
+  // --- Recompute dense value slots in StreamId order (the layout
+  // Program::compile uses), giving slots only to streams whose kept step
+  // can write one; everything else shares the dead slot. ---
+  std::vector<bool> Writes(S.numStreams(), false);
+  for (const ProgramStep &Step : NewSteps)
+    if (Step.Op != Opcode::Skip || Step.Kind == StreamKind::Input)
+      Writes[Step.Id] = true;
+  SlotId Next = 0;
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id)
+    if (Writes[Id])
+      View.ValueSlots[Id] = Next++;
+  View.NumValueSlots = Next;
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id)
+    if (!Writes[Id])
+      View.ValueSlots[Id] = Next;
+
+  // --- Rebuild the last-slot table from the surviving readers, in
+  // source StreamId order like Program::compile. ---
+  std::vector<bool> NeedsLast(S.numStreams(), false);
+  for (const ProgramStep &Step : NewSteps)
+    if (Step.Op == Opcode::Last || Step.Op == Opcode::FusedLastLift)
+      NeedsLast[Step.Args[0]] = true;
+  std::vector<SlotId> LastIndex(S.numStreams(), 0);
+  View.LastSlots.clear();
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id)
+    if (NeedsLast[Id]) {
+      LastIndex[Id] = static_cast<SlotId>(View.LastSlots.size());
+      View.LastSlots.push_back({Id, View.ValueSlots[Id]});
+    }
+
+  // --- Rebuild the delay table from the surviving delay steps, in
+  // StreamId order like Program::compile. ---
+  std::vector<SlotId> DelayIndex(S.numStreams(), 0);
+  std::vector<const ProgramStep *> DelaySteps;
+  for (const ProgramStep &Step : NewSteps)
+    if (Step.Op == Opcode::Delay)
+      DelaySteps.push_back(&Step);
+  View.Delays.clear();
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id)
+    for (const ProgramStep *Step : DelaySteps)
+      if (Step->Id == Id) {
+        DelayIndex[Id] = static_cast<SlotId>(View.Delays.size());
+        View.Delays.push_back({Id, Step->Args[0], Step->Args[1],
+                               View.ValueSlots[Id],
+                               View.ValueSlots[Step->Args[0]],
+                               View.ValueSlots[Step->Args[1]]});
+      }
+
+  // --- Recompute every step's slot fields against the new layout. ---
+  for (ProgramStep &Step : NewSteps) {
+    Step.Dst = View.ValueSlots[Step.Id];
+    switch (Step.Op) {
+    case Opcode::FusedLastLift:
+      // ArgSlot[0] gathers the fused last's reset; the rest follow.
+      Step.ArgSlot[0] = View.ValueSlots[Step.Args[1]];
+      for (unsigned I = 1; I != Step.NumArgs; ++I)
+        Step.ArgSlot[I] = View.ValueSlots[Step.Args[I + 1]];
+      Step.Aux = LastIndex[Step.Args[0]];
+      break;
+    case Opcode::Last:
+      for (unsigned I = 0; I != Step.NumArgs; ++I)
+        Step.ArgSlot[I] = View.ValueSlots[Step.Args[I]];
+      Step.Aux = LastIndex[Step.Args[0]];
+      break;
+    case Opcode::Delay:
+      for (unsigned I = 0; I != Step.NumArgs; ++I)
+        Step.ArgSlot[I] = View.ValueSlots[Step.Args[I]];
+      Step.Aux = DelayIndex[Step.Id];
+      break;
+    default:
+      for (unsigned I = 0; I != Step.NumArgs; ++I)
+        Step.ArgSlot[I] = View.ValueSlots[Step.Args[I]];
+      break;
+    }
+  }
+  View.Steps = std::move(NewSteps);
+
+  // --- Output slots against the new layout (entries all stay: a folded
+  // output simply reads the never-present dead slot). ---
+  for (OutputSlot &O : View.Outputs)
+    O.ValueSlot = View.ValueSlots[O.Id];
+
+  return true;
+}
+
+} // namespace
+
+std::unique_ptr<Pass> opt::createDeadStepEliminationPass() {
+  return std::make_unique<DeadStepElim>();
+}

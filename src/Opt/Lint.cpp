@@ -1,0 +1,143 @@
+//===- Opt/Lint.cpp ---------------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+// The spec linter. All firing-dependent rules share one boolean
+// *can-fire* fixpoint — an over-approximation of "may ever carry an
+// event" mirroring the builtins' event semantics — so a "never" verdict
+// is a proof and the linter reports no false positives on specs whose
+// streams can fire.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Opt/Lint.h"
+
+using namespace tessla;
+using namespace tessla::opt;
+
+namespace {
+
+/// May the stream ever carry an event? Over-approximated least fixpoint.
+std::vector<bool> computeCanFire(const Spec &S) {
+  std::vector<bool> CanFire(S.numStreams(), false);
+  auto transfer = [&](const StreamDef &D) -> bool {
+    switch (D.Kind) {
+    case StreamKind::Input:
+    case StreamKind::Unit:
+    case StreamKind::Const:
+      return true;
+    case StreamKind::Nil:
+      return false;
+    case StreamKind::Time:
+      return CanFire[D.Args[0]];
+    case StreamKind::Lift:
+      switch (builtinInfo(D.Fn).Events) {
+      case EventSemantics::All: {
+        bool All = true;
+        for (StreamId A : D.Args)
+          All = All && CanFire[A];
+        return All;
+      }
+      case EventSemantics::Any: {
+        bool Any = false;
+        for (StreamId A : D.Args)
+          Any = Any || CanFire[A];
+        return Any;
+      }
+      case EventSemantics::FirstAndAnyRest: {
+        bool AnyRest = false;
+        for (size_t I = 1; I != D.Args.size(); ++I)
+          AnyRest = AnyRest || CanFire[D.Args[I]];
+        return CanFire[D.Args[0]] && AnyRest;
+      }
+      case EventSemantics::Custom:
+        return CanFire[D.Args[0]] && CanFire[D.Args[1]];
+      }
+      return true;
+    case StreamKind::Last:
+      return CanFire[D.Args[0]] && CanFire[D.Args[1]];
+    case StreamKind::Delay:
+      return CanFire[D.Args[0]] && CanFire[D.Args[1]];
+    }
+    return true;
+  };
+  for (uint32_t Iter = 0; Iter != S.numStreams() + 2; ++Iter) {
+    bool Changed = false;
+    for (StreamId Id = 0; Id != S.numStreams(); ++Id) {
+      bool New = transfer(S.stream(Id));
+      if (New != CanFire[Id]) {
+        CanFire[Id] = New;
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+  return CanFire;
+}
+
+/// Does \p From reach \p Target over spec operands (any edge kind)?
+bool reaches(const Spec &S, StreamId From, StreamId Target) {
+  std::vector<bool> Seen(S.numStreams(), false);
+  std::vector<StreamId> Work{From};
+  while (!Work.empty()) {
+    StreamId Id = Work.back();
+    Work.pop_back();
+    if (Id == Target)
+      return true;
+    if (Seen[Id])
+      continue;
+    Seen[Id] = true;
+    for (StreamId A : S.stream(Id).Args)
+      Work.push_back(A);
+  }
+  return false;
+}
+
+} // namespace
+
+unsigned opt::lintSpec(const Spec &S, DiagnosticEngine &Diags,
+                       const LintOptions &Opts) {
+  std::vector<bool> CanFire = computeCanFire(S);
+
+  std::vector<uint32_t> Readers(S.numStreams(), 0);
+  for (const StreamDef &D : S.streams())
+    for (StreamId A : D.Args)
+      ++Readers[A];
+
+  unsigned Findings = 0;
+  auto report = [&](SourceLocation Loc, std::string Msg) {
+    ++Findings;
+    if (Opts.WarningsAsErrors)
+      Diags.error(Loc, std::move(Msg));
+    else
+      Diags.warning(Loc, std::move(Msg));
+  };
+
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id) {
+    const StreamDef &D = S.stream(Id);
+
+    if (builtinByName(D.Name))
+      report(D.Loc, "stream '" + D.Name +
+                        "' shadows the builtin function of the same "
+                        "name [shadows-builtin]");
+
+    if (!D.IsOutput && D.Kind != StreamKind::Input && Readers[Id] == 0 &&
+        (D.Name.empty() || D.Name[0] != '_'))
+      report(D.Loc, "stream '" + D.Name +
+                        "' is never read and not an output; prefix the "
+                        "name with '_' to silence [unused-stream]");
+
+    if (D.IsOutput && !CanFire[Id])
+      report(D.Loc, "output '" + D.Name +
+                        "' can never produce an event [nil-output]");
+
+    if (D.Kind == StreamKind::Last && !CanFire[Id] &&
+        CanFire[D.Args[1]] && reaches(S, D.Args[0], Id))
+      report(D.Loc,
+             "last '" + D.Name +
+                 "' can never fire: its value side depends on itself "
+                 "and has no initial event [uninitialized-last]");
+  }
+  return Findings;
+}

@@ -1,0 +1,174 @@
+//===- Opt/StepFusion.cpp ---------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+// Peephole fusion of adjacent steps into the single fused opcodes the
+// interpreter and the C++ emitter execute directly:
+//
+//  * last→lift: a LiftAll consumer whose first argument is a `last` step
+//    reads the last slot itself (FusedLastLift). The fused firing guard
+//    — reset present, slot initialized, rest present — is *literally*
+//    the conjunction of the two original guards, and last-slot contents
+//    only change at the end of a timestamp, so this is exact for every
+//    consumer independently; the producer stays for any remaining
+//    consumers and dead-step elimination reaps it when orphaned.
+//
+//  * lift→lift: a LiftAll producer with exactly one use inlines into its
+//    LiftAll consumer (FusedLiftLift). The producer's evaluator runs
+//    whenever the producer's own arguments are present — even when the
+//    consumer's rest is absent — so destructive aggregate updates and
+//    runtime errors happen exactly as in the unfused program. Moving
+//    that evaluation down to the consumer's position is observable only
+//    through aggregates the producer touches; the fusion is rejected if
+//    any step in between touches one of those aggregate families (the
+//    mutability analysis' read-before-write ordering makes this rare).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Opt/PassManager.h"
+
+#include <unordered_map>
+
+using namespace tessla;
+using namespace tessla::opt;
+
+namespace {
+
+class StepFusion : public Pass {
+public:
+  std::string_view name() const override { return "step-fusion"; }
+
+  bool run(Program &P, AnalysisResult &A, PassStatistics &Stats,
+           DiagnosticEngine &Diags) override;
+};
+
+bool StepFusion::run(Program &P, AnalysisResult &A, PassStatistics &Stats,
+                     DiagnosticEngine &Diags) {
+  (void)Diags;
+  const Spec &S = P.spec();
+  Program::OptView View = P.optView();
+
+  std::unordered_map<StreamId, size_t> StepOf;
+  for (size_t I = 0; I != View.Steps.size(); ++I)
+    StepOf[View.Steps[I].Id] = I;
+
+  // Uses per stream: every step operand plus the output table. Last
+  // sources and delay operands are step operands of their own steps, so
+  // a refcount of one means "read by exactly one consumer step and
+  // nothing else".
+  std::vector<uint32_t> Refs(S.numStreams(), 0);
+  for (const ProgramStep &Step : View.Steps)
+    for (StreamId Arg : Step.Args)
+      ++Refs[Arg];
+  for (const OutputSlot &O : View.Outputs)
+    ++Refs[O.Id];
+
+  const MutabilityResult &Mut = A.mutability();
+
+  uint32_t Fused = 0;
+  for (size_t CI = 0; CI != View.Steps.size(); ++CI) {
+    ProgramStep &C = View.Steps[CI];
+    if (C.Op != Opcode::LiftAll || C.NumArgs == 0)
+      continue;
+    auto PIt = StepOf.find(C.Args[0]);
+    // Translation order puts a step's operands before it; anything else
+    // would make the in-between scan below meaningless.
+    if (PIt == StepOf.end() || PIt->second >= CI)
+      continue;
+    ProgramStep &Producer = View.Steps[PIt->second];
+
+    if (Producer.Op == Opcode::Last) {
+      // Exact for any number of consumers of the last.
+      std::vector<StreamId> NewArgs;
+      NewArgs.push_back(Producer.Args[0]); // v — feeds the last slot
+      NewArgs.push_back(Producer.Args[1]); // r — the firing guard
+      for (unsigned I = 1; I != C.NumArgs; ++I)
+        NewArgs.push_back(C.Args[I]);
+      C.Op = Opcode::FusedLastLift;
+      C.FusedId = Producer.Id;
+      C.Aux = Producer.Aux;
+      C.ArgSlot[0] = P.valueSlot(Producer.Args[1]);
+      for (unsigned I = 1; I != C.NumArgs; ++I)
+        C.ArgSlot[I] = P.valueSlot(NewArgs[I + 1]);
+      --Refs[Producer.Id];
+      ++Refs[Producer.Args[0]];
+      ++Refs[Producer.Args[1]];
+      C.Args = std::move(NewArgs);
+      ++Fused;
+      continue;
+    }
+
+    if (Producer.Op != Opcode::LiftAll || Refs[Producer.Id] != 1)
+      continue;
+    unsigned TotalArgs = Producer.NumArgs + (C.NumArgs - 1u);
+    if (TotalArgs > 3)
+      continue;
+
+    // Reject the fusion when moving the producer's evaluation down to
+    // the consumer could be observed through a shared aggregate: no
+    // step strictly between the two may touch an aggregate family the
+    // producer reads or writes.
+    bool Blocked = false;
+    std::vector<uint32_t> Families;
+    for (StreamId Arg : Producer.Args)
+      if (S.stream(Arg).Ty.isComplex())
+        Families.push_back(Mut.FamilyRep[Arg]);
+    if (!Families.empty()) {
+      for (size_t I = PIt->second + 1; I != CI && !Blocked; ++I) {
+        const ProgramStep &Mid = View.Steps[I];
+        auto Touches = [&](StreamId Id) {
+          if (!S.stream(Id).Ty.isComplex())
+            return false;
+          for (uint32_t F : Families)
+            if (Mut.FamilyRep[Id] == F)
+              return true;
+          return false;
+        };
+        Blocked = Touches(Mid.Id);
+        for (StreamId Arg : Mid.Args)
+          Blocked = Blocked || Touches(Arg);
+      }
+    }
+    if (Blocked)
+      continue;
+
+    std::vector<StreamId> NewArgs(Producer.Args);
+    for (unsigned I = 1; I != C.NumArgs; ++I)
+      NewArgs.push_back(C.Args[I]);
+    SlotId NewSlots[3] = {0, 0, 0};
+    for (unsigned I = 0; I != TotalArgs; ++I)
+      NewSlots[I] = P.valueSlot(NewArgs[I]);
+
+    C.Op = Opcode::FusedLiftLift;
+    C.Impl2 = Producer.Impl;
+    C.Fn2 = Producer.Fn;
+    C.InPlace2 = Producer.InPlace;
+    C.FusedArity = Producer.NumArgs;
+    C.FusedId = Producer.Id;
+    C.Args = std::move(NewArgs);
+    C.NumArgs = static_cast<uint8_t>(TotalArgs);
+    for (unsigned I = 0; I != TotalArgs; ++I)
+      C.ArgSlot[I] = NewSlots[I];
+
+    // Neutralize the producer right away so the pipeline stays correct
+    // at this pass boundary (its evaluator must not run twice); its
+    // argument uses conceptually move into the consumer, so refcounts
+    // of the arguments are unchanged.
+    --Refs[Producer.Id];
+    Producer.Op = Opcode::Skip;
+    Producer.Impl = nullptr;
+    Producer.InPlace = false;
+    Producer.NumArgs = 0;
+    Producer.Args.clear();
+    ++Fused;
+  }
+
+  Stats.Fused = Fused;
+  return true;
+}
+
+} // namespace
+
+std::unique_ptr<Pass> opt::createStepFusionPass() {
+  return std::make_unique<StepFusion>();
+}

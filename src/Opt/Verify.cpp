@@ -1,0 +1,172 @@
+//===- Opt/Verify.cpp -------------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+// The Program IR verifier: checks every invariant the interpreter and the
+// C++ emitter rely on, so a buggy rewrite aborts compilation with a
+// diagnostic instead of producing a monitor that silently diverges.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Opt/PassManager.h"
+
+using namespace tessla;
+using namespace tessla::opt;
+
+namespace {
+
+class Verifier {
+public:
+  Verifier(const Program &P, DiagnosticEngine &Diags)
+      : P(P), S(P.spec()), Diags(Diags) {}
+
+  bool run() {
+    std::vector<bool> DstSeen(P.numValueSlots(), false);
+    std::vector<bool> HasStep(S.numStreams(), false);
+    for (const ProgramStep &Step : P.steps()) {
+      if (Step.Id >= S.numStreams()) {
+        fail(Step, "step stream id out of range");
+        continue;
+      }
+      if (HasStep[Step.Id])
+        fail(Step, "stream has more than one step");
+      HasStep[Step.Id] = true;
+      checkShape(Step);
+      checkSlots(Step);
+      checkDispatch(Step);
+      checkAux(Step);
+      if (Step.Op != Opcode::Skip) {
+        if (Step.Dst >= P.numValueSlots())
+          fail(Step, "non-skip step writes the dead slot");
+        else if (DstSeen[Step.Dst])
+          fail(Step, "two steps write one value slot");
+        else
+          DstSeen[Step.Dst] = true;
+        if (Step.Dst != P.valueSlot(Step.Id))
+          fail(Step, "destination disagrees with the stream's value slot");
+      }
+    }
+    for (const OutputSlot &O : P.outputs())
+      if (O.Id >= S.numStreams() || O.ValueSlot != P.valueSlot(O.Id))
+        Diags.error("verify: output slot of '" + name(O.Id) +
+                    "' disagrees with the stream's value slot");
+    for (const LastSlot &L : P.lastSlots())
+      if (L.Source >= S.numStreams() || L.ValueSlot != P.valueSlot(L.Source))
+        Diags.error("verify: last slot of '" + name(L.Source) +
+                    "' disagrees with the source's value slot");
+    return Ok;
+  }
+
+private:
+  const Program &P;
+  const Spec &S;
+  DiagnosticEngine &Diags;
+  bool Ok = true;
+
+  std::string name(StreamId Id) const {
+    return Id < S.numStreams() ? S.stream(Id).Name : "<invalid>";
+  }
+
+  void fail(const ProgramStep &Step, const char *Msg) {
+    Diags.error("verify: step '" + name(Step.Id) + "': " + Msg);
+    Ok = false;
+  }
+
+  void checkShape(const ProgramStep &Step) {
+    if (Step.NumArgs > 3)
+      fail(Step, "more than three argument slots");
+    size_t WantArgs = Step.NumArgs;
+    if (Step.Op == Opcode::FusedLastLift)
+      WantArgs = static_cast<size_t>(Step.NumArgs) + 1;
+    if (Step.Args.size() != WantArgs)
+      fail(Step, "argument list does not match the slot count");
+    for (StreamId A : Step.Args)
+      if (A >= S.numStreams()) {
+        fail(Step, "argument stream id out of range");
+        return;
+      }
+    if (Step.Op == Opcode::ConstTick && Step.NumArgs != 1)
+      fail(Step, "const-tick must have exactly one trigger argument");
+    if (Step.Op == Opcode::FusedLiftLift &&
+        (Step.FusedArity < 1 || Step.FusedArity > Step.NumArgs))
+      fail(Step, "fused producer arity out of range");
+  }
+
+  void checkSlots(const ProgramStep &Step) {
+    if (Step.Args.size() != (Step.Op == Opcode::FusedLastLift
+                                 ? static_cast<size_t>(Step.NumArgs) + 1
+                                 : static_cast<size_t>(Step.NumArgs)))
+      return; // shape error already reported
+    for (unsigned I = 0; I != Step.NumArgs; ++I) {
+      if (Step.ArgSlot[I] > P.numValueSlots()) {
+        fail(Step, "argument slot out of range");
+        return;
+      }
+      // ArgSlot[I] must gather the value slot of the stream it stands
+      // for; FusedLastLift shifts Args by one (Args[0] is the fused
+      // last's value stream, read through the last slot instead).
+      StreamId A = Step.Op == Opcode::FusedLastLift ? Step.Args[I + 1]
+                                                    : Step.Args[I];
+      if (A < S.numStreams() && Step.ArgSlot[I] != P.valueSlot(A))
+        fail(Step, "argument slot disagrees with the stream's value slot");
+    }
+  }
+
+  void checkDispatch(const ProgramStep &Step) {
+    switch (Step.Op) {
+    case Opcode::LiftAll:
+    case Opcode::LiftFirstRest:
+    case Opcode::FusedLastLift:
+      if (!Step.Impl)
+        fail(Step, "lift step without a resolved evaluator");
+      break;
+    case Opcode::FusedLiftLift:
+      if (!Step.Impl)
+        fail(Step, "fused step without a resolved consumer evaluator");
+      if (!Step.Impl2)
+        fail(Step, "fused step without a resolved producer evaluator");
+      break;
+    default:
+      break;
+    }
+  }
+
+  void checkAux(const ProgramStep &Step) {
+    switch (Step.Op) {
+    case Opcode::Last:
+    case Opcode::FusedLastLift: {
+      if (Step.Aux >= P.lastSlots().size()) {
+        fail(Step, "last slot index out of range");
+        return;
+      }
+      if (Step.Args.empty() ||
+          P.lastSlots()[Step.Aux].Source != Step.Args[0])
+        fail(Step, "last slot does not track the step's value stream");
+      break;
+    }
+    case Opcode::Delay: {
+      if (Step.Aux >= P.delays().size()) {
+        fail(Step, "delay slot index out of range");
+        return;
+      }
+      const DelaySlot &D = P.delays()[Step.Aux];
+      if (D.Id != Step.Id)
+        fail(Step, "delay slot belongs to another stream");
+      else if (Step.Args.size() == 2 &&
+               (D.ValueSlot != P.valueSlot(Step.Id) ||
+                D.DelaysSlot != P.valueSlot(Step.Args[0]) ||
+                D.ResetSlot != P.valueSlot(Step.Args[1])))
+        fail(Step, "delay slot operands disagree with the value slots");
+      break;
+    }
+    default:
+      break;
+    }
+  }
+};
+
+} // namespace
+
+bool opt::verifyProgram(const Program &P, DiagnosticEngine &Diags) {
+  return Verifier(P, Diags).run();
+}

@@ -124,12 +124,79 @@ Program Program::compile(const AnalysisResult &Analysis) {
   return P;
 }
 
+namespace {
+
+std::string joinNames(const Spec &S, const StreamId *Ids, size_t N) {
+  std::string Out;
+  for (size_t I = 0; I != N; ++I)
+    Out += (I ? ", " : "") + S.stream(Ids[I]).Name;
+  return Out;
+}
+
+/// Renders one step's operator text. The opt-introduced opcodes and
+/// folded steps have no spec-level shape, so they render from the step
+/// itself; everything else renders from the original StreamKind.
+std::string stepText(const Spec &S, const ProgramStep &Step) {
+  switch (Step.Op) {
+  case Opcode::ConstTick:
+    return "const " + Step.ConstVal.str() + " on " +
+           S.stream(Step.Args[0]).Name;
+  case Opcode::FusedLastLift:
+    return std::string(builtinInfo(Step.Fn).Name) + "(last(" +
+           S.stream(Step.Args[0]).Name + ", " +
+           S.stream(Step.Args[1]).Name + ")" +
+           (Step.Args.size() > 2
+                ? ", " + joinNames(S, Step.Args.data() + 2,
+                                   Step.Args.size() - 2)
+                : "") +
+           ")";
+  case Opcode::FusedLiftLift:
+    return std::string(builtinInfo(Step.Fn).Name) + "(" +
+           std::string(builtinInfo(Step.Fn2).Name) + "(" +
+           joinNames(S, Step.Args.data(), Step.FusedArity) + ")" +
+           (Step.NumArgs > Step.FusedArity
+                ? ", " + joinNames(S, Step.Args.data() + Step.FusedArity,
+                                   Step.NumArgs - Step.FusedArity)
+                : "") +
+           ")";
+  default:
+    break;
+  }
+  if (Step.Folded) {
+    if (Step.Op == Opcode::Const)
+      return "const " + Step.ConstVal.str();
+    if (Step.Op == Opcode::Skip)
+      return "never";
+  }
+  return std::string();
+}
+
+} // namespace
+
 std::string Program::str() const {
   std::string Out;
   unsigned Index = 0;
   for (const ProgramStep &Step : Steps) {
     const StreamDef &D = S->stream(Step.Id);
-    std::string Kind;
+    std::string Kind = stepText(*S, Step);
+    if (!Kind.empty()) {
+      Out += std::to_string(Index++) + ": " + D.Name + " = " + Kind;
+      if (Step.InPlace && Step.Kind == StreamKind::Lift)
+        Out += "   [in-place]";
+      if (Step.InPlace2)
+        Out += "   [in-place-inner]";
+      if (Step.Folded)
+        Out += "   [folded]";
+      if (Step.Op == Opcode::FusedLastLift ||
+          Step.Op == Opcode::FusedLiftLift)
+        Out += "   [fused]";
+      if (Step.Dst != NumValueSlots)
+        Out += "   @" + std::to_string(Step.Dst);
+      if (Step.Op == Opcode::FusedLastLift)
+        Out += " last[" + std::to_string(Step.Aux) + "]";
+      Out += '\n';
+      continue;
+    }
     switch (Step.Kind) {
     case StreamKind::Input:
       Kind = "input";
@@ -209,8 +276,11 @@ std::string Program::str() const {
 
 uint32_t Program::inPlaceStepCount() const {
   uint32_t Count = 0;
-  for (const ProgramStep &Step : Steps)
+  for (const ProgramStep &Step : Steps) {
     if (Step.InPlace && Step.Kind == StreamKind::Lift)
       ++Count;
+    if (Step.InPlace2)
+      ++Count; // destructive producer half of a fused step
+  }
   return Count;
 }

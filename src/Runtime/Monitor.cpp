@@ -136,6 +136,80 @@ void Monitor::runCalc(Time Ts) {
         setValue(Step.Dst, Cur[Step.ArgSlot[0]]);
       break;
     }
+    case Opcode::ConstTick:
+      // Collapsed held constant: fires at timestamp 0 and with every
+      // trigger event, always carrying the same scalar.
+      if (Ts == 0 || Present[Step.ArgSlot[0]])
+        setValue(Step.Dst, Step.ConstVal);
+      break;
+    case Opcode::FusedLastLift: {
+      // Consumer lift with a fused last(v, r) as first argument: fires
+      // when r fires, the last slot is initialized, and the remaining
+      // arguments are present — byte-identical to the unfused pair.
+      if (!Present[Step.ArgSlot[0]] || !LastInit[Step.Aux])
+        break;
+      const Value *Args[3];
+      Args[0] = &LastVal[Step.Aux];
+      bool AllPresent = true;
+      for (unsigned I = 1; I != Step.NumArgs; ++I) {
+        if (!Present[Step.ArgSlot[I]]) {
+          AllPresent = false;
+          break;
+        }
+        Args[I] = &Cur[Step.ArgSlot[I]];
+      }
+      if (!AllPresent)
+        break;
+      Value Result = Step.Impl(Args, Step.InPlace, Err);
+      if (Err.Failed) {
+        failAt(Ts, Step.Id, Err.Message);
+        return;
+      }
+      setValue(Step.Dst, std::move(Result));
+      break;
+    }
+    case Opcode::FusedLiftLift: {
+      // Consumer lift with its single-consumer producer inlined. The
+      // producer is evaluated whenever *its* arguments are present —
+      // even if the consumer's rest is absent — so destructive updates
+      // and error behavior match the unfused program exactly; the
+      // temporary is simply discarded when the consumer cannot fire.
+      const Value *Inner[3];
+      bool InnerPresent = true;
+      for (unsigned I = 0; I != Step.FusedArity; ++I) {
+        if (!Present[Step.ArgSlot[I]]) {
+          InnerPresent = false;
+          break;
+        }
+        Inner[I] = &Cur[Step.ArgSlot[I]];
+      }
+      if (!InnerPresent)
+        break;
+      Value Tmp = Step.Impl2(Inner, Step.InPlace2, Err);
+      if (Err.Failed) {
+        failAt(Ts, Step.FusedId, Err.Message);
+        return;
+      }
+      const Value *Args[3];
+      Args[0] = &Tmp;
+      bool AllPresent = true;
+      for (unsigned I = Step.FusedArity; I != Step.NumArgs; ++I) {
+        if (!Present[Step.ArgSlot[I]]) {
+          AllPresent = false;
+          break;
+        }
+        Args[1 + I - Step.FusedArity] = &Cur[Step.ArgSlot[I]];
+      }
+      if (!AllPresent)
+        break;
+      Value Result = Step.Impl(Args, Step.InPlace, Err);
+      if (Err.Failed) {
+        failAt(Ts, Step.Id, Err.Message);
+        return;
+      }
+      setValue(Step.Dst, std::move(Result));
+      break;
+    }
     }
   }
 

@@ -14,9 +14,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "tessla/CodeGen/CppEmitter.h"
+#include "tessla/Opt/PassManager.h"
+#include "tessla/Runtime/TraceGen.h"
 #include "tessla/Runtime/TraceIO.h"
 
 #include "../RandomSpecGen.h"
+#include "../TestSpecs.h"
 
 #include <gtest/gtest.h>
 
@@ -53,18 +56,35 @@ std::string readFile(const std::string &Path) {
 }
 
 /// Runs both backends over the same Program on \p Events and expects
-/// byte-identical output. -O0 keeps the corpus-sized compile bill small;
-/// correctness does not depend on the optimization level.
+/// byte-identical output. The host compiler runs at -O0 to keep the
+/// corpus-sized compile bill small; correctness does not depend on it.
+/// With \p OptLevel >= 1 the *program* optimizer runs first, and the
+/// expectation is computed from the unoptimized interpreter — one call
+/// checks interpreter -O0 == interpreter -O1 == generated C++ -O1.
 void expectParity(uint64_t Seed, const Spec &S, bool Optimize,
-                  const std::vector<TraceEvent> &Events) {
+                  const std::vector<TraceEvent> &Events,
+                  unsigned OptLevel = 0) {
   MutabilityOptions MOpts;
   MOpts.Optimize = Optimize;
-  Program P = Program::compile(analyzeSpec(S, MOpts));
+  AnalysisResult A = analyzeSpec(S, MOpts);
+  Program P = Program::compile(A);
 
   std::string Error;
   auto Interpreted = runMonitor(P, Events, std::nullopt, &Error);
   ASSERT_EQ(Error, "") << "seed " << Seed;
   std::string Expected = formatOutputs(S, Interpreted);
+
+  if (OptLevel >= 1) {
+    opt::OptOptions OOpts;
+    OOpts.Level = OptLevel;
+    DiagnosticEngine OptDiags;
+    ASSERT_TRUE(opt::optimizeProgram(P, A, OOpts, OptDiags))
+        << "seed " << Seed << "\n" << OptDiags.str();
+    auto OptOut = runMonitor(P, Events, std::nullopt, &Error);
+    ASSERT_EQ(Error, "") << "seed " << Seed;
+    ASSERT_EQ(formatOutputs(S, OptOut), Expected)
+        << "interpreter -O1 diverged at seed " << Seed << "\n" << S.str();
+  }
 
   CppEmitterOptions Opts;
   Opts.EmitMain = true;
@@ -94,13 +114,13 @@ void expectParity(uint64_t Seed, const Spec &S, bool Optimize,
 }
 
 void parityCorpus(uint64_t FirstSeed, uint64_t LastSeed,
-                  const RandomSpecOptions &Opts) {
+                  const RandomSpecOptions &Opts, unsigned OptLevel = 0) {
   for (uint64_t Seed = FirstSeed; Seed <= LastSeed; ++Seed) {
     Spec S = randomSpec(Seed, Opts);
     auto Events = randomSpecTrace(S, 120, Seed * 31 + 7);
     // Alternate the mutability optimization so both the destructive and
     // the persistent code paths face the interpreter.
-    expectParity(Seed, S, /*Optimize=*/Seed % 2 == 0, Events);
+    expectParity(Seed, S, /*Optimize=*/Seed % 2 == 0, Events, OptLevel);
   }
 }
 
@@ -118,4 +138,33 @@ TEST(CodegenParityTest, RandomDelaySpecs) {
   RandomSpecOptions Opts;
   Opts.WithDelay = true;
   parityCorpus(101, 110, Opts);
+}
+
+// --- Program optimizer (-O1) parity ---------------------------------------
+//
+// The optimized Program carries opcodes only the optimizer produces
+// (ConstTick, FusedLastLift, FusedLiftLift) and compacted slot tables;
+// the generated C++ must keep matching the unoptimized interpreter.
+
+TEST(CodegenParityTest, OptimizedRandomSpecs) {
+  parityCorpus(201, 210, RandomSpecOptions(), /*OptLevel=*/1);
+}
+
+TEST(CodegenParityTest, OptimizedRandomDelaySpecs) {
+  RandomSpecOptions Opts;
+  Opts.WithDelay = true;
+  parityCorpus(301, 306, Opts, /*OptLevel=*/1);
+}
+
+TEST(CodegenParityTest, OptimizedWorkloads) {
+  // The Fig. 9 workloads hit all three fused/folded opcode families in
+  // the emitter (ConstTick on mapWindow/queueWindow, FusedLastLift and
+  // FusedLiftLift on all three).
+  using namespace tessla::testspecs;
+  uint64_t Seed = 400;
+  for (const Spec &S : {seenSet(), mapWindow(4), queueWindow(4)}) {
+    auto Events =
+        tracegen::randomInts(*S.lookup("x"), 400, 13, ++Seed);
+    expectParity(Seed, S, /*Optimize=*/true, Events, /*OptLevel=*/1);
+  }
 }

@@ -1,0 +1,210 @@
+//===- tests/Opt/PassesTest.cpp ---------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Golden and structural tests for the optimization pass framework:
+/// exact Program::str() renderings after -O1 (fused opcodes, folded
+/// constants, compacted slot tables), per-pass statistics on the paper's
+/// evaluation workloads, and the program verifier catching corrupted
+/// programs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Opt/PassManager.h"
+
+#include "../TestSpecs.h"
+
+#include <gtest/gtest.h>
+
+using namespace tessla;
+using namespace tessla::testspecs;
+
+namespace {
+
+Program optimized(const Spec &S, OptStatistics *Stats = nullptr,
+                  unsigned Level = 1) {
+  MutabilityOptions MOpts;
+  MOpts.Optimize = true;
+  AnalysisResult A = analyzeSpec(S, MOpts);
+  Program P = Program::compile(A);
+  opt::OptOptions OOpts;
+  OOpts.Level = Level;
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(opt::optimizeProgram(P, A, OOpts, Diags, Stats))
+      << Diags.str();
+  return P;
+}
+
+} // namespace
+
+// --- Golden renderings ----------------------------------------------------
+
+TEST(OptPassesTest, SeenSetGoldenPlan) {
+  // Both lift consumers of the (multi-use) last fuse; the orphaned last
+  // step is eliminated and the value slots compact from 7 to 6.
+  Program P = optimized(seenSet());
+  EXPECT_EQ(P.str(),
+            "0: x = input   @0\n"
+            "1: seen = setContains(last(_t2, x), x)   [fused]   @1 "
+            "last[0]\n"
+            "2: y = setToggle(last(_t2, x), x)   [in-place]   [fused]   "
+            "@2 last[0]\n"
+            "3: _t0_unit = unit   @3\n"
+            "4: _t1 = setEmpty(_t0_unit)   [in-place]   @4\n"
+            "5: _t2 = merge(y, _t1)   [in-place]   @5\n"
+            "slots: value=6 last=1 delay=0\n"
+            "last[0]: _t2 @5\n"
+            "outputs: seen@1\n");
+}
+
+TEST(OptPassesTest, HeldConstantFoldsToConstTick) {
+  // `x + 1` flattens to a held constant merge(c, last(c, x)); constant
+  // folding collapses the whole ensemble into one ConstTick step and
+  // dead-step elimination reaps the const/last/merge triple, dropping
+  // the last-slot table to zero.
+  Spec S = parseOrDie(R"(
+    in x: Int
+    def y := x + 1
+    out y
+  )");
+  OptStatistics Stats;
+  Program P = optimized(S, &Stats);
+  EXPECT_EQ(P.str(), "0: x = input   @0\n"
+                     "1: _t2 = const 1 on x   [folded]   @2\n"
+                     "2: y = add(x, _t2)   @1\n"
+                     "slots: value=3 last=0 delay=0\n"
+                     "outputs: y@1\n");
+  EXPECT_EQ(Stats.totalFolded(), 1u);
+  EXPECT_EQ(Stats.totalEliminated(), 2u);
+}
+
+TEST(OptPassesTest, NeverStreamsFoldAndOutputsSurvive) {
+  // A statically-silent output keeps its output entry (reading the dead
+  // slot) so the output table stays aligned with the spec.
+  Spec S = parseOrDie(R"(
+    in x: Int
+    def a := 1
+    def quiet := last(a, a)
+    out quiet
+    out x
+  )");
+  Program P = optimized(S);
+  // last(a, a) has a non-varying reset clock, so it can never fire; the
+  // whole chain folds away and `quiet` reads the shared dead slot (@1 ==
+  // numValueSlots).
+  EXPECT_EQ(P.str(), "0: x = input   @0\n"
+                     "slots: value=1 last=0 delay=0\n"
+                     "outputs: x@0 quiet@1\n");
+}
+
+// --- Per-pass statistics on the evaluation workloads ----------------------
+
+TEST(OptPassesTest, MapWindowExercisesAllThreePasses) {
+  OptStatistics Stats;
+  optimized(mapWindow(4), &Stats);
+  EXPECT_GT(Stats.totalFolded(), 0u) << Stats.str();
+  EXPECT_GT(Stats.totalFused(), 0u) << Stats.str();
+  EXPECT_GT(Stats.totalEliminated(), 0u) << Stats.str();
+  ASSERT_EQ(Stats.Passes.size(), 3u);
+  EXPECT_EQ(Stats.Passes[0].Pass, "constant-fold");
+  EXPECT_EQ(Stats.Passes[1].Pass, "step-fusion");
+  EXPECT_EQ(Stats.Passes[2].Pass, "dead-step-elim");
+  // Slot tables shrink, never grow.
+  const PassStatistics &Last = Stats.Passes.back();
+  EXPECT_LT(Last.ValueSlotsAfter, Stats.Passes.front().ValueSlotsBefore);
+  EXPECT_LT(Last.LastSlotsAfter, Stats.Passes.front().LastSlotsBefore);
+}
+
+TEST(OptPassesTest, QueueWindowExercisesAllThreePasses) {
+  OptStatistics Stats;
+  optimized(queueWindow(4), &Stats);
+  EXPECT_GT(Stats.totalFolded(), 0u) << Stats.str();
+  EXPECT_GT(Stats.totalFused(), 0u) << Stats.str();
+  EXPECT_GT(Stats.totalEliminated(), 0u) << Stats.str();
+}
+
+TEST(OptPassesTest, SeenSetFusesBothLastConsumers) {
+  OptStatistics Stats;
+  optimized(seenSet(), &Stats);
+  EXPECT_EQ(Stats.totalFused(), 2u) << Stats.str();
+  EXPECT_GT(Stats.totalEliminated(), 0u) << Stats.str();
+}
+
+TEST(OptPassesTest, LevelZeroIsIdentity) {
+  Spec S = seenSet();
+  MutabilityOptions MOpts;
+  MOpts.Optimize = true;
+  AnalysisResult A = analyzeSpec(S, MOpts);
+  Program P = Program::compile(A);
+  std::string Before = P.str();
+  opt::OptOptions OOpts;
+  OOpts.Level = 0;
+  DiagnosticEngine Diags;
+  OptStatistics Stats;
+  ASSERT_TRUE(opt::optimizeProgram(P, A, OOpts, Diags, &Stats));
+  EXPECT_EQ(P.str(), Before);
+  EXPECT_TRUE(Stats.Passes.empty());
+}
+
+TEST(OptPassesTest, StatisticsRendering) {
+  OptStatistics Stats;
+  optimized(seenSet(), &Stats);
+  std::string Text = Stats.str();
+  EXPECT_NE(Text.find("step-fusion: steps 7 -> 7 (fused 2)"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("total: steps 7 -> 6"), std::string::npos) << Text;
+}
+
+// --- The verifier ---------------------------------------------------------
+
+TEST(OptPassesTest, VerifierAcceptsCompiledAndOptimizedPrograms) {
+  for (const Spec &S :
+       {seenSet(), mapWindow(4), queueWindow(4), dbAccessConstraint()}) {
+    MutabilityOptions MOpts;
+    MOpts.Optimize = true;
+    AnalysisResult A = analyzeSpec(S, MOpts);
+    Program P = Program::compile(A);
+    DiagnosticEngine Diags;
+    EXPECT_TRUE(opt::verifyProgram(P, Diags)) << Diags.str();
+    opt::OptOptions OOpts;
+    ASSERT_TRUE(opt::optimizeProgram(P, A, OOpts, Diags));
+    EXPECT_TRUE(opt::verifyProgram(P, Diags)) << Diags.str();
+  }
+}
+
+TEST(OptPassesTest, VerifierRejectsCorruptedDst) {
+  Program P = optimized(seenSet());
+  Program::OptView View = P.optView();
+  // Point a step's destination at a foreign slot.
+  View.Steps[1].Dst = View.Steps[2].Dst;
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(opt::verifyProgram(P, Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(OptPassesTest, VerifierRejectsArgCountMismatch) {
+  Program P = optimized(seenSet());
+  Program::OptView View = P.optView();
+  for (ProgramStep &Step : View.Steps)
+    if (Step.Op == Opcode::LiftMerge || Step.Op == Opcode::LiftAll) {
+      Step.Args.push_back(Step.Args[0]);
+      break;
+    }
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(opt::verifyProgram(P, Diags));
+}
+
+TEST(OptPassesTest, VerifierRejectsStaleArgSlot) {
+  Program P = optimized(mapWindow(4));
+  Program::OptView View = P.optView();
+  for (ProgramStep &Step : View.Steps)
+    if (Step.Op == Opcode::LiftAll && Step.NumArgs >= 2) {
+      Step.ArgSlot[1] = static_cast<SlotId>(Step.ArgSlot[1] + 1);
+      break;
+    }
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(opt::verifyProgram(P, Diags));
+}

@@ -29,16 +29,25 @@ void writeFile(const std::string &Path, const std::string &Contents) {
   ASSERT_TRUE(Out.good());
 }
 
-/// Runs tesslac with \p Args, captures stdout, returns (exit, output).
-std::pair<int, std::string> runTool(const std::string &Args) {
-  std::string OutPath = tempPath("tesslac_out.txt");
-  std::string Cmd = std::string(TESSLAC_PATH) + " " + Args + " > " +
-                    OutPath + " 2> " + tempPath("tesslac_err.txt");
-  int Rc = std::system(Cmd.c_str());
-  std::ifstream In(OutPath);
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
   std::stringstream Buffer;
   Buffer << In.rdbuf();
-  return {Rc, Buffer.str()};
+  return Buffer.str();
+}
+
+/// Runs tesslac with \p Args, captures stdout, returns (exit, output).
+/// \p Err receives stderr when non-null.
+std::pair<int, std::string> runTool(const std::string &Args,
+                                    std::string *Err = nullptr) {
+  std::string OutPath = tempPath("tesslac_out.txt");
+  std::string ErrPath = tempPath("tesslac_err.txt");
+  std::string Cmd = std::string(TESSLAC_PATH) + " " + Args + " > " +
+                    OutPath + " 2> " + ErrPath;
+  int Rc = std::system(Cmd.c_str());
+  if (Err)
+    *Err = slurp(ErrPath);
+  return {Rc, slurp(OutPath)};
 }
 
 const char *SeenSetSource = R"(
@@ -145,6 +154,89 @@ TEST(TesslacTest, FleetReplayMatchesSequentialPerSession) {
     EXPECT_EQ(Rc, 0);
     EXPECT_EQ(Out, Expected) << "shards=" << Shards;
   }
+}
+
+TEST(TesslacTest, OptimizedPlanShowsFusedSteps) {
+  auto [Rc, Out] = runTool(specFile() + " --emit=plan -O1");
+  EXPECT_EQ(Rc, 0);
+  EXPECT_NE(Out.find("[fused]"), std::string::npos) << Out;
+  // The orphaned last step is gone and the slot table is compacted.
+  EXPECT_EQ(Out.find("prev = last("), std::string::npos) << Out;
+  EXPECT_NE(Out.find("slots: value=6 last=1 delay=0"),
+            std::string::npos)
+      << Out;
+}
+
+TEST(TesslacTest, DumpPassesPrintsStatistics) {
+  std::string Err;
+  auto [Rc, Out] =
+      runTool(specFile() + " --emit=plan -O1 --dump-passes", &Err);
+  EXPECT_EQ(Rc, 0);
+  EXPECT_NE(Err.find("constant-fold: steps 7 -> 7"), std::string::npos)
+      << Err;
+  EXPECT_NE(Err.find("step-fusion: steps 7 -> 7 (fused 2)"),
+            std::string::npos)
+      << Err;
+  EXPECT_NE(Err.find("dead-step-elim: steps 7 -> 6 (eliminated 1)"),
+            std::string::npos)
+      << Err;
+  EXPECT_NE(Err.find("total: steps 7 -> 6"), std::string::npos) << Err;
+}
+
+TEST(TesslacTest, OptimizedRunMatchesUnoptimized) {
+  std::string TracePath = tempPath("seen_trace_opt.txt");
+  writeFile(TracePath,
+            "1: x = 5\n2: x = 5\n3: x = 6\n4: x = 5\n5: x = 6\n");
+  auto [Rc0, Out0] = runTool(specFile() + " --run " + TracePath);
+  auto [Rc1, Out1] = runTool(specFile() + " --run " + TracePath + " -O1");
+  EXPECT_EQ(Rc0, 0);
+  EXPECT_EQ(Rc1, 0);
+  EXPECT_EQ(Out0, Out1);
+  EXPECT_FALSE(Out0.empty());
+}
+
+TEST(TesslacTest, OptimizedCppEmission) {
+  auto [Rc0, Out0] = runTool(specFile() + " --emit=cpp");
+  auto [Rc1, Out1] = runTool(specFile() + " --emit=cpp -O1");
+  EXPECT_EQ(Rc0, 0);
+  EXPECT_EQ(Rc1, 0);
+  // The fused program drops the last-step intermediate variable.
+  EXPECT_NE(Out0.find("v_prev"), std::string::npos);
+  EXPECT_EQ(Out1.find("v_prev"), std::string::npos) << Out1;
+  EXPECT_NE(Out1.find("[fused]"), std::string::npos) << Out1;
+}
+
+TEST(TesslacTest, LintWarnsOnStderr) {
+  std::string Path = tempPath("lint.tessla");
+  writeFile(Path, "in x: Int\n"
+                  "def unused := x + 1\n"
+                  "out x\n");
+  std::string Err;
+  auto [Rc, Out] = runTool(Path + " --lint --emit=flat", &Err);
+  EXPECT_EQ(Rc, 0) << "plain --lint must not change the exit code";
+  EXPECT_NE(Err.find("warning 2:1: stream 'unused' is never read"),
+            std::string::npos)
+      << Err;
+  EXPECT_NE(Err.find("[unused-stream]"), std::string::npos) << Err;
+}
+
+TEST(TesslacTest, WerrorFailsTheBuild) {
+  std::string Path = tempPath("lint_werror.tessla");
+  writeFile(Path, "in x: Int\n"
+                  "def unused := x + 1\n"
+                  "out x\n");
+  std::string Err;
+  auto [Rc, Out] = runTool(Path + " --werror --emit=flat", &Err);
+  EXPECT_NE(Rc, 0);
+  EXPECT_NE(Err.find("error 2:1: stream 'unused' is never read"),
+            std::string::npos)
+      << Err;
+  // A clean spec passes --werror.
+  std::string CleanErr;
+  auto [RcClean, OutClean] =
+      runTool(specFile() + " --werror --emit=flat", &CleanErr);
+  EXPECT_EQ(RcClean, 0) << CleanErr;
+  EXPECT_EQ(CleanErr, "");
 }
 
 TEST(TesslacTest, ErrorsOnBadInput) {

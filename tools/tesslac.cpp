@@ -27,6 +27,8 @@
 #include "tessla/CodeGen/CppEmitter.h"
 #include "tessla/Lang/Parser.h"
 #include "tessla/Lang/PrintSource.h"
+#include "tessla/Opt/Lint.h"
+#include "tessla/Opt/PassManager.h"
 #include "tessla/Runtime/MonitorFleet.h"
 #include "tessla/Runtime/TraceIO.h"
 
@@ -50,6 +52,16 @@ void printUsage(const char *Argv0) {
       "                                    what to print (default report)\n"
       "  --baseline                        disable the aggregate update\n"
       "                                    optimization (all persistent)\n"
+      "  -O0 | -O1                         program optimization level\n"
+      "                                    (default -O0; -O1 folds\n"
+      "                                    constants, fuses steps and\n"
+      "                                    eliminates dead steps)\n"
+      "  --dump-passes                     print per-pass statistics to\n"
+      "                                    stderr\n"
+      "  --lint                            run the spec linter and print\n"
+      "                                    its warnings to stderr\n"
+      "  --werror                          treat lint warnings as errors\n"
+      "                                    (implies --lint, exits 1)\n"
       "  --main                            add a main() to --emit=cpp\n"
       "  --run <trace.txt>                 execute the monitor on a trace\n"
       "  --horizon <t>                     bound delay draining at finish\n"
@@ -78,6 +90,10 @@ int main(int argc, char **argv) {
   std::string Emit = "report";
   bool Baseline = false;
   bool EmitMain = false;
+  unsigned OptLevel = 0;
+  bool DumpPasses = false;
+  bool Lint = false;
+  bool Werror = false;
   std::optional<Time> Horizon;
   unsigned FleetShards = 0; // 0 = single-session sequential replay
   unsigned FleetSessions = 1;
@@ -90,6 +106,17 @@ int main(int argc, char **argv) {
       Baseline = true;
     } else if (std::strcmp(Arg, "--main") == 0) {
       EmitMain = true;
+    } else if (std::strcmp(Arg, "-O0") == 0) {
+      OptLevel = 0;
+    } else if (std::strcmp(Arg, "-O1") == 0) {
+      OptLevel = 1;
+    } else if (std::strcmp(Arg, "--dump-passes") == 0) {
+      DumpPasses = true;
+    } else if (std::strcmp(Arg, "--lint") == 0) {
+      Lint = true;
+    } else if (std::strcmp(Arg, "--werror") == 0) {
+      Lint = true;
+      Werror = true;
     } else if (std::strcmp(Arg, "--run") == 0 && I + 1 < argc) {
       TracePath = argv[++I];
       Emit = "run";
@@ -129,9 +156,41 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  if (Lint) {
+    DiagnosticEngine LintDiags;
+    opt::LintOptions LOpts;
+    LOpts.WarningsAsErrors = Werror;
+    unsigned Findings = opt::lintSpec(*S, LintDiags, LOpts);
+    if (Findings != 0)
+      std::fprintf(stderr, "%s", LintDiags.str().c_str());
+    if (LintDiags.hasErrors())
+      return 1;
+  }
+
   MutabilityOptions Opts;
   Opts.Optimize = !Baseline;
   AnalysisResult Analysis = analyzeSpec(*S, Opts);
+
+  // Compiles and (at -O1) optimizes the lowered program for the modes
+  // that execute or emit it. Verification runs after every pass; a
+  // failure is a compiler bug and exits nonzero.
+  auto makePlan = [&]() -> std::optional<Program> {
+    Program Plan = Program::compile(Analysis);
+    if (OptLevel >= 1) {
+      opt::OptOptions OOpts;
+      OOpts.Level = OptLevel;
+      OptStatistics Stats;
+      if (!opt::optimizeProgram(Plan, Analysis, OOpts, Diags, &Stats)) {
+        std::fprintf(stderr, "%s", Diags.str().c_str());
+        return std::nullopt;
+      }
+      if (DumpPasses)
+        std::fprintf(stderr, "%s", Stats.str().c_str());
+    } else if (DumpPasses) {
+      std::fprintf(stderr, "(-O0: no optimization passes run)\n");
+    }
+    return Plan;
+  };
 
   if (Emit == "report") {
     std::printf("%s", Analysis.report().c_str());
@@ -156,14 +215,19 @@ int main(int argc, char **argv) {
     return 0;
   }
   if (Emit == "plan") {
-    Program Plan = Program::compile(Analysis);
-    std::printf("%s", Plan.str().c_str());
+    std::optional<Program> Plan = makePlan();
+    if (!Plan)
+      return 1;
+    std::printf("%s", Plan->str().c_str());
     return 0;
   }
   if (Emit == "cpp") {
+    std::optional<Program> Plan = makePlan();
+    if (!Plan)
+      return 1;
     CppEmitterOptions EOpts;
     EOpts.EmitMain = EmitMain;
-    auto Code = emitCppMonitor(Program::compile(Analysis), EOpts, Diags);
+    auto Code = emitCppMonitor(*Plan, EOpts, Diags);
     if (!Code) {
       std::fprintf(stderr, "%s", Diags.str().c_str());
       return 1;
@@ -182,7 +246,10 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "%s", Diags.str().c_str());
       return 1;
     }
-    Program Plan = Program::compile(Analysis);
+    std::optional<Program> PlanOpt = makePlan();
+    if (!PlanOpt)
+      return 1;
+    Program &Plan = *PlanOpt;
     if (FleetShards > 0) {
       // Multi-session replay: every session receives the same trace;
       // ingest interleaves sessions per event (round-robin), mimicking a
