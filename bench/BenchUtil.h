@@ -14,7 +14,7 @@
 #ifndef TESSLA_BENCH_BENCHUTIL_H
 #define TESSLA_BENCH_BENCHUTIL_H
 
-#include "tessla/Analysis/Pipeline.h"
+#include "tessla/Compiler/Compiler.h"
 #include "tessla/Eval/Workloads.h"
 #include "tessla/Runtime/TraceGen.h"
 
@@ -38,10 +38,16 @@ struct RunResult {
 /// monitor runtimes; compilation is benchmarked separately).
 inline RunResult timeMonitor(const Spec &S, bool Optimize,
                              const std::vector<TraceEvent> &Events) {
-  MutabilityOptions Opts;
+  CompileOptions Opts;
   Opts.Optimize = Optimize;
-  AnalysisResult A = analyzeSpec(S, Opts);
-  Program Plan = Program::compile(A);
+  DiagnosticEngine Diags;
+  std::optional<Program> PlanOpt = compileSpec(S, Opts, Diags);
+  if (!PlanOpt) {
+    std::fprintf(stderr, "benchmark compile failed:\n%s",
+                 Diags.str().c_str());
+    std::exit(1);
+  }
+  Program &Plan = *PlanOpt;
 
   Monitor M(Plan);
   RunResult R;

@@ -47,13 +47,17 @@ struct CompiledRun {
 std::string emitAndCompile(const Spec &S, bool Optimize,
                            const std::string &WorkDir,
                            const std::string &Tag) {
-  MutabilityOptions MOpts;
-  MOpts.Optimize = Optimize;
-  AnalysisResult A = analyzeSpec(S, MOpts);
+  CompileOptions COpts;
+  COpts.Optimize = Optimize;
+  DiagnosticEngine Diags;
+  std::optional<Program> Plan = compileSpec(S, COpts, Diags);
+  if (!Plan) {
+    std::fprintf(stderr, "compile failed:\n%s", Diags.str().c_str());
+    return "";
+  }
   CppEmitterOptions EOpts;
   EOpts.EmitBenchMain = true;
-  DiagnosticEngine Diags;
-  auto Source = emitCppMonitor(Program::compile(A), EOpts, Diags);
+  auto Source = emitCppMonitor(*Plan, EOpts, Diags);
   if (!Source) {
     std::fprintf(stderr, "emission failed:\n%s", Diags.str().c_str());
     return "";

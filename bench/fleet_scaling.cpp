@@ -144,9 +144,15 @@ int main() {
   std::printf("%-10s %8s %10s %10s %12s %9s\n", "workload", "shards",
               "events", "time [s]", "Mev/s", "speedup");
   for (FleetWorkload &W : Workloads) {
-    MutabilityOptions MOpts; // optimized monitors; the opt-vs-baseline
-    AnalysisResult A = analyzeSpec(W.S, MOpts); // axis is fig9/fig10
-    Program Plan = Program::compile(A);
+    // Optimized monitors; the opt-vs-baseline axis is fig9/fig10.
+    DiagnosticEngine Diags;
+    std::optional<Program> PlanOpt =
+        compileSpec(W.S, CompileOptions(), Diags);
+    if (!PlanOpt) {
+      std::fprintf(stderr, "compile failed:\n%s", Diags.str().c_str());
+      return 1;
+    }
+    Program &Plan = *PlanOpt;
     double OneShard = 0;
     for (unsigned Shards : ShardCounts) {
       uint64_t Outputs = 0;

@@ -25,20 +25,18 @@ using namespace tessla::bench;
 
 namespace {
 
-/// Lowers the analyzed spec at the given level.
-Program planAt(unsigned Level, AnalysisResult &A,
+/// Compiles \p S at the given optimization level.
+Program planAt(unsigned Level, const Spec &S,
                OptStatistics *Stats = nullptr) {
-  Program P = Program::compile(A);
-  if (Level >= 1) {
-    opt::OptOptions Opts;
-    Opts.Level = Level;
-    DiagnosticEngine Diags;
-    if (!opt::optimizeProgram(P, A, Opts, Diags, Stats)) {
-      std::fprintf(stderr, "optimizer failed:\n%s", Diags.str().c_str());
-      std::exit(1);
-    }
+  CompileOptions Opts;
+  Opts.OptLevel = Level;
+  DiagnosticEngine Diags;
+  std::optional<Program> P = compileSpec(S, Opts, Diags, Stats);
+  if (!P) {
+    std::fprintf(stderr, "optimizer failed:\n%s", Diags.str().c_str());
+    std::exit(1);
   }
-  return P;
+  return std::move(*P);
 }
 
 RunResult timePlan(const Program &Plan,
@@ -79,13 +77,9 @@ RunResult medianPlan(const Program &Plan,
 
 void benchWorkload(const char *Name, const Spec &S,
                    const std::vector<TraceEvent> &Events, unsigned Reps) {
-  MutabilityOptions MOpts;
-  MOpts.Optimize = true;
-  AnalysisResult A = analyzeSpec(S, MOpts);
-
-  Program P0 = planAt(0, A);
+  Program P0 = planAt(0, S);
   OptStatistics Stats;
-  Program P1 = planAt(1, A, &Stats);
+  Program P1 = planAt(1, S, &Stats);
 
   RunResult R0 = medianPlan(P0, Events, Reps);
   RunResult R1 = medianPlan(P1, Events, Reps);

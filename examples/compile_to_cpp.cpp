@@ -16,7 +16,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "tessla/Analysis/Pipeline.h"
 #include "tessla/CodeGen/CppEmitter.h"
+#include "tessla/Compiler/Compiler.h"
 #include "tessla/Lang/Parser.h"
 
 #include <cstdio>
@@ -57,14 +59,20 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  MutabilityOptions Opts;
-  Opts.Optimize = Optimize;
-  AnalysisResult A = analyzeSpec(*S, Opts);
-  std::fprintf(stderr, "%s\n", A.report().c_str());
+  MutabilityOptions MOpts;
+  MOpts.Optimize = Optimize;
+  std::fprintf(stderr, "%s\n", analyzeSpec(*S, MOpts).report().c_str());
 
+  CompileOptions Opts;
+  Opts.Optimize = Optimize;
+  auto Plan = compileSpec(*S, Opts, Diags);
+  if (!Plan) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
   CppEmitterOptions EOpts;
   EOpts.EmitMain = true;
-  auto Code = emitCppMonitor(Program::compile(A), EOpts, Diags);
+  auto Code = emitCppMonitor(*Plan, EOpts, Diags);
   if (!Code) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
     return 1;

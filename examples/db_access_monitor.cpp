@@ -19,6 +19,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "tessla/Analysis/Pipeline.h"
+#include "tessla/Compiler/Compiler.h"
 #include "tessla/Lang/Parser.h"
 #include "tessla/Runtime/TraceGen.h"
 
@@ -72,8 +73,7 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  AnalysisResult Optimized = analyzeSpec(*S);
-  std::printf("%s\n", Optimized.report().c_str());
+  std::printf("%s\n", analyzeSpec(*S).report().c_str());
 
   tracegen::DbLogConfig Config;
   Config.Count = NumOps;
@@ -82,16 +82,18 @@ int main(int argc, char **argv) {
                                 *S->lookup("acc"), Config);
   std::printf("synthetic database log: %zu operations\n", Events.size());
 
-  MutabilityOptions BaseOpts;
+  CompileOptions BaseOpts;
   BaseOpts.Optimize = false;
-  AnalysisResult Baseline = analyzeSpec(*S, BaseOpts);
-
-  Program OptPlan = Program::compile(Optimized);
-  Program BasePlan = Program::compile(Baseline);
+  std::optional<Program> OptPlan = compileSpec(*S, CompileOptions(), Diags);
+  std::optional<Program> BasePlan = compileSpec(*S, BaseOpts, Diags);
+  if (!OptPlan || !BasePlan) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
 
   uint64_t OptViolations = 0, BaseViolations = 0;
-  double OptTime = runSeconds(OptPlan, Events, OptViolations);
-  double BaseTime = runSeconds(BasePlan, Events, BaseViolations);
+  double OptTime = runSeconds(*OptPlan, Events, OptViolations);
+  double BaseTime = runSeconds(*BasePlan, Events, BaseViolations);
 
   std::printf("violations found: %llu (optimized), %llu (baseline)\n",
               static_cast<unsigned long long>(OptViolations),

@@ -18,6 +18,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "tessla/Analysis/Pipeline.h"
+#include "tessla/Compiler/Compiler.h"
 #include "tessla/Lang/Parser.h"
 #include "tessla/Runtime/TraceGen.h"
 
@@ -55,8 +56,7 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  AnalysisResult A = analyzeSpec(*S);
-  std::printf("%s\n", A.report().c_str());
+  std::printf("%s\n", analyzeSpec(*S).report().c_str());
 
   tracegen::PowerConfig Config;
   Config.Count = NumSamples;
@@ -66,7 +66,12 @@ int main(int argc, char **argv) {
   Config.Seed = 7;
   auto Events = tracegen::powerSignal(*S->lookup("p"), Config);
 
-  Program Plan = Program::compile(A);
+  std::optional<Program> PlanOpt = compileSpec(*S, CompileOptions(), Diags);
+  if (!PlanOpt) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  Program &Plan = *PlanOpt;
   Monitor M(Plan);
   unsigned Shown = 0;
   uint64_t Total = 0;

@@ -18,6 +18,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "tessla/Analysis/Pipeline.h"
+#include "tessla/Compiler/Compiler.h"
 #include "tessla/Lang/Parser.h"
 #include "tessla/Runtime/TraceIO.h"
 
@@ -45,8 +46,9 @@ int main() {
   std::printf("Flat specification:\n%s\n", S->str().c_str());
 
   // --- 2. The aggregate update analysis. ----------------------------------
-  AnalysisResult Optimized = analyzeSpec(*S);
-  std::printf("%s\n", Optimized.report().c_str());
+  // (The report is informational; compileSpec below re-runs the whole
+  // pipeline internally — embedders never chain stages by hand.)
+  std::printf("%s\n", analyzeSpec(*S).report().c_str());
 
   // --- 3. Execute the optimized monitor on a trace. -----------------------
   const char *TraceText = R"(
@@ -62,7 +64,12 @@ int main() {
     return 1;
   }
 
-  Program Plan = Program::compile(Optimized);
+  std::optional<Program> PlanOpt = compileSpec(*S, CompileOptions(), Diags);
+  if (!PlanOpt) {
+    std::fprintf(stderr, "compile error:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  Program &Plan = *PlanOpt;
   Monitor M(Plan);
   M.setOutputHandler([&](Time Ts, StreamId Id, const Value &V) {
     std::printf("%lld: %s = %s\n", static_cast<long long>(Ts),

@@ -1,0 +1,73 @@
+//===- tessla/Compiler/Compiler.h - One-call embedding API -----*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unified embedding API: one call from TeSSLa source (or an already
+/// type-checked flat spec) to an executable, optionally optimized
+/// Program. Everything in between — parsing, flattening, type checking,
+/// the aggregate update analysis, lowering, the -O1 pass pipeline — is
+/// driven internally, so embedders write
+///
+/// \code
+///   DiagnosticEngine Diags;
+///   auto P = tessla::compileSpec(Source, {}, Diags);
+///   if (!P) { report(Diags); return; }
+///   Monitor M(*P);                       // or MonitorFleet(*P, FOpts)
+/// \endcode
+///
+/// and never hand-chain pipeline stages. Programs round-trip through the
+/// .tpb bundle format (Program/Serialize.h) for deployment without any
+/// of this — a bundle consumer links only the runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_COMPILER_COMPILER_H
+#define TESSLA_COMPILER_COMPILER_H
+
+#include "tessla/Opt/PassManager.h"
+#include "tessla/Program/Program.h"
+#include "tessla/Support/Diagnostics.h"
+
+#include <optional>
+#include <string_view>
+
+namespace tessla {
+
+/// Knobs for compileSpec. The defaults mirror the paper's optimized
+/// configuration at -O0: the aggregate update analysis on, no
+/// program-level passes.
+struct CompileOptions {
+  /// The aggregate update optimization (§IV). False reproduces the
+  /// paper's baseline: every aggregate stays persistent.
+  bool Optimize = true;
+  /// Program-level optimization: 0 = lower only, 1 = constant folding,
+  /// step fusion and dead step elimination (Opt/PassManager.h).
+  unsigned OptLevel = 0;
+  /// Run the IR verifier after every pass (cheap; leave on outside
+  /// hot compile loops).
+  bool Verify = true;
+};
+
+/// Compiles TeSSLa source into an executable Program: parse, flatten,
+/// typecheck, analyze, lower and (per \p Opts.OptLevel) optimize.
+/// Reports through \p Diags and returns nullopt on any error. \p Stats,
+/// when given, receives per-pass statistics of the -O1 pipeline.
+std::optional<Program> compileSpec(std::string_view Source,
+                                   const CompileOptions &Opts,
+                                   DiagnosticEngine &Diags,
+                                   OptStatistics *Stats = nullptr);
+
+/// Same, from an already flattened and type-checked spec (e.g. built
+/// with SpecBuilder + typecheck(), or Eval workloads). Analysis runs on
+/// a copy; \p S is not modified.
+std::optional<Program> compileSpec(const Spec &S,
+                                   const CompileOptions &Opts,
+                                   DiagnosticEngine &Diags,
+                                   OptStatistics *Stats = nullptr);
+
+} // namespace tessla
+
+#endif // TESSLA_COMPILER_COMPILER_H

@@ -101,6 +101,14 @@ public:
   /// by the code generator's header comment.
   std::string str() const;
 
+  /// Rebuilds a spec from raw equations — the deserialization path of
+  /// Program bundles (Program/Serialize.h), where the stream table comes
+  /// from an untrusted file rather than the parser or SpecBuilder.
+  /// Rejects duplicate or empty names and anything validate() rejects;
+  /// reports through \p Diags and returns nullopt on any error.
+  static std::optional<Spec> fromDefs(std::vector<StreamDef> Defs,
+                                      DiagnosticEngine &Diags);
+
 private:
   friend class SpecBuilder;
   std::vector<StreamDef> Defs;

@@ -30,6 +30,7 @@
 
 #include "tessla/Analysis/Statistics.h"
 #include "tessla/Program/Program.h"
+#include "tessla/Program/Verify.h"
 
 #include <memory>
 
@@ -55,12 +56,9 @@ std::unique_ptr<Pass> createConstantFoldPass();
 std::unique_ptr<Pass> createStepFusionPass();
 std::unique_ptr<Pass> createDeadStepEliminationPass();
 
-/// Checks the Program IR invariants both backends rely on: slot indices
-/// in range, dense unique destination slots, Args/ArgSlot agreement,
-/// dispatch pointers resolved for the opcodes that call through them,
-/// and last/delay tables consistent with their referencing steps.
-/// Reports every violation through \p Diags; returns true if clean.
-bool verifyProgram(const Program &P, DiagnosticEngine &Diags);
+// verifyProgram lives with the IR in tessla/Program/Verify.h (included
+// above) so the frontend-free bundle loader can use it as well; it keeps
+// its tessla::opt name for the pass-framework callers.
 
 /// Runs a pass pipeline with per-pass statistics and verification.
 class PassManager {

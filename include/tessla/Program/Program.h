@@ -38,11 +38,12 @@
 #ifndef TESSLA_PROGRAM_PROGRAM_H
 #define TESSLA_PROGRAM_PROGRAM_H
 
-#include "tessla/Analysis/Pipeline.h"
 #include "tessla/Runtime/BuiltinImpls.h"
 #include "tessla/Runtime/Value.h"
 
 namespace tessla {
+
+class AnalysisResult;
 
 /// Engine state index. Slots are dense: 0..numValueSlots()-1 address the
 /// current-timestamp value of one stream each; nil streams (which never
@@ -156,7 +157,11 @@ class Program {
 public:
   /// Lowers \p Analysis' spec using its translation order and mutability
   /// set. Pass a baseline AnalysisResult (Optimize=false) for the paper's
-  /// all-persistent reference program.
+  /// all-persistent reference program. Defined in Program/Lower.cpp
+  /// (library tessla_lower): the Program data structure itself, its
+  /// verifier and its serialized form (Program/Serialize.h) are
+  /// frontend-free, so shipped monitors link neither the parser nor the
+  /// analyses.
   static Program compile(const AnalysisResult &Analysis);
 
   const Spec &spec() const { return *S; }
@@ -202,6 +207,11 @@ public:
   }
 
 private:
+  /// The bundle reader/writer (Program/Serialize.cpp) reconstructs every
+  /// table directly, including the spec handle and the mutability set
+  /// that OptView deliberately does not expose.
+  friend class ProgramSerializer;
+
   std::shared_ptr<const Spec> S;
   std::vector<ProgramStep> Steps;
   std::vector<LastSlot> LastSlots;

@@ -1,0 +1,98 @@
+//===- tessla/Program/Serialize.h - Program bundles (.tpb) -----*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The TeSSLa Program Bundle (".tpb") format: a versioned, little-endian
+/// binary serialization of a lowered (and typically -O1-optimized)
+/// Program, so monitors deploy as compact artifacts that load without
+/// the frontend — no lexer, parser, type checker or analysis is linked
+/// by a bundle consumer (see tools/tessla-run).
+///
+/// Layout (all integers little-endian):
+///
+///   offset 0   4  magic bytes 'T' 'P' 'B' 0x1A
+///   offset 4   4  u32 format version (TPBFormatVersion)
+///   offset 8   8  u64 FNV-1a-64 checksum of every byte from offset 16
+///                 to the end of the bundle
+///   offset 16  4  u32 section count
+///   then per section: u32 tag, u64 payload size, payload
+///
+/// Sections carry the stream table (names, kinds, types, literals),
+/// the builtin-name table, the constant pool (full Value encoding,
+/// aggregates included), the step table with every opcode — the
+/// optimizer-introduced ConstTick/FusedLastLift/FusedLiftLift too — the
+/// value/last/delay/output slot tables and the per-stream mutability
+/// decisions. Builtin function pointers are never stored: steps
+/// reference builtins *by name* and the loader re-resolves them through
+/// builtinImpl(), rejecting names this build does not register.
+///
+/// Versioning policy: any change to the layout of an existing section
+/// bumps TPBFormatVersion (the golden-bytes guard in SerializeTest
+/// enforces the bump); loaders reject bundles with a different version.
+/// Adding a *new* section is backward-compatible for readers (unknown
+/// tags are skipped) but still bumps the version if old readers could
+/// misexecute without it.
+///
+/// Loading is robust, not trusting: truncated, bit-flipped, or
+/// hand-crafted inputs produce diagnostics, never undefined behavior.
+/// Every read is bounds-checked, every index validated, and the decoded
+/// program must pass both Spec::validate and opt::verifyProgram before
+/// it is returned.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_PROGRAM_SERIALIZE_H
+#define TESSLA_PROGRAM_SERIALIZE_H
+
+#include "tessla/Program/Program.h"
+#include "tessla/Support/Diagnostics.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace tessla {
+
+/// Current bundle format version. Bump on any layout change (see the
+/// versioning policy in the file comment).
+constexpr uint32_t TPBFormatVersion = 1;
+
+/// The four magic bytes opening every bundle.
+constexpr uint8_t TPBMagic[4] = {'T', 'P', 'B', 0x1A};
+
+/// Byte offset of the checksum field; the checksum covers every byte
+/// from TPBChecksumStart to the end of the bundle.
+constexpr size_t TPBChecksumStart = 16;
+
+/// FNV-1a-64 over \p Size bytes — the bundle content checksum. Exposed
+/// so tools and tests can re-stamp a patched bundle.
+uint64_t tpbChecksum(const uint8_t *Data, size_t Size);
+
+/// Serializes \p P into a self-contained bundle. The program must be
+/// verifier-clean (every Program produced by compile()/optimizeProgram()
+/// is); the encoding is deterministic — equal programs yield equal
+/// bytes, aggregates are emitted in canonical (sorted) order.
+std::vector<uint8_t> serializeProgram(const Program &P);
+
+/// Loads a bundle. On any structural problem — short or oversized
+/// sections, checksum mismatch, unsupported format version, out-of-range
+/// ids or slots, unknown builtin names, verifier violations — reports
+/// through \p Diags and returns nullopt. Never exhibits undefined
+/// behavior on malformed input.
+std::optional<Program> loadProgram(const uint8_t *Data, size_t Size,
+                                   DiagnosticEngine &Diags);
+std::optional<Program> loadProgram(const std::vector<uint8_t> &Bytes,
+                                   DiagnosticEngine &Diags);
+
+/// File convenience wrappers ("spec.tpb" in, Program out and back).
+bool writeProgramFile(const Program &P, const std::string &Path,
+                      DiagnosticEngine &Diags);
+std::optional<Program> loadProgramFile(const std::string &Path,
+                                       DiagnosticEngine &Diags);
+
+} // namespace tessla
+
+#endif // TESSLA_PROGRAM_SERIALIZE_H

@@ -1,0 +1,36 @@
+//===- tessla/Program/Verify.h - Program IR verifier -----------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Program IR verifier. Checks every invariant both execution
+/// backends rely on; used by the optimization pass manager after every
+/// rewrite and by the bundle loader (Program/Serialize.h) as the final
+/// gate on untrusted input. Lives with the IR (library tessla_program),
+/// not with the passes, so frontend-free deployments can verify what
+/// they load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_PROGRAM_VERIFY_H
+#define TESSLA_PROGRAM_VERIFY_H
+
+#include "tessla/Program/Program.h"
+#include "tessla/Support/Diagnostics.h"
+
+namespace tessla {
+namespace opt {
+
+/// Checks the Program IR invariants both backends rely on: slot indices
+/// in range, dense unique destination slots, Args/ArgSlot agreement,
+/// dispatch pointers resolved for the opcodes that call through them,
+/// and last/delay tables consistent with their referencing steps.
+/// Reports every violation through \p Diags; returns true if clean.
+bool verifyProgram(const Program &P, DiagnosticEngine &Diags);
+
+} // namespace opt
+} // namespace tessla
+
+#endif // TESSLA_PROGRAM_VERIFY_H

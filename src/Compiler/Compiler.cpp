@@ -1,0 +1,40 @@
+//===- Compiler/Compiler.cpp ------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Compiler/Compiler.h"
+
+#include "tessla/Analysis/Pipeline.h"
+#include "tessla/Lang/Parser.h"
+
+using namespace tessla;
+
+std::optional<Program> tessla::compileSpec(const Spec &S,
+                                           const CompileOptions &Opts,
+                                           DiagnosticEngine &Diags,
+                                           OptStatistics *Stats) {
+  MutabilityOptions MOpts;
+  MOpts.Optimize = Opts.Optimize;
+  AnalysisResult Analysis = analyzeSpec(S, MOpts);
+  Program P = Program::compile(Analysis);
+  if (Opts.OptLevel >= 1) {
+    opt::OptOptions OOpts;
+    OOpts.Level = Opts.OptLevel;
+    OOpts.Verify = Opts.Verify;
+    if (!opt::optimizeProgram(P, Analysis, OOpts, Diags, Stats))
+      return std::nullopt;
+  }
+  return P;
+}
+
+std::optional<Program> tessla::compileSpec(std::string_view Source,
+                                           const CompileOptions &Opts,
+                                           DiagnosticEngine &Diags,
+                                           OptStatistics *Stats) {
+  std::optional<Spec> S = parseSpec(Source, Diags);
+  if (!S)
+    return std::nullopt;
+  return compileSpec(*S, Opts, Diags, Stats);
+}

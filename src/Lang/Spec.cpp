@@ -31,6 +31,28 @@ std::string ConstantLit::str() const {
   return std::visit(Renderer{}, V);
 }
 
+std::optional<Spec> Spec::fromDefs(std::vector<StreamDef> Defs,
+                                   DiagnosticEngine &Diags) {
+  Spec S;
+  S.Defs = std::move(Defs);
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id) {
+    const std::string &Name = S.Defs[Id].Name;
+    if (Name.empty()) {
+      Diags.error(formatString("stream #%u has no name", Id));
+      return std::nullopt;
+    }
+    auto [It, Inserted] = S.ByName.emplace(Name, Id);
+    (void)It;
+    if (!Inserted) {
+      Diags.error("duplicate stream name '" + Name + "'");
+      return std::nullopt;
+    }
+  }
+  if (!S.validate(Diags))
+    return std::nullopt;
+  return S;
+}
+
 std::optional<StreamId> Spec::lookup(std::string_view Name) const {
   auto It = ByName.find(std::string(Name));
   if (It == ByName.end())

@@ -1,14 +1,15 @@
-//===- Opt/Verify.cpp -------------------------------------------------------===//
+//===- Program/Verify.cpp ---------------------------------------------------===//
 //
 // Part of the tessla-aggregate-update project, MIT licensed.
 //
 // The Program IR verifier: checks every invariant the interpreter and the
 // C++ emitter rely on, so a buggy rewrite aborts compilation with a
-// diagnostic instead of producing a monitor that silently diverges.
+// diagnostic instead of producing a monitor that silently diverges — and
+// a corrupted or hand-crafted bundle fails loading instead of executing.
 //
 //===----------------------------------------------------------------------===//
 
-#include "tessla/Opt/PassManager.h"
+#include "tessla/Program/Verify.h"
 
 using namespace tessla;
 using namespace tessla::opt;

@@ -53,13 +53,10 @@ std::string readFile(const std::string &Path) {
 /// monitor's stdout.
 std::string compileAndRun(const Spec &S, bool Optimize,
                           const std::vector<TraceEvent> &Events) {
-  MutabilityOptions MOpts;
-  MOpts.Optimize = Optimize;
-  AnalysisResult A = analyzeSpec(S, MOpts);
   CppEmitterOptions Opts;
   Opts.EmitMain = true;
   DiagnosticEngine Diags;
-  auto Source = emitCppMonitor(Program::compile(A), Opts, Diags);
+  auto Source = emitCppMonitor(compileOrDie(S, Optimize), Opts, Diags);
   EXPECT_TRUE(Source) << Diags.str();
   if (!Source)
     return "";
@@ -90,8 +87,7 @@ std::string compileAndRun(const Spec &S, bool Optimize,
 
 /// Interpreter reference output.
 std::string interpret(const Spec &S, const std::vector<TraceEvent> &Events) {
-  AnalysisResult A = analyzeSpec(S);
-  Program Plan = Program::compile(A);
+  Program Plan = compileOrDie(S);
   std::string Error;
   auto Out = runMonitor(Plan, Events, std::nullopt, &Error);
   EXPECT_EQ(Error, "");

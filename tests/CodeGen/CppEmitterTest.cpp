@@ -16,13 +16,10 @@ using namespace tessla::testspecs;
 namespace {
 
 std::string emit(const Spec &S, bool Optimize, bool EmitMain = false) {
-  MutabilityOptions MOpts;
-  MOpts.Optimize = Optimize;
-  AnalysisResult A = analyzeSpec(S, MOpts);
   CppEmitterOptions Opts;
   Opts.EmitMain = EmitMain;
   DiagnosticEngine Diags;
-  auto Source = emitCppMonitor(Program::compile(A), Opts, Diags);
+  auto Source = emitCppMonitor(compileOrDie(S, Optimize), Opts, Diags);
   EXPECT_TRUE(Source) << Diags.str();
   return Source ? *Source : std::string();
 }
@@ -115,9 +112,9 @@ TEST(CppEmitterTest, UnsupportedConstructsReported) {
       def r := setSize(s)
       out r
     )");
-    AnalysisResult A = analyzeSpec(S);
     DiagnosticEngine Diags;
-    EXPECT_FALSE(emitCppMonitor(Program::compile(A), CppEmitterOptions(), Diags));
+    EXPECT_FALSE(
+        emitCppMonitor(compileOrDie(S), CppEmitterOptions(), Diags));
     EXPECT_TRUE(Diags.hasErrors());
   }
   // Aggregate equality.
@@ -129,9 +126,9 @@ TEST(CppEmitterTest, UnsupportedConstructsReported) {
       def e := a == b
       out e
     )");
-    AnalysisResult A = analyzeSpec(S);
     DiagnosticEngine Diags;
-    EXPECT_FALSE(emitCppMonitor(Program::compile(A), CppEmitterOptions(), Diags));
+    EXPECT_FALSE(
+        emitCppMonitor(compileOrDie(S), CppEmitterOptions(), Diags));
     EXPECT_TRUE(Diags.hasErrors());
   }
 }

@@ -30,6 +30,7 @@
 
 using namespace tessla;
 using namespace tessla::testrandom;
+using namespace tessla::testspecs;
 
 namespace {
 
@@ -64,10 +65,7 @@ std::string readFile(const std::string &Path) {
 void expectParity(uint64_t Seed, const Spec &S, bool Optimize,
                   const std::vector<TraceEvent> &Events,
                   unsigned OptLevel = 0) {
-  MutabilityOptions MOpts;
-  MOpts.Optimize = Optimize;
-  AnalysisResult A = analyzeSpec(S, MOpts);
-  Program P = Program::compile(A);
+  Program P = compileOrDie(S, Optimize);
 
   std::string Error;
   auto Interpreted = runMonitor(P, Events, std::nullopt, &Error);
@@ -75,11 +73,7 @@ void expectParity(uint64_t Seed, const Spec &S, bool Optimize,
   std::string Expected = formatOutputs(S, Interpreted);
 
   if (OptLevel >= 1) {
-    opt::OptOptions OOpts;
-    OOpts.Level = OptLevel;
-    DiagnosticEngine OptDiags;
-    ASSERT_TRUE(opt::optimizeProgram(P, A, OOpts, OptDiags))
-        << "seed " << Seed << "\n" << OptDiags.str();
+    P = compileOrDie(S, Optimize, OptLevel);
     auto OptOut = runMonitor(P, Events, std::nullopt, &Error);
     ASSERT_EQ(Error, "") << "seed " << Seed;
     ASSERT_EQ(formatOutputs(S, OptOut), Expected)
@@ -160,7 +154,6 @@ TEST(CodegenParityTest, OptimizedWorkloads) {
   // The Fig. 9 workloads hit all three fused/folded opcode families in
   // the emitter (ConstTick on mapWindow/queueWindow, FusedLastLift and
   // FusedLiftLift on all three).
-  using namespace tessla::testspecs;
   uint64_t Seed = 400;
   for (const Spec &S : {seenSet(), mapWindow(4), queueWindow(4)}) {
     auto Events =

@@ -28,12 +28,9 @@ namespace {
 
 std::string runWith(const Spec &S, const std::vector<TraceEvent> &Events,
                     bool Optimize, uint32_t *MutableCount = nullptr) {
-  MutabilityOptions Opts;
-  Opts.Optimize = Optimize;
-  AnalysisResult A = analyzeSpec(S, Opts);
+  Program Plan = compileOrDie(S, Optimize);
   if (MutableCount)
-    *MutableCount = A.mutability().mutableCount();
-  Program Plan = Program::compile(A);
+    *MutableCount = mutableStreamCount(Plan);
   std::string Error;
   auto Out = runMonitor(Plan, Events, std::nullopt, &Error);
   EXPECT_EQ(Error, "");

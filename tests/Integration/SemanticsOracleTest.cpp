@@ -163,10 +163,7 @@ std::string oracleOutputs(const Spec &S,
 std::string engineOutputs(const Spec &S,
                           const std::vector<TraceEvent> &Events,
                           bool Optimize) {
-  MutabilityOptions Opts;
-  Opts.Optimize = Optimize;
-  AnalysisResult A = analyzeSpec(S, Opts);
-  Program Plan = Program::compile(A);
+  Program Plan = compileOrDie(S, Optimize);
   std::string Error;
   auto Out = runMonitor(Plan, Events, std::nullopt, &Error);
   EXPECT_EQ(Error, "");

@@ -26,8 +26,7 @@ namespace {
 
 std::vector<OutputEvent> run(const Spec &S,
                              const std::vector<TraceEvent> &Events) {
-  AnalysisResult A = analyzeSpec(S);
-  Program Plan = Program::compile(A);
+  Program Plan = compileOrDie(S);
   std::string Error;
   auto Out = runMonitor(Plan, Events, std::nullopt, &Error);
   EXPECT_EQ(Error, "");

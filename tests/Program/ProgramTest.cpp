@@ -23,9 +23,7 @@ using namespace tessla::testspecs;
 namespace {
 
 Program compile(const Spec &S, bool Optimize) {
-  MutabilityOptions Opts;
-  Opts.Optimize = Optimize;
-  return Program::compile(analyzeSpec(S, Opts));
+  return compileOrDie(S, Optimize);
 }
 
 // One spec exercising every slot table: an in-place aggregate family

@@ -23,8 +23,7 @@ namespace {
 
 std::string run(const Spec &S, const std::vector<TraceEvent> &Events,
                 std::optional<Time> Horizon = std::nullopt) {
-  AnalysisResult A = analyzeSpec(S);
-  Program Plan = Program::compile(A);
+  Program Plan = compileOrDie(S);
   std::string Error;
   auto Out = runMonitor(Plan, Events, Horizon, &Error);
   EXPECT_EQ(Error, "");

@@ -97,19 +97,12 @@ std::string fleetRun(const Program &Plan, const SessionTraces &Traces,
 }
 
 struct CompiledSpec {
-  AnalysisResult Analysis;
   Program Plan;
   uint32_t MutableCount;
 
   CompiledSpec(const Spec &S, bool Optimize)
-      : Analysis(analyzeSpec(S,
-                             [&] {
-                               MutabilityOptions Opts;
-                               Opts.Optimize = Optimize;
-                               return Opts;
-                             }())),
-        Plan(Program::compile(Analysis)),
-        MutableCount(Analysis.mutability().mutableCount()) {}
+      : Plan(compileOrDie(S, Optimize)),
+        MutableCount(mutableStreamCount(Plan)) {}
 };
 
 } // namespace

@@ -22,18 +22,10 @@ namespace {
 
 struct Runner {
   Spec S;
-  AnalysisResult Analysis;
   Program Plan;
 
   Runner(Spec Spec_, bool Optimize = true)
-      : S(std::move(Spec_)),
-        Analysis(analyzeSpec(S,
-                             [&] {
-                               MutabilityOptions Opts;
-                               Opts.Optimize = Optimize;
-                               return Opts;
-                             }())),
-        Plan(Program::compile(Analysis)) {}
+      : S(std::move(Spec_)), Plan(compileOrDie(S, Optimize)) {}
 
   /// Runs events given as (name, ts, value) and renders the output trace.
   std::string run(
@@ -265,10 +257,7 @@ TEST(MonitorTest, OutputHandlerValuesAreBorrowed) {
     out y
   )");
   auto RunAndSnapshot = [&](bool Optimize, Value &Shallow, Value &Deep) {
-    MutabilityOptions Opts;
-    Opts.Optimize = Optimize;
-    AnalysisResult A = analyzeSpec(S, Opts);
-    Program Plan = Program::compile(A);
+    Program Plan = compileOrDie(S, Optimize);
     EXPECT_EQ(Plan.inPlaceStepCount() > 0, Optimize)
         << "mutability premise broken; test is vacuous";
     Monitor M(Plan);
@@ -305,8 +294,7 @@ TEST(MonitorTest, OutputHandlerValuesAreBorrowed) {
 
 TEST(MonitorTest, OutOfOrderInputRejected) {
   Spec S = parseOrDie("in a: Int\ndef t := time(a)\nout t");
-  AnalysisResult A = analyzeSpec(S);
-  Program Plan = Program::compile(A);
+  Program Plan = compileOrDie(S);
   Monitor M(Plan);
   EXPECT_TRUE(M.feed(*S.lookup("a"), 10, Value::integer(1)));
   EXPECT_FALSE(M.feed(*S.lookup("a"), 5, Value::integer(2)));
@@ -316,8 +304,7 @@ TEST(MonitorTest, OutOfOrderInputRejected) {
 
 TEST(MonitorTest, DuplicateEventSameTimestampRejected) {
   Spec S = parseOrDie("in a: Int\ndef t := time(a)\nout t");
-  AnalysisResult A = analyzeSpec(S);
-  Program Plan = Program::compile(A);
+  Program Plan = compileOrDie(S);
   Monitor M(Plan);
   EXPECT_TRUE(M.feed(*S.lookup("a"), 10, Value::integer(1)));
   EXPECT_FALSE(M.feed(*S.lookup("a"), 10, Value::integer(2)));
@@ -330,8 +317,7 @@ TEST(MonitorTest, RuntimeErrorsSurface) {
     def x := 10 / a
     out x
   )");
-  AnalysisResult A = analyzeSpec(S);
-  Program Plan = Program::compile(A);
+  Program Plan = compileOrDie(S);
   Monitor M(Plan);
   M.feed(*S.lookup("a"), 1, Value::integer(0));
   M.finish();
@@ -342,8 +328,7 @@ TEST(MonitorTest, RuntimeErrorsSurface) {
 
 TEST(MonitorTest, FeedAfterFinishRejected) {
   Spec S = parseOrDie("in a: Int\ndef t := time(a)\nout t");
-  AnalysisResult A = analyzeSpec(S);
-  Program Plan = Program::compile(A);
+  Program Plan = compileOrDie(S);
   Monitor M(Plan);
   M.finish();
   EXPECT_FALSE(M.feed(*S.lookup("a"), 1, Value::integer(1)));

@@ -74,8 +74,7 @@ TEST(TraceIOTest, RoundTripThroughMonitor) {
   DiagnosticEngine Diags;
   auto Events = parseTrace("1: i = 2\n5: i = 10\n", S, Diags);
   ASSERT_TRUE(Events);
-  AnalysisResult A = analyzeSpec(S);
-  Program Plan = Program::compile(A);
+  Program Plan = compileOrDie(S);
   auto Out = runMonitor(Plan, *Events);
   EXPECT_EQ(formatOutputs(Plan.spec(), Out), "1: x = 4\n5: x = 20\n");
 }

@@ -13,6 +13,7 @@
 #ifndef TESSLA_TESTS_TESTSPECS_H
 #define TESSLA_TESTS_TESTSPECS_H
 
+#include "tessla/Compiler/Compiler.h"
 #include "tessla/Eval/Workloads.h"
 #include "tessla/Lang/Builder.h"
 #include "tessla/Lang/Parser.h"
@@ -31,6 +32,28 @@ inline Spec parseOrDie(std::string_view Source) {
   if (!S)
     return Spec();
   return std::move(*S);
+}
+
+/// Compiles through the embedding API (Compiler/Compiler.h), failing the
+/// test on any diagnostic.
+inline Program compileOrDie(const Spec &S, bool Optimize = true,
+                            unsigned OptLevel = 0) {
+  DiagnosticEngine Diags;
+  CompileOptions Opts;
+  Opts.Optimize = Optimize;
+  Opts.OptLevel = OptLevel;
+  auto P = compileSpec(S, Opts, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return P ? std::move(*P) : Program();
+}
+
+/// Number of streams the mutability analysis decided to implement
+/// destructively (reading the decision back from the compiled program).
+inline uint32_t mutableStreamCount(const Program &P) {
+  uint32_t Count = 0;
+  for (StreamId Id = 0; Id != P.numStreams(); ++Id)
+    Count += P.isMutable(Id) ? 1 : 0;
+  return Count;
 }
 
 using workloads::dbAccessConstraint;

@@ -1,0 +1,188 @@
+//===- tests/Tools/TesslaRunTest.cpp ----------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The deployment pipeline end to end: `tesslac --emit=tpb` produces a
+/// bundle, the frontend-free `tessla-run` binary executes it, and the
+/// output is byte-identical to `tesslac --run` interpreting the same
+/// specification — sequential and fleet mode, over the checked-in paper
+/// workload specifications (specs/).
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  return ::testing::TempDir() + Name;
+}
+
+void writeFile(const std::string &Path, const std::string &Contents) {
+  std::ofstream Out(Path);
+  Out << Contents;
+  ASSERT_TRUE(Out.good());
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+/// Runs \p Cmd, captures stdout; \p Err receives stderr when non-null.
+std::pair<int, std::string> run(const std::string &Cmd,
+                                std::string *Err = nullptr) {
+  std::string OutPath = tempPath("tesslarun_out.txt");
+  std::string ErrPath = tempPath("tesslarun_err.txt");
+  int Rc =
+      std::system((Cmd + " > " + OutPath + " 2> " + ErrPath).c_str());
+  if (Err)
+    *Err = slurp(ErrPath);
+  return {Rc, slurp(OutPath)};
+}
+
+/// Compiles \p SpecPath to a bundle, runs it through tessla-run with
+/// \p RunArgs, and expects output byte-identical to `tesslac --run` with
+/// the same arguments.
+void expectBundleParity(const std::string &SpecPath,
+                        const std::string &TracePath,
+                        const std::string &RunArgs = "") {
+  std::string Bundle = tempPath("parity.tpb");
+  auto [RcEmit, OutEmit] = run(std::string(TESSLAC_PATH) + " " +
+                               SpecPath + " -O1 --emit=tpb -o " + Bundle);
+  ASSERT_EQ(RcEmit, 0) << SpecPath;
+
+  auto [RcRef, Ref] = run(std::string(TESSLAC_PATH) + " " + SpecPath +
+                          " -O1 --run " + TracePath + " " + RunArgs);
+  ASSERT_EQ(RcRef, 0) << SpecPath;
+
+  auto [RcRun, Out] = run(std::string(TESSLA_RUN_PATH) + " " + Bundle +
+                          " --trace " + TracePath + " " + RunArgs);
+  EXPECT_EQ(RcRun, 0) << SpecPath;
+  EXPECT_EQ(Out, Ref) << SpecPath << " " << RunArgs;
+  EXPECT_FALSE(Ref.empty()) << "parity over empty output proves nothing";
+
+  // The trace also arrives over stdin when --trace is omitted.
+  auto [RcStdin, OutStdin] = run(std::string(TESSLA_RUN_PATH) + " " +
+                                 Bundle + " " + RunArgs + " < " +
+                                 TracePath);
+  EXPECT_EQ(RcStdin, 0);
+  EXPECT_EQ(OutStdin, Ref);
+}
+
+std::string specsDir() { return TESSLA_SPECS_DIR; }
+
+std::string intTrace(const std::string &Stream, int Count) {
+  std::string Text;
+  for (int I = 1; I <= Count; ++I)
+    Text += std::to_string(I) + ": " + Stream + " = " +
+            std::to_string((I * 7) % 23) + "\n";
+  return Text;
+}
+
+} // namespace
+
+TEST(TesslaRunTest, SeenSetWorkloadParity) {
+  std::string Trace = tempPath("run_seen_trace.txt");
+  writeFile(Trace, intTrace("x", 40));
+  expectBundleParity(specsDir() + "/seen_set.tessla", Trace);
+}
+
+TEST(TesslaRunTest, QueueWindowWorkloadParity) {
+  std::string Trace = tempPath("run_queue_trace.txt");
+  writeFile(Trace, intTrace("x", 40));
+  expectBundleParity(specsDir() + "/queue_window.tessla", Trace);
+}
+
+TEST(TesslaRunTest, DbAccessWorkloadParity) {
+  std::string Trace = tempPath("run_db_trace.txt");
+  writeFile(Trace, "1: ins = 5\n2: acc = 5\n3: acc = 6\n4: del = 5\n"
+                   "5: acc = 5\n6: ins = 6\n7: acc = 6\n");
+  expectBundleParity(specsDir() + "/db_access.tessla", Trace);
+}
+
+TEST(TesslaRunTest, FleetReplayParity) {
+  std::string Trace = tempPath("run_fleet_trace.txt");
+  writeFile(Trace, intTrace("x", 20));
+  for (const char *Shards : {"1", "3"})
+    expectBundleParity(specsDir() + "/seen_set.tessla", Trace,
+                       std::string("--fleet ") + Shards + " --sessions 4");
+}
+
+TEST(TesslaRunTest, PlanPrintsLoadedProgram) {
+  std::string Bundle = tempPath("run_plan.tpb");
+  auto [RcEmit, OutEmit] =
+      run(std::string(TESSLAC_PATH) + " " + specsDir() +
+          "/seen_set.tessla -O1 --emit=tpb -o " + Bundle);
+  ASSERT_EQ(RcEmit, 0);
+  auto [Rc, Out] = run(std::string(TESSLA_RUN_PATH) + " " + Bundle +
+                       " --plan");
+  EXPECT_EQ(Rc, 0);
+  EXPECT_NE(Out.find("slots:"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("[fused]"), std::string::npos) << Out;
+  // The bundle preserves the plan rendering exactly.
+  auto [RcRef, Ref] = run(std::string(TESSLAC_PATH) + " " + specsDir() +
+                          "/seen_set.tessla -O1 --emit=plan");
+  ASSERT_EQ(RcRef, 0);
+  EXPECT_EQ(Out, Ref);
+}
+
+TEST(TesslaRunTest, CorruptBundleFailsWithDiagnostic) {
+  std::string Bundle = tempPath("run_corrupt.tpb");
+  auto [RcEmit, OutEmit] =
+      run(std::string(TESSLAC_PATH) + " " + specsDir() +
+          "/seen_set.tessla -O1 --emit=tpb -o " + Bundle);
+  ASSERT_EQ(RcEmit, 0);
+  std::string Bytes = slurp(Bundle);
+  ASSERT_GT(Bytes.size(), 32u);
+  Bytes[Bytes.size() / 2] ^= 0x40;
+  writeFile(Bundle, Bytes);
+  std::string Err;
+  auto [Rc, Out] = run(std::string(TESSLA_RUN_PATH) + " " + Bundle, &Err);
+  EXPECT_NE(Rc, 0);
+  EXPECT_NE(Err.find("tpb:"), std::string::npos) << Err;
+
+  // A missing bundle and a non-bundle file fail the same clean way.
+  std::string ErrMissing;
+  auto [RcMissing, OutMissing] = run(
+      std::string(TESSLA_RUN_PATH) + " /definitely/not/here.tpb",
+      &ErrMissing);
+  EXPECT_NE(RcMissing, 0);
+  EXPECT_FALSE(ErrMissing.empty());
+  std::string ErrText;
+  auto [RcText, OutText] =
+      run(std::string(TESSLA_RUN_PATH) + " " + specsDir() +
+              "/seen_set.tessla",
+          &ErrText);
+  EXPECT_NE(RcText, 0);
+  EXPECT_NE(ErrText.find("magic"), std::string::npos) << ErrText;
+}
+
+TEST(TesslaRunTest, DelaySpecWithHorizon) {
+  std::string Trace = tempPath("run_empty_trace.txt");
+  writeFile(Trace, "");
+  std::string Bundle = tempPath("run_periodic.tpb");
+  auto [RcEmit, OutEmit] =
+      run(std::string(TESSLAC_PATH) + " " + specsDir() +
+          "/periodic.tessla -O1 --emit=tpb -o " + Bundle);
+  ASSERT_EQ(RcEmit, 0);
+  auto [Rc, Out] = run(std::string(TESSLA_RUN_PATH) + " " + Bundle +
+                       " --trace " + Trace + " --horizon 50");
+  EXPECT_EQ(Rc, 0);
+  auto [RcRef, Ref] = run(std::string(TESSLAC_PATH) + " " + specsDir() +
+                          "/periodic.tessla -O1 --run " + Trace +
+                          " --horizon 50");
+  ASSERT_EQ(RcRef, 0);
+  EXPECT_EQ(Out, Ref);
+  EXPECT_NE(Out.find("t = "), std::string::npos) << Out;
+}

@@ -239,6 +239,58 @@ TEST(TesslacTest, WerrorFailsTheBuild) {
   EXPECT_EQ(CleanErr, "");
 }
 
+TEST(TesslacTest, OutputFlagWritesFile) {
+  // -o routes any emission to a file instead of stdout, byte-identical.
+  std::string OutPath = tempPath("emit_o.plan");
+  auto [RcStdout, OutStdout] = runTool(specFile() + " --emit=plan -O1");
+  ASSERT_EQ(RcStdout, 0);
+  auto [RcFile, OutFile] =
+      runTool(specFile() + " --emit=plan -O1 -o " + OutPath);
+  EXPECT_EQ(RcFile, 0);
+  EXPECT_EQ(OutFile, "") << "-o must leave stdout empty";
+  EXPECT_EQ(slurp(OutPath), OutStdout);
+  // An unwritable destination is a clean error, not a crash.
+  std::string Err;
+  auto [RcBad, OutBad] = runTool(
+      specFile() + " --emit=plan -o /definitely/not/a/dir/x.plan", &Err);
+  EXPECT_NE(RcBad, 0);
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(TesslacTest, EmitTpbWritesBundle) {
+  std::string Bundle = tempPath("emit_tpb.tpb");
+  auto [Rc, Out] =
+      runTool(specFile() + " -O1 --emit=tpb -o " + Bundle);
+  EXPECT_EQ(Rc, 0);
+  std::string Bytes = slurp(Bundle);
+  ASSERT_GT(Bytes.size(), 16u);
+  EXPECT_EQ(Bytes.substr(0, 3), "TPB");
+  EXPECT_EQ(Bytes[3], '\x1a');
+  // Without -o the raw bundle goes to stdout.
+  auto [RcStdout, OutStdout] = runTool(specFile() + " -O1 --emit=tpb");
+  EXPECT_EQ(RcStdout, 0);
+  EXPECT_EQ(OutStdout, Bytes);
+}
+
+TEST(TesslacTest, RunAliasesEmitRunWithTrace) {
+  // --run <trace> is shorthand for --emit=run --trace <trace>.
+  std::string TracePath = tempPath("alias_trace.txt");
+  writeFile(TracePath, "1: x = 5\n2: x = 5\n3: x = 6\n");
+  auto [RcShort, OutShort] = runTool(specFile() + " --run " + TracePath);
+  auto [RcLong, OutLong] =
+      runTool(specFile() + " --emit=run --trace " + TracePath);
+  EXPECT_EQ(RcShort, 0);
+  EXPECT_EQ(RcLong, 0);
+  EXPECT_EQ(OutShort, OutLong);
+  EXPECT_FALSE(OutShort.empty());
+  // --emit=run without a trace is a usage error.
+  std::string Err;
+  auto [RcNoTrace, OutNoTrace] =
+      runTool(specFile() + " --emit=run", &Err);
+  EXPECT_NE(RcNoTrace, 0);
+  EXPECT_NE(Err.find("--trace"), std::string::npos) << Err;
+}
+
 TEST(TesslacTest, ErrorsOnBadInput) {
   std::string BadPath = tempPath("bad.tessla");
   writeFile(BadPath, "def x := nope\nout x\n");

@@ -1,0 +1,187 @@
+//===- tools/tessla-run.cpp - Frontend-free bundle runner -------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Executes a compiled TeSSLa program bundle (.tpb, see
+/// Program/Serialize.h) over a textual trace — the deployment half of
+/// the toolchain. This binary links only the runtime column
+/// (values + program + runtime): no lexer, parser, type checker,
+/// analysis or optimizer is in its link graph, which the configure-time
+/// guard in tools/CMakeLists.txt enforces.
+///
+/// \code
+///   tesslac spec.tessla -O1 --emit=tpb -o spec.tpb   # build machine
+///   tessla-run spec.tpb < trace.txt                  # deployment box
+///   tessla-run spec.tpb --trace trace.txt --fleet 4 --sessions 64
+///   tessla-run spec.tpb --plan                       # inspect the plan
+/// \endcode
+///
+/// Output is byte-identical to `tesslac --run` over the same program:
+/// sequential events as "ts: name = value", fleet events prefixed with
+/// "s<session>| ", fleet statistics on stderr.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Program/Serialize.h"
+#include "tessla/Runtime/MonitorFleet.h"
+#include "tessla/Runtime/TraceIO.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+using namespace tessla;
+
+namespace {
+
+void printUsage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <spec.tpb> [options]\n"
+      "  --trace <trace.txt>               read the trace from a file\n"
+      "                                    (default: stdin)\n"
+      "  --horizon <t>                     bound delay draining at finish\n"
+      "  --fleet <n>                       replay through a MonitorFleet\n"
+      "                                    with n worker shards\n"
+      "  --sessions <m>                    fleet sessions; the trace is\n"
+      "                                    replayed once per session\n"
+      "                                    (default 1)\n"
+      "  --plan                            print the loaded program\n"
+      "                                    instead of executing\n",
+      Argv0);
+}
+
+std::optional<std::string> readFile(const char *Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return std::nullopt;
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+std::string readStdin() {
+  std::stringstream Buffer;
+  Buffer << std::cin.rdbuf();
+  return Buffer.str();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *BundlePath = nullptr;
+  const char *TracePath = nullptr;
+  bool PrintPlan = false;
+  std::optional<Time> Horizon;
+  unsigned FleetShards = 0; // 0 = single-session sequential replay
+  unsigned FleetSessions = 1;
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (std::strcmp(Arg, "--trace") == 0 && I + 1 < argc) {
+      TracePath = argv[++I];
+    } else if (std::strcmp(Arg, "--horizon") == 0 && I + 1 < argc) {
+      Horizon = std::strtoll(argv[++I], nullptr, 10);
+    } else if (std::strcmp(Arg, "--fleet") == 0 && I + 1 < argc) {
+      FleetShards = static_cast<unsigned>(
+          std::max(1ll, std::strtoll(argv[++I], nullptr, 10)));
+    } else if (std::strcmp(Arg, "--sessions") == 0 && I + 1 < argc) {
+      FleetSessions = static_cast<unsigned>(
+          std::max(1ll, std::strtoll(argv[++I], nullptr, 10)));
+    } else if (std::strcmp(Arg, "--plan") == 0) {
+      PrintPlan = true;
+    } else if (std::strcmp(Arg, "--help") == 0) {
+      printUsage(argv[0]);
+      return 0;
+    } else if (Arg[0] != '-' && !BundlePath) {
+      BundlePath = Arg;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", Arg);
+      printUsage(argv[0]);
+      return 2;
+    }
+  }
+  if (!BundlePath) {
+    printUsage(argv[0]);
+    return 2;
+  }
+
+  DiagnosticEngine Diags;
+  std::optional<Program> PlanOpt = loadProgramFile(BundlePath, Diags);
+  if (!PlanOpt) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  Program &Plan = *PlanOpt;
+
+  if (PrintPlan) {
+    std::printf("%s", Plan.str().c_str());
+    return 0;
+  }
+
+  std::string TraceText;
+  if (TracePath) {
+    auto Text = readFile(TracePath);
+    if (!Text) {
+      std::fprintf(stderr, "cannot open %s\n", TracePath);
+      return 1;
+    }
+    TraceText = std::move(*Text);
+  } else {
+    TraceText = readStdin();
+  }
+  auto Events = parseTrace(TraceText, Plan.spec(), Diags);
+  if (!Events) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+
+  if (FleetShards > 0) {
+    // Same multi-session replay shape as `tesslac --run --fleet`.
+    FleetOptions FOpts;
+    FOpts.Shards = FleetShards;
+    FOpts.Horizon = Horizon;
+    MonitorFleet Fleet(Plan, FOpts);
+    for (const auto &[Id, Ts, V] : *Events)
+      for (SessionId Session = 0; Session != FleetSessions; ++Session)
+        Fleet.feed(Session, Id, Ts, V);
+    Fleet.finish();
+    for (const SessionOutputEvent &E : Fleet.takeOutputs())
+      std::printf("s%llu| %lld: %s = %s\n",
+                  static_cast<unsigned long long>(E.Session),
+                  static_cast<long long>(E.Event.Ts),
+                  Plan.spec().stream(E.Event.Id).Name.c_str(),
+                  E.Event.V.str().c_str());
+    std::fprintf(stderr, "%s", Fleet.stats().str().c_str());
+    if (Fleet.failed()) {
+      for (const SessionError &E : Fleet.errors())
+        std::fprintf(stderr, "session %llu error: %s\n",
+                     static_cast<unsigned long long>(E.Session),
+                     E.Message.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  Monitor M(Plan);
+  M.setOutputHandler([&Plan](Time Ts, StreamId Id, const Value &V) {
+    std::printf("%lld: %s = %s\n", static_cast<long long>(Ts),
+                Plan.spec().stream(Id).Name.c_str(), V.str().c_str());
+  });
+  for (const auto &[Id, Ts, V] : *Events)
+    if (!M.feed(Id, Ts, V))
+      break;
+  M.finish(Horizon);
+  if (M.failed()) {
+    std::fprintf(stderr, "monitor error: %s\n", M.errorMessage().c_str());
+    return 1;
+  }
+  return 0;
+}

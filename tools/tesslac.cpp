@@ -5,14 +5,19 @@
 //===----------------------------------------------------------------------===//
 ///
 /// The compiler driver: the command-line face of the library, analogous
-/// to the paper's TeSSLa compiler binary.
+/// to the paper's TeSSLa compiler binary. Output selection is fully
+/// orthogonal: `--emit=<what>` picks the artifact, `-o <file>` picks the
+/// destination (stdout by default), and the remaining flags tune the
+/// pipeline independently of both.
 ///
 /// \code
 ///   tesslac spec.tessla                      # analysis report
 ///   tesslac spec.tessla --emit=flat          # flattened equations
 ///   tesslac spec.tessla --emit=dot | dot -Tsvg ...   # usage graph
 ///   tesslac spec.tessla --emit=plan          # interpreter plan
-///   tesslac spec.tessla --emit=cpp --main > monitor.cpp
+///   tesslac spec.tessla --emit=cpp --main -o monitor.cpp
+///   tesslac spec.tessla -O1 --emit=tpb -o spec.tpb   # program bundle
+///                                            # (execute: tessla-run)
 ///   tesslac spec.tessla --run trace.txt      # execute on a trace
 ///   tesslac spec.tessla --baseline --run trace.txt   # all-persistent
 ///   tesslac spec.tessla --run trace.txt --fleet 4 --sessions 64
@@ -25,10 +30,11 @@
 #include "tessla/Analysis/Pipeline.h"
 #include "tessla/Analysis/Statistics.h"
 #include "tessla/CodeGen/CppEmitter.h"
+#include "tessla/Compiler/Compiler.h"
 #include "tessla/Lang/Parser.h"
 #include "tessla/Lang/PrintSource.h"
 #include "tessla/Opt/Lint.h"
-#include "tessla/Opt/PassManager.h"
+#include "tessla/Program/Serialize.h"
 #include "tessla/Runtime/MonitorFleet.h"
 #include "tessla/Runtime/TraceIO.h"
 
@@ -48,8 +54,10 @@ void printUsage(const char *Argv0) {
   std::fprintf(
       stderr,
       "usage: %s <spec.tessla> [options]\n"
-      "  --emit=report|flat|source|stats|dot|plan|cpp\n"
-      "                                    what to print (default report)\n"
+      "  --emit=report|flat|source|stats|dot|plan|cpp|tpb|run\n"
+      "                                    what to produce (default report)\n"
+      "  -o <file>                         write the emitted artifact to\n"
+      "                                    <file> instead of stdout\n"
       "  --baseline                        disable the aggregate update\n"
       "                                    optimization (all persistent)\n"
       "  -O0 | -O1                         program optimization level\n"
@@ -63,7 +71,9 @@ void printUsage(const char *Argv0) {
       "  --werror                          treat lint warnings as errors\n"
       "                                    (implies --lint, exits 1)\n"
       "  --main                            add a main() to --emit=cpp\n"
-      "  --run <trace.txt>                 execute the monitor on a trace\n"
+      "  --trace <trace.txt>               input trace for --emit=run\n"
+      "  --run <trace.txt>                 shorthand for\n"
+      "                                    --emit=run --trace <trace.txt>\n"
       "  --horizon <t>                     bound delay draining at finish\n"
       "  --fleet <n>                       replay through a MonitorFleet\n"
       "                                    with n worker shards\n"
@@ -82,11 +92,42 @@ std::optional<std::string> readFile(const char *Path) {
   return Buffer.str();
 }
 
+/// The -o destination: stdout unless a path was given. Binary artifacts
+/// (tpb) open in "wb" so the bundle survives every platform's stdio.
+FILE *openOutput(const char *Path, bool Binary) {
+  if (!Path)
+    return stdout;
+  FILE *F = std::fopen(Path, Binary ? "wb" : "w");
+  if (!F)
+    std::fprintf(stderr, "cannot open %s for writing\n", Path);
+  return F;
+}
+
+int closeOutput(FILE *F, const char *Path) {
+  if (F == stdout)
+    return std::fflush(F) == 0 ? 0 : 1;
+  if (std::fclose(F) != 0) {
+    std::fprintf(stderr, "short write to %s\n", Path);
+    return 1;
+  }
+  return 0;
+}
+
+/// Emits \p Text to the -o destination; returns the process exit code.
+int emitText(const std::string &Text, const char *OutPath) {
+  FILE *Out = openOutput(OutPath, /*Binary=*/false);
+  if (!Out)
+    return 1;
+  std::fwrite(Text.data(), 1, Text.size(), Out);
+  return closeOutput(Out, OutPath);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   const char *SpecPath = nullptr;
   const char *TracePath = nullptr;
+  const char *OutPath = nullptr;
   std::string Emit = "report";
   bool Baseline = false;
   bool EmitMain = false;
@@ -102,6 +143,8 @@ int main(int argc, char **argv) {
     const char *Arg = argv[I];
     if (std::strncmp(Arg, "--emit=", 7) == 0) {
       Emit = Arg + 7;
+    } else if (std::strcmp(Arg, "-o") == 0 && I + 1 < argc) {
+      OutPath = argv[++I];
     } else if (std::strcmp(Arg, "--baseline") == 0) {
       Baseline = true;
     } else if (std::strcmp(Arg, "--main") == 0) {
@@ -120,6 +163,8 @@ int main(int argc, char **argv) {
     } else if (std::strcmp(Arg, "--run") == 0 && I + 1 < argc) {
       TracePath = argv[++I];
       Emit = "run";
+    } else if (std::strcmp(Arg, "--trace") == 0 && I + 1 < argc) {
+      TracePath = argv[++I];
     } else if (std::strcmp(Arg, "--horizon") == 0 && I + 1 < argc) {
       Horizon = std::strtoll(argv[++I], nullptr, 10);
     } else if (std::strcmp(Arg, "--fleet") == 0 && I + 1 < argc) {
@@ -167,59 +212,52 @@ int main(int argc, char **argv) {
       return 1;
   }
 
-  MutabilityOptions Opts;
-  Opts.Optimize = !Baseline;
-  AnalysisResult Analysis = analyzeSpec(*S, Opts);
-
-  // Compiles and (at -O1) optimizes the lowered program for the modes
-  // that execute or emit it. Verification runs after every pass; a
-  // failure is a compiler bug and exits nonzero.
+  // Compiles (and at -O1 optimizes) through the embedding API for the
+  // modes that execute or emit the lowered program. Verification runs
+  // after every pass; a failure is a compiler bug and exits nonzero.
   auto makePlan = [&]() -> std::optional<Program> {
-    Program Plan = Program::compile(Analysis);
-    if (OptLevel >= 1) {
-      opt::OptOptions OOpts;
-      OOpts.Level = OptLevel;
-      OptStatistics Stats;
-      if (!opt::optimizeProgram(Plan, Analysis, OOpts, Diags, &Stats)) {
-        std::fprintf(stderr, "%s", Diags.str().c_str());
-        return std::nullopt;
-      }
-      if (DumpPasses)
+    CompileOptions COpts;
+    COpts.Optimize = !Baseline;
+    COpts.OptLevel = OptLevel;
+    OptStatistics Stats;
+    auto Plan = compileSpec(*S, COpts, Diags, &Stats);
+    if (!Plan) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      return std::nullopt;
+    }
+    if (DumpPasses) {
+      if (OptLevel >= 1)
         std::fprintf(stderr, "%s", Stats.str().c_str());
-    } else if (DumpPasses) {
-      std::fprintf(stderr, "(-O0: no optimization passes run)\n");
+      else
+        std::fprintf(stderr, "(-O0: no optimization passes run)\n");
     }
     return Plan;
   };
 
-  if (Emit == "report") {
-    std::printf("%s", Analysis.report().c_str());
-    return 0;
-  }
-  if (Emit == "flat") {
-    std::printf("%s", Analysis.spec().str().c_str());
-    return 0;
-  }
-  if (Emit == "source") {
-    std::printf("%s", printSpecSource(Analysis.spec()).c_str());
-    return 0;
-  }
-  if (Emit == "stats") {
-    std::printf("%s", collectStatistics(Analysis).str().c_str());
-    return 0;
-  }
-  if (Emit == "dot") {
-    std::printf("%s", writeUsageGraphDot(Analysis.graph(),
-                                         &Analysis.mutability())
-                          .c_str());
-    return 0;
+  // The analysis-artifact modes (reusing the analysis the program modes
+  // run internally via compileSpec).
+  if (Emit == "report" || Emit == "flat" || Emit == "source" ||
+      Emit == "stats" || Emit == "dot") {
+    MutabilityOptions MOpts;
+    MOpts.Optimize = !Baseline;
+    AnalysisResult Analysis = analyzeSpec(*S, MOpts);
+    if (Emit == "report")
+      return emitText(Analysis.report(), OutPath);
+    if (Emit == "flat")
+      return emitText(Analysis.spec().str(), OutPath);
+    if (Emit == "source")
+      return emitText(printSpecSource(Analysis.spec()), OutPath);
+    if (Emit == "stats")
+      return emitText(collectStatistics(Analysis).str(), OutPath);
+    return emitText(
+        writeUsageGraphDot(Analysis.graph(), &Analysis.mutability()),
+        OutPath);
   }
   if (Emit == "plan") {
     std::optional<Program> Plan = makePlan();
     if (!Plan)
       return 1;
-    std::printf("%s", Plan->str().c_str());
-    return 0;
+    return emitText(Plan->str(), OutPath);
   }
   if (Emit == "cpp") {
     std::optional<Program> Plan = makePlan();
@@ -232,16 +270,30 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "%s", Diags.str().c_str());
       return 1;
     }
-    std::fputs(Code->c_str(), stdout);
-    return 0;
+    return emitText(*Code, OutPath);
+  }
+  if (Emit == "tpb") {
+    std::optional<Program> Plan = makePlan();
+    if (!Plan)
+      return 1;
+    std::vector<uint8_t> Bytes = serializeProgram(*Plan);
+    FILE *Out = openOutput(OutPath, /*Binary=*/true);
+    if (!Out)
+      return 1;
+    std::fwrite(Bytes.data(), 1, Bytes.size(), Out);
+    return closeOutput(Out, OutPath);
   }
   if (Emit == "run") {
+    if (!TracePath) {
+      std::fprintf(stderr, "--emit=run needs --trace <trace.txt>\n");
+      return 2;
+    }
     auto TraceText = readFile(TracePath);
     if (!TraceText) {
       std::fprintf(stderr, "cannot open %s\n", TracePath);
       return 1;
     }
-    auto Events = parseTrace(*TraceText, Analysis.spec(), Diags);
+    auto Events = parseTrace(*TraceText, *S, Diags);
     if (!Events) {
       std::fprintf(stderr, "%s", Diags.str().c_str());
       return 1;
@@ -250,6 +302,9 @@ int main(int argc, char **argv) {
     if (!PlanOpt)
       return 1;
     Program &Plan = *PlanOpt;
+    FILE *Out = openOutput(OutPath, /*Binary=*/false);
+    if (!Out)
+      return 1;
     if (FleetShards > 0) {
       // Multi-session replay: every session receives the same trace;
       // ingest interleaves sessions per event (round-robin), mimicking a
@@ -263,12 +318,13 @@ int main(int argc, char **argv) {
           Fleet.feed(Session, Id, Ts, V);
       Fleet.finish();
       for (const SessionOutputEvent &E : Fleet.takeOutputs())
-        std::printf("s%llu| %lld: %s = %s\n",
-                    static_cast<unsigned long long>(E.Session),
-                    static_cast<long long>(E.Event.Ts),
-                    Plan.spec().stream(E.Event.Id).Name.c_str(),
-                    E.Event.V.str().c_str());
+        std::fprintf(Out, "s%llu| %lld: %s = %s\n",
+                     static_cast<unsigned long long>(E.Session),
+                     static_cast<long long>(E.Event.Ts),
+                     Plan.spec().stream(E.Event.Id).Name.c_str(),
+                     E.Event.V.str().c_str());
       std::fprintf(stderr, "%s", Fleet.stats().str().c_str());
+      int CloseRc = closeOutput(Out, OutPath);
       if (Fleet.failed()) {
         for (const SessionError &E : Fleet.errors())
           std::fprintf(stderr, "session %llu error: %s\n",
@@ -276,23 +332,24 @@ int main(int argc, char **argv) {
                        E.Message.c_str());
         return 1;
       }
-      return 0;
+      return CloseRc;
     }
     Monitor M(Plan);
-    M.setOutputHandler([&Plan](Time Ts, StreamId Id, const Value &V) {
-      std::printf("%lld: %s = %s\n", static_cast<long long>(Ts),
-                  Plan.spec().stream(Id).Name.c_str(), V.str().c_str());
+    M.setOutputHandler([&Plan, Out](Time Ts, StreamId Id, const Value &V) {
+      std::fprintf(Out, "%lld: %s = %s\n", static_cast<long long>(Ts),
+                   Plan.spec().stream(Id).Name.c_str(), V.str().c_str());
     });
     for (const auto &[Id, Ts, V] : *Events)
       if (!M.feed(Id, Ts, V))
         break;
     M.finish(Horizon);
+    int CloseRc = closeOutput(Out, OutPath);
     if (M.failed()) {
       std::fprintf(stderr, "monitor error: %s\n",
                    M.errorMessage().c_str());
       return 1;
     }
-    return 0;
+    return CloseRc;
   }
   std::fprintf(stderr, "unknown --emit mode '%s'\n", Emit.c_str());
   return 2;
