@@ -4,17 +4,19 @@
 //
 //===----------------------------------------------------------------------===//
 ///
-/// Fleet shard-count scaling: many independent monitor sessions (the
-/// ROADMAP's "heavy traffic from millions of users" axis, scaled down)
-/// over the Seen Set and db-log workloads, swept across worker shard
-/// counts. Each session is pinned to one shard, so the ideal curve is
-/// linear until the hardware runs out of cores — the printed hardware
-/// concurrency bounds the achievable speedup (on a 1-core container all
-/// shard counts collapse to the same throughput).
+/// Fleet scaling: many independent monitor sessions (the ROADMAP's
+/// "heavy traffic from millions of users" axis, scaled down) over the
+/// Seen Set and db-log workloads, swept across worker shard counts and
+/// ingest producer-thread counts. Sessions start hash-pinned but may be
+/// work-stolen, so the ideal curve is linear until the hardware runs
+/// out of cores — the printed hardware concurrency bounds the
+/// achievable speedup (on a 1-core container all shard and producer
+/// counts collapse to the same throughput).
 ///
-/// Knobs: TESSLA_BENCH_SCALE scales events per session,
-/// TESSLA_BENCH_SESSIONS overrides the session count (default 64),
-/// TESSLA_BENCH_REPS the median repetition count.
+/// Knobs: --shards and --producers take comma-separated sweep lists,
+/// --sessions the session count; TESSLA_BENCH_SCALE scales events per
+/// session, TESSLA_BENCH_SESSIONS overrides the session count (default
+/// 64), TESSLA_BENCH_REPS the median repetition count.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +24,7 @@
 
 #include "tessla/Runtime/MonitorFleet.h"
 
+#include <cstring>
 #include <thread>
 
 using namespace tessla;
@@ -33,6 +36,21 @@ unsigned sessionCount() {
   if (const char *Env = std::getenv("TESSLA_BENCH_SESSIONS"))
     return std::max(1, std::atoi(Env));
   return 64;
+}
+
+std::vector<unsigned> parseList(const char *Text) {
+  std::vector<unsigned> Out;
+  for (const char *P = Text; *P;) {
+    char *End = nullptr;
+    long N = std::strtol(P, &End, 10);
+    if (End == P)
+      break;
+    Out.push_back(static_cast<unsigned>(std::max(1l, N)));
+    P = (*End == ',') ? End + 1 : End;
+  }
+  if (Out.empty())
+    Out.push_back(1);
+  return Out;
 }
 
 /// Per-session traces for one workload.
@@ -68,12 +86,15 @@ FleetWorkload dbLogWorkload(unsigned Sessions, size_t EventsPerSession) {
   return W;
 }
 
-/// One timed fleet run: ingest all sessions round-robin (chunks of 64
-/// events per session, per-session order preserved), then finish.
+/// One timed fleet run: \p Producers ingest threads, each feeding its
+/// modulo-partition of the sessions round-robin (chunks of 64 events
+/// per session, per-session order preserved), then finish.
 double timeFleet(const FleetWorkload &W, const Program &Plan,
-                 unsigned Shards, uint64_t &OutputsOut) {
+                 unsigned Shards, unsigned Producers,
+                 uint64_t &OutputsOut) {
   FleetOptions Opts;
   Opts.Shards = Shards;
+  Opts.MaxProducers = std::max(16u, Producers);
   Opts.CollectOutputs = false; // throughput only; counters still run
   MonitorFleet Fleet(Plan, Opts);
 
@@ -82,16 +103,29 @@ double timeFleet(const FleetWorkload &W, const Program &Plan,
   size_t MaxLen = 0;
   for (const auto &Trace : W.SessionTraces)
     MaxLen = std::max(MaxLen, Trace.size());
-  for (size_t Base = 0; Base < MaxLen; Base += Chunk) {
-    for (SessionId Session = 0; Session != W.SessionTraces.size();
-         ++Session) {
-      const auto &Trace = W.SessionTraces[Session];
-      size_t End = std::min(Base + Chunk, Trace.size());
-      for (size_t I = Base; I < End; ++I) {
-        const auto &[Id, Ts, V] = Trace[I];
-        Fleet.feed(Session, Id, Ts, V);
+  auto Ingest = [&](unsigned P) {
+    ProducerHandle Handle = Fleet.producer();
+    for (size_t Base = 0; Base < MaxLen; Base += Chunk) {
+      for (SessionId Session = P; Session < W.SessionTraces.size();
+           Session += Producers) {
+        const auto &Trace = W.SessionTraces[Session];
+        size_t End = std::min(Base + Chunk, Trace.size());
+        for (size_t I = Base; I < End; ++I) {
+          const auto &[Id, Ts, V] = Trace[I];
+          Handle.feed(Session, Id, Ts, V);
+        }
       }
     }
+  };
+  if (Producers == 1) {
+    Ingest(0);
+  } else {
+    std::vector<std::thread> Threads;
+    Threads.reserve(Producers);
+    for (unsigned P = 0; P != Producers; ++P)
+      Threads.emplace_back(Ingest, P);
+    for (std::thread &T : Threads)
+      T.join();
   }
   Fleet.finish();
   auto EndTime = std::chrono::steady_clock::now();
@@ -105,12 +139,13 @@ double timeFleet(const FleetWorkload &W, const Program &Plan,
 }
 
 double medianFleet(const FleetWorkload &W, const Program &Plan,
-                   unsigned Shards, unsigned Reps, uint64_t &OutputsOut) {
+                   unsigned Shards, unsigned Producers, unsigned Reps,
+                   uint64_t &OutputsOut) {
   std::vector<double> Times;
   uint64_t FirstOutputs = 0;
   for (unsigned I = 0; I != Reps; ++I) {
     uint64_t Outputs = 0;
-    Times.push_back(timeFleet(W, Plan, Shards, Outputs));
+    Times.push_back(timeFleet(W, Plan, Shards, Producers, Outputs));
     if (I == 0)
       FirstOutputs = Outputs;
     else if (Outputs != FirstOutputs) {
@@ -125,13 +160,30 @@ double medianFleet(const FleetWorkload &W, const Program &Plan,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
   unsigned Reps = repetitions();
   unsigned Sessions = sessionCount();
-  const unsigned ShardCounts[] = {1, 2, 4, 8};
+  std::vector<unsigned> ShardCounts = {1, 2, 4, 8};
+  std::vector<unsigned> ProducerCounts = {1};
 
-  std::printf("Fleet scaling — multi-session throughput vs shard count "
-              "(median of %u runs)\n",
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--shards") == 0 && I + 1 < argc)
+      ShardCounts = parseList(argv[++I]);
+    else if (std::strcmp(argv[I], "--producers") == 0 && I + 1 < argc)
+      ProducerCounts = parseList(argv[++I]);
+    else if (std::strcmp(argv[I], "--sessions") == 0 && I + 1 < argc)
+      Sessions = std::max(1, std::atoi(argv[++I]));
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--shards 1,2,4,8] [--producers 1,2] "
+                   "[--sessions N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("Fleet scaling — multi-session throughput vs shard and "
+              "producer count (median of %u runs)\n",
               Reps);
   std::printf("hardware concurrency: %u; sessions: %u\n\n",
               std::thread::hardware_concurrency(), Sessions);
@@ -141,8 +193,8 @@ int main() {
       dbLogWorkload(Sessions, scaled(5000)),
   };
 
-  std::printf("%-10s %8s %10s %10s %12s %9s\n", "workload", "shards",
-              "events", "time [s]", "Mev/s", "speedup");
+  std::printf("%-10s %8s %10s %10s %10s %12s %9s\n", "workload", "shards",
+              "producers", "events", "time [s]", "Mev/s", "speedup");
   for (FleetWorkload &W : Workloads) {
     // Optimized monitors; the opt-vs-baseline axis is fig9/fig10.
     DiagnosticEngine Diags;
@@ -153,20 +205,23 @@ int main() {
       return 1;
     }
     Program &Plan = *PlanOpt;
-    double OneShard = 0;
-    for (unsigned Shards : ShardCounts) {
-      uint64_t Outputs = 0;
-      double Seconds = medianFleet(W, Plan, Shards, Reps, Outputs);
-      if (Shards == 1)
-        OneShard = Seconds;
-      std::printf("%-10s %8u %10zu %10.4f %12.3f %8.2fx\n", W.Label,
-                  Shards, W.TotalEvents, Seconds,
-                  static_cast<double>(W.TotalEvents) / Seconds / 1e6,
-                  OneShard / Seconds);
-      std::fflush(stdout);
+    double Base = 0;
+    for (unsigned Producers : ProducerCounts) {
+      for (unsigned Shards : ShardCounts) {
+        uint64_t Outputs = 0;
+        double Seconds =
+            medianFleet(W, Plan, Shards, Producers, Reps, Outputs);
+        if (Base == 0)
+          Base = Seconds;
+        std::printf("%-10s %8u %10u %10zu %10.4f %12.3f %8.2fx\n",
+                    W.Label, Shards, Producers, W.TotalEvents, Seconds,
+                    static_cast<double>(W.TotalEvents) / Seconds / 1e6,
+                    Base / Seconds);
+        std::fflush(stdout);
+      }
     }
   }
-  std::printf("\nsessions are shard-pinned and independent; scaling is "
-              "bounded by min(shards, cores, busy sessions)\n");
+  std::printf("\nsessions start shard-pinned and may be work-stolen; "
+              "scaling is bounded by min(shards + producers, cores)\n");
   return 0;
 }

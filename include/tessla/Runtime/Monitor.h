@@ -43,6 +43,15 @@ struct OutputEvent {
 };
 
 /// The monitor engine. Not thread-safe; one instance per trace run.
+///
+/// Migration: a Monitor may be handed off between threads (the fleet's
+/// work stealing moves whole sessions this way) provided the transfer
+/// synchronizes (the release/acquire hand-off happens-before the new
+/// owner's first call) and the old owner retains nothing derived from
+/// it — in particular no borrowed output-handler Values. All slot state
+/// (current values, *_last slots, scheduled delays) is ordinary owned
+/// data, so moving the object is the whole migration; there is no
+/// thread-affine hidden state.
 class Monitor {
 public:
   using OutputHandler =
@@ -79,6 +88,9 @@ public:
   uint64_t calcRuns() const { return NumCalcRuns; }
   /// Number of emitted output events so far.
   uint64_t outputEvents() const { return NumOutputs; }
+  /// Number of accepted input events so far. The fleet's steal heuristic
+  /// uses this as the "hot session" signal.
+  uint64_t inputEvents() const { return NumFed; }
 
 private:
   const Program &Prog;
@@ -106,6 +118,7 @@ private:
 
   uint64_t NumCalcRuns = 0;
   uint64_t NumOutputs = 0;
+  uint64_t NumFed = 0;
 
   void setValue(SlotId Slot, Value V);
   void runCalc(Time Ts);

@@ -6,37 +6,83 @@
 ///
 /// \file
 /// A multi-session monitor runtime: one Program served to many
-/// concurrent trace sessions across N worker shards. Each session id is
-/// pinned to a shard (hash(session) % shards) and runs its own
-/// independent Monitor, so everything the single-session engine relies
-/// on for speed — non-atomic RefCntPtr spines, destructively updated
-/// mutable aggregates — stays strictly single-threaded *within* a shard.
-/// No monitor state is ever shared between threads.
+/// concurrent trace sessions across N worker shards. Each session runs
+/// its own independent Monitor on exactly one worker thread at a time,
+/// so everything the single-session engine relies on for speed —
+/// non-atomic RefCntPtr spines, destructively updated mutable
+/// aggregates — stays strictly single-threaded per session. No monitor
+/// state is ever shared between threads; sessions move between threads
+/// only through synchronized whole-object hand-offs (work stealing).
 ///
-/// Ingestion is batched: the (single) caller thread buffers
-/// (session, event) records per shard and hands full batches to the
-/// shard's worker over a bounded lock-free SPSC ring. Outputs are
-/// collected per session and merged deterministically — by session id,
-/// then per-session emission order (timestamp, then stream definition
-/// order) — so fleet output is byte-identical regardless of the shard
-/// count. The determinism property is enforced by
-/// tests/Runtime/MonitorFleetTest.cpp against the sequential engine.
+/// ## Ingestion: producer handles (multi-producer fan-in)
 ///
-/// Usage:
+/// Ingestion is multi-producer: every producer thread obtains its own
+/// ProducerHandle, which owns one bounded lock-free SPSC ring into each
+/// shard. feed() buffers records per shard and hands full batches to
+/// the owning shard's ring — no locks and no shared mutable state on
+/// the hot path, so N threads feed concurrently without contending.
+/// Batches carry a fleet-wide monotone sequence number; a shard always
+/// drains the lowest-sequence batch available across its producer
+/// rings, so a *handed-off* session (producer A flushes/closes, then —
+/// synchronized externally — producer B continues the same session)
+/// keeps its event order.
+///
 /// \code
 ///   MonitorFleet Fleet(Prog, {.Shards = 4});
-///   Fleet.feed(SessionA, InputId, 3, Value::integer(7));
-///   Fleet.feed(SessionB, InputId, 1, Value::integer(9));
+///   std::thread T1([&] {
+///     ProducerHandle P = Fleet.producer();
+///     P.feed(SessionA, InputId, 3, Value::integer(7));
+///     P.close();                      // or let the destructor close
+///   });
+///   std::thread T2([&] {
+///     ProducerHandle P = Fleet.producer();
+///     P.feed(SessionB, InputId, 1, Value::integer(9));
+///   });
+///   T1.join(); T2.join();
 ///   Fleet.finish();
 ///   for (const SessionOutputEvent &E : Fleet.takeOutputs()) ...
-///   Fleet.stats().str();   // per-shard counters
+///   Fleet.stats().str();              // per-shard counters
 /// \endcode
 ///
-/// Threading contract: feed()/finish()/takeOutputs() must be called from
-/// one thread (the ingest thread); the fleet owns its worker threads.
-/// Per-session event order is preserved; cross-session order within a
-/// shard follows the ingest interleaving, which is invisible in the
-/// output because sessions are independent.
+/// Threading contract:
+///  - producer() may be called from any thread (it takes a short
+///    registration lock); each returned handle must then be used from
+///    one thread at a time. Handles must be closed (or destroyed, or
+///    quiescent) before finish(), and must not outlive the fleet.
+///  - At most one producer may feed a given session at a time. A
+///    hand-off between producers must be externally synchronized:
+///    A.flush() (or close()) happens-before B's first feed of that
+///    session.
+///  - finish()/takeOutputs()/errors()/stats() are called from one
+///    controlling thread after the producers quiesced.
+///  - The deprecated single-producer shim feed() routes through an
+///    implicit handle and keeps the old one-ingest-thread contract.
+///
+/// ## Work stealing
+///
+/// Session-to-shard placement starts at hash(session) % shards, but is
+/// not fixed: an idle worker posts standing steal requests to its
+/// peers, and an overloaded worker (ring backlog over
+/// FleetOptions::StealBacklog records) donates one whole session —
+/// Monitor state plus recorded outputs — at a batch boundary through
+/// the thief's migration inbox. The home shard keeps forwarding that
+/// session's subsequent records to the thief (single forwarder, FIFO
+/// channel), so per-session event order is preserved; a stolen session
+/// is pinned to its thief (no re-steal), which keeps the forwarding
+/// topology single-hop. The migration inbox is mutex-guarded and
+/// unbounded — it only carries rare hand-offs plus forwarded records
+/// already admitted through the bounded producer rings.
+///
+/// ## Determinism
+///
+/// Outputs are collected per session and merged by ascending session
+/// id, then per-session emission order (timestamp, then stream
+/// definition order). Since each session's records are fed to its
+/// monitor in producer order regardless of which shard executes them,
+/// fleet output is byte-identical for every shard count, producer
+/// count, and steal schedule — enforced against the sequential engine
+/// by tests/Runtime/MonitorFleetTest.cpp and
+/// tests/Runtime/FleetProducerTest.cpp (TSan-clean).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -44,28 +90,39 @@
 #define TESSLA_RUNTIME_MONITORFLEET_H
 
 #include "tessla/Runtime/Monitor.h"
+#include "tessla/Runtime/TraceIO.h"
 
 #include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 namespace tessla {
 
-/// Identifies one monitoring session (e.g. one user/connection).
-using SessionId = uint64_t;
+class MonitorFleet;
 
 /// Fleet construction knobs.
 struct FleetOptions {
   /// Worker shards (threads). 0 is clamped to 1.
   unsigned Shards = 1;
-  /// Events buffered per shard before the batch is handed to the worker.
-  /// Larger batches amortize queue traffic; smaller ones cut latency.
+  /// Events buffered per (producer, shard) before the batch is handed to
+  /// the worker. Larger batches amortize queue traffic; smaller ones cut
+  /// latency.
   size_t BatchSize = 256;
-  /// Bounded SPSC ring capacity, in batches, per shard. The ingest
-  /// thread blocks when a shard falls this far behind (backpressure).
+  /// Bounded SPSC ring capacity, in batches, per (producer, shard). A
+  /// producer blocks when a shard falls this far behind (backpressure).
   size_t QueueCapacity = 64;
+  /// Producer-handle slots. producer() beyond this returns an invalid
+  /// handle. Slots are preallocated so workers can discover new
+  /// producers without locks.
+  unsigned MaxProducers = 16;
+  /// Enables session work stealing between shards.
+  bool WorkStealing = true;
+  /// Backlog (buffered records bound for one shard) at which an idle
+  /// peer's steal request is honoured. 0 means 4 * BatchSize.
+  size_t StealBacklog = 0;
   /// Horizon handed to every session's Monitor::finish() — required for
   /// specs with self-resetting periodic delays.
   std::optional<Time> Horizon;
@@ -77,22 +134,27 @@ struct FleetOptions {
 /// Counters of one worker shard (written by the worker, read after
 /// finish()).
 struct ShardStats {
-  uint64_t EventsProcessed = 0; ///< records fed into session monitors
-  uint64_t BatchesDrained = 0;  ///< batches popped from the ring
-  uint64_t QueueHighWater = 0;  ///< max batches in flight in the ring
-  uint64_t Sessions = 0;        ///< distinct sessions pinned here
-  uint64_t OutputsEmitted = 0;  ///< sum of session monitor outputs
-  uint64_t FailedSessions = 0;  ///< sessions whose monitor failed
+  uint64_t EventsProcessed = 0;  ///< records fed into session monitors here
+  uint64_t BatchesDrained = 0;   ///< producer batches popped from the rings
+  uint64_t QueueHighWater = 0;   ///< max batches in flight in any one ring
+  uint64_t Sessions = 0;         ///< sessions that finished on this shard
+  uint64_t OutputsEmitted = 0;   ///< sum of session monitor outputs
+  uint64_t FailedSessions = 0;   ///< sessions whose monitor failed
+  uint64_t SessionsStolenIn = 0; ///< sessions migrated onto this shard
+  uint64_t SessionsStolenOut = 0; ///< sessions donated to idle peers
+  uint64_t RecordsForwarded = 0; ///< records relayed to a session's thief
 };
 
 /// Aggregated observability report for one fleet run.
 struct FleetStats {
   std::vector<ShardStats> Shards;
+  uint64_t Producers = 0; ///< producer handles registered over the run
 
   uint64_t totalEvents() const;
   uint64_t totalOutputs() const;
   uint64_t totalSessions() const;
   uint64_t totalFailedSessions() const;
+  uint64_t totalSessionsStolen() const;
 
   /// Renders the per-shard table plus totals.
   std::string str() const;
@@ -110,6 +172,59 @@ struct SessionError {
   std::string Message;
 };
 
+/// One producer's ingestion endpoint: a movable handle owning a private
+/// ring into every shard (see the file comment for the threading
+/// contract). Obtained from MonitorFleet::producer(); an
+/// default-constructed or moved-from handle is invalid and rejects
+/// feed().
+class ProducerHandle {
+public:
+  ProducerHandle() = default;
+  ProducerHandle(ProducerHandle &&O) noexcept
+      : Fleet(O.Fleet), Lane(O.Lane) {
+    O.Fleet = nullptr;
+  }
+  ProducerHandle &operator=(ProducerHandle &&O) noexcept {
+    if (this != &O) {
+      close();
+      Fleet = O.Fleet;
+      Lane = O.Lane;
+      O.Fleet = nullptr;
+    }
+    return *this;
+  }
+  ~ProducerHandle() { close(); }
+
+  ProducerHandle(const ProducerHandle &) = delete;
+  ProducerHandle &operator=(const ProducerHandle &) = delete;
+
+  /// True for a live handle obtained from producer().
+  bool valid() const { return Fleet != nullptr; }
+
+  /// Buffers one input event for \p Session. Events of one session must
+  /// arrive in non-decreasing timestamp order (the per-session Monitor
+  /// enforces it; violations fail that session only). Blocks when the
+  /// target shard's ring is full. \returns false on an invalid/closed
+  /// handle.
+  bool feed(SessionId Session, StreamId Input, Time Ts, Value V);
+
+  /// Hands off all partially filled batches now (e.g. before a session
+  /// hand-off to another producer).
+  void flush();
+
+  /// Flushes, then signals this producer's end-of-input to every shard.
+  /// Idempotent; the destructor calls it.
+  void close();
+
+private:
+  friend class MonitorFleet;
+  ProducerHandle(MonitorFleet *F, unsigned LaneIdx)
+      : Fleet(F), Lane(LaneIdx) {}
+
+  MonitorFleet *Fleet = nullptr;
+  unsigned Lane = 0;
+};
+
 /// The sharded multi-session runtime. See the file comment for the
 /// threading contract.
 class MonitorFleet {
@@ -120,15 +235,21 @@ public:
   MonitorFleet(const MonitorFleet &) = delete;
   MonitorFleet &operator=(const MonitorFleet &) = delete;
 
-  /// Buffers one input event for \p Session. Events of one session must
-  /// arrive in non-decreasing timestamp order (the per-session Monitor
-  /// enforces it; violations fail that session only). \returns false
+  /// Registers a new producer and returns its handle. Thread-safe.
+  /// Returns an invalid handle once finish() ran or all
+  /// FleetOptions::MaxProducers slots are taken.
+  ProducerHandle producer();
+
+  /// Deprecated single-producer shim: feeds through an implicit handle
+  /// under the old contract (feed()/finish() from one ingest thread).
+  /// New code should hold explicit ProducerHandles. \returns false
   /// after finish().
   bool feed(SessionId Session, StreamId Input, Time Ts, Value V);
 
-  /// Flushes all buffered batches, signals end-of-input to every
-  /// session (Monitor::finish with the configured horizon) and joins
-  /// the workers. Idempotent.
+  /// Closes any producer handles still open (requires them quiescent),
+  /// drains all rings, signals end-of-input to every session
+  /// (Monitor::finish with the configured horizon) and joins the
+  /// workers. Idempotent.
   void finish();
 
   /// True once finish() ran and at least one session's monitor failed.
@@ -149,20 +270,42 @@ public:
 
   unsigned shardCount() const { return static_cast<unsigned>(Workers.size()); }
 
-  /// The shard a session is pinned to: hash(session) % shards, with a
-  /// bit-mixing hash so sequential ids spread evenly.
+  /// The shard a session's records are ingested through (its *home*
+  /// shard): hash(session) % shards, with a bit-mixing hash so
+  /// sequential ids spread evenly. Work stealing may execute the
+  /// session elsewhere; the home shard then forwards.
   unsigned shardOf(SessionId Session) const;
 
 private:
+  friend class ProducerHandle;
+
   struct Shard;
+  struct ProducerLane;
 
   const Program &Prog;
   FleetOptions Opts;
   std::vector<std::unique_ptr<Shard>> Workers;
+
+  // Producer fan-in: preallocated lane slots (no reallocation, so
+  // workers index lanes below LaneCount without locks). AdminMu guards
+  // registration and lane close; the feed hot path takes no lock.
+  std::vector<std::unique_ptr<ProducerLane>> Lanes;
+  std::atomic<unsigned> LaneCount{0};
+  std::atomic<uint64_t> NextBatchSeq{0};
+  std::atomic<bool> Finishing{false};
+  std::atomic<unsigned> DrainedWorkers{0};
+  std::mutex AdminMu;
+
   FleetStats Stats;
   bool Finished = false;
+  ProducerHandle ShimProducer; // backs the deprecated feed()
 
-  void flushPending(unsigned ShardIdx);
+  bool laneFeed(unsigned LaneIdx, SessionId Session, StreamId Input,
+                Time Ts, Value V);
+  void laneFlush(unsigned LaneIdx);
+  void laneFlushShard(ProducerLane &L, unsigned ShardIdx);
+  void laneClose(unsigned LaneIdx);
+  void bumpSignal(unsigned ShardIdx);
 };
 
 } // namespace tessla

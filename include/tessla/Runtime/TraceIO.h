@@ -28,6 +28,59 @@ namespace tessla {
 /// One parsed/generated input event.
 using TraceEvent = std::tuple<StreamId, Time, Value>;
 
+/// Identifies one monitoring session (e.g. one user/connection) in the
+/// multi-session runtime (Runtime/MonitorFleet.h). Single-session
+/// helpers use session 0.
+using SessionId = uint64_t;
+
+/// One input record as it travels through the ingestion machinery: a
+/// trace event attributed to its session. This is the single record
+/// shape shared by the sequential replay helpers below and by the
+/// fleet's producer rings — there is deliberately no second,
+/// fleet-internal representation.
+struct EventRecord {
+  SessionId Session = 0;
+  StreamId Input = 0;
+  Time Ts = 0;
+  Value V;
+};
+
+/// The shared ingestion batch: a run of records plus the two fields the
+/// fleet's fan-in needs on the wire. `Seq` is the batch's position in
+/// the fleet-wide hand-off order (monotone per producer; shards merge
+/// producer rings by ascending Seq), `Close` marks a producer's
+/// end-of-input sentinel. Sequential consumers ignore both.
+struct EventBatch {
+  std::vector<EventRecord> Records;
+  uint64_t Seq = 0;
+  bool Close = false;
+
+  bool empty() const { return Records.empty(); }
+  size_t size() const { return Records.size(); }
+  void clear() {
+    Records.clear();
+    Close = false;
+  }
+};
+
+/// Wraps time-ordered trace events into one batch attributed to
+/// \p Session.
+EventBatch toBatch(const std::vector<TraceEvent> &Events,
+                   SessionId Session = 0);
+
+/// Feeds every record of \p B into \p M in order (sessions are ignored;
+/// the caller picked the monitor). Stops early and returns false once
+/// the monitor fails.
+bool feedBatch(Monitor &M, const EventBatch &B);
+
+/// Runs one batch through a fresh monitor over \p Prog, collecting
+/// deep-copied outputs — the EventBatch flavour of runMonitor()
+/// (Runtime/Monitor.h).
+std::vector<OutputEvent>
+runMonitor(const Program &Prog, const EventBatch &Batch,
+           std::optional<Time> Horizon = std::nullopt,
+           std::string *ErrorOut = nullptr);
+
 /// Parses a textual trace against \p S's input streams. Events must be
 /// listed in non-decreasing timestamp order (checked by the monitor, not
 /// here). Lines that are empty or start with '#'/"--" are skipped.

@@ -306,6 +306,7 @@ bool Monitor::feed(StreamId Input, Time Ts, Value V) {
     return false;
   }
   setValue(Slot, std::move(V));
+  ++NumFed;
   return true;
 }
 

@@ -10,20 +10,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <deque>
 
 using namespace tessla;
 
 namespace {
-
-/// One ingested record as it travels from the ingest thread to a shard.
-struct Record {
-  SessionId Session;
-  StreamId Input;
-  Time Ts;
-  Value V;
-};
-
-using Batch = std::vector<Record>;
 
 /// splitmix64 finalizer — sequential session ids must not all land on
 /// shard (id % N).
@@ -38,19 +29,20 @@ uint64_t mixHash(uint64_t X) {
 
 namespace tessla {
 
-/// Bounded single-producer single-consumer ring of batches. The producer
-/// is the ingest thread, the consumer one worker. Slot contents are
-/// published by the release store to Tail and reclaimed by the release
-/// store to Head; blocking uses C++20 atomic wait/notify on those
-/// counters. End-of-input is an in-band sentinel (empty batch) so the
-/// consumer never needs to wait on anything but Tail.
+/// Bounded single-producer single-consumer ring of EventBatches — one
+/// per (producer, shard) pair. The producer is the handle's thread, the
+/// consumer the shard's worker. Slot contents are published by the
+/// release store to Tail and reclaimed by the release store to Head.
+/// Only the producer blocks (backpressure, C++20 atomic wait on Head);
+/// the consumer polls many rings and sleeps on the shard-level work
+/// signal instead, so pop is non-blocking here.
 class SpscBatchRing {
 public:
   explicit SpscBatchRing(size_t Capacity)
       : Cap(std::max<size_t>(Capacity, 1)), Slots(Cap) {}
 
   /// Producer: blocks while the ring is full.
-  void push(Batch B) {
+  void push(EventBatch B) {
     size_t T = Tail.load(std::memory_order_relaxed);
     size_t H = Head.load(std::memory_order_acquire);
     while (T - H == Cap) {
@@ -59,85 +51,324 @@ public:
     }
     Slots[T % Cap] = std::move(B);
     Tail.store(T + 1, std::memory_order_release);
-    Tail.notify_one();
     HighWater = std::max<uint64_t>(HighWater, T + 1 - H);
   }
 
-  /// Consumer: blocks while empty; false on the end-of-input sentinel.
-  bool pop(Batch &Out) {
+  /// Consumer: the head batch's merge sequence, or nullopt when empty.
+  /// Safe to read without popping — the producer cannot overwrite the
+  /// slot until Head advances past it.
+  std::optional<uint64_t> peekSeq() const {
     size_t H = Head.load(std::memory_order_relaxed);
     size_t T = Tail.load(std::memory_order_acquire);
-    while (T == H) {
-      Tail.wait(T, std::memory_order_acquire);
-      T = Tail.load(std::memory_order_acquire);
-    }
+    if (T == H)
+      return std::nullopt;
+    return Slots[H % Cap].Seq;
+  }
+
+  /// Consumer: false when empty.
+  bool tryPop(EventBatch &Out) {
+    size_t H = Head.load(std::memory_order_relaxed);
+    size_t T = Tail.load(std::memory_order_acquire);
+    if (T == H)
+      return false;
     Out = std::move(Slots[H % Cap]);
     Head.store(H + 1, std::memory_order_release);
     Head.notify_one();
-    return !Out.empty();
+    return true;
   }
 
   /// Producer-side high-water mark (batches in flight after a push);
-  /// read after the worker joined.
+  /// read after the producers quiesced and the worker joined.
   uint64_t highWater() const { return HighWater; }
 
 private:
   const size_t Cap;
-  std::vector<Batch> Slots;
+  std::vector<EventBatch> Slots;
   std::atomic<size_t> Head{0};
   std::atomic<size_t> Tail{0};
   uint64_t HighWater = 0;
 };
 
-/// One worker shard: ring + thread + the sessions pinned here. All
-/// members below `Thread` are touched only by the worker until it
-/// joins; the join is the synchronization point for the final reads.
+/// One producer's fan-in: a private ring into every shard plus the
+/// handle-thread-owned pending buffers. Lanes are registered under
+/// AdminMu and published through LaneCount; workers never lock.
+struct MonitorFleet::ProducerLane {
+  std::vector<std::unique_ptr<SpscBatchRing>> Rings; // [shard]
+  std::vector<EventBatch> Pending;                   // [shard]
+  bool Closed = false; // written under AdminMu / owner thread
+};
+
+/// One worker shard: the consumer of every producer's ring for this
+/// shard index, plus the sessions currently executing here. Members
+/// below `Thread` are touched only by the worker until it joins; the
+/// join is the synchronization point for the final reads.
 struct MonitorFleet::Shard {
-  explicit Shard(size_t QueueCapacity) : Ring(QueueCapacity) {}
+  explicit Shard(unsigned Idx) : Index(Idx) {}
 
   struct SessionState {
     std::unique_ptr<Monitor> M;
-    std::vector<OutputEvent> Outputs;
+    // Behind a unique_ptr so the address stays stable across migration:
+    // the monitor's output handler captures it.
+    std::unique_ptr<std::vector<OutputEvent>> Outputs;
+    bool StolenIn = false;
   };
 
-  SpscBatchRing Ring;
-  Batch Pending; // ingest-thread buffer, not yet handed off
+  /// One migration-inbox message: a whole-session hand-off (State set)
+  /// or records forwarded by a stolen session's home shard.
+  struct InboxMsg {
+    SessionId Session = 0;
+    std::unique_ptr<SessionState> State;
+    EventBatch Records;
+  };
+
+  const unsigned Index;
+
+  // Cross-thread coordination. WorkSignal is bumped on every push
+  // destined for this shard (ring or inbox) and at finish; the worker
+  // sleeps on it when idle. QueueDepth approximates the backlog
+  // (records in rings + inbox) and drives the steal heuristic.
+  // StealRequest holds an idle peer's shard index (-1 = none).
+  std::atomic<uint64_t> WorkSignal{0};
+  std::atomic<int64_t> QueueDepth{0};
+  std::atomic<int> StealRequest{-1};
+
+  std::mutex InboxMu;
+  std::deque<InboxMsg> Inbox;
+
   std::thread Thread;
 
   // Worker-owned state (ordered map => deterministic iteration).
   std::map<SessionId, SessionState> Sessions;
+  std::map<SessionId, unsigned> ForwardTo; // stolen session -> thief
+  std::map<unsigned, EventBatch> ForwardBuf;
   ShardStats Stats;
 
-  void run(const Program &Prog, const FleetOptions &Opts);
+  void run(MonitorFleet &F);
+  void routeRecord(MonitorFleet &F, EventRecord &R);
+  void processBatch(MonitorFleet &F, EventBatch &B);
+  void flushForwards(MonitorFleet &F);
+  bool drainInbox(MonitorFleet &F);
+  void maybeDonate(MonitorFleet &F);
+  void postStealRequests(MonitorFleet &F);
 };
 
-void MonitorFleet::Shard::run(const Program &Prog,
-                              const FleetOptions &Opts) {
-  Batch B;
-  while (Ring.pop(B)) {
-    ++Stats.BatchesDrained;
-    for (Record &R : B) {
-      SessionState &SS = Sessions[R.Session];
-      if (!SS.M) {
-        SS.M = std::make_unique<Monitor>(Prog);
-        if (Opts.CollectOutputs) {
-          auto *Outputs = &SS.Outputs;
-          SS.M->setOutputHandler(
-              [Outputs](Time Ts, StreamId Id, const Value &V) {
-                // The handler's value is borrowed; recording it beyond
-                // the callback requires a deep copy (see Monitor.h).
-                Outputs->push_back({Ts, Id, V.deepCopy()});
-              });
+void MonitorFleet::Shard::routeRecord(MonitorFleet &F, EventRecord &R) {
+  auto Fw = ForwardTo.find(R.Session);
+  if (Fw != ForwardTo.end()) {
+    // Stolen session: relay to its thief. This shard is the session's
+    // home and its single forwarder, so relative record order survives.
+    ForwardBuf[Fw->second].Records.push_back(std::move(R));
+    ++Stats.RecordsForwarded;
+    return;
+  }
+  SessionState &SS = Sessions[R.Session];
+  if (!SS.M) {
+    SS.M = std::make_unique<Monitor>(F.Prog);
+    if (F.Opts.CollectOutputs) {
+      SS.Outputs = std::make_unique<std::vector<OutputEvent>>();
+      auto *Outputs = SS.Outputs.get();
+      SS.M->setOutputHandler(
+          [Outputs](Time Ts, StreamId Id, const Value &V) {
+            // The handler's value is borrowed; recording it beyond the
+            // callback requires a deep copy (see Monitor.h).
+            Outputs->push_back({Ts, Id, V.deepCopy()});
+          });
+    }
+  }
+  ++Stats.EventsProcessed;
+  if (!SS.M->failed())
+    SS.M->feed(R.Input, R.Ts, std::move(R.V));
+}
+
+void MonitorFleet::Shard::processBatch(MonitorFleet &F, EventBatch &B) {
+  ++Stats.BatchesDrained;
+  for (EventRecord &R : B.Records)
+    routeRecord(F, R);
+  flushForwards(F);
+  QueueDepth.fetch_sub(static_cast<int64_t>(B.Records.size()),
+                       std::memory_order_relaxed);
+}
+
+void MonitorFleet::Shard::flushForwards(MonitorFleet &F) {
+  for (auto &[Target, FB] : ForwardBuf) {
+    if (FB.Records.empty())
+      continue;
+    Shard &T = *F.Workers[Target];
+    T.QueueDepth.fetch_add(static_cast<int64_t>(FB.Records.size()),
+                           std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> G(T.InboxMu);
+      T.Inbox.push_back({0, nullptr, std::move(FB)});
+    }
+    F.bumpSignal(T.Index);
+    FB = EventBatch();
+  }
+}
+
+bool MonitorFleet::Shard::drainInbox(MonitorFleet &F) {
+  bool Progress = false;
+  for (;;) {
+    InboxMsg Msg;
+    {
+      std::lock_guard<std::mutex> G(InboxMu);
+      if (Inbox.empty())
+        break;
+      Msg = std::move(Inbox.front());
+      Inbox.pop_front();
+    }
+    Progress = true;
+    if (Msg.State) {
+      // Whole-session hand-off. The FIFO inbox guarantees it precedes
+      // any records the home shard forwards afterwards.
+      ++Stats.SessionsStolenIn;
+      Msg.State->StolenIn = true;
+      Sessions[Msg.Session] = std::move(*Msg.State);
+    } else {
+      for (EventRecord &R : Msg.Records.Records)
+        routeRecord(F, R);
+      QueueDepth.fetch_sub(static_cast<int64_t>(Msg.Records.Records.size()),
+                           std::memory_order_relaxed);
+    }
+  }
+  return Progress;
+}
+
+void MonitorFleet::Shard::maybeDonate(MonitorFleet &F) {
+  if (!F.Opts.WorkStealing || F.Workers.size() < 2)
+    return;
+  if (F.Finishing.load(std::memory_order_relaxed))
+    return;
+  int Thief = StealRequest.load(std::memory_order_relaxed);
+  if (Thief < 0 || Thief == static_cast<int>(Index))
+    return;
+  int64_t MyDepth = QueueDepth.load(std::memory_order_relaxed);
+  if (MyDepth < static_cast<int64_t>(F.Opts.StealBacklog))
+    return;
+  Shard &T = *F.Workers[Thief];
+  // Don't ping-pong load onto a peer that is itself backed up.
+  if (T.QueueDepth.load(std::memory_order_relaxed) * 2 > MyDepth)
+    return;
+  // Donate the hottest home-owned session: past volume is the best
+  // available predictor of future volume under skew.
+  auto Best = Sessions.end();
+  uint64_t BestEvents = 0;
+  for (auto It = Sessions.begin(); It != Sessions.end(); ++It) {
+    SessionState &SS = It->second;
+    if (SS.StolenIn || SS.M->failed())
+      continue;
+    uint64_t E = SS.M->inputEvents();
+    if (Best == Sessions.end() || E > BestEvents) {
+      Best = It;
+      BestEvents = E;
+    }
+  }
+  if (Best == Sessions.end())
+    return;
+  SessionId Id = Best->first;
+  auto State = std::make_unique<SessionState>(std::move(Best->second));
+  Sessions.erase(Best);
+  ForwardTo[Id] = static_cast<unsigned>(Thief);
+  ++Stats.SessionsStolenOut;
+  {
+    std::lock_guard<std::mutex> G(T.InboxMu);
+    T.Inbox.push_back({Id, std::move(State), EventBatch()});
+  }
+  F.bumpSignal(T.Index);
+  StealRequest.store(-1, std::memory_order_relaxed);
+}
+
+void MonitorFleet::Shard::postStealRequests(MonitorFleet &F) {
+  // Standing requests: posted while idle regardless of current peer
+  // depth, so a load spike that arrives after this worker went to sleep
+  // still finds the request and wakes it with a donation.
+  for (auto &W : F.Workers) {
+    if (W->Index == Index)
+      continue;
+    int Expected = -1;
+    W->StealRequest.compare_exchange_strong(Expected,
+                                            static_cast<int>(Index),
+                                            std::memory_order_relaxed);
+  }
+}
+
+void MonitorFleet::Shard::run(MonitorFleet &F) {
+  const unsigned NShards = static_cast<unsigned>(F.Workers.size());
+  std::vector<char> LaneClosed(F.Opts.MaxProducers, 0);
+  unsigned ClosedLanes = 0;
+  bool Announced = false;
+
+  for (;;) {
+    // Snapshot the signal before scanning: a push after the snapshot
+    // makes the wait below return immediately (no lost wakeups).
+    uint64_t Sig = WorkSignal.load(std::memory_order_acquire);
+    bool Progress = drainInbox(F);
+
+    // Merge the producer rings: always drain the lowest-sequence batch
+    // available, which linearizes externally synchronized cross-producer
+    // hand-offs of one session (see the header).
+    for (;;) {
+      unsigned N = F.LaneCount.load(std::memory_order_acquire);
+      int BestLane = -1;
+      uint64_t BestSeq = 0;
+      for (unsigned L = 0; L != N; ++L) {
+        if (LaneClosed[L])
+          continue;
+        std::optional<uint64_t> Seq = F.Lanes[L]->Rings[Index]->peekSeq();
+        if (Seq && (BestLane < 0 || *Seq < BestSeq)) {
+          BestLane = static_cast<int>(L);
+          BestSeq = *Seq;
         }
       }
-      ++Stats.EventsProcessed;
-      if (!SS.M->failed())
-        SS.M->feed(R.Input, R.Ts, std::move(R.V));
+      if (BestLane < 0)
+        break;
+      EventBatch B;
+      bool Popped = F.Lanes[BestLane]->Rings[Index]->tryPop(B);
+      assert(Popped && "sole consumer raced itself");
+      (void)Popped;
+      if (B.Close) {
+        LaneClosed[BestLane] = 1;
+        ++ClosedLanes;
+      } else {
+        processBatch(F, B);
+      }
+      Progress = true;
+      drainInbox(F);
+      maybeDonate(F);
     }
-    B.clear();
+
+    if (F.Finishing.load(std::memory_order_acquire) &&
+        ClosedLanes == F.LaneCount.load(std::memory_order_acquire)) {
+      // All producer input drained here. Announce it; once every worker
+      // has, no forwards can be created anymore, so an empty inbox is
+      // final. Checking DrainedWorkers *before* the inbox makes the
+      // exit race-free: a peer's forwards are pushed before it
+      // announces.
+      if (!Announced) {
+        Announced = true;
+        F.DrainedWorkers.fetch_add(1, std::memory_order_acq_rel);
+        for (unsigned S = 0; S != NShards; ++S)
+          F.bumpSignal(S);
+      }
+      bool InboxEmpty;
+      {
+        std::lock_guard<std::mutex> G(InboxMu);
+        InboxEmpty = Inbox.empty();
+      }
+      if (F.DrainedWorkers.load(std::memory_order_acquire) == NShards &&
+          InboxEmpty)
+        break;
+    }
+
+    if (!Progress) {
+      if (F.Opts.WorkStealing && NShards > 1 &&
+          !F.Finishing.load(std::memory_order_relaxed))
+        postStealRequests(F);
+      WorkSignal.wait(Sig, std::memory_order_acquire);
+    }
   }
+
   for (auto &[Id, SS] : Sessions) {
-    SS.M->finish(Opts.Horizon);
+    SS.M->finish(F.Opts.Horizon);
     Stats.OutputsEmitted += SS.M->outputEvents();
     if (SS.M->failed())
       ++Stats.FailedSessions;
@@ -147,19 +378,49 @@ void MonitorFleet::Shard::run(const Program &Prog,
   // the join (reading it here would race with the last push).
 }
 
+//===----------------------------------------------------------------------===//
+// ProducerHandle
+//===----------------------------------------------------------------------===//
+
+bool ProducerHandle::feed(SessionId Session, StreamId Input, Time Ts,
+                          Value V) {
+  if (!Fleet)
+    return false;
+  return Fleet->laneFeed(Lane, Session, Input, Ts, std::move(V));
+}
+
+void ProducerHandle::flush() {
+  if (Fleet)
+    Fleet->laneFlush(Lane);
+}
+
+void ProducerHandle::close() {
+  if (!Fleet)
+    return;
+  Fleet->laneClose(Lane);
+  Fleet = nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// MonitorFleet
+//===----------------------------------------------------------------------===//
+
 MonitorFleet::MonitorFleet(const Program &Prog_, FleetOptions Opts_)
     : Prog(Prog_), Opts(Opts_) {
   if (Opts.Shards == 0)
     Opts.Shards = 1;
   if (Opts.BatchSize == 0)
     Opts.BatchSize = 1;
+  if (Opts.MaxProducers == 0)
+    Opts.MaxProducers = 1;
+  if (Opts.StealBacklog == 0)
+    Opts.StealBacklog = 4 * Opts.BatchSize;
+  Lanes.resize(Opts.MaxProducers);
   Workers.reserve(Opts.Shards);
-  for (unsigned I = 0; I != Opts.Shards; ++I) {
-    Workers.push_back(std::make_unique<Shard>(Opts.QueueCapacity));
-    Workers.back()->Pending.reserve(Opts.BatchSize);
-  }
+  for (unsigned I = 0; I != Opts.Shards; ++I)
+    Workers.push_back(std::make_unique<Shard>(I));
   for (auto &W : Workers)
-    W->Thread = std::thread([this, S = W.get()] { S->run(Prog, Opts); });
+    W->Thread = std::thread([this, S = W.get()] { S->run(*this); });
 }
 
 MonitorFleet::~MonitorFleet() { finish(); }
@@ -168,41 +429,121 @@ unsigned MonitorFleet::shardOf(SessionId Session) const {
   return static_cast<unsigned>(mixHash(Session) % Workers.size());
 }
 
+void MonitorFleet::bumpSignal(unsigned ShardIdx) {
+  Shard &S = *Workers[ShardIdx];
+  S.WorkSignal.fetch_add(1, std::memory_order_release);
+  S.WorkSignal.notify_one();
+}
+
+ProducerHandle MonitorFleet::producer() {
+  std::lock_guard<std::mutex> G(AdminMu);
+  if (Finished)
+    return {};
+  unsigned N = LaneCount.load(std::memory_order_relaxed);
+  if (N == Opts.MaxProducers)
+    return {};
+  auto L = std::make_unique<ProducerLane>();
+  L->Rings.reserve(Opts.Shards);
+  L->Pending.resize(Opts.Shards);
+  for (unsigned S = 0; S != Opts.Shards; ++S) {
+    L->Rings.push_back(std::make_unique<SpscBatchRing>(Opts.QueueCapacity));
+    L->Pending[S].Records.reserve(Opts.BatchSize);
+  }
+  Lanes[N] = std::move(L);
+  // The release store publishes the fully built lane to the workers.
+  LaneCount.store(N + 1, std::memory_order_release);
+  return ProducerHandle(this, N);
+}
+
+bool MonitorFleet::laneFeed(unsigned LaneIdx, SessionId Session,
+                            StreamId Input, Time Ts, Value V) {
+  ProducerLane &L = *Lanes[LaneIdx];
+  if (L.Closed)
+    return false;
+  unsigned S = shardOf(Session);
+  EventBatch &P = L.Pending[S];
+  P.Records.push_back({Session, Input, Ts, std::move(V)});
+  if (P.Records.size() >= Opts.BatchSize)
+    laneFlushShard(L, S);
+  return true;
+}
+
+void MonitorFleet::laneFlushShard(ProducerLane &L, unsigned ShardIdx) {
+  EventBatch &P = L.Pending[ShardIdx];
+  if (P.Records.empty())
+    return;
+  P.Seq = NextBatchSeq.fetch_add(1, std::memory_order_relaxed);
+  Workers[ShardIdx]->QueueDepth.fetch_add(
+      static_cast<int64_t>(P.Records.size()), std::memory_order_relaxed);
+  EventBatch B;
+  B.Records.reserve(Opts.BatchSize);
+  std::swap(B, P);
+  L.Rings[ShardIdx]->push(std::move(B));
+  bumpSignal(ShardIdx);
+}
+
+void MonitorFleet::laneFlush(unsigned LaneIdx) {
+  ProducerLane &L = *Lanes[LaneIdx];
+  if (L.Closed)
+    return;
+  for (unsigned S = 0; S != Workers.size(); ++S)
+    laneFlushShard(L, S);
+}
+
+void MonitorFleet::laneClose(unsigned LaneIdx) {
+  std::lock_guard<std::mutex> G(AdminMu);
+  ProducerLane &L = *Lanes[LaneIdx];
+  if (L.Closed)
+    return;
+  L.Closed = true;
+  for (unsigned S = 0; S != Workers.size(); ++S) {
+    laneFlushShard(L, S);
+    EventBatch CloseB;
+    CloseB.Close = true;
+    CloseB.Seq = NextBatchSeq.fetch_add(1, std::memory_order_relaxed);
+    L.Rings[S]->push(std::move(CloseB));
+    bumpSignal(S);
+  }
+}
+
 bool MonitorFleet::feed(SessionId Session, StreamId Input, Time Ts,
                         Value V) {
   if (Finished)
     return false;
-  Shard &S = *Workers[shardOf(Session)];
-  S.Pending.push_back({Session, Input, Ts, std::move(V)});
-  if (S.Pending.size() >= Opts.BatchSize)
-    flushPending(shardOf(Session));
-  return true;
-}
-
-void MonitorFleet::flushPending(unsigned ShardIdx) {
-  Shard &S = *Workers[ShardIdx];
-  if (S.Pending.empty())
-    return;
-  Batch B;
-  B.reserve(Opts.BatchSize);
-  B.swap(S.Pending);
-  S.Ring.push(std::move(B));
+  if (!ShimProducer.valid()) {
+    ShimProducer = producer();
+    if (!ShimProducer.valid())
+      return false;
+  }
+  return ShimProducer.feed(Session, Input, Ts, std::move(V));
 }
 
 void MonitorFleet::finish() {
-  if (Finished)
-    return;
-  Finished = true;
-  for (unsigned I = 0, E = static_cast<unsigned>(Workers.size()); I != E;
-       ++I) {
-    flushPending(I);
-    Workers[I]->Ring.push(Batch()); // end-of-input sentinel
+  {
+    std::lock_guard<std::mutex> G(AdminMu);
+    if (Finished)
+      return;
+    Finished = true;
+    Finishing.store(true, std::memory_order_release);
   }
+  ShimProducer.close();
+  // Close any lanes whose handles are still open (contract: their
+  // threads have quiesced by now).
+  unsigned N = LaneCount.load(std::memory_order_acquire);
+  for (unsigned L = 0; L != N; ++L)
+    laneClose(L);
+  for (unsigned S = 0; S != Workers.size(); ++S)
+    bumpSignal(S); // covers the zero-producer case
   for (auto &W : Workers)
     W->Thread.join();
   Stats.Shards.clear();
+  Stats.Producers = N;
   for (auto &W : Workers) {
-    W->Stats.QueueHighWater = W->Ring.highWater();
+    uint64_t HighWater = 0;
+    for (unsigned L = 0; L != N; ++L)
+      HighWater =
+          std::max(HighWater, Lanes[L]->Rings[W->Index]->highWater());
+    W->Stats.QueueHighWater = HighWater;
     Stats.Shards.push_back(W->Stats);
   }
 }
@@ -227,13 +568,15 @@ std::vector<SessionError> MonitorFleet::errors() const {
 
 std::vector<SessionOutputEvent> MonitorFleet::takeOutputs() {
   assert(Finished && "takeOutputs() is valid after finish()");
-  // Sessions ascending; each shard's map is already ordered, so a merge
-  // over the shard maps yields the global order. Within one session the
-  // monitor emitted in (timestamp, stream definition order) already.
+  // Sessions ascending; each session lives in exactly one shard's map
+  // (its final owner after any migrations), so a merge over the shard
+  // maps yields the global order. Within one session the monitor
+  // emitted in (timestamp, stream definition order) already.
   std::map<SessionId, std::vector<OutputEvent> *> Merged;
   for (const auto &W : Workers)
     for (auto &[Id, SS] : W->Sessions)
-      Merged[Id] = &SS.Outputs;
+      if (SS.Outputs)
+        Merged[Id] = SS.Outputs.get();
   std::vector<SessionOutputEvent> Result;
   size_t Total = 0;
   for (auto &[Id, Outs] : Merged)
@@ -275,24 +618,37 @@ uint64_t FleetStats::totalFailedSessions() const {
   return N;
 }
 
+uint64_t FleetStats::totalSessionsStolen() const {
+  uint64_t N = 0;
+  for (const ShardStats &S : Shards)
+    N += S.SessionsStolenIn;
+  return N;
+}
+
 std::string FleetStats::str() const {
   std::string Out = formatString(
-      "fleet: %zu shard(s), %llu session(s), %llu event(s), "
-      "%llu output(s)\n",
-      Shards.size(), static_cast<unsigned long long>(totalSessions()),
+      "fleet: %zu shard(s), %llu producer(s), %llu session(s), "
+      "%llu event(s), %llu output(s), %llu stolen\n",
+      Shards.size(), static_cast<unsigned long long>(Producers),
+      static_cast<unsigned long long>(totalSessions()),
       static_cast<unsigned long long>(totalEvents()),
-      static_cast<unsigned long long>(totalOutputs()));
+      static_cast<unsigned long long>(totalOutputs()),
+      static_cast<unsigned long long>(totalSessionsStolen()));
   for (size_t I = 0; I != Shards.size(); ++I) {
     const ShardStats &S = Shards[I];
     Out += formatString(
         "  shard %zu: sessions=%llu events=%llu batches=%llu "
-        "queue-high-water=%llu outputs=%llu failed=%llu\n",
+        "queue-high-water=%llu outputs=%llu failed=%llu "
+        "stolen-in=%llu stolen-out=%llu forwarded=%llu\n",
         I, static_cast<unsigned long long>(S.Sessions),
         static_cast<unsigned long long>(S.EventsProcessed),
         static_cast<unsigned long long>(S.BatchesDrained),
         static_cast<unsigned long long>(S.QueueHighWater),
         static_cast<unsigned long long>(S.OutputsEmitted),
-        static_cast<unsigned long long>(S.FailedSessions));
+        static_cast<unsigned long long>(S.FailedSessions),
+        static_cast<unsigned long long>(S.SessionsStolenIn),
+        static_cast<unsigned long long>(S.SessionsStolenOut),
+        static_cast<unsigned long long>(S.RecordsForwarded));
   }
   return Out;
 }

@@ -130,3 +130,35 @@ std::string tessla::formatOutputs(const Spec &S,
   }
   return Out;
 }
+
+EventBatch tessla::toBatch(const std::vector<TraceEvent> &Events,
+                           SessionId Session) {
+  EventBatch B;
+  B.Records.reserve(Events.size());
+  for (const auto &[Id, Ts, V] : Events)
+    B.Records.push_back({Session, Id, Ts, V});
+  return B;
+}
+
+bool tessla::feedBatch(Monitor &M, const EventBatch &B) {
+  for (const EventRecord &R : B.Records)
+    if (!M.feed(R.Input, R.Ts, R.V))
+      return false;
+  return true;
+}
+
+std::vector<OutputEvent>
+tessla::runMonitor(const Program &Prog, const EventBatch &Batch,
+                   std::optional<Time> Horizon, std::string *ErrorOut) {
+  Monitor M(Prog);
+  std::vector<OutputEvent> Out;
+  M.setOutputHandler([&Out](Time Ts, StreamId Id, const Value &V) {
+    // Borrowed handler value; recording requires a deep copy.
+    Out.push_back({Ts, Id, V.deepCopy()});
+  });
+  feedBatch(M, Batch);
+  M.finish(Horizon);
+  if (ErrorOut)
+    *ErrorOut = M.failed() ? M.errorMessage() : "";
+  return Out;
+}

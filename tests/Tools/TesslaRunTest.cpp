@@ -18,12 +18,15 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <unistd.h>
 #include <string>
 
 namespace {
 
 std::string tempPath(const std::string &Name) {
-  return ::testing::TempDir() + Name;
+  // Pid-unique: ctest runs the test cases of this binary as separate
+  // concurrent processes sharing one TempDir.
+  return ::testing::TempDir() + std::to_string(::getpid()) + "_" + Name;
 }
 
 void writeFile(const std::string &Path, const std::string &Contents) {

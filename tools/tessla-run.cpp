@@ -36,6 +36,8 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 using namespace tessla;
 
@@ -53,6 +55,9 @@ void printUsage(const char *Argv0) {
       "  --sessions <m>                    fleet sessions; the trace is\n"
       "                                    replayed once per session\n"
       "                                    (default 1)\n"
+      "  --producers <p>                   fleet producer threads; the\n"
+      "                                    sessions are partitioned over\n"
+      "                                    them (default 1)\n"
       "  --plan                            print the loaded program\n"
       "                                    instead of executing\n",
       Argv0);
@@ -82,6 +87,7 @@ int main(int argc, char **argv) {
   std::optional<Time> Horizon;
   unsigned FleetShards = 0; // 0 = single-session sequential replay
   unsigned FleetSessions = 1;
+  unsigned FleetProducers = 1;
 
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
@@ -94,6 +100,9 @@ int main(int argc, char **argv) {
           std::max(1ll, std::strtoll(argv[++I], nullptr, 10)));
     } else if (std::strcmp(Arg, "--sessions") == 0 && I + 1 < argc) {
       FleetSessions = static_cast<unsigned>(
+          std::max(1ll, std::strtoll(argv[++I], nullptr, 10)));
+    } else if (std::strcmp(Arg, "--producers") == 0 && I + 1 < argc) {
+      FleetProducers = static_cast<unsigned>(
           std::max(1ll, std::strtoll(argv[++I], nullptr, 10)));
     } else if (std::strcmp(Arg, "--plan") == 0) {
       PrintPlan = true;
@@ -144,14 +153,27 @@ int main(int argc, char **argv) {
   }
 
   if (FleetShards > 0) {
-    // Same multi-session replay shape as `tesslac --run --fleet`.
+    // Same multi-session replay shape as `tesslac --run --fleet`: the
+    // sessions are partitioned over the producer threads, each feeding
+    // the whole trace to its sessions through its own handle.
     FleetOptions FOpts;
     FOpts.Shards = FleetShards;
     FOpts.Horizon = Horizon;
+    unsigned Producers = std::min(FleetProducers, FleetSessions);
+    FOpts.MaxProducers = std::max(FOpts.MaxProducers, Producers);
     MonitorFleet Fleet(Plan, FOpts);
-    for (const auto &[Id, Ts, V] : *Events)
-      for (SessionId Session = 0; Session != FleetSessions; ++Session)
-        Fleet.feed(Session, Id, Ts, V);
+    std::vector<std::thread> Threads;
+    Threads.reserve(Producers);
+    for (unsigned P = 0; P != Producers; ++P)
+      Threads.emplace_back([&, P] {
+        ProducerHandle Handle = Fleet.producer();
+        for (const auto &[Id, Ts, V] : *Events)
+          for (SessionId Session = P; Session < FleetSessions;
+               Session += Producers)
+            Handle.feed(Session, Id, Ts, V);
+      });
+    for (std::thread &T : Threads)
+      T.join();
     Fleet.finish();
     for (const SessionOutputEvent &E : Fleet.takeOutputs())
       std::printf("s%llu| %lld: %s = %s\n",

@@ -45,6 +45,8 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 using namespace tessla;
 
@@ -79,7 +81,10 @@ void printUsage(const char *Argv0) {
       "                                    with n worker shards\n"
       "  --sessions <m>                    fleet sessions; the trace is\n"
       "                                    replayed once per session\n"
-      "                                    (default 1)\n",
+      "                                    (default 1)\n"
+      "  --producers <p>                   fleet producer threads; the\n"
+      "                                    sessions are partitioned over\n"
+      "                                    them (default 1)\n",
       Argv0);
 }
 
@@ -138,6 +143,7 @@ int main(int argc, char **argv) {
   std::optional<Time> Horizon;
   unsigned FleetShards = 0; // 0 = single-session sequential replay
   unsigned FleetSessions = 1;
+  unsigned FleetProducers = 1;
 
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
@@ -172,6 +178,9 @@ int main(int argc, char **argv) {
           std::max(1ll, std::strtoll(argv[++I], nullptr, 10)));
     } else if (std::strcmp(Arg, "--sessions") == 0 && I + 1 < argc) {
       FleetSessions = static_cast<unsigned>(
+          std::max(1ll, std::strtoll(argv[++I], nullptr, 10)));
+    } else if (std::strcmp(Arg, "--producers") == 0 && I + 1 < argc) {
+      FleetProducers = static_cast<unsigned>(
           std::max(1ll, std::strtoll(argv[++I], nullptr, 10)));
     } else if (std::strcmp(Arg, "--help") == 0) {
       printUsage(argv[0]);
@@ -307,15 +316,27 @@ int main(int argc, char **argv) {
       return 1;
     if (FleetShards > 0) {
       // Multi-session replay: every session receives the same trace;
-      // ingest interleaves sessions per event (round-robin), mimicking a
-      // multiplexed feed. Output is the deterministic fleet merge.
+      // each producer thread interleaves its own sessions per event
+      // (round-robin), mimicking a multiplexed feed. Output is the
+      // deterministic fleet merge, invariant in the producer count.
       FleetOptions FOpts;
       FOpts.Shards = FleetShards;
       FOpts.Horizon = Horizon;
+      unsigned Producers = std::min(FleetProducers, FleetSessions);
+      FOpts.MaxProducers = std::max(FOpts.MaxProducers, Producers);
       MonitorFleet Fleet(Plan, FOpts);
-      for (const auto &[Id, Ts, V] : *Events)
-        for (SessionId Session = 0; Session != FleetSessions; ++Session)
-          Fleet.feed(Session, Id, Ts, V);
+      std::vector<std::thread> Threads;
+      Threads.reserve(Producers);
+      for (unsigned P = 0; P != Producers; ++P)
+        Threads.emplace_back([&, P] {
+          ProducerHandle Handle = Fleet.producer();
+          for (const auto &[Id, Ts, V] : *Events)
+            for (SessionId Session = P; Session < FleetSessions;
+                 Session += Producers)
+              Handle.feed(Session, Id, Ts, V);
+        });
+      for (std::thread &T : Threads)
+        T.join();
       Fleet.finish();
       for (const SessionOutputEvent &E : Fleet.takeOutputs())
         std::fprintf(Out, "s%llu| %lld: %s = %s\n",
