@@ -307,17 +307,37 @@ void MonitorFleet::Shard::run(MonitorFleet &F) {
     // available, which linearizes externally synchronized cross-producer
     // hand-offs of one session (see the header).
     for (;;) {
-      unsigned N = F.LaneCount.load(std::memory_order_acquire);
+      // Select the lowest-sequence head batch, re-scanning until the
+      // selection is stable. A single pass is not enough: a lower-seq
+      // batch (e.g. the earlier half of a cross-producer session
+      // hand-off) can become visible mid-scan, after its lane was
+      // already peeked, and popping the higher-seq candidate would feed
+      // the session's later records first. The confirming pass runs
+      // after the acquire load of the candidate's Tail, which orders
+      // every batch pushed-before the candidate, so a selection that
+      // survives a full re-scan is the true minimum of all
+      // already-pushed batches. Seqs are globally unique and this
+      // worker is the sole consumer of its rings, so BestSeq strictly
+      // decreases on every retry and the loop terminates.
       int BestLane = -1;
       uint64_t BestSeq = 0;
-      for (unsigned L = 0; L != N; ++L) {
-        if (LaneClosed[L])
-          continue;
-        std::optional<uint64_t> Seq = F.Lanes[L]->Rings[Index]->peekSeq();
-        if (Seq && (BestLane < 0 || *Seq < BestSeq)) {
-          BestLane = static_cast<int>(L);
-          BestSeq = *Seq;
+      for (;;) {
+        unsigned N = F.LaneCount.load(std::memory_order_acquire);
+        int Lane = -1;
+        uint64_t Seq = 0;
+        for (unsigned L = 0; L != N; ++L) {
+          if (LaneClosed[L])
+            continue;
+          std::optional<uint64_t> S = F.Lanes[L]->Rings[Index]->peekSeq();
+          if (S && (Lane < 0 || *S < Seq)) {
+            Lane = static_cast<int>(L);
+            Seq = *S;
+          }
         }
+        if (Lane == BestLane && (Lane < 0 || Seq == BestSeq))
+          break;
+        BestLane = Lane;
+        BestSeq = Seq;
       }
       if (BestLane < 0)
         break;
@@ -349,14 +369,11 @@ void MonitorFleet::Shard::run(MonitorFleet &F) {
         for (unsigned S = 0; S != NShards; ++S)
           F.bumpSignal(S);
       }
-      bool InboxEmpty;
-      {
+      if (F.DrainedWorkers.load(std::memory_order_acquire) == NShards) {
         std::lock_guard<std::mutex> G(InboxMu);
-        InboxEmpty = Inbox.empty();
+        if (Inbox.empty())
+          break;
       }
-      if (F.DrainedWorkers.load(std::memory_order_acquire) == NShards &&
-          InboxEmpty)
-        break;
     }
 
     if (!Progress) {
