@@ -14,9 +14,14 @@
 /// counts collapse to the same throughput).
 ///
 /// Knobs: --shards and --producers take comma-separated sweep lists,
-/// --sessions the session count; TESSLA_BENCH_SCALE scales events per
-/// session, TESSLA_BENCH_SESSIONS overrides the session count (default
-/// 64), TESSLA_BENCH_REPS the median repetition count.
+/// --sessions the session count; --batched adds the SoA lockstep engine
+/// as a second mode axis, printing batched vs per-session rows at every
+/// configuration (the batched row's speedup column is relative to the
+/// per-session row at the same shard/producer count — on a 1-core box
+/// this isolates the dispatch-amortization win from parallelism).
+/// TESSLA_BENCH_SCALE scales events per session, TESSLA_BENCH_SESSIONS
+/// overrides the session count (default 64), TESSLA_BENCH_REPS the
+/// median repetition count.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -87,19 +92,23 @@ FleetWorkload dbLogWorkload(unsigned Sessions, size_t EventsPerSession) {
 }
 
 /// One timed fleet run: \p Producers ingest threads, each feeding its
-/// modulo-partition of the sessions round-robin (chunks of 64 events
-/// per session, per-session order preserved), then finish.
+/// modulo-partition of the sessions round-robin in chunks of \p Chunk
+/// events per session (per-session order preserved), then finish.
+/// Chunk=1 is fully time-interleaved arrival — every session advances
+/// one event per round, the shape of live traffic from concurrent
+/// sessions; larger chunks model replay from per-session buffers and
+/// hand each session a run of consecutive events.
 double timeFleet(const FleetWorkload &W, const Program &Plan,
-                 unsigned Shards, unsigned Producers,
-                 uint64_t &OutputsOut) {
+                 unsigned Shards, unsigned Producers, FleetMode Mode,
+                 size_t Chunk, uint64_t &OutputsOut) {
   FleetOptions Opts;
   Opts.Shards = Shards;
   Opts.MaxProducers = std::max(16u, Producers);
   Opts.CollectOutputs = false; // throughput only; counters still run
+  Opts.Mode = Mode;
   MonitorFleet Fleet(Plan, Opts);
 
   auto Start = std::chrono::steady_clock::now();
-  const size_t Chunk = 64;
   size_t MaxLen = 0;
   for (const auto &Trace : W.SessionTraces)
     MaxLen = std::max(MaxLen, Trace.size());
@@ -135,17 +144,20 @@ double timeFleet(const FleetWorkload &W, const Program &Plan,
     std::exit(1);
   }
   OutputsOut = Fleet.stats().totalOutputs();
+  if (std::getenv("TESSLA_BENCH_STATS"))
+    std::fprintf(stderr, "%s", Fleet.stats().str().c_str());
   return std::chrono::duration<double>(EndTime - Start).count();
 }
 
 double medianFleet(const FleetWorkload &W, const Program &Plan,
-                   unsigned Shards, unsigned Producers, unsigned Reps,
-                   uint64_t &OutputsOut) {
+                   unsigned Shards, unsigned Producers, FleetMode Mode,
+                   size_t Chunk, unsigned Reps, uint64_t &OutputsOut) {
   std::vector<double> Times;
   uint64_t FirstOutputs = 0;
   for (unsigned I = 0; I != Reps; ++I) {
     uint64_t Outputs = 0;
-    Times.push_back(timeFleet(W, Plan, Shards, Producers, Outputs));
+    Times.push_back(
+        timeFleet(W, Plan, Shards, Producers, Mode, Chunk, Outputs));
     if (I == 0)
       FirstOutputs = Outputs;
     else if (Outputs != FirstOutputs) {
@@ -165,6 +177,8 @@ int main(int argc, char **argv) {
   unsigned Sessions = sessionCount();
   std::vector<unsigned> ShardCounts = {1, 2, 4, 8};
   std::vector<unsigned> ProducerCounts = {1};
+  size_t Chunk = 64;
+  bool Batched = false;
 
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--shards") == 0 && I + 1 < argc)
@@ -173,28 +187,39 @@ int main(int argc, char **argv) {
       ProducerCounts = parseList(argv[++I]);
     else if (std::strcmp(argv[I], "--sessions") == 0 && I + 1 < argc)
       Sessions = std::max(1, std::atoi(argv[++I]));
+    else if (std::strcmp(argv[I], "--batched") == 0)
+      Batched = true;
+    else if (std::strcmp(argv[I], "--chunk") == 0 && I + 1 < argc)
+      Chunk = static_cast<size_t>(std::max(1, std::atoi(argv[++I])));
     else {
       std::fprintf(stderr,
                    "usage: %s [--shards 1,2,4,8] [--producers 1,2] "
-                   "[--sessions N]\n",
+                   "[--sessions N] [--chunk N] [--batched]\n",
                    argv[0]);
       return 2;
     }
   }
+  // Per-session first so each batched row can report its speedup over
+  // the per-session run at the same configuration.
+  std::vector<FleetMode> Modes = {FleetMode::PerSession};
+  if (Batched)
+    Modes.push_back(FleetMode::Batched);
 
   std::printf("Fleet scaling — multi-session throughput vs shard and "
               "producer count (median of %u runs)\n",
               Reps);
-  std::printf("hardware concurrency: %u; sessions: %u\n\n",
-              std::thread::hardware_concurrency(), Sessions);
+  std::printf("hardware concurrency: %u; sessions: %u; ingest chunk: "
+              "%zu\n\n",
+              std::thread::hardware_concurrency(), Sessions, Chunk);
 
   FleetWorkload Workloads[] = {
       seenSetWorkload(Sessions, scaled(5000)),
       dbLogWorkload(Sessions, scaled(5000)),
   };
 
-  std::printf("%-10s %8s %10s %10s %10s %12s %9s\n", "workload", "shards",
-              "producers", "events", "time [s]", "Mev/s", "speedup");
+  std::printf("%-10s %-9s %8s %10s %10s %10s %12s %9s\n", "workload",
+              "mode", "shards", "producers", "events", "time [s]", "Mev/s",
+              "speedup");
   for (FleetWorkload &W : Workloads) {
     // Optimized monitors; the opt-vs-baseline axis is fig9/fig10.
     DiagnosticEngine Diags;
@@ -206,18 +231,40 @@ int main(int argc, char **argv) {
     }
     Program &Plan = *PlanOpt;
     double Base = 0;
+    uint64_t PerSessionOutputs = 0;
     for (unsigned Producers : ProducerCounts) {
       for (unsigned Shards : ShardCounts) {
-        uint64_t Outputs = 0;
-        double Seconds =
-            medianFleet(W, Plan, Shards, Producers, Reps, Outputs);
-        if (Base == 0)
-          Base = Seconds;
-        std::printf("%-10s %8u %10u %10zu %10.4f %12.3f %8.2fx\n",
-                    W.Label, Shards, Producers, W.TotalEvents, Seconds,
-                    static_cast<double>(W.TotalEvents) / Seconds / 1e6,
-                    Base / Seconds);
-        std::fflush(stdout);
+        double PerSessionSeconds = 0;
+        for (FleetMode Mode : Modes) {
+          uint64_t Outputs = 0;
+          double Seconds =
+              medianFleet(W, Plan, Shards, Producers, Mode, Chunk, Reps,
+                          Outputs);
+          double Speedup;
+          if (Mode == FleetMode::PerSession) {
+            if (Base == 0)
+              Base = Seconds;
+            PerSessionSeconds = Seconds;
+            PerSessionOutputs = Outputs;
+            Speedup = Base / Seconds; // vs first per-session config
+          } else {
+            // vs per-session at the same shard/producer count.
+            Speedup = PerSessionSeconds / Seconds;
+            if (Outputs != PerSessionOutputs) {
+              std::fprintf(stderr,
+                           "batched output count diverged from "
+                           "per-session!\n");
+              return 1;
+            }
+          }
+          std::printf("%-10s %-9s %8u %10u %10zu %10.4f %12.3f %8.2fx\n",
+                      W.Label,
+                      Mode == FleetMode::Batched ? "batched" : "per-sess",
+                      Shards, Producers, W.TotalEvents, Seconds,
+                      static_cast<double>(W.TotalEvents) / Seconds / 1e6,
+                      Speedup);
+          std::fflush(stdout);
+        }
       }
     }
   }

@@ -1,0 +1,236 @@
+//===- tessla/Runtime/BatchedMonitor.h - SoA lockstep engine ---*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A same-spec multi-session execution engine: N session *lanes* over one
+/// Program, with all engine state laid out structure-of-arrays — every
+/// value/last/delay slot becomes a per-slot row indexed by lane — and the
+/// calculation section executed as a *lockstep sweep*: each ProgramStep's
+/// opcode is decoded once and applied to every active lane before moving
+/// to the next step. Compared to running one Monitor per session this
+/// amortizes the per-step dispatch over all lanes of a shard and turns
+/// the per-slot state walk into contiguous row traversals (cache-friendly
+/// now, SIMD-able next).
+///
+/// ## Observational identity
+///
+/// The engine is required to be *byte-identical* to running each session
+/// through its own independent Monitor: same outputs, same per-session
+/// emission order, same failure points and messages. Lanes share no
+/// state — a sweep is just a reordering of per-session work that was
+/// already independent — and every feed-time check of Monitor::feed is
+/// re-applied (deferred to the sweep loop) per lane. The differential
+/// corpus harness (tests/Integration/BatchedDifferentialTest.cpp)
+/// enforces this against the per-session engine on random specs, both
+/// optimization levels and both mutability modes.
+///
+/// Lanes advance on *their own* timelines: a sweep runs each active lane
+/// at that lane's next due timestamp (pending input timestamp or delay
+/// firing), so lockstep does not require sessions to share a clock —
+/// only a spec.
+///
+/// ## Usage
+///
+/// \code
+///   BatchedMonitor BM(Prog);
+///   unsigned L = BM.addLane(SessionId);   // sessions may join any time
+///   BM.feed(L, InputId, 3, Value::integer(7));   // buffers
+///   BM.pump();                            // lockstep sweeps
+///   BM.finishAll(Horizon);
+///   for (OutputEvent &E : BM.takeLaneOutputs(L)) ...
+/// \endcode
+///
+/// ## Migration
+///
+/// A lane is migrated between engines (the fleet's work stealing moves
+/// lanes between shards' batched groups) by extractLane()/insertLane():
+/// the LaneState snapshot carries the lane's complete engine state —
+/// slot values and presence, last slots, armed delay timers, the
+/// pending-timestamp cursor, recorded outputs, counters and any
+/// unconsumed buffered records. As with Monitor hand-off, the transfer
+/// must synchronize (release/acquire happens-before the new owner's
+/// first use) and the old owner retains nothing derived from the lane.
+///
+/// Not thread-safe; one instance per shard/thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_RUNTIME_BATCHEDMONITOR_H
+#define TESSLA_RUNTIME_BATCHEDMONITOR_H
+
+#include "tessla/Runtime/Monitor.h"
+#include "tessla/Runtime/TraceIO.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tessla {
+
+class BatchedMonitor {
+public:
+  /// \p CollectOutputs mirrors FleetOptions::CollectOutputs: when false,
+  /// outputs are only counted, never recorded.
+  explicit BatchedMonitor(const Program &Prog, bool CollectOutputs = true);
+
+  /// One buffered input record of a lane (not yet validated/applied; the
+  /// checks of Monitor::feed run when the pump loop consumes it).
+  struct PendingRecord {
+    PendingRecord() = default;
+    PendingRecord(StreamId Input_, Time Ts_, Value V_)
+        : Input(Input_), Ts(Ts_), V(std::move(V_)) {}
+    StreamId Input = 0;
+    Time Ts = 0;
+    Value V;
+  };
+
+  /// A whole lane's engine state, extracted for migration. Opaque except
+  /// to BatchedMonitor; movable across threads under the usual
+  /// synchronized hand-off contract.
+  struct LaneState {
+    SessionId Session = 0;
+    Time PendingTs = 0;
+    bool CalcDone = false;
+    bool Failed = false;
+    std::string Error;
+    uint64_t NumFed = 0;
+    uint64_t NumOutputs = 0;
+    uint64_t NumCalcRuns = 0;
+    std::vector<Value> Cur;       // [numValueSlots()+1]
+    std::vector<char> Present;    // [numValueSlots()+1]
+    std::vector<Value> LastVal;   // [lastSlots()]
+    std::vector<char> LastInit;   // [lastSlots()]
+    std::vector<Time> NextTs;     // [delays()]
+    std::vector<char> NextTsSet;  // [delays()]
+    std::vector<PendingRecord> Queue; // unconsumed buffered records
+    std::vector<OutputEvent> Outputs;
+  };
+
+  /// Adds a fresh lane for \p Session (identical to constructing a new
+  /// Monitor: its timestamp-0 calculation runs before its first event's
+  /// timestamp). Lanes of extracted sessions are reused. Returns the
+  /// lane index, stable until extractLane().
+  unsigned addLane(SessionId Session);
+
+  /// Buffers one input record for \p Lane. Validation (timestamp order,
+  /// duplicate events, negative timestamps) is deferred to pump(), where
+  /// it fails the lane exactly like Monitor::feed would. \returns false
+  /// if the lane already failed or the engine is finished.
+  bool feed(unsigned Lane, StreamId Input, Time Ts, Value V);
+
+  /// Runs lockstep sweeps until every lane has consumed its buffered
+  /// records (a lane mid-timestamp keeps its partial state buffered,
+  /// like a Monitor between feeds).
+  void pump();
+
+  /// End of input for every lane (Monitor::finish semantics, shared
+  /// \p Horizon): pending timestamps run, armed delays drain — in
+  /// lockstep across lanes until no lane has work left.
+  void finishAll(std::optional<Time> Horizon = std::nullopt);
+
+  /// Extracts \p Lane for migration and frees its index for reuse.
+  LaneState extractLane(unsigned Lane);
+  /// Inserts a migrated lane; returns its new lane index.
+  unsigned insertLane(LaneState State);
+
+  // --- Per-lane observers (valid for live lanes). ---
+  SessionId laneSession(unsigned Lane) const { return Session[Lane]; }
+  bool laneFailed(unsigned Lane) const { return Failed[Lane] != 0; }
+  const std::string &laneError(unsigned Lane) const { return ErrMsg[Lane]; }
+  /// Accepted input records (the fleet's steal heuristic).
+  uint64_t laneInputEvents(unsigned Lane) const { return NumFed[Lane]; }
+  uint64_t laneOutputEvents(unsigned Lane) const { return NumOutputs[Lane]; }
+  /// True when the lane has no unconsumed buffered records (always true
+  /// after pump(); donation only migrates idle lanes).
+  bool laneIdle(unsigned Lane) const {
+    return QueuePos[Lane] == Queue[Lane].size();
+  }
+  /// Moves out the lane's recorded outputs (emission order).
+  std::vector<OutputEvent> takeLaneOutputs(unsigned Lane) {
+    return std::move(Outputs[Lane]);
+  }
+
+  /// Live lanes.
+  size_t laneCount() const { return NumLive; }
+  /// Lockstep sweeps executed (each replaces `active lanes` many
+  /// per-session calculation runs).
+  uint64_t sweeps() const { return NumSweeps; }
+
+private:
+  /// Sweep strip-mining width: pump()/finishAll() drain lanes in tiles
+  /// of this many, each tile swept to completion before the next. Wide
+  /// enough to amortize the per-step opcode dispatch, small enough that
+  /// a tile's working set — its engine rows plus the hot paths of the
+  /// aggregates its lanes carry — stays cache-resident across all of
+  /// the tile's sweeps. The aggregates dominate that budget (a lane's
+  /// set/map/queue is touched once per sweep), which is why the best
+  /// width is much smaller than what the row arrays alone would allow;
+  /// one maximal sweep over a thousand lanes reloads every lane's
+  /// aggregate path from L2/DRAM on every step.
+  static constexpr size_t TileLanes = 8;
+
+  const Program &Prog;
+  const bool CollectOutputs;
+  const uint32_t NumSlots;   // numValueSlots() + 1 (dead slot included)
+  size_t LaneCap = 0;        // row stride of the SoA arrays
+  unsigned NumLanes = 0;     // high-water lane count (Live[] gates reuse)
+  size_t NumLive = 0;
+  bool EngineFinished = false;
+  bool AnyFailed = false; // fast path: skip per-lane Failed checks
+  uint64_t NumSweeps = 0;
+
+  // SoA engine state: index = Slot * LaneCap + Lane, so one step's sweep
+  // walks contiguous rows.
+  std::vector<Value> Cur;      // [NumSlots  x LaneCap]
+  std::vector<char> Present;   // [NumSlots  x LaneCap]
+  std::vector<Value> LastVal;  // [lastSlots x LaneCap]
+  std::vector<char> LastInit;  // [lastSlots x LaneCap]
+  std::vector<Time> NextTs;    // [delays    x LaneCap]
+  std::vector<char> NextTsSet; // [delays    x LaneCap]
+
+  // Per-lane control state (plain per-lane vectors).
+  std::vector<SessionId> Session;
+  std::vector<char> Live;
+  std::vector<char> Failed;
+  std::vector<char> CalcDone;
+  std::vector<char> FinishedL;
+  std::vector<Time> PendingTs;
+  std::vector<Time> RunTs; // the timestamp the current sweep runs at
+  std::vector<std::string> ErrMsg;
+  std::vector<uint64_t> NumFed;
+  std::vector<uint64_t> NumOutputs;
+  std::vector<uint64_t> NumCalcRuns;
+  std::vector<std::vector<PendingRecord>> Queue;
+  std::vector<size_t> QueuePos;
+  std::vector<std::vector<SlotId>> Touched;
+  std::vector<std::vector<OutputEvent>> Outputs;
+
+  std::vector<uint32_t> FreeLanes;
+  std::vector<uint32_t> Active; // lanes of the current sweep
+  // Worklist of lanes with unconsumed buffered records: pump() is
+  // O(dirty lanes), not O(all lanes) — feeding 4 sessions of a
+  // 1000-lane group must not scan the other 996.
+  std::vector<uint32_t> DirtyLanes;
+  std::vector<char> InDirty;
+
+  size_t idx(SlotId Slot, uint32_t Lane) const {
+    return static_cast<size_t>(Slot) * LaneCap + Lane;
+  }
+  void setLane(SlotId Slot, uint32_t Lane, Value V);
+  void growLanes(size_t NewCap);
+  unsigned allocLane(SessionId Id);
+  void clearLaneRows(uint32_t Lane);
+  bool prepareLane(uint32_t Lane);
+  std::optional<Time> minNextDelay(uint32_t Lane) const;
+  void sweep();
+  void failLaneAt(uint32_t Lane, Time Ts, StreamId Id,
+                  const std::string &Message);
+  void failLane(uint32_t Lane, std::string Message);
+};
+
+} // namespace tessla
+
+#endif // TESSLA_RUNTIME_BATCHEDMONITOR_H

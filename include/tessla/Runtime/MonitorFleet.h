@@ -7,12 +7,19 @@
 /// \file
 /// A multi-session monitor runtime: one Program served to many
 /// concurrent trace sessions across N worker shards. Each session runs
-/// its own independent Monitor on exactly one worker thread at a time,
-/// so everything the single-session engine relies on for speed —
-/// non-atomic RefCntPtr spines, destructively updated mutable
-/// aggregates — stays strictly single-threaded per session. No monitor
-/// state is ever shared between threads; sessions move between threads
-/// only through synchronized whole-object hand-offs (work stealing).
+/// on exactly one worker thread at a time, so everything the
+/// single-session engine relies on for speed — non-atomic RefCntPtr
+/// spines, destructively updated mutable aggregates — stays strictly
+/// single-threaded per session. No session state is ever shared between
+/// threads; sessions move between threads only through synchronized
+/// whole-object hand-offs (work stealing).
+///
+/// Within a shard, FleetOptions::Mode picks the execution engine: one
+/// independent Monitor per session (PerSession), or one SoA
+/// BatchedMonitor per shard whose lanes are the shard's sessions
+/// (Batched; the default via Auto, since a fleet serves exactly one
+/// Program). Both produce byte-identical output; the batched engine
+/// amortizes opcode dispatch across all lanes of a shard.
 ///
 /// ## Ingestion: producer handles (multi-producer fan-in)
 ///
@@ -103,6 +110,22 @@ namespace tessla {
 
 class MonitorFleet;
 
+/// How the shards execute their sessions.
+enum class FleetMode : uint8_t {
+  /// Pick automatically. A fleet serves exactly one Program, so every
+  /// session shares a spec and Auto resolves to Batched.
+  Auto,
+  /// One independent Monitor per session (the original path; kept for
+  /// heterogeneous fleets and as the differential reference).
+  PerSession,
+  /// One BatchedMonitor per shard: sessions become SoA lanes and every
+  /// Program step sweeps all active lanes in lockstep (see
+  /// Runtime/BatchedMonitor.h). Byte-identical outputs, amortized
+  /// dispatch. Work stealing migrates whole lanes between the shards'
+  /// batched groups.
+  Batched,
+};
+
 /// Fleet construction knobs.
 struct FleetOptions {
   /// Worker shards (threads). 0 is clamped to 1.
@@ -129,6 +152,8 @@ struct FleetOptions {
   /// Record per-session outputs (deep-copied) for takeOutputs(). Turn
   /// off for throughput benchmarks that only need the counters.
   bool CollectOutputs = true;
+  /// Execution engine selection (see FleetMode).
+  FleetMode Mode = FleetMode::Auto;
 };
 
 /// Counters of one worker shard (written by the worker, read after
@@ -143,6 +168,7 @@ struct ShardStats {
   uint64_t SessionsStolenIn = 0; ///< sessions migrated onto this shard
   uint64_t SessionsStolenOut = 0; ///< sessions donated to idle peers
   uint64_t RecordsForwarded = 0; ///< records relayed to a session's thief
+  uint64_t LockstepSweeps = 0;   ///< batched mode: lockstep sweeps run
 };
 
 /// Aggregated observability report for one fleet run.
@@ -270,6 +296,9 @@ public:
 
   unsigned shardCount() const { return static_cast<unsigned>(Workers.size()); }
 
+  /// The resolved execution mode (never Auto).
+  FleetMode mode() const { return Mode; }
+
   /// The shard a session's records are ingested through (its *home*
   /// shard): hash(session) % shards, with a bit-mixing hash so
   /// sequential ids spread evenly. Work stealing may execute the
@@ -284,6 +313,7 @@ private:
 
   const Program &Prog;
   FleetOptions Opts;
+  FleetMode Mode = FleetMode::PerSession; // resolved, never Auto
   std::vector<std::unique_ptr<Shard>> Workers;
 
   // Producer fan-in: preallocated lane slots (no reallocation, so

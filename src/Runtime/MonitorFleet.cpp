@@ -6,11 +6,13 @@
 
 #include "tessla/Runtime/MonitorFleet.h"
 
+#include "tessla/Runtime/BatchedMonitor.h"
 #include "tessla/Support/Format.h"
 
 #include <algorithm>
 #include <cassert>
 #include <deque>
+#include <unordered_map>
 
 using namespace tessla;
 
@@ -106,19 +108,32 @@ struct MonitorFleet::Shard {
   explicit Shard(unsigned Idx) : Index(Idx) {}
 
   struct SessionState {
-    std::unique_ptr<Monitor> M;
+    std::unique_ptr<Monitor> M; // per-session mode only
     // Behind a unique_ptr so the address stays stable across migration:
     // the monitor's output handler captures it.
     std::unique_ptr<std::vector<OutputEvent>> Outputs;
     bool StolenIn = false;
+    // Final session verdict, filled when the worker retires the session
+    // (both modes), so errors()/takeOutputs() never reach through M —
+    // batched sessions have none.
+    bool Failed = false;
+    std::string Error;
   };
 
-  /// One migration-inbox message: a whole-session hand-off (State set)
-  /// or records forwarded by a stolen session's home shard.
+  /// Batched mode: where a session lives inside this shard's group.
+  struct LaneRef {
+    unsigned Lane = 0;
+    bool StolenIn = false;
+  };
+
+  /// One migration-inbox message: a whole-session hand-off (State in
+  /// per-session mode, Lane in batched mode) or records forwarded by a
+  /// stolen session's home shard.
   struct InboxMsg {
     SessionId Session = 0;
     std::unique_ptr<SessionState> State;
     EventBatch Records;
+    std::unique_ptr<BatchedMonitor::LaneState> Lane;
   };
 
   const unsigned Index;
@@ -141,6 +156,14 @@ struct MonitorFleet::Shard {
   std::map<SessionId, SessionState> Sessions;
   std::map<SessionId, unsigned> ForwardTo; // stolen session -> thief
   std::map<unsigned, EventBatch> ForwardBuf;
+  // Batched mode: the shard's lockstep group and its session -> lane
+  // map. Created by the worker thread at run() start; at run() exit the
+  // lanes are retired into Sessions so reporting is mode-agnostic.
+  // Unordered on purpose: the map is hit once per record, and the only
+  // iterations are donation (tie-breaks are timing-dependent anyway)
+  // and retirement, which re-orders through the Sessions map.
+  std::unique_ptr<BatchedMonitor> Group;
+  std::unordered_map<SessionId, LaneRef> LaneOf;
   ShardStats Stats;
 
   void run(MonitorFleet &F);
@@ -159,6 +182,15 @@ void MonitorFleet::Shard::routeRecord(MonitorFleet &F, EventRecord &R) {
     // home and its single forwarder, so relative record order survives.
     ForwardBuf[Fw->second].Records.push_back(std::move(R));
     ++Stats.RecordsForwarded;
+    return;
+  }
+  if (Group) {
+    auto [It, New] = LaneOf.try_emplace(R.Session, LaneRef{});
+    if (New)
+      It->second.Lane = Group->addLane(R.Session);
+    ++Stats.EventsProcessed;
+    if (!Group->laneFailed(It->second.Lane))
+      Group->feed(It->second.Lane, R.Input, R.Ts, std::move(R.V));
     return;
   }
   SessionState &SS = Sessions[R.Session];
@@ -184,6 +216,10 @@ void MonitorFleet::Shard::processBatch(MonitorFleet &F, EventBatch &B) {
   ++Stats.BatchesDrained;
   for (EventRecord &R : B.Records)
     routeRecord(F, R);
+  // Batched mode only buffers here: the pump runs once the ring merge
+  // loop has drained every immediately available batch, so one lockstep
+  // sweep covers all sessions with work — the wider the sweep, the more
+  // dispatch it amortizes.
   flushForwards(F);
   QueueDepth.fetch_sub(static_cast<int64_t>(B.Records.size()),
                        std::memory_order_relaxed);
@@ -198,7 +234,7 @@ void MonitorFleet::Shard::flushForwards(MonitorFleet &F) {
                            std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> G(T.InboxMu);
-      T.Inbox.push_back({0, nullptr, std::move(FB)});
+      T.Inbox.push_back({0, nullptr, std::move(FB), nullptr});
     }
     F.bumpSignal(T.Index);
     FB = EventBatch();
@@ -217,7 +253,13 @@ bool MonitorFleet::Shard::drainInbox(MonitorFleet &F) {
       Inbox.pop_front();
     }
     Progress = true;
-    if (Msg.State) {
+    if (Msg.Lane) {
+      // Whole-lane hand-off (batched mode). The FIFO inbox guarantees
+      // it precedes any records the home shard forwards afterwards.
+      ++Stats.SessionsStolenIn;
+      LaneOf[Msg.Session] = {Group->insertLane(std::move(*Msg.Lane)),
+                             /*StolenIn=*/true};
+    } else if (Msg.State) {
       // Whole-session hand-off. The FIFO inbox guarantees it precedes
       // any records the home shard forwards afterwards.
       ++Stats.SessionsStolenIn;
@@ -250,28 +292,57 @@ void MonitorFleet::Shard::maybeDonate(MonitorFleet &F) {
     return;
   // Donate the hottest home-owned session: past volume is the best
   // available predictor of future volume under skew.
-  auto Best = Sessions.end();
-  uint64_t BestEvents = 0;
-  for (auto It = Sessions.begin(); It != Sessions.end(); ++It) {
-    SessionState &SS = It->second;
-    if (SS.StolenIn || SS.M->failed())
-      continue;
-    uint64_t E = SS.M->inputEvents();
-    if (Best == Sessions.end() || E > BestEvents) {
-      Best = It;
-      BestEvents = E;
+  SessionId Id = 0;
+  std::unique_ptr<SessionState> State;
+  std::unique_ptr<BatchedMonitor::LaneState> Lane;
+  if (Group) {
+    // Donation may run mid-merge-loop, before the boundary pump; consume
+    // buffered lane records first so the donated LaneState is complete
+    // (extractLane requires an idle lane).
+    Group->pump();
+    auto Best = LaneOf.end();
+    uint64_t BestEvents = 0;
+    for (auto It = LaneOf.begin(); It != LaneOf.end(); ++It) {
+      const LaneRef &LR = It->second;
+      if (LR.StolenIn || Group->laneFailed(LR.Lane) ||
+          !Group->laneIdle(LR.Lane))
+        continue;
+      uint64_t E = Group->laneInputEvents(LR.Lane);
+      if (Best == LaneOf.end() || E > BestEvents) {
+        Best = It;
+        BestEvents = E;
+      }
     }
+    if (Best == LaneOf.end())
+      return;
+    Id = Best->first;
+    Lane = std::make_unique<BatchedMonitor::LaneState>(
+        Group->extractLane(Best->second.Lane));
+    LaneOf.erase(Best);
+  } else {
+    auto Best = Sessions.end();
+    uint64_t BestEvents = 0;
+    for (auto It = Sessions.begin(); It != Sessions.end(); ++It) {
+      SessionState &SS = It->second;
+      if (SS.StolenIn || SS.M->failed())
+        continue;
+      uint64_t E = SS.M->inputEvents();
+      if (Best == Sessions.end() || E > BestEvents) {
+        Best = It;
+        BestEvents = E;
+      }
+    }
+    if (Best == Sessions.end())
+      return;
+    Id = Best->first;
+    State = std::make_unique<SessionState>(std::move(Best->second));
+    Sessions.erase(Best);
   }
-  if (Best == Sessions.end())
-    return;
-  SessionId Id = Best->first;
-  auto State = std::make_unique<SessionState>(std::move(Best->second));
-  Sessions.erase(Best);
   ForwardTo[Id] = static_cast<unsigned>(Thief);
   ++Stats.SessionsStolenOut;
   {
     std::lock_guard<std::mutex> G(T.InboxMu);
-    T.Inbox.push_back({Id, std::move(State), EventBatch()});
+    T.Inbox.push_back({Id, std::move(State), EventBatch(), std::move(Lane)});
   }
   F.bumpSignal(T.Index);
   StealRequest.store(-1, std::memory_order_relaxed);
@@ -293,6 +364,8 @@ void MonitorFleet::Shard::postStealRequests(MonitorFleet &F) {
 
 void MonitorFleet::Shard::run(MonitorFleet &F) {
   const unsigned NShards = static_cast<unsigned>(F.Workers.size());
+  if (F.Mode == FleetMode::Batched)
+    Group = std::make_unique<BatchedMonitor>(F.Prog, F.Opts.CollectOutputs);
   std::vector<char> LaneClosed(F.Opts.MaxProducers, 0);
   unsigned ClosedLanes = 0;
   bool Announced = false;
@@ -356,6 +429,12 @@ void MonitorFleet::Shard::run(MonitorFleet &F) {
       maybeDonate(F);
     }
 
+    // Batch boundary: every immediately available batch (and forwarded
+    // record) has been routed into lane queues; one wide lockstep pump
+    // executes them all. O(dirty lanes) — free when nothing arrived.
+    if (Group)
+      Group->pump();
+
     if (F.Finishing.load(std::memory_order_acquire) &&
         ClosedLanes == F.LaneCount.load(std::memory_order_acquire)) {
       // All producer input drained here. Announce it; once every worker
@@ -384,13 +463,38 @@ void MonitorFleet::Shard::run(MonitorFleet &F) {
     }
   }
 
-  for (auto &[Id, SS] : Sessions) {
-    SS.M->finish(F.Opts.Horizon);
-    Stats.OutputsEmitted += SS.M->outputEvents();
-    if (SS.M->failed())
-      ++Stats.FailedSessions;
+  if (Group) {
+    // Retire every lane into a mode-agnostic SessionState so
+    // errors()/takeOutputs() read one representation.
+    Group->finishAll(F.Opts.Horizon);
+    Stats.LockstepSweeps = Group->sweeps();
+    for (auto &[Id, LR] : LaneOf) {
+      SessionState SS;
+      SS.StolenIn = LR.StolenIn;
+      SS.Failed = Group->laneFailed(LR.Lane);
+      if (SS.Failed) {
+        SS.Error = Group->laneError(LR.Lane);
+        ++Stats.FailedSessions;
+      }
+      if (F.Opts.CollectOutputs)
+        SS.Outputs = std::make_unique<std::vector<OutputEvent>>(
+            Group->takeLaneOutputs(LR.Lane));
+      Stats.OutputsEmitted += Group->laneOutputEvents(LR.Lane);
+      Sessions.emplace(Id, std::move(SS));
+    }
+    Stats.Sessions = LaneOf.size();
+  } else {
+    for (auto &[Id, SS] : Sessions) {
+      SS.M->finish(F.Opts.Horizon);
+      Stats.OutputsEmitted += SS.M->outputEvents();
+      SS.Failed = SS.M->failed();
+      if (SS.Failed) {
+        SS.Error = SS.M->errorMessage();
+        ++Stats.FailedSessions;
+      }
+    }
+    Stats.Sessions = Sessions.size();
   }
-  Stats.Sessions = Sessions.size();
   // QueueHighWater is producer-side state; finish() fills it in after
   // the join (reading it here would race with the last push).
 }
@@ -432,6 +536,9 @@ MonitorFleet::MonitorFleet(const Program &Prog_, FleetOptions Opts_)
     Opts.MaxProducers = 1;
   if (Opts.StealBacklog == 0)
     Opts.StealBacklog = 4 * Opts.BatchSize;
+  // A fleet serves exactly one Program, so every session shares a spec
+  // and Auto always resolves to the batched engine.
+  Mode = Opts.Mode == FleetMode::Auto ? FleetMode::Batched : Opts.Mode;
   Lanes.resize(Opts.MaxProducers);
   Workers.reserve(Opts.Shards);
   for (unsigned I = 0; I != Opts.Shards; ++I)
@@ -574,8 +681,8 @@ std::vector<SessionError> MonitorFleet::errors() const {
   std::map<SessionId, std::string> Sorted;
   for (const auto &W : Workers)
     for (const auto &[Id, SS] : W->Sessions)
-      if (SS.M->failed())
-        Sorted[Id] = SS.M->errorMessage();
+      if (SS.Failed)
+        Sorted[Id] = SS.Error;
   std::vector<SessionError> Result;
   Result.reserve(Sorted.size());
   for (auto &[Id, Msg] : Sorted)
@@ -656,7 +763,7 @@ std::string FleetStats::str() const {
     Out += formatString(
         "  shard %zu: sessions=%llu events=%llu batches=%llu "
         "queue-high-water=%llu outputs=%llu failed=%llu "
-        "stolen-in=%llu stolen-out=%llu forwarded=%llu\n",
+        "stolen-in=%llu stolen-out=%llu forwarded=%llu sweeps=%llu\n",
         I, static_cast<unsigned long long>(S.Sessions),
         static_cast<unsigned long long>(S.EventsProcessed),
         static_cast<unsigned long long>(S.BatchesDrained),
@@ -665,7 +772,8 @@ std::string FleetStats::str() const {
         static_cast<unsigned long long>(S.FailedSessions),
         static_cast<unsigned long long>(S.SessionsStolenIn),
         static_cast<unsigned long long>(S.SessionsStolenOut),
-        static_cast<unsigned long long>(S.RecordsForwarded));
+        static_cast<unsigned long long>(S.RecordsForwarded),
+        static_cast<unsigned long long>(S.LockstepSweeps));
   }
   return Out;
 }

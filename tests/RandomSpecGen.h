@@ -13,18 +13,34 @@
 /// timestamp universe is the input timestamps) and the fleet determinism
 /// suite (fleet vs sequential engine).
 ///
+/// Also hosts the *corpus driver*: seed and spec count of a randomized
+/// corpus are overridable through TESSLA_CORPUS_SEED /
+/// TESSLA_CORPUS_SPECS (so CI can widen a sweep and a developer can
+/// replay one seed), and minimizeAndReport() shrinks a failing
+/// (spec, trace) pair — source-line delta debugging on the printed spec,
+/// prefix bisection plus greedy chunk removal on the trace — then writes
+/// the minimized pair next to the test and renders a standalone tesslac
+/// repro command.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TESSLA_TESTS_RANDOMSPECGEN_H
 #define TESSLA_TESTS_RANDOMSPECGEN_H
 
 #include "tessla/Lang/Builder.h"
+#include "tessla/Lang/Parser.h"
+#include "tessla/Lang/PrintSource.h"
 #include "tessla/Lang/TypeCheck.h"
 #include "tessla/Runtime/TraceIO.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
 #include <random>
+#include <sstream>
 
 namespace tessla {
 namespace testrandom {
@@ -214,6 +230,217 @@ inline std::vector<TraceEvent> randomSpecTrace(const Spec &S, size_t Count,
                         Value::integer(static_cast<int64_t>(Rng() % 50)));
   }
   return Events;
+}
+
+// --- Corpus driver --------------------------------------------------------
+
+/// First generator seed of the corpus (TESSLA_CORPUS_SEED, default 1).
+inline uint64_t corpusSeed() {
+  if (const char *Env = std::getenv("TESSLA_CORPUS_SEED"))
+    return std::strtoull(Env, nullptr, 10);
+  return 1;
+}
+
+/// Number of random specs in the corpus (TESSLA_CORPUS_SPECS, default
+/// \p Default). Seeds run corpusSeed() .. corpusSeed()+N-1.
+inline size_t corpusSpecs(size_t Default) {
+  if (const char *Env = std::getenv("TESSLA_CORPUS_SPECS"))
+    if (long N = std::strtol(Env, nullptr, 10); N > 0)
+      return static_cast<size_t>(N);
+  return Default;
+}
+
+/// One corpus input record. Streams are referenced *by name*, not id:
+/// the minimizer reparses shrunken spec sources, which renumbers ids.
+struct CorpusRecord {
+  SessionId Session = 0;
+  std::string Input;
+  Time Ts = 0;
+  Value V;
+};
+
+/// True while the failure still reproduces on (spec, records). Records
+/// naming streams the shrunken spec no longer declares are dropped
+/// before the call.
+using CorpusPredicate =
+    std::function<bool(const Spec &, const std::vector<CorpusRecord> &)>;
+
+/// Identifies the failing corpus configuration for the repro command.
+struct CorpusFailure {
+  uint64_t Seed = 0;      ///< generator seed of the failing spec
+  bool Baseline = false;  ///< mutability optimization disabled?
+  unsigned OptLevel = 0;  ///< program optimization level (-O0/-O1)
+  const char *TestBinary = "the failing test binary";
+};
+
+namespace corpusdetail {
+
+inline std::optional<Spec> parseValidSpec(const std::string &Source) {
+  DiagnosticEngine PDiags;
+  auto S = parseSpec(Source, PDiags);
+  if (!S)
+    return std::nullopt;
+  DiagnosticEngine TDiags;
+  if (!typecheck(*S, TDiags))
+    return std::nullopt;
+  if (S->inputs().empty() || S->outputs().empty())
+    return std::nullopt; // vacuous candidate; keep shrinking elsewhere
+  return S;
+}
+
+inline std::vector<CorpusRecord>
+liveRecords(const Spec &S, const std::vector<CorpusRecord> &Records) {
+  std::vector<CorpusRecord> Out;
+  Out.reserve(Records.size());
+  for (const CorpusRecord &R : Records) {
+    std::optional<StreamId> Id = S.lookup(R.Input);
+    if (Id && S.stream(*Id).Kind == StreamKind::Input)
+      Out.push_back(R);
+  }
+  return Out;
+}
+
+inline std::string renderTrace(const std::vector<CorpusRecord> &Records) {
+  std::ostringstream Out;
+  for (const CorpusRecord &R : Records)
+    Out << static_cast<long long>(R.Ts) << ": " << R.Input << " = "
+        << R.V.str() << "\n";
+  return Out.str();
+}
+
+} // namespace corpusdetail
+
+/// Shrinks a failing (spec, records) pair while \p Fails keeps holding,
+/// writes the minimized spec + per-session traces to temp files and
+/// returns a human-readable report ending in a standalone tesslac repro
+/// command (exact for a single surviving session: tesslac replays one
+/// trace per session). Call as ADD_FAILURE() << minimizeAndReport(...).
+inline std::string minimizeAndReport(const Spec &Original,
+                                     std::vector<CorpusRecord> Records,
+                                     const CorpusPredicate &Fails,
+                                     const CorpusFailure &Info) {
+  using namespace corpusdetail;
+  // The shrink loops re-run the full differential comparison per
+  // candidate; bound the total work so a pathological failure still
+  // reports in reasonable time.
+  size_t Budget = 250;
+  auto StillFails = [&](const Spec &S,
+                        const std::vector<CorpusRecord> &R) {
+    if (Budget == 0)
+      return false;
+    --Budget;
+    return Fails(S, liveRecords(S, R));
+  };
+
+  std::ostringstream Report;
+  Spec S = Original;
+  if (!StillFails(S, Records)) {
+    Report << "failure did not reproduce on re-run (timing-dependent?); "
+              "skipping minimization.\n";
+  } else {
+    // 1. Spec shrink: delta-debug the printed source line by line. A
+    // candidate must reparse and typecheck (removing a referenced def
+    // fails the parse and is skipped automatically).
+    std::vector<std::string> Lines;
+    {
+      std::istringstream In(printSpecSource(S));
+      for (std::string Line; std::getline(In, Line);)
+        if (!Line.empty())
+          Lines.push_back(Line);
+    }
+    bool Shrunk = true;
+    while (Shrunk && Budget) {
+      Shrunk = false;
+      for (size_t I = Lines.size(); I-- && Budget;) {
+        std::vector<std::string> Candidate;
+        Candidate.reserve(Lines.size() - 1);
+        for (size_t J = 0; J != Lines.size(); ++J)
+          if (J != I)
+            Candidate.push_back(Lines[J]);
+        std::string Src;
+        for (const std::string &L : Candidate)
+          Src += L + "\n";
+        std::optional<Spec> C = parseValidSpec(Src);
+        if (!C || !StillFails(*C, Records))
+          continue;
+        Lines = std::move(Candidate);
+        S = std::move(*C);
+        Shrunk = true;
+      }
+    }
+    Records = liveRecords(S, Records);
+
+    // 2. Trace shrink: prefix bisection first (cheap halving), then
+    // greedy chunk removal down to single records.
+    while (Records.size() > 1 && Budget) {
+      std::vector<CorpusRecord> Half(Records.begin(),
+                                     Records.begin() + Records.size() / 2);
+      if (!StillFails(S, Half))
+        break;
+      Records = std::move(Half);
+    }
+    for (size_t Chunk = std::max<size_t>(Records.size() / 2, 1);
+         Chunk >= 1 && Budget; Chunk /= 2) {
+      for (size_t Start = 0; Start < Records.size() && Budget;) {
+        std::vector<CorpusRecord> Candidate;
+        Candidate.reserve(Records.size());
+        for (size_t I = 0; I != Records.size(); ++I)
+          if (I < Start || I >= Start + Chunk)
+            Candidate.push_back(Records[I]);
+        if (Candidate.size() < Records.size() &&
+            StillFails(S, Candidate))
+          Records = std::move(Candidate);
+        else
+          Start += Chunk;
+      }
+      if (Chunk == 1)
+        break;
+    }
+  }
+
+  // 3. Write the (possibly unshrunken) repro pair and render commands.
+  const char *Tmp = std::getenv("TMPDIR");
+  std::string Dir = Tmp && *Tmp ? Tmp : "/tmp";
+  std::string Stem =
+      Dir + "/batched_corpus_seed" + std::to_string(Info.Seed);
+  std::string SpecPath = Stem + ".tessla";
+  std::ofstream(SpecPath) << printSpecSource(S);
+
+  std::vector<SessionId> Sessions;
+  for (const CorpusRecord &R : Records)
+    if (std::find(Sessions.begin(), Sessions.end(), R.Session) ==
+        Sessions.end())
+      Sessions.push_back(R.Session);
+
+  Report << "minimized spec (" << S.numStreams() << " streams, "
+         << Records.size() << " records over " << Sessions.size()
+         << " session(s)): " << SpecPath << "\n";
+  const char *OptFlag = Info.OptLevel ? "-O1" : "-O0";
+  std::string BaseFlag = Info.Baseline ? " --baseline" : "";
+  for (SessionId Session : Sessions) {
+    std::vector<CorpusRecord> Of;
+    for (const CorpusRecord &R : Records)
+      if (R.Session == Session)
+        Of.push_back(R);
+    std::string TracePath =
+        Stem + "_s" + std::to_string(Session) + ".txt";
+    std::ofstream(TracePath) << renderTrace(Of);
+    Report << "repro (session " << Session << "; diff the two engines):\n"
+           << "  tesslac " << SpecPath << " " << OptFlag << BaseFlag
+           << " --run " << TracePath << " --fleet 4 --batched\n"
+           << "  tesslac " << SpecPath << " " << OptFlag << BaseFlag
+           << " --run " << TracePath << " --fleet 4 --per-session\n";
+  }
+  if (Sessions.size() > 1)
+    Report << "note: " << Sessions.size()
+           << " sessions survived minimization; the one-command repro "
+              "replays each session's trace separately, which may lose a "
+              "cross-session interleaving. Full repro:\n";
+  else
+    Report << "gtest repro:\n";
+  Report << "  TESSLA_CORPUS_SEED=" << Info.Seed
+         << " TESSLA_CORPUS_SPECS=1 " << Info.TestBinary << "\n";
+  return Report.str();
 }
 
 } // namespace testrandom

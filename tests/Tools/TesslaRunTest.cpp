@@ -122,6 +122,16 @@ TEST(TesslaRunTest, FleetReplayParity) {
                        std::string("--fleet ") + Shards + " --sessions 4");
 }
 
+TEST(TesslaRunTest, FleetEngineFlagsParity) {
+  // The execution-engine flags ride the bundle path too: a loaded
+  // Program must replay byte-identically under both engines.
+  std::string Trace = tempPath("run_fleet_engine_trace.txt");
+  writeFile(Trace, intTrace("x", 20));
+  for (const char *Engine : {"--batched", "--per-session"})
+    expectBundleParity(specsDir() + "/seen_set.tessla", Trace,
+                       std::string("--fleet 2 --sessions 4 ") + Engine);
+}
+
 TEST(TesslaRunTest, PlanPrintsLoadedProgram) {
   std::string Bundle = tempPath("run_plan.tpb");
   auto [RcEmit, OutEmit] =

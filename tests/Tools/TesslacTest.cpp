@@ -159,6 +159,23 @@ TEST(TesslacTest, FleetReplayMatchesSequentialPerSession) {
   }
 }
 
+TEST(TesslacTest, FleetEngineFlagsAreByteIdentical) {
+  // --batched (the default via Auto) and --per-session must both be
+  // accepted and produce byte-identical replay output.
+  std::string TracePath = tempPath("seen_trace_engine.txt");
+  writeFile(TracePath, "1: x = 5\n2: x = 5\n3: x = 6\n4: x = 5\n");
+  std::string Base =
+      specFile() + " --run " + TracePath + " --fleet 2 --sessions 4";
+  auto [RcDefault, OutDefault] = runTool(Base);
+  ASSERT_EQ(RcDefault, 0);
+  ASSERT_FALSE(OutDefault.empty()) << "vacuous comparison";
+  for (const char *Engine : {" --batched", " --per-session"}) {
+    auto [Rc, Out] = runTool(Base + Engine);
+    EXPECT_EQ(Rc, 0) << Engine;
+    EXPECT_EQ(Out, OutDefault) << Engine;
+  }
+}
+
 TEST(TesslacTest, OptimizedPlanShowsFusedSteps) {
   auto [Rc, Out] = runTool(specFile() + " --emit=plan -O1");
   EXPECT_EQ(Rc, 0);

@@ -58,6 +58,10 @@ void printUsage(const char *Argv0) {
       "  --producers <p>                   fleet producer threads; the\n"
       "                                    sessions are partitioned over\n"
       "                                    them (default 1)\n"
+      "  --batched | --per-session         fleet execution engine: SoA\n"
+      "                                    lockstep lanes vs one Monitor\n"
+      "                                    per session (default batched;\n"
+      "                                    outputs are byte-identical)\n"
       "  --plan                            print the loaded program\n"
       "                                    instead of executing\n",
       Argv0);
@@ -88,6 +92,7 @@ int main(int argc, char **argv) {
   unsigned FleetShards = 0; // 0 = single-session sequential replay
   unsigned FleetSessions = 1;
   unsigned FleetProducers = 1;
+  FleetMode Mode = FleetMode::Auto;
 
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
@@ -104,6 +109,10 @@ int main(int argc, char **argv) {
     } else if (std::strcmp(Arg, "--producers") == 0 && I + 1 < argc) {
       FleetProducers = static_cast<unsigned>(
           std::max(1ll, std::strtoll(argv[++I], nullptr, 10)));
+    } else if (std::strcmp(Arg, "--batched") == 0) {
+      Mode = FleetMode::Batched;
+    } else if (std::strcmp(Arg, "--per-session") == 0) {
+      Mode = FleetMode::PerSession;
     } else if (std::strcmp(Arg, "--plan") == 0) {
       PrintPlan = true;
     } else if (std::strcmp(Arg, "--help") == 0) {
@@ -159,6 +168,7 @@ int main(int argc, char **argv) {
     FleetOptions FOpts;
     FOpts.Shards = FleetShards;
     FOpts.Horizon = Horizon;
+    FOpts.Mode = Mode;
     unsigned Producers = std::min(FleetProducers, FleetSessions);
     FOpts.MaxProducers = std::max(FOpts.MaxProducers, Producers);
     MonitorFleet Fleet(Plan, FOpts);

@@ -84,7 +84,11 @@ void printUsage(const char *Argv0) {
       "                                    (default 1)\n"
       "  --producers <p>                   fleet producer threads; the\n"
       "                                    sessions are partitioned over\n"
-      "                                    them (default 1)\n",
+      "                                    them (default 1)\n"
+      "  --batched | --per-session         fleet execution engine: SoA\n"
+      "                                    lockstep lanes vs one Monitor\n"
+      "                                    per session (default batched;\n"
+      "                                    outputs are byte-identical)\n",
       Argv0);
 }
 
@@ -144,6 +148,7 @@ int main(int argc, char **argv) {
   unsigned FleetShards = 0; // 0 = single-session sequential replay
   unsigned FleetSessions = 1;
   unsigned FleetProducers = 1;
+  FleetMode Mode = FleetMode::Auto;
 
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
@@ -182,6 +187,10 @@ int main(int argc, char **argv) {
     } else if (std::strcmp(Arg, "--producers") == 0 && I + 1 < argc) {
       FleetProducers = static_cast<unsigned>(
           std::max(1ll, std::strtoll(argv[++I], nullptr, 10)));
+    } else if (std::strcmp(Arg, "--batched") == 0) {
+      Mode = FleetMode::Batched;
+    } else if (std::strcmp(Arg, "--per-session") == 0) {
+      Mode = FleetMode::PerSession;
     } else if (std::strcmp(Arg, "--help") == 0) {
       printUsage(argv[0]);
       return 0;
@@ -322,6 +331,7 @@ int main(int argc, char **argv) {
       FleetOptions FOpts;
       FOpts.Shards = FleetShards;
       FOpts.Horizon = Horizon;
+      FOpts.Mode = Mode;
       unsigned Producers = std::min(FleetProducers, FleetSessions);
       FOpts.MaxProducers = std::max(FOpts.MaxProducers, Producers);
       MonitorFleet Fleet(Plan, FOpts);
