@@ -14,6 +14,7 @@
 #ifndef TESSLA_BENCH_BENCHUTIL_H
 #define TESSLA_BENCH_BENCHUTIL_H
 
+#include "tessla/CodeGen/NativeCompile.h"
 #include "tessla/Compiler/Compiler.h"
 #include "tessla/Eval/Workloads.h"
 #include "tessla/Runtime/TraceGen.h"
@@ -22,6 +23,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 namespace tessla {
 namespace bench {
@@ -80,6 +82,58 @@ inline RunResult medianRun(const Spec &S, bool Optimize,
       return Runs.back();
     if (Runs.front().Outputs != Runs.back().Outputs) {
       std::fprintf(stderr, "non-deterministic output count!\n");
+      std::exit(1);
+    }
+  }
+  std::sort(Runs.begin(), Runs.end(),
+            [](const RunResult &A, const RunResult &B) {
+              return A.Seconds < B.Seconds;
+            });
+  return Runs[Runs.size() / 2];
+}
+
+/// One timed run through the native compiled tier (the .so is built
+/// outside the timed region — compileNative() is the benchmarked
+/// pipeline's *build* half and is reported by ablation_compile_time).
+/// Output events are counted inside the shim, mirroring the
+/// interpreter's count-only handler above.
+inline RunResult
+timeNativeMonitor(const Program &Plan,
+                  const std::shared_ptr<NativeMonitorLibrary> &Lib,
+                  const std::vector<TraceEvent> &Events) {
+  std::unique_ptr<ShardEngine> Engine =
+      makeNativeEngineFactory(Lib)(Plan, /*CollectOutputs=*/false);
+  unsigned Lane = Engine->addLane(0);
+  RunResult R;
+  auto Start = std::chrono::steady_clock::now();
+  for (const auto &[Id, Ts, V] : Events)
+    if (!Engine->feed(Lane, Id, Ts, V))
+      break;
+  Engine->finishAll();
+  auto End = std::chrono::steady_clock::now();
+  R.Seconds = std::chrono::duration<double>(End - Start).count();
+  R.Outputs = Engine->laneOutputEvents(Lane);
+  if (Engine->laneFailed(Lane)) {
+    std::fprintf(stderr, "native benchmark monitor failed: %s\n",
+                 Engine->laneError(Lane).c_str());
+    R.Failed = true;
+  }
+  return R;
+}
+
+/// Median-of-N native runs over one prebuilt library.
+inline RunResult
+medianNativeRun(const Program &Plan,
+                const std::shared_ptr<NativeMonitorLibrary> &Lib,
+                const std::vector<TraceEvent> &Events,
+                unsigned Repetitions) {
+  std::vector<RunResult> Runs;
+  for (unsigned I = 0; I != Repetitions; ++I) {
+    Runs.push_back(timeNativeMonitor(Plan, Lib, Events));
+    if (Runs.back().Failed)
+      return Runs.back();
+    if (Runs.front().Outputs != Runs.back().Outputs) {
+      std::fprintf(stderr, "non-deterministic native output count!\n");
       std::exit(1);
     }
   }

@@ -23,9 +23,17 @@
 /// default lengths are 2e6 (1e6 for large structures). Scale with
 /// TESSLA_BENCH_SCALE, repetitions with TESSLA_BENCH_REPS.
 ///
+/// --native adds the compiled execution tier (CppEmitter -> system
+/// compiler -> dlopen, CodeGen/NativeCompile.h) as two extra columns:
+/// the native runtime over the optimized Program and its speedup over
+/// the interpreter on the same Program (nat/opt). The .so build happens
+/// outside the timed region.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+
+#include <cstring>
 
 using namespace tessla;
 using namespace tessla::bench;
@@ -44,23 +52,75 @@ const SizeConfig Sizes[] = {
     {"large (10000)", 10000, 1000000},
 };
 
+bool NativeAxis = false;
+
 void report(const char *Workload, const SizeConfig &Config,
-            const Comparison &C, size_t Events) {
-  std::printf("%-13s %-14s %10zu %10.3f %10.3f %8.2fx\n", Workload,
+            const Comparison &C, size_t Events,
+            const RunResult *Native) {
+  std::printf("%-13s %-14s %10zu %10.3f %10.3f %8.2fx", Workload,
               Config.Label, Events, C.Optimized.Seconds,
               C.Baseline.Seconds, C.speedup());
+  if (Native)
+    std::printf(" %10.3f %8.2fx", Native->Seconds,
+                C.Optimized.Seconds / Native->Seconds);
+  std::printf("\n");
   std::fflush(stdout);
+}
+
+/// Runs one workload: the paper's optimized-vs-baseline comparison,
+/// plus (with --native) the compiled tier over the optimized Program —
+/// the same monitor, interpreted vs. dlopen()ed machine code.
+void runWorkload(const char *Label, const SizeConfig &Config,
+                 const Spec &S, const std::vector<TraceEvent> &Events,
+                 unsigned Reps) {
+  Comparison C = compare(S, Events, Reps);
+  RunResult Native;
+  if (NativeAxis) {
+    CompileOptions Opts; // optimized, matching C.Optimized
+    DiagnosticEngine Diags;
+    std::optional<Program> PlanOpt = compileSpec(S, Opts, Diags);
+    if (!PlanOpt) {
+      std::fprintf(stderr, "compile failed:\n%s", Diags.str().c_str());
+      std::exit(1);
+    }
+    std::string Error;
+    auto Lib = compileNative(*PlanOpt, NativeCompileOptions(), Error);
+    if (!Lib) {
+      std::fprintf(stderr, "native tier unavailable: %s\n",
+                   Error.c_str());
+      std::exit(1);
+    }
+    Native = medianNativeRun(*PlanOpt, Lib, Events, Reps);
+    if (Native.Failed || Native.Outputs != C.Optimized.Outputs) {
+      std::fprintf(stderr, "native output mismatch (%llu vs %llu)!\n",
+                   static_cast<unsigned long long>(Native.Outputs),
+                   static_cast<unsigned long long>(C.Optimized.Outputs));
+      std::exit(1);
+    }
+  }
+  report(Label, Config, C, Events.size(), NativeAxis ? &Native : nullptr);
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--native") == 0) {
+      NativeAxis = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--native]\n", argv[0]);
+      return 2;
+    }
+  }
   unsigned Reps = repetitions();
   std::printf("Figure 9 — synthetic workload speedups "
               "(median of %u runs)\n",
               Reps);
-  std::printf("%-13s %-14s %10s %10s %10s %9s\n", "workload", "size",
+  std::printf("%-13s %-14s %10s %10s %10s %9s", "workload", "size",
               "events", "opt [s]", "base [s]", "speedup");
+  if (NativeAxis)
+    std::printf(" %10s %9s", "native [s]", "nat/opt");
+  std::printf("\n");
 
   for (const SizeConfig &Config : Sizes) {
     size_t Length = scaled(Config.TraceLength);
@@ -69,19 +129,19 @@ int main() {
       Spec S = workloads::seenSet();
       auto Events = tracegen::randomInts(*S.lookup("x"), Length,
                                          2 * Config.Size, 101);
-      report("Seen Set", Config, compare(S, Events, Reps), Length);
+      runWorkload("Seen Set", Config, S, Events, Reps);
     }
     {
       Spec S = workloads::mapWindow(Config.Size);
       auto Events = tracegen::randomInts(*S.lookup("x"), Length,
                                          1 << 20, 102);
-      report("Map Window", Config, compare(S, Events, Reps), Length);
+      runWorkload("Map Window", Config, S, Events, Reps);
     }
     {
       Spec S = workloads::queueWindow(Config.Size);
       auto Events = tracegen::randomInts(*S.lookup("x"), Length,
                                          1 << 20, 103);
-      report("Queue Window", Config, compare(S, Events, Reps), Length);
+      runWorkload("Queue Window", Config, S, Events, Reps);
     }
   }
   std::printf("\npaper reference speedups (Fig. 9): Seen Set "

@@ -19,6 +19,10 @@
 /// configuration (the batched row's speedup column is relative to the
 /// per-session row at the same shard/producer count — on a 1-core box
 /// this isolates the dispatch-amortization win from parallelism).
+/// --native adds the compiled tier the same way: every shard runs the
+/// dlopen()ed monitor, built once per workload outside the timed
+/// region. Native lanes cannot migrate, so its rows measure the
+/// compiled tier under pinned sessions (steals are inert).
 /// TESSLA_BENCH_SCALE scales events per session, TESSLA_BENCH_SESSIONS
 /// overrides the session count (default 64), TESSLA_BENCH_REPS the
 /// median repetition count.
@@ -100,12 +104,14 @@ FleetWorkload dbLogWorkload(unsigned Sessions, size_t EventsPerSession) {
 /// hand each session a run of consecutive events.
 double timeFleet(const FleetWorkload &W, const Program &Plan,
                  unsigned Shards, unsigned Producers, FleetMode Mode,
-                 size_t Chunk, uint64_t &OutputsOut) {
+                 size_t Chunk, uint64_t &OutputsOut,
+                 const EngineFactory &Native = {}) {
   FleetOptions Opts;
   Opts.Shards = Shards;
   Opts.MaxProducers = std::max(16u, Producers);
   Opts.CollectOutputs = false; // throughput only; counters still run
   Opts.Mode = Mode;
+  Opts.NativeFactory = Native;
   MonitorFleet Fleet(Plan, Opts);
 
   auto Start = std::chrono::steady_clock::now();
@@ -151,13 +157,14 @@ double timeFleet(const FleetWorkload &W, const Program &Plan,
 
 double medianFleet(const FleetWorkload &W, const Program &Plan,
                    unsigned Shards, unsigned Producers, FleetMode Mode,
-                   size_t Chunk, unsigned Reps, uint64_t &OutputsOut) {
+                   size_t Chunk, unsigned Reps, uint64_t &OutputsOut,
+                   const EngineFactory &Native = {}) {
   std::vector<double> Times;
   uint64_t FirstOutputs = 0;
   for (unsigned I = 0; I != Reps; ++I) {
     uint64_t Outputs = 0;
-    Times.push_back(
-        timeFleet(W, Plan, Shards, Producers, Mode, Chunk, Outputs));
+    Times.push_back(timeFleet(W, Plan, Shards, Producers, Mode, Chunk,
+                              Outputs, Native));
     if (I == 0)
       FirstOutputs = Outputs;
     else if (Outputs != FirstOutputs) {
@@ -179,6 +186,7 @@ int main(int argc, char **argv) {
   std::vector<unsigned> ProducerCounts = {1};
   size_t Chunk = 64;
   bool Batched = false;
+  bool Native = false;
 
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--shards") == 0 && I + 1 < argc)
@@ -189,21 +197,25 @@ int main(int argc, char **argv) {
       Sessions = std::max(1, std::atoi(argv[++I]));
     else if (std::strcmp(argv[I], "--batched") == 0)
       Batched = true;
+    else if (std::strcmp(argv[I], "--native") == 0)
+      Native = true;
     else if (std::strcmp(argv[I], "--chunk") == 0 && I + 1 < argc)
       Chunk = static_cast<size_t>(std::max(1, std::atoi(argv[++I])));
     else {
       std::fprintf(stderr,
                    "usage: %s [--shards 1,2,4,8] [--producers 1,2] "
-                   "[--sessions N] [--chunk N] [--batched]\n",
+                   "[--sessions N] [--chunk N] [--batched] [--native]\n",
                    argv[0]);
       return 2;
     }
   }
-  // Per-session first so each batched row can report its speedup over
-  // the per-session run at the same configuration.
+  // Per-session first so each batched/native row can report its speedup
+  // over the per-session run at the same configuration.
   std::vector<FleetMode> Modes = {FleetMode::PerSession};
   if (Batched)
     Modes.push_back(FleetMode::Batched);
+  if (Native)
+    Modes.push_back(FleetMode::Native);
 
   std::printf("Fleet scaling — multi-session throughput vs shard and "
               "producer count (median of %u runs)\n",
@@ -230,6 +242,17 @@ int main(int argc, char **argv) {
       return 1;
     }
     Program &Plan = *PlanOpt;
+    EngineFactory NativeFactory;
+    if (Native) {
+      std::string Error;
+      NativeFactory =
+          makeNativeEngineFactory(Plan, NativeCompileOptions(), Error);
+      if (!NativeFactory) {
+        std::fprintf(stderr, "native tier unavailable: %s\n",
+                     Error.c_str());
+        return 1;
+      }
+    }
     double Base = 0;
     uint64_t PerSessionOutputs = 0;
     for (unsigned Producers : ProducerCounts) {
@@ -239,7 +262,7 @@ int main(int argc, char **argv) {
           uint64_t Outputs = 0;
           double Seconds =
               medianFleet(W, Plan, Shards, Producers, Mode, Chunk, Reps,
-                          Outputs);
+                          Outputs, NativeFactory);
           double Speedup;
           if (Mode == FleetMode::PerSession) {
             if (Base == 0)
@@ -252,14 +275,18 @@ int main(int argc, char **argv) {
             Speedup = PerSessionSeconds / Seconds;
             if (Outputs != PerSessionOutputs) {
               std::fprintf(stderr,
-                           "batched output count diverged from "
-                           "per-session!\n");
+                           "%s output count diverged from "
+                           "per-session!\n",
+                           Mode == FleetMode::Batched ? "batched"
+                                                      : "native");
               return 1;
             }
           }
           std::printf("%-10s %-9s %8u %10u %10zu %10.4f %12.3f %8.2fx\n",
                       W.Label,
-                      Mode == FleetMode::Batched ? "batched" : "per-sess",
+                      Mode == FleetMode::Batched     ? "batched"
+                      : Mode == FleetMode::Native    ? "native"
+                                                     : "per-sess",
                       Shards, Producers, W.TotalEvents, Seconds,
                       static_cast<double>(W.TotalEvents) / Seconds / 1e6,
                       Speedup);

@@ -46,7 +46,25 @@ struct CppEmitterOptions {
   /// memory during the benchmark's execution", artifact appendix).
   /// Requires exactly one Int-typed input. Overrides EmitMain.
   bool EmitBenchMain = false;
+  /// Emit the `tessla_native_*` extern "C" entry points so the file can
+  /// be compiled into a shared object and dlopen'd by the native
+  /// execution engine (CodeGen/NativeCompile.h). Implies throwing
+  /// failure handling (TESSLA_CGEN_FAIL_THROWS) so a monitor runtime
+  /// error surfaces as a recoverable per-instance error string —
+  /// rendered `at t=<ts>, stream '<name>': <msg>`, byte-identical to
+  /// Monitor::failAt — instead of abort()ing the host process.
+  /// Incompatible with EmitMain/EmitBenchMain (the shim is the driver).
+  bool EmitNativeShim = false;
+  /// Program checksum stamped into the shim (tessla_native_checksum());
+  /// the loader rejects a cached .so whose stamp does not match the
+  /// Program it is about to serve. Only read when EmitNativeShim.
+  uint64_t ShimChecksum = 0;
 };
+
+/// ABI version of the emitted native shim; tessla_native_abi() returns
+/// this and the loader refuses anything else. Bump on any change to the
+/// extern "C" surface below.
+inline constexpr int64_t NativeShimAbiVersion = 1;
 
 /// Emits \p P as a C++ translation unit, following the program's step
 /// order and mutability set.

@@ -42,12 +42,27 @@ struct UnitHash {
   size_t operator()(UnitV) const { return 0; }
 };
 
-/// Generated monitors abort with a message on runtime errors (division by
-/// zero etc.) — they are standalone tools, not library code.
+/// Carries a generated-monitor runtime error (division by zero etc.) to
+/// the host when the monitor is embedded rather than standalone. The
+/// message is a static string owned by the generated code.
+struct FailError {
+  const char *Message;
+};
+
+/// Generated monitors abort with a message on runtime errors — they are
+/// standalone tools, not library code. The native tier compiles the same
+/// monitor into a shared object embedded in a host process, where abort()
+/// would take the host down: defining TESSLA_CGEN_FAIL_THROWS makes fail()
+/// throw FailError instead, and the extern "C" shim catches it at the
+/// library boundary and converts it into the session error state.
+#ifdef TESSLA_CGEN_FAIL_THROWS
+[[noreturn]] inline void fail(const char *Message) { throw FailError{Message}; }
+#else
 [[noreturn]] inline void fail(const char *Message) {
   std::fprintf(stderr, "monitor runtime error: %s\n", Message);
   std::abort();
 }
+#endif
 
 inline int64_t checkedDiv(int64_t A, int64_t B) {
   if (B == 0)

@@ -61,6 +61,7 @@
 #ifndef TESSLA_RUNTIME_BATCHEDMONITOR_H
 #define TESSLA_RUNTIME_BATCHEDMONITOR_H
 
+#include "tessla/Runtime/ExecutionEngine.h"
 #include "tessla/Runtime/Monitor.h"
 #include "tessla/Runtime/TraceIO.h"
 
@@ -70,94 +71,84 @@
 
 namespace tessla {
 
-class BatchedMonitor {
+class BatchedMonitor : public ShardEngine {
 public:
   /// \p CollectOutputs mirrors FleetOptions::CollectOutputs: when false,
   /// outputs are only counted, never recorded.
   explicit BatchedMonitor(const Program &Prog, bool CollectOutputs = true);
 
   /// One buffered input record of a lane (not yet validated/applied; the
-  /// checks of Monitor::feed run when the pump loop consumes it).
-  struct PendingRecord {
-    PendingRecord() = default;
-    PendingRecord(StreamId Input_, Time Ts_, Value V_)
-        : Input(Input_), Ts(Ts_), V(std::move(V_)) {}
-    StreamId Input = 0;
-    Time Ts = 0;
-    Value V;
-  };
+  /// checks of Monitor::feed run when the pump loop consumes it). The
+  /// record and snapshot types live in Runtime/ExecutionEngine.h — the
+  /// migration contract is engine-agnostic — but keep their historical
+  /// names here.
+  using PendingRecord = EnginePendingRecord;
 
-  /// A whole lane's engine state, extracted for migration. Opaque except
-  /// to BatchedMonitor; movable across threads under the usual
-  /// synchronized hand-off contract.
-  struct LaneState {
-    SessionId Session = 0;
-    Time PendingTs = 0;
-    bool CalcDone = false;
-    bool Failed = false;
-    std::string Error;
-    uint64_t NumFed = 0;
-    uint64_t NumOutputs = 0;
-    uint64_t NumCalcRuns = 0;
-    std::vector<Value> Cur;       // [numValueSlots()+1]
-    std::vector<char> Present;    // [numValueSlots()+1]
-    std::vector<Value> LastVal;   // [lastSlots()]
-    std::vector<char> LastInit;   // [lastSlots()]
-    std::vector<Time> NextTs;     // [delays()]
-    std::vector<char> NextTsSet;  // [delays()]
-    std::vector<PendingRecord> Queue; // unconsumed buffered records
-    std::vector<OutputEvent> Outputs;
-  };
+  /// A whole lane's engine state, extracted for migration; movable
+  /// across threads under the usual synchronized hand-off contract.
+  using LaneState = EngineLaneState;
 
   /// Adds a fresh lane for \p Session (identical to constructing a new
   /// Monitor: its timestamp-0 calculation runs before its first event's
   /// timestamp). Lanes of extracted sessions are reused. Returns the
   /// lane index, stable until extractLane().
-  unsigned addLane(SessionId Session);
+  unsigned addLane(SessionId Session) override;
 
   /// Buffers one input record for \p Lane. Validation (timestamp order,
   /// duplicate events, negative timestamps) is deferred to pump(), where
   /// it fails the lane exactly like Monitor::feed would. \returns false
   /// if the lane already failed or the engine is finished.
-  bool feed(unsigned Lane, StreamId Input, Time Ts, Value V);
+  bool feed(unsigned Lane, StreamId Input, Time Ts, Value V) override;
 
   /// Runs lockstep sweeps until every lane has consumed its buffered
   /// records (a lane mid-timestamp keeps its partial state buffered,
   /// like a Monitor between feeds).
-  void pump();
+  void pump() override;
 
   /// End of input for every lane (Monitor::finish semantics, shared
   /// \p Horizon): pending timestamps run, armed delays drain — in
   /// lockstep across lanes until no lane has work left.
-  void finishAll(std::optional<Time> Horizon = std::nullopt);
+  void finishAll(std::optional<Time> Horizon = std::nullopt) override;
+
+  bool supportsMigration() const override { return true; }
 
   /// Extracts \p Lane for migration and frees its index for reuse.
-  LaneState extractLane(unsigned Lane);
+  LaneState extractLane(unsigned Lane) override;
   /// Inserts a migrated lane; returns its new lane index.
-  unsigned insertLane(LaneState State);
+  unsigned insertLane(LaneState State) override;
 
   // --- Per-lane observers (valid for live lanes). ---
-  SessionId laneSession(unsigned Lane) const { return Session[Lane]; }
-  bool laneFailed(unsigned Lane) const { return Failed[Lane] != 0; }
-  const std::string &laneError(unsigned Lane) const { return ErrMsg[Lane]; }
+  SessionId laneSession(unsigned Lane) const override {
+    return Session[Lane];
+  }
+  bool laneFailed(unsigned Lane) const override { return Failed[Lane] != 0; }
+  const std::string &laneError(unsigned Lane) const override {
+    return ErrMsg[Lane];
+  }
   /// Accepted input records (the fleet's steal heuristic).
-  uint64_t laneInputEvents(unsigned Lane) const { return NumFed[Lane]; }
-  uint64_t laneOutputEvents(unsigned Lane) const { return NumOutputs[Lane]; }
+  uint64_t laneInputEvents(unsigned Lane) const override {
+    return NumFed[Lane];
+  }
+  uint64_t laneOutputEvents(unsigned Lane) const override {
+    return NumOutputs[Lane];
+  }
   /// True when the lane has no unconsumed buffered records (always true
   /// after pump(); donation only migrates idle lanes).
-  bool laneIdle(unsigned Lane) const {
+  bool laneIdle(unsigned Lane) const override {
     return QueuePos[Lane] == Queue[Lane].size();
   }
   /// Moves out the lane's recorded outputs (emission order).
-  std::vector<OutputEvent> takeLaneOutputs(unsigned Lane) {
+  std::vector<OutputEvent> takeLaneOutputs(unsigned Lane) override {
     return std::move(Outputs[Lane]);
   }
 
   /// Live lanes.
-  size_t laneCount() const { return NumLive; }
+  size_t laneCount() const override { return NumLive; }
   /// Lockstep sweeps executed (each replaces `active lanes` many
   /// per-session calculation runs).
-  uint64_t sweeps() const { return NumSweeps; }
+  uint64_t sweeps() const override { return NumSweeps; }
+
+  const char *name() const override { return "batched"; }
 
 private:
   /// Sweep strip-mining width: pump()/finishAll() drain lanes in tiles

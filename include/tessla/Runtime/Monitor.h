@@ -42,6 +42,8 @@ struct OutputEvent {
   Value V;
 };
 
+struct EngineLaneState; // Runtime/ExecutionEngine.h
+
 /// The monitor engine. Not thread-safe; one instance per trace run.
 ///
 /// Migration: a Monitor may be handed off between threads (the fleet's
@@ -91,6 +93,20 @@ public:
   /// Number of accepted input events so far. The fleet's steal heuristic
   /// uses this as the "hot session" signal.
   uint64_t inputEvents() const { return NumFed; }
+
+  /// Moves the monitor's complete engine state into a migratable lane
+  /// snapshot (the fleet's engine-agnostic migration contract,
+  /// Runtime/ExecutionEngine.h). Fills only the fields the monitor owns
+  /// — session attribution, buffered records and recorded outputs are
+  /// the surrounding engine's to fill (the monitor is eager and
+  /// unbuffered, so Queue stays empty). The monitor must not be used
+  /// afterwards.
+  void extractState(EngineLaneState &Out);
+
+  /// Restores a snapshot produced by extractState() — or by any other
+  /// migratable engine over the same Program — into this freshly
+  /// constructed monitor, consuming the snapshot's engine fields.
+  void restoreState(EngineLaneState &State);
 
 private:
   const Program &Prog;

@@ -14,12 +14,18 @@
 /// threads; sessions move between threads only through synchronized
 /// whole-object hand-offs (work stealing).
 ///
-/// Within a shard, FleetOptions::Mode picks the execution engine: one
-/// independent Monitor per session (PerSession), or one SoA
-/// BatchedMonitor per shard whose lanes are the shard's sessions
-/// (Batched; the default via Auto, since a fleet serves exactly one
-/// Program). Both produce byte-identical output; the batched engine
-/// amortizes opcode dispatch across all lanes of a shard.
+/// Within a shard, FleetOptions::Mode picks the execution engine behind
+/// the ShardEngine interface (Runtime/ExecutionEngine.h): one
+/// independent Monitor per session (PerSession), one SoA BatchedMonitor
+/// per shard whose lanes are the shard's sessions (Batched), or
+/// compiled monitor code loaded from a shared object (Native; the
+/// engine factory is injected through FleetOptions::NativeFactory so
+/// this library never links the code generator). Auto starts every
+/// shard Batched and watches the arrival pattern: interleaved traffic
+/// stays batched (wide lockstep sweeps), while chunky single-session
+/// replay — which regresses under batching — migrates the shard's lanes
+/// to a per-session engine once observed. All engines produce
+/// byte-identical output.
 ///
 /// ## Ingestion: producer handles (multi-producer fan-in)
 ///
@@ -96,6 +102,7 @@
 #ifndef TESSLA_RUNTIME_MONITORFLEET_H
 #define TESSLA_RUNTIME_MONITORFLEET_H
 
+#include "tessla/Runtime/ExecutionEngine.h"
 #include "tessla/Runtime/Monitor.h"
 #include "tessla/Runtime/TraceIO.h"
 
@@ -112,8 +119,12 @@ class MonitorFleet;
 
 /// How the shards execute their sessions.
 enum class FleetMode : uint8_t {
-  /// Pick automatically. A fleet serves exactly one Program, so every
-  /// session shares a spec and Auto resolves to Batched.
+  /// Pick automatically: every shard starts Batched and observes its
+  /// arrival pattern over the first FleetOptions::AutoObservationRecords
+  /// records — interleaved traffic (short same-session runs) stays
+  /// batched, chunky replay (long runs, which batching slows down)
+  /// migrates the shard's lanes to a per-session engine. The verdict is
+  /// per shard and visible in ShardStats::Engine.
   Auto,
   /// One independent Monitor per session (the original path; kept for
   /// heterogeneous fleets and as the differential reference).
@@ -124,6 +135,12 @@ enum class FleetMode : uint8_t {
   /// dispatch. Work stealing migrates whole lanes between the shards'
   /// batched groups.
   Batched,
+  /// Compiled monitor code (CodeGen/NativeCompile.h) behind
+  /// FleetOptions::NativeFactory. Native lanes are not migratable, so
+  /// work stealing is inert in this mode. Falls back to PerSession —
+  /// with the reason in MonitorFleet::engineFallbackReason() — when no
+  /// factory was injected.
+  Native,
 };
 
 /// Fleet construction knobs.
@@ -154,6 +171,19 @@ struct FleetOptions {
   bool CollectOutputs = true;
   /// Execution engine selection (see FleetMode).
   FleetMode Mode = FleetMode::Auto;
+  /// Engine factory for FleetMode::Native, injected by the tool layer
+  /// (e.g. makeNativeEngineFactory() after tessla::compileNative()); the
+  /// runtime library itself never links the code generator. Null means
+  /// Native falls back to PerSession.
+  EngineFactory NativeFactory;
+  /// Auto mode: records a shard routes before deciding its engine. The
+  /// verdict uses exactly this many records, so the choice is a
+  /// deterministic function of the shard's record sequence.
+  uint64_t AutoObservationRecords = 4096;
+  /// Auto mode: mean same-session run length (records between session
+  /// switches) at or above which a shard counts as *chunky* and
+  /// migrates to the per-session engine.
+  double AutoChunkThreshold = 16.0;
 };
 
 /// Counters of one worker shard (written by the worker, read after
@@ -169,6 +199,8 @@ struct ShardStats {
   uint64_t SessionsStolenOut = 0; ///< sessions donated to idle peers
   uint64_t RecordsForwarded = 0; ///< records relayed to a session's thief
   uint64_t LockstepSweeps = 0;   ///< batched mode: lockstep sweeps run
+  std::string Engine;            ///< final engine ("per-session", "batched",
+                                 ///< "native"); Auto shards show their verdict
 };
 
 /// Aggregated observability report for one fleet run.
@@ -296,8 +328,16 @@ public:
 
   unsigned shardCount() const { return static_cast<unsigned>(Workers.size()); }
 
-  /// The resolved execution mode (never Auto).
+  /// The resolved execution mode (never Auto): the engine every shard
+  /// *starts* with. Under FleetMode::Auto this is Batched — shards that
+  /// observe chunky arrivals then migrate themselves to per-session,
+  /// which ShardStats::Engine reports.
   FleetMode mode() const { return Mode; }
+
+  /// Non-empty when the requested mode could not be honoured (e.g.
+  /// Native without a NativeFactory) and the fleet fell back to
+  /// PerSession.
+  const std::string &engineFallbackReason() const { return EngineFallback; }
 
   /// The shard a session's records are ingested through (its *home*
   /// shard): hash(session) % shards, with a bit-mixing hash so
@@ -314,6 +354,8 @@ private:
   const Program &Prog;
   FleetOptions Opts;
   FleetMode Mode = FleetMode::PerSession; // resolved, never Auto
+  bool AutoMode = false; // shards may re-decide their engine
+  std::string EngineFallback;
   std::vector<std::unique_ptr<Shard>> Workers;
 
   // Producer fan-in: preallocated lane slots (no reallocation, so

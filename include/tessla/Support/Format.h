@@ -14,6 +14,8 @@
 #ifndef TESSLA_SUPPORT_FORMAT_H
 #define TESSLA_SUPPORT_FORMAT_H
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,16 +26,68 @@ namespace tessla {
 std::string formatString(const char *Fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+// The three rendering helpers below are header-only on purpose: they are
+// called by CodeGen/RuntimeSupport.h, which generated monitors include as
+// a standalone header (compiled with just `-I include`, no link against
+// the tessla libraries). The native tier builds such monitors into shared
+// objects, so every symbol the canonical value rendering needs must be
+// available without Format.cpp.
+
 /// Joins \p Parts with \p Sep in between ("a, b, c" style).
-std::string join(const std::vector<std::string> &Parts, std::string_view Sep);
+inline std::string join(const std::vector<std::string> &Parts,
+                        std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
 
 /// Renders a double so that it round-trips and prints integral values
 /// without a trailing ".0"-explosion ("1.5", "2", "0.25").
-std::string formatDouble(double V);
+inline std::string formatDouble(double V) {
+  // %.17g round-trips but is ugly; try increasing precision until the value
+  // round-trips exactly.
+  char Buf[64];
+  for (int Precision = 6; Precision <= 17; ++Precision) {
+    std::snprintf(Buf, sizeof(Buf), "%.*g", Precision, V);
+    if (std::strtod(Buf, nullptr) == V)
+      return Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
 
 /// Escapes a string for inclusion in double quotes ("a\"b" -> a\"b, with
 /// \n, \t, \\ handled).
-std::string escapeString(std::string_view S);
+inline std::string escapeString(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
 
 /// Returns true and writes to \p Out if \p S parses completely as a signed
 /// 64-bit integer.

@@ -171,6 +171,30 @@ private:
     }
   }
 
+  /// Builtins whose emitted body can call tessla::cgen::fail(). (Div on
+  /// Float cannot, but an extra context store is a harmless dead write.)
+  static bool fallibleBuiltin(BuiltinId Fn) {
+    switch (Fn) {
+    case BuiltinId::Div:
+    case BuiltinId::Mod:
+    case BuiltinId::MapGet:
+    case BuiltinId::QueueFront:
+    case BuiltinId::QueueDeq:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// In shim mode, records which stream's step body is about to run so a
+  /// thrown cgen::fail() renders with that stream's name, exactly like
+  /// Monitor::failAt attributes the failure. No-op otherwise.
+  void emitFailContext(const std::string &Indent, BuiltinId Fn,
+                       StreamId At) {
+    if (Opts.EmitNativeShim && fallibleBuiltin(Fn))
+      line(Indent + "CgenCtx = \"" + S.stream(At).Name + "\";");
+  }
+
   void emitHeader();
   void emitVariables();
   void emitFeeds();
@@ -182,6 +206,7 @@ private:
                                          const std::vector<ArgRef> &Args);
   void emitMain();
   void emitBenchMain();
+  void emitNativeShim();
 };
 
 std::optional<std::string> Emitter::run() {
@@ -240,6 +265,16 @@ std::optional<std::string> Emitter::run() {
   line("      std::function<void(int64_t, const char *, const "
        "std::string &)>;");
   line("  void setOutputHandler(OutputFn Fn) { Out = std::move(Fn); }");
+  if (Opts.EmitNativeShim) {
+    line("  // Native-shim introspection: the failure context for");
+    line("  // rendering interpreter-identical error messages, and the");
+    line("  // output count (maintained even without a handler, like");
+    line("  // Monitor::outputEvents).");
+    line("  int64_t cgenTs() const { return CgenTs; }");
+    line("  const char *cgenCtx() const { return CgenCtx; }");
+    line("  void cgenClearContext() { CgenCtx = nullptr; }");
+    line("  uint64_t cgenNumOutputs() const { return NumOutputs; }");
+  }
   line();
   emitFeeds();
   line("  void finish(int64_t Horizon = "
@@ -255,12 +290,19 @@ std::optional<std::string> Emitter::run() {
   line("  int64_t PendingTs = 0;");
   line("  bool CalcDone = false;");
   line("  bool Finished = false;");
+  if (Opts.EmitNativeShim) {
+    line("  int64_t CgenTs = 0;");
+    line("  const char *CgenCtx = nullptr;");
+    line("  uint64_t NumOutputs = 0;");
+  }
   line();
   emitVariables();
   emitTriggering();
   emitCalc();
   line("};");
-  if (Opts.EmitBenchMain)
+  if (Opts.EmitNativeShim)
+    emitNativeShim(); // the shim is the driver; mains do not apply
+  else if (Opts.EmitBenchMain)
     emitBenchMain();
   else if (Opts.EmitMain)
     emitMain();
@@ -290,6 +332,11 @@ void Emitter::emitHeader() {
       Muts += " " + S.stream(Id).Name;
   line("//  " + (Muts.empty() ? " (none)" : Muts));
   line();
+  if (Opts.EmitNativeShim) {
+    line("// Embedded in a host process: failures must surface as");
+    line("// per-instance error strings, not abort().");
+    line("#define TESSLA_CGEN_FAIL_THROWS 1");
+  }
   line("#include \"tessla/CodeGen/RuntimeSupport.h\"");
   line();
   line("#include <cmath>");
@@ -786,6 +833,7 @@ void Emitter::emitStep(const ProgramStep &Step) {
     for (StreamId A : Step.Args)
       Args.push_back({A, var(A)});
     line("    if (" + Guard + ") {");
+    emitFailContext("      ", Step.Fn, Id);
     for (const std::string &Stmt :
          liftBodyStmts(Step.Fn, Id, var(Id), isMut(Id), Args))
       line("      " + Stmt);
@@ -816,6 +864,7 @@ void Emitter::emitStep(const ProgramStep &Step) {
     for (StreamId A : Rest)
       Args.push_back({A, var(A)});
     line("    if (" + Guard + ") {");
+    emitFailContext("      ", Step.Fn, Id);
     for (const std::string &Stmt :
          liftBodyStmts(Step.Fn, Id, var(Id), isMut(Id), Args))
       line("      " + Stmt);
@@ -850,6 +899,9 @@ void Emitter::emitStep(const ProgramStep &Step) {
     std::string Tmp = var(Step.FusedId);
     line("    if (" + InnerGuard + ") {");
     line("      " + cppType(Step.FusedId) + " " + Tmp + "{};");
+    // A failure in the fused-away producer's body is attributed to the
+    // producer stream (Monitor::runCalc fails at Step.FusedId there).
+    emitFailContext("      ", Step.Fn2, Step.FusedId);
     for (const std::string &Stmt :
          liftBodyStmts(Step.Fn2, Step.FusedId, Tmp, isMut(Step.FusedId),
                        InnerArgs))
@@ -864,6 +916,7 @@ void Emitter::emitStep(const ProgramStep &Step) {
       OuterArgs.push_back({Step.FusedId, Tmp});
       for (StreamId A : Rest)
         OuterArgs.push_back({A, var(A)});
+      emitFailContext(Indent, Step.Fn, Id);
       for (const std::string &Stmt :
            liftBodyStmts(Step.Fn, Id, var(Id), isMut(Id), OuterArgs))
         line(Indent + Stmt);
@@ -881,6 +934,10 @@ void Emitter::emitCalc() {
   line("  // --- Calculation section (paper, section III-A), in the");
   line("  // program's step order. ---");
   line("  void calc(int64_t ts) {");
+  if (Opts.EmitNativeShim) {
+    line("    CgenTs = ts;");
+    line("    CgenCtx = nullptr;");
+  }
   for (const ProgramStep &Step : P.steps())
     emitStep(Step);
 
@@ -891,9 +948,19 @@ void Emitter::emitCalc() {
       line("    // output " + S.stream(O.Id).Name + ": never fires");
       continue;
     }
-    line("    if (" + has(O.Id) + " && Out)");
-    line("      Out(ts, \"" + S.stream(O.Id).Name +
-         "\", tessla::cgen::str(" + var(O.Id) + "));");
+    if (Opts.EmitNativeShim) {
+      // Count outputs even without a handler, like Monitor.
+      line("    if (" + has(O.Id) + ") {");
+      line("      ++NumOutputs;");
+      line("      if (Out)");
+      line("        Out(ts, \"" + S.stream(O.Id).Name +
+           "\", tessla::cgen::str(" + var(O.Id) + "));");
+      line("    }");
+    } else {
+      line("    if (" + has(O.Id) + " && Out)");
+      line("      Out(ts, \"" + S.stream(O.Id).Name +
+           "\", tessla::cgen::str(" + var(O.Id) + "));");
+    }
   }
 
   line();
@@ -919,6 +986,8 @@ void Emitter::emitCalc() {
         line("      " + var(D.Id) + "_nextTs_set = false;");
       } else {
         line("      if (" + has(D.DelaysArg) + ") {");
+        if (Opts.EmitNativeShim)
+          line("        CgenCtx = \"" + S.stream(D.Id).Name + "\";");
         line("        if (" + var(D.DelaysArg) + " <= 0)");
         line("          tessla::cgen::fail(\"delay amounts must be "
              "positive\");");
@@ -1039,6 +1108,161 @@ void Emitter::emitBenchMain() {
   line("  std::printf(\"%\" PRIu64 \" %.6f\\n\", Outputs, Seconds);");
   line("  return 0;");
   line("}");
+}
+
+void Emitter::emitNativeShim() {
+  const std::vector<StreamId> Inputs = S.inputs();
+  line();
+  line("// --- tessla_native_* extern \"C\" shim (ABI v" +
+       std::to_string(NativeShimAbiVersion) + "). ---");
+  line("//");
+  line("// Loaded via dlopen by the native execution engine; see");
+  line("// tessla/CodeGen/NativeCompile.h for the loader contract. The");
+  line("// host pre-validates feed ordering exactly like Monitor::feed,");
+  line("// so the weaker in-class checks are unreachable backstops.");
+  line();
+  line("namespace {");
+  line();
+  line("struct TesslaNativeInstance {");
+  line("  " + Opts.ClassName + " M;");
+  line("  std::string Error;");
+  line("  bool Failed = false;");
+  line("};");
+  line();
+  line("void tesslaNativeRecordError(TesslaNativeInstance *I,");
+  line("                             const char *Message) {");
+  line("  I->Failed = true;");
+  line("  // Render exactly like Monitor::failAt when a step context is");
+  line("  // recorded; feed/finish backstops surface the raw message.");
+  line("  if (const char *Stream = I->M.cgenCtx())");
+  line("    I->Error = \"at t=\" + std::to_string(I->M.cgenTs()) +");
+  line("               \", stream '\" + Stream + \"': \" + Message;");
+  line("  else");
+  line("    I->Error = Message;");
+  line("}");
+  line();
+  line("} // namespace");
+  line();
+  line("extern \"C\" {");
+  line();
+  line("typedef void (*tessla_native_output_fn)(void *Ctx, int64_t Ts,");
+  line("                                        const char *Stream,");
+  line("                                        const char *Value);");
+  line();
+  line("int64_t tessla_native_abi(void) { return " +
+       std::to_string(NativeShimAbiVersion) + "; }");
+  line();
+  line("uint64_t tessla_native_checksum(void) {");
+  line("  return " + std::to_string(Opts.ShimChecksum) + "ULL;");
+  line("}");
+  line();
+  line("int32_t tessla_native_num_inputs(void) { return " +
+       std::to_string(Inputs.size()) + "; }");
+  line();
+  line("const char *tessla_native_input_name(int32_t Idx) {");
+  line("  switch (Idx) {");
+  for (size_t I = 0; I != Inputs.size(); ++I)
+    line("  case " + std::to_string(I) + ":\n    return \"" +
+         S.stream(Inputs[I]).Name + "\";");
+  line("  default:");
+  line("    return nullptr;");
+  line("  }");
+  line("}");
+  line();
+  line("void *tessla_native_create(tessla_native_output_fn Fn, void *Ctx) {");
+  line("  auto *I = new TesslaNativeInstance();");
+  line("  if (Fn)");
+  line("    I->M.setOutputHandler([Fn, Ctx](int64_t Ts, const char *Stream,");
+  line("                                    const std::string &V) {");
+  line("      Fn(Ctx, Ts, Stream, V.c_str());");
+  line("    });");
+  line("  return I;");
+  line("}");
+  line();
+  line("int32_t tessla_native_feed(void *Inst, int32_t Input, int64_t Ts,");
+  line("                           int64_t IntV, double FloatV,");
+  line("                           const char *StrV, int32_t BoolV) {");
+  line("  (void)IntV;");
+  line("  (void)FloatV;");
+  line("  (void)StrV;");
+  line("  (void)BoolV;");
+  line("  auto *I = static_cast<TesslaNativeInstance *>(Inst);");
+  line("  if (I->Failed)");
+  line("    return 0;");
+  line("  I->M.cgenClearContext();");
+  line("  try {");
+  line("    switch (Input) {");
+  for (size_t Idx = 0; Idx != Inputs.size(); ++Idx) {
+    const StreamDef &D = S.stream(Inputs[Idx]);
+    std::string Conv;
+    switch (D.Ty.kind()) {
+    case TypeKind::Int:
+      Conv = "IntV";
+      break;
+    case TypeKind::Float:
+      Conv = "FloatV";
+      break;
+    case TypeKind::Bool:
+      Conv = "BoolV != 0";
+      break;
+    case TypeKind::String:
+      Conv = "std::string(StrV ? StrV : \"\")";
+      break;
+    case TypeKind::Unit:
+      Conv = "tessla::cgen::UnitV{}";
+      break;
+    default:
+      Conv = "{}"; // unreachable: aggregate inputs fail preflight
+      break;
+    }
+    line("    case " + std::to_string(Idx) + ":");
+    line("      I->M.feed_" + D.Name + "(Ts, " + Conv + ");");
+    line("      break;");
+  }
+  line("    default:");
+  line("      tesslaNativeRecordError(I, \"unknown input index\");");
+  line("      return 0;");
+  line("    }");
+  line("  } catch (const tessla::cgen::FailError &E) {");
+  line("    tesslaNativeRecordError(I, E.Message);");
+  line("    return 0;");
+  line("  }");
+  line("  return 1;");
+  line("}");
+  line();
+  line("int32_t tessla_native_finish(void *Inst, int64_t Horizon,");
+  line("                             int32_t HasHorizon) {");
+  line("  auto *I = static_cast<TesslaNativeInstance *>(Inst);");
+  line("  if (I->Failed)");
+  line("    return 0;");
+  line("  I->M.cgenClearContext();");
+  line("  try {");
+  line("    if (HasHorizon)");
+  line("      I->M.finish(Horizon);");
+  line("    else");
+  line("      I->M.finish();");
+  line("  } catch (const tessla::cgen::FailError &E) {");
+  line("    tesslaNativeRecordError(I, E.Message);");
+  line("    return 0;");
+  line("  }");
+  line("  return 1;");
+  line("}");
+  line();
+  line("const char *tessla_native_error(void *Inst) {");
+  line("  auto *I = static_cast<TesslaNativeInstance *>(Inst);");
+  line("  return I->Failed ? I->Error.c_str() : nullptr;");
+  line("}");
+  line();
+  line("uint64_t tessla_native_num_outputs(void *Inst) {");
+  line("  return static_cast<TesslaNativeInstance *>(Inst)");
+  line("      ->M.cgenNumOutputs();");
+  line("}");
+  line();
+  line("void tessla_native_destroy(void *Inst) {");
+  line("  delete static_cast<TesslaNativeInstance *>(Inst);");
+  line("}");
+  line();
+  line("} // extern \"C\"");
 }
 
 } // namespace

@@ -6,6 +6,7 @@
 
 #include "tessla/Runtime/Monitor.h"
 
+#include "tessla/Runtime/ExecutionEngine.h"
 #include "tessla/Support/Format.h"
 
 #include <cassert>
@@ -319,6 +320,46 @@ void Monitor::finish(std::optional<Time> Horizon) {
                        : std::numeric_limits<Time>::max();
   flushBefore(Bound);
   Finished = true;
+}
+
+void Monitor::extractState(EngineLaneState &Out) {
+  Out.PendingTs = PendingTs;
+  Out.CalcDone = CalcDoneForPending;
+  Out.Failed = Err.Failed;
+  Out.Error = std::move(Err.Message);
+  Out.NumFed = NumFed;
+  Out.NumOutputs = NumOutputs;
+  Out.NumCalcRuns = NumCalcRuns;
+  Out.Cur = std::move(Cur);
+  Out.Present = std::move(Present);
+  Out.LastVal = std::move(LastVal);
+  Out.LastInit = std::move(LastInit);
+  Out.NextTs = std::move(NextTs);
+  Out.NextTsSet = std::move(NextTsSet);
+}
+
+void Monitor::restoreState(EngineLaneState &State) {
+  assert(State.Cur.size() == Prog.numValueSlots() + 1u &&
+         "lane snapshot from a different program");
+  PendingTs = State.PendingTs;
+  CalcDoneForPending = State.CalcDone;
+  Err.Failed = State.Failed;
+  Err.Message = std::move(State.Error);
+  NumFed = State.NumFed;
+  NumOutputs = State.NumOutputs;
+  NumCalcRuns = State.NumCalcRuns;
+  Cur = std::move(State.Cur);
+  Present = std::move(State.Present);
+  LastVal = std::move(State.LastVal);
+  LastInit = std::move(State.LastInit);
+  NextTs = std::move(State.NextTs);
+  NextTsSet = std::move(State.NextTsSet);
+  // The reset order of current-value slots is unobservable; membership
+  // is what matters, so Touched is rebuilt from presence.
+  Touched.clear();
+  for (size_t Slot = 0, E = Present.size(); Slot != E; ++Slot)
+    if (Present[Slot])
+      Touched.push_back(static_cast<SlotId>(Slot));
 }
 
 std::vector<OutputEvent> tessla::runMonitor(

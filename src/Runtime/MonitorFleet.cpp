@@ -6,7 +6,6 @@
 
 #include "tessla/Runtime/MonitorFleet.h"
 
-#include "tessla/Runtime/BatchedMonitor.h"
 #include "tessla/Support/Format.h"
 
 #include <algorithm>
@@ -107,33 +106,27 @@ struct MonitorFleet::ProducerLane {
 struct MonitorFleet::Shard {
   explicit Shard(unsigned Idx) : Index(Idx) {}
 
+  /// A session's final verdict, filled when the worker retires it at
+  /// run() exit — errors()/takeOutputs() read one engine-agnostic
+  /// representation.
   struct SessionState {
-    std::unique_ptr<Monitor> M; // per-session mode only
-    // Behind a unique_ptr so the address stays stable across migration:
-    // the monitor's output handler captures it.
     std::unique_ptr<std::vector<OutputEvent>> Outputs;
-    bool StolenIn = false;
-    // Final session verdict, filled when the worker retires the session
-    // (both modes), so errors()/takeOutputs() never reach through M —
-    // batched sessions have none.
     bool Failed = false;
     std::string Error;
   };
 
-  /// Batched mode: where a session lives inside this shard's group.
+  /// Where a session lives inside this shard's engine.
   struct LaneRef {
     unsigned Lane = 0;
     bool StolenIn = false;
   };
 
-  /// One migration-inbox message: a whole-session hand-off (State in
-  /// per-session mode, Lane in batched mode) or records forwarded by a
-  /// stolen session's home shard.
+  /// One migration-inbox message: a whole-lane hand-off (Lane set) or
+  /// records forwarded by a stolen session's home shard.
   struct InboxMsg {
     SessionId Session = 0;
-    std::unique_ptr<SessionState> State;
     EventBatch Records;
-    std::unique_ptr<BatchedMonitor::LaneState> Lane;
+    std::unique_ptr<EngineLaneState> Lane;
   };
 
   const unsigned Index;
@@ -153,17 +146,29 @@ struct MonitorFleet::Shard {
   std::thread Thread;
 
   // Worker-owned state (ordered map => deterministic iteration).
-  std::map<SessionId, SessionState> Sessions;
+  std::map<SessionId, SessionState> Sessions; // retired at run() exit
   std::map<SessionId, unsigned> ForwardTo; // stolen session -> thief
   std::map<unsigned, EventBatch> ForwardBuf;
-  // Batched mode: the shard's lockstep group and its session -> lane
-  // map. Created by the worker thread at run() start; at run() exit the
-  // lanes are retired into Sessions so reporting is mode-agnostic.
-  // Unordered on purpose: the map is hit once per record, and the only
-  // iterations are donation (tie-breaks are timing-dependent anyway)
-  // and retirement, which re-orders through the Sessions map.
-  std::unique_ptr<BatchedMonitor> Group;
+  // The shard's execution engine and its session -> lane map. Created
+  // by the worker thread at run() start; at run() exit the lanes are
+  // retired into Sessions so reporting is engine-agnostic. LaneOf is
+  // unordered on purpose: the map is hit once per record, and the only
+  // iterations are donation (tie-breaks are timing-dependent anyway),
+  // the Auto engine switch (membership-only) and retirement, which
+  // re-orders through the Sessions map.
+  std::unique_ptr<ShardEngine> Engine;
   std::unordered_map<SessionId, LaneRef> LaneOf;
+  // Auto-mode arrival observation: routed records and same-session run
+  // count over the first AutoObservationRecords records. The verdict is
+  // computed from exactly that prefix, so it is a deterministic
+  // function of the shard's record sequence (batch boundaries only
+  // affect *when* the switch executes, not what is decided).
+  bool AutoPending = false;
+  bool AutoDecided = false;
+  uint64_t AutoRecords = 0;
+  uint64_t AutoRuns = 0;
+  SessionId AutoLastSession = 0;
+  bool AutoHaveLast = false;
   ShardStats Stats;
 
   void run(MonitorFleet &F);
@@ -173,6 +178,7 @@ struct MonitorFleet::Shard {
   bool drainInbox(MonitorFleet &F);
   void maybeDonate(MonitorFleet &F);
   void postStealRequests(MonitorFleet &F);
+  void maybeSwitchEngine(MonitorFleet &F);
 };
 
 void MonitorFleet::Shard::routeRecord(MonitorFleet &F, EventRecord &R) {
@@ -184,42 +190,33 @@ void MonitorFleet::Shard::routeRecord(MonitorFleet &F, EventRecord &R) {
     ++Stats.RecordsForwarded;
     return;
   }
-  if (Group) {
-    auto [It, New] = LaneOf.try_emplace(R.Session, LaneRef{});
-    if (New)
-      It->second.Lane = Group->addLane(R.Session);
-    ++Stats.EventsProcessed;
-    if (!Group->laneFailed(It->second.Lane))
-      Group->feed(It->second.Lane, R.Input, R.Ts, std::move(R.V));
-    return;
-  }
-  SessionState &SS = Sessions[R.Session];
-  if (!SS.M) {
-    SS.M = std::make_unique<Monitor>(F.Prog);
-    if (F.Opts.CollectOutputs) {
-      SS.Outputs = std::make_unique<std::vector<OutputEvent>>();
-      auto *Outputs = SS.Outputs.get();
-      SS.M->setOutputHandler(
-          [Outputs](Time Ts, StreamId Id, const Value &V) {
-            // The handler's value is borrowed; recording it beyond the
-            // callback requires a deep copy (see Monitor.h).
-            Outputs->push_back({Ts, Id, V.deepCopy()});
-          });
+  if (AutoPending && !AutoDecided) {
+    ++AutoRecords;
+    if (!AutoHaveLast || R.Session != AutoLastSession) {
+      ++AutoRuns;
+      AutoLastSession = R.Session;
+      AutoHaveLast = true;
     }
+    if (AutoRecords >= F.Opts.AutoObservationRecords)
+      AutoDecided = true; // verdict executes at the next batch boundary
   }
+  auto [It, New] = LaneOf.try_emplace(R.Session, LaneRef{});
+  if (New)
+    It->second.Lane = Engine->addLane(R.Session);
   ++Stats.EventsProcessed;
-  if (!SS.M->failed())
-    SS.M->feed(R.Input, R.Ts, std::move(R.V));
+  if (!Engine->laneFailed(It->second.Lane))
+    Engine->feed(It->second.Lane, R.Input, R.Ts, std::move(R.V));
 }
 
 void MonitorFleet::Shard::processBatch(MonitorFleet &F, EventBatch &B) {
   ++Stats.BatchesDrained;
   for (EventRecord &R : B.Records)
     routeRecord(F, R);
-  // Batched mode only buffers here: the pump runs once the ring merge
-  // loop has drained every immediately available batch, so one lockstep
-  // sweep covers all sessions with work — the wider the sweep, the more
-  // dispatch it amortizes.
+  // Buffering engines only buffer here: the pump runs once the ring
+  // merge loop has drained every immediately available batch, so one
+  // lockstep sweep covers all sessions with work — the wider the sweep,
+  // the more dispatch it amortizes. Eager engines applied the records
+  // in routeRecord already.
   flushForwards(F);
   QueueDepth.fetch_sub(static_cast<int64_t>(B.Records.size()),
                        std::memory_order_relaxed);
@@ -234,7 +231,7 @@ void MonitorFleet::Shard::flushForwards(MonitorFleet &F) {
                            std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> G(T.InboxMu);
-      T.Inbox.push_back({0, nullptr, std::move(FB), nullptr});
+      T.Inbox.push_back({0, std::move(FB), nullptr});
     }
     F.bumpSignal(T.Index);
     FB = EventBatch();
@@ -254,17 +251,13 @@ bool MonitorFleet::Shard::drainInbox(MonitorFleet &F) {
     }
     Progress = true;
     if (Msg.Lane) {
-      // Whole-lane hand-off (batched mode). The FIFO inbox guarantees
-      // it precedes any records the home shard forwards afterwards.
+      // Whole-lane hand-off. The FIFO inbox guarantees it precedes any
+      // records the home shard forwards afterwards. The snapshot is
+      // engine-agnostic, so the thief's engine need not match the
+      // victim's (Auto shards decide independently).
       ++Stats.SessionsStolenIn;
-      LaneOf[Msg.Session] = {Group->insertLane(std::move(*Msg.Lane)),
+      LaneOf[Msg.Session] = {Engine->insertLane(std::move(*Msg.Lane)),
                              /*StolenIn=*/true};
-    } else if (Msg.State) {
-      // Whole-session hand-off. The FIFO inbox guarantees it precedes
-      // any records the home shard forwards afterwards.
-      ++Stats.SessionsStolenIn;
-      Msg.State->StolenIn = true;
-      Sessions[Msg.Session] = std::move(*Msg.State);
     } else {
       for (EventRecord &R : Msg.Records.Records)
         routeRecord(F, R);
@@ -278,6 +271,8 @@ bool MonitorFleet::Shard::drainInbox(MonitorFleet &F) {
 void MonitorFleet::Shard::maybeDonate(MonitorFleet &F) {
   if (!F.Opts.WorkStealing || F.Workers.size() < 2)
     return;
+  if (!Engine->supportsMigration())
+    return; // native lanes stay put
   if (F.Finishing.load(std::memory_order_relaxed))
     return;
   int Thief = StealRequest.load(std::memory_order_relaxed);
@@ -290,65 +285,44 @@ void MonitorFleet::Shard::maybeDonate(MonitorFleet &F) {
   // Don't ping-pong load onto a peer that is itself backed up.
   if (T.QueueDepth.load(std::memory_order_relaxed) * 2 > MyDepth)
     return;
+  // Donation may run mid-merge-loop, before the boundary pump; consume
+  // buffered lane records first so the donated snapshot is complete
+  // (extractLane requires an idle lane).
+  Engine->pump();
   // Donate the hottest home-owned session: past volume is the best
   // available predictor of future volume under skew.
-  SessionId Id = 0;
-  std::unique_ptr<SessionState> State;
-  std::unique_ptr<BatchedMonitor::LaneState> Lane;
-  if (Group) {
-    // Donation may run mid-merge-loop, before the boundary pump; consume
-    // buffered lane records first so the donated LaneState is complete
-    // (extractLane requires an idle lane).
-    Group->pump();
-    auto Best = LaneOf.end();
-    uint64_t BestEvents = 0;
-    for (auto It = LaneOf.begin(); It != LaneOf.end(); ++It) {
-      const LaneRef &LR = It->second;
-      if (LR.StolenIn || Group->laneFailed(LR.Lane) ||
-          !Group->laneIdle(LR.Lane))
-        continue;
-      uint64_t E = Group->laneInputEvents(LR.Lane);
-      if (Best == LaneOf.end() || E > BestEvents) {
-        Best = It;
-        BestEvents = E;
-      }
+  auto Best = LaneOf.end();
+  uint64_t BestEvents = 0;
+  for (auto It = LaneOf.begin(); It != LaneOf.end(); ++It) {
+    const LaneRef &LR = It->second;
+    if (LR.StolenIn || Engine->laneFailed(LR.Lane) ||
+        !Engine->laneIdle(LR.Lane))
+      continue;
+    uint64_t E = Engine->laneInputEvents(LR.Lane);
+    if (Best == LaneOf.end() || E > BestEvents) {
+      Best = It;
+      BestEvents = E;
     }
-    if (Best == LaneOf.end())
-      return;
-    Id = Best->first;
-    Lane = std::make_unique<BatchedMonitor::LaneState>(
-        Group->extractLane(Best->second.Lane));
-    LaneOf.erase(Best);
-  } else {
-    auto Best = Sessions.end();
-    uint64_t BestEvents = 0;
-    for (auto It = Sessions.begin(); It != Sessions.end(); ++It) {
-      SessionState &SS = It->second;
-      if (SS.StolenIn || SS.M->failed())
-        continue;
-      uint64_t E = SS.M->inputEvents();
-      if (Best == Sessions.end() || E > BestEvents) {
-        Best = It;
-        BestEvents = E;
-      }
-    }
-    if (Best == Sessions.end())
-      return;
-    Id = Best->first;
-    State = std::make_unique<SessionState>(std::move(Best->second));
-    Sessions.erase(Best);
   }
+  if (Best == LaneOf.end())
+    return;
+  SessionId Id = Best->first;
+  auto Lane = std::make_unique<EngineLaneState>(
+      Engine->extractLane(Best->second.Lane));
+  LaneOf.erase(Best);
   ForwardTo[Id] = static_cast<unsigned>(Thief);
   ++Stats.SessionsStolenOut;
   {
     std::lock_guard<std::mutex> G(T.InboxMu);
-    T.Inbox.push_back({Id, std::move(State), EventBatch(), std::move(Lane)});
+    T.Inbox.push_back({Id, EventBatch(), std::move(Lane)});
   }
   F.bumpSignal(T.Index);
   StealRequest.store(-1, std::memory_order_relaxed);
 }
 
 void MonitorFleet::Shard::postStealRequests(MonitorFleet &F) {
+  if (!Engine->supportsMigration())
+    return; // a native shard cannot insert donated lanes
   // Standing requests: posted while idle regardless of current peer
   // depth, so a load spike that arrives after this worker went to sleep
   // still finds the request and wakes it with a donation.
@@ -362,10 +336,41 @@ void MonitorFleet::Shard::postStealRequests(MonitorFleet &F) {
   }
 }
 
+/// Auto mode: executes the arrival-pattern verdict at a batch boundary
+/// (all lanes idle after the pump). Interleaved traffic keeps the
+/// batched engine; chunky replay migrates every lane — through the same
+/// extractLane/insertLane contract work stealing uses — into a fresh
+/// per-session engine.
+void MonitorFleet::Shard::maybeSwitchEngine(MonitorFleet &F) {
+  if (!AutoPending || !AutoDecided)
+    return;
+  AutoPending = false;
+  double MeanRun = static_cast<double>(AutoRecords) /
+                   static_cast<double>(std::max<uint64_t>(AutoRuns, 1));
+  if (MeanRun < F.Opts.AutoChunkThreshold)
+    return; // interleaved: stay batched
+  std::unique_ptr<ShardEngine> Next =
+      makePerSessionEngine(F.Prog, F.Opts.CollectOutputs);
+  for (auto &[Id, LR] : LaneOf)
+    LR.Lane = Next->insertLane(Engine->extractLane(LR.Lane));
+  Engine = std::move(Next);
+}
+
 void MonitorFleet::Shard::run(MonitorFleet &F) {
   const unsigned NShards = static_cast<unsigned>(F.Workers.size());
-  if (F.Mode == FleetMode::Batched)
-    Group = std::make_unique<BatchedMonitor>(F.Prog, F.Opts.CollectOutputs);
+  switch (F.Mode) {
+  case FleetMode::PerSession:
+    Engine = makePerSessionEngine(F.Prog, F.Opts.CollectOutputs);
+    break;
+  case FleetMode::Native:
+    Engine = F.Opts.NativeFactory(F.Prog, F.Opts.CollectOutputs);
+    break;
+  case FleetMode::Auto: // resolved to Batched in the constructor
+  case FleetMode::Batched:
+    Engine = makeBatchedEngine(F.Prog, F.Opts.CollectOutputs);
+    break;
+  }
+  AutoPending = F.AutoMode;
   std::vector<char> LaneClosed(F.Opts.MaxProducers, 0);
   unsigned ClosedLanes = 0;
   bool Announced = false;
@@ -432,8 +437,8 @@ void MonitorFleet::Shard::run(MonitorFleet &F) {
     // Batch boundary: every immediately available batch (and forwarded
     // record) has been routed into lane queues; one wide lockstep pump
     // executes them all. O(dirty lanes) — free when nothing arrived.
-    if (Group)
-      Group->pump();
+    Engine->pump();
+    maybeSwitchEngine(F);
 
     if (F.Finishing.load(std::memory_order_acquire) &&
         ClosedLanes == F.LaneCount.load(std::memory_order_acquire)) {
@@ -463,38 +468,28 @@ void MonitorFleet::Shard::run(MonitorFleet &F) {
     }
   }
 
-  if (Group) {
-    // Retire every lane into a mode-agnostic SessionState so
-    // errors()/takeOutputs() read one representation.
-    Group->finishAll(F.Opts.Horizon);
-    Stats.LockstepSweeps = Group->sweeps();
-    for (auto &[Id, LR] : LaneOf) {
-      SessionState SS;
-      SS.StolenIn = LR.StolenIn;
-      SS.Failed = Group->laneFailed(LR.Lane);
-      if (SS.Failed) {
-        SS.Error = Group->laneError(LR.Lane);
-        ++Stats.FailedSessions;
-      }
-      if (F.Opts.CollectOutputs)
-        SS.Outputs = std::make_unique<std::vector<OutputEvent>>(
-            Group->takeLaneOutputs(LR.Lane));
-      Stats.OutputsEmitted += Group->laneOutputEvents(LR.Lane);
-      Sessions.emplace(Id, std::move(SS));
+  // Retire every lane into an engine-agnostic SessionState so
+  // errors()/takeOutputs() read one representation.
+  Engine->finishAll(F.Opts.Horizon);
+  Stats.LockstepSweeps = Engine->sweeps();
+  Stats.Engine = Engine->name();
+  for (auto &[Id, LR] : LaneOf) {
+    SessionState SS;
+    SS.Failed = Engine->laneFailed(LR.Lane);
+    if (SS.Failed) {
+      SS.Error = Engine->laneError(LR.Lane);
+      ++Stats.FailedSessions;
     }
-    Stats.Sessions = LaneOf.size();
-  } else {
-    for (auto &[Id, SS] : Sessions) {
-      SS.M->finish(F.Opts.Horizon);
-      Stats.OutputsEmitted += SS.M->outputEvents();
-      SS.Failed = SS.M->failed();
-      if (SS.Failed) {
-        SS.Error = SS.M->errorMessage();
-        ++Stats.FailedSessions;
-      }
-    }
-    Stats.Sessions = Sessions.size();
+    if (F.Opts.CollectOutputs)
+      SS.Outputs = std::make_unique<std::vector<OutputEvent>>(
+          Engine->takeLaneOutputs(LR.Lane));
+    Stats.OutputsEmitted += Engine->laneOutputEvents(LR.Lane);
+    Sessions.emplace(Id, std::move(SS));
   }
+  Stats.Sessions = LaneOf.size();
+  // Destroy the engine before run() returns: a native engine must not
+  // outlive the fleet's hold on its shared object.
+  Engine.reset();
   // QueueHighWater is producer-side state; finish() fills it in after
   // the join (reading it here would race with the last push).
 }
@@ -537,8 +532,15 @@ MonitorFleet::MonitorFleet(const Program &Prog_, FleetOptions Opts_)
   if (Opts.StealBacklog == 0)
     Opts.StealBacklog = 4 * Opts.BatchSize;
   // A fleet serves exactly one Program, so every session shares a spec
-  // and Auto always resolves to the batched engine.
-  Mode = Opts.Mode == FleetMode::Auto ? FleetMode::Batched : Opts.Mode;
+  // and Auto starts every shard on the batched engine; the per-shard
+  // arrival heuristic may migrate a shard to per-session later.
+  AutoMode = Opts.Mode == FleetMode::Auto;
+  Mode = AutoMode ? FleetMode::Batched : Opts.Mode;
+  if (Mode == FleetMode::Native && !Opts.NativeFactory) {
+    Mode = FleetMode::PerSession;
+    EngineFallback = "native engine unavailable: no NativeFactory "
+                     "configured; using the per-session interpreter";
+  }
   Lanes.resize(Opts.MaxProducers);
   Workers.reserve(Opts.Shards);
   for (unsigned I = 0; I != Opts.Shards; ++I)
@@ -761,10 +763,11 @@ std::string FleetStats::str() const {
   for (size_t I = 0; I != Shards.size(); ++I) {
     const ShardStats &S = Shards[I];
     Out += formatString(
-        "  shard %zu: sessions=%llu events=%llu batches=%llu "
+        "  shard %zu: engine=%s sessions=%llu events=%llu batches=%llu "
         "queue-high-water=%llu outputs=%llu failed=%llu "
         "stolen-in=%llu stolen-out=%llu forwarded=%llu sweeps=%llu\n",
-        I, static_cast<unsigned long long>(S.Sessions),
+        I, S.Engine.empty() ? "?" : S.Engine.c_str(),
+        static_cast<unsigned long long>(S.Sessions),
         static_cast<unsigned long long>(S.EventsProcessed),
         static_cast<unsigned long long>(S.BatchesDrained),
         static_cast<unsigned long long>(S.QueueHighWater),

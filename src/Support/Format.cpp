@@ -30,54 +30,10 @@ std::string tessla::formatString(const char *Fmt, ...) {
   return Out;
 }
 
-std::string tessla::join(const std::vector<std::string> &Parts,
-                         std::string_view Sep) {
-  std::string Out;
-  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
-    if (I != 0)
-      Out += Sep;
-    Out += Parts[I];
-  }
-  return Out;
-}
-
-std::string tessla::formatDouble(double V) {
-  // %.17g round-trips but is ugly; try increasing precision until the value
-  // round-trips exactly.
-  for (int Precision = 6; Precision <= 17; ++Precision) {
-    std::string S = formatString("%.*g", Precision, V);
-    if (std::strtod(S.c_str(), nullptr) == V)
-      return S;
-  }
-  return formatString("%.17g", V);
-}
-
-std::string tessla::escapeString(std::string_view S) {
-  std::string Out;
-  Out.reserve(S.size());
-  for (char C : S) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    case '\r':
-      Out += "\\r";
-      break;
-    default:
-      Out += C;
-    }
-  }
-  return Out;
-}
+// join/formatDouble/escapeString moved to Format.h as inline definitions:
+// they back the canonical value rendering in CodeGen/RuntimeSupport.h,
+// which standalone generated monitors (and the native tier's shared
+// objects) compile without linking Format.cpp.
 
 bool tessla::parseInt64(std::string_view S, int64_t &Out) {
   if (S.empty())

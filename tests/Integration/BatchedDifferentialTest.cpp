@@ -22,6 +22,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "tessla/CodeGen/NativeCompile.h"
 #include "tessla/Runtime/MonitorFleet.h"
 #include "tessla/Runtime/TraceGen.h"
 
@@ -31,6 +32,22 @@
 #include <gtest/gtest.h>
 
 #include <map>
+
+// The native tier dlopen()s code built by the *system* compiler, which
+// carries no sanitizer instrumentation. TSan in particular cannot model
+// synchronization inside an uninstrumented library, so the native axis
+// is skipped under TSan (the CI native job runs it without sanitizers
+// and under ASan/UBSan instead).
+#if defined(__SANITIZE_THREAD__)
+#define TESSLA_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TESSLA_TSAN 1
+#endif
+#endif
+#ifndef TESSLA_TSAN
+#define TESSLA_TSAN 0
+#endif
 
 using namespace tessla;
 using namespace tessla::testspecs;
@@ -96,11 +113,16 @@ std::vector<SessionId> pinnedSessions(const Program &Plan, size_t Count) {
 }
 
 /// Runs \p Records (already in the desired arrival order) through a
-/// fleet in \p Mode and returns the rendered output trace.
+/// fleet in \p Mode and returns the rendered output trace. For
+/// FleetMode::Native the caller passes the engine factory (the library
+/// is compiled once per (spec, config) and shared across runs).
 std::string fleetRun(const Program &Plan,
                      const std::vector<CorpusRecord> &Records,
-                     FleetMode Mode, FleetStats *StatsOut = nullptr) {
-  MonitorFleet Fleet(Plan, migrationHostileOptions(Mode));
+                     FleetMode Mode, FleetStats *StatsOut = nullptr,
+                     EngineFactory Native = {}) {
+  FleetOptions FOpts = migrationHostileOptions(Mode);
+  FOpts.NativeFactory = std::move(Native);
+  MonitorFleet Fleet(Plan, FOpts);
   EXPECT_EQ(Fleet.mode(), Mode);
   for (const CorpusRecord &R : Records)
     EXPECT_TRUE(
@@ -235,6 +257,86 @@ TEST(BatchedDifferentialTest, CorpusByteIdenticalUnderMigration) {
       << "optimization never kicked in; the mutability axis is vacuous";
 }
 
+// The three-way tentpole property: >= 50 random specs x -O0/-O1, each
+// run through the interpreter reference, the batched fleet AND the
+// native compiled tier (CppEmitter -> system compiler -> dlopen), byte
+// for byte. The native library is compiled once per (spec, opt level)
+// and shared by all its runs; a machine without a working system
+// compiler skips with the compileNative diagnostic rather than failing.
+// Native lanes cannot migrate (supportsMigration() is false), so the
+// steal pressure of the hostile fleet shape is exercised but inert on
+// this axis — the batched run in the same comparison keeps it honest.
+TEST(BatchedDifferentialTest, CorpusThreeWayNativeByteIdentical) {
+#if TESSLA_TSAN
+  GTEST_SKIP() << "native tier runs uninstrumented code; not a TSan axis";
+#endif
+  const uint64_t Seed0 = corpusSeed();
+  const size_t NumSpecs = corpusSpecs(50);
+  size_t OutputBytes = 0;
+  for (uint64_t Seed = Seed0; Seed != Seed0 + NumSpecs; ++Seed) {
+    RandomSpecOptions Opts;
+    Opts.WithQueueOps = true;
+    Opts.WithDelay = Seed % 3 == 0;
+    Spec S = randomSpec(Seed, Opts);
+
+    std::vector<std::vector<TraceEvent>> Traces;
+    for (unsigned Session = 0; Session != 4; ++Session)
+      Traces.push_back(randomSpecTrace(S, 60, Seed * 10007 + Session));
+    Program Probe = compileOrDie(S, true);
+    std::vector<SessionId> Sessions = pinnedSessions(Probe, Traces.size());
+    std::vector<CorpusRecord> Records =
+        interleave(S, Sessions, Traces, Seed * 31 + 7);
+
+    // Alternate the mutability mode with the seed (both native code
+    // paths face the reference) while sweeping the -O0/-O1 axis.
+    for (Config Cfg : {Config{Seed % 2 == 0, 0}, Config{Seed % 2 == 0, 1}}) {
+      Program Plan = compileOrDie(S, Cfg.Optimize, Cfg.OptLevel);
+      std::string NativeErr;
+      std::shared_ptr<NativeMonitorLibrary> Lib =
+          compileNative(Plan, NativeCompileOptions(), NativeErr);
+      if (!Lib)
+        GTEST_SKIP() << "native tier unavailable: " << NativeErr;
+      std::string Reference = sequentialReference(Plan, Records);
+      std::string Batched = fleetRun(Plan, Records, FleetMode::Batched);
+      std::string Native = fleetRun(Plan, Records, FleetMode::Native,
+                                    nullptr, makeNativeEngineFactory(Lib));
+      OutputBytes += Reference.size();
+      if (Batched == Reference && Native == Reference)
+        continue;
+
+      const bool NativeDiverged = Native != Reference;
+      CorpusFailure Info;
+      Info.Seed = Seed;
+      Info.Baseline = !Cfg.Optimize;
+      Info.OptLevel = Cfg.OptLevel;
+      Info.TestBinary = "integration_batched_differential_test";
+      auto Fails = [&](const Spec &Shrunk,
+                       const std::vector<CorpusRecord> &R) {
+        Program P = compileOrDie(Shrunk, Cfg.Optimize, Cfg.OptLevel);
+        std::string Ref = sequentialReference(P, R);
+        if (!NativeDiverged)
+          return fleetRun(P, R, FleetMode::Batched) != Ref;
+        // Each shrink candidate is a new Program, so the native tier
+        // recompiles per step — slow, but only on the failure path.
+        std::string Err;
+        auto ShrunkLib = compileNative(P, NativeCompileOptions(), Err);
+        if (!ShrunkLib)
+          return false; // a spec the compiler rejects is not a repro
+        return fleetRun(P, R, FleetMode::Native, nullptr,
+                        makeNativeEngineFactory(ShrunkLib)) != Ref;
+      };
+      ADD_FAILURE() << (NativeDiverged ? "native" : "batched")
+                    << " fleet diverged from the sequential reference "
+                    << "(seed " << Seed << ", "
+                    << (Cfg.Optimize ? "optimized" : "baseline") << ", -O"
+                    << Cfg.OptLevel << ")\n"
+                    << minimizeAndReport(S, Records, Fails, Info);
+      return; // one shrunken repro beats 50 raw failures
+    }
+  }
+  EXPECT_GT(OutputBytes, 0u) << "vacuous comparison";
+}
+
 // Mid-stream joins: sessions enter one by one while earlier lanes are
 // already hundreds of records in, so the batched engine keeps adding
 // lanes (sparse activation) mid-run. Timestamps are per-session clocks —
@@ -299,6 +401,17 @@ TEST(BatchedDifferentialTest, WholeAggregateOutputsByteIdentical) {
     std::string Reference = sequentialReference(Plan, Records);
     EXPECT_EQ(fleetRun(Plan, Records, FleetMode::Batched), Reference);
     EXPECT_EQ(fleetRun(Plan, Records, FleetMode::PerSession), Reference);
+#if !TESSLA_TSAN
+    // Canonical aggregate renderings must also survive the C boundary of
+    // the native tier (values are re-parsed from their textual form on
+    // the way back into the fleet).
+    std::string NativeErr;
+    if (auto Lib = compileNative(Plan, NativeCompileOptions(), NativeErr)) {
+      EXPECT_EQ(fleetRun(Plan, Records, FleetMode::Native, nullptr,
+                         makeNativeEngineFactory(Lib)),
+                Reference);
+    }
+#endif
     OutputBytes += Reference.size();
   }
   EXPECT_GT(OutputBytes, 0u) << "vacuous comparison";

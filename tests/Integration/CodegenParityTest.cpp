@@ -14,7 +14,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "tessla/CodeGen/CppEmitter.h"
+#include "tessla/CodeGen/NativeCompile.h"
 #include "tessla/Opt/PassManager.h"
+#include "tessla/Runtime/ExecutionEngine.h"
 #include "tessla/Runtime/TraceGen.h"
 #include "tessla/Runtime/TraceIO.h"
 
@@ -56,12 +58,52 @@ std::string readFile(const std::string &Path) {
   return Buffer.str();
 }
 
+// The native tier loads uninstrumented code; keep it off the TSan axis
+// (see BatchedDifferentialTest.cpp for the rationale).
+#if defined(__SANITIZE_THREAD__)
+#define TESSLA_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TESSLA_TSAN 1
+#endif
+#endif
+#ifndef TESSLA_TSAN
+#define TESSLA_TSAN 0
+#endif
+
+/// Third backend: the same Program through the native execution tier
+/// (CppEmitter shim -> system compiler -> dlopen, wrapped as a
+/// ShardEngine). Unlike the EmitMain path below this crosses the C shim
+/// boundary — outputs are rendered to text inside the library and
+/// re-parsed on the way back — so it proves the full deployment path,
+/// not just the emitted calculation bodies.
+void expectNativeParity(uint64_t Seed, const Spec &S, const Program &P,
+                        const std::vector<TraceEvent> &Events,
+                        const std::string &Expected) {
+#if TESSLA_TSAN
+  (void)Seed, (void)S, (void)P, (void)Events, (void)Expected;
+#else
+  std::string Error;
+  auto Lib = compileNative(P, NativeCompileOptions(), Error);
+  ASSERT_TRUE(Lib) << "seed " << Seed << ": " << Error;
+  std::unique_ptr<ShardEngine> Engine = makeNativeEngineFactory(Lib)(P, true);
+  EventBatch Batch;
+  for (const auto &[Id, Ts, V] : Events)
+    Batch.Records.push_back({0, Id, Ts, V});
+  auto Outputs = runEngineSingle(*Engine, Batch, std::nullopt, &Error);
+  ASSERT_EQ(Error, "") << "seed " << Seed;
+  EXPECT_EQ(formatOutputs(S, Outputs), Expected)
+      << "native tier diverged at seed " << Seed << "\n" << S.str();
+#endif
+}
+
 /// Runs both backends over the same Program on \p Events and expects
 /// byte-identical output. The host compiler runs at -O0 to keep the
 /// corpus-sized compile bill small; correctness does not depend on it.
 /// With \p OptLevel >= 1 the *program* optimizer runs first, and the
 /// expectation is computed from the unoptimized interpreter — one call
-/// checks interpreter -O0 == interpreter -O1 == generated C++ -O1.
+/// checks interpreter -O0 == interpreter -O1 == generated C++ -O1
+/// == the dlopen()ed native tier at the same opt level.
 void expectParity(uint64_t Seed, const Spec &S, bool Optimize,
                   const std::vector<TraceEvent> &Events,
                   unsigned OptLevel = 0) {
@@ -79,6 +121,10 @@ void expectParity(uint64_t Seed, const Spec &S, bool Optimize,
     ASSERT_EQ(formatOutputs(S, OptOut), Expected)
         << "interpreter -O1 diverged at seed " << Seed << "\n" << S.str();
   }
+
+  expectNativeParity(Seed, S, P, Events, Expected);
+  if (::testing::Test::HasFatalFailure())
+    return;
 
   CppEmitterOptions Opts;
   Opts.EmitMain = true;

@@ -199,3 +199,48 @@ TEST(TesslaRunTest, DelaySpecWithHorizon) {
   EXPECT_EQ(Out, Ref);
   EXPECT_NE(Out.find("t = "), std::string::npos) << Out;
 }
+
+TEST(TesslaRunTest, NativeEngineBundleParity) {
+  // The native tier is deployment-side: a loaded bundle is compiled by
+  // the system compiler behind the frontend-free binary and must replay
+  // byte-identically to the interpreter — sequentially and in a fleet.
+  std::string Trace = tempPath("run_native_trace.txt");
+  writeFile(Trace, intTrace("x", 20));
+  expectBundleParity(specsDir() + "/seen_set.tessla", Trace,
+                     "--engine=native");
+  expectBundleParity(specsDir() + "/seen_set.tessla", Trace,
+                     "--fleet 2 --sessions 4 --engine=native");
+}
+
+TEST(TesslaRunTest, EngineAliasesAndConflictsMatchTesslac) {
+  std::string Trace = tempPath("run_engine_alias_trace.txt");
+  writeFile(Trace, intTrace("x", 12));
+  std::string Bundle = tempPath("engine_alias.tpb");
+  auto [RcEmit, OutEmit] = run(std::string(TESSLAC_PATH) + " " +
+                               specsDir() + "/seen_set.tessla -O1 "
+                               "--emit=tpb -o " + Bundle);
+  ASSERT_EQ(RcEmit, 0);
+  auto [RcRef, Ref] = run(std::string(TESSLA_RUN_PATH) + " " + Bundle +
+                          " --trace " + Trace);
+  ASSERT_EQ(RcRef, 0);
+  ASSERT_FALSE(Ref.empty()) << "vacuous comparison";
+  // The aliases and their --engine= spellings agree with the default.
+  for (const char *Engine : {" --engine=interp", " --engine=batched",
+                             " --per-session", " --batched"}) {
+    auto [Rc, Out] = run(std::string(TESSLA_RUN_PATH) + " " + Bundle +
+                         " --trace " + Trace + Engine);
+    EXPECT_EQ(Rc, 0) << Engine;
+    EXPECT_EQ(Out, Ref) << Engine;
+  }
+  // Disagreeing selections are rejected, same wording as tesslac.
+  std::string Err;
+  auto [RcConflict, OutConflict] =
+      run(std::string(TESSLA_RUN_PATH) + " " + Bundle + " --trace " +
+              Trace + " --per-session --engine=native",
+          &Err);
+  EXPECT_NE(RcConflict, 0);
+  EXPECT_NE(Err.find("conflicting engine selections '--per-session' and "
+                     "'--engine=native'"),
+            std::string::npos)
+      << Err;
+}

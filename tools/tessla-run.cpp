@@ -24,6 +24,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "tessla/CodeGen/NativeCompile.h"
 #include "tessla/Program/Serialize.h"
 #include "tessla/Runtime/MonitorFleet.h"
 #include "tessla/Runtime/TraceIO.h"
@@ -33,6 +34,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -58,14 +60,29 @@ void printUsage(const char *Argv0) {
       "  --producers <p>                   fleet producer threads; the\n"
       "                                    sessions are partitioned over\n"
       "                                    them (default 1)\n"
-      "  --batched | --per-session         fleet execution engine: SoA\n"
-      "                                    lockstep lanes vs one Monitor\n"
-      "                                    per session (default batched;\n"
-      "                                    outputs are byte-identical)\n"
+      "  --engine=interp|batched|native    execution engine: one\n"
+      "                                    interpreter Monitor per\n"
+      "                                    session, SoA lockstep lanes,\n"
+      "                                    or the compiled native tier\n"
+      "                                    (CppEmitter -> system compiler\n"
+      "                                    -> dlopen; falls back to the\n"
+      "                                    interpreter when no compiler\n"
+      "                                    is available). Outputs are\n"
+      "                                    byte-identical across engines.\n"
+      "                                    Default: batched with an\n"
+      "                                    arrival-pattern heuristic\n"
+      "                                    (fleet), interpreter\n"
+      "                                    (sequential)\n"
+      "  --batched | --per-session         aliases for --engine=batched /\n"
+      "                                    --engine=interp\n"
       "  --plan                            print the loaded program\n"
       "                                    instead of executing\n",
       Argv0);
 }
+
+/// Engine selection shared by the sequential and fleet paths. Explicit
+/// selections must agree; the aliases and --engine= are one knob.
+enum class EngineSel { Default, Interp, Batched, Native };
 
 std::optional<std::string> readFile(const char *Path) {
   std::ifstream In(Path);
@@ -92,7 +109,20 @@ int main(int argc, char **argv) {
   unsigned FleetShards = 0; // 0 = single-session sequential replay
   unsigned FleetSessions = 1;
   unsigned FleetProducers = 1;
-  FleetMode Mode = FleetMode::Auto;
+  EngineSel Engine = EngineSel::Default;
+  const char *EngineFlag = nullptr; // the flag that selected it
+
+  auto selectEngine = [&](EngineSel Sel, const char *Flag) {
+    if (Engine != EngineSel::Default && Engine != Sel) {
+      std::fprintf(stderr,
+                   "conflicting engine selections '%s' and '%s'\n",
+                   EngineFlag, Flag);
+      return false;
+    }
+    Engine = Sel;
+    EngineFlag = Flag;
+    return true;
+  };
 
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
@@ -109,10 +139,28 @@ int main(int argc, char **argv) {
     } else if (std::strcmp(Arg, "--producers") == 0 && I + 1 < argc) {
       FleetProducers = static_cast<unsigned>(
           std::max(1ll, std::strtoll(argv[++I], nullptr, 10)));
+    } else if (std::strncmp(Arg, "--engine=", 9) == 0) {
+      const char *Which = Arg + 9;
+      EngineSel Sel;
+      if (std::strcmp(Which, "interp") == 0)
+        Sel = EngineSel::Interp;
+      else if (std::strcmp(Which, "batched") == 0)
+        Sel = EngineSel::Batched;
+      else if (std::strcmp(Which, "native") == 0)
+        Sel = EngineSel::Native;
+      else {
+        std::fprintf(stderr, "unknown engine '%s'\n", Which);
+        printUsage(argv[0]);
+        return 2;
+      }
+      if (!selectEngine(Sel, Arg))
+        return 2;
     } else if (std::strcmp(Arg, "--batched") == 0) {
-      Mode = FleetMode::Batched;
+      if (!selectEngine(EngineSel::Batched, Arg))
+        return 2;
     } else if (std::strcmp(Arg, "--per-session") == 0) {
-      Mode = FleetMode::PerSession;
+      if (!selectEngine(EngineSel::Interp, Arg))
+        return 2;
     } else if (std::strcmp(Arg, "--plan") == 0) {
       PrintPlan = true;
     } else if (std::strcmp(Arg, "--help") == 0) {
@@ -161,6 +209,23 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  // Resolve the native tier up front (shared by the sequential and the
+  // fleet path) so a missing compiler degrades to the interpreter with
+  // one diagnostic instead of failing the run.
+  EngineFactory NativeFactory;
+  if (Engine == EngineSel::Native) {
+    std::string NativeErr;
+    NativeFactory =
+        makeNativeEngineFactory(Plan, NativeCompileOptions(), NativeErr);
+    if (!NativeFactory) {
+      std::fprintf(stderr,
+                   "native engine unavailable: %s; falling back to the "
+                   "interpreter\n",
+                   NativeErr.c_str());
+      Engine = EngineSel::Interp;
+    }
+  }
+
   if (FleetShards > 0) {
     // Same multi-session replay shape as `tesslac --run --fleet`: the
     // sessions are partitioned over the producer threads, each feeding
@@ -168,7 +233,21 @@ int main(int argc, char **argv) {
     FleetOptions FOpts;
     FOpts.Shards = FleetShards;
     FOpts.Horizon = Horizon;
-    FOpts.Mode = Mode;
+    switch (Engine) {
+    case EngineSel::Default:
+      FOpts.Mode = FleetMode::Auto;
+      break;
+    case EngineSel::Interp:
+      FOpts.Mode = FleetMode::PerSession;
+      break;
+    case EngineSel::Batched:
+      FOpts.Mode = FleetMode::Batched;
+      break;
+    case EngineSel::Native:
+      FOpts.Mode = FleetMode::Native;
+      FOpts.NativeFactory = NativeFactory;
+      break;
+    }
     unsigned Producers = std::min(FleetProducers, FleetSessions);
     FOpts.MaxProducers = std::max(FOpts.MaxProducers, Producers);
     MonitorFleet Fleet(Plan, FOpts);
@@ -197,6 +276,30 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "session %llu error: %s\n",
                      static_cast<unsigned long long>(E.Session),
                      E.Message.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  // Sequential replay through a non-default engine: collect through the
+  // ShardEngine interface, then print — same bytes as the streaming
+  // interpreter path below.
+  if (Engine == EngineSel::Batched || Engine == EngineSel::Native) {
+    std::unique_ptr<ShardEngine> Eng =
+        Engine == EngineSel::Batched ? makeBatchedEngine(Plan)
+                                     : NativeFactory(Plan, true);
+    EventBatch Batch;
+    for (const auto &[Id, Ts, V] : *Events)
+      Batch.Records.push_back({0, Id, Ts, V});
+    std::string Err;
+    std::vector<OutputEvent> Outs =
+        runEngineSingle(*Eng, Batch, Horizon, &Err);
+    for (const OutputEvent &E : Outs)
+      std::printf("%lld: %s = %s\n", static_cast<long long>(E.Ts),
+                  Plan.spec().stream(E.Id).Name.c_str(), E.V.str().c_str());
+    Eng.reset(); // a native engine must not outlive this scope's library
+    if (!Err.empty()) {
+      std::fprintf(stderr, "monitor error: %s\n", Err.c_str());
       return 1;
     }
     return 0;
