@@ -1,0 +1,290 @@
+//===- tessla/Analysis/AbsInt.h - Abstract interpretation ------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The clock-calculus abstract-interpretation framework over the lowered
+/// Program IR: a worklist fixpoint engine running a set of cooperating
+/// analyses whose per-stream facts land in one shared AnalysisFacts
+/// store. Four concrete analyses ship with the engine:
+///
+///  * **clock domination** — the ev' triggering formulas of §IV-C,
+///    recomputed over Program opcodes (including the opt-introduced
+///    ConstTick/FusedLastLift/FusedLiftLift) together with a timestamp-0
+///    companion formula, so subset/superset/equality of tick sets can be
+///    decided *including* the initial timestamp;
+///  * **nil/undef reachability** — a Never/Unit/Var tick lattice plus a
+///    provably-initialized-at-0 bit: can a slot ever be read before its
+///    first event, can it ever carry an event at all;
+///  * **interval/constant range** — an interval domain over Int values
+///    (held-constant aware: a ConstTick's payload is a range fact even
+///    though the stream ticks often), a two-point Bool domain, and exact
+///    scalar constants, with widening at merge/last cycles;
+///  * **delay/queue bound inference** — static element-count bounds per
+///    aggregate stream (so a session's memory footprint is bounded), or
+///    top = unbounded with the offending growth cycle reported.
+///
+/// The lattice fixpoint runs first (tick/range/bound are mutually
+/// recursive: a condition's range decides a filter's clock, a trim
+/// argument's range caps a queue's bound); the clock formulas are then
+/// built in one forward pass over the converged facts.
+///
+/// Facts are *semantic*: they hold for every execution of the program,
+/// so any semantics-preserving rewrite keeps an AnalysisFacts valid for
+/// the rewritten program. The optimization passes (Opt/) consume a facts
+/// instance computed at each pass boundary; the linter and the
+/// `tesslac --dump-analysis` surface render the same facts; and the
+/// soundness-oracle test harness checks every observed execution against
+/// them. See DESIGN.md §3e.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_ANALYSIS_ABSINT_H
+#define TESSLA_ANALYSIS_ABSINT_H
+
+#include "tessla/Program/Program.h"
+#include "tessla/SAT/BoolExpr.h"
+#include "tessla/SAT/Solver.h"
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tessla {
+namespace absint {
+
+/// When can the stream carry events? Ordered lattice: Never < Unit < Var.
+enum class TickKind : uint8_t {
+  Never, ///< provably no events, ever
+  Unit,  ///< exactly one event, at timestamp 0 (a unit-clock constant)
+  Var,   ///< anything else
+};
+
+/// Abstract value carried by a stream's events. Bottom until the first
+/// provable event; Int streams get an interval (with +-infinity encoded
+/// as the int64 limits), Bool streams a may-be-true/may-be-false pair,
+/// everything else collapses to Top (the exact-constant channel lives
+/// separately in AnalysisFacts::knownValue).
+struct ValueRange {
+  enum class Kind : uint8_t { Bottom, Int, Bool, Top };
+  static constexpr int64_t NegInf = std::numeric_limits<int64_t>::min();
+  static constexpr int64_t PosInf = std::numeric_limits<int64_t>::max();
+
+  Kind K = Kind::Bottom;
+  int64_t Lo = 0, Hi = 0;              // Int only
+  bool CanTrue = false, CanFalse = false; // Bool only
+
+  static ValueRange bottom() { return {}; }
+  static ValueRange top() { return {Kind::Top, 0, 0, false, false}; }
+  static ValueRange interval(int64_t Lo, int64_t Hi) {
+    return {Kind::Int, Lo, Hi, false, false};
+  }
+  static ValueRange intConst(int64_t V) { return interval(V, V); }
+  static ValueRange boolRange(bool CanTrue, bool CanFalse) {
+    return {Kind::Bool, 0, 0, CanTrue, CanFalse};
+  }
+  static ValueRange boolConst(bool B) { return boolRange(B, !B); }
+
+  bool isBottom() const { return K == Kind::Bottom; }
+  /// Every event of the stream provably carries `true`.
+  bool alwaysTrue() const { return K == Kind::Bool && CanTrue && !CanFalse; }
+  /// Every event of the stream provably carries `false`.
+  bool alwaysFalse() const { return K == Kind::Bool && !CanTrue && CanFalse; }
+  /// True when \p V (an observed event value) is contained in the range.
+  bool contains(const Value &V) const;
+
+  /// Least upper bound.
+  ValueRange join(const ValueRange &O) const;
+  /// Standard interval widening against the previous value \p Old:
+  /// unstable bounds jump to the respective infinity.
+  ValueRange widen(const ValueRange &Old) const;
+
+  friend bool operator==(const ValueRange &A, const ValueRange &B) {
+    return A.K == B.K && A.Lo == B.Lo && A.Hi == B.Hi &&
+           A.CanTrue == B.CanTrue && A.CanFalse == B.CanFalse;
+  }
+  friend bool operator!=(const ValueRange &A, const ValueRange &B) {
+    return !(A == B);
+  }
+
+  std::string str() const;
+};
+
+/// Static element-count bound of an aggregate (set/map/queue) stream, or
+/// unbounded with the stream where the growth cycle was detected.
+struct SizeBound {
+  bool Unbounded = false;
+  uint64_t Max = 0; ///< meaningful when !Unbounded
+
+  std::string str() const;
+  friend bool operator==(const SizeBound &A, const SizeBound &B) {
+    return A.Unbounded == B.Unbounded && (A.Unbounded || A.Max == B.Max);
+  }
+};
+
+/// Relation between two streams' tick sets (past timestamp 0; the
+/// *Incl0 queries below fold timestamp 0 in).
+enum class ClockRel : uint8_t { Equal, Subset, Superset, Unknown };
+
+/// The shared fact store: one entry per StreamId of the analyzed
+/// program's spec. Streams the (possibly optimized) program no longer
+/// computes a step for are Never/bottom — they provably carry no events
+/// in *this* program.
+///
+/// Clock queries go through an ImplicationChecker (syntactic fast path +
+/// SAT) and cache per formula pair, hence non-const.
+class AnalysisFacts {
+public:
+  /// Runs the combined lattice fixpoint and the clock-formula pass over
+  /// \p P. The result borrows \p P's spec for names only; it remains
+  /// valid across semantics-preserving rewrites of \p P.
+  static AnalysisFacts compute(const Program &P);
+
+  AnalysisFacts(AnalysisFacts &&) = default;
+  AnalysisFacts &operator=(AnalysisFacts &&) = default;
+
+  // --- Nil / undef reachability -------------------------------------
+  /// May the stream ever carry an event? A false answer is a proof of
+  /// silence (the tick lattice is a may-over-approximation).
+  bool canFire(StreamId Id) const { return tick(Id) != TickKind::Never; }
+  TickKind tick(StreamId Id) const { return Facts[Id].Tick; }
+  /// Provably carries an event at timestamp 0 under every input (so a
+  /// `last` reading it past timestamp 0 never reads undef).
+  bool alwaysInitialized(StreamId Id) const { return Facts[Id].At0; }
+  /// Unit clock: exactly one event, at timestamp 0.
+  bool unitClock(StreamId Id) const {
+    return tick(Id) == TickKind::Unit && alwaysInitialized(Id);
+  }
+
+  // --- Constant / range ---------------------------------------------
+  /// The exact value every event of the stream provably carries, or
+  /// null. May be an aggregate (propagated for size folding but never
+  /// materialized into a rewritten step).
+  const Value *knownValue(StreamId Id) const {
+    return Facts[Id].HasKnown ? &Facts[Id].Known : nullptr;
+  }
+  const ValueRange &range(StreamId Id) const { return Facts[Id].Range; }
+
+  // --- Delay / queue bounds -----------------------------------------
+  /// Element-count bound of an aggregate stream (0 for scalar streams).
+  const SizeBound &sizeBound(StreamId Id) const { return Facts[Id].Bound; }
+  /// Streams whose bound analysis widened to unbounded, with the growth
+  /// cycle (stream names joined by " -> ") for diagnostics. Empty when
+  /// every aggregate is statically bounded.
+  struct UnboundedGrowth {
+    StreamId Id;
+    std::string Cycle;
+  };
+  const std::vector<UnboundedGrowth> &unboundedStreams() const {
+    return Unbounded;
+  }
+  /// A self-re-arming delay (its reset side depends on its own events):
+  /// the drain at finish() needs a horizon. Periodic specs do this on
+  /// purpose; the fact is surfaced, not linted.
+  bool delaySelfArming(StreamId Id) const { return Facts[Id].SelfArming; }
+
+  // --- Clock domination ---------------------------------------------
+  /// ev'(Id) for t >= 1 over StreamId atoms, and the timestamp-0
+  /// companion formula (atoms: inputs that may or may not tick at 0).
+  BoolExprRef clockFormula(StreamId Id) const { return Facts[Id].Clock; }
+  BoolExprRef clockAt0Formula(StreamId Id) const { return Facts[Id].At0F; }
+
+  /// Proves ev(U) \ {0} is a subset of ev(V): every event of U past
+  /// timestamp 0 is accompanied by an event of V.
+  bool clockSubset(StreamId U, StreamId V);
+  /// clockSubset including timestamp 0.
+  bool clockSubsetIncl0(StreamId U, StreamId V);
+  /// Best provable relation between the two tick sets (incl. t = 0).
+  ClockRel clockRelation(StreamId U, StreamId V);
+  /// Exact refutation: true when there provably *exists* an input under
+  /// which U ticks without V at some t >= 1 — requires both formulas to
+  /// range over free input atoms only (no filter/delay/uninitialized-
+  /// last atoms), so the found assignment is realizable.
+  bool provablyTicksWithout(StreamId U, StreamId V);
+  /// Proves every event of U (timestamp 0 included) is accompanied by an
+  /// event of at least one stream in \p Vs — the dead-merge-arm side
+  /// condition (U's events always lose to an earlier arm). False for an
+  /// empty \p Vs unless U is provably silent.
+  bool clockCoveredBy(StreamId U, const std::vector<StreamId> &Vs);
+
+  // --- Rendering ----------------------------------------------------
+  /// One-line fact summary of a stream: clock formula, tick kind, range,
+  /// bound (the proving facts the linter attaches to its diagnostics).
+  std::string factString(StreamId Id) const;
+  /// Per-slot dump of the whole program (`tesslac --dump-analysis`),
+  /// ending with the per-session memory-bound summary.
+  std::string str() const;
+  /// The clock formula with stream names substituted for atom ids.
+  std::string formulaString(StreamId Id) const;
+
+  /// Fast-path/SAT query counters of the implication checker.
+  uint64_t implicationFastPathHits() const;
+  uint64_t implicationSatQueries() const;
+
+  const Spec &spec() const { return *S; }
+
+private:
+  AnalysisFacts() = default;
+  friend class FactsBuilder;
+
+  struct StreamFacts {
+    TickKind Tick = TickKind::Never;
+    bool At0 = false;      // provably fires at timestamp 0
+    bool HasKnown = false; // every event carries Known
+    bool KnownDamaged = false; // conflicting constants seen; stay unknown
+    Value Known;
+    ValueRange Range;
+    SizeBound Bound;
+    bool SelfArming = false; // Delay streams only
+    BoolExprRef Clock = 0;   // ev', t >= 1
+    BoolExprRef At0F = 0;    // ticks-at-0 formula
+    bool InputAtomsOnly = false; // both formulas range over inputs only
+  };
+
+  std::shared_ptr<const Spec> S;
+  std::vector<StreamFacts> Facts;
+  std::vector<UnboundedGrowth> Unbounded;
+  std::unique_ptr<BoolExprContext> Ctx;
+  std::unique_ptr<ImplicationChecker> Checker;
+};
+
+/// One cooperating analysis run by the fixpoint engine: a monotone
+/// transfer per program step into the shared fact store. The engine
+/// revisits a step whenever a fact of one of its operand streams
+/// changed; widen() is invoked instead of a plain join once a step has
+/// been recomputed more than the widening threshold, and must jump the
+/// step's facts to a post-fixpoint (top is always sound).
+///
+/// The four shipped analyses are internal (src/Analysis/AbsInt.cpp);
+/// the interface is the extension point for further derived analyses.
+class Analysis {
+public:
+  virtual ~Analysis() = default;
+  virtual std::string_view name() const = 0;
+  /// Recomputes stream facts from the operands' facts; returns true when
+  /// anything changed (the engine then re-queues the dependents).
+  virtual bool transfer(const ProgramStep &Step) = 0;
+  /// Accelerated transfer past the widening threshold.
+  virtual bool widen(const ProgramStep &Step) = 0;
+  /// Number of recomputations of one step after which the engine calls
+  /// widen() instead of transfer(). Domains with short chains (Int
+  /// intervals) widen early; the size-bound domain climbs linearly to a
+  /// queueTrim cap, so it gets more rope before giving up to unbounded.
+  virtual unsigned widenAfter() const { return 8; }
+};
+
+/// Runs \p Analyses over \p P's steps to a combined fixpoint: a shared
+/// worklist seeded in translation order; a step whose facts changed under
+/// any analysis re-queues every step reading one of its streams. Returns
+/// the number of transfer invocations (for tests pinning convergence).
+size_t runFixpoint(const Program &P,
+                   const std::vector<Analysis *> &Analyses);
+
+} // namespace absint
+} // namespace tessla
+
+#endif // TESSLA_ANALYSIS_ABSINT_H

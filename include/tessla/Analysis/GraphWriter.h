@@ -17,6 +17,7 @@
 #ifndef TESSLA_ANALYSIS_GRAPHWRITER_H
 #define TESSLA_ANALYSIS_GRAPHWRITER_H
 
+#include "tessla/Analysis/AbsInt.h"
 #include "tessla/Analysis/Mutability.h"
 
 #include <string>
@@ -27,6 +28,13 @@ namespace tessla {
 /// only).
 std::string writeUsageGraphDot(const UsageGraph &G,
                                const MutabilityResult *Mutability = nullptr);
+
+/// Renders \p G annotated with the abstract-interpretation facts of each
+/// stream (tick kind, known value, range, size bound): provably-silent
+/// streams are grayed out, unbounded aggregates drawn red — the
+/// `tesslac --dump-analysis=dot` artifact.
+std::string writeAnalysisFactsDot(const UsageGraph &G,
+                                  const absint::AnalysisFacts &Facts);
 
 } // namespace tessla
 

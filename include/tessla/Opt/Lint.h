@@ -6,12 +6,14 @@
 ///
 /// \file
 /// Spec-level lint diagnostics, surfaced through `tesslac --lint`. The
-/// linter works on the Spec (not the lowered Program) so warnings carry
-/// the original source locations and names, before any desugaring or
-/// optimization obscures them.
+/// linter reports against the Spec (so warnings carry the original
+/// source locations and names), but every firing-dependent verdict comes
+/// from the abstract-interpretation fact store (Analysis/AbsInt.h)
+/// computed over the baseline-compiled program — a "never" verdict is a
+/// proof, so there are no false "statically nil" positives on specs
+/// whose streams can fire.
 ///
-/// Rules (all driven by a can-fire over-approximation, so there are no
-/// false "statically nil" positives on specs whose streams can fire):
+/// Rules:
 ///
 ///  * `unused-stream`      — a defined, non-output stream no other stream
 ///                           reads (prefix the name with '_' to silence);
@@ -21,7 +23,15 @@
 ///                           never produce the event its own reset side
 ///                           demands, so it stays silent forever;
 ///  * `shadows-builtin`    — a stream named like a builtin function,
-///                           shadowing it for later definitions.
+///                           shadowing it for later definitions;
+///  * `unreachable-step`   — any other named definition that provably
+///                           never fires (message carries the proving
+///                           facts; '_' prefix silences);
+///  * `unbounded-queue-growth` — a queueEnq whose element-count bound
+///                           widened to unbounded, with the growth cycle;
+///  * `clock-mismatch`     — a merge arm whose clock formula is covered
+///                           by the earlier arms, so it can never win the
+///                           first-present-wins race.
 ///
 //===----------------------------------------------------------------------===//
 

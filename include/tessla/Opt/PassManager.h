@@ -28,6 +28,7 @@
 #ifndef TESSLA_OPT_PASSMANAGER_H
 #define TESSLA_OPT_PASSMANAGER_H
 
+#include "tessla/Analysis/AbsInt.h"
 #include "tessla/Analysis/Statistics.h"
 #include "tessla/Program/Program.h"
 #include "tessla/Program/Verify.h"
@@ -45,10 +46,14 @@ public:
   virtual ~Pass() = default;
   virtual std::string_view name() const = 0;
   /// Rewrites \p P. \p A must be the analysis result \p P was compiled
-  /// from (the pass consults spec-level clock facts). Counters go into
-  /// \p Stats; internal failures are reported through \p Diags and
+  /// from (the pass consults spec-level clock facts); \p Facts is the
+  /// abstract-interpretation fact store computed over \p P at this pass
+  /// boundary — the single source of tick/constant/range/bound truth
+  /// (passes must not re-derive these with private scans). Counters go
+  /// into \p Stats; internal failures are reported through \p Diags and
   /// return false.
-  virtual bool run(Program &P, AnalysisResult &A, PassStatistics &Stats,
+  virtual bool run(Program &P, AnalysisResult &A,
+                   absint::AnalysisFacts &Facts, PassStatistics &Stats,
                    DiagnosticEngine &Diags) = 0;
 };
 

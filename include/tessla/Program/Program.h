@@ -165,6 +165,10 @@ public:
   static Program compile(const AnalysisResult &Analysis);
 
   const Spec &spec() const { return *S; }
+  /// Shared spec handle for consumers whose artifacts outlive the
+  /// program object (the abstract-interpretation fact store keeps the
+  /// spec alive for name rendering).
+  std::shared_ptr<const Spec> sharedSpec() const { return S; }
   const std::vector<ProgramStep> &steps() const { return Steps; }
   /// Dense *_last slots (streams used as first argument of some last).
   const std::vector<LastSlot> &lastSlots() const { return LastSlots; }

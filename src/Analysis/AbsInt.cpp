@@ -1,0 +1,333 @@
+//===- Analysis/AbsInt.cpp --------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+// The fixpoint engine and the AnalysisFacts orchestration: phase 1 runs
+// the three lattice analyses (tick/constant, range, size bound) to a
+// combined worklist fixpoint; phase 2 derives the must-fire-at-0 bits
+// from the converged ranges; phase 3 builds the clock-calculus formulas
+// in one forward pass. Clock queries go through the SAT-backed
+// implication checker with its syntactic fast path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "AbsIntImpl.h"
+
+#include <deque>
+
+using namespace tessla;
+using namespace tessla::absint;
+using namespace tessla::absint::detail;
+
+//===----------------------------------------------------------------------===//
+// Fixpoint engine
+//===----------------------------------------------------------------------===//
+
+size_t absint::runFixpoint(const Program &P,
+                           const std::vector<Analysis *> &Analyses) {
+  const std::vector<ProgramStep> &Steps = P.steps();
+  const uint32_t NumSteps = static_cast<uint32_t>(Steps.size());
+
+  // Stream -> indices of the steps reading it (Args covers every operand
+  // layout, including the fused ones, which is all the dependency
+  // structure the transfers consult).
+  std::vector<std::vector<uint32_t>> Readers(P.numStreams());
+  for (uint32_t I = 0; I != NumSteps; ++I)
+    for (StreamId A : Steps[I].Args)
+      Readers[A].push_back(I);
+
+  std::deque<uint32_t> Work;
+  std::vector<uint8_t> InList(NumSteps, 1);
+  for (uint32_t I = 0; I != NumSteps; ++I)
+    Work.push_back(I); // translation order: operands first
+
+  std::vector<std::vector<uint32_t>> Visits(
+      Analyses.size(), std::vector<uint32_t>(NumSteps, 0));
+  size_t Transfers = 0;
+
+  while (!Work.empty()) {
+    uint32_t I = Work.front();
+    Work.pop_front();
+    InList[I] = 0;
+    bool Changed = false;
+    for (size_t AI = 0; AI != Analyses.size(); ++AI) {
+      ++Transfers;
+      uint32_t V = ++Visits[AI][I];
+      Changed |= V > Analyses[AI]->widenAfter()
+                     ? Analyses[AI]->widen(Steps[I])
+                     : Analyses[AI]->transfer(Steps[I]);
+    }
+    if (Changed)
+      for (uint32_t R : Readers[Steps[I].Id])
+        if (!InList[R]) {
+          InList[R] = 1;
+          Work.push_back(R);
+        }
+  }
+  return Transfers;
+}
+
+//===----------------------------------------------------------------------===//
+// Compute
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Spec-level reachability: does \p From transitively read \p To?
+bool reaches(const Spec &S, StreamId From, StreamId To) {
+  std::vector<uint8_t> Seen(S.numStreams(), 0);
+  std::vector<StreamId> Stack{From};
+  while (!Stack.empty()) {
+    StreamId Cur = Stack.back();
+    Stack.pop_back();
+    if (Cur == To)
+      return true;
+    if (Seen[Cur])
+      continue;
+    Seen[Cur] = 1;
+    for (StreamId A : S.stream(Cur).Args)
+      Stack.push_back(A);
+  }
+  return false;
+}
+
+bool findCycleFrom(const Spec &S, StreamId Start, StreamId Cur,
+                   std::vector<uint8_t> &Seen,
+                   std::vector<StreamId> &Path) {
+  for (StreamId A : S.stream(Cur).Args) {
+    if (A == Start)
+      return true;
+    if (Seen[A] || !S.stream(A).Ty.isComplex())
+      continue;
+    Seen[A] = 1;
+    Path.push_back(A);
+    if (findCycleFrom(S, Start, A, Seen, Path))
+      return true;
+    Path.pop_back();
+  }
+  return false;
+}
+
+std::string streamName(const Spec &S, StreamId Id) {
+  const std::string &N = S.stream(Id).Name;
+  return N.empty() ? "#" + std::to_string(Id) : N;
+}
+
+/// The aggregate-typed dependency cycle through \p Id rendered as
+/// "a -> b -> a", or just the name when no cycle is found (a bound that
+/// widened without a structural cycle, e.g. through unknown functions).
+std::string growthCycle(const Spec &S, StreamId Id) {
+  std::vector<uint8_t> Seen(S.numStreams(), 0);
+  std::vector<StreamId> Path;
+  std::string Out = streamName(S, Id);
+  if (findCycleFrom(S, Id, Id, Seen, Path)) {
+    for (StreamId P : Path)
+      Out += " -> " + streamName(S, P);
+    Out += " -> " + streamName(S, Id);
+  }
+  return Out;
+}
+
+} // namespace
+
+AnalysisFacts AnalysisFacts::compute(const Program &P) {
+  State St;
+  St.init(P);
+
+  // Phase 1: the over-approximating channels, combined (they are
+  // mutually recursive: a condition's range decides a filter's tick, a
+  // trim argument's range caps a queue's bound).
+  TickConstAnalysis Tick(St);
+  RangeAnalysis Range(St);
+  BoundAnalysis Bound(St);
+  runFixpoint(P, {&Tick, &Range, &Bound});
+
+  // Phase 2: the must-fire-at-0 proofs, least fixpoint over the final
+  // over-approximations.
+  computeAt0(St);
+
+  AnalysisFacts F;
+  F.S = P.sharedSpec();
+  F.Ctx = std::make_unique<BoolExprContext>();
+
+  // Phase 3: clock formulas in one forward pass.
+  std::vector<ClockInfo> Clocks;
+  buildClockFormulas(St, *F.Ctx, Clocks);
+  F.Checker = std::make_unique<ImplicationChecker>(*F.Ctx);
+
+  const uint32_t N = P.numStreams();
+  F.Facts.resize(N);
+  for (StreamId Id = 0; Id != N; ++Id) {
+    StreamFacts &SF = F.Facts[Id];
+    SF.Tick = St.Tick[Id];
+    SF.At0 = St.At0[Id];
+    SF.HasKnown = St.HasKnown[Id];
+    SF.KnownDamaged = St.KnownDamaged[Id];
+    if (SF.HasKnown)
+      SF.Known = St.Known[Id];
+    SF.Range = St.Range[Id];
+    SF.Bound = St.Bound[Id];
+    SF.Clock = Clocks[Id].F;
+    SF.At0F = Clocks[Id].At0F;
+    SF.InputAtomsOnly = Clocks[Id].InputOnly;
+  }
+
+  for (StreamId Id : St.WidenedUnbounded)
+    F.Unbounded.push_back({Id, growthCycle(*F.S, Id)});
+
+  for (const DelaySlot &D : P.delays())
+    if (reaches(*F.S, D.ResetArg, D.Id) ||
+        reaches(*F.S, D.DelaysArg, D.Id))
+      F.Facts[D.Id].SelfArming = true;
+
+  return F;
+}
+
+//===----------------------------------------------------------------------===//
+// Clock queries
+//===----------------------------------------------------------------------===//
+
+bool AnalysisFacts::clockSubset(StreamId U, StreamId V) {
+  return Checker->implies(Facts[U].Clock, Facts[V].Clock);
+}
+
+bool AnalysisFacts::clockSubsetIncl0(StreamId U, StreamId V) {
+  return Checker->implies(Facts[U].Clock, Facts[V].Clock) &&
+         Checker->implies(Facts[U].At0F, Facts[V].At0F);
+}
+
+ClockRel AnalysisFacts::clockRelation(StreamId U, StreamId V) {
+  bool Sub = clockSubsetIncl0(U, V);
+  bool Sup = clockSubsetIncl0(V, U);
+  if (Sub && Sup)
+    return ClockRel::Equal;
+  if (Sub)
+    return ClockRel::Subset;
+  if (Sup)
+    return ClockRel::Superset;
+  return ClockRel::Unknown;
+}
+
+bool AnalysisFacts::provablyTicksWithout(StreamId U, StreamId V) {
+  // Exactness precondition: over free input atoms every assignment is
+  // realized by some trace, so a failed implication is a witness.
+  if (!Facts[U].InputAtomsOnly || !Facts[V].InputAtomsOnly)
+    return false;
+  return !Checker->implies(Facts[U].Clock, Facts[V].Clock);
+}
+
+bool AnalysisFacts::clockCoveredBy(StreamId U,
+                                   const std::vector<StreamId> &Vs) {
+  std::vector<BoolExprRef> Fs, As;
+  for (StreamId V : Vs) {
+    Fs.push_back(Facts[V].Clock);
+    As.push_back(Facts[V].At0F);
+  }
+  return Checker->implies(Facts[U].Clock, Ctx->disj(Fs)) &&
+         Checker->implies(Facts[U].At0F, Ctx->disj(As));
+}
+
+uint64_t AnalysisFacts::implicationFastPathHits() const {
+  return Checker ? Checker->fastPathHits() : 0;
+}
+
+uint64_t AnalysisFacts::implicationSatQueries() const {
+  return Checker ? Checker->satQueries() : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<std::string> atomNames(const Spec &S) {
+  const uint32_t N = S.numStreams();
+  std::vector<std::string> Names(4 * N);
+  for (StreamId Id = 0; Id != N; ++Id) {
+    std::string Base = streamName(S, Id);
+    Names[Id] = Base;                    // ticks at t
+    Names[N + Id] = Base + "?";          // opaque value gate at t
+    Names[2 * N + Id] = Base + "@0";     // ticks at 0
+    Names[3 * N + Id] = Base + "?@0";    // opaque value gate at 0
+  }
+  return Names;
+}
+
+const char *tickName(TickKind K) {
+  switch (K) {
+  case TickKind::Never:
+    return "never";
+  case TickKind::Unit:
+    return "unit";
+  case TickKind::Var:
+    return "var";
+  }
+  return "var";
+}
+
+} // namespace
+
+std::string AnalysisFacts::formulaString(StreamId Id) const {
+  std::vector<std::string> Names = atomNames(*S);
+  return Ctx->str(Facts[Id].Clock, &Names);
+}
+
+std::string AnalysisFacts::factString(StreamId Id) const {
+  const StreamFacts &F = Facts[Id];
+  std::string Out = "tick=";
+  Out += tickName(F.Tick);
+  Out += F.At0 ? ", at0=yes" : ", at0=no";
+  if (F.HasKnown)
+    Out += ", value=" + F.Known.str();
+  if (F.Range.K != ValueRange::Kind::Bottom)
+    Out += ", range=" + F.Range.str();
+  if (S->stream(Id).Ty.isComplex())
+    Out += ", bound " + F.Bound.str();
+  Out += ", clock=" + formulaString(Id);
+  return Out;
+}
+
+std::string AnalysisFacts::str() const {
+  std::vector<std::string> Names = atomNames(*S);
+  std::string Out = "analysis facts:\n";
+  for (StreamId Id = 0; Id != S->numStreams(); ++Id) {
+    const StreamFacts &F = Facts[Id];
+    Out += "  " + streamName(*S, Id) + ": tick=" + tickName(F.Tick);
+    Out += F.At0 ? " at0=yes" : " at0=no";
+    if (F.HasKnown)
+      Out += " value=" + F.Known.str();
+    if (F.Range.K != ValueRange::Kind::Bottom)
+      Out += " range=" + F.Range.str();
+    if (S->stream(Id).Ty.isComplex())
+      Out += " bound " + F.Bound.str();
+    Out += " clock=" + Ctx->str(F.Clock, &Names);
+    Out += " clock@0=" + Ctx->str(F.At0F, &Names);
+    Out += "\n";
+  }
+  if (Unbounded.empty()) {
+    uint64_t Total = 0;
+    bool Any = false;
+    for (StreamId Id = 0; Id != S->numStreams(); ++Id)
+      if (S->stream(Id).Ty.isComplex() && !Facts[Id].Bound.Unbounded) {
+        Total += Facts[Id].Bound.Max;
+        Any = true;
+      }
+    bool AnyUnbounded = false;
+    for (StreamId Id = 0; Id != S->numStreams(); ++Id)
+      AnyUnbounded |= Facts[Id].Bound.Unbounded;
+    if (AnyUnbounded)
+      Out += "memory: unbounded (no growth cycle; an aggregate input or "
+             "extracted aggregate is untracked)\n";
+    else if (Any)
+      Out += "memory: bounded, <= " + std::to_string(Total) +
+             " aggregate elements/session\n";
+    else
+      Out += "memory: bounded, no aggregate state\n";
+  } else {
+    for (const UnboundedGrowth &U : Unbounded)
+      Out += "memory: unbounded growth at '" + streamName(*S, U.Id) +
+             "' (cycle: " + U.Cycle + ")\n";
+  }
+  return Out;
+}

@@ -1,0 +1,188 @@
+//===- Analysis/AbsIntClock.cpp ---------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+// Clock-calculus formulas: per stream, one boolean formula over input
+// tick atoms describing at which timestamps t >= 1 the stream carries an
+// event, and a second formula for the timestamp-0 evaluation (which is
+// special: constants fire there and lasts never do).
+//
+// The formulas are *exact* under the induced assignment of a concrete
+// timestamp — each input atom is "that input fired at t", each opaque
+// atom is "that value-dependent gate was open at t" — so formula
+// implication proves tick-set inclusion, and for formulas ranging over
+// input atoms only, a failed implication is a genuine refutation (some
+// input pattern makes the left stream fire without the right one).
+//
+//===----------------------------------------------------------------------===//
+
+#include "AbsIntImpl.h"
+
+using namespace tessla;
+using namespace tessla::absint;
+using namespace tessla::absint::detail;
+
+void detail::buildClockFormulas(const State &St, BoolExprContext &Ctx,
+                                std::vector<ClockInfo> &Out) {
+  const uint32_t N = St.S->numStreams();
+  const AtomSpace AS{N};
+  Out.assign(N, ClockInfo{Ctx.falseExpr(), Ctx.falseExpr(), true});
+  std::vector<uint8_t> Done(N, 0);
+
+  // Operand accessors. Translation order guarantees operands precede
+  // their step except last/delay back edges; a not-yet-done operand (a
+  // back edge consulted defensively) degrades to an opaque atom.
+  auto opF = [&](StreamId A, bool &InputOnly) -> BoolExprRef {
+    if (Done[A]) {
+      InputOnly = InputOnly && Out[A].InputOnly;
+      return Out[A].F;
+    }
+    InputOnly = false;
+    return Ctx.atom(AS.opaqueAtom(A));
+  };
+  auto opAt0F = [&](StreamId A, bool &InputOnly) -> BoolExprRef {
+    if (Done[A]) {
+      InputOnly = InputOnly && Out[A].InputOnly;
+      return Out[A].At0F;
+    }
+    InputOnly = false;
+    return Ctx.atom(AS.opaque0Atom(A));
+  };
+
+  for (const ProgramStep &Step : St.P->steps()) {
+    const StreamId Id = Step.Id;
+    ClockInfo CI;
+    CI.F = Ctx.falseExpr();
+    CI.At0F = Ctx.falseExpr();
+    CI.InputOnly = true;
+
+    // A proven-silent stream has the exact formula "false" on both
+    // sides, whatever its structure says.
+    if (St.never(Id)) {
+      Out[Id] = CI;
+      Done[Id] = 1;
+      continue;
+    }
+
+    switch (Step.Op) {
+    case Opcode::Skip:
+      if (Step.Kind == StreamKind::Input) {
+        CI.F = Ctx.atom(AS.tickAtom(Id));
+        CI.At0F = Ctx.atom(AS.tick0Atom(Id));
+      }
+      break;
+    case Opcode::Const:
+      CI.F = Ctx.falseExpr();
+      CI.At0F = Ctx.trueExpr();
+      break;
+    case Opcode::ConstTick:
+      CI.F = opF(Step.Args[0], CI.InputOnly);
+      CI.At0F = Ctx.trueExpr();
+      break;
+    case Opcode::Time:
+      CI.F = opF(Step.Args[0], CI.InputOnly);
+      CI.At0F = opAt0F(Step.Args[0], CI.InputOnly);
+      break;
+    case Opcode::Last: {
+      // Fires at r's events once v holds a previous value. If v
+      // provably fires at 0, the hold is unconditional for t >= 1;
+      // otherwise an opaque "initialized yet" gate remains.
+      BoolExprRef R = opF(Step.Args[1], CI.InputOnly);
+      if (St.At0[Step.Args[0]]) {
+        CI.F = R;
+      } else {
+        CI.F = Ctx.conj(R, Ctx.atom(AS.opaqueAtom(Id)));
+        CI.InputOnly = false;
+      }
+      CI.At0F = Ctx.falseExpr();
+      break;
+    }
+    case Opcode::Delay:
+      // Timer expiry is value-dependent through and through.
+      CI.F = Ctx.atom(AS.opaqueAtom(Id));
+      CI.At0F = Ctx.falseExpr();
+      CI.InputOnly = false;
+      break;
+    case Opcode::LiftAll: {
+      std::vector<BoolExprRef> Fs, As;
+      for (unsigned I = 0; I != Step.NumArgs; ++I) {
+        Fs.push_back(opF(Step.Args[I], CI.InputOnly));
+        As.push_back(opAt0F(Step.Args[I], CI.InputOnly));
+      }
+      CI.F = Ctx.conj(Fs);
+      CI.At0F = Ctx.conj(As);
+      break;
+    }
+    case Opcode::LiftMerge: {
+      std::vector<BoolExprRef> Fs, As;
+      for (unsigned I = 0; I != Step.NumArgs; ++I) {
+        Fs.push_back(opF(Step.Args[I], CI.InputOnly));
+        As.push_back(opAt0F(Step.Args[I], CI.InputOnly));
+      }
+      CI.F = Ctx.disj(Fs);
+      CI.At0F = Ctx.disj(As);
+      break;
+    }
+    case Opcode::LiftFirstRest: {
+      std::vector<BoolExprRef> RFs, RAs;
+      for (unsigned I = 1; I != Step.NumArgs; ++I) {
+        RFs.push_back(opF(Step.Args[I], CI.InputOnly));
+        RAs.push_back(opAt0F(Step.Args[I], CI.InputOnly));
+      }
+      CI.F = Ctx.conj(opF(Step.Args[0], CI.InputOnly), Ctx.disj(RFs));
+      CI.At0F =
+          Ctx.conj(opAt0F(Step.Args[0], CI.InputOnly), Ctx.disj(RAs));
+      break;
+    }
+    case Opcode::LiftFilter: {
+      BoolExprRef Base = Ctx.conj(opF(Step.Args[0], CI.InputOnly),
+                                  opF(Step.Args[1], CI.InputOnly));
+      BoolExprRef Base0 = Ctx.conj(opAt0F(Step.Args[0], CI.InputOnly),
+                                   opAt0F(Step.Args[1], CI.InputOnly));
+      if (operandRange(St, Step.Args[1]).alwaysTrue()) {
+        // The condition is provably true whenever present: the filter
+        // is clock-exact, no value gate.
+        CI.F = Base;
+        CI.At0F = Base0;
+      } else {
+        CI.F = Ctx.conj(Base, Ctx.atom(AS.opaqueAtom(Id)));
+        CI.At0F = Ctx.conj(Base0, Ctx.atom(AS.opaque0Atom(Id)));
+        CI.InputOnly = false;
+      }
+      break;
+    }
+    case Opcode::FusedLastLift: {
+      // The fused last's own formula first (its stream id survives in
+      // FusedId — use it for the opaque initialization gate), then the
+      // consumer's All conjunction over {last, rest...}.
+      BoolExprRef LastF = opF(Step.Args[1], CI.InputOnly);
+      if (!St.At0[Step.Args[0]]) {
+        LastF = Ctx.conj(LastF, Ctx.atom(AS.opaqueAtom(Step.FusedId)));
+        CI.InputOnly = false;
+      }
+      std::vector<BoolExprRef> Fs{LastF};
+      std::vector<BoolExprRef> As{Ctx.falseExpr()};
+      for (size_t I = 2; I < Step.Args.size(); ++I) {
+        Fs.push_back(opF(Step.Args[I], CI.InputOnly));
+        As.push_back(opAt0F(Step.Args[I], CI.InputOnly));
+      }
+      CI.F = Ctx.conj(Fs);
+      CI.At0F = Ctx.conj(As); // a last never fires at 0
+      break;
+    }
+    case Opcode::FusedLiftLift: {
+      std::vector<BoolExprRef> Fs, As;
+      for (unsigned I = 0; I != Step.NumArgs; ++I) {
+        Fs.push_back(opF(Step.Args[I], CI.InputOnly));
+        As.push_back(opAt0F(Step.Args[I], CI.InputOnly));
+      }
+      CI.F = Ctx.conj(Fs);
+      CI.At0F = Ctx.conj(As);
+      break;
+    }
+    }
+
+    Out[Id] = CI;
+    Done[Id] = 1;
+  }
+}

@@ -1,0 +1,152 @@
+//===- Analysis/AbsIntImpl.h - AbsInt internals ----------------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+// Shared state of the abstract-interpretation translation units: the
+// per-stream lattice channels the three fixpoint analyses write
+// (AbsIntTransfer.cpp), the at-timestamp-0 pass, and the clock-formula
+// construction (AbsIntClock.cpp), all orchestrated by
+// AnalysisFacts::compute (AbsInt.cpp). Not installed; everything here is
+// an implementation detail behind tessla/Analysis/AbsInt.h.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_SRC_ANALYSIS_ABSINTIMPL_H
+#define TESSLA_SRC_ANALYSIS_ABSINTIMPL_H
+
+#include "tessla/Analysis/AbsInt.h"
+
+namespace tessla {
+namespace absint {
+namespace detail {
+
+/// The mutable per-stream channels the analyses converge on. Every
+/// channel is indexed by StreamId; streams without a program step stay
+/// at their bottom (Never / no-known / Bottom / 0-bound).
+struct State {
+  const Program *P = nullptr;
+  const Spec *S = nullptr;
+  /// StreamId -> index into P->steps(), or -1 (no step computes it).
+  std::vector<int32_t> StepOf;
+
+  std::vector<TickKind> Tick;
+  std::vector<uint8_t> HasKnown;
+  std::vector<uint8_t> KnownDamaged;
+  std::vector<Value> Known;
+  std::vector<ValueRange> Range;
+  std::vector<SizeBound> Bound;
+  std::vector<uint8_t> At0;
+
+  /// Streams whose size bound was widened to unbounded, in widening
+  /// order (deduplicated).
+  std::vector<StreamId> WidenedUnbounded;
+  std::vector<uint8_t> WidenedSeen;
+
+  void init(const Program &Prog);
+
+  TickKind tick(StreamId Id) const { return Tick[Id]; }
+  bool never(StreamId Id) const { return Tick[Id] == TickKind::Never; }
+  /// Tick set provably within {0}.
+  bool atMostUnit(StreamId Id) const { return Tick[Id] <= TickKind::Unit; }
+  const Value *known(StreamId Id) const {
+    return HasKnown[Id] ? &Known[Id] : nullptr;
+  }
+  /// Records a freshly computed constant, damaging the channel on
+  /// conflict (a damaged stream never regains a constant).
+  bool setKnown(StreamId Id, const Value *V);
+};
+
+/// Tick lattice + constant propagation (one analysis: the constant
+/// channel's merge rules read tick facts of sibling arms, so splitting
+/// them would just duplicate the dispatch).
+class TickConstAnalysis : public Analysis {
+public:
+  explicit TickConstAnalysis(State &St) : St(St) {}
+  std::string_view name() const override { return "tick-const"; }
+  bool transfer(const ProgramStep &Step) override;
+  bool widen(const ProgramStep &Step) override { return transfer(Step); }
+
+private:
+  State &St;
+};
+
+/// Interval/constant range over Int (plus two-point Bool) values.
+class RangeAnalysis : public Analysis {
+public:
+  explicit RangeAnalysis(State &St) : St(St) {}
+  std::string_view name() const override { return "range"; }
+  bool transfer(const ProgramStep &Step) override;
+  bool widen(const ProgramStep &Step) override;
+
+private:
+  State &St;
+  ValueRange compute(const ProgramStep &Step) const;
+};
+
+/// Aggregate element-count bounds.
+class BoundAnalysis : public Analysis {
+public:
+  explicit BoundAnalysis(State &St) : St(St) {}
+  std::string_view name() const override { return "size-bound"; }
+  bool transfer(const ProgramStep &Step) override;
+  bool widen(const ProgramStep &Step) override;
+  /// Bounds climb one element per trip around an accumulator cycle until
+  /// a queueTrim cap is reached; give them room for real window sizes
+  /// before declaring the queue unbounded.
+  unsigned widenAfter() const override { return 256; }
+
+private:
+  State &St;
+  SizeBound compute(const ProgramStep &Step) const;
+};
+
+/// Phase 2: the must-fire-at-timestamp-0 bit, as a separate least
+/// fixpoint AFTER the over-approximating channels converged — its filter
+/// rule reads a condition's final range, and reading a still-growing
+/// range from an under-approximating pass would be unsound.
+void computeAt0(State &St);
+
+/// Phase 3 result: ev' formulas (t >= 1 and t = 0) per stream.
+struct ClockInfo {
+  BoolExprRef F = 0;
+  BoolExprRef At0F = 0;
+  /// Both formulas range over input-stream atoms only (no opaque
+  /// filter/delay/uninitialized-last atoms) — the precondition for exact
+  /// refutation.
+  bool InputOnly = true;
+};
+
+/// Atom id spaces inside the shared BoolExprContext. Streams are atoms
+/// for t >= 1; the same stream gets an independent atom for t = 0; both
+/// spaces have an "opaque" companion for value-dependent behavior.
+struct AtomSpace {
+  uint32_t N; // numStreams
+  uint32_t tickAtom(StreamId Id) const { return Id; }
+  uint32_t opaqueAtom(StreamId Id) const { return N + Id; }
+  uint32_t tick0Atom(StreamId Id) const { return 2 * N + Id; }
+  uint32_t opaque0Atom(StreamId Id) const { return 3 * N + Id; }
+};
+
+/// Builds both formulas per stream in one forward pass over the steps
+/// (translation order: operands precede their step, except last/delay
+/// back edges, which contribute atoms or At0 bits only).
+void buildClockFormulas(const State &St, BoolExprContext &Ctx,
+                        std::vector<ClockInfo> &Out);
+
+// --- Shared interval helpers (AbsIntTransfer.cpp) ---------------------
+
+/// Range of a lift's result from its arguments' facts; Top when no rule
+/// applies. \p Args are the operand stream ids (spec layout).
+ValueRange liftRange(const State &St, BuiltinId Fn,
+                     const std::vector<StreamId> &Args, size_t ArgBegin,
+                     size_t ArgEnd);
+
+/// Best known range of one operand: the range channel refined by an Int
+/// or Bool constant from the known channel.
+ValueRange operandRange(const State &St, StreamId Id);
+
+} // namespace detail
+} // namespace absint
+} // namespace tessla
+
+#endif // TESSLA_SRC_ANALYSIS_ABSINTIMPL_H

@@ -1,0 +1,981 @@
+//===- Analysis/AbsIntTransfer.cpp ------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+// Transfer functions of the three lattice analyses over Program steps.
+// All three are may-over-approximations (tick sets, value ranges, size
+// bounds) plus two refinement channels (exact constants, the must-fire-
+// at-0 bit); every transfer recomputes a stream's facts purely from its
+// operands' facts, so the worklist engine can run them combined and in
+// any order. Soundness rests on forced upward movement: the engine
+// stops only when every stream's facts absorb a recomputation, i.e. the
+// final state is a post-fixpoint of the final transfer functions, which
+// for a may-analysis always contains the concrete behavior.
+//
+// The must-channels go the other way (an At0 bit is a proof, not a
+// possibility), so they run as a separate least fixpoint *after* the
+// over-approximating channels converged — see computeAt0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "AbsIntImpl.h"
+
+#include "tessla/Runtime/Containers.h"
+
+using namespace tessla;
+using namespace tessla::absint;
+using namespace tessla::absint::detail;
+
+//===----------------------------------------------------------------------===//
+// ValueRange arithmetic
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr int64_t NegInf = ValueRange::NegInf;
+constexpr int64_t PosInf = ValueRange::PosInf;
+
+/// Saturating int64 arithmetic: results clamp to the representable
+/// extremes, which double as the interval infinities — saturation only
+/// ever widens a bound, so it is always sound.
+int64_t satClamp(__int128 V) {
+  if (V <= static_cast<__int128>(NegInf))
+    return NegInf;
+  if (V >= static_cast<__int128>(PosInf))
+    return PosInf;
+  return static_cast<int64_t>(V);
+}
+int64_t satAdd(int64_t A, int64_t B) {
+  return satClamp(static_cast<__int128>(A) + B);
+}
+int64_t satMul(int64_t A, int64_t B) {
+  return satClamp(static_cast<__int128>(A) * B);
+}
+int64_t satNeg(int64_t A) { return satClamp(-static_cast<__int128>(A)); }
+
+ValueRange addR(const ValueRange &A, const ValueRange &B) {
+  return ValueRange::interval(satAdd(A.Lo, B.Lo), satAdd(A.Hi, B.Hi));
+}
+ValueRange subR(const ValueRange &A, const ValueRange &B) {
+  return ValueRange::interval(satAdd(A.Lo, satNeg(B.Hi)),
+                              satAdd(A.Hi, satNeg(B.Lo)));
+}
+ValueRange mulR(const ValueRange &A, const ValueRange &B) {
+  int64_t C[4] = {satMul(A.Lo, B.Lo), satMul(A.Lo, B.Hi),
+                  satMul(A.Hi, B.Lo), satMul(A.Hi, B.Hi)};
+  int64_t Lo = C[0], Hi = C[0];
+  for (int64_t V : C) {
+    Lo = std::min(Lo, V);
+    Hi = std::max(Hi, V);
+  }
+  return ValueRange::interval(Lo, Hi);
+}
+ValueRange negR(const ValueRange &A) {
+  return ValueRange::interval(satNeg(A.Hi), satNeg(A.Lo));
+}
+ValueRange absR(const ValueRange &A) {
+  if (A.Lo >= 0)
+    return A;
+  if (A.Hi <= 0)
+    return negR(A);
+  return ValueRange::interval(0, std::max(satNeg(A.Lo), A.Hi));
+}
+ValueRange minR(const ValueRange &A, const ValueRange &B) {
+  return ValueRange::interval(std::min(A.Lo, B.Lo), std::min(A.Hi, B.Hi));
+}
+ValueRange maxR(const ValueRange &A, const ValueRange &B) {
+  return ValueRange::interval(std::max(A.Lo, B.Lo), std::max(A.Hi, B.Hi));
+}
+/// Division by a constant non-zero divisor is monotone per sign; every
+/// other divisor shape stays Top (runtime division by zero is a monitor
+/// failure, not a value).
+ValueRange divR(const ValueRange &A, const ValueRange &B) {
+  if (B.Lo != B.Hi || B.Lo == 0 || B.Lo == NegInf || B.Lo == PosInf ||
+      A.Lo == NegInf || A.Hi == PosInf)
+    return ValueRange::top();
+  int64_t X = A.Lo / B.Lo, Y = A.Hi / B.Lo;
+  return ValueRange::interval(std::min(X, Y), std::max(X, Y));
+}
+/// C++ remainder: sign follows the dividend, magnitude below |divisor|.
+ValueRange modR(const ValueRange &A, const ValueRange &B) {
+  if (B.Lo == NegInf || B.Hi == PosInf)
+    return ValueRange::top();
+  int64_t M = std::max(satNeg(B.Lo), B.Hi); // max |divisor|
+  if (M <= 0)
+    return ValueRange::top();
+  int64_t Mag = satAdd(M, -1);
+  int64_t Lo = A.Lo >= 0 ? 0 : satNeg(Mag);
+  int64_t Hi = A.Hi <= 0 ? 0 : Mag;
+  if (A.Lo >= 0 && A.Hi != PosInf)
+    Hi = std::min(Hi, A.Hi);
+  return ValueRange::interval(Lo, Hi);
+}
+
+/// Effective Bool view of a range (Top reads as "either").
+bool boolView(const ValueRange &R, bool &CanTrue, bool &CanFalse) {
+  if (R.K == ValueRange::Kind::Bool) {
+    CanTrue = R.CanTrue;
+    CanFalse = R.CanFalse;
+    return true;
+  }
+  if (R.K == ValueRange::Kind::Top) {
+    CanTrue = CanFalse = true;
+    return true;
+  }
+  return false; // Bottom or Int — caller bails to Top
+}
+
+ValueRange compareR(BuiltinId Fn, const ValueRange &A, const ValueRange &B) {
+  if (A.K != ValueRange::Kind::Int || B.K != ValueRange::Kind::Int)
+    return ValueRange::boolRange(true, true);
+  bool T = true, F = true;
+  switch (Fn) {
+  case BuiltinId::Lt:
+    T = A.Lo < B.Hi;
+    F = A.Hi >= B.Lo;
+    break;
+  case BuiltinId::Leq:
+    T = A.Lo <= B.Hi;
+    F = A.Hi > B.Lo;
+    break;
+  case BuiltinId::Gt:
+    T = A.Hi > B.Lo;
+    F = A.Lo <= B.Hi;
+    break;
+  case BuiltinId::Geq:
+    T = A.Hi >= B.Lo;
+    F = A.Lo < B.Hi;
+    break;
+  case BuiltinId::Eq:
+    T = A.Lo <= B.Hi && B.Lo <= A.Hi;
+    F = !(A.Lo == A.Hi && B.Lo == B.Hi && A.Lo == B.Lo);
+    break;
+  case BuiltinId::Neq:
+    F = A.Lo <= B.Hi && B.Lo <= A.Hi;
+    T = !(A.Lo == A.Hi && B.Lo == B.Hi && A.Lo == B.Lo);
+    break;
+  default:
+    break;
+  }
+  return ValueRange::boolRange(T, F);
+}
+
+bool isComparison(BuiltinId Fn) {
+  switch (Fn) {
+  case BuiltinId::Eq:
+  case BuiltinId::Neq:
+  case BuiltinId::Lt:
+  case BuiltinId::Leq:
+  case BuiltinId::Gt:
+  case BuiltinId::Geq:
+    return true;
+  default:
+    return false;
+  }
+}
+
+uint64_t aggregateSize(const Value &V) {
+  switch (V.kind()) {
+  case Value::Kind::Set:
+    return V.getSet()->size();
+  case Value::Kind::Map:
+    return V.getMap()->size();
+  case Value::Kind::Queue:
+    return V.getQueue()->size();
+  default:
+    return 0;
+  }
+}
+
+/// [0, bound] of one aggregate operand (exact for a known constant).
+ValueRange sizeRange(const State &St, StreamId Id) {
+  if (const Value *K = St.known(Id); K && K->isAggregate()) {
+    int64_t N = static_cast<int64_t>(aggregateSize(*K));
+    return ValueRange::intConst(N);
+  }
+  const SizeBound &B = St.Bound[Id];
+  if (B.Unbounded)
+    return ValueRange::interval(0, PosInf);
+  return ValueRange::interval(
+      0, satClamp(static_cast<__int128>(B.Max)));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ValueRange members
+//===----------------------------------------------------------------------===//
+
+bool ValueRange::contains(const Value &V) const {
+  switch (K) {
+  case Kind::Top:
+    return true;
+  case Kind::Bottom:
+    return false;
+  case Kind::Int:
+    return V.kind() == Value::Kind::Int && Lo <= V.getInt() &&
+           V.getInt() <= Hi;
+  case Kind::Bool:
+    return V.kind() == Value::Kind::Bool &&
+           (V.getBool() ? CanTrue : CanFalse);
+  }
+  return true;
+}
+
+ValueRange ValueRange::join(const ValueRange &O) const {
+  if (K == Kind::Bottom)
+    return O;
+  if (O.K == Kind::Bottom)
+    return *this;
+  if (K == Kind::Top || O.K == Kind::Top || K != O.K)
+    return top();
+  if (K == Kind::Int)
+    return interval(std::min(Lo, O.Lo), std::max(Hi, O.Hi));
+  return boolRange(CanTrue || O.CanTrue, CanFalse || O.CanFalse);
+}
+
+ValueRange ValueRange::widen(const ValueRange &Old) const {
+  ValueRange J = join(Old);
+  if (J.K != Kind::Int || Old.K != Kind::Int)
+    return J; // Bool/Top/kind-jump chains are finite already
+  return interval(J.Lo < Old.Lo ? NegInf : J.Lo,
+                  J.Hi > Old.Hi ? PosInf : J.Hi);
+}
+
+std::string ValueRange::str() const {
+  switch (K) {
+  case Kind::Bottom:
+    return "_|_";
+  case Kind::Top:
+    return "T";
+  case Kind::Bool:
+    if (CanTrue && CanFalse)
+      return "{true, false}";
+    if (CanTrue)
+      return "{true}";
+    if (CanFalse)
+      return "{false}";
+    return "{}";
+  case Kind::Int: {
+    std::string L = Lo == NegInf ? "-inf" : std::to_string(Lo);
+    std::string H = Hi == PosInf ? "+inf" : std::to_string(Hi);
+    return "[" + L + ", " + H + "]";
+  }
+  }
+  return "T";
+}
+
+std::string SizeBound::str() const {
+  return Unbounded ? "unbounded" : "<= " + std::to_string(Max);
+}
+
+//===----------------------------------------------------------------------===//
+// State
+//===----------------------------------------------------------------------===//
+
+void State::init(const Program &Prog) {
+  P = &Prog;
+  S = &Prog.spec();
+  uint32_t N = S->numStreams();
+  StepOf.assign(N, -1);
+  for (size_t I = 0; I != Prog.steps().size(); ++I)
+    StepOf[Prog.steps()[I].Id] = static_cast<int32_t>(I);
+  Tick.assign(N, TickKind::Never);
+  HasKnown.assign(N, 0);
+  KnownDamaged.assign(N, 0);
+  Known.assign(N, Value());
+  Range.assign(N, ValueRange::bottom());
+  Bound.assign(N, SizeBound{});
+  At0.assign(N, 0);
+  WidenedSeen.assign(N, 0);
+  WidenedUnbounded.clear();
+}
+
+bool State::setKnown(StreamId Id, const Value *V) {
+  if (!V || KnownDamaged[Id]) {
+    // Losing a constant (an operand left the constant world) damages
+    // the channel so it cannot flip back and forth.
+    if (HasKnown[Id]) {
+      HasKnown[Id] = 0;
+      KnownDamaged[Id] = 1;
+      return true;
+    }
+    return false;
+  }
+  if (HasKnown[Id]) {
+    if (Known[Id] == *V)
+      return false;
+    HasKnown[Id] = 0;
+    KnownDamaged[Id] = 1;
+    return true;
+  }
+  Known[Id] = *V;
+  HasKnown[Id] = 1;
+  return true;
+}
+
+ValueRange detail::operandRange(const State &St, StreamId Id) {
+  if (const Value *K = St.known(Id)) {
+    if (K->kind() == Value::Kind::Int)
+      return ValueRange::intConst(K->getInt());
+    if (K->kind() == Value::Kind::Bool)
+      return ValueRange::boolConst(K->getBool());
+  }
+  return St.Range[Id];
+}
+
+//===----------------------------------------------------------------------===//
+// Tick + constant propagation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TickKind joinTick(TickKind A, TickKind B) { return std::max(A, B); }
+
+/// All-semantics combination: silent if any operand is silent, within
+/// {0} if any operand is (a conjunction of tick sets).
+TickKind allTick(TickKind Acc, TickKind Arg) {
+  if (Acc == TickKind::Never || Arg == TickKind::Never)
+    return TickKind::Never;
+  if (Acc == TickKind::Unit || Arg == TickKind::Unit)
+    return TickKind::Unit;
+  return TickKind::Var;
+}
+
+TickKind lastTick(const State &St, StreamId V, StreamId R) {
+  // last(v, r) fires at r's events past timestamp 0 once v has a
+  // previous value: silent when v never fires, and silent when r fires
+  // at most at timestamp 0 (last is strictly last).
+  if (St.never(V) || St.Tick[R] != TickKind::Var)
+    return TickKind::Never;
+  return TickKind::Var;
+}
+
+/// "This stream provably carries exactly one event, at timestamp 0, so
+/// its presence in a timestamp-0 evaluation is definite."
+bool definiteUnit(const State &St, StreamId Id) {
+  return St.atMostUnit(Id) && St.At0[Id] && !St.never(Id);
+}
+
+const Value *applyKnown(BuiltinId Fn, const Value *Args[3], unsigned N,
+                        Value &Storage) {
+  EvalError Err;
+  Storage = applyBuiltin(Fn, Args, N, /*InPlace=*/false, Err);
+  // A statically-failing evaluation must keep failing at run time; the
+  // stream keeps its unknown value.
+  return Err.Failed ? nullptr : &Storage;
+}
+
+} // namespace
+
+bool TickConstAnalysis::transfer(const ProgramStep &Step) {
+  State &St = this->St;
+  const StreamId Id = Step.Id;
+  TickKind NewTick = TickKind::Never;
+  const Value *NewKnown = nullptr;
+  Value Storage;
+
+  switch (Step.Op) {
+  case Opcode::Skip:
+    NewTick = Step.Kind == StreamKind::Input ? TickKind::Var
+                                             : TickKind::Never;
+    break;
+  case Opcode::Const:
+    NewTick = TickKind::Unit;
+    NewKnown = &Step.ConstVal;
+    break;
+  case Opcode::ConstTick:
+    NewTick = St.never(Step.Args[0]) ? TickKind::Unit : TickKind::Var;
+    NewKnown = &Step.ConstVal;
+    break;
+  case Opcode::Time:
+    NewTick = St.Tick[Step.Args[0]];
+    if (St.atMostUnit(Step.Args[0])) {
+      Storage = Value::integer(0);
+      NewKnown = &Storage;
+    }
+    break;
+  case Opcode::Last:
+    NewTick = lastTick(St, Step.Args[0], Step.Args[1]);
+    NewKnown = St.known(Step.Args[0]);
+    break;
+  case Opcode::Delay:
+    NewTick = (St.never(Step.Args[0]) || St.never(Step.Args[1]))
+                  ? TickKind::Never
+                  : TickKind::Var;
+    Storage = Value::unit();
+    NewKnown = &Storage;
+    break;
+  case Opcode::LiftAll: {
+    NewTick = TickKind::Var;
+    bool AllKnown = true;
+    const Value *Args[3] = {nullptr, nullptr, nullptr};
+    for (unsigned I = 0; I != Step.NumArgs; ++I) {
+      NewTick = allTick(NewTick, St.Tick[Step.Args[I]]);
+      Args[I] = St.known(Step.Args[I]);
+      AllKnown = AllKnown && Args[I];
+    }
+    if (NewTick != TickKind::Never && AllKnown && Step.NumArgs)
+      NewKnown = applyKnown(Step.Fn, Args, Step.NumArgs, Storage);
+    break;
+  }
+  case Opcode::LiftMerge: {
+    for (unsigned I = 0; I != Step.NumArgs; ++I)
+      NewTick = joinTick(NewTick, St.Tick[Step.Args[I]]);
+    // First present wins. Two ways the value is static: every arm that
+    // can fire carries the same constant, or the first live arm fires
+    // definitely at 0 and every other live arm can only fire at 0.
+    const Value *Equal = nullptr;
+    bool AllEqual = true;
+    StreamId FirstLive = Id;
+    bool HaveFirst = false, OthersUnit = true;
+    for (unsigned I = 0; I != Step.NumArgs; ++I) {
+      StreamId A = Step.Args[I];
+      if (St.never(A))
+        continue;
+      if (!HaveFirst) {
+        HaveFirst = true;
+        FirstLive = A;
+      } else {
+        OthersUnit = OthersUnit && St.atMostUnit(A);
+      }
+      const Value *K = St.known(A);
+      if (!K || (Equal && !(*Equal == *K)))
+        AllEqual = false;
+      else if (!Equal)
+        Equal = K;
+    }
+    if (NewTick != TickKind::Never) {
+      if (AllEqual && Equal)
+        NewKnown = Equal;
+      else if (HaveFirst && OthersUnit && St.At0[FirstLive] &&
+               St.known(FirstLive))
+        NewKnown = St.known(FirstLive);
+    }
+    break;
+  }
+  case Opcode::LiftFirstRest: {
+    StreamId First = Step.Args[0];
+    TickKind RestJoin = TickKind::Never;
+    for (unsigned I = 1; I != Step.NumArgs; ++I)
+      RestJoin = joinTick(RestJoin, St.Tick[Step.Args[I]]);
+    if (St.never(First) || RestJoin == TickKind::Never)
+      NewTick = TickKind::Never;
+    else if (St.atMostUnit(First) || RestJoin == TickKind::Unit)
+      NewTick = TickKind::Unit;
+    else
+      NewTick = TickKind::Var;
+    // The constant case needs *definite* presence: one timestamp-0
+    // evaluation whose presence pattern is statically exact (absent
+    // arguments evaluate as null, like the interpreter's partial call).
+    bool Foldable = definiteUnit(St, First) && St.known(First);
+    bool AnyRest = false;
+    const Value *Args[3] = {nullptr, nullptr, nullptr};
+    Args[0] = St.known(First);
+    for (unsigned I = 1; Foldable && I != Step.NumArgs; ++I) {
+      StreamId A = Step.Args[I];
+      if (St.never(A))
+        continue;
+      if (definiteUnit(St, A) && St.known(A)) {
+        Args[I] = St.known(A);
+        AnyRest = true;
+      } else {
+        Foldable = false;
+      }
+    }
+    if (NewTick != TickKind::Never && Foldable && AnyRest)
+      NewKnown = applyKnown(Step.Fn, Args, Step.NumArgs, Storage);
+    break;
+  }
+  case Opcode::LiftFilter: {
+    StreamId A = Step.Args[0], C = Step.Args[1];
+    if (St.never(A) || St.never(C) ||
+        operandRange(St, C).alwaysFalse())
+      NewTick = TickKind::Never;
+    else if (St.atMostUnit(A) || St.atMostUnit(C))
+      NewTick = TickKind::Unit;
+    else
+      NewTick = TickKind::Var;
+    if (NewTick != TickKind::Never)
+      NewKnown = St.known(A);
+    break;
+  }
+  case Opcode::FusedLastLift: {
+    // The consumer half of last(v, r) fused into a LiftAll: the virtual
+    // first argument is the last, the rest follow after r.
+    NewTick = lastTick(St, Step.Args[0], Step.Args[1]);
+    bool AllKnown = St.known(Step.Args[0]) != nullptr;
+    const Value *Args[3] = {St.known(Step.Args[0]), nullptr, nullptr};
+    for (unsigned I = 1; I != Step.NumArgs; ++I) {
+      StreamId A = Step.Args[I + 1];
+      NewTick = allTick(NewTick, St.Tick[A]);
+      Args[I] = St.known(A);
+      AllKnown = AllKnown && Args[I];
+    }
+    if (NewTick != TickKind::Never && AllKnown)
+      NewKnown = applyKnown(Step.Fn, Args, Step.NumArgs, Storage);
+    break;
+  }
+  case Opcode::FusedLiftLift: {
+    NewTick = TickKind::Var;
+    bool AllKnown = true;
+    const Value *Inner[3] = {nullptr, nullptr, nullptr};
+    for (unsigned I = 0; I != Step.NumArgs; ++I) {
+      NewTick = allTick(NewTick, St.Tick[Step.Args[I]]);
+      const Value *K = St.known(Step.Args[I]);
+      AllKnown = AllKnown && K;
+      if (I < Step.FusedArity)
+        Inner[I] = K;
+    }
+    if (NewTick != TickKind::Never && AllKnown) {
+      Value InnerStorage;
+      if (const Value *IV = applyKnown(Step.Fn2, Inner, Step.FusedArity,
+                                       InnerStorage)) {
+        const Value *Outer[3] = {IV, nullptr, nullptr};
+        unsigned OuterN = 1;
+        for (unsigned I = Step.FusedArity; I != Step.NumArgs; ++I)
+          Outer[OuterN++] = St.known(Step.Args[I]);
+        NewKnown = applyKnown(Step.Fn, Outer, OuterN, Storage);
+      }
+    }
+    break;
+  }
+  }
+
+  bool Changed = false;
+  TickKind Up = joinTick(St.Tick[Id], NewTick);
+  if (Up != St.Tick[Id]) {
+    St.Tick[Id] = Up;
+    Changed = true;
+  }
+  if (St.Tick[Id] == TickKind::Never)
+    NewKnown = nullptr; // silent streams carry no constant
+  Changed |= St.setKnown(Id, NewKnown);
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Value ranges
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+ValueRange rangeFromConst(const Value &V) {
+  switch (V.kind()) {
+  case Value::Kind::Int:
+    return ValueRange::intConst(V.getInt());
+  case Value::Kind::Bool:
+    return ValueRange::boolConst(V.getBool());
+  default:
+    return ValueRange::top();
+  }
+}
+
+ValueRange inputSeedRange(const Type &Ty) {
+  switch (Ty.kind()) {
+  case TypeKind::Int:
+    return ValueRange::interval(NegInf, PosInf);
+  case TypeKind::Bool:
+    return ValueRange::boolRange(true, true);
+  default:
+    return ValueRange::top();
+  }
+}
+
+} // namespace
+
+ValueRange detail::liftRange(const State &St, BuiltinId Fn,
+                             const std::vector<StreamId> &Args,
+                             size_t ArgBegin, size_t ArgEnd) {
+  size_t N = ArgEnd - ArgBegin;
+  auto R = [&](size_t I) { return operandRange(St, Args[ArgBegin + I]); };
+  auto Id = [&](size_t I) { return Args[ArgBegin + I]; };
+
+  if (isComparison(Fn) && N == 2) {
+    // A stream compared with itself sees the same event value on both
+    // sides. Restricted to Int operands: Float would trip over NaN.
+    if (Id(0) == Id(1) &&
+        St.S->stream(Id(0)).Ty.kind() == TypeKind::Int) {
+      bool True = Fn == BuiltinId::Eq || Fn == BuiltinId::Leq ||
+                  Fn == BuiltinId::Geq;
+      return ValueRange::boolConst(True);
+    }
+    return compareR(Fn, R(0), R(1));
+  }
+
+  switch (Fn) {
+  case BuiltinId::Add:
+    if (R(0).K == ValueRange::Kind::Int && R(1).K == ValueRange::Kind::Int)
+      return addR(R(0), R(1));
+    return ValueRange::top();
+  case BuiltinId::Sub:
+    if (R(0).K == ValueRange::Kind::Int && R(1).K == ValueRange::Kind::Int)
+      return subR(R(0), R(1));
+    return ValueRange::top();
+  case BuiltinId::Mul:
+    if (R(0).K == ValueRange::Kind::Int && R(1).K == ValueRange::Kind::Int)
+      return mulR(R(0), R(1));
+    return ValueRange::top();
+  case BuiltinId::Div:
+    if (R(0).K == ValueRange::Kind::Int && R(1).K == ValueRange::Kind::Int)
+      return divR(R(0), R(1));
+    return ValueRange::top();
+  case BuiltinId::Mod:
+    if (R(0).K == ValueRange::Kind::Int && R(1).K == ValueRange::Kind::Int)
+      return modR(R(0), R(1));
+    return ValueRange::top();
+  case BuiltinId::Neg:
+    if (R(0).K == ValueRange::Kind::Int)
+      return negR(R(0));
+    return ValueRange::top();
+  case BuiltinId::Abs:
+    if (R(0).K == ValueRange::Kind::Int)
+      return absR(R(0));
+    return ValueRange::top();
+  case BuiltinId::Min:
+    if (R(0).K == ValueRange::Kind::Int && R(1).K == ValueRange::Kind::Int)
+      return minR(R(0), R(1));
+    return ValueRange::top();
+  case BuiltinId::Max:
+    if (R(0).K == ValueRange::Kind::Int && R(1).K == ValueRange::Kind::Int)
+      return maxR(R(0), R(1));
+    return ValueRange::top();
+  case BuiltinId::LAnd:
+  case BuiltinId::LOr: {
+    bool T0, F0, T1, F1;
+    if (!boolView(R(0), T0, F0) || !boolView(R(1), T1, F1))
+      return ValueRange::boolRange(true, true);
+    if (Fn == BuiltinId::LAnd)
+      return ValueRange::boolRange(T0 && T1, F0 || F1);
+    return ValueRange::boolRange(T0 || T1, F0 && F1);
+  }
+  case BuiltinId::LNot: {
+    bool T, F;
+    if (!boolView(R(0), T, F))
+      return ValueRange::boolRange(true, true);
+    return ValueRange::boolRange(F, T);
+  }
+  case BuiltinId::Ite: {
+    bool T, F;
+    if (boolView(R(0), T, F)) {
+      if (T && !F)
+        return R(1);
+      if (F && !T)
+        return R(2);
+    }
+    return R(1).join(R(2));
+  }
+  case BuiltinId::SetSize:
+  case BuiltinId::MapSize:
+  case BuiltinId::QueueSize:
+    return sizeRange(St, Id(0));
+  case BuiltinId::StrLen:
+    return ValueRange::interval(0, PosInf);
+  case BuiltinId::SetContains:
+  case BuiltinId::MapContains:
+    return ValueRange::boolRange(true, true);
+  case BuiltinId::ToInt:
+    return ValueRange::interval(NegInf, PosInf);
+  default:
+    return ValueRange::top();
+  }
+}
+
+ValueRange RangeAnalysis::compute(const ProgramStep &Step) const {
+  const State &St = this->St;
+  if (St.never(Step.Id))
+    return ValueRange::bottom();
+  switch (Step.Op) {
+  case Opcode::Skip:
+    return Step.Kind == StreamKind::Input
+               ? inputSeedRange(St.S->stream(Step.Id).Ty)
+               : ValueRange::bottom();
+  case Opcode::Const:
+  case Opcode::ConstTick:
+    return rangeFromConst(Step.ConstVal);
+  case Opcode::Time:
+    return St.atMostUnit(Step.Args[0])
+               ? ValueRange::intConst(0)
+               : ValueRange::interval(0, PosInf);
+  case Opcode::Last:
+    return operandRange(St, Step.Args[0]);
+  case Opcode::Delay:
+    return ValueRange::top(); // unit-valued events
+  case Opcode::LiftAll:
+    return liftRange(St, Step.Fn, Step.Args, 0, Step.Args.size());
+  case Opcode::LiftMerge: {
+    ValueRange J = ValueRange::bottom();
+    for (StreamId A : Step.Args)
+      if (!St.never(A))
+        J = J.join(operandRange(St, A));
+    return J;
+  }
+  case Opcode::LiftFirstRest:
+    return ValueRange::top(); // value depends on the presence pattern
+  case Opcode::LiftFilter:
+    return operandRange(St, Step.Args[0]);
+  case Opcode::FusedLastLift: {
+    // Consumer evaluation over (last(v, r), rest...): last passes v's
+    // values through, so rebuild the consumer's operand list as
+    // {v, rest...} and reuse the lift rules.
+    std::vector<StreamId> Ops;
+    Ops.push_back(Step.Args[0]);
+    for (size_t I = 2; I < Step.Args.size(); ++I)
+      Ops.push_back(Step.Args[I]);
+    return liftRange(St, Step.Fn, Ops, 0, Ops.size());
+  }
+  case Opcode::FusedLiftLift: {
+    // Arithmetic composition would need a range for the anonymous inner
+    // result; the interesting fused shapes are aggregate updates, which
+    // the range domain does not model. Comparisons and sizes of the
+    // *outer* function still work when its extra operands are real
+    // streams — conservatively Top otherwise.
+    return ValueRange::top();
+  }
+  }
+  return ValueRange::top();
+}
+
+bool RangeAnalysis::transfer(const ProgramStep &Step) {
+  ValueRange New = compute(Step).join(St.Range[Step.Id]);
+  if (New != St.Range[Step.Id]) {
+    St.Range[Step.Id] = New;
+    return true;
+  }
+  return false;
+}
+
+bool RangeAnalysis::widen(const ProgramStep &Step) {
+  ValueRange New = compute(Step).widen(St.Range[Step.Id]);
+  if (New != St.Range[Step.Id]) {
+    St.Range[Step.Id] = New;
+    return true;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Size bounds
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint64_t BoundCap = UINT64_MAX / 4; // saturation guard
+
+SizeBound boundedMax(uint64_t N) {
+  return SizeBound{false, std::min(N, BoundCap)};
+}
+
+SizeBound satAddBound(const SizeBound &A, uint64_t Delta) {
+  if (A.Unbounded)
+    return A;
+  return boundedMax(A.Max + Delta);
+}
+
+SizeBound joinBound(const SizeBound &A, const SizeBound &B) {
+  if (A.Unbounded || B.Unbounded)
+    return SizeBound{true, 0};
+  return boundedMax(std::max(A.Max, B.Max));
+}
+
+/// Bound of one lift application given the operand streams.
+SizeBound liftBound(const State &St, BuiltinId Fn,
+                    const std::vector<StreamId> &Args, size_t ArgBegin) {
+  auto B = [&](size_t I) { return St.Bound[Args[ArgBegin + I]]; };
+  switch (Fn) {
+  case BuiltinId::SetEmpty:
+  case BuiltinId::MapEmpty:
+  case BuiltinId::QueueEmpty:
+    return SizeBound{false, 0};
+  case BuiltinId::SetAdd:
+  case BuiltinId::SetToggle:
+  case BuiltinId::SetUpdate:
+  case BuiltinId::MapPut:
+  case BuiltinId::QueueEnq:
+    return satAddBound(B(0), 1);
+  case BuiltinId::SetRemove:
+  case BuiltinId::MapRemove:
+  case BuiltinId::SetDiff:
+    return B(0);
+  case BuiltinId::QueueDeq: {
+    SizeBound Q = B(0);
+    if (!Q.Unbounded && Q.Max > 0)
+      --Q.Max;
+    return Q;
+  }
+  case BuiltinId::QueueTrim: {
+    SizeBound Q = B(0);
+    ValueRange N = operandRange(St, Args[ArgBegin + 1]);
+    if (N.K == ValueRange::Kind::Int && N.Hi != PosInf) {
+      uint64_t Cap = N.Hi <= 0 ? 0 : static_cast<uint64_t>(N.Hi);
+      if (Q.Unbounded || Q.Max > Cap)
+        Q = boundedMax(Cap);
+    }
+    return Q;
+  }
+  case BuiltinId::SetUnion:
+    if (B(0).Unbounded || B(1).Unbounded)
+      return SizeBound{true, 0};
+    return boundedMax(B(0).Max + B(1).Max);
+  case BuiltinId::Merge:
+    // handled by the LiftMerge opcode; kept for fused inner calls
+    return joinBound(B(0), B(1));
+  case BuiltinId::Ite:
+    return joinBound(B(1), B(2));
+  case BuiltinId::Filter:
+    return B(0);
+  default:
+    // Unknown aggregate-producing function (e.g. an aggregate pulled
+    // out of a map): no element-count tracking.
+    return SizeBound{true, 0};
+  }
+}
+
+} // namespace
+
+SizeBound BoundAnalysis::compute(const ProgramStep &Step) const {
+  const State &St = this->St;
+  const StreamId Id = Step.Id;
+  if (!St.S->stream(Id).Ty.isComplex() || St.never(Id))
+    return SizeBound{false, 0};
+  // An exact aggregate constant beats any rule.
+  if (const Value *K = St.known(Id); K && K->isAggregate())
+    return boundedMax(aggregateSize(*K));
+  switch (Step.Op) {
+  case Opcode::Skip:
+    // Aggregate-typed inputs are fed from outside; nothing bounds them.
+    return Step.Kind == StreamKind::Input ? SizeBound{true, 0}
+                                          : SizeBound{false, 0};
+  case Opcode::Const:
+  case Opcode::ConstTick:
+    return boundedMax(aggregateSize(Step.ConstVal));
+  case Opcode::Time:
+  case Opcode::Delay:
+    return SizeBound{false, 0}; // scalar-valued
+  case Opcode::Last:
+  case Opcode::LiftFilter:
+    return St.Bound[Step.Args[0]];
+  case Opcode::LiftMerge: {
+    SizeBound J{false, 0};
+    bool Any = false;
+    for (StreamId A : Step.Args)
+      if (!St.never(A)) {
+        J = Any ? joinBound(J, St.Bound[A]) : St.Bound[A];
+        Any = true;
+      }
+    return J;
+  }
+  case Opcode::LiftAll:
+  case Opcode::LiftFirstRest:
+    return liftBound(St, Step.Fn, Step.Args, 0);
+  case Opcode::FusedLastLift: {
+    std::vector<StreamId> Ops;
+    Ops.push_back(Step.Args[0]); // last passes v's aggregate through
+    for (size_t I = 2; I < Step.Args.size(); ++I)
+      Ops.push_back(Step.Args[I]);
+    return liftBound(St, Step.Fn, Ops, 0);
+  }
+  case Opcode::FusedLiftLift: {
+    // Inner result feeds the outer's first operand; compose through a
+    // scratch bound table is overkill — the only aggregate-shape the
+    // fuser produces keeps the aggregate in position 0, so chain the
+    // two rules on the same operand list.
+    SizeBound Inner = liftBound(St, Step.Fn2, Step.Args, 0);
+    if (builtinInfo(Step.Fn).Arity == 1)
+      return Inner;
+    // Conservative: the outer may grow the inner by one per event.
+    SizeBound Outer = satAddBound(Inner, 1);
+    return Outer;
+  }
+  }
+  return SizeBound{true, 0};
+}
+
+bool BoundAnalysis::transfer(const ProgramStep &Step) {
+  SizeBound New = joinBound(compute(Step), St.Bound[Step.Id]);
+  if (!(New == St.Bound[Step.Id])) {
+    St.Bound[Step.Id] = New;
+    return true;
+  }
+  return false;
+}
+
+bool BoundAnalysis::widen(const ProgramStep &Step) {
+  SizeBound New = joinBound(compute(Step), St.Bound[Step.Id]);
+  if (New == St.Bound[Step.Id])
+    return false;
+  // Still growing past the threshold: give up to unbounded and remember
+  // the stream for the growth-cycle diagnostic.
+  if (!New.Unbounded) {
+    New = SizeBound{true, 0};
+    if (New == St.Bound[Step.Id])
+      return false;
+  }
+  if (!St.WidenedSeen[Step.Id]) {
+    St.WidenedSeen[Step.Id] = 1;
+    St.WidenedUnbounded.push_back(Step.Id);
+  }
+  St.Bound[Step.Id] = New;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Must-fire-at-0 (phase 2)
+//===----------------------------------------------------------------------===//
+
+void detail::computeAt0(State &St) {
+  const std::vector<ProgramStep> &Steps = St.P->steps();
+  auto at0Of = [&](const ProgramStep &Step) -> bool {
+    switch (Step.Op) {
+    case Opcode::Skip:
+    case Opcode::Last:
+    case Opcode::Delay:
+    case Opcode::FusedLastLift:
+      return false;
+    case Opcode::Const:
+    case Opcode::ConstTick:
+      return true;
+    case Opcode::Time:
+      return St.At0[Step.Args[0]];
+    case Opcode::LiftAll:
+    case Opcode::FusedLiftLift: {
+      bool All = Step.NumArgs != 0;
+      for (unsigned I = 0; I != Step.NumArgs; ++I)
+        All = All && St.At0[Step.Args[I]];
+      return All;
+    }
+    case Opcode::LiftMerge: {
+      for (unsigned I = 0; I != Step.NumArgs; ++I)
+        if (St.At0[Step.Args[I]])
+          return true;
+      return false;
+    }
+    case Opcode::LiftFirstRest: {
+      if (!St.At0[Step.Args[0]])
+        return false;
+      for (unsigned I = 1; I != Step.NumArgs; ++I)
+        if (St.At0[Step.Args[I]])
+          return true;
+      return false;
+    }
+    case Opcode::LiftFilter:
+      // Provably fires at 0 only when both sides do AND the condition's
+      // value is provably true — which is why this runs after the range
+      // fixpoint converged.
+      return St.At0[Step.Args[0]] && St.At0[Step.Args[1]] &&
+             operandRange(St, Step.Args[1]).alwaysTrue();
+    }
+    return false;
+  };
+  for (uint32_t Iter = 0; Iter != St.S->numStreams() + 2; ++Iter) {
+    bool Changed = false;
+    for (const ProgramStep &Step : Steps) {
+      if (!St.At0[Step.Id] && at0Of(Step)) {
+        St.At0[Step.Id] = 1;
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+}

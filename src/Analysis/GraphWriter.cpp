@@ -65,3 +65,59 @@ tessla::writeUsageGraphDot(const UsageGraph &G,
   Out += "}\n";
   return Out;
 }
+
+static std::string dotEscape(const std::string &In) {
+  std::string Out;
+  Out.reserve(In.size());
+  for (char C : In) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+std::string
+tessla::writeAnalysisFactsDot(const UsageGraph &G,
+                              const absint::AnalysisFacts &Facts) {
+  const Spec &S = G.spec();
+  std::string Out = "digraph analysis {\n"
+                    "  rankdir=LR;\n"
+                    "  node [fontname=\"Helvetica\", fontsize=10, "
+                    "shape=box];\n";
+  for (StreamId Id = 0; Id != S.numStreams(); ++Id) {
+    const StreamDef &D = S.stream(Id);
+    std::string Label = D.Name + " : " + D.Ty.str();
+    std::string Tick = Facts.tick(Id) == absint::TickKind::Never ? "never"
+                       : Facts.tick(Id) == absint::TickKind::Unit
+                           ? "unit"
+                           : "var";
+    Label += "\\ntick=" + Tick +
+             (Facts.alwaysInitialized(Id) ? " at0" : "");
+    if (const Value *K = Facts.knownValue(Id))
+      Label += "\\n= " + dotEscape(K->str());
+    else if (Facts.range(Id).K != absint::ValueRange::Kind::Bottom &&
+             Facts.range(Id).K != absint::ValueRange::Kind::Top)
+      Label += "\\nrange " + dotEscape(Facts.range(Id).str());
+    if (D.Ty.isComplex())
+      Label += "\\nbound " + Facts.sizeBound(Id).str();
+    std::string Style;
+    if (!Facts.canFire(Id))
+      Style = ", style=filled, fillcolor=gray85, fontcolor=gray40";
+    else if (D.Ty.isComplex() && Facts.sizeBound(Id).Unbounded)
+      Style = ", style=filled, fillcolor=lightpink";
+    else if (D.Ty.isComplex())
+      Style = ", style=filled, fillcolor=palegreen";
+    Out += formatString("  n%u [label=\"%s\"%s];\n", Id, Label.c_str(),
+                        Style.c_str());
+  }
+  for (const UsageEdge &E : G.edges()) {
+    std::string Attrs = formatString("color=%s", edgeColor(E.Kind));
+    if (E.Special)
+      Attrs += ", style=dashed";
+    Out += formatString("  n%u -> n%u [%s];\n", E.From, E.To,
+                        Attrs.c_str());
+  }
+  Out += "}\n";
+  return Out;
+}

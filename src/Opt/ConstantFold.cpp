@@ -2,36 +2,32 @@
 //
 // Part of the tessla-aggregate-update project, MIT licensed.
 //
-// Clock-aware constant propagation and folding. The pass computes, from
-// the original spec, a least-fixpoint lattice state per stream:
+// Clock-aware constant propagation and folding, driven entirely by the
+// abstract-interpretation fact store (Analysis/AbsInt.h): the pass owns
+// no lattice of its own anymore. Rewrites:
 //
-//   Never     — the stream provably never carries an event;
-//   Const(v)  — the stream carries exactly one event, at timestamp 0,
-//               with value v (a unit-clock constant);
-//   Varies    — anything else.
+//  * a provably-silent stream (tick = Never) becomes a Skip;
+//  * a unit-clock constant (exactly one event, at timestamp 0, with a
+//    statically known scalar value) becomes a Const step;
+//  * merge arguments that are silent or duplicated are pruned;
+//  * the flattener's held-constant pattern merge(c, last(c, t))
+//    collapses into one ConstTick step, with the trigger retargeted
+//    through lockstep steps (time, initialized last);
+//  * a filter whose condition provably carries `true` on a clock
+//    dominating the value side is clock-exact — it degenerates to the
+//    value stream itself (a single-argument merge).
 //
-// The transfer functions respect the builtins' event semantics (AND for
-// plain lifts, OR for merge, first-and-any-rest for option lifts, the
-// value-dependent filter), so a fold never changes *when* a stream fires:
-// a step is only rewritten to `Const` when its single event provably sits
-// at timestamp 0, and to `Skip` when it provably never fires.
+// The last rewrite is where the framework is strictly wider than the
+// old self-contained lattice: "provably true" is an interval fact (for
+// example `x == x` over an Int stream), and the domination side
+// condition is a clock-calculus implication — neither was expressible
+// in the pass-private Never/Const/Varies lattice.
 //
-// Two refinements make the pass bite on real specs, where the flattener
-// desugars every literal operand into a *held* constant
-// `merge(c, last(c, trigger))`:
-//
-//  * the ConstTick peephole collapses that whole pattern into one opcode
-//    carrying the constant and the trigger;
-//  * trigger retargeting then walks the trigger through `time` steps and
-//    through `last(v, r)` steps whose value side is provably initialized
-//    at timestamp 0 (TriggerAnalysis::alwaysInitialized) — both exact,
-//    because ConstTick fires unconditionally at timestamp 0 and `last`
-//    past initialization fires exactly with its reset.
-//
-// Aggregate-valued constants are propagated through the lattice (so e.g.
-// setSize(<const set>) folds to an integer) but never materialized into a
-// rewritten step: a Const step's payload would be shared across every
-// session of a MonitorFleet, which destructive updates must never see.
+// Aggregate-valued constants are propagated through the fact store (so
+// e.g. setSize(<const set>) folds to an integer) but never materialized
+// into a rewritten step: a Const step's payload would be shared across
+// every session of a MonitorFleet, which destructive updates must never
+// see.
 //
 //===----------------------------------------------------------------------===//
 
@@ -44,190 +40,19 @@ using namespace tessla::opt;
 
 namespace {
 
-enum class Rank : uint8_t { Never, Const, Varies };
-
-struct LatticeState {
-  Rank R = Rank::Never;
-  Value V; // Const only
-};
-
 class ConstantFold : public Pass {
 public:
   std::string_view name() const override { return "constant-fold"; }
 
-  bool run(Program &P, AnalysisResult &A, PassStatistics &Stats,
-           DiagnosticEngine &Diags) override;
-
-private:
-  const Spec *S = nullptr;
-  std::vector<LatticeState> St;
-
-  LatticeState never() const { return {Rank::Never, Value()}; }
-  LatticeState varies() const { return {Rank::Varies, Value()}; }
-  LatticeState constant(Value V) const {
-    return {Rank::Const, std::move(V)};
-  }
-
-  LatticeState transfer(StreamId Id) const;
-  LatticeState transferLift(const StreamDef &D) const;
-  void computeFixpoint();
+  bool run(Program &P, AnalysisResult &A, absint::AnalysisFacts &Facts,
+           PassStatistics &Stats, DiagnosticEngine &Diags) override;
 };
 
-LatticeState ConstantFold::transferLift(const StreamDef &D) const {
-  switch (builtinInfo(D.Fn).Events) {
-  case EventSemantics::All: {
-    bool AllConst = true;
-    for (StreamId A : D.Args) {
-      if (St[A].R == Rank::Never)
-        return never();
-      AllConst = AllConst && St[A].R == Rank::Const;
-    }
-    if (!AllConst || D.Args.empty())
-      return varies();
-    const Value *Args[3];
-    for (size_t I = 0; I != D.Args.size(); ++I)
-      Args[I] = &St[D.Args[I]].V;
-    EvalError Err;
-    Value R = applyBuiltin(D.Fn, Args,
-                           static_cast<unsigned>(D.Args.size()), false,
-                           Err);
-    // A statically-failing evaluation (div by zero, ...) must keep
-    // failing at run time — leave the step alone.
-    return Err.Failed ? varies() : constant(std::move(R));
-  }
-  case EventSemantics::Any: {
-    // merge: the first present argument wins; Never arguments are
-    // transparent.
-    const LatticeState *First = nullptr;
-    for (StreamId A : D.Args) {
-      if (St[A].R == Rank::Never)
-        continue;
-      if (St[A].R == Rank::Varies)
-        return varies();
-      if (!First)
-        First = &St[A];
-    }
-    return First ? constant(First->V) : never();
-  }
-  case EventSemantics::FirstAndAnyRest: {
-    if (St[D.Args[0]].R == Rank::Never)
-      return never();
-    bool AnyRest = false, AnyVaries = St[D.Args[0]].R == Rank::Varies;
-    for (size_t I = 1; I != D.Args.size(); ++I) {
-      if (St[D.Args[I]].R != Rank::Never)
-        AnyRest = true;
-      if (St[D.Args[I]].R == Rank::Varies)
-        AnyVaries = true;
-    }
-    if (!AnyRest)
-      return never();
-    if (AnyVaries)
-      return varies();
-    // All timestamp-0 events; absent (Never) rest arguments evaluate as
-    // null, exactly like the interpreter's partial-presence call.
-    const Value *Args[3] = {nullptr, nullptr, nullptr};
-    for (size_t I = 0; I != D.Args.size(); ++I)
-      if (St[D.Args[I]].R == Rank::Const)
-        Args[I] = &St[D.Args[I]].V;
-    EvalError Err;
-    Value R = applyBuiltin(D.Fn, Args,
-                           static_cast<unsigned>(D.Args.size()), false,
-                           Err);
-    return Err.Failed ? varies() : constant(std::move(R));
-  }
-  case EventSemantics::Custom: {
-    // filter(a, c): value-dependent, but a statically-constant condition
-    // decides it.
-    const LatticeState &Val = St[D.Args[0]];
-    const LatticeState &Cond = St[D.Args[1]];
-    if (Val.R == Rank::Never || Cond.R == Rank::Never)
-      return never();
-    if (Cond.R == Rank::Const && Cond.V.kind() == Value::Kind::Bool) {
-      if (!Cond.V.getBool())
-        return never();
-      return Val.R == Rank::Const ? constant(Val.V) : varies();
-    }
-    return varies();
-  }
-  }
-  return varies();
-}
-
-LatticeState ConstantFold::transfer(StreamId Id) const {
-  const StreamDef &D = S->stream(Id);
-  switch (D.Kind) {
-  case StreamKind::Input:
-    return varies();
-  case StreamKind::Nil:
-    return never();
-  case StreamKind::Unit:
-    return constant(Value::unit());
-  case StreamKind::Const:
-    return constant(Value::fromLiteral(D.Literal));
-  case StreamKind::Time: {
-    const LatticeState &A0 = St[D.Args[0]];
-    if (A0.R == Rank::Never)
-      return never();
-    if (A0.R == Rank::Const)
-      return constant(Value::integer(0));
-    return varies();
-  }
-  case StreamKind::Lift:
-    return transferLift(D);
-  case StreamKind::Last: {
-    // last(v, r) fires at r's events past timestamp 0, once v has a
-    // previous value. If v never fires there is nothing to remember; if
-    // r fires only at timestamp 0 the slot is still uninitialized during
-    // that calculation (last is *strictly* last), so the stream is
-    // silent either way.
-    const LatticeState &V = St[D.Args[0]];
-    const LatticeState &R = St[D.Args[1]];
-    if (V.R == Rank::Never || R.R != Rank::Varies)
-      return never();
-    return varies();
-  }
-  case StreamKind::Delay: {
-    // delay(d, r) arms off a reset (an r event or its own), so if r
-    // never fires the timer is never armed, by induction from the
-    // unarmed start; if d never fires arming always cancels.
-    if (St[D.Args[0]].R == Rank::Never || St[D.Args[1]].R == Rank::Never)
-      return never();
-    return varies();
-  }
-  }
-  return varies();
-}
-
-void ConstantFold::computeFixpoint() {
-  St.assign(S->numStreams(), LatticeState());
-  // Least fixpoint from bottom (= Never). Recursion only passes through
-  // last/delay back edges, so the chain height is small; the bound is a
-  // safety net, and states only move up the Never < Const < Varies
-  // order (a changed Const value widens to Varies).
-  for (uint32_t Iter = 0; Iter != S->numStreams() + 2; ++Iter) {
-    bool Changed = false;
-    for (StreamId Id = 0; Id != S->numStreams(); ++Id) {
-      LatticeState New = transfer(Id);
-      LatticeState &Old = St[Id];
-      if (New.R == Old.R &&
-          (New.R != Rank::Const || New.V == Old.V))
-        continue;
-      if (New.R < Old.R ||
-          (New.R == Rank::Const && Old.R == Rank::Const))
-        New = varies();
-      Old = std::move(New);
-      Changed = true;
-    }
-    if (!Changed)
-      break;
-  }
-}
-
-bool ConstantFold::run(Program &P, AnalysisResult &A, PassStatistics &Stats,
+bool ConstantFold::run(Program &P, AnalysisResult &A,
+                       absint::AnalysisFacts &Facts, PassStatistics &Stats,
                        DiagnosticEngine &Diags) {
+  (void)A;
   (void)Diags;
-  S = &P.spec();
-  computeFixpoint();
 
   Program::OptView View = P.optView();
   std::unordered_map<StreamId, size_t> StepOf;
@@ -242,8 +67,8 @@ bool ConstantFold::run(Program &P, AnalysisResult &A, PassStatistics &Stats,
 
   // --- Rewrite provably-silent and unit-clock-constant steps. ---
   for (ProgramStep &Step : View.Steps) {
-    const LatticeState &X = St[Step.Id];
-    if (X.R == Rank::Never && Step.Op != Opcode::Skip) {
+    const Value *Known = Facts.knownValue(Step.Id);
+    if (!Facts.canFire(Step.Id) && Step.Op != Opcode::Skip) {
       Step.Op = Opcode::Skip;
       Step.Impl = nullptr;
       Step.InPlace = false;
@@ -251,10 +76,10 @@ bool ConstantFold::run(Program &P, AnalysisResult &A, PassStatistics &Stats,
       Step.Args.clear();
       Step.Folded = true;
       ++Folded;
-    } else if (X.R == Rank::Const && !X.V.isAggregate() &&
+    } else if (Facts.unitClock(Step.Id) && Known && !Known->isAggregate() &&
                Step.Op != Opcode::Const && Step.Op != Opcode::Skip) {
       Step.Op = Opcode::Const;
-      Step.ConstVal = X.V;
+      Step.ConstVal = *Known;
       Step.Impl = nullptr;
       Step.InPlace = false;
       Step.NumArgs = 0;
@@ -274,7 +99,7 @@ bool ConstantFold::run(Program &P, AnalysisResult &A, PassStatistics &Stats,
       bool Duplicate = false;
       for (StreamId Prev : Kept)
         Duplicate = Duplicate || Prev == Arg;
-      if (!Duplicate && St[Arg].R != Rank::Never)
+      if (!Duplicate && Facts.canFire(Arg))
         Kept.push_back(Arg);
     }
     if (Kept.size() == Step.Args.size())
@@ -289,7 +114,6 @@ bool ConstantFold::run(Program &P, AnalysisResult &A, PassStatistics &Stats,
   // --- ConstTick: collapse the flattener's held-constant pattern
   // merge(c, last(c, t)) into one step, then retarget the trigger
   // through steps that fire in lockstep with it. ---
-  TriggerAnalysis &Triggers = A.triggers();
   for (ProgramStep &Step : View.Steps) {
     if (Step.Op != Opcode::LiftMerge || Step.NumArgs != 2)
       continue;
@@ -309,7 +133,7 @@ bool ConstantFold::run(Program &P, AnalysisResult &A, PassStatistics &Stats,
       if (T->Op == Opcode::Time)
         Trigger = T->Args[0];
       else if (T->Op == Opcode::Last &&
-               Triggers.alwaysInitialized(T->Args[0]))
+               Facts.alwaysInitialized(T->Args[0]))
         Trigger = T->Args[1];
       else
         break;
@@ -319,6 +143,29 @@ bool ConstantFold::run(Program &P, AnalysisResult &A, PassStatistics &Stats,
     Step.Args = {Trigger};
     Step.NumArgs = 1;
     Step.ArgSlot[0] = P.valueSlot(Trigger);
+    Step.Folded = true;
+    ++Folded;
+  }
+
+  // --- Clock-exact filter: the condition provably carries `true` and
+  // provably accompanies every value event (ev(a) subset of ev(c),
+  // timestamp 0 included), so filter(a, c) is exactly a. ---
+  for (ProgramStep &Step : View.Steps) {
+    if (Step.Op != Opcode::LiftFilter)
+      continue;
+    StreamId A0 = Step.Args[0], C0 = Step.Args[1];
+    const Value *CK = Facts.knownValue(C0);
+    bool CondTrue = Facts.range(C0).alwaysTrue() ||
+                    (CK && CK->kind() == Value::Kind::Bool && CK->getBool());
+    if (!CondTrue || !Facts.clockSubsetIncl0(A0, C0))
+      continue;
+    Step.Op = Opcode::LiftMerge;
+    Step.Fn = BuiltinId::Merge;
+    Step.Impl = nullptr;
+    Step.InPlace = false;
+    Step.NumArgs = 1;
+    Step.Args = {A0};
+    Step.ArgSlot[0] = P.valueSlot(A0);
     Step.Folded = true;
     ++Folded;
   }

@@ -26,16 +26,32 @@ class DeadStepElim : public Pass {
 public:
   std::string_view name() const override { return "dead-step-elim"; }
 
-  bool run(Program &P, AnalysisResult &A, PassStatistics &Stats,
-           DiagnosticEngine &Diags) override;
+  bool run(Program &P, AnalysisResult &A, absint::AnalysisFacts &Facts,
+           PassStatistics &Stats, DiagnosticEngine &Diags) override;
 };
 
-bool DeadStepElim::run(Program &P, AnalysisResult &A, PassStatistics &Stats,
+bool DeadStepElim::run(Program &P, AnalysisResult &A,
+                       absint::AnalysisFacts &Facts, PassStatistics &Stats,
                        DiagnosticEngine &Diags) {
   (void)A;
   (void)Diags;
   const Spec &S = P.spec();
   Program::OptView View = P.optView();
+
+  // --- Nil-proven step elision: a step the abstract interpreter proves
+  // silent computes nothing observable — neutralize it up front so the
+  // reachability below doesn't keep its operands alive. This is where
+  // the pass is strictly wider than pure reachability: silence can be a
+  // range fact (a filter whose condition is provably false), not just a
+  // structural one. ---
+  for (ProgramStep &Step : View.Steps)
+    if (Step.Op != Opcode::Skip && !Facts.canFire(Step.Id)) {
+      Step.Op = Opcode::Skip;
+      Step.Impl = nullptr;
+      Step.InPlace = false;
+      Step.NumArgs = 0;
+      Step.Args.clear();
+    }
 
   std::unordered_map<StreamId, size_t> StepOf;
   for (size_t I = 0; I != View.Steps.size(); ++I)

@@ -2,79 +2,29 @@
 //
 // Part of the tessla-aggregate-update project, MIT licensed.
 //
-// The spec linter. All firing-dependent rules share one boolean
-// *can-fire* fixpoint — an over-approximation of "may ever carry an
-// event" mirroring the builtins' event semantics — so a "never" verdict
-// is a proof and the linter reports no false positives on specs whose
-// streams can fire.
+// The spec linter, rebuilt on the abstract-interpretation framework
+// (Analysis/AbsInt.h): the spec is compiled to the baseline program and
+// every firing-dependent rule reads the shared fact store instead of a
+// bespoke scan. A "never" verdict is a proof — the tick lattice is a
+// may-over-approximation — so the linter reports no false positives on
+// specs whose streams can fire; and because the facts are sharper than
+// the old boolean can-fire fixpoint (range-proven-false filter
+// conditions silence streams too), the firing rules are strictly wider
+// at identical diagnostic text.
 //
 //===----------------------------------------------------------------------===//
 
 #include "tessla/Opt/Lint.h"
 
+#include "tessla/Analysis/AbsInt.h"
+#include "tessla/Analysis/Pipeline.h"
+
+#include <unordered_map>
+
 using namespace tessla;
 using namespace tessla::opt;
 
 namespace {
-
-/// May the stream ever carry an event? Over-approximated least fixpoint.
-std::vector<bool> computeCanFire(const Spec &S) {
-  std::vector<bool> CanFire(S.numStreams(), false);
-  auto transfer = [&](const StreamDef &D) -> bool {
-    switch (D.Kind) {
-    case StreamKind::Input:
-    case StreamKind::Unit:
-    case StreamKind::Const:
-      return true;
-    case StreamKind::Nil:
-      return false;
-    case StreamKind::Time:
-      return CanFire[D.Args[0]];
-    case StreamKind::Lift:
-      switch (builtinInfo(D.Fn).Events) {
-      case EventSemantics::All: {
-        bool All = true;
-        for (StreamId A : D.Args)
-          All = All && CanFire[A];
-        return All;
-      }
-      case EventSemantics::Any: {
-        bool Any = false;
-        for (StreamId A : D.Args)
-          Any = Any || CanFire[A];
-        return Any;
-      }
-      case EventSemantics::FirstAndAnyRest: {
-        bool AnyRest = false;
-        for (size_t I = 1; I != D.Args.size(); ++I)
-          AnyRest = AnyRest || CanFire[D.Args[I]];
-        return CanFire[D.Args[0]] && AnyRest;
-      }
-      case EventSemantics::Custom:
-        return CanFire[D.Args[0]] && CanFire[D.Args[1]];
-      }
-      return true;
-    case StreamKind::Last:
-      return CanFire[D.Args[0]] && CanFire[D.Args[1]];
-    case StreamKind::Delay:
-      return CanFire[D.Args[0]] && CanFire[D.Args[1]];
-    }
-    return true;
-  };
-  for (uint32_t Iter = 0; Iter != S.numStreams() + 2; ++Iter) {
-    bool Changed = false;
-    for (StreamId Id = 0; Id != S.numStreams(); ++Id) {
-      bool New = transfer(S.stream(Id));
-      if (New != CanFire[Id]) {
-        CanFire[Id] = New;
-        Changed = true;
-      }
-    }
-    if (!Changed)
-      break;
-  }
-  return CanFire;
-}
 
 /// Does \p From reach \p Target over spec operands (any edge kind)?
 bool reaches(const Spec &S, StreamId From, StreamId Target) {
@@ -98,16 +48,28 @@ bool reaches(const Spec &S, StreamId From, StreamId Target) {
 
 unsigned opt::lintSpec(const Spec &S, DiagnosticEngine &Diags,
                        const LintOptions &Opts) {
-  std::vector<bool> CanFire = computeCanFire(S);
+  // One baseline (unoptimized) compile feeds every firing-dependent
+  // rule; stream ids survive the lowering unchanged, so facts are
+  // queried by spec ids directly.
+  AnalysisResult AR = analyzeSpec(S);
+  Program P = Program::compile(AR);
+  absint::AnalysisFacts Facts = absint::AnalysisFacts::compute(P);
 
   std::vector<uint32_t> Readers(S.numStreams(), 0);
   for (const StreamDef &D : S.streams())
     for (StreamId A : D.Args)
       ++Readers[A];
 
+  std::unordered_map<StreamId, const std::string *> UnboundedCycle;
+  for (const absint::AnalysisFacts::UnboundedGrowth &U :
+       Facts.unboundedStreams())
+    UnboundedCycle.emplace(U.Id, &U.Cycle);
+
   unsigned Findings = 0;
+  bool ReportedHere = false;
   auto report = [&](SourceLocation Loc, std::string Msg) {
     ++Findings;
+    ReportedHere = true;
     if (Opts.WarningsAsErrors)
       Diags.error(Loc, std::move(Msg));
     else
@@ -116,6 +78,7 @@ unsigned opt::lintSpec(const Spec &S, DiagnosticEngine &Diags,
 
   for (StreamId Id = 0; Id != S.numStreams(); ++Id) {
     const StreamDef &D = S.stream(Id);
+    ReportedHere = false;
 
     if (builtinByName(D.Name))
       report(D.Loc, "stream '" + D.Name +
@@ -128,16 +91,58 @@ unsigned opt::lintSpec(const Spec &S, DiagnosticEngine &Diags,
                         "' is never read and not an output; prefix the "
                         "name with '_' to silence [unused-stream]");
 
-    if (D.IsOutput && !CanFire[Id])
+    if (D.IsOutput && !Facts.canFire(Id))
       report(D.Loc, "output '" + D.Name +
                         "' can never produce an event [nil-output]");
 
-    if (D.Kind == StreamKind::Last && !CanFire[Id] &&
-        CanFire[D.Args[1]] && reaches(S, D.Args[0], Id))
+    if (D.Kind == StreamKind::Last && !Facts.canFire(Id) &&
+        Facts.canFire(D.Args[1]) && reaches(S, D.Args[0], Id))
       report(D.Loc,
              "last '" + D.Name +
                  "' can never fire: its value side depends on itself "
                  "and has no initial event [uninitialized-last]");
+
+    // --- Framework-powered rules below; each carries its proving facts
+    // in the message. ---
+
+    // A named, non-output definition that provably never fires, unless a
+    // rule above already diagnosed the stream (its silence usually *is*
+    // that finding) or the author silenced it with a '_' prefix.
+    if (!ReportedHere && !D.IsOutput && D.Kind != StreamKind::Input &&
+        !Facts.canFire(Id) && !D.Name.empty() && D.Name[0] != '_')
+      report(D.Loc, "stream '" + D.Name +
+                        "' can never produce an event (" +
+                        Facts.factString(Id) + ") [unreachable-step]");
+
+    // A queue whose element-count bound widened to unbounded: every trip
+    // around the reported cycle enqueues without a compensating
+    // trim/dequeue cap.
+    if (D.Kind == StreamKind::Lift && D.Fn == BuiltinId::QueueEnq) {
+      auto It = UnboundedCycle.find(Id);
+      if (It != UnboundedCycle.end())
+        report(D.Loc, "queue '" + D.Name +
+                          "' grows without bound (growth cycle: " +
+                          *It->second + ") [unbounded-queue-growth]");
+    }
+
+    // A merge arm whose clock is covered by the earlier arms can never
+    // win the first-present-wins race — it is dead weight, and usually a
+    // clock mistake.
+    if (D.Kind == StreamKind::Lift &&
+        builtinInfo(D.Fn).Events == EventSemantics::Any &&
+        D.Args.size() >= 2) {
+      std::vector<StreamId> Earlier{D.Args[0]};
+      for (size_t K = 1; K != D.Args.size(); ++K) {
+        StreamId Arm = D.Args[K];
+        if (Facts.canFire(Arm) && Facts.clockCoveredBy(Arm, Earlier))
+          report(D.Loc,
+                 "merge arm " + std::to_string(K + 1) + " of '" + D.Name +
+                     "' can never win: its clock (" +
+                     Facts.formulaString(Arm) +
+                     ") is covered by the earlier arms [clock-mismatch]");
+        Earlier.push_back(Arm);
+      }
+    }
   }
   return Findings;
 }

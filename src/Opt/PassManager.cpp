@@ -19,7 +19,11 @@ bool PassManager::run(Program &P, AnalysisResult &A, DiagnosticEngine &Diags,
     PS.LastSlotsBefore = static_cast<uint32_t>(P.lastSlots().size());
     PS.DelaySlotsBefore = static_cast<uint32_t>(P.delays().size());
 
-    bool Ok = Pass->run(P, A, PS, Diags);
+    // Fresh facts at every pass boundary: a pass may strengthen what the
+    // next one can prove (folded constants sharpen ranges, eliminated
+    // steps sharpen tick sets).
+    absint::AnalysisFacts Facts = absint::AnalysisFacts::compute(P);
+    bool Ok = Pass->run(P, A, Facts, PS, Diags);
 
     PS.StepsAfter = static_cast<uint32_t>(P.steps().size());
     PS.ValueSlotsAfter = P.numValueSlots();

@@ -38,11 +38,12 @@ class StepFusion : public Pass {
 public:
   std::string_view name() const override { return "step-fusion"; }
 
-  bool run(Program &P, AnalysisResult &A, PassStatistics &Stats,
-           DiagnosticEngine &Diags) override;
+  bool run(Program &P, AnalysisResult &A, absint::AnalysisFacts &Facts,
+           PassStatistics &Stats, DiagnosticEngine &Diags) override;
 };
 
-bool StepFusion::run(Program &P, AnalysisResult &A, PassStatistics &Stats,
+bool StepFusion::run(Program &P, AnalysisResult &A,
+                     absint::AnalysisFacts &Facts, PassStatistics &Stats,
                      DiagnosticEngine &Diags) {
   (void)Diags;
   const Spec &S = P.spec();
@@ -69,6 +70,10 @@ bool StepFusion::run(Program &P, AnalysisResult &A, PassStatistics &Stats,
   for (size_t CI = 0; CI != View.Steps.size(); ++CI) {
     ProgramStep &C = View.Steps[CI];
     if (C.Op != Opcode::LiftAll || C.NumArgs == 0)
+      continue;
+    // A provably-silent consumer is constant-fold/dead-step territory;
+    // fusing it would only pin its operands' slots for nothing.
+    if (!Facts.canFire(C.Id))
       continue;
     auto PIt = StepOf.find(C.Args[0]);
     // Translation order puts a step's operands before it; anything else

@@ -131,6 +131,10 @@ std::string Program::str() const {
     Out += std::to_string(Index++) + ": " + D.Name + " = " + Kind;
     if (Step.InPlace && Step.Kind == StreamKind::Lift)
       Out += "   [in-place]";
+    // A rewritten step that still renders through its builtin shape
+    // (e.g. a clock-exact filter degenerated to a one-arm merge).
+    if (Step.Folded)
+      Out += "   [folded]";
     if (Step.Kind != StreamKind::Nil)
       Out += "   @" + std::to_string(Step.Dst);
     if (Step.Kind == StreamKind::Last)

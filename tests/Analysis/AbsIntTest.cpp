@@ -1,0 +1,330 @@
+//===- tests/Analysis/AbsIntTest.cpp ----------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Unit tests for the abstract-interpretation framework (Analysis/
+/// AbsInt.h): the tick/constant, range and bound lattices on hand-written
+/// specifications, the must-fire-at-0 proofs, the clock-domination
+/// queries, the fixpoint engine's convergence/widening contract, and the
+/// rendering entry points the linter and `tesslac --dump-analysis` share.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Analysis/AbsInt.h"
+
+#include "../TestSpecs.h"
+
+#include <gtest/gtest.h>
+
+using namespace tessla;
+using namespace tessla::absint;
+using namespace tessla::testspecs;
+
+namespace {
+
+/// Baseline-compiles \p Source and computes the fact store over it.
+struct Analyzed {
+  Program P;
+  AnalysisFacts Facts;
+
+  explicit Analyzed(std::string_view Source, unsigned OptLevel = 0)
+      : P(compileOrDie(parseOrDie(Source), /*Optimize=*/false, OptLevel)),
+        Facts(AnalysisFacts::compute(P)) {}
+
+  StreamId id(const char *Name) const {
+    auto Id = P.spec().lookup(Name);
+    EXPECT_TRUE(Id) << "no stream named " << Name;
+    return Id ? *Id : 0;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Tick / nil reachability
+//===----------------------------------------------------------------------===//
+
+TEST(AbsIntTest, InputsAndConstantsTick) {
+  Analyzed A(R"(
+    in x: Int
+    def c := 42
+    def t := time(x)
+    out c
+    out t
+  )");
+  EXPECT_EQ(A.Facts.tick(A.id("x")), TickKind::Var);
+  EXPECT_FALSE(A.Facts.alwaysInitialized(A.id("x")));
+  EXPECT_TRUE(A.Facts.unitClock(A.id("c")));
+  EXPECT_TRUE(A.Facts.alwaysInitialized(A.id("c")));
+  ASSERT_NE(A.Facts.knownValue(A.id("c")), nullptr);
+  EXPECT_EQ(A.Facts.knownValue(A.id("c"))->getInt(), 42);
+  // time(x) ticks exactly with x.
+  EXPECT_EQ(A.Facts.tick(A.id("t")), TickKind::Var);
+  EXPECT_EQ(A.Facts.clockRelation(A.id("t"), A.id("x")), ClockRel::Equal);
+}
+
+TEST(AbsIntTest, RangeProvenFalseFilterIsNever) {
+  // The condition is a held `false`: the range channel proves the filter
+  // silent, which the boolean reachability of the old linter could not.
+  Analyzed A(R"(
+    in x: Int
+    def dead := filter(x, false)
+    out dead
+  )");
+  EXPECT_FALSE(A.Facts.canFire(A.id("dead")));
+  EXPECT_TRUE(A.Facts.canFire(A.id("x")));
+}
+
+TEST(AbsIntTest, UninitializedSelfLastIsNever) {
+  Analyzed A(R"(
+    in x: Int
+    def selfy := last(selfy + 1, x)
+    out selfy
+  )");
+  EXPECT_FALSE(A.Facts.canFire(A.id("selfy")));
+}
+
+//===----------------------------------------------------------------------===//
+// Constant / range
+//===----------------------------------------------------------------------===//
+
+TEST(AbsIntTest, HeldConstantIsKnownEverywhere) {
+  // The held-constant idiom ticks with x yet provably always carries 7.
+  Analyzed A(R"(
+    in x: Int
+    def h := merge(last(h, x), 7)
+    out h
+  )");
+  StreamId H = A.id("h");
+  EXPECT_EQ(A.Facts.tick(H), TickKind::Var);
+  ASSERT_NE(A.Facts.knownValue(H), nullptr);
+  EXPECT_EQ(A.Facts.knownValue(H)->getInt(), 7);
+  EXPECT_TRUE(A.Facts.alwaysInitialized(H));
+}
+
+TEST(AbsIntTest, CounterRangeWidensToHalfLine) {
+  Analyzed A(R"(
+    in x: Int
+    def c := merge(last(c, x) + 1, 0)
+    out c
+  )");
+  const ValueRange &R = A.Facts.range(A.id("c"));
+  ASSERT_EQ(R.K, ValueRange::Kind::Int);
+  EXPECT_EQ(R.Lo, 0);
+  EXPECT_EQ(R.Hi, ValueRange::PosInf);
+  EXPECT_TRUE(R.contains(Value::integer(12345)));
+  EXPECT_FALSE(R.contains(Value::integer(-1)));
+}
+
+TEST(AbsIntTest, SameStreamComparisonFoldsToBool) {
+  // x == x over the same Int stream is provably true at every event.
+  Analyzed A(R"(
+    in x: Int
+    def eq := x == x
+    def ne := x != x
+    out eq
+    out ne
+  )");
+  EXPECT_TRUE(A.Facts.range(A.id("eq")).alwaysTrue());
+  EXPECT_TRUE(A.Facts.range(A.id("ne")).alwaysFalse());
+}
+
+TEST(AbsIntTest, ValueRangeLatticeOps) {
+  ValueRange A = ValueRange::interval(0, 10);
+  ValueRange B = ValueRange::interval(5, 20);
+  ValueRange J = A.join(B);
+  EXPECT_EQ(J, ValueRange::interval(0, 20));
+  EXPECT_EQ(J.join(ValueRange::bottom()), J);
+  EXPECT_EQ(J.join(ValueRange::top()).K, ValueRange::Kind::Top);
+  // Widening jumps only the unstable bound.
+  ValueRange W = ValueRange::interval(0, 30).widen(A);
+  EXPECT_EQ(W.Lo, 0);
+  EXPECT_EQ(W.Hi, ValueRange::PosInf);
+  EXPECT_EQ(ValueRange::boolConst(true)
+                .join(ValueRange::boolConst(false))
+                .str(),
+            "{true, false}");
+}
+
+//===----------------------------------------------------------------------===//
+// Size bounds
+//===----------------------------------------------------------------------===//
+
+TEST(AbsIntTest, TrimmedQueueIsBounded) {
+  Spec S = queueWindow(8);
+  Program P = compileOrDie(S, /*Optimize=*/false);
+  AnalysisFacts Facts = AnalysisFacts::compute(P);
+  EXPECT_TRUE(Facts.unboundedStreams().empty());
+  bool SawAggregate = false;
+  for (StreamId Id = 0; Id != P.numStreams(); ++Id)
+    if (P.spec().stream(Id).Ty.isComplex()) {
+      SawAggregate = true;
+      EXPECT_FALSE(Facts.sizeBound(Id).Unbounded)
+          << "stream " << P.spec().stream(Id).Name;
+    }
+  EXPECT_TRUE(SawAggregate);
+}
+
+TEST(AbsIntTest, GrowingSetWidensToUnboundedWithCycle) {
+  Spec S = seenSet();
+  Program P = compileOrDie(S, /*Optimize=*/false);
+  AnalysisFacts Facts = AnalysisFacts::compute(P);
+  ASSERT_FALSE(Facts.unboundedStreams().empty());
+  // The growth cycle threads through the accumulator loop.
+  bool FoundCycle = false;
+  for (const AnalysisFacts::UnboundedGrowth &U : Facts.unboundedStreams())
+    FoundCycle |= U.Cycle.find(" -> ") != std::string::npos;
+  EXPECT_TRUE(FoundCycle);
+}
+
+//===----------------------------------------------------------------------===//
+// Clock domination
+//===----------------------------------------------------------------------===//
+
+TEST(AbsIntTest, ClockQueriesOnMergeAndLift) {
+  Analyzed A(R"(
+    in a: Int
+    in b: Int
+    def m := merge(a, b)
+    def s := a + b
+    def f := filter(a, a > 0)
+    out m
+    out s
+    out f
+  )");
+  StreamId IdA = A.id("a"), IdB = A.id("b");
+  StreamId M = A.id("m"), Sum = A.id("s"), F = A.id("f");
+
+  EXPECT_TRUE(A.Facts.clockSubset(IdA, M));
+  EXPECT_FALSE(A.Facts.clockSubset(M, IdA));
+  EXPECT_EQ(A.Facts.clockRelation(IdA, M), ClockRel::Subset);
+  EXPECT_EQ(A.Facts.clockRelation(M, IdA), ClockRel::Superset);
+  EXPECT_EQ(A.Facts.clockRelation(M, M), ClockRel::Equal);
+
+  // a + b ticks only when both tick — a subset of each input's clock.
+  EXPECT_TRUE(A.Facts.clockSubset(Sum, IdA));
+  EXPECT_TRUE(A.Facts.clockSubset(Sum, IdB));
+  EXPECT_EQ(A.Facts.clockRelation(Sum, IdA), ClockRel::Subset);
+
+  // Exact refutation over free input atoms: a can tick without b.
+  EXPECT_TRUE(A.Facts.provablyTicksWithout(IdA, IdB));
+  EXPECT_FALSE(A.Facts.provablyTicksWithout(Sum, IdA));
+
+  // The filter carries an opaque condition atom: still a subset of its
+  // argument's clock, but not exactly refutable.
+  EXPECT_TRUE(A.Facts.clockSubset(F, IdA));
+  EXPECT_FALSE(A.Facts.provablyTicksWithout(IdA, F));
+
+  // Covered-by: every merge event coincides with one of the arms.
+  EXPECT_TRUE(A.Facts.clockCoveredBy(M, {IdA, IdB}));
+  EXPECT_FALSE(A.Facts.clockCoveredBy(M, {IdA}));
+}
+
+TEST(AbsIntTest, AlwaysTrueFilterHasExactClock) {
+  // The condition is provably true at every event, so the filter's clock
+  // is exactly conj(a, cond) with no opaque gate — equal to a's clock.
+  Analyzed A(R"(
+    in a: Int
+    def keep := filter(a, a == a)
+    out keep
+  )");
+  EXPECT_EQ(A.Facts.clockRelation(A.id("keep"), A.id("a")),
+            ClockRel::Equal);
+}
+
+TEST(AbsIntTest, SelfArmingDelayIsFlagged) {
+  // The periodic idiom: the held delay amount re-arms on the delay's own
+  // events, so the drain at finish() needs a horizon.
+  Spec S = parseOrDie(R"(
+    in x: Int
+    def p := delay(10, unit)
+    def q := delay(time(x) + 1, x)
+    out p
+    out q
+  )");
+  Program P = compileOrDie(S, /*Optimize=*/false);
+  AnalysisFacts Facts = AnalysisFacts::compute(P);
+  EXPECT_TRUE(Facts.delaySelfArming(*S.lookup("p")));
+  EXPECT_FALSE(Facts.delaySelfArming(*S.lookup("q")));
+}
+
+//===----------------------------------------------------------------------===//
+// Fixpoint engine contract
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A no-op analysis: every step is visited exactly once.
+struct NullAnalysis final : Analysis {
+  std::string_view name() const override { return "null"; }
+  bool transfer(const ProgramStep &) override { return false; }
+  bool widen(const ProgramStep &) override { return false; }
+};
+
+/// Never stabilizes under transfer(); only widen() stops it. Exercises
+/// the engine's per-step visit counters and the widening hand-off.
+struct RestlessAnalysis final : Analysis {
+  unsigned Widened = 0;
+  std::string_view name() const override { return "restless"; }
+  bool transfer(const ProgramStep &) override { return true; }
+  bool widen(const ProgramStep &) override {
+    ++Widened;
+    return false;
+  }
+  unsigned widenAfter() const override { return 3; }
+};
+
+} // namespace
+
+TEST(AbsIntTest, FixpointVisitsEveryStepOnce) {
+  Program P = compileOrDie(parseOrDie(R"(
+    in a: Int
+    def b := a + 1
+    def c := merge(a, b)
+    out c
+  )"),
+                           /*Optimize=*/false);
+  NullAnalysis N;
+  EXPECT_EQ(runFixpoint(P, {&N}), P.steps().size());
+}
+
+TEST(AbsIntTest, FixpointWidensRestlessSteps) {
+  Program P = compileOrDie(parseOrDie(R"(
+    in x: Int
+    def c := merge(last(c, x) + 1, 0)
+    out c
+  )"),
+                           /*Optimize=*/false);
+  RestlessAnalysis R;
+  size_t Transfers = runFixpoint(P, {&R});
+  // Terminated (or we would not be here), visited more than once per
+  // step, and the cyclic steps crossed the widening threshold.
+  EXPECT_GT(Transfers, P.steps().size());
+  EXPECT_GT(R.Widened, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+TEST(AbsIntTest, FactStringCarriesProvingFacts) {
+  Analyzed A(R"(
+    in x: Int
+    def dead := filter(x, false)
+    out dead
+  )");
+  std::string FS = A.Facts.factString(A.id("dead"));
+  EXPECT_NE(FS.find("tick=never"), std::string::npos) << FS;
+  EXPECT_NE(FS.find("clock="), std::string::npos) << FS;
+}
+
+TEST(AbsIntTest, DumpNamesStreamsAndSummarizesMemory) {
+  Spec S = queueWindow(4);
+  Program P = compileOrDie(S, /*Optimize=*/false);
+  AnalysisFacts Facts = AnalysisFacts::compute(P);
+  std::string Dump = Facts.str();
+  EXPECT_NE(Dump.find("analysis facts:"), std::string::npos);
+  EXPECT_NE(Dump.find("memory: bounded, <= "), std::string::npos) << Dump;
+}

@@ -117,6 +117,22 @@ TEST(DifferentialOptTest, SpectrumCalculation) {
   expectLevelsAgree(S, tracegen::powerSignal(*S.lookup("p"), Config));
 }
 
+TEST(DifferentialOptTest, TautologicalFilterPassThroughAgrees) {
+  // The widening showcase (specs/filter_passthrough.tessla): the facts-
+  // driven folder rewrites filter(x, x == x) to a pass-through merge —
+  // byte-identity proves the rewrite clock- and value-exact, including
+  // at timestamp 0.
+  Spec S = parseOrDie(R"(
+    in x: Int
+    def keep := filter(x, x == x)
+    def both := merge(keep, time(keep))
+    out keep
+    out both
+  )");
+  expectLevelsAgree(S,
+                    tracegen::randomInts(*S.lookup("x"), 2000, 50, 11));
+}
+
 TEST(DifferentialOptTest, WholeAggregateOutputsAgree) {
   Spec S = parseOrDie(R"(
     in x: Int

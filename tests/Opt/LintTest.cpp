@@ -99,6 +99,92 @@ TEST(LintTest, NilPropagatesToDependentOutputs) {
       "[nil-output]\n");
 }
 
+// --- Framework-powered rules (abstract-interpretation facts) --------------
+
+TEST(LintTest, UnreachableStepCarriesProvingFacts) {
+  // A range-proven-silent non-output definition: the condition is a held
+  // `false`, so the filter can never pass an event. The old boolean
+  // reachability could not prove this; the diagnostic carries the facts.
+  auto [Findings, Text] = lint("in x: Int\n"
+                               "def dead := filter(x, false)\n"
+                               "def use := merge(dead, x)\n"
+                               "out use\n");
+  EXPECT_EQ(Findings, 1u) << Text;
+  EXPECT_NE(Text.find("stream 'dead' can never produce an event"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("tick=never"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("[unreachable-step]"), std::string::npos) << Text;
+}
+
+TEST(LintTest, UnreachableStepYieldsToPrimaryDiagnosis) {
+  // When another rule already diagnosed the silent stream (nil-output,
+  // uninitialized-last), unreachable-step stays quiet — one finding per
+  // root cause.
+  auto [Findings, Text] = lint("in x: Int\n"
+                               "def selfy := last(selfy + 1, x)\n"
+                               "out selfy\n");
+  EXPECT_EQ(Findings, 2u) << Text;
+  EXPECT_EQ(Text.find("[unreachable-step]"), std::string::npos) << Text;
+}
+
+TEST(LintTest, UnboundedQueueGrowthNamesTheCycle) {
+  // An enqueue accumulator with no trim: the bound analysis widens to
+  // unbounded and the diagnostic names the growth cycle.
+  auto [Findings, Text] =
+      lint("in x: Int\n"
+           "def q := last(merge(grow, queueEmpty()), x)\n"
+           "def grow := queueEnq(q, x)\n"
+           "def n := queueSize(grow)\n"
+           "out n\n");
+  EXPECT_EQ(Findings, 1u) << Text;
+  EXPECT_NE(Text.find("queue 'grow' grows without bound"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("growth cycle: "), std::string::npos) << Text;
+  EXPECT_NE(Text.find("[unbounded-queue-growth]"), std::string::npos)
+      << Text;
+}
+
+TEST(LintTest, TrimmedQueueIsNotFlagged) {
+  auto [Findings, Text] =
+      lint("in x: Int\n"
+           "def q := last(merge(w, queueEmpty()), x)\n"
+           "def w := queueTrim(queueEnq(q, x), 8)\n"
+           "def n := queueSize(w)\n"
+           "out n\n");
+  EXPECT_EQ(Findings, 0u) << Text;
+}
+
+TEST(LintTest, DeadMergeArmIsAClockMismatch) {
+  // merge(m, a): the second arm's clock is covered by the first (m
+  // already merges a and b), so arm 2 can never win the first-present-
+  // wins race.
+  auto [Findings, Text] = lint("in a: Int\n"
+                               "in b: Int\n"
+                               "def m := merge(a, b)\n"
+                               "def r := merge(m, a)\n"
+                               "out r\n");
+  EXPECT_EQ(Findings, 1u) << Text;
+  EXPECT_NE(Text.find("merge arm 2 of 'r' can never win"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("[clock-mismatch]"), std::string::npos) << Text;
+}
+
+TEST(LintTest, IndependentMergeArmsAreClean) {
+  // Arms over independent input clocks can each win; and the held-
+  // constant seeding idiom (constant second arm, losing past t=0 by
+  // design) must not be flagged either.
+  auto [Findings, Text] = lint("in a: Int\n"
+                               "in b: Int\n"
+                               "def m := merge(a, b)\n"
+                               "def c := merge(last(c, a) + 1, 0)\n"
+                               "out m\n"
+                               "out c\n");
+  EXPECT_EQ(Findings, 0u) << Text;
+}
+
 TEST(LintTest, EvaluationWorkloadsAreClean) {
   for (const Spec &S : {seenSet(), mapWindow(8), queueWindow(8),
                         dbAccessConstraint(), dbTimeConstraint(),

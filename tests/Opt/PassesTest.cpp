@@ -99,6 +99,44 @@ TEST(OptPassesTest, NeverStreamsFoldAndOutputsSurvive) {
                      "outputs: x@0 quiet@1\n");
 }
 
+TEST(OptPassesTest, TautologicalFilterFoldsToPassThrough) {
+  // filter(x, x == x): the range domain proves the condition true at
+  // every event (same-stream comparison) and the clock checker proves
+  // the condition ticks whenever the value does, so the filter rewrites
+  // to a single-arm merge and dead-step elimination reaps the orphaned
+  // comparison. The pre-facts folder had no range or clock channel and
+  // left this spec untouched at -O1.
+  Spec S = parseOrDie(R"(
+    in x: Int
+    def keep := filter(x, x == x)
+    out keep
+  )");
+  OptStatistics Stats;
+  Program P = optimized(S, &Stats);
+  EXPECT_EQ(P.str(), "0: x = input   @0\n"
+                     "1: keep = merge(x)   [folded]   @1\n"
+                     "slots: value=2 last=0 delay=0\n"
+                     "outputs: keep@1\n");
+  EXPECT_GE(Stats.totalFolded(), 1u) << Stats.str();
+  EXPECT_GE(Stats.totalEliminated(), 1u) << Stats.str();
+}
+
+TEST(OptPassesTest, RangeProvenDeadFilterEliminates) {
+  // The branch condition is a held `false`: the range channel proves the
+  // filter silent and dead-step elimination removes the whole chain
+  // feeding it (the old reachability-only DSE kept every step alive).
+  Spec S = parseOrDie(R"(
+    in x: Int
+    def dead := filter(x + 1, false)
+    out dead
+    out x
+  )");
+  Program P = optimized(S);
+  EXPECT_EQ(P.str(), "0: x = input   @0\n"
+                     "slots: value=1 last=0 delay=0\n"
+                     "outputs: x@0 dead@1\n");
+}
+
 // --- Per-pass statistics on the evaluation workloads ----------------------
 
 TEST(OptPassesTest, MapWindowExercisesAllThreePasses) {

@@ -89,6 +89,44 @@ TEST(TesslacTest, EmitDot) {
   EXPECT_EQ(Out.substr(0, 7), "digraph");
 }
 
+TEST(TesslacTest, DumpAnalysisPrintsFactsAndMemorySummary) {
+  auto [Rc, Out] = runTool(specFile() + " --dump-analysis");
+  EXPECT_EQ(Rc, 0);
+  EXPECT_NE(Out.find("analysis facts:"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("tick=var"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("clock="), std::string::npos) << Out;
+  // The seen-set accumulator grows without bound; the dump names the
+  // growth cycle.
+  EXPECT_NE(Out.find("memory: unbounded growth at"), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("cycle: "), std::string::npos) << Out;
+}
+
+TEST(TesslacTest, DumpAnalysisDotAnnotatesNodes) {
+  auto [Rc, Out] = runTool(specFile() + " --dump-analysis=dot");
+  EXPECT_EQ(Rc, 0);
+  EXPECT_EQ(Out.substr(0, 16), "digraph analysis") << Out;
+  EXPECT_NE(Out.find("tick=var"), std::string::npos) << Out;
+  // Unbounded aggregates are drawn red-ish for at-a-glance triage.
+  EXPECT_NE(Out.find("lightpink"), std::string::npos) << Out;
+}
+
+TEST(TesslacTest, DumpAnalysisReflectsOptimizationLevel) {
+  // At -O1 the tautological filter folds away; the optimized program's
+  // facts show the comparison stream gone (tick=never, no step) while
+  // the baseline still carries it.
+  std::string Path = tempPath("taut.tessla");
+  writeFile(Path, "in x: Int\n"
+                  "def keep := filter(x, x == x)\n"
+                  "out keep\n");
+  auto [Rc0, Out0] = runTool(Path + " --dump-analysis -O0");
+  EXPECT_EQ(Rc0, 0);
+  EXPECT_EQ(Out0.find("_t0: tick=never"), std::string::npos) << Out0;
+  auto [Rc1, Out1] = runTool(Path + " --dump-analysis -O1");
+  EXPECT_EQ(Rc1, 0);
+  EXPECT_NE(Out1.find("_t0: tick=never"), std::string::npos) << Out1;
+}
+
 TEST(TesslacTest, EmitPlanShowsInPlace) {
   auto [Rc, Out] = runTool(specFile() + " --emit=plan");
   EXPECT_EQ(Rc, 0);

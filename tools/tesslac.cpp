@@ -70,6 +70,14 @@ void printUsage(const char *Argv0) {
       "                                    eliminates dead steps)\n"
       "  --dump-passes                     print per-pass statistics to\n"
       "                                    stderr\n"
+      "  --dump-analysis[=dot]             print the abstract-\n"
+      "                                    interpretation facts of the\n"
+      "                                    compiled program (tick kind,\n"
+      "                                    clock formula, value range,\n"
+      "                                    memory bound per stream) as\n"
+      "                                    text, or as an annotated dot\n"
+      "                                    graph; honors -O<level> and\n"
+      "                                    --baseline\n"
       "  --lint                            run the spec linter and print\n"
       "                                    its warnings to stderr\n"
       "  --werror                          treat lint warnings as errors\n"
@@ -160,6 +168,8 @@ int main(int argc, char **argv) {
   bool EmitMain = false;
   unsigned OptLevel = 0;
   bool DumpPasses = false;
+  bool DumpAnalysis = false;
+  bool DumpAnalysisDot = false;
   bool Lint = false;
   bool Werror = false;
   std::optional<Time> Horizon;
@@ -197,6 +207,11 @@ int main(int argc, char **argv) {
       OptLevel = 1;
     } else if (std::strcmp(Arg, "--dump-passes") == 0) {
       DumpPasses = true;
+    } else if (std::strcmp(Arg, "--dump-analysis") == 0) {
+      DumpAnalysis = true;
+    } else if (std::strcmp(Arg, "--dump-analysis=dot") == 0) {
+      DumpAnalysis = true;
+      DumpAnalysisDot = true;
     } else if (std::strcmp(Arg, "--lint") == 0) {
       Lint = true;
     } else if (std::strcmp(Arg, "--werror") == 0) {
@@ -300,6 +315,23 @@ int main(int argc, char **argv) {
     }
     return Plan;
   };
+
+  // The abstract-interpretation dump is its own artifact: facts over the
+  // program exactly as compiled (so -O1 shows what the optimizer left).
+  if (DumpAnalysis) {
+    std::optional<Program> Plan = makePlan();
+    if (!Plan)
+      return 1;
+    absint::AnalysisFacts Facts = absint::AnalysisFacts::compute(*Plan);
+    if (DumpAnalysisDot) {
+      MutabilityOptions MOpts;
+      MOpts.Optimize = !Baseline;
+      AnalysisResult Analysis = analyzeSpec(*S, MOpts);
+      return emitText(writeAnalysisFactsDot(Analysis.graph(), Facts),
+                      OutPath);
+    }
+    return emitText(Facts.str(), OutPath);
+  }
 
   // The analysis-artifact modes (reusing the analysis the program modes
   // run internally via compileSpec).
