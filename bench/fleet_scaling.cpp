@@ -14,7 +14,14 @@
 /// counts collapse to the same throughput).
 ///
 /// Knobs: --shards and --producers take comma-separated sweep lists,
-/// --sessions the session count; --batched adds the SoA lockstep engine
+/// --sessions the session count; --transport=inproc|socket|both adds
+/// the ingestion-carrier axis: inproc feeds ProducerHandles directly,
+/// socket routes every record through the wire format and a Unix-domain
+/// socket into a FleetServer in the same process (server setup and the
+/// Hello handshake stay outside the timed region), so the row pair
+/// prices the serialization + syscall overhead of the service path
+/// against the shared-memory fan-in; --batched adds the SoA lockstep
+/// engine
 /// as a second mode axis, printing batched vs per-session rows at every
 /// configuration (the batched row's speedup column is relative to the
 /// per-session row at the same shard/producer count — on a 1-core box
@@ -31,10 +38,13 @@
 
 #include "BenchUtil.h"
 
+#include "tessla/Runtime/FleetClient.h"
+#include "tessla/Runtime/FleetServer.h"
 #include "tessla/Runtime/MonitorFleet.h"
 
 #include <cstring>
 #include <thread>
+#include <unistd.h>
 
 using namespace tessla;
 using namespace tessla::bench;
@@ -155,16 +165,104 @@ double timeFleet(const FleetWorkload &W, const Program &Plan,
   return std::chrono::duration<double>(EndTime - Start).count();
 }
 
+/// The same timed run over the service path: a FleetServer in this
+/// process behind a Unix-domain socket, every record crossing the wire
+/// format. Server construction, listening and the Hello handshake stay
+/// outside the timed region; the clock covers ingest (each producer
+/// thread dials its own connection inside the timed region, as a real
+/// client burst would) plus finish.
+double timeFleetSocket(const FleetWorkload &W, const Program &Plan,
+                       unsigned Shards, unsigned Producers, FleetMode Mode,
+                       size_t Chunk, uint64_t &OutputsOut,
+                       const EngineFactory &Native = {}) {
+  FleetOptions Opts;
+  Opts.Shards = Shards;
+  Opts.MaxProducers = std::max(16u, Producers);
+  Opts.CollectOutputs = false;
+  Opts.Mode = Mode;
+  Opts.NativeFactory = Native;
+  FleetServer Server(Plan, Opts);
+
+  static unsigned Run = 0;
+  std::string Path = "/tmp/tessla_fleet_bench_" +
+                     std::to_string(::getpid()) + "_" +
+                     std::to_string(Run++) + ".sock";
+  std::string Err;
+  auto L = listenUnixSocket(Path, &Err);
+  if (!L) {
+    std::fprintf(stderr, "bench listen failed: %s\n", Err.c_str());
+    std::exit(1);
+  }
+  std::thread Serve([&] { Server.serve(*L); });
+  auto Client = makeUnixSocketClient(Path, &Err);
+  if (!Client) {
+    std::fprintf(stderr, "bench connect failed: %s\n", Err.c_str());
+    std::exit(1);
+  }
+
+  auto Start = std::chrono::steady_clock::now();
+  size_t MaxLen = 0;
+  for (const auto &Trace : W.SessionTraces)
+    MaxLen = std::max(MaxLen, Trace.size());
+  auto Ingest = [&](unsigned P) {
+    std::string PErr;
+    auto Handle = Client->producer(&PErr);
+    if (!Handle) {
+      std::fprintf(stderr, "bench producer failed: %s\n", PErr.c_str());
+      std::exit(1);
+    }
+    for (size_t Base = 0; Base < MaxLen; Base += Chunk) {
+      for (SessionId Session = P; Session < W.SessionTraces.size();
+           Session += Producers) {
+        const auto &Trace = W.SessionTraces[Session];
+        size_t End = std::min(Base + Chunk, Trace.size());
+        for (size_t I = Base; I < End; ++I) {
+          const auto &[Id, Ts, V] = Trace[I];
+          Handle->feed(Session, Id, Ts, V);
+        }
+      }
+    }
+    if (!Handle->close()) {
+      std::fprintf(stderr, "bench producer close failed: %s\n",
+                   Handle->error().c_str());
+      std::exit(1);
+    }
+  };
+  if (Producers == 1) {
+    Ingest(0);
+  } else {
+    std::vector<std::thread> Threads;
+    Threads.reserve(Producers);
+    for (unsigned P = 0; P != Producers; ++P)
+      Threads.emplace_back(Ingest, P);
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  auto Finish = Client->finish(&Err);
+  auto EndTime = std::chrono::steady_clock::now();
+  if (!Finish) {
+    std::fprintf(stderr, "bench finish failed: %s\n", Err.c_str());
+    std::exit(1);
+  }
+  OutputsOut = Finish->TotalOutputs;
+  Client->shutdownServer();
+  Serve.join();
+  return std::chrono::duration<double>(EndTime - Start).count();
+}
+
 double medianFleet(const FleetWorkload &W, const Program &Plan,
                    unsigned Shards, unsigned Producers, FleetMode Mode,
-                   size_t Chunk, unsigned Reps, uint64_t &OutputsOut,
-                   const EngineFactory &Native = {}) {
+                   size_t Chunk, unsigned Reps, bool OverSocket,
+                   uint64_t &OutputsOut, const EngineFactory &Native = {}) {
   std::vector<double> Times;
   uint64_t FirstOutputs = 0;
   for (unsigned I = 0; I != Reps; ++I) {
     uint64_t Outputs = 0;
-    Times.push_back(timeFleet(W, Plan, Shards, Producers, Mode, Chunk,
-                              Outputs, Native));
+    Times.push_back(OverSocket
+                        ? timeFleetSocket(W, Plan, Shards, Producers, Mode,
+                                          Chunk, Outputs, Native)
+                        : timeFleet(W, Plan, Shards, Producers, Mode,
+                                    Chunk, Outputs, Native));
     if (I == 0)
       FirstOutputs = Outputs;
     else if (Outputs != FirstOutputs) {
@@ -187,7 +285,23 @@ int main(int argc, char **argv) {
   size_t Chunk = 64;
   bool Batched = false;
   bool Native = false;
+  // Ingestion carriers to sweep: false = in-process ProducerHandle,
+  // true = wire frames over a Unix-domain socket into a FleetServer.
+  std::vector<bool> Carriers = {false};
 
+  auto ParseTransport = [&](const char *Text) {
+    if (std::strcmp(Text, "inproc") == 0)
+      Carriers = {false};
+    else if (std::strcmp(Text, "socket") == 0)
+      Carriers = {true};
+    else if (std::strcmp(Text, "both") == 0)
+      Carriers = {false, true};
+    else
+      return false;
+    return true;
+  };
+
+  bool Usage = false;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--shards") == 0 && I + 1 < argc)
       ShardCounts = parseList(argv[++I]);
@@ -201,10 +315,18 @@ int main(int argc, char **argv) {
       Native = true;
     else if (std::strcmp(argv[I], "--chunk") == 0 && I + 1 < argc)
       Chunk = static_cast<size_t>(std::max(1, std::atoi(argv[++I])));
-    else {
+    else if (std::strncmp(argv[I], "--transport=", 12) == 0)
+      Usage = !ParseTransport(argv[I] + 12);
+    else if (std::strcmp(argv[I], "--transport") == 0 && I + 1 < argc)
+      Usage = !ParseTransport(argv[++I]);
+    else
+      Usage = true;
+    if (Usage) {
       std::fprintf(stderr,
                    "usage: %s [--shards 1,2,4,8] [--producers 1,2] "
-                   "[--sessions N] [--chunk N] [--batched] [--native]\n",
+                   "[--sessions N] [--chunk N] "
+                   "[--transport=inproc|socket|both] [--batched] "
+                   "[--native]\n",
                    argv[0]);
       return 2;
     }
@@ -229,9 +351,9 @@ int main(int argc, char **argv) {
       dbLogWorkload(Sessions, scaled(5000)),
   };
 
-  std::printf("%-10s %-9s %8s %10s %10s %10s %12s %9s\n", "workload",
-              "mode", "shards", "producers", "events", "time [s]", "Mev/s",
-              "speedup");
+  std::printf("%-10s %-9s %-9s %8s %10s %10s %10s %12s %9s\n", "workload",
+              "mode", "transport", "shards", "producers", "events",
+              "time [s]", "Mev/s", "speedup");
   for (FleetWorkload &W : Workloads) {
     // Optimized monitors; the opt-vs-baseline axis is fig9/fig10.
     DiagnosticEngine Diags;
@@ -254,43 +376,55 @@ int main(int argc, char **argv) {
       }
     }
     double Base = 0;
-    uint64_t PerSessionOutputs = 0;
     for (unsigned Producers : ProducerCounts) {
       for (unsigned Shards : ShardCounts) {
-        double PerSessionSeconds = 0;
-        for (FleetMode Mode : Modes) {
-          uint64_t Outputs = 0;
-          double Seconds =
-              medianFleet(W, Plan, Shards, Producers, Mode, Chunk, Reps,
-                          Outputs, NativeFactory);
-          double Speedup;
-          if (Mode == FleetMode::PerSession) {
-            if (Base == 0)
-              Base = Seconds;
-            PerSessionSeconds = Seconds;
-            PerSessionOutputs = Outputs;
-            Speedup = Base / Seconds; // vs first per-session config
-          } else {
-            // vs per-session at the same shard/producer count.
-            Speedup = PerSessionSeconds / Seconds;
-            if (Outputs != PerSessionOutputs) {
+        // Output counts must agree across every mode AND carrier at the
+        // same configuration — the socket rows replay the identical
+        // workload through the wire format.
+        uint64_t ConfigOutputs = 0;
+        bool HaveConfigOutputs = false;
+        for (bool OverSocket : Carriers) {
+          double PerSessionSeconds = 0;
+          for (FleetMode Mode : Modes) {
+            uint64_t Outputs = 0;
+            double Seconds =
+                medianFleet(W, Plan, Shards, Producers, Mode, Chunk,
+                            Reps, OverSocket, Outputs, NativeFactory);
+            double Speedup;
+            if (Mode == FleetMode::PerSession) {
+              if (Base == 0)
+                Base = Seconds;
+              PerSessionSeconds = Seconds;
+              Speedup = Base / Seconds; // vs first per-session config
+            } else {
+              // vs per-session at the same shard/producer/carrier.
+              Speedup = PerSessionSeconds / Seconds;
+            }
+            if (!HaveConfigOutputs) {
+              ConfigOutputs = Outputs;
+              HaveConfigOutputs = true;
+            } else if (Outputs != ConfigOutputs) {
               std::fprintf(stderr,
-                           "%s output count diverged from "
-                           "per-session!\n",
-                           Mode == FleetMode::Batched ? "batched"
-                                                      : "native");
+                           "%s/%s output count diverged at the same "
+                           "configuration!\n",
+                           Mode == FleetMode::Batched     ? "batched"
+                           : Mode == FleetMode::Native    ? "native"
+                                                          : "per-sess",
+                           OverSocket ? "socket" : "inproc");
               return 1;
             }
+            std::printf(
+                "%-10s %-9s %-9s %8u %10u %10zu %10.4f %12.3f %8.2fx\n",
+                W.Label,
+                Mode == FleetMode::Batched     ? "batched"
+                : Mode == FleetMode::Native    ? "native"
+                                               : "per-sess",
+                OverSocket ? "socket" : "inproc", Shards, Producers,
+                W.TotalEvents, Seconds,
+                static_cast<double>(W.TotalEvents) / Seconds / 1e6,
+                Speedup);
+            std::fflush(stdout);
           }
-          std::printf("%-10s %-9s %8u %10u %10zu %10.4f %12.3f %8.2fx\n",
-                      W.Label,
-                      Mode == FleetMode::Batched     ? "batched"
-                      : Mode == FleetMode::Native    ? "native"
-                                                     : "per-sess",
-                      Shards, Producers, W.TotalEvents, Seconds,
-                      static_cast<double>(W.TotalEvents) / Seconds / 1e6,
-                      Speedup);
-          std::fflush(stdout);
         }
       }
     }

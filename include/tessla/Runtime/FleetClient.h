@@ -1,0 +1,157 @@
+//===- tessla/Runtime/FleetClient.h - Unified session surface --*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one session-lifecycle surface every ingest path programs against:
+/// open producers, feed records, checkpoint/restore live monitor state,
+/// finish and collect outputs — identically whether the fleet runs in
+/// this process (makeInProcessClient wraps MonitorFleet directly) or
+/// behind a FleetServer on the far end of a transport (makeRemoteClient
+/// speaks the Runtime/Wire.h frames). This replaces the old pattern of
+/// tools talking to MonitorFleet::feed()/finish() directly.
+///
+/// Contract (all implementations):
+///  - producer() opens an ingestion endpoint; any number may be open
+///    concurrently, each used by one thread at a time.
+///  - snapshot()/restore()/finish()/statsText() are control operations,
+///    called from one controlling thread while NO producer is open —
+///    they fail otherwise. snapshot() is *live*: it serializes the
+///    current monitor state as a `.tcp` checkpoint and the fleet keeps
+///    running (in-process this is suspend + rebuild + restore under the
+///    hood). restore() injects checkpointed sessions and is only valid
+///    before the first producer was opened on the current fleet state.
+///  - finish() is terminal: end-of-input for every session, returns the
+///    deterministic merged outputs and counters.
+///
+/// Backpressure: feed() always accepts (blocking when a shard ring is
+/// full) but every stall is counted; busySignals() exposes the count —
+/// remote producers learn it from wire-level Busy frames drained
+/// opportunistically after each batch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_RUNTIME_FLEETCLIENT_H
+#define TESSLA_RUNTIME_FLEETCLIENT_H
+
+#include "tessla/Runtime/MonitorFleet.h"
+#include "tessla/Runtime/Transport.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tessla {
+
+/// One ingestion endpoint (the FleetClient face of ProducerHandle).
+/// Close (or destroy) every producer before control operations.
+class ClientProducer {
+public:
+  virtual ~ClientProducer() = default;
+
+  /// Feeds one record. Blocks under backpressure (the stall is counted,
+  /// never dropped). False on a closed endpoint or transport error —
+  /// check error().
+  virtual bool feed(SessionId Session, StreamId Input, Time Ts,
+                    Value V) = 0;
+
+  /// Hands off partially filled batches now.
+  virtual bool flush() = 0;
+
+  /// Flushes and signals this producer's end-of-input. Idempotent; the
+  /// destructor calls it. False if the endpoint died early.
+  virtual bool close() = 0;
+
+  /// Backpressure stalls observed so far (remote: Busy frames received;
+  /// final after close()).
+  virtual uint64_t busySignals() const = 0;
+
+  /// The first error this endpoint hit; empty while healthy.
+  virtual const std::string &error() const = 0;
+};
+
+/// The result of FleetClient::finish().
+struct FleetFinish {
+  /// Deterministic merged output trace. A remote client receives these
+  /// through Outputs frames; ordering is identical to the in-process
+  /// MonitorFleet::takeOutputs().
+  std::vector<SessionOutputEvent> Outputs;
+  /// Failed sessions with diagnostics (in-process only; the wire carries
+  /// the count, not the messages).
+  std::vector<SessionError> Errors;
+  uint64_t FailedSessions = 0;
+  uint64_t TotalOutputs = 0;
+};
+
+/// The unified session-lifecycle surface (see the file comment).
+class FleetClient {
+public:
+  virtual ~FleetClient() = default;
+
+  /// Opens a new ingestion endpoint. Nullptr with \p ErrorOut set when
+  /// the fleet is finished or out of producer slots.
+  virtual std::unique_ptr<ClientProducer>
+  producer(std::string *ErrorOut = nullptr) = 0;
+
+  /// Live checkpoint: the current monitor state as `.tcp` bytes; the
+  /// fleet keeps running with the same sessions. Requires all producers
+  /// closed. Nullopt with \p ErrorOut set on failure (e.g. a
+  /// non-migratable native engine).
+  virtual std::optional<std::vector<uint8_t>>
+  snapshot(std::string *ErrorOut = nullptr) = 0;
+
+  /// Restores a `.tcp` checkpoint into the fleet; returns the number of
+  /// lanes restored. Only valid before the first producer was opened.
+  virtual std::optional<uint64_t>
+  restore(const std::vector<uint8_t> &Checkpoint,
+          std::string *ErrorOut = nullptr) = 0;
+
+  /// Terminal end-of-input: finishes every session, returns outputs and
+  /// counters. Requires all producers closed.
+  virtual std::optional<FleetFinish>
+  finish(std::string *ErrorOut = nullptr) = 0;
+
+  /// The rendered fleet stats (ShardStats::str() per shard after a
+  /// finish or snapshot; a one-line running summary before).
+  virtual std::optional<std::string>
+  statsText(std::string *ErrorOut = nullptr) = 0;
+
+  /// Asks a remote server process to exit (no-op true in-process).
+  virtual bool shutdownServer(std::string *ErrorOut = nullptr) = 0;
+};
+
+/// Wraps a MonitorFleet running in this process. \p Prog must outlive
+/// the client. This is also the engine room of FleetServer — the server
+/// is a frame translator over exactly this object.
+std::unique_ptr<FleetClient> makeInProcessClient(const Program &Prog,
+                                                 FleetOptions Opts = {});
+
+/// Opens one connection to a server (the control connection for this
+/// client, plus one more per producer()).
+using TransportDialer =
+    std::function<std::unique_ptr<Transport>(std::string *ErrorOut)>;
+
+/// Connects to a FleetServer through \p Dial (called once immediately
+/// for the control connection, then once per producer()). Performs the
+/// Hello handshake and verifies the wire version. Nullptr with
+/// \p ErrorOut set on connect/handshake failure. If \p ProgramChecksumOut
+/// is non-null it receives the server program's checksum from the
+/// HelloAck.
+std::unique_ptr<FleetClient>
+makeRemoteClient(TransportDialer Dial, std::string *ErrorOut = nullptr,
+                 uint64_t *ProgramChecksumOut = nullptr);
+
+/// Convenience: a remote client dialing the Unix-domain socket at
+/// \p Path.
+std::unique_ptr<FleetClient>
+makeUnixSocketClient(const std::string &Path,
+                     std::string *ErrorOut = nullptr,
+                     uint64_t *ProgramChecksumOut = nullptr);
+
+} // namespace tessla
+
+#endif // TESSLA_RUNTIME_FLEETCLIENT_H

@@ -1,0 +1,80 @@
+//===- tessla/Runtime/FleetServer.h - Monitor service loop -----*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-running monitor service: accepts transport connections and
+/// translates Runtime/Wire.h frames into calls on one in-process
+/// FleetClient. Thread-per-connection; every connection may feed (its
+/// first Batch frame lazily opens a ClientProducer) and any connection
+/// may drive the control surface (Snapshot/Restore/Finish/Stats/
+/// Shutdown) — the shared FleetClient enforces the quiescence rules and
+/// misuse comes back as wire-level Error frames.
+///
+/// Lifecycle: construct over a Program, then serve() a Listener until a
+/// Shutdown frame arrives (it closes the listener and every live
+/// connection, then joins). handleConnection() is also public so tests
+/// and pipe setups can drive a server without a listener.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_RUNTIME_FLEETSERVER_H
+#define TESSLA_RUNTIME_FLEETSERVER_H
+
+#include "tessla/Runtime/FleetClient.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace tessla {
+
+class FleetServer {
+public:
+  /// \p Prog must outlive the server.
+  FleetServer(const Program &Prog, FleetOptions Opts = {});
+
+  /// Accepts and serves connections until shutdownRequested(); joins
+  /// every connection thread before returning. Blocks.
+  void serve(Listener &L);
+
+  /// Serves one connected transport until it closes (blocks; callable
+  /// from any thread).
+  void handleConnection(std::unique_ptr<Transport> T);
+
+  /// Set by a Shutdown frame, or directly (e.g. on a signal): closes
+  /// the active listener and interrupts every live connection.
+  void requestShutdown();
+  bool shutdownRequested() const {
+    return Shutdown.load(std::memory_order_acquire);
+  }
+
+  /// The shared session surface (e.g. for host-side checkpoints of an
+  /// embedded server).
+  FleetClient &client() { return *Client; }
+
+private:
+  struct Registration;
+  bool handleFrame(Transport &T, WireFrame F,
+                   std::unique_ptr<ClientProducer> &Prod,
+                   uint64_t &BusySent);
+
+  std::unique_ptr<FleetClient> Client;
+  uint64_t ProgramCk = 0;
+  uint32_t Shards = 1;
+  std::atomic<bool> Shutdown{false};
+
+  // Live-connection registry: requestShutdown() interrupts registered
+  // transports under ConnMu; a connection deregisters before closing its
+  // transport, so interrupt() never races a close.
+  std::mutex ConnMu;
+  std::vector<Transport *> LiveConns;
+  Listener *ActiveListener = nullptr;
+};
+
+} // namespace tessla
+
+#endif // TESSLA_RUNTIME_FLEETSERVER_H

@@ -66,10 +66,26 @@
 ///    hand-off between producers must be externally synchronized:
 ///    A.flush() (or close()) happens-before B's first feed of that
 ///    session.
-///  - finish()/takeOutputs()/errors()/stats() are called from one
-///    controlling thread after the producers quiesced.
-///  - The deprecated single-producer shim feed() routes through an
-///    implicit handle and keeps the old one-ingest-thread contract.
+///  - finish()/suspend()/takeOutputs()/errors()/stats() are called from
+///    one controlling thread after the producers quiesced. (The old
+///    single-producer feed() shim is gone — every ingest path holds an
+///    explicit ProducerHandle, or a FleetClient wrapping one.)
+///
+/// ## Checkpoint / restore
+///
+/// suspend() is the checkpointing twin of finish(): it drains every ring
+/// and inbox exactly like finish(), but instead of running end-of-input
+/// semantics it extracts every live session through the engine migration
+/// contract (ShardEngine::extractLane) and returns the lane snapshots,
+/// sorted by session id. Serialized as a `.tcp` checkpoint
+/// (Runtime/Checkpoint.h) they can be restored — into a fresh fleet of
+/// *any* shard count, in this or another process — with restore(), which
+/// injects each lane into its home shard through the same migration
+/// inboxes work stealing uses and waits until the workers adopted them.
+/// restore() must complete before any producer feeds the restored
+/// sessions; outputs recorded before the suspend travel inside the lane
+/// snapshots, so run-to-T + suspend + restore + run-to-end is
+/// byte-identical to an uninterrupted run.
 ///
 /// ## Work stealing
 ///
@@ -199,8 +215,14 @@ struct ShardStats {
   uint64_t SessionsStolenOut = 0; ///< sessions donated to idle peers
   uint64_t RecordsForwarded = 0; ///< records relayed to a session's thief
   uint64_t LockstepSweeps = 0;   ///< batched mode: lockstep sweeps run
+  uint64_t BackpressureStalls = 0; ///< producer blocks on this shard's rings
   std::string Engine;            ///< final engine ("per-session", "batched",
                                  ///< "native"); Auto shards show their verdict
+
+  /// Stable self-describing "key=value key=value ..." rendering — one
+  /// format shared by `tessla-run --stats`, FleetStats::str() and the
+  /// service stats frame. Keys are append-only across releases.
+  std::string str() const;
 };
 
 /// Aggregated observability report for one fleet run.
@@ -228,6 +250,14 @@ struct SessionOutputEvent {
 struct SessionError {
   SessionId Session;
   std::string Message;
+};
+
+/// Result of a non-blocking ProducerHandle::tryFeed().
+enum class FeedStatus : uint8_t {
+  Ok,         ///< the record was buffered/handed off
+  WouldBlock, ///< the target shard's ring is full (backpressure); retry
+              ///< later or fall back to the blocking feed()
+  Closed,     ///< invalid or closed handle — the record was rejected
 };
 
 /// One producer's ingestion endpoint: a movable handle owning a private
@@ -266,6 +296,13 @@ public:
   /// handle.
   bool feed(SessionId Session, StreamId Input, Time Ts, Value V);
 
+  /// Non-blocking feed(): refuses — without buffering the record — when
+  /// accepting it could force a blocking ring push (the shard's ring is
+  /// full and the pending batch is at capacity). The service layer turns
+  /// WouldBlock into a wire-level Busy frame instead of silently
+  /// stalling the client.
+  FeedStatus tryFeed(SessionId Session, StreamId Input, Time Ts, Value V);
+
   /// Hands off all partially filled batches now (e.g. before a session
   /// hand-off to another producer).
   void flush();
@@ -298,17 +335,30 @@ public:
   /// FleetOptions::MaxProducers slots are taken.
   ProducerHandle producer();
 
-  /// Deprecated single-producer shim: feeds through an implicit handle
-  /// under the old contract (feed()/finish() from one ingest thread).
-  /// New code should hold explicit ProducerHandles. \returns false
-  /// after finish().
-  bool feed(SessionId Session, StreamId Input, Time Ts, Value V);
-
   /// Closes any producer handles still open (requires them quiescent),
   /// drains all rings, signals end-of-input to every session
   /// (Monitor::finish with the configured horizon) and joins the
   /// workers. Idempotent.
   void finish();
+
+  /// Checkpointing twin of finish(): drains everything, then *extracts*
+  /// every live session instead of finishing it — lane snapshots (state,
+  /// recorded outputs, unconsumed records) sorted by session id, ready
+  /// for serializeCheckpoint() and a later restore() into any fleet over
+  /// the same Program. Requires a migratable engine (not Native; see
+  /// engineFallbackReason() conventions) — with a non-migratable engine
+  /// the shards finish normally and suspend() returns an empty vector
+  /// with \p ErrorOut set. Terminal like finish(): the fleet accepts no
+  /// further input afterwards.
+  std::vector<EngineLaneState> suspend(std::string *ErrorOut = nullptr);
+
+  /// Injects checkpointed lane snapshots into their home shards (through
+  /// the same migration inboxes work stealing uses) and waits until the
+  /// workers adopted them. Must complete before any producer feeds the
+  /// restored sessions; restoring a session that is already live is a
+  /// caller error. \returns false on a finished fleet, a non-migratable
+  /// engine, or duplicate session ids in \p Lanes.
+  bool restore(std::vector<EngineLaneState> Lanes);
 
   /// True once finish() ran and at least one session's monitor failed.
   bool failed() const;
@@ -365,15 +415,19 @@ private:
   std::atomic<unsigned> LaneCount{0};
   std::atomic<uint64_t> NextBatchSeq{0};
   std::atomic<bool> Finishing{false};
+  std::atomic<bool> Suspending{false};
   std::atomic<unsigned> DrainedWorkers{0};
+  std::atomic<uint64_t> RestoresAdopted{0};
   std::mutex AdminMu;
 
   FleetStats Stats;
   bool Finished = false;
-  ProducerHandle ShimProducer; // backs the deprecated feed()
 
+  void joinAndCollect();
   bool laneFeed(unsigned LaneIdx, SessionId Session, StreamId Input,
                 Time Ts, Value V);
+  FeedStatus laneTryFeed(unsigned LaneIdx, SessionId Session,
+                         StreamId Input, Time Ts, Value V);
   void laneFlush(unsigned LaneIdx);
   void laneFlushShard(ProducerLane &L, unsigned ShardIdx);
   void laneClose(unsigned LaneIdx);

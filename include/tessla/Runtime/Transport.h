@@ -1,0 +1,116 @@
+//===- tessla/Runtime/Transport.h - Byte-stream transports -----*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-stream transports the monitor service speaks over: a minimal
+/// blocking send/recv interface plus the two concrete carriers the
+/// server supports — Unix-domain sockets (cross-process) and socketpair
+/// pipes (parent/child or same-process loopback). Transports move opaque
+/// bytes; framing and meaning live one layer up in Runtime/Wire.h.
+///
+/// All operations block. send() writes the whole buffer or fails;
+/// recv() returns at least one byte, zero on orderly peer close, and -1
+/// on error. Both ends of a transport may be used from different
+/// threads, but each direction belongs to one thread at a time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_RUNTIME_TRANSPORT_H
+#define TESSLA_RUNTIME_TRANSPORT_H
+
+#include "tessla/Runtime/Wire.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tessla {
+
+/// One connected byte stream. Close is idempotent; the destructor
+/// closes.
+class Transport {
+public:
+  virtual ~Transport() = default;
+
+  /// Writes all \p Size bytes (retrying short writes). False on error
+  /// or closed peer.
+  virtual bool send(const uint8_t *Data, size_t Size) = 0;
+  bool send(const std::vector<uint8_t> &Bytes) {
+    return send(Bytes.data(), Bytes.size());
+  }
+
+  /// Reads up to \p Size bytes into \p Data, blocking until at least
+  /// one arrives. Returns the count, 0 on orderly close, -1 on error.
+  virtual ptrdiff_t recv(uint8_t *Data, size_t Size) = 0;
+
+  /// Non-blocking recv: bytes read (> 0), 0 when nothing is available
+  /// right now, -1 on error or closed peer. Lets a write-mostly peer
+  /// (a batch producer) drain asynchronous Busy frames without ever
+  /// blocking on the read side.
+  virtual ptrdiff_t tryRecv(uint8_t *Data, size_t Size) = 0;
+
+  /// Shuts the stream down; any blocked peer recv() sees end-of-stream.
+  virtual void close() = 0;
+
+  /// Kills the stream without releasing it: this transport's own
+  /// blocked recv()/send() unblock with end-of-stream/error, but the
+  /// underlying descriptor stays owned until close(). Lets another
+  /// thread interrupt a connection it does not own — the caller must
+  /// ensure the owner cannot concurrently close() (see FleetServer's
+  /// registry discipline).
+  virtual void interrupt() = 0;
+};
+
+/// A listening endpoint producing connected transports.
+class Listener {
+public:
+  virtual ~Listener() = default;
+
+  /// Blocks for the next connection; nullptr once closed or on error.
+  virtual std::unique_ptr<Transport> accept() = 0;
+
+  /// Unblocks any pending accept() and refuses further connections.
+  virtual void close() = 0;
+};
+
+/// Wraps an already-connected file descriptor (socket or pipe end).
+/// Takes ownership: the transport closes \p Fd.
+std::unique_ptr<Transport> makeFdTransport(int Fd);
+
+/// An in-process connected pair (socketpair): bytes sent on one end
+/// arrive on the other. The loopback carrier for tests and for driving
+/// a server thread without touching the filesystem.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+makePipeTransportPair();
+
+/// Binds and listens on a Unix-domain socket at \p Path (unlinking any
+/// stale socket file first). Nullptr with \p ErrorOut set on failure.
+std::unique_ptr<Listener> listenUnixSocket(const std::string &Path,
+                                           std::string *ErrorOut = nullptr);
+
+/// Connects to the Unix-domain socket at \p Path.
+std::unique_ptr<Transport> connectUnixSocket(const std::string &Path,
+                                             std::string *ErrorOut = nullptr);
+
+// --- Frame helpers --------------------------------------------------------
+
+/// Encodes and sends one frame. False on transport error.
+bool sendFrame(Transport &T, FrameType Type,
+               const std::vector<uint8_t> &Payload);
+bool sendFrame(Transport &T, FrameType Type);
+
+/// Receives the next complete frame through \p Dec, pulling bytes from
+/// \p T as needed. Nullopt with \p ErrorOut set on malformed stream,
+/// transport error, or clean end-of-stream ("connection closed").
+std::optional<WireFrame> recvFrame(Transport &T, FrameDecoder &Dec,
+                                   std::string &ErrorOut);
+
+} // namespace tessla
+
+#endif // TESSLA_RUNTIME_TRANSPORT_H

@@ -1,0 +1,209 @@
+//===- tessla/Runtime/Wire.h - Service wire format -------------*- C++ -*-===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The versioned binary wire format of the monitor service: how
+/// EventBatches, checkpoints, outputs and control messages travel
+/// between a FleetClient and a FleetServer over any byte-stream
+/// transport (Runtime/Transport.h). Built on the same little-endian
+/// primitives as the `.tpb`/`.tcp` artifacts (Program/BinaryCodec.h) and
+/// decoded with the same untrusting discipline.
+///
+/// ## Framing
+///
+/// Every message is one frame:
+///
+///   offset 0   4  magic bytes 'T' 'W' 'F' 0x1A
+///   offset 4   1  u8 frame type (FrameType)
+///   offset 5   4  u32 payload size (<= WireMaxPayload)
+///   offset 9   8  u64 FNV-1a-64 checksum of the payload bytes
+///   offset 17  N  payload
+///
+/// The stream decoder (FrameDecoder) resynchronizes never: any malformed
+/// header, oversized payload or checksum mismatch is a hard connection
+/// error — a stream transport either delivers bytes intact and in order
+/// or the connection is dead.
+///
+/// ## Conversation
+///
+/// Connections open with Hello (client) / HelloAck (server). The
+/// HelloAck carries the server program's checksum so a client feeding
+/// the wrong monitor fails fast, before any data frame.
+///
+///   Hello        c->s  u32 wire version
+///   HelloAck     s->c  u32 wire version, u64 program checksum,
+///                      u32 shard count
+///   Batch        c->s  one EventBatch (records only; Seq/Close are
+///                      fan-in internals assigned server-side)
+///   Busy         s->c  u64 backlog hint — the shard rings are full;
+///                      the batch IS still accepted (blocking feed), the
+///                      frame surfaces the stall so clients can pace
+///   Snapshot     c->s  (empty) checkpoint request
+///   SnapshotAck  s->c  the serialized `.tcp` checkpoint bytes
+///   Restore      c->s  serialized `.tcp` checkpoint bytes
+///   RestoreAck   s->c  u64 lanes restored
+///   Finish       c->s  u64 scope — FinishScopeProducer (0): this
+///                      connection's producer is done, close its handle
+///                      and ack; FinishScopeFleet (1): end-of-input for
+///                      the whole fleet (every producer must be closed)
+///   Outputs      s->c  a run of output records (session, ts, stream,
+///                      value); zero or more precede a fleet FinishAck
+///   FinishAck    s->c  u64 failed sessions, u64 total outputs (both
+///                      zero for a producer-scope ack)
+///   Stats        c->s  (empty) stats request
+///   StatsAck     s->c  the rendered FleetStats::str() text
+///   Error        s->c  human-readable string; the connection closes
+///   Shutdown     c->s  (empty) stop the server process
+///   ShutdownAck  s->c  (empty) acknowledged, server is exiting
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESSLA_RUNTIME_WIRE_H
+#define TESSLA_RUNTIME_WIRE_H
+
+#include "tessla/Runtime/TraceIO.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tessla {
+
+/// Current wire format version. Bump on any frame-layout change.
+constexpr uint32_t WireFormatVersion = 1;
+
+/// The four magic bytes opening every frame.
+constexpr uint8_t WireMagic[4] = {'T', 'W', 'F', 0x1A};
+
+/// Frame header size: magic + type + payload size + payload checksum.
+constexpr size_t WireHeaderSize = 17;
+
+/// Hard per-frame payload cap — a hostile peer must not be able to make
+/// the decoder allocate unbounded memory from one header.
+constexpr uint32_t WireMaxPayload = 64u << 20;
+
+/// Wire frame types (see the conversation table in the file comment).
+enum class FrameType : uint8_t {
+  Hello = 1,
+  HelloAck = 2,
+  Batch = 3,
+  Busy = 4,
+  Snapshot = 5,
+  SnapshotAck = 6,
+  Restore = 7,
+  RestoreAck = 8,
+  Finish = 9,
+  Outputs = 10,
+  FinishAck = 11,
+  Stats = 12,
+  StatsAck = 13,
+  Error = 14,
+  Shutdown = 15,
+  ShutdownAck = 16,
+};
+
+/// Frame-type name for diagnostics ("Batch", "Busy", ...).
+const char *frameTypeName(FrameType T);
+
+/// Finish-frame scopes (u64 payload).
+constexpr uint64_t FinishScopeProducer = 0;
+constexpr uint64_t FinishScopeFleet = 1;
+
+/// One decoded frame.
+struct WireFrame {
+  FrameType Type = FrameType::Error;
+  std::vector<uint8_t> Payload;
+};
+
+/// Encodes one frame (header + payload), ready for Transport::send.
+std::vector<uint8_t> encodeFrame(FrameType Type, const uint8_t *Payload,
+                                 size_t Size);
+std::vector<uint8_t> encodeFrame(FrameType Type,
+                                 const std::vector<uint8_t> &Payload);
+
+/// Incremental frame decoder over a byte stream: append() received
+/// bytes, then next() until it returns nullopt. A malformed stream
+/// (bad magic, unknown type, oversized payload, checksum mismatch)
+/// poisons the decoder — failed() stays true and next() returns nullopt
+/// forever; the connection must be dropped.
+class FrameDecoder {
+public:
+  /// Appends received bytes.
+  void append(const uint8_t *Data, size_t Size);
+
+  /// Extracts the next complete frame; nullopt when more bytes are
+  /// needed or the stream is poisoned (check failed()).
+  std::optional<WireFrame> next();
+
+  bool failed() const { return Failed; }
+  const std::string &error() const { return Err; }
+
+private:
+  std::vector<uint8_t> Buf;
+  size_t Pos = 0; // consumed prefix of Buf
+  bool Failed = false;
+  std::string Err;
+};
+
+// --- Payload codecs -------------------------------------------------------
+//
+// Each decode* treats its payload as hostile: bounds-checked reads,
+// validated counts, nullopt + ErrorOut on any problem.
+
+/// Batch: the records of one EventBatch (Seq/Close stay host-local).
+std::vector<uint8_t> encodeEventBatch(const EventBatch &B);
+std::optional<EventBatch> decodeEventBatch(const uint8_t *Data, size_t Size,
+                                           std::string &ErrorOut);
+
+/// Outputs: a run of session-attributed output events.
+struct WireOutputRecord {
+  SessionId Session = 0;
+  Time Ts = 0;
+  StreamId Stream = 0;
+  Value V;
+};
+std::vector<uint8_t>
+encodeOutputs(const std::vector<WireOutputRecord> &Events);
+std::optional<std::vector<WireOutputRecord>>
+decodeOutputs(const uint8_t *Data, size_t Size, std::string &ErrorOut);
+
+/// Hello / HelloAck.
+std::vector<uint8_t> encodeHello();
+bool decodeHello(const uint8_t *Data, size_t Size, uint32_t &VersionOut,
+                 std::string &ErrorOut);
+struct WireHelloAck {
+  uint32_t Version = 0;
+  uint64_t ProgramChecksum = 0;
+  uint32_t Shards = 0;
+};
+std::vector<uint8_t> encodeHelloAck(const WireHelloAck &A);
+std::optional<WireHelloAck> decodeHelloAck(const uint8_t *Data, size_t Size,
+                                           std::string &ErrorOut);
+
+/// FinishAck.
+struct WireFinishAck {
+  uint64_t FailedSessions = 0;
+  uint64_t TotalOutputs = 0;
+};
+std::vector<uint8_t> encodeFinishAck(const WireFinishAck &A);
+std::optional<WireFinishAck> decodeFinishAck(const uint8_t *Data,
+                                             size_t Size,
+                                             std::string &ErrorOut);
+
+/// Single-u64 payloads (Busy backlog hint, RestoreAck lane count).
+std::vector<uint8_t> encodeU64(uint64_t V);
+std::optional<uint64_t> decodeU64(const uint8_t *Data, size_t Size,
+                                  std::string &ErrorOut);
+
+/// String payloads (StatsAck, Error).
+std::vector<uint8_t> encodeString(const std::string &S);
+std::optional<std::string> decodeString(const uint8_t *Data, size_t Size,
+                                        std::string &ErrorOut);
+
+} // namespace tessla
+
+#endif // TESSLA_RUNTIME_WIRE_H

@@ -1,0 +1,171 @@
+//===- Program/BinaryCodec.cpp ----------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Program/BinaryCodec.h"
+
+#include "tessla/Runtime/Containers.h"
+#include "tessla/Support/Format.h"
+
+#include <algorithm>
+
+using namespace tessla;
+using namespace tessla::bc;
+
+std::string bc::fourCCName(uint32_t T) {
+  std::string S(4, '?');
+  for (unsigned I = 0; I != 4; ++I) {
+    char C = static_cast<char>((T >> (8 * I)) & 0xFF);
+    S[I] = (C >= 32 && C < 127) ? C : '?';
+  }
+  return S;
+}
+
+namespace {
+
+template <typename Items>
+void writeSortedValues(ByteWriter &W, Items SortedItems) {
+  W.u32(static_cast<uint32_t>(SortedItems.size()));
+  for (const Value &V : SortedItems)
+    bc::writeValue(W, V);
+}
+
+} // namespace
+
+void bc::writeValue(ByteWriter &W, const Value &V) {
+  W.u8(static_cast<uint8_t>(V.kind()));
+  switch (V.kind()) {
+  case Value::Kind::Unit:
+    break;
+  case Value::Kind::Bool:
+    W.u8(V.getBool() ? 1 : 0);
+    break;
+  case Value::Kind::Int:
+    W.i64(V.getInt());
+    break;
+  case Value::Kind::Float:
+    W.f64(V.getFloat());
+    break;
+  case Value::Kind::String:
+    W.str(V.getString());
+    break;
+  case Value::Kind::Set: {
+    const SetData &D = *V.getSet();
+    W.u8(D.IsMutable ? 1 : 0);
+    std::vector<Value> Items = D.items();
+    std::sort(Items.begin(), Items.end(), [](const Value &A, const Value &B) {
+      return compareValues(A, B) < 0;
+    });
+    writeSortedValues(W, std::move(Items));
+    break;
+  }
+  case Value::Kind::Map: {
+    const MapData &D = *V.getMap();
+    W.u8(D.IsMutable ? 1 : 0);
+    std::vector<std::pair<Value, Value>> Items = D.items();
+    std::sort(Items.begin(), Items.end(),
+              [](const auto &A, const auto &B) {
+                return compareValues(A.first, B.first) < 0;
+              });
+    W.u32(static_cast<uint32_t>(Items.size()));
+    for (const auto &[K, Val] : Items) {
+      writeValue(W, K);
+      writeValue(W, Val);
+    }
+    break;
+  }
+  case Value::Kind::Queue: {
+    const QueueData &D = *V.getQueue();
+    W.u8(D.IsMutable ? 1 : 0);
+    writeSortedValues(W, D.items()); // front-first, already canonical
+    break;
+  }
+  }
+}
+
+namespace {
+
+bool readAggregateCount(ByteReader &R, DecodeContext &Ctx, uint32_t &Count) {
+  Count = R.u32();
+  if (R.failed() || Count > R.remaining()) {
+    Ctx.fail("aggregate element count exceeds the remaining payload");
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+Value bc::readValue(ByteReader &R, DecodeContext &Ctx, unsigned Depth) {
+  if (Depth > MaxNesting) {
+    Ctx.fail("value nesting exceeds the format limit");
+    return Value::unit();
+  }
+  uint8_t Kind = R.u8();
+  if (R.failed() || !Ctx.Ok) {
+    Ctx.fail("truncated value");
+    return Value::unit();
+  }
+  switch (static_cast<Value::Kind>(Kind)) {
+  case Value::Kind::Unit:
+    return Value::unit();
+  case Value::Kind::Bool:
+    return Value::boolean(R.u8() != 0);
+  case Value::Kind::Int:
+    return Value::integer(R.i64());
+  case Value::Kind::Float:
+    return Value::floating(R.f64());
+  case Value::Kind::String:
+    return Value::string(R.str());
+  case Value::Kind::Set: {
+    bool Mut = R.u8() != 0;
+    uint32_t N;
+    if (!readAggregateCount(R, Ctx, N))
+      return Value::unit();
+    auto D = makeSetData(Mut);
+    for (uint32_t I = 0; I != N && Ctx.Ok && !R.failed(); ++I) {
+      Value V = readValue(R, Ctx, Depth + 1);
+      if (Mut)
+        D->Mutable.insert(std::move(V));
+      else
+        D->Persistent = D->Persistent.insert(V);
+    }
+    return Value::set(std::move(D));
+  }
+  case Value::Kind::Map: {
+    bool Mut = R.u8() != 0;
+    uint32_t N;
+    if (!readAggregateCount(R, Ctx, N))
+      return Value::unit();
+    auto D = makeMapData(Mut);
+    for (uint32_t I = 0; I != N && Ctx.Ok && !R.failed(); ++I) {
+      Value K = readValue(R, Ctx, Depth + 1);
+      Value V = readValue(R, Ctx, Depth + 1);
+      if (Mut)
+        D->Mutable[std::move(K)] = std::move(V);
+      else
+        D->Persistent = D->Persistent.set(K, V);
+    }
+    return Value::map(std::move(D));
+  }
+  case Value::Kind::Queue: {
+    bool Mut = R.u8() != 0;
+    uint32_t N;
+    if (!readAggregateCount(R, Ctx, N))
+      return Value::unit();
+    auto D = makeQueueData(Mut);
+    for (uint32_t I = 0; I != N && Ctx.Ok && !R.failed(); ++I) {
+      Value V = readValue(R, Ctx, Depth + 1);
+      if (Mut)
+        D->Mutable.push_back(std::move(V));
+      else
+        D->Persistent = D->Persistent.enqueue(V);
+    }
+    return Value::queue(std::move(D));
+  }
+  }
+  Ctx.fail(formatString("unknown value kind %u", Kind));
+  return Value::unit();
+}

@@ -13,6 +13,7 @@
 
 #include "tessla/Program/Serialize.h"
 
+#include "tessla/Program/BinaryCodec.h"
 #include "tessla/Program/Verify.h"
 #include "tessla/Runtime/BuiltinImpls.h"
 #include "tessla/Runtime/Containers.h"
@@ -25,6 +26,9 @@
 #include <unordered_map>
 
 using namespace tessla;
+using bc::ByteReader;
+using bc::ByteWriter;
+using bc::DecodeContext;
 
 uint64_t tessla::tpbChecksum(const uint8_t *Data, size_t Size) {
   uint64_t H = 14695981039346656037ULL; // FNV-1a-64 offset basis
@@ -37,137 +41,21 @@ uint64_t tessla::tpbChecksum(const uint8_t *Data, size_t Size) {
 
 namespace {
 
-/// Section tags, packed as little-endian u32 four-character codes.
-constexpr uint32_t tag(char A, char B, char C, char D) {
-  return static_cast<uint32_t>(static_cast<uint8_t>(A)) |
-         static_cast<uint32_t>(static_cast<uint8_t>(B)) << 8 |
-         static_cast<uint32_t>(static_cast<uint8_t>(C)) << 16 |
-         static_cast<uint32_t>(static_cast<uint8_t>(D)) << 24;
-}
+constexpr uint32_t TagBuiltins = bc::fourCC('B', 'L', 'T', 'N');
+constexpr uint32_t TagPool = bc::fourCC('P', 'O', 'O', 'L');
+constexpr uint32_t TagSpec = bc::fourCC('S', 'P', 'E', 'C');
+constexpr uint32_t TagSlots = bc::fourCC('S', 'L', 'O', 'T');
+constexpr uint32_t TagSteps = bc::fourCC('S', 'T', 'E', 'P');
+constexpr uint32_t TagLasts = bc::fourCC('L', 'A', 'S', 'T');
+constexpr uint32_t TagDelays = bc::fourCC('D', 'E', 'L', 'Y');
+constexpr uint32_t TagOutputs = bc::fourCC('O', 'U', 'T', 'S');
+constexpr uint32_t TagMutability = bc::fourCC('M', 'U', 'T', 'A');
 
-constexpr uint32_t TagBuiltins = tag('B', 'L', 'T', 'N');
-constexpr uint32_t TagPool = tag('P', 'O', 'O', 'L');
-constexpr uint32_t TagSpec = tag('S', 'P', 'E', 'C');
-constexpr uint32_t TagSlots = tag('S', 'L', 'O', 'T');
-constexpr uint32_t TagSteps = tag('S', 'T', 'E', 'P');
-constexpr uint32_t TagLasts = tag('L', 'A', 'S', 'T');
-constexpr uint32_t TagDelays = tag('D', 'E', 'L', 'Y');
-constexpr uint32_t TagOutputs = tag('O', 'U', 'T', 'S');
-constexpr uint32_t TagMutability = tag('M', 'U', 'T', 'A');
-
-std::string tagName(uint32_t T) {
-  std::string S(4, '?');
-  for (unsigned I = 0; I != 4; ++I) {
-    char C = static_cast<char>((T >> (8 * I)) & 0xFF);
-    S[I] = (C >= 32 && C < 127) ? C : '?';
-  }
-  return S;
-}
-
-/// Nesting bound for recursive encodings (aggregate values inside
-/// aggregate values, type parameters inside type parameters). Real
-/// programs are nowhere near it; crafted bundles must not be able to
-/// exhaust the stack.
-constexpr unsigned MaxNesting = 32;
-
-// --- Writer ---------------------------------------------------------------
-
-class ByteWriter {
-public:
-  void u8(uint8_t V) { Buf.push_back(V); }
-  void u16(uint16_t V) {
-    for (unsigned I = 0; I != 2; ++I)
-      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
-  }
-  void u32(uint32_t V) {
-    for (unsigned I = 0; I != 4; ++I)
-      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
-  }
-  void u64(uint64_t V) {
-    for (unsigned I = 0; I != 8; ++I)
-      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
-  }
-  void str(std::string_view S) {
-    u32(static_cast<uint32_t>(S.size()));
-    Buf.insert(Buf.end(), S.begin(), S.end());
-  }
-  void bytes(const ByteWriter &W) {
-    Buf.insert(Buf.end(), W.Buf.begin(), W.Buf.end());
-  }
-
-  const std::vector<uint8_t> &data() const { return Buf; }
-  std::vector<uint8_t> take() { return std::move(Buf); }
-
-private:
-  std::vector<uint8_t> Buf;
-};
-
-void writeValue(ByteWriter &W, const Value &V);
-
-template <typename Items>
-void writeSortedValues(ByteWriter &W, Items SortedItems) {
-  W.u32(static_cast<uint32_t>(SortedItems.size()));
-  for (const Value &V : SortedItems)
-    writeValue(W, V);
-}
-
-/// Full Value encoding: kind byte, then the payload. Aggregates carry
-/// their representation (mutable vs persistent) and their elements in
-/// canonical (compareValues) order so equal values encode identically.
-void writeValue(ByteWriter &W, const Value &V) {
-  W.u8(static_cast<uint8_t>(V.kind()));
-  switch (V.kind()) {
-  case Value::Kind::Unit:
-    break;
-  case Value::Kind::Bool:
-    W.u8(V.getBool() ? 1 : 0);
-    break;
-  case Value::Kind::Int:
-    W.u64(static_cast<uint64_t>(V.getInt()));
-    break;
-  case Value::Kind::Float: {
-    uint64_t Bits;
-    double D = V.getFloat();
-    std::memcpy(&Bits, &D, sizeof(Bits));
-    W.u64(Bits);
-    break;
-  }
-  case Value::Kind::String:
-    W.str(V.getString());
-    break;
-  case Value::Kind::Set: {
-    const SetData &D = *V.getSet();
-    W.u8(D.IsMutable ? 1 : 0);
-    std::vector<Value> Items = D.items();
-    std::sort(Items.begin(), Items.end(), [](const Value &A, const Value &B) {
-      return compareValues(A, B) < 0;
-    });
-    writeSortedValues(W, std::move(Items));
-    break;
-  }
-  case Value::Kind::Map: {
-    const MapData &D = *V.getMap();
-    W.u8(D.IsMutable ? 1 : 0);
-    std::vector<std::pair<Value, Value>> Items = D.items();
-    std::sort(Items.begin(), Items.end(),
-              [](const auto &A, const auto &B) {
-                return compareValues(A.first, B.first) < 0;
-              });
-    W.u32(static_cast<uint32_t>(Items.size()));
-    for (const auto &[K, Val] : Items) {
-      writeValue(W, K);
-      writeValue(W, Val);
-    }
-    break;
-  }
-  case Value::Kind::Queue: {
-    const QueueData &D = *V.getQueue();
-    W.u8(D.IsMutable ? 1 : 0);
-    writeSortedValues(W, D.items()); // front-first, already canonical
-    break;
-  }
-  }
-}
+// The byte-level primitives (ByteWriter/ByteReader), the canonical Value
+// encoding and the nesting bound all live in Program/BinaryCodec.h now —
+// shared with the checkpoint and wire formats. This file keeps only the
+// .tpb-specific encodings: types, literals, and the program tables.
+using bc::MaxNesting;
 
 void writeType(ByteWriter &W, const Type &T) {
   W.u8(static_cast<uint8_t>(T.kind()));
@@ -196,162 +84,7 @@ void writeLiteral(ByteWriter &W, const ConstantLit &Lit) {
 
 // --- Reader ---------------------------------------------------------------
 
-/// Bounds-checked little-endian reader over one byte range. All read
-/// methods return zero values once a read ran out of bytes; callers
-/// check failed() at loop boundaries.
-class ByteReader {
-public:
-  ByteReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
-
-  bool failed() const { return Failed; }
-  size_t remaining() const { return Failed ? 0 : Size - Pos; }
-  bool atEnd() const { return Pos == Size; }
-
-  uint8_t u8() {
-    if (!need(1))
-      return 0;
-    return Data[Pos++];
-  }
-  uint16_t u16() { return static_cast<uint16_t>(le(2)); }
-  uint32_t u32() { return static_cast<uint32_t>(le(4)); }
-  uint64_t u64() { return le(8); }
-
-  std::string str() {
-    uint32_t Len = u32();
-    if (!need(Len))
-      return std::string();
-    std::string S(reinterpret_cast<const char *>(Data + Pos), Len);
-    Pos += Len;
-    return S;
-  }
-
-private:
-  bool need(size_t N) {
-    if (Failed || Size - Pos < N) {
-      Failed = true;
-      return false;
-    }
-    return true;
-  }
-  uint64_t le(unsigned N) {
-    if (!need(N))
-      return 0;
-    uint64_t V = 0;
-    for (unsigned I = 0; I != N; ++I)
-      V |= static_cast<uint64_t>(Data[Pos + I]) << (8 * I);
-    Pos += N;
-    return V;
-  }
-
-  const uint8_t *Data;
-  size_t Size;
-  size_t Pos = 0;
-  bool Failed = false;
-};
-
-/// Shared loader state: the first error wins and every decode helper
-/// checks ok() before trusting anything it read.
-struct LoadContext {
-  DiagnosticEngine &Diags;
-  bool Ok = true;
-
-  bool fail(std::string Msg) {
-    if (Ok) {
-      Ok = false;
-      Diags.error("tpb: " + std::move(Msg));
-    }
-    return false;
-  }
-};
-
-Value readValue(ByteReader &R, LoadContext &Ctx, unsigned Depth);
-
-bool readAggregateCount(ByteReader &R, LoadContext &Ctx, uint32_t &Count) {
-  Count = R.u32();
-  if (R.failed() || Count > R.remaining()) {
-    Ctx.fail("aggregate element count exceeds the remaining payload");
-    return false;
-  }
-  return true;
-}
-
-Value readValue(ByteReader &R, LoadContext &Ctx, unsigned Depth) {
-  if (Depth > MaxNesting) {
-    Ctx.fail("value nesting exceeds the format limit");
-    return Value::unit();
-  }
-  uint8_t Kind = R.u8();
-  if (R.failed() || !Ctx.Ok) {
-    Ctx.fail("truncated value");
-    return Value::unit();
-  }
-  switch (static_cast<Value::Kind>(Kind)) {
-  case Value::Kind::Unit:
-    return Value::unit();
-  case Value::Kind::Bool:
-    return Value::boolean(R.u8() != 0);
-  case Value::Kind::Int:
-    return Value::integer(static_cast<int64_t>(R.u64()));
-  case Value::Kind::Float: {
-    uint64_t Bits = R.u64();
-    double D;
-    std::memcpy(&D, &Bits, sizeof(D));
-    return Value::floating(D);
-  }
-  case Value::Kind::String:
-    return Value::string(R.str());
-  case Value::Kind::Set: {
-    bool Mut = R.u8() != 0;
-    uint32_t N;
-    if (!readAggregateCount(R, Ctx, N))
-      return Value::unit();
-    auto D = makeSetData(Mut);
-    for (uint32_t I = 0; I != N && Ctx.Ok && !R.failed(); ++I) {
-      Value V = readValue(R, Ctx, Depth + 1);
-      if (Mut)
-        D->Mutable.insert(std::move(V));
-      else
-        D->Persistent = D->Persistent.insert(V);
-    }
-    return Value::set(std::move(D));
-  }
-  case Value::Kind::Map: {
-    bool Mut = R.u8() != 0;
-    uint32_t N;
-    if (!readAggregateCount(R, Ctx, N))
-      return Value::unit();
-    auto D = makeMapData(Mut);
-    for (uint32_t I = 0; I != N && Ctx.Ok && !R.failed(); ++I) {
-      Value K = readValue(R, Ctx, Depth + 1);
-      Value V = readValue(R, Ctx, Depth + 1);
-      if (Mut)
-        D->Mutable[std::move(K)] = std::move(V);
-      else
-        D->Persistent = D->Persistent.set(K, V);
-    }
-    return Value::map(std::move(D));
-  }
-  case Value::Kind::Queue: {
-    bool Mut = R.u8() != 0;
-    uint32_t N;
-    if (!readAggregateCount(R, Ctx, N))
-      return Value::unit();
-    auto D = makeQueueData(Mut);
-    for (uint32_t I = 0; I != N && Ctx.Ok && !R.failed(); ++I) {
-      Value V = readValue(R, Ctx, Depth + 1);
-      if (Mut)
-        D->Mutable.push_back(std::move(V));
-      else
-        D->Persistent = D->Persistent.enqueue(V);
-    }
-    return Value::queue(std::move(D));
-  }
-  }
-  Ctx.fail(formatString("unknown value kind %u", Kind));
-  return Value::unit();
-}
-
-Type readType(ByteReader &R, LoadContext &Ctx, unsigned Depth) {
+Type readType(ByteReader &R, DecodeContext &Ctx, unsigned Depth) {
   if (Depth > MaxNesting) {
     Ctx.fail("type nesting exceeds the format limit");
     return Type();
@@ -386,7 +119,7 @@ Type readType(ByteReader &R, LoadContext &Ctx, unsigned Depth) {
   return Type();
 }
 
-ConstantLit readLiteral(ByteReader &R, LoadContext &Ctx) {
+ConstantLit readLiteral(ByteReader &R, DecodeContext &Ctx) {
   ConstantLit Lit;
   uint8_t Tag = R.u8();
   switch (Tag) {
@@ -590,7 +323,7 @@ std::vector<uint8_t> ProgramSerializer::encode(const Program &P) {
 std::optional<Program>
 ProgramSerializer::decode(const uint8_t *Data, size_t Size,
                           DiagnosticEngine &Diags) {
-  LoadContext Ctx{Diags};
+  DecodeContext Ctx{Diags};
   auto fail = [&](std::string Msg) {
     Ctx.fail(std::move(Msg));
     return std::nullopt;
@@ -634,10 +367,10 @@ ProgramSerializer::decode(const uint8_t *Data, size_t Size,
       uint64_t Len = E.u64();
       Cursor += 12;
       if (Len > Size - Cursor)
-        return fail("section '" + tagName(Tag) + "' overruns the bundle");
+        return fail("section '" + bc::fourCCName(Tag) + "' overruns the bundle");
       SectionRef &Ref = Sections[Tag];
       if (Ref.Present)
-        return fail("duplicate section '" + tagName(Tag) + "'");
+        return fail("duplicate section '" + bc::fourCCName(Tag) + "'");
       Ref = {Cursor, static_cast<size_t>(Len), true};
       Cursor += static_cast<size_t>(Len);
     }
@@ -648,7 +381,7 @@ ProgramSerializer::decode(const uint8_t *Data, size_t Size,
   auto section = [&](uint32_t Tag) -> std::optional<ByteReader> {
     auto It = Sections.find(Tag);
     if (It == Sections.end() || !It->second.Present) {
-      Ctx.fail("missing required section '" + tagName(Tag) + "'");
+      Ctx.fail("missing required section '" + bc::fourCCName(Tag) + "'");
       return std::nullopt;
     }
     return ByteReader(Data + It->second.Off, It->second.Len);

@@ -1,0 +1,565 @@
+//===- Runtime/FleetClient.cpp ----------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Runtime/FleetClient.h"
+
+#include "tessla/Runtime/Checkpoint.h"
+#include "tessla/Support/Diagnostics.h"
+#include "tessla/Support/Format.h"
+
+#include <atomic>
+#include <mutex>
+
+using namespace tessla;
+
+namespace {
+
+void setError(std::string *ErrorOut, std::string Msg) {
+  if (ErrorOut)
+    *ErrorOut = std::move(Msg);
+}
+
+// --- In-process -----------------------------------------------------------
+
+class InProcessClient;
+
+class InProcessProducer : public ClientProducer {
+public:
+  InProcessProducer(InProcessClient &C, ProducerHandle H)
+      : Client(&C), Handle(std::move(H)) {}
+  ~InProcessProducer() override { close(); }
+
+  bool feed(SessionId Session, StreamId Input, Time Ts, Value V) override;
+  bool flush() override;
+  bool close() override;
+  uint64_t busySignals() const override { return Busy; }
+  const std::string &error() const override { return Err; }
+
+private:
+  InProcessClient *Client;
+  ProducerHandle Handle;
+  uint64_t Busy = 0;
+  bool Closed = false;
+  std::string Err;
+};
+
+class InProcessClient : public FleetClient {
+public:
+  InProcessClient(const Program &Prog, FleetOptions Opts)
+      : Prog(Prog), Opts(Opts), ProgramCk(programChecksum(Prog)),
+        Fleet(std::make_unique<MonitorFleet>(Prog, Opts)) {}
+
+  std::unique_ptr<ClientProducer>
+  producer(std::string *ErrorOut) override {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Finished) {
+      setError(ErrorOut, "fleet already finished");
+      return nullptr;
+    }
+    ProducerHandle H = Fleet->producer();
+    if (!H.valid()) {
+      setError(ErrorOut, "out of producer slots (FleetOptions::MaxProducers)");
+      return nullptr;
+    }
+    Fresh = false;
+    OpenProducers.fetch_add(1, std::memory_order_relaxed);
+    return std::make_unique<InProcessProducer>(*this, std::move(H));
+  }
+
+  std::optional<std::vector<uint8_t>>
+  snapshot(std::string *ErrorOut) override {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!controlReady(ErrorOut))
+      return std::nullopt;
+    std::string SuspendErr;
+    FleetCheckpoint C;
+    C.ProgramChecksum = ProgramCk;
+    C.SourceShards = Fleet->shardCount();
+    C.Lanes = Fleet->suspend(&SuspendErr);
+    StatsCache = Fleet->stats().str();
+    if (!SuspendErr.empty()) {
+      // suspend() already finished the fleet; this client is done.
+      Finished = true;
+      setError(ErrorOut, SuspendErr);
+      return std::nullopt;
+    }
+    std::vector<uint8_t> Bytes = serializeCheckpoint(C);
+    // Revive: same sessions, fresh fleet. The old fleet is terminal.
+    Fleet = std::make_unique<MonitorFleet>(Prog, Opts);
+    if (!Fleet->restore(std::move(C.Lanes))) {
+      Finished = true;
+      setError(ErrorOut, "internal error: revive after snapshot rejected");
+      return std::nullopt;
+    }
+    return Bytes;
+  }
+
+  std::optional<uint64_t>
+  restore(const std::vector<uint8_t> &Checkpoint,
+          std::string *ErrorOut) override {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!controlReady(ErrorOut))
+      return std::nullopt;
+    if (!Fresh) {
+      setError(ErrorOut,
+               "restore is only valid before the first producer was opened");
+      return std::nullopt;
+    }
+    DiagnosticEngine Diags;
+    auto C = loadCheckpoint(Checkpoint, Prog, Diags);
+    if (!C) {
+      setError(ErrorOut, Diags.str());
+      return std::nullopt;
+    }
+    uint64_t N = C->Lanes.size();
+    if (!Fleet->restore(std::move(C->Lanes))) {
+      setError(ErrorOut, "restore rejected: session already live, or the "
+                         "engine is not migratable");
+      return std::nullopt;
+    }
+    return N;
+  }
+
+  std::optional<FleetFinish> finish(std::string *ErrorOut) override {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!controlReady(ErrorOut))
+      return std::nullopt;
+    Fleet->finish();
+    Finished = true;
+    FleetFinish R;
+    R.Outputs = Fleet->takeOutputs();
+    R.Errors = Fleet->errors();
+    R.FailedSessions = Fleet->stats().totalFailedSessions();
+    R.TotalOutputs = Fleet->stats().totalOutputs();
+    StatsCache = Fleet->stats().str();
+    return R;
+  }
+
+  std::optional<std::string> statsText(std::string *ErrorOut) override {
+    (void)ErrorOut;
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!StatsCache.empty())
+      return StatsCache;
+    return formatString("fleet running: shards=%u producers-open=%llu\n",
+                        Fleet->shardCount(),
+                        static_cast<unsigned long long>(
+                            OpenProducers.load(std::memory_order_relaxed)));
+  }
+
+  bool shutdownServer(std::string *) override { return true; }
+
+  /// Called by InProcessProducer::close() *after* its handle closed.
+  void producerClosed() {
+    OpenProducers.fetch_sub(1, std::memory_order_release);
+  }
+
+private:
+  bool controlReady(std::string *ErrorOut) {
+    if (Finished) {
+      setError(ErrorOut, "fleet already finished");
+      return false;
+    }
+    if (OpenProducers.load(std::memory_order_acquire) != 0) {
+      setError(ErrorOut, "close all producers before control operations");
+      return false;
+    }
+    return true;
+  }
+
+  const Program &Prog;
+  FleetOptions Opts;
+  uint64_t ProgramCk;
+  std::unique_ptr<MonitorFleet> Fleet;
+  std::mutex Mu; // guards fleet swaps and the control surface
+  std::atomic<uint64_t> OpenProducers{0};
+  bool Fresh = true; // no producer opened yet on this fleet state
+  bool Finished = false;
+  std::string StatsCache;
+};
+
+bool InProcessProducer::feed(SessionId Session, StreamId Input, Time Ts,
+                             Value V) {
+  if (Closed || !Handle.valid()) {
+    if (Err.empty())
+      Err = "producer is closed";
+    return false;
+  }
+  FeedStatus S = Handle.tryFeed(Session, Input, Ts, V);
+  if (S == FeedStatus::Ok)
+    return true;
+  if (S == FeedStatus::Closed) {
+    Err = "producer handle rejected the record (fleet finished?)";
+    return false;
+  }
+  // Backpressure: count the stall, then take the blocking path — the
+  // record is accepted, never dropped.
+  ++Busy;
+  if (!Handle.feed(Session, Input, Ts, std::move(V))) {
+    Err = "producer handle rejected the record (fleet finished?)";
+    return false;
+  }
+  return true;
+}
+
+bool InProcessProducer::flush() {
+  if (Closed || !Handle.valid())
+    return false;
+  Handle.flush();
+  return true;
+}
+
+bool InProcessProducer::close() {
+  if (Closed)
+    return Err.empty();
+  Closed = true;
+  Handle.close();
+  Client->producerClosed();
+  return Err.empty();
+}
+
+// --- Remote ---------------------------------------------------------------
+
+/// Hello/HelloAck on a fresh connection; false with \p Err set.
+bool handshake(Transport &T, FrameDecoder &Dec, WireHelloAck &AckOut,
+               std::string &Err) {
+  if (!sendFrame(T, FrameType::Hello, encodeHello())) {
+    Err = "transport error sending Hello";
+    return false;
+  }
+  auto F = recvFrame(T, Dec, Err);
+  if (!F)
+    return false;
+  if (F->Type == FrameType::Error) {
+    auto Msg = decodeString(F->Payload.data(), F->Payload.size(), Err);
+    Err = Msg ? *Msg : Err;
+    return false;
+  }
+  if (F->Type != FrameType::HelloAck) {
+    Err = formatString("expected HelloAck, got %s frame",
+                       frameTypeName(F->Type));
+    return false;
+  }
+  auto A = decodeHelloAck(F->Payload.data(), F->Payload.size(), Err);
+  if (!A)
+    return false;
+  if (A->Version != WireFormatVersion) {
+    Err = formatString("wire version mismatch: server speaks v%u, "
+                       "this client v%u",
+                       A->Version, WireFormatVersion);
+    return false;
+  }
+  AckOut = *A;
+  return true;
+}
+
+class RemoteProducer : public ClientProducer {
+public:
+  RemoteProducer(std::unique_ptr<Transport> T, FrameDecoder Dec)
+      : Conn(std::move(T)), Dec(std::move(Dec)) {}
+  ~RemoteProducer() override { close(); }
+
+  bool feed(SessionId Session, StreamId Input, Time Ts, Value V) override {
+    if (Closed || Dead) {
+      if (Err.empty())
+        Err = "producer is closed";
+      return false;
+    }
+    Pending.Records.push_back({Session, Input, Ts, std::move(V)});
+    if (Pending.Records.size() >= BatchSize)
+      return flush();
+    return true;
+  }
+
+  bool flush() override {
+    if (Closed || Dead)
+      return false;
+    if (Pending.Records.empty())
+      return true;
+    if (!sendFrame(*Conn, FrameType::Batch, encodeEventBatch(Pending)))
+      return die("transport error sending batch");
+    Pending.clear();
+    return drainAsync();
+  }
+
+  bool close() override {
+    if (Closed)
+      return !Dead;
+    flush();
+    Closed = true;
+    if (!Dead) {
+      if (!sendFrame(*Conn, FrameType::Finish,
+                     encodeU64(FinishScopeProducer))) {
+        die("transport error sending producer Finish");
+      } else {
+        // Busy frames in flight precede the ack; count them all.
+        for (;;) {
+          std::string E;
+          auto F = recvFrame(*Conn, Dec, E);
+          if (!F) {
+            die(E);
+            break;
+          }
+          if (F->Type == FrameType::Busy) {
+            ++Busy;
+            continue;
+          }
+          if (F->Type == FrameType::FinishAck)
+            break;
+          if (F->Type == FrameType::Error) {
+            std::string DE;
+            auto Msg = decodeString(F->Payload.data(), F->Payload.size(), DE);
+            die(Msg ? *Msg : DE);
+            break;
+          }
+          die(formatString("unexpected %s frame closing producer",
+                           frameTypeName(F->Type)));
+          break;
+        }
+      }
+    }
+    Conn->close();
+    return !Dead;
+  }
+
+  uint64_t busySignals() const override { return Busy; }
+  const std::string &error() const override { return Err; }
+
+private:
+  bool die(std::string Msg) {
+    Dead = true;
+    if (Err.empty())
+      Err = std::move(Msg);
+    return false;
+  }
+
+  /// Non-blocking drain of server->producer frames (Busy, Error) so a
+  /// write-mostly producer never deadlocks against an unread socket.
+  bool drainAsync() {
+    for (;;) {
+      while (auto F = Dec.next()) {
+        if (F->Type == FrameType::Busy) {
+          ++Busy;
+        } else if (F->Type == FrameType::Error) {
+          std::string DE;
+          auto Msg = decodeString(F->Payload.data(), F->Payload.size(), DE);
+          return die(Msg ? *Msg : "server error");
+        } else {
+          return die(formatString("unexpected %s frame on producer "
+                                  "connection",
+                                  frameTypeName(F->Type)));
+        }
+      }
+      if (Dec.failed())
+        return die(Dec.error());
+      uint8_t Chunk[4096];
+      ptrdiff_t N = Conn->tryRecv(Chunk, sizeof(Chunk));
+      if (N == 0)
+        return true;
+      if (N < 0)
+        return die("producer connection closed by server");
+      Dec.append(Chunk, static_cast<size_t>(N));
+    }
+  }
+
+  std::unique_ptr<Transport> Conn;
+  FrameDecoder Dec;
+  EventBatch Pending;
+  size_t BatchSize = 256;
+  uint64_t Busy = 0;
+  bool Closed = false;
+  bool Dead = false;
+  std::string Err;
+};
+
+class RemoteClient : public FleetClient {
+public:
+  RemoteClient(TransportDialer Dial, std::unique_ptr<Transport> Ctl,
+               FrameDecoder Dec)
+      : Dial(std::move(Dial)), Ctl(std::move(Ctl)), Dec(std::move(Dec)) {}
+  ~RemoteClient() override { Ctl->close(); }
+
+  std::unique_ptr<ClientProducer>
+  producer(std::string *ErrorOut) override {
+    std::string Err;
+    auto T = Dial(&Err);
+    if (!T) {
+      setError(ErrorOut, Err.empty() ? "cannot open producer connection"
+                                     : Err);
+      return nullptr;
+    }
+    FrameDecoder Dec;
+    WireHelloAck Ack;
+    if (!handshake(*T, Dec, Ack, Err)) {
+      setError(ErrorOut, Err);
+      return nullptr;
+    }
+    return std::make_unique<RemoteProducer>(std::move(T), std::move(Dec));
+  }
+
+  std::optional<std::vector<uint8_t>>
+  snapshot(std::string *ErrorOut) override {
+    if (!sendFrame(*Ctl, FrameType::Snapshot))
+      return txError(ErrorOut), std::nullopt;
+    auto F = expect(FrameType::SnapshotAck, ErrorOut);
+    if (!F)
+      return std::nullopt;
+    return std::move(F->Payload);
+  }
+
+  std::optional<uint64_t>
+  restore(const std::vector<uint8_t> &Checkpoint,
+          std::string *ErrorOut) override {
+    if (!sendFrame(*Ctl, FrameType::Restore, Checkpoint))
+      return txError(ErrorOut), std::nullopt;
+    auto F = expect(FrameType::RestoreAck, ErrorOut);
+    if (!F)
+      return std::nullopt;
+    std::string Err;
+    auto N = decodeU64(F->Payload.data(), F->Payload.size(), Err);
+    if (!N) {
+      setError(ErrorOut, Err);
+      return std::nullopt;
+    }
+    return *N;
+  }
+
+  std::optional<FleetFinish> finish(std::string *ErrorOut) override {
+    if (!sendFrame(*Ctl, FrameType::Finish, encodeU64(FinishScopeFleet)))
+      return txError(ErrorOut), std::nullopt;
+    FleetFinish R;
+    for (;;) {
+      std::string Err;
+      auto F = recvFrame(*Ctl, Dec, Err);
+      if (!F) {
+        setError(ErrorOut, Err);
+        return std::nullopt;
+      }
+      if (F->Type == FrameType::Outputs) {
+        auto Events = decodeOutputs(F->Payload.data(), F->Payload.size(), Err);
+        if (!Events) {
+          setError(ErrorOut, Err);
+          return std::nullopt;
+        }
+        for (WireOutputRecord &E : *Events)
+          R.Outputs.push_back(
+              {E.Session, OutputEvent{E.Ts, E.Stream, std::move(E.V)}});
+        continue;
+      }
+      if (F->Type == FrameType::FinishAck) {
+        auto A = decodeFinishAck(F->Payload.data(), F->Payload.size(), Err);
+        if (!A) {
+          setError(ErrorOut, Err);
+          return std::nullopt;
+        }
+        R.FailedSessions = A->FailedSessions;
+        R.TotalOutputs = A->TotalOutputs;
+        return R;
+      }
+      if (F->Type == FrameType::Error) {
+        std::string DE;
+        auto Msg = decodeString(F->Payload.data(), F->Payload.size(), DE);
+        setError(ErrorOut, Msg ? *Msg : DE);
+        return std::nullopt;
+      }
+      setError(ErrorOut, formatString("unexpected %s frame during finish",
+                                      frameTypeName(F->Type)));
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> statsText(std::string *ErrorOut) override {
+    if (!sendFrame(*Ctl, FrameType::Stats))
+      return txError(ErrorOut), std::nullopt;
+    auto F = expect(FrameType::StatsAck, ErrorOut);
+    if (!F)
+      return std::nullopt;
+    std::string Err;
+    auto S = decodeString(F->Payload.data(), F->Payload.size(), Err);
+    if (!S) {
+      setError(ErrorOut, Err);
+      return std::nullopt;
+    }
+    return *S;
+  }
+
+  bool shutdownServer(std::string *ErrorOut) override {
+    if (!sendFrame(*Ctl, FrameType::Shutdown)) {
+      txError(ErrorOut);
+      return false;
+    }
+    return expect(FrameType::ShutdownAck, ErrorOut).has_value();
+  }
+
+private:
+  void txError(std::string *ErrorOut) {
+    setError(ErrorOut, "transport error on the control connection");
+  }
+
+  /// Receives the next frame and requires \p Want; turns Error frames
+  /// and surprises into ErrorOut.
+  std::optional<WireFrame> expect(FrameType Want, std::string *ErrorOut) {
+    std::string Err;
+    auto F = recvFrame(*Ctl, Dec, Err);
+    if (!F) {
+      setError(ErrorOut, Err);
+      return std::nullopt;
+    }
+    if (F->Type == Want)
+      return F;
+    if (F->Type == FrameType::Error) {
+      std::string DE;
+      auto Msg = decodeString(F->Payload.data(), F->Payload.size(), DE);
+      setError(ErrorOut, Msg ? *Msg : DE);
+      return std::nullopt;
+    }
+    setError(ErrorOut, formatString("expected %s, got %s frame",
+                                    frameTypeName(Want),
+                                    frameTypeName(F->Type)));
+    return std::nullopt;
+  }
+
+  TransportDialer Dial;
+  std::unique_ptr<Transport> Ctl;
+  FrameDecoder Dec;
+};
+
+} // namespace
+
+std::unique_ptr<FleetClient>
+tessla::makeInProcessClient(const Program &Prog, FleetOptions Opts) {
+  return std::make_unique<InProcessClient>(Prog, Opts);
+}
+
+std::unique_ptr<FleetClient>
+tessla::makeRemoteClient(TransportDialer Dial, std::string *ErrorOut,
+                         uint64_t *ProgramChecksumOut) {
+  std::string Err;
+  auto Ctl = Dial(&Err);
+  if (!Ctl) {
+    setError(ErrorOut, Err.empty() ? "cannot open control connection" : Err);
+    return nullptr;
+  }
+  FrameDecoder Dec;
+  WireHelloAck Ack;
+  if (!handshake(*Ctl, Dec, Ack, Err)) {
+    setError(ErrorOut, Err);
+    return nullptr;
+  }
+  if (ProgramChecksumOut)
+    *ProgramChecksumOut = Ack.ProgramChecksum;
+  // Hand the handshake decoder over: bytes the transport delivered past
+  // the HelloAck must not be lost.
+  return std::make_unique<RemoteClient>(std::move(Dial), std::move(Ctl),
+                                        std::move(Dec));
+}
+
+std::unique_ptr<FleetClient>
+tessla::makeUnixSocketClient(const std::string &Path, std::string *ErrorOut,
+                             uint64_t *ProgramChecksumOut) {
+  return makeRemoteClient(
+      [Path](std::string *Err) { return connectUnixSocket(Path, Err); },
+      ErrorOut, ProgramChecksumOut);
+}

@@ -1,0 +1,236 @@
+//===- Runtime/FleetServer.cpp ----------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Runtime/FleetServer.h"
+
+#include "tessla/Runtime/Checkpoint.h"
+#include "tessla/Support/Format.h"
+
+#include <algorithm>
+#include <thread>
+
+using namespace tessla;
+
+namespace {
+
+bool sendError(Transport &T, const std::string &Msg) {
+  return sendFrame(T, FrameType::Error, encodeString(Msg));
+}
+
+} // namespace
+
+FleetServer::FleetServer(const Program &Prog, FleetOptions Opts)
+    : Client(makeInProcessClient(Prog, Opts)),
+      ProgramCk(programChecksum(Prog)),
+      Shards(Opts.Shards == 0 ? 1 : Opts.Shards) {}
+
+void FleetServer::requestShutdown() {
+  Shutdown.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> Lock(ConnMu);
+  if (ActiveListener)
+    ActiveListener->close();
+  for (Transport *T : LiveConns)
+    T->interrupt();
+}
+
+void FleetServer::serve(Listener &L) {
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    if (shutdownRequested())
+      return;
+    ActiveListener = &L;
+  }
+  std::vector<std::thread> Threads;
+  for (;;) {
+    std::unique_ptr<Transport> T = L.accept();
+    if (!T)
+      break; // listener closed (shutdown) or died
+    Threads.emplace_back(
+        [this, Conn = std::move(T)]() mutable {
+          handleConnection(std::move(Conn));
+        });
+  }
+  for (std::thread &Th : Threads)
+    Th.join();
+  std::lock_guard<std::mutex> Lock(ConnMu);
+  ActiveListener = nullptr;
+}
+
+void FleetServer::handleConnection(std::unique_ptr<Transport> T) {
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    if (shutdownRequested()) {
+      T->close();
+      return;
+    }
+    LiveConns.push_back(T.get());
+  }
+
+  FrameDecoder Dec;
+  std::string Err;
+  std::unique_ptr<ClientProducer> Prod;
+  uint64_t BusySent = 0;
+
+  // Handshake first: Hello in, HelloAck out.
+  bool Keep = false;
+  if (auto F = recvFrame(*T, Dec, Err)) {
+    if (F->Type != FrameType::Hello) {
+      sendError(*T, formatString("expected Hello, got %s frame",
+                                 frameTypeName(F->Type)));
+    } else {
+      uint32_t Version = 0;
+      if (!decodeHello(F->Payload.data(), F->Payload.size(), Version, Err)) {
+        sendError(*T, Err);
+      } else if (Version != WireFormatVersion) {
+        sendError(*T, formatString("wire version mismatch: client speaks "
+                                   "v%u, this server v%u",
+                                   Version, WireFormatVersion));
+      } else {
+        Keep = sendFrame(
+            *T, FrameType::HelloAck,
+            encodeHelloAck({WireFormatVersion, ProgramCk, Shards}));
+      }
+    }
+  }
+
+  while (Keep) {
+    auto F = recvFrame(*T, Dec, Err);
+    if (!F)
+      break; // peer closed, malformed stream, or interrupt()
+    Keep = handleFrame(*T, std::move(*F), Prod, BusySent);
+  }
+
+  if (Prod)
+    Prod->close(); // connection dropped mid-stream: producer ends here
+
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    LiveConns.erase(std::find(LiveConns.begin(), LiveConns.end(), T.get()));
+  }
+  T->close();
+}
+
+/// One post-handshake frame. Returns false to drop the connection (the
+/// Error frame, if any, was already sent).
+bool FleetServer::handleFrame(Transport &T, WireFrame F,
+                              std::unique_ptr<ClientProducer> &Prod,
+                              uint64_t &BusySent) {
+  std::string Err;
+  switch (F.Type) {
+  case FrameType::Batch: {
+    auto B = decodeEventBatch(F.Payload.data(), F.Payload.size(), Err);
+    if (!B) {
+      sendError(T, Err);
+      return false;
+    }
+    if (!Prod) {
+      Prod = Client->producer(&Err);
+      if (!Prod) {
+        sendError(T, Err);
+        return false;
+      }
+    }
+    for (EventRecord &R : B->Records) {
+      if (!Prod->feed(R.Session, R.Input, R.Ts, std::move(R.V))) {
+        sendError(T, Prod->error());
+        return false;
+      }
+    }
+    // Surface backpressure: one Busy frame per batch that stalled, with
+    // the cumulative stall count as its hint.
+    uint64_t Busy = Prod->busySignals();
+    if (Busy > BusySent) {
+      BusySent = Busy;
+      return sendFrame(T, FrameType::Busy, encodeU64(Busy));
+    }
+    return true;
+  }
+
+  case FrameType::Finish: {
+    auto Scope = decodeU64(F.Payload.data(), F.Payload.size(), Err);
+    if (!Scope) {
+      sendError(T, Err);
+      return false;
+    }
+    if (*Scope == FinishScopeProducer) {
+      if (Prod) {
+        Prod->close();
+        Prod.reset();
+      }
+      return sendFrame(T, FrameType::FinishAck, encodeFinishAck({0, 0}));
+    }
+    if (*Scope != FinishScopeFleet) {
+      sendError(T, formatString("unknown Finish scope %llu",
+                                static_cast<unsigned long long>(*Scope)));
+      return false;
+    }
+    if (Prod) {
+      Prod->close();
+      Prod.reset();
+    }
+    auto R = Client->finish(&Err);
+    if (!R) {
+      sendError(T, Err);
+      return false;
+    }
+    // Stream the merged trace, then the counters.
+    std::vector<WireOutputRecord> Chunk;
+    constexpr size_t ChunkCap = 4096;
+    Chunk.reserve(ChunkCap);
+    for (SessionOutputEvent &E : R->Outputs) {
+      Chunk.push_back(
+          {E.Session, E.Event.Ts, E.Event.Id, std::move(E.Event.V)});
+      if (Chunk.size() == ChunkCap) {
+        if (!sendFrame(T, FrameType::Outputs, encodeOutputs(Chunk)))
+          return false;
+        Chunk.clear();
+      }
+    }
+    if (!Chunk.empty() &&
+        !sendFrame(T, FrameType::Outputs, encodeOutputs(Chunk)))
+      return false;
+    return sendFrame(T, FrameType::FinishAck,
+                     encodeFinishAck({R->FailedSessions, R->TotalOutputs}));
+  }
+
+  case FrameType::Snapshot: {
+    auto Bytes = Client->snapshot(&Err);
+    if (!Bytes) {
+      sendError(T, Err);
+      return false;
+    }
+    return sendFrame(T, FrameType::SnapshotAck, *Bytes);
+  }
+
+  case FrameType::Restore: {
+    auto N = Client->restore(F.Payload, &Err);
+    if (!N) {
+      sendError(T, Err);
+      return false;
+    }
+    return sendFrame(T, FrameType::RestoreAck, encodeU64(*N));
+  }
+
+  case FrameType::Stats: {
+    auto S = Client->statsText(&Err);
+    if (!S) {
+      sendError(T, Err);
+      return false;
+    }
+    return sendFrame(T, FrameType::StatsAck, encodeString(*S));
+  }
+
+  case FrameType::Shutdown:
+    sendFrame(T, FrameType::ShutdownAck);
+    requestShutdown();
+    return false;
+
+  default:
+    sendError(T, formatString("unexpected %s frame",
+                              frameTypeName(F.Type)));
+    return false;
+  }
+}

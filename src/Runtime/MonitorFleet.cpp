@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cassert>
 #include <deque>
+#include <set>
 #include <unordered_map>
 
 using namespace tessla;
@@ -42,10 +43,13 @@ public:
   explicit SpscBatchRing(size_t Capacity)
       : Cap(std::max<size_t>(Capacity, 1)), Slots(Cap) {}
 
-  /// Producer: blocks while the ring is full.
+  /// Producer: blocks while the ring is full. Every entry into the full
+  /// state counts one backpressure stall.
   void push(EventBatch B) {
     size_t T = Tail.load(std::memory_order_relaxed);
     size_t H = Head.load(std::memory_order_acquire);
+    if (T - H == Cap)
+      ++Stalls;
     while (T - H == Cap) {
       Head.wait(H, std::memory_order_acquire);
       H = Head.load(std::memory_order_acquire);
@@ -53,6 +57,16 @@ public:
     Slots[T % Cap] = std::move(B);
     Tail.store(T + 1, std::memory_order_release);
     HighWater = std::max<uint64_t>(HighWater, T + 1 - H);
+  }
+
+  /// Producer: whether a push would complete without blocking. Exact
+  /// from the producer's side — the consumer only ever *frees* slots, so
+  /// a true result cannot be invalidated before the producer's own next
+  /// push.
+  bool canPush() const {
+    size_t T = Tail.load(std::memory_order_relaxed);
+    size_t H = Head.load(std::memory_order_acquire);
+    return T - H != Cap;
   }
 
   /// Consumer: the head batch's merge sequence, or nullopt when empty.
@@ -82,12 +96,17 @@ public:
   /// read after the producers quiesced and the worker joined.
   uint64_t highWater() const { return HighWater; }
 
+  /// Producer-side count of pushes that entered the full state; read
+  /// under the same quiescence contract as highWater().
+  uint64_t stalls() const { return Stalls; }
+
 private:
   const size_t Cap;
   std::vector<EventBatch> Slots;
   std::atomic<size_t> Head{0};
   std::atomic<size_t> Tail{0};
   uint64_t HighWater = 0;
+  uint64_t Stalls = 0;
 };
 
 /// One producer's fan-in: a private ring into every shard plus the
@@ -122,11 +141,15 @@ struct MonitorFleet::Shard {
   };
 
   /// One migration-inbox message: a whole-lane hand-off (Lane set) or
-  /// records forwarded by a stolen session's home shard.
+  /// records forwarded by a stolen session's home shard. Restored marks
+  /// a checkpoint-restored lane (MonitorFleet::restore): it lands on its
+  /// *home* shard, so it is not pinned like a stolen one and does not
+  /// count as a steal.
   struct InboxMsg {
     SessionId Session = 0;
     EventBatch Records;
     std::unique_ptr<EngineLaneState> Lane;
+    bool Restored = false;
   };
 
   const unsigned Index;
@@ -147,6 +170,7 @@ struct MonitorFleet::Shard {
 
   // Worker-owned state (ordered map => deterministic iteration).
   std::map<SessionId, SessionState> Sessions; // retired at run() exit
+  std::vector<EngineLaneState> Suspended;     // filled when suspending
   std::map<SessionId, unsigned> ForwardTo; // stolen session -> thief
   std::map<unsigned, EventBatch> ForwardBuf;
   // The shard's execution engine and its session -> lane map. Created
@@ -254,10 +278,19 @@ bool MonitorFleet::Shard::drainInbox(MonitorFleet &F) {
       // Whole-lane hand-off. The FIFO inbox guarantees it precedes any
       // records the home shard forwards afterwards. The snapshot is
       // engine-agnostic, so the thief's engine need not match the
-      // victim's (Auto shards decide independently).
-      ++Stats.SessionsStolenIn;
+      // victim's (Auto shards decide independently). Checkpoint-restored
+      // lanes arrive on their home shard: not pinned, not a steal; the
+      // adoption count releases the restore() caller.
+      assert(!LaneOf.count(Msg.Session) &&
+             "restore/steal of a session already live on this shard");
+      if (!Msg.Restored)
+        ++Stats.SessionsStolenIn;
       LaneOf[Msg.Session] = {Engine->insertLane(std::move(*Msg.Lane)),
-                             /*StolenIn=*/true};
+                             /*StolenIn=*/!Msg.Restored};
+      if (Msg.Restored) {
+        F.RestoresAdopted.fetch_add(1, std::memory_order_release);
+        F.RestoresAdopted.notify_all();
+      }
     } else {
       for (EventRecord &R : Msg.Records.Records)
         routeRecord(F, R);
@@ -468,6 +501,26 @@ void MonitorFleet::Shard::run(MonitorFleet &F) {
     }
   }
 
+  if (F.Suspending.load(std::memory_order_acquire) &&
+      Engine->supportsMigration()) {
+    // Checkpoint: every ring and inbox is drained and the final pump
+    // ran, so all lanes are idle — extract them whole (state, recorded
+    // outputs, any unconsumed records) instead of finishing. suspend()
+    // merges and sorts across shards.
+    Stats.LockstepSweeps = Engine->sweeps();
+    Stats.Engine = Engine->name();
+    Suspended.reserve(LaneOf.size());
+    for (auto &[Id, LR] : LaneOf) {
+      if (Engine->laneFailed(LR.Lane))
+        ++Stats.FailedSessions;
+      Stats.OutputsEmitted += Engine->laneOutputEvents(LR.Lane);
+      Suspended.push_back(Engine->extractLane(LR.Lane));
+    }
+    Stats.Sessions = LaneOf.size();
+    Engine.reset();
+    return;
+  }
+
   // Retire every lane into an engine-agnostic SessionState so
   // errors()/takeOutputs() read one representation.
   Engine->finishAll(F.Opts.Horizon);
@@ -503,6 +556,13 @@ bool ProducerHandle::feed(SessionId Session, StreamId Input, Time Ts,
   if (!Fleet)
     return false;
   return Fleet->laneFeed(Lane, Session, Input, Ts, std::move(V));
+}
+
+FeedStatus ProducerHandle::tryFeed(SessionId Session, StreamId Input,
+                                   Time Ts, Value V) {
+  if (!Fleet)
+    return FeedStatus::Closed;
+  return Fleet->laneTryFeed(Lane, Session, Input, Ts, std::move(V));
 }
 
 void ProducerHandle::flush() {
@@ -594,6 +654,23 @@ bool MonitorFleet::laneFeed(unsigned LaneIdx, SessionId Session,
   return true;
 }
 
+FeedStatus MonitorFleet::laneTryFeed(unsigned LaneIdx, SessionId Session,
+                                     StreamId Input, Time Ts, Value V) {
+  ProducerLane &L = *Lanes[LaneIdx];
+  if (L.Closed)
+    return FeedStatus::Closed;
+  unsigned S = shardOf(Session);
+  EventBatch &P = L.Pending[S];
+  // Refuse before buffering: accepting the record would fill the batch
+  // while the ring has no slot, and the resulting push would block.
+  if (P.Records.size() + 1 >= Opts.BatchSize && !L.Rings[S]->canPush())
+    return FeedStatus::WouldBlock;
+  P.Records.push_back({Session, Input, Ts, std::move(V)});
+  if (P.Records.size() >= Opts.BatchSize)
+    laneFlushShard(L, S); // cannot block: canPush() held above
+  return FeedStatus::Ok;
+}
+
 void MonitorFleet::laneFlushShard(ProducerLane &L, unsigned ShardIdx) {
   EventBatch &P = L.Pending[ShardIdx];
   if (P.Records.empty())
@@ -632,27 +709,7 @@ void MonitorFleet::laneClose(unsigned LaneIdx) {
   }
 }
 
-bool MonitorFleet::feed(SessionId Session, StreamId Input, Time Ts,
-                        Value V) {
-  if (Finished)
-    return false;
-  if (!ShimProducer.valid()) {
-    ShimProducer = producer();
-    if (!ShimProducer.valid())
-      return false;
-  }
-  return ShimProducer.feed(Session, Input, Ts, std::move(V));
-}
-
-void MonitorFleet::finish() {
-  {
-    std::lock_guard<std::mutex> G(AdminMu);
-    if (Finished)
-      return;
-    Finished = true;
-    Finishing.store(true, std::memory_order_release);
-  }
-  ShimProducer.close();
+void MonitorFleet::joinAndCollect() {
   // Close any lanes whose handles are still open (contract: their
   // threads have quiesced by now).
   unsigned N = LaneCount.load(std::memory_order_acquire);
@@ -666,12 +723,102 @@ void MonitorFleet::finish() {
   Stats.Producers = N;
   for (auto &W : Workers) {
     uint64_t HighWater = 0;
-    for (unsigned L = 0; L != N; ++L)
+    uint64_t Stalls = 0;
+    for (unsigned L = 0; L != N; ++L) {
       HighWater =
           std::max(HighWater, Lanes[L]->Rings[W->Index]->highWater());
+      Stalls += Lanes[L]->Rings[W->Index]->stalls();
+    }
     W->Stats.QueueHighWater = HighWater;
+    W->Stats.BackpressureStalls = Stalls;
     Stats.Shards.push_back(W->Stats);
   }
+}
+
+void MonitorFleet::finish() {
+  {
+    std::lock_guard<std::mutex> G(AdminMu);
+    if (Finished)
+      return;
+    Finished = true;
+    Finishing.store(true, std::memory_order_release);
+  }
+  joinAndCollect();
+}
+
+std::vector<EngineLaneState> MonitorFleet::suspend(std::string *ErrorOut) {
+  if (Mode == FleetMode::Native) {
+    // Native lanes cannot be extracted (ShardEngine::supportsMigration
+    // is false); run ordinary end-of-input semantics instead so the
+    // fleet still terminates cleanly.
+    if (ErrorOut)
+      *ErrorOut = "cannot checkpoint a native-engine fleet: compiled "
+                  "lanes are not migratable";
+    finish();
+    return {};
+  }
+  {
+    std::lock_guard<std::mutex> G(AdminMu);
+    if (Finished) {
+      if (ErrorOut)
+        *ErrorOut = "fleet already finished";
+      return {};
+    }
+    Finished = true;
+    Suspending.store(true, std::memory_order_release);
+    Finishing.store(true, std::memory_order_release);
+  }
+  joinAndCollect();
+  std::vector<EngineLaneState> All;
+  for (auto &W : Workers) {
+    for (EngineLaneState &L : W->Suspended)
+      All.push_back(std::move(L));
+    W->Suspended.clear();
+  }
+  std::sort(All.begin(), All.end(),
+            [](const EngineLaneState &A, const EngineLaneState &B) {
+              return A.Session < B.Session;
+            });
+  if (ErrorOut)
+    ErrorOut->clear();
+  return All;
+}
+
+bool MonitorFleet::restore(std::vector<EngineLaneState> LaneStates) {
+  {
+    std::lock_guard<std::mutex> G(AdminMu);
+    if (Finished)
+      return false;
+  }
+  if (Mode == FleetMode::Native)
+    return false; // native engines cannot insert migrated lanes
+  {
+    std::set<SessionId> Seen;
+    for (const EngineLaneState &L : LaneStates)
+      if (!Seen.insert(L.Session).second)
+        return false;
+  }
+  uint64_t Base = RestoresAdopted.load(std::memory_order_acquire);
+  uint64_t Posted = LaneStates.size();
+  for (EngineLaneState &L : LaneStates) {
+    unsigned S = shardOf(L.Session);
+    Shard &T = *Workers[S];
+    auto Lane = std::make_unique<EngineLaneState>(std::move(L));
+    {
+      std::lock_guard<std::mutex> G(T.InboxMu);
+      T.Inbox.push_back(
+          {Lane->Session, EventBatch(), std::move(Lane), /*Restored=*/true});
+    }
+    bumpSignal(S);
+  }
+  // Wait until every worker adopted its lanes: records fed afterwards
+  // can then never race a not-yet-inserted lane into a fresh one.
+  uint64_t Cur = RestoresAdopted.load(std::memory_order_acquire);
+  while (Cur < Base + Posted) {
+    RestoresAdopted.wait(Cur, std::memory_order_acquire);
+    Cur = RestoresAdopted.load(std::memory_order_acquire);
+  }
+  return true;
 }
 
 bool MonitorFleet::failed() const {
@@ -751,6 +898,28 @@ uint64_t FleetStats::totalSessionsStolen() const {
   return N;
 }
 
+std::string ShardStats::str() const {
+  // Stable key=value rendering: one format for `tessla-run --stats`,
+  // FleetStats::str() and the service stats frame. Keys are append-only.
+  return formatString(
+      "engine=%s sessions=%llu events=%llu batches=%llu "
+      "queue-high-water=%llu outputs=%llu failed=%llu "
+      "stolen-in=%llu stolen-out=%llu forwarded=%llu sweeps=%llu "
+      "backpressure-stalls=%llu",
+      Engine.empty() ? "?" : Engine.c_str(),
+      static_cast<unsigned long long>(Sessions),
+      static_cast<unsigned long long>(EventsProcessed),
+      static_cast<unsigned long long>(BatchesDrained),
+      static_cast<unsigned long long>(QueueHighWater),
+      static_cast<unsigned long long>(OutputsEmitted),
+      static_cast<unsigned long long>(FailedSessions),
+      static_cast<unsigned long long>(SessionsStolenIn),
+      static_cast<unsigned long long>(SessionsStolenOut),
+      static_cast<unsigned long long>(RecordsForwarded),
+      static_cast<unsigned long long>(LockstepSweeps),
+      static_cast<unsigned long long>(BackpressureStalls));
+}
+
 std::string FleetStats::str() const {
   std::string Out = formatString(
       "fleet: %zu shard(s), %llu producer(s), %llu session(s), "
@@ -760,24 +929,8 @@ std::string FleetStats::str() const {
       static_cast<unsigned long long>(totalEvents()),
       static_cast<unsigned long long>(totalOutputs()),
       static_cast<unsigned long long>(totalSessionsStolen()));
-  for (size_t I = 0; I != Shards.size(); ++I) {
-    const ShardStats &S = Shards[I];
-    Out += formatString(
-        "  shard %zu: engine=%s sessions=%llu events=%llu batches=%llu "
-        "queue-high-water=%llu outputs=%llu failed=%llu "
-        "stolen-in=%llu stolen-out=%llu forwarded=%llu sweeps=%llu\n",
-        I, S.Engine.empty() ? "?" : S.Engine.c_str(),
-        static_cast<unsigned long long>(S.Sessions),
-        static_cast<unsigned long long>(S.EventsProcessed),
-        static_cast<unsigned long long>(S.BatchesDrained),
-        static_cast<unsigned long long>(S.QueueHighWater),
-        static_cast<unsigned long long>(S.OutputsEmitted),
-        static_cast<unsigned long long>(S.FailedSessions),
-        static_cast<unsigned long long>(S.SessionsStolenIn),
-        static_cast<unsigned long long>(S.SessionsStolenOut),
-        static_cast<unsigned long long>(S.RecordsForwarded),
-        static_cast<unsigned long long>(S.LockstepSweeps));
-  }
+  for (size_t I = 0; I != Shards.size(); ++I)
+    Out += formatString("  shard %zu: %s\n", I, Shards[I].str().c_str());
   return Out;
 }
 

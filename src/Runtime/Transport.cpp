@@ -1,0 +1,226 @@
+//===- Runtime/Transport.cpp ------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Runtime/Transport.h"
+
+#include "tessla/Support/Format.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace tessla;
+
+namespace {
+
+/// A connected POSIX stream fd. shutdown() before close() so a peer
+/// blocked in recv() wakes with end-of-stream instead of hanging.
+class FdTransport : public Transport {
+public:
+  explicit FdTransport(int Fd) : Fd(Fd) {}
+  ~FdTransport() override { close(); }
+
+  bool send(const uint8_t *Data, size_t Size) override {
+    while (Size) {
+      // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE.
+      ssize_t N = ::send(Fd, Data, Size, MSG_NOSIGNAL);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        return false;
+      }
+      Data += N;
+      Size -= static_cast<size_t>(N);
+    }
+    return true;
+  }
+
+  ptrdiff_t recv(uint8_t *Data, size_t Size) override {
+    for (;;) {
+      ssize_t N = ::recv(Fd, Data, Size, 0);
+      if (N < 0 && errno == EINTR)
+        continue;
+      return N;
+    }
+  }
+
+  ptrdiff_t tryRecv(uint8_t *Data, size_t Size) override {
+    for (;;) {
+      ssize_t N = ::recv(Fd, Data, Size, MSG_DONTWAIT);
+      if (N > 0)
+        return N;
+      if (N == 0)
+        return -1; // orderly close: nothing more will ever arrive
+      if (errno == EINTR)
+        continue;
+      return errno == EAGAIN || errno == EWOULDBLOCK ? 0 : -1;
+    }
+  }
+
+  void close() override {
+    int Expected = Fd.load();
+    if (Expected < 0 || !Fd.compare_exchange_strong(Expected, -1))
+      return;
+    ::shutdown(Expected, SHUT_RDWR);
+    ::close(Expected);
+  }
+
+  void interrupt() override {
+    int F = Fd.load();
+    if (F >= 0)
+      ::shutdown(F, SHUT_RDWR);
+  }
+
+private:
+  // send/recv/close may race from different threads; the CAS makes
+  // close-once safe and keeps the fd from double-closing.
+  std::atomic<int> Fd;
+};
+
+class UnixListener : public Listener {
+public:
+  UnixListener(int Fd, std::string Path) : Fd(Fd), Path(std::move(Path)) {}
+  ~UnixListener() override { close(); }
+
+  std::unique_ptr<Transport> accept() override {
+    for (;;) {
+      int C = ::accept(Fd.load(), nullptr, nullptr);
+      if (C >= 0)
+        return std::make_unique<FdTransport>(C);
+      if (errno == EINTR)
+        continue;
+      return nullptr;
+    }
+  }
+
+  void close() override {
+    int Expected = Fd.load();
+    if (Expected < 0 || !Fd.compare_exchange_strong(Expected, -1))
+      return;
+    // Unblocks a pending accept() with ECONNABORTED/EBADF.
+    ::shutdown(Expected, SHUT_RDWR);
+    ::close(Expected);
+    ::unlink(Path.c_str());
+  }
+
+private:
+  std::atomic<int> Fd;
+  std::string Path;
+};
+
+bool fillSockaddr(const std::string &Path, sockaddr_un &Addr,
+                  std::string *ErrorOut) {
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    if (ErrorOut)
+      *ErrorOut = formatString("socket path too long (%zu bytes, max %zu): %s",
+                               Path.size(), sizeof(Addr.sun_path) - 1,
+                               Path.c_str());
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size());
+  return true;
+}
+
+void setError(std::string *ErrorOut, const char *What,
+              const std::string &Path) {
+  if (ErrorOut)
+    *ErrorOut =
+        formatString("%s %s: %s", What, Path.c_str(), std::strerror(errno));
+}
+
+} // namespace
+
+std::unique_ptr<Transport> tessla::makeFdTransport(int Fd) {
+  return std::make_unique<FdTransport>(Fd);
+}
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+tessla::makePipeTransportPair() {
+  int Fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds) != 0)
+    return {nullptr, nullptr};
+  return {std::make_unique<FdTransport>(Fds[0]),
+          std::make_unique<FdTransport>(Fds[1])};
+}
+
+std::unique_ptr<Listener>
+tessla::listenUnixSocket(const std::string &Path, std::string *ErrorOut) {
+  sockaddr_un Addr;
+  if (!fillSockaddr(Path, Addr, ErrorOut))
+    return nullptr;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    setError(ErrorOut, "cannot create socket for", Path);
+    return nullptr;
+  }
+  ::unlink(Path.c_str()); // a stale socket file from a dead server
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    setError(ErrorOut, "cannot bind", Path);
+    ::close(Fd);
+    return nullptr;
+  }
+  if (::listen(Fd, 64) != 0) {
+    setError(ErrorOut, "cannot listen on", Path);
+    ::close(Fd);
+    ::unlink(Path.c_str());
+    return nullptr;
+  }
+  return std::make_unique<UnixListener>(Fd, Path);
+}
+
+std::unique_ptr<Transport>
+tessla::connectUnixSocket(const std::string &Path, std::string *ErrorOut) {
+  sockaddr_un Addr;
+  if (!fillSockaddr(Path, Addr, ErrorOut))
+    return nullptr;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    setError(ErrorOut, "cannot create socket for", Path);
+    return nullptr;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    setError(ErrorOut, "cannot connect to", Path);
+    ::close(Fd);
+    return nullptr;
+  }
+  return std::make_unique<FdTransport>(Fd);
+}
+
+bool tessla::sendFrame(Transport &T, FrameType Type,
+                       const std::vector<uint8_t> &Payload) {
+  return T.send(encodeFrame(Type, Payload));
+}
+
+bool tessla::sendFrame(Transport &T, FrameType Type) {
+  return T.send(encodeFrame(Type, nullptr, 0));
+}
+
+std::optional<WireFrame> tessla::recvFrame(Transport &T, FrameDecoder &Dec,
+                                           std::string &ErrorOut) {
+  for (;;) {
+    if (auto F = Dec.next())
+      return F;
+    if (Dec.failed()) {
+      ErrorOut = Dec.error();
+      return std::nullopt;
+    }
+    uint8_t Chunk[16 << 10];
+    ptrdiff_t N = T.recv(Chunk, sizeof(Chunk));
+    if (N <= 0) {
+      ErrorOut = N == 0 ? "connection closed"
+                        : formatString("transport error: %s",
+                                       std::strerror(errno));
+      return std::nullopt;
+    }
+    Dec.append(Chunk, static_cast<size_t>(N));
+  }
+}

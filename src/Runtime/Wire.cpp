@@ -1,0 +1,334 @@
+//===- Runtime/Wire.cpp -----------------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tessla/Runtime/Wire.h"
+
+#include "tessla/Program/BinaryCodec.h"
+#include "tessla/Program/Serialize.h"
+#include "tessla/Support/Format.h"
+
+#include <cstring>
+
+using namespace tessla;
+using bc::ByteReader;
+using bc::ByteWriter;
+
+const char *tessla::frameTypeName(FrameType T) {
+  switch (T) {
+  case FrameType::Hello:
+    return "Hello";
+  case FrameType::HelloAck:
+    return "HelloAck";
+  case FrameType::Batch:
+    return "Batch";
+  case FrameType::Busy:
+    return "Busy";
+  case FrameType::Snapshot:
+    return "Snapshot";
+  case FrameType::SnapshotAck:
+    return "SnapshotAck";
+  case FrameType::Restore:
+    return "Restore";
+  case FrameType::RestoreAck:
+    return "RestoreAck";
+  case FrameType::Finish:
+    return "Finish";
+  case FrameType::Outputs:
+    return "Outputs";
+  case FrameType::FinishAck:
+    return "FinishAck";
+  case FrameType::Stats:
+    return "Stats";
+  case FrameType::StatsAck:
+    return "StatsAck";
+  case FrameType::Error:
+    return "Error";
+  case FrameType::Shutdown:
+    return "Shutdown";
+  case FrameType::ShutdownAck:
+    return "ShutdownAck";
+  }
+  return "?";
+}
+
+namespace {
+
+bool validFrameType(uint8_t T) {
+  return T >= static_cast<uint8_t>(FrameType::Hello) &&
+         T <= static_cast<uint8_t>(FrameType::ShutdownAck);
+}
+
+/// Wraps a hostile payload decode: a DecodeContext funneling its
+/// diagnostics into one error string.
+struct PayloadCtx {
+  DiagnosticEngine Diags;
+  bc::DecodeContext Ctx{Diags, "wire"};
+  std::string &ErrorOut;
+
+  explicit PayloadCtx(std::string &Err) : ErrorOut(Err) {}
+
+  bool finish(const ByteReader &R, const char *What) {
+    if (!Ctx.Ok || R.failed()) {
+      ErrorOut = Diags.hasErrors() ? Diags.str()
+                                   : formatString("wire: truncated %s "
+                                                  "payload",
+                                                  What);
+      return false;
+    }
+    if (!R.atEnd()) {
+      ErrorOut = formatString("wire: trailing bytes in %s payload", What);
+      return false;
+    }
+    return true;
+  }
+};
+
+} // namespace
+
+std::vector<uint8_t> tessla::encodeFrame(FrameType Type,
+                                         const uint8_t *Payload,
+                                         size_t Size) {
+  ByteWriter W;
+  for (uint8_t M : WireMagic)
+    W.u8(M);
+  W.u8(static_cast<uint8_t>(Type));
+  W.u32(static_cast<uint32_t>(Size));
+  W.u64(tpbChecksum(Payload, Size));
+  if (Size)
+    W.raw(Payload, Size);
+  return W.take();
+}
+
+std::vector<uint8_t> tessla::encodeFrame(FrameType Type,
+                                         const std::vector<uint8_t> &P) {
+  return encodeFrame(Type, P.data(), P.size());
+}
+
+void FrameDecoder::append(const uint8_t *Data, size_t Size) {
+  if (Failed)
+    return;
+  // Compact the consumed prefix before growing the buffer.
+  if (Pos && (Pos == Buf.size() || Pos >= (64u << 10))) {
+    Buf.erase(Buf.begin(), Buf.begin() + static_cast<ptrdiff_t>(Pos));
+    Pos = 0;
+  }
+  Buf.insert(Buf.end(), Data, Data + Size);
+}
+
+std::optional<WireFrame> FrameDecoder::next() {
+  if (Failed)
+    return std::nullopt;
+  if (Buf.size() - Pos < WireHeaderSize)
+    return std::nullopt;
+  const uint8_t *H = Buf.data() + Pos;
+  if (std::memcmp(H, WireMagic, sizeof(WireMagic)) != 0) {
+    Failed = true;
+    Err = "wire: bad frame magic";
+    return std::nullopt;
+  }
+  uint8_t Type = H[4];
+  if (!validFrameType(Type)) {
+    Failed = true;
+    Err = formatString("wire: unknown frame type %u", Type);
+    return std::nullopt;
+  }
+  ByteReader R(H + 5, 12);
+  uint32_t Size = R.u32();
+  uint64_t Checksum = R.u64();
+  if (Size > WireMaxPayload) {
+    Failed = true;
+    Err = formatString("wire: frame payload of %u bytes exceeds the "
+                       "%u-byte cap",
+                       Size, WireMaxPayload);
+    return std::nullopt;
+  }
+  if (Buf.size() - Pos - WireHeaderSize < Size)
+    return std::nullopt; // need more bytes
+  const uint8_t *Payload = H + WireHeaderSize;
+  if (tpbChecksum(Payload, Size) != Checksum) {
+    Failed = true;
+    Err = "wire: frame payload checksum mismatch";
+    return std::nullopt;
+  }
+  WireFrame F;
+  F.Type = static_cast<FrameType>(Type);
+  F.Payload.assign(Payload, Payload + Size);
+  Pos += WireHeaderSize + Size;
+  return F;
+}
+
+// --- Payload codecs -------------------------------------------------------
+
+std::vector<uint8_t> tessla::encodeEventBatch(const EventBatch &B) {
+  ByteWriter W;
+  W.u32(static_cast<uint32_t>(B.Records.size()));
+  for (const EventRecord &R : B.Records) {
+    W.u64(R.Session);
+    W.u32(R.Input);
+    W.i64(R.Ts);
+    bc::writeValue(W, R.V);
+  }
+  return W.take();
+}
+
+std::optional<EventBatch>
+tessla::decodeEventBatch(const uint8_t *Data, size_t Size,
+                         std::string &ErrorOut) {
+  PayloadCtx P(ErrorOut);
+  ByteReader R(Data, Size);
+  uint32_t N = R.u32();
+  if (R.failed() || N > R.remaining()) {
+    ErrorOut = "wire: record count exceeds the Batch payload";
+    return std::nullopt;
+  }
+  EventBatch B;
+  B.Records.reserve(N);
+  for (uint32_t I = 0; I != N && P.Ctx.Ok && !R.failed(); ++I) {
+    EventRecord Rec;
+    Rec.Session = R.u64();
+    Rec.Input = R.u32();
+    Rec.Ts = R.i64();
+    Rec.V = bc::readValue(R, P.Ctx);
+    B.Records.push_back(std::move(Rec));
+  }
+  if (!P.finish(R, "Batch"))
+    return std::nullopt;
+  return B;
+}
+
+std::vector<uint8_t>
+tessla::encodeOutputs(const std::vector<WireOutputRecord> &Events) {
+  ByteWriter W;
+  W.u32(static_cast<uint32_t>(Events.size()));
+  for (const WireOutputRecord &E : Events) {
+    W.u64(E.Session);
+    W.i64(E.Ts);
+    W.u32(E.Stream);
+    bc::writeValue(W, E.V);
+  }
+  return W.take();
+}
+
+std::optional<std::vector<WireOutputRecord>>
+tessla::decodeOutputs(const uint8_t *Data, size_t Size,
+                      std::string &ErrorOut) {
+  PayloadCtx P(ErrorOut);
+  ByteReader R(Data, Size);
+  uint32_t N = R.u32();
+  if (R.failed() || N > R.remaining()) {
+    ErrorOut = "wire: record count exceeds the Outputs payload";
+    return std::nullopt;
+  }
+  std::vector<WireOutputRecord> Events;
+  Events.reserve(N);
+  for (uint32_t I = 0; I != N && P.Ctx.Ok && !R.failed(); ++I) {
+    WireOutputRecord E;
+    E.Session = R.u64();
+    E.Ts = R.i64();
+    E.Stream = R.u32();
+    E.V = bc::readValue(R, P.Ctx);
+    Events.push_back(std::move(E));
+  }
+  if (!P.finish(R, "Outputs"))
+    return std::nullopt;
+  return Events;
+}
+
+std::vector<uint8_t> tessla::encodeHello() {
+  ByteWriter W;
+  W.u32(WireFormatVersion);
+  return W.take();
+}
+
+bool tessla::decodeHello(const uint8_t *Data, size_t Size,
+                         uint32_t &VersionOut, std::string &ErrorOut) {
+  ByteReader R(Data, Size);
+  VersionOut = R.u32();
+  if (R.failed() || !R.atEnd()) {
+    ErrorOut = "wire: malformed Hello payload";
+    return false;
+  }
+  return true;
+}
+
+std::vector<uint8_t> tessla::encodeHelloAck(const WireHelloAck &A) {
+  ByteWriter W;
+  W.u32(A.Version);
+  W.u64(A.ProgramChecksum);
+  W.u32(A.Shards);
+  return W.take();
+}
+
+std::optional<WireHelloAck>
+tessla::decodeHelloAck(const uint8_t *Data, size_t Size,
+                       std::string &ErrorOut) {
+  ByteReader R(Data, Size);
+  WireHelloAck A;
+  A.Version = R.u32();
+  A.ProgramChecksum = R.u64();
+  A.Shards = R.u32();
+  if (R.failed() || !R.atEnd()) {
+    ErrorOut = "wire: malformed HelloAck payload";
+    return std::nullopt;
+  }
+  return A;
+}
+
+std::vector<uint8_t> tessla::encodeFinishAck(const WireFinishAck &A) {
+  ByteWriter W;
+  W.u64(A.FailedSessions);
+  W.u64(A.TotalOutputs);
+  return W.take();
+}
+
+std::optional<WireFinishAck>
+tessla::decodeFinishAck(const uint8_t *Data, size_t Size,
+                        std::string &ErrorOut) {
+  ByteReader R(Data, Size);
+  WireFinishAck A;
+  A.FailedSessions = R.u64();
+  A.TotalOutputs = R.u64();
+  if (R.failed() || !R.atEnd()) {
+    ErrorOut = "wire: malformed FinishAck payload";
+    return std::nullopt;
+  }
+  return A;
+}
+
+std::vector<uint8_t> tessla::encodeU64(uint64_t V) {
+  ByteWriter W;
+  W.u64(V);
+  return W.take();
+}
+
+std::optional<uint64_t> tessla::decodeU64(const uint8_t *Data, size_t Size,
+                                          std::string &ErrorOut) {
+  ByteReader R(Data, Size);
+  uint64_t V = R.u64();
+  if (R.failed() || !R.atEnd()) {
+    ErrorOut = "wire: malformed u64 payload";
+    return std::nullopt;
+  }
+  return V;
+}
+
+std::vector<uint8_t> tessla::encodeString(const std::string &S) {
+  ByteWriter W;
+  W.str(S);
+  return W.take();
+}
+
+std::optional<std::string> tessla::decodeString(const uint8_t *Data,
+                                                size_t Size,
+                                                std::string &ErrorOut) {
+  ByteReader R(Data, Size);
+  std::string S = R.str();
+  if (R.failed() || !R.atEnd()) {
+    ErrorOut = "wire: malformed string payload";
+    return std::nullopt;
+  }
+  return S;
+}

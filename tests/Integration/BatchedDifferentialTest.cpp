@@ -124,9 +124,11 @@ std::string fleetRun(const Program &Plan,
   FOpts.NativeFactory = std::move(Native);
   MonitorFleet Fleet(Plan, FOpts);
   EXPECT_EQ(Fleet.mode(), Mode);
+  ProducerHandle P = Fleet.producer();
   for (const CorpusRecord &R : Records)
     EXPECT_TRUE(
-        Fleet.feed(R.Session, *Plan.spec().lookup(R.Input), R.Ts, R.V));
+        P.feed(R.Session, *Plan.spec().lookup(R.Input), R.Ts, R.V));
+  P.close();
   Fleet.finish();
   EXPECT_FALSE(Fleet.failed())
       << (Fleet.errors().empty() ? std::string()
@@ -430,10 +432,12 @@ TEST(BatchedDifferentialTest, FailureIsolationMatchesPerSession) {
     Opts.BatchSize = 3;
     Opts.Mode = Mode;
     MonitorFleet Fleet(Plan, Opts);
-    Fleet.feed(1, X, 1, Value::integer(4));
-    Fleet.feed(2, X, 10, Value::integer(5));
-    Fleet.feed(2, X, 5, Value::integer(6)); // out of order: session fails
-    Fleet.feed(1, X, 2, Value::integer(4));
+    ProducerHandle P = Fleet.producer();
+    P.feed(1, X, 1, Value::integer(4));
+    P.feed(2, X, 10, Value::integer(5));
+    P.feed(2, X, 5, Value::integer(6)); // out of order: session fails
+    P.feed(1, X, 2, Value::integer(4));
+    P.close();
     Fleet.finish();
     EXPECT_TRUE(Fleet.failed());
     auto Errors = Fleet.errors();

@@ -276,7 +276,9 @@ TEST(NativeEngineTest, FleetNativeModeWithoutFactoryFallsBack) {
   EXPECT_EQ(Fleet.mode(), FleetMode::PerSession);
   EXPECT_FALSE(Fleet.engineFallbackReason().empty());
   StreamId X = *P.spec().lookup("x");
-  EXPECT_TRUE(Fleet.feed(7, X, 1, Value::integer(4)));
+  ProducerHandle Prod = Fleet.producer();
+  EXPECT_TRUE(Prod.feed(7, X, 1, Value::integer(4)));
+  Prod.close();
   Fleet.finish();
   EXPECT_FALSE(Fleet.failed());
   EXPECT_FALSE(Fleet.takeOutputs().empty());

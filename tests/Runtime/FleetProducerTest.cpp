@@ -325,9 +325,11 @@ TEST(FleetProducerTest, StealingCanBeDisabled) {
     if (Fleet.shardOf(Id) == 0)
       Sessions.push_back(Id);
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ProducerHandle P = Fleet.producer();
   for (const auto &[Id, Ts, V] : tracegen::randomInts(X, 500, 50, 3))
     for (SessionId Session : Sessions)
-      ASSERT_TRUE(Fleet.feed(Session, Id, Ts, V));
+      ASSERT_TRUE(P.feed(Session, Id, Ts, V));
+  P.close();
   Fleet.finish();
   ASSERT_FALSE(Fleet.failed());
   const FleetStats &Stats = Fleet.stats();

@@ -65,6 +65,7 @@ std::string fleetRun(const Program &Plan, const SessionTraces &Traces,
   Opts.QueueCapacity = 4; // ... and ring wrap-around + backpressure
   Opts.Horizon = Horizon;
   MonitorFleet Fleet(Plan, Opts);
+  ProducerHandle P = Fleet.producer();
 
   std::vector<std::pair<SessionId, const std::vector<TraceEvent> *>> Live;
   std::vector<size_t> Next;
@@ -81,9 +82,10 @@ std::string fleetRun(const Program &Plan, const SessionTraces &Traces,
     if (Next[Pick] == Live[Pick].second->size())
       continue;
     const auto &[Id, Ts, V] = (*Live[Pick].second)[Next[Pick]++];
-    EXPECT_TRUE(Fleet.feed(Live[Pick].first, Id, Ts, V));
+    EXPECT_TRUE(P.feed(Live[Pick].first, Id, Ts, V));
     --Remaining;
   }
+  P.close();
   Fleet.finish();
   EXPECT_FALSE(Fleet.failed())
       << (Fleet.errors().empty() ? std::string()
@@ -218,11 +220,13 @@ TEST(MonitorFleetTest, SessionFailureIsIsolated) {
   Opts.Shards = 2;
   Opts.BatchSize = 3;
   MonitorFleet Fleet(C.Plan, Opts);
+  ProducerHandle P = Fleet.producer();
   // Session 1: healthy. Session 2: violates timestamp order.
-  Fleet.feed(1, X, 1, Value::integer(4));
-  Fleet.feed(2, X, 10, Value::integer(5));
-  Fleet.feed(2, X, 5, Value::integer(6)); // out of order -> session fails
-  Fleet.feed(1, X, 2, Value::integer(4));
+  P.feed(1, X, 1, Value::integer(4));
+  P.feed(2, X, 10, Value::integer(5));
+  P.feed(2, X, 5, Value::integer(6)); // out of order -> session fails
+  P.feed(1, X, 2, Value::integer(4));
+  P.close();
   Fleet.finish();
   EXPECT_TRUE(Fleet.failed());
   auto Errors = Fleet.errors();
@@ -242,9 +246,13 @@ TEST(MonitorFleetTest, FeedAfterFinishRejected) {
   Spec S = seenSet();
   CompiledSpec C(S, true);
   MonitorFleet Fleet(C.Plan);
-  EXPECT_TRUE(Fleet.feed(1, *S.lookup("x"), 1, Value::integer(1)));
+  ProducerHandle P = Fleet.producer();
+  EXPECT_TRUE(P.feed(1, *S.lookup("x"), 1, Value::integer(1)));
+  P.close();
   Fleet.finish();
-  EXPECT_FALSE(Fleet.feed(1, *S.lookup("x"), 2, Value::integer(1)));
+  // A closed handle rejects records, and no new handle is issued.
+  EXPECT_FALSE(P.feed(1, *S.lookup("x"), 2, Value::integer(1)));
+  EXPECT_FALSE(Fleet.producer().valid());
   Fleet.finish(); // idempotent
 }
 
@@ -291,17 +299,19 @@ TEST(MonitorFleetTest, AutoEngineSwitchOverIsDeterministic) {
     Opts.AutoObservationRecords = 64; // decide well before the 320 records end
     Opts.AutoChunkThreshold = 8.0;
     MonitorFleet Fleet(C.Plan, Opts);
+    ProducerHandle P = Fleet.producer();
     if (Chunky) {
       for (const auto &[Session, Events] : Traces)
         for (const auto &[Id, Ts, V] : Events)
-          EXPECT_TRUE(Fleet.feed(Session, Id, Ts, V));
+          EXPECT_TRUE(P.feed(Session, Id, Ts, V));
     } else {
       for (size_t I = 0; I != 80; ++I) // round-robin: runs of length 1
         for (const auto &[Session, Events] : Traces) {
           const auto &[Id, Ts, V] = Events[I];
-          EXPECT_TRUE(Fleet.feed(Session, Id, Ts, V));
+          EXPECT_TRUE(P.feed(Session, Id, Ts, V));
         }
     }
+    P.close();
     Fleet.finish();
     EXPECT_FALSE(Fleet.failed());
     FleetStats Stats = Fleet.stats();
@@ -326,7 +336,9 @@ TEST(MonitorFleetTest, AutoEngineSwitchOverIsDeterministic) {
   Opts.Shards = 1;
   Opts.Mode = FleetMode::Auto;
   MonitorFleet Fleet(C.Plan, Opts);
-  Fleet.feed(0, X, 1, Value::integer(1));
+  ProducerHandle P = Fleet.producer();
+  P.feed(0, X, 1, Value::integer(1));
+  P.close();
   Fleet.finish();
   EXPECT_NE(Fleet.stats().str().find("engine="), std::string::npos);
 }

@@ -244,3 +244,131 @@ TEST(TesslaRunTest, EngineAliasesAndConflictsMatchTesslac) {
             std::string::npos)
       << Err;
 }
+
+TEST(TesslaRunTest, ServeConnectCheckpointMigration) {
+  // The service lifecycle across real processes: serve a bundle on a
+  // Unix socket, feed the first half of a trace, take a live
+  // checkpoint, kill the server, re-serve the checkpoint in a *new*
+  // server with a different shard count, feed the rest, and the
+  // finished trace is byte-identical to an uninterrupted local fleet
+  // run of the same bundle.
+  std::string Bundle = tempPath("serve.tpb");
+  auto [RcEmit, OutEmit] = run(std::string(TESSLAC_PATH) + " " +
+                               specsDir() + "/seen_set.tessla -O1 "
+                               "--emit=tpb -o " + Bundle);
+  ASSERT_EQ(RcEmit, 0);
+  std::string Trace = tempPath("serve_trace.txt");
+  writeFile(Trace, intTrace("x", 40));
+
+  auto [RcRef, Ref] = run(std::string(TESSLA_RUN_PATH) + " " + Bundle +
+                          " --trace " + Trace + " --fleet 2 --sessions 4");
+  ASSERT_EQ(RcRef, 0);
+  ASSERT_FALSE(Ref.empty()) << "uninterrupted reference is vacuous";
+
+  // Await a background server's socket (they bind before accepting).
+  auto AwaitSocket = [](const std::string &Path) {
+    for (int I = 0; I != 200 && ::access(Path.c_str(), F_OK) != 0; ++I)
+      ::usleep(50 * 1000);
+    return ::access(Path.c_str(), F_OK) == 0;
+  };
+
+  std::string SockA = tempPath("serve_a.sock");
+  std::string LogA = tempPath("serve_a.log");
+  ASSERT_EQ(std::system((std::string(TESSLA_RUN_PATH) + " " + Bundle +
+                         " --serve " + SockA + " --fleet 2 > " + LogA +
+                         " 2>&1 &")
+                            .c_str()),
+            0);
+  ASSERT_TRUE(AwaitSocket(SockA)) << slurp(LogA);
+
+  // Feed the head (ts <= 20) from two concurrent producer processes.
+  auto [RcFeed, OutFeed] = run(std::string(TESSLA_RUN_PATH) + " " +
+                               Bundle + " --connect " + SockA +
+                               " --trace " + Trace +
+                               " --sessions 4 --producers 2"
+                               " --feed-until 20");
+  EXPECT_EQ(RcFeed, 0) << slurp(LogA);
+
+  std::string Ck = tempPath("serve.tcp");
+  std::string CkErr;
+  auto [RcCk, OutCk] = run(std::string(TESSLA_RUN_PATH) + " " + Bundle +
+                               " --connect " + SockA +
+                               " --checkpoint-to " + Ck + " --stats",
+                           &CkErr);
+  EXPECT_EQ(RcCk, 0) << CkErr;
+  EXPECT_NE(CkErr.find("checkpoint:"), std::string::npos) << CkErr;
+  ASSERT_EQ(::access(Ck.c_str(), F_OK), 0);
+
+  auto [RcDown, OutDown] = run(std::string(TESSLA_RUN_PATH) + " " +
+                               Bundle + " --connect " + SockA +
+                               " --shutdown");
+  EXPECT_EQ(RcDown, 0) << slurp(LogA);
+
+  // Second server: different shard count, seeded from the checkpoint.
+  std::string SockB = tempPath("serve_b.sock");
+  std::string LogB = tempPath("serve_b.log");
+  ASSERT_EQ(std::system((std::string(TESSLA_RUN_PATH) + " " + Bundle +
+                         " --serve " + SockB + " --fleet 3" +
+                         " --restore-from " + Ck + " > " + LogB +
+                         " 2>&1 &")
+                            .c_str()),
+            0);
+  ASSERT_TRUE(AwaitSocket(SockB)) << slurp(LogB);
+
+  auto [RcTail, OutTail] = run(std::string(TESSLA_RUN_PATH) + " " +
+                               Bundle + " --connect " + SockB +
+                               " --trace " + Trace +
+                               " --sessions 4 --producers 2"
+                               " --skip-until 20");
+  EXPECT_EQ(RcTail, 0) << slurp(LogB);
+
+  auto [RcFin, Out] = run(std::string(TESSLA_RUN_PATH) + " " + Bundle +
+                          " --connect " + SockB + " --finish");
+  EXPECT_EQ(RcFin, 0) << slurp(LogB);
+  EXPECT_EQ(Out, Ref)
+      << "checkpoint-migrated service run diverged from the "
+         "uninterrupted local fleet";
+
+  auto [RcDownB, OutDownB] = run(std::string(TESSLA_RUN_PATH) + " " +
+                                 Bundle + " --connect " + SockB +
+                                 " --shutdown");
+  EXPECT_EQ(RcDownB, 0) << slurp(LogB);
+}
+
+TEST(TesslaRunTest, ConnectRejectsForeignBundle) {
+  // The HelloAck carries the server program's checksum: a client armed
+  // with a different bundle must refuse before feeding anything.
+  std::string BundleA = tempPath("mismatch_a.tpb");
+  std::string BundleB = tempPath("mismatch_b.tpb");
+  ASSERT_EQ(run(std::string(TESSLAC_PATH) + " " + specsDir() +
+                "/seen_set.tessla -O1 --emit=tpb -o " + BundleA)
+                .first,
+            0);
+  ASSERT_EQ(run(std::string(TESSLAC_PATH) + " " + specsDir() +
+                "/queue_window.tessla -O1 --emit=tpb -o " + BundleB)
+                .first,
+            0);
+
+  std::string Sock = tempPath("mismatch.sock");
+  std::string Log = tempPath("mismatch.log");
+  ASSERT_EQ(std::system((std::string(TESSLA_RUN_PATH) + " " + BundleA +
+                         " --serve " + Sock + " > " + Log + " 2>&1 &")
+                            .c_str()),
+            0);
+  for (int I = 0; I != 200 && ::access(Sock.c_str(), F_OK) != 0; ++I)
+    ::usleep(50 * 1000);
+  ASSERT_EQ(::access(Sock.c_str(), F_OK), 0) << slurp(Log);
+
+  std::string Err;
+  auto [RcBad, OutBad] = run(std::string(TESSLA_RUN_PATH) + " " +
+                                 BundleB + " --connect " + Sock +
+                                 " --stats",
+                             &Err);
+  EXPECT_NE(RcBad, 0);
+  EXPECT_NE(Err.find("bundle mismatch"), std::string::npos) << Err;
+
+  auto [RcDown, OutDown] = run(std::string(TESSLA_RUN_PATH) + " " +
+                               BundleA + " --connect " + Sock +
+                               " --shutdown");
+  EXPECT_EQ(RcDown, 0) << slurp(Log);
+}

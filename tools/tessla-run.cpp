@@ -26,10 +26,15 @@
 
 #include "tessla/CodeGen/NativeCompile.h"
 #include "tessla/Program/Serialize.h"
+#include "tessla/Runtime/Checkpoint.h"
+#include "tessla/Runtime/FleetClient.h"
+#include "tessla/Runtime/FleetServer.h"
 #include "tessla/Runtime/MonitorFleet.h"
 #include "tessla/Runtime/TraceIO.h"
+#include "tessla/Runtime/Transport.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -76,7 +81,30 @@ void printUsage(const char *Argv0) {
       "  --batched | --per-session         aliases for --engine=batched /\n"
       "                                    --engine=interp\n"
       "  --plan                            print the loaded program\n"
-      "                                    instead of executing\n",
+      "                                    instead of executing\n"
+      "service mode (Runtime/FleetServer.h over a Unix socket):\n"
+      "  --serve <socket>                  run as a monitor server: accept\n"
+      "                                    wire-format connections until a\n"
+      "                                    Shutdown frame. --fleet/--engine/\n"
+      "                                    --horizon configure the fleet;\n"
+      "                                    --restore-from seeds it from a\n"
+      "                                    checkpoint before serving\n"
+      "  --connect <socket>                talk to a server instead of\n"
+      "                                    executing locally. Feeds the\n"
+      "                                    trace (stdin or --trace) unless\n"
+      "                                    only control actions are given\n"
+      "  --checkpoint-to <file.tcp>        ask the server for a live\n"
+      "                                    checkpoint and write it\n"
+      "  --restore-from <file.tcp>         restore a checkpoint (into the\n"
+      "                                    server with --connect, or into\n"
+      "                                    a fresh server with --serve)\n"
+      "  --finish                          fleet end-of-input: print the\n"
+      "                                    merged outputs\n"
+      "  --stats                           print the server's fleet stats\n"
+      "  --shutdown                        stop the server process\n"
+      "  --feed-until <t>                  feed only events with ts <= t\n"
+      "  --skip-until <t>                  skip events with ts <= t (for\n"
+      "                                    resuming after a checkpoint)\n",
       Argv0);
 }
 
@@ -99,6 +127,24 @@ std::string readStdin() {
   return Buffer.str();
 }
 
+std::optional<std::vector<uint8_t>> readBinaryFile(const char *Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::vector<uint8_t> Bytes{std::istreambuf_iterator<char>(In),
+                             std::istreambuf_iterator<char>()};
+  return Bytes;
+}
+
+bool writeBinaryFile(const char *Path, const std::vector<uint8_t> &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return false;
+  Out.write(reinterpret_cast<const char *>(Bytes.data()),
+            static_cast<std::streamsize>(Bytes.size()));
+  return static_cast<bool>(Out);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -111,6 +157,15 @@ int main(int argc, char **argv) {
   unsigned FleetProducers = 1;
   EngineSel Engine = EngineSel::Default;
   const char *EngineFlag = nullptr; // the flag that selected it
+  const char *ServePath = nullptr;
+  const char *ConnectPath = nullptr;
+  const char *CheckpointTo = nullptr;
+  const char *RestoreFrom = nullptr;
+  bool DoFinish = false;
+  bool DoStats = false;
+  bool DoShutdown = false;
+  std::optional<Time> FeedUntil;
+  std::optional<Time> SkipUntil;
 
   auto selectEngine = [&](EngineSel Sel, const char *Flag) {
     if (Engine != EngineSel::Default && Engine != Sel) {
@@ -163,6 +218,24 @@ int main(int argc, char **argv) {
         return 2;
     } else if (std::strcmp(Arg, "--plan") == 0) {
       PrintPlan = true;
+    } else if (std::strcmp(Arg, "--serve") == 0 && I + 1 < argc) {
+      ServePath = argv[++I];
+    } else if (std::strcmp(Arg, "--connect") == 0 && I + 1 < argc) {
+      ConnectPath = argv[++I];
+    } else if (std::strcmp(Arg, "--checkpoint-to") == 0 && I + 1 < argc) {
+      CheckpointTo = argv[++I];
+    } else if (std::strcmp(Arg, "--restore-from") == 0 && I + 1 < argc) {
+      RestoreFrom = argv[++I];
+    } else if (std::strcmp(Arg, "--finish") == 0) {
+      DoFinish = true;
+    } else if (std::strcmp(Arg, "--stats") == 0) {
+      DoStats = true;
+    } else if (std::strcmp(Arg, "--shutdown") == 0) {
+      DoShutdown = true;
+    } else if (std::strcmp(Arg, "--feed-until") == 0 && I + 1 < argc) {
+      FeedUntil = std::strtoll(argv[++I], nullptr, 10);
+    } else if (std::strcmp(Arg, "--skip-until") == 0 && I + 1 < argc) {
+      SkipUntil = std::strtoll(argv[++I], nullptr, 10);
     } else if (std::strcmp(Arg, "--help") == 0) {
       printUsage(argv[0]);
       return 0;
@@ -192,6 +265,222 @@ int main(int argc, char **argv) {
     return 0;
   }
 
+  // Resolve the native tier up front (shared by the sequential, fleet
+  // and server paths) so a missing compiler degrades to the interpreter
+  // with one diagnostic instead of failing the run.
+  EngineFactory NativeFactory;
+  if (Engine == EngineSel::Native) {
+    std::string NativeErr;
+    NativeFactory =
+        makeNativeEngineFactory(Plan, NativeCompileOptions(), NativeErr);
+    if (!NativeFactory) {
+      std::fprintf(stderr,
+                   "native engine unavailable: %s; falling back to the "
+                   "interpreter\n",
+                   NativeErr.c_str());
+      Engine = EngineSel::Interp;
+    }
+  }
+
+  auto makeFleetOpts = [&](unsigned Shards) {
+    FleetOptions FOpts;
+    FOpts.Shards = Shards;
+    FOpts.Horizon = Horizon;
+    switch (Engine) {
+    case EngineSel::Default:
+      FOpts.Mode = FleetMode::Auto;
+      break;
+    case EngineSel::Interp:
+      FOpts.Mode = FleetMode::PerSession;
+      break;
+    case EngineSel::Batched:
+      FOpts.Mode = FleetMode::Batched;
+      break;
+    case EngineSel::Native:
+      FOpts.Mode = FleetMode::Native;
+      FOpts.NativeFactory = NativeFactory;
+      break;
+    }
+    return FOpts;
+  };
+
+  if (ServePath) {
+    unsigned Shards = FleetShards == 0 ? 1 : FleetShards;
+    FleetServer Server(Plan, makeFleetOpts(Shards));
+    if (RestoreFrom) {
+      auto Bytes = readBinaryFile(RestoreFrom);
+      if (!Bytes) {
+        std::fprintf(stderr, "cannot open %s\n", RestoreFrom);
+        return 1;
+      }
+      std::string Err;
+      auto N = Server.client().restore(*Bytes, &Err);
+      if (!N) {
+        std::fprintf(stderr, "restore failed: %s\n", Err.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "restored %llu session(s) from %s\n",
+                   static_cast<unsigned long long>(*N), RestoreFrom);
+    }
+    std::string Err;
+    auto L = listenUnixSocket(ServePath, &Err);
+    if (!L) {
+      std::fprintf(stderr, "%s\n", Err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "serving %s on %s (%u shard(s))\n", BundlePath,
+                 ServePath, Shards);
+    Server.serve(*L);
+    return 0;
+  }
+
+  if (ConnectPath) {
+    std::string Err;
+    uint64_t ServerCk = 0;
+    auto Client = makeUnixSocketClient(ConnectPath, &Err, &ServerCk);
+    if (!Client) {
+      std::fprintf(stderr, "%s\n", Err.c_str());
+      return 1;
+    }
+    if (ServerCk != programChecksum(Plan)) {
+      std::fprintf(stderr,
+                   "bundle mismatch: the server runs a different program "
+                   "(checksum %016llx, local %016llx)\n",
+                   static_cast<unsigned long long>(ServerCk),
+                   static_cast<unsigned long long>(programChecksum(Plan)));
+      return 1;
+    }
+    if (RestoreFrom) {
+      auto Bytes = readBinaryFile(RestoreFrom);
+      if (!Bytes) {
+        std::fprintf(stderr, "cannot open %s\n", RestoreFrom);
+        return 1;
+      }
+      auto N = Client->restore(*Bytes, &Err);
+      if (!N) {
+        std::fprintf(stderr, "restore failed: %s\n", Err.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "restored %llu session(s)\n",
+                   static_cast<unsigned long long>(*N));
+    }
+
+    // Feed the trace unless this is a control-only invocation.
+    bool ControlOnly = (CheckpointTo || RestoreFrom || DoFinish || DoStats ||
+                        DoShutdown) &&
+                       !TracePath;
+    if (!ControlOnly) {
+      std::string TraceText;
+      if (TracePath) {
+        auto Text = readFile(TracePath);
+        if (!Text) {
+          std::fprintf(stderr, "cannot open %s\n", TracePath);
+          return 1;
+        }
+        TraceText = std::move(*Text);
+      } else {
+        TraceText = readStdin();
+      }
+      auto Events = parseTrace(TraceText, Plan.spec(), Diags);
+      if (!Events) {
+        std::fprintf(stderr, "%s", Diags.str().c_str());
+        return 1;
+      }
+      unsigned Producers = std::min(FleetProducers, FleetSessions);
+      std::vector<std::thread> Threads;
+      std::vector<uint64_t> Busy(Producers, 0);
+      std::atomic<bool> FeedFailed{false};
+      for (unsigned P = 0; P != Producers; ++P)
+        Threads.emplace_back([&, P] {
+          std::string PErr;
+          auto Prod = Client->producer(&PErr);
+          if (!Prod) {
+            std::fprintf(stderr, "producer %u: %s\n", P, PErr.c_str());
+            FeedFailed.store(true);
+            return;
+          }
+          for (const auto &[Id, Ts, V] : *Events) {
+            if (SkipUntil && Ts <= *SkipUntil)
+              continue;
+            if (FeedUntil && Ts > *FeedUntil)
+              break;
+            for (SessionId Session = P; Session < FleetSessions;
+                 Session += Producers)
+              if (!Prod->feed(Session, Id, Ts, V)) {
+                std::fprintf(stderr, "producer %u: %s\n", P,
+                             Prod->error().c_str());
+                FeedFailed.store(true);
+                return;
+              }
+          }
+          if (!Prod->close()) {
+            std::fprintf(stderr, "producer %u: %s\n", P,
+                         Prod->error().c_str());
+            FeedFailed.store(true);
+          }
+          Busy[P] = Prod->busySignals();
+        });
+      for (std::thread &T : Threads)
+        T.join();
+      uint64_t TotalBusy = 0;
+      for (uint64_t B : Busy)
+        TotalBusy += B;
+      if (TotalBusy)
+        std::fprintf(stderr, "backpressure: %llu busy signal(s)\n",
+                     static_cast<unsigned long long>(TotalBusy));
+      if (FeedFailed.load())
+        return 1;
+    }
+
+    if (CheckpointTo) {
+      auto Bytes = Client->snapshot(&Err);
+      if (!Bytes) {
+        std::fprintf(stderr, "checkpoint failed: %s\n", Err.c_str());
+        return 1;
+      }
+      if (!writeBinaryFile(CheckpointTo, *Bytes)) {
+        std::fprintf(stderr, "cannot write %s\n", CheckpointTo);
+        return 1;
+      }
+      std::fprintf(stderr, "checkpoint: %zu bytes -> %s\n", Bytes->size(),
+                   CheckpointTo);
+    }
+
+    if (DoFinish) {
+      auto R = Client->finish(&Err);
+      if (!R) {
+        std::fprintf(stderr, "finish failed: %s\n", Err.c_str());
+        return 1;
+      }
+      for (const SessionOutputEvent &E : R->Outputs)
+        std::printf("s%llu| %lld: %s = %s\n",
+                    static_cast<unsigned long long>(E.Session),
+                    static_cast<long long>(E.Event.Ts),
+                    Plan.spec().stream(E.Event.Id).Name.c_str(),
+                    E.Event.V.str().c_str());
+      if (R->FailedSessions) {
+        std::fprintf(stderr, "%llu session(s) failed\n",
+                     static_cast<unsigned long long>(R->FailedSessions));
+        return 1;
+      }
+    }
+
+    if (DoStats) {
+      auto S = Client->statsText(&Err);
+      if (!S) {
+        std::fprintf(stderr, "stats failed: %s\n", Err.c_str());
+        return 1;
+      }
+      std::printf("%s", S->c_str());
+    }
+
+    if (DoShutdown && !Client->shutdownServer(&Err)) {
+      std::fprintf(stderr, "shutdown failed: %s\n", Err.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
   std::string TraceText;
   if (TracePath) {
     auto Text = readFile(TracePath);
@@ -209,45 +498,11 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  // Resolve the native tier up front (shared by the sequential and the
-  // fleet path) so a missing compiler degrades to the interpreter with
-  // one diagnostic instead of failing the run.
-  EngineFactory NativeFactory;
-  if (Engine == EngineSel::Native) {
-    std::string NativeErr;
-    NativeFactory =
-        makeNativeEngineFactory(Plan, NativeCompileOptions(), NativeErr);
-    if (!NativeFactory) {
-      std::fprintf(stderr,
-                   "native engine unavailable: %s; falling back to the "
-                   "interpreter\n",
-                   NativeErr.c_str());
-      Engine = EngineSel::Interp;
-    }
-  }
-
   if (FleetShards > 0) {
     // Same multi-session replay shape as `tesslac --run --fleet`: the
     // sessions are partitioned over the producer threads, each feeding
     // the whole trace to its sessions through its own handle.
-    FleetOptions FOpts;
-    FOpts.Shards = FleetShards;
-    FOpts.Horizon = Horizon;
-    switch (Engine) {
-    case EngineSel::Default:
-      FOpts.Mode = FleetMode::Auto;
-      break;
-    case EngineSel::Interp:
-      FOpts.Mode = FleetMode::PerSession;
-      break;
-    case EngineSel::Batched:
-      FOpts.Mode = FleetMode::Batched;
-      break;
-    case EngineSel::Native:
-      FOpts.Mode = FleetMode::Native;
-      FOpts.NativeFactory = NativeFactory;
-      break;
-    }
+    FleetOptions FOpts = makeFleetOpts(FleetShards);
     unsigned Producers = std::min(FleetProducers, FleetSessions);
     FOpts.MaxProducers = std::max(FOpts.MaxProducers, Producers);
     MonitorFleet Fleet(Plan, FOpts);
