@@ -1,0 +1,209 @@
+//===- bench/fork_scaling.cpp -----------------------------------------------===//
+//
+// Part of the tessla-aggregate-update project, MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Session-fork scaling: the two claims behind forkSession()'s O(1)
+/// contract, measured on the Seen Set workload.
+///
+///  * Fork latency vs. state size — one session accumulates a set of
+///    1e3..1e5 distinct elements, then is forked repeatedly. Under the
+///    copy-on-write representation a fork is a handle copy of the
+///    lane's slot vectors, so the median latency column must stay flat
+///    while the state column grows by orders of magnitude.
+///
+///  * Resident aggregate memory, N forks vs. N clones — the same fleet
+///    state reached by forking one loaded session N-1 times is held
+///    against N independent sessions fed the identical trace. The
+///    fleet's per-shard accounting walk (ShardStats::AggregateBytes,
+///    deduplicated by node identity) prices both: forks share the HAMT
+///    spine, clones own N copies of it, so the forked column must stay
+///    measurably sublinear in N.
+///
+/// Knobs: --sizes takes a comma-separated sweep of distinct-element
+/// counts, --forks the fork/clone session count;
+/// TESSLA_BENCH_REPS the median repetition count for the latency
+/// column.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "tessla/Runtime/MonitorFleet.h"
+
+#include <cstring>
+
+using namespace tessla;
+using namespace tessla::bench;
+
+namespace {
+
+std::vector<size_t> parseList(const char *Text) {
+  std::vector<size_t> Out;
+  for (const char *P = Text; *P;) {
+    char *End = nullptr;
+    long N = std::strtol(P, &End, 10);
+    if (End == P)
+      break;
+    Out.push_back(static_cast<size_t>(std::max(1l, N)));
+    P = (*End == ',') ? End + 1 : End;
+  }
+  if (Out.empty())
+    Out.push_back(1);
+  return Out;
+}
+
+/// Feeds \p Session with \p Size distinct integers (one per timestamp)
+/// through \p Handle — after the run the session's seen-set holds
+/// exactly \p Size elements.
+void feedDistinct(ProducerHandle &Handle, SessionId Session, StreamId X,
+                  size_t Size) {
+  for (size_t I = 0; I != Size; ++I)
+    Handle.feed(Session, X, static_cast<Time>(I + 1),
+                Value::integer(static_cast<int64_t>(I)));
+}
+
+/// One-shard fleet (so the aggregate accounting walk deduplicates
+/// across every lane) with output collection off — fork cost must not
+/// include copying recorded outputs we never read.
+FleetOptions benchOptions() {
+  FleetOptions Opts;
+  Opts.Shards = 1;
+  Opts.CollectOutputs = false;
+  return Opts;
+}
+
+struct AggStats {
+  uint64_t Bytes = 0;
+  uint64_t NodesUnique = 0;
+  uint64_t NodesShared = 0;
+  uint64_t ForkedIn = 0;
+};
+
+AggStats aggOf(const FleetStats &Stats) {
+  AggStats A;
+  for (const ShardStats &S : Stats.Shards) {
+    A.Bytes += S.AggregateBytes;
+    A.NodesUnique += S.AggregateNodesUnique;
+    A.NodesShared += S.AggregateNodesShared;
+    A.ForkedIn += S.SessionsForkedIn;
+  }
+  return A;
+}
+
+/// Loads one session to \p Size elements, times \p Forks forkSession()
+/// calls (median over all forks), finishes, and returns the fleet's
+/// aggregate accounting.
+AggStats forkedFleet(const Program &Plan, StreamId X, size_t Size,
+                     unsigned Forks, double &MedianForkUs) {
+  MonitorFleet Fleet(Plan, benchOptions());
+  {
+    ProducerHandle Handle = Fleet.producer();
+    feedDistinct(Handle, 1, X, Size);
+  }
+  std::vector<double> Times;
+  Times.reserve(Forks);
+  for (unsigned I = 0; I != Forks; ++I) {
+    std::string Err;
+    auto Start = std::chrono::steady_clock::now();
+    if (!Fleet.forkSession(1, 1000 + I, &Err)) {
+      std::fprintf(stderr, "fork failed: %s\n", Err.c_str());
+      std::exit(1);
+    }
+    auto End = std::chrono::steady_clock::now();
+    Times.push_back(
+        std::chrono::duration<double, std::micro>(End - Start).count());
+  }
+  std::sort(Times.begin(), Times.end());
+  MedianForkUs = Times[Times.size() / 2];
+  Fleet.finish();
+  if (Fleet.failed()) {
+    std::fprintf(stderr, "forked fleet failed: %s\n",
+                 Fleet.errors().front().Message.c_str());
+    std::exit(1);
+  }
+  return aggOf(Fleet.stats());
+}
+
+/// The independent baseline: \p Clones sessions each fed the identical
+/// \p Size-element trace, no forks.
+AggStats clonedFleet(const Program &Plan, StreamId X, size_t Size,
+                     unsigned Clones) {
+  MonitorFleet Fleet(Plan, benchOptions());
+  {
+    ProducerHandle Handle = Fleet.producer();
+    for (unsigned S = 0; S != Clones; ++S)
+      feedDistinct(Handle, 1000 + S, X, Size);
+  }
+  Fleet.finish();
+  if (Fleet.failed()) {
+    std::fprintf(stderr, "cloned fleet failed: %s\n",
+                 Fleet.errors().front().Message.c_str());
+    std::exit(1);
+  }
+  return aggOf(Fleet.stats());
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<size_t> Sizes = {1000, 10000, 100000};
+  unsigned Forks = 100;
+
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--sizes") == 0 && I + 1 < argc)
+      Sizes = parseList(argv[++I]);
+    else if (std::strcmp(argv[I], "--forks") == 0 && I + 1 < argc)
+      Forks = std::max(2, std::atoi(argv[++I]));
+    else {
+      std::fprintf(stderr, "usage: %s [--sizes 1000,10000,100000] "
+                           "[--forks N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  DiagnosticEngine Diags;
+  Spec S = workloads::seenSet();
+  auto Plan = compileSpec(S, CompileOptions(), Diags);
+  if (!Plan) {
+    std::fprintf(stderr, "compile failed:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  StreamId X = *S.lookup("x");
+
+  std::printf("Session-fork scaling — seen set, %u forks/clones per "
+              "row, 1 shard\n\n",
+              Forks);
+  std::printf("%10s %12s %14s %14s %14s %8s\n", "elements",
+              "fork [us]", "forked [KiB]", "cloned [KiB]", "shared nodes",
+              "ratio");
+  for (size_t Size : Sizes) {
+    double MedianForkUs = 0;
+    // The forked lane count is Forks sessions total (source + Forks-1
+    // forks would undercount by one, so fork Forks times and clone
+    // Forks+1 sessions: both fleets end with the same session count).
+    AggStats Forked = forkedFleet(*Plan, X, Size, Forks, MedianForkUs);
+    AggStats Cloned = clonedFleet(*Plan, X, Size, Forks + 1);
+    if (Forked.ForkedIn != Forks) {
+      std::fprintf(stderr, "expected %u forked-in sessions, saw %llu\n",
+                   Forks,
+                   static_cast<unsigned long long>(Forked.ForkedIn));
+      return 1;
+    }
+    double Ratio = Forked.Bytes
+                       ? static_cast<double>(Cloned.Bytes) /
+                             static_cast<double>(Forked.Bytes)
+                       : 0.0;
+    std::printf("%10zu %12.2f %14.1f %14.1f %14llu %7.1fx\n", Size,
+                MedianForkUs, Forked.Bytes / 1024.0, Cloned.Bytes / 1024.0,
+                static_cast<unsigned long long>(Forked.NodesShared),
+                Ratio);
+    std::fflush(stdout);
+  }
+  std::printf("\nfork [us] must stay flat as elements grow (O(1) fork); "
+              "ratio approaches the session count when forks share "
+              "everything\n");
+  return 0;
+}

@@ -5,16 +5,21 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Intrusive, non-atomic reference counting for the persistent data
-/// structures. Generated monitors are single-threaded (as in the paper's
-/// Scala backend running one monitor per trace), so a plain counter avoids
-/// the atomic-RMW cost std::shared_ptr would pay on every structural share.
+/// Intrusive reference counting for the persistent data structures. The
+/// counter is atomic: since session fork (MonitorFleet::forkSession) shares
+/// HAMT/queue nodes between lanes that live on different shard threads,
+/// retain/release race across threads even though each individual monitor
+/// only mutates its own handles. Relaxed increments and acq-rel decrements
+/// keep the common (uncontended) case cheap; unique() uses an acquire load
+/// so a thread that observes count==1 also observes every write the last
+/// releasing thread made to the node.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef TESSLA_ADT_REFCNTPTR_H
 #define TESSLA_ADT_REFCNTPTR_H
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <utility>
@@ -30,19 +35,21 @@ public:
   RefCountedBase(const RefCountedBase &) {}
   RefCountedBase &operator=(const RefCountedBase &) { return *this; }
 
-  void retain() const { ++RefCount; }
+  void retain() const { RefCount.fetch_add(1, std::memory_order_relaxed); }
   void release() const {
-    assert(RefCount > 0 && "over-release");
-    if (--RefCount == 0)
+    assert(RefCount.load(std::memory_order_relaxed) > 0 && "over-release");
+    if (RefCount.fetch_sub(1, std::memory_order_acq_rel) == 1)
       delete static_cast<const Derived *>(this);
   }
-  uint32_t useCount() const { return RefCount; }
+  uint32_t useCount() const {
+    return RefCount.load(std::memory_order_acquire);
+  }
 
 protected:
   ~RefCountedBase() = default;
 
 private:
-  mutable uint32_t RefCount = 0;
+  mutable std::atomic<uint32_t> RefCount{0};
 };
 
 /// Smart pointer for RefCountedBase-derived objects.

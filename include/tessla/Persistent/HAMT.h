@@ -310,6 +310,166 @@ class HamtMap {
     }
   }
 
+  // Transient insert: mutates uniquely-owned nodes in place and falls back
+  // to the persistent path-copy (insertImpl) the moment a shared node is
+  // reached. Taking \p N by value preserves the caller's reference while
+  // the uniqueness check runs; copied nodes retain their children, so a
+  // subtree reachable from any other root can never be mutated.
+  static NodePtr insertMutImpl(NodePtr N, uint64_t HashValue, unsigned Shift,
+                               Leaf NewLeaf, bool &Added) {
+    if (!N) {
+      Added = true;
+      return singleLeafNode(std::move(NewLeaf), HashValue, Shift);
+    }
+    if (!N.unique())
+      return insertImpl(N.get(), HashValue, Shift, std::move(NewLeaf), Added);
+    Node *M = N.get();
+    if (M->Collision) {
+      if (M->CollisionHash == HashValue) {
+        for (Entry &E : M->Entries) {
+          Leaf &L = std::get<Leaf>(E);
+          if (Eq{}(L.Key, NewLeaf.Key)) {
+            L.Val = std::move(NewLeaf.Val);
+            Added = false;
+            return N;
+          }
+        }
+        M->Entries.push_back(std::move(NewLeaf));
+        Added = true;
+        return N;
+      }
+      NodePtr Parent = makeRefCnt<Node>();
+      Parent->Bitmap = bitpos(M->CollisionHash, Shift);
+      Parent->Entries.push_back(std::move(N));
+      return insertMutImpl(std::move(Parent), HashValue, Shift,
+                           std::move(NewLeaf), Added);
+    }
+    uint32_t Bit = bitpos(HashValue, Shift);
+    unsigned Idx = sparseIndex(M->Bitmap, Bit);
+    if (!(M->Bitmap & Bit)) {
+      M->Bitmap |= Bit;
+      M->Entries.insert(M->Entries.begin() + Idx, std::move(NewLeaf));
+      Added = true;
+      return N;
+    }
+    Entry &E = M->Entries[Idx];
+    if (Leaf *L = std::get_if<Leaf>(&E)) {
+      if (Eq{}(L->Key, NewLeaf.Key)) {
+        L->Val = std::move(NewLeaf.Val);
+        Added = false;
+        return N;
+      }
+      Leaf Existing = std::move(*L);
+      uint64_t ExistingHash = Hash{}(Existing.Key);
+      E = mergeLeaves(std::move(Existing), ExistingHash, std::move(NewLeaf),
+                      HashValue, Shift + BitsPerLevel);
+      Added = true;
+      return N;
+    }
+    NodePtr Child = std::move(std::get<NodePtr>(E));
+    E = insertMutImpl(std::move(Child), HashValue, Shift + BitsPerLevel,
+                      std::move(NewLeaf), Added);
+    return N;
+  }
+
+  // Transient erase. \p Slot is the owning reference being erased through:
+  // on a plain removal the new subtree is installed into it (in place when
+  // uniquely owned, path-copied otherwise); collapse results (IsLeaf,
+  // Empty) are reported to the caller exactly like eraseImpl, leaving the
+  // caller to replace its entry.
+  static EraseResult eraseMutImpl(NodePtr &Slot, uint64_t HashValue,
+                                  unsigned Shift, const K &Key) {
+    EraseResult R;
+    Node *N = Slot.get();
+    if (!N)
+      return R;
+    if (!Slot.unique()) {
+      EraseResult S = eraseImpl(N, HashValue, Shift, Key);
+      if (S.Removed && !S.IsLeaf && !S.Empty)
+        Slot = std::move(S.N);
+      R.Removed = S.Removed;
+      R.IsLeaf = S.IsLeaf;
+      R.Empty = S.Empty;
+      R.L = std::move(S.L);
+      return R;
+    }
+    if (N->Collision) {
+      if (N->CollisionHash != HashValue)
+        return R;
+      for (size_t I = 0, E = N->Entries.size(); I != E; ++I) {
+        const Leaf &L = std::get<Leaf>(N->Entries[I]);
+        if (!Eq{}(L.Key, Key))
+          continue;
+        R.Removed = true;
+        if (N->Entries.size() == 2) {
+          R.IsLeaf = true;
+          R.L = std::move(std::get<Leaf>(N->Entries[I ^ 1]));
+          return R;
+        }
+        N->Entries.erase(N->Entries.begin() + I);
+        return R;
+      }
+      return R;
+    }
+    uint32_t Bit = bitpos(HashValue, Shift);
+    if (!(N->Bitmap & Bit))
+      return R;
+    unsigned Idx = sparseIndex(N->Bitmap, Bit);
+    Entry &E = N->Entries[Idx];
+    if (Leaf *L = std::get_if<Leaf>(&E)) {
+      if (!Eq{}(L->Key, Key))
+        return R;
+      R.Removed = true;
+      if (N->Entries.size() == 1) {
+        R.Empty = true;
+        return R;
+      }
+      if (N->Entries.size() == 2 && Shift > 0) {
+        if (Leaf *Sibling = std::get_if<Leaf>(&N->Entries[Idx ^ 1])) {
+          R.IsLeaf = true;
+          R.L = std::move(*Sibling);
+          return R;
+        }
+      }
+      N->Bitmap &= ~Bit;
+      N->Entries.erase(N->Entries.begin() + Idx);
+      return R;
+    }
+    NodePtr &Child = std::get<NodePtr>(E);
+    EraseResult Sub = eraseMutImpl(Child, HashValue, Shift + BitsPerLevel,
+                                   Key);
+    if (!Sub.Removed)
+      return R;
+    R.Removed = true;
+    assert(!Sub.Empty && "child erase cannot empty a subtree");
+    if (Sub.IsLeaf) {
+      if (N->Entries.size() == 1 && Shift > 0) {
+        R.IsLeaf = true;
+        R.L = std::move(Sub.L);
+        return R;
+      }
+      E = std::move(Sub.L);
+    }
+    return R;
+  }
+
+  // Node walk for memory accounting. Callback(node pointer, resident
+  // bytes, refcount) returns true to descend into the node's children —
+  // returning false lets a cross-value walker skip subtrees it has
+  // already visited through another root.
+  template <typename Fn>
+  static void forEachNodeImpl(const Node *N, Fn &Callback) {
+    if (!N)
+      return;
+    if (!Callback(static_cast<const void *>(N),
+                  sizeof(Node) + N->Entries.capacity() * sizeof(Entry),
+                  static_cast<uint32_t>(N->useCount())))
+      return;
+    for (const Entry &E : N->Entries)
+      if (const NodePtr *C = std::get_if<NodePtr>(&E))
+        forEachNodeImpl(C->get(), Callback);
+  }
+
 public:
   /// The empty map.
   HamtMap() = default;
@@ -350,9 +510,42 @@ public:
     return HamtMap(std::move(R.N), Count - 1);
   }
 
+  /// Transient insert-or-replace: mutates this map, reusing every node
+  /// this map owns exclusively and path-copying shared ones. Other maps
+  /// sharing structure with this one are never affected. O(log32 n).
+  void setMut(K Key, V Value) {
+    bool Added = false;
+    uint64_t H = Hash{}(Key);
+    Root = insertMutImpl(std::move(Root), H, 0,
+                         Leaf{std::move(Key), std::move(Value)}, Added);
+    if (Added)
+      ++Count;
+  }
+
+  /// Transient erase with the same sharing discipline as setMut.
+  /// Returns true when the key was present.
+  bool eraseMut(const K &Key) {
+    EraseResult R = eraseMutImpl(Root, Hash{}(Key), 0, Key);
+    if (!R.Removed)
+      return false;
+    if (R.Empty) {
+      Root.reset();
+    } else if (R.IsLeaf) {
+      uint64_t H = Hash{}(R.L.Key);
+      Root = singleLeafNode(std::move(R.L), H, 0);
+    }
+    --Count;
+    return true;
+  }
+
   /// Calls Callback(key, value) for every entry (unspecified order).
   template <typename Fn> void forEach(Fn &&Callback) const {
     forEachImpl(Root.get(), Callback);
+  }
+
+  /// Walks the trie nodes for memory accounting; see forEachNodeImpl.
+  template <typename Fn> void forEachNode(Fn &&Callback) const {
+    forEachNodeImpl(Root.get(), Callback);
   }
 
   /// Collects all entries into a vector (unspecified order).
@@ -387,8 +580,17 @@ public:
   /// Returns a set without \p Key.
   HamtSet erase(const K &Key) const { return HamtSet(Map.erase(Key)); }
 
+  /// Transient insert/erase (see HamtMap::setMut/eraseMut).
+  void insertMut(K Key) { Map.setMut(std::move(Key), {}); }
+  bool eraseMut(const K &Key) { return Map.eraseMut(Key); }
+
   template <typename Fn> void forEach(Fn &&Callback) const {
     Map.forEach([&Callback](const K &Key, const auto &) { Callback(Key); });
+  }
+
+  /// Walks the trie nodes for memory accounting.
+  template <typename Fn> void forEachNode(Fn &&Callback) const {
+    Map.forEachNode(std::forward<Fn>(Callback));
   }
 
   std::vector<K> items() const {

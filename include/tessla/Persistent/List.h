@@ -85,6 +85,17 @@ public:
       Callback(N->Head);
   }
 
+  /// Walks the spine nodes for memory accounting. Callback(node pointer,
+  /// resident bytes, refcount) returns true to keep walking — false stops,
+  /// so a cross-value walker can cut off at the first already-visited node
+  /// (the rest of the spine was visited through the same share).
+  template <typename Fn> void forEachNode(Fn &&Callback) const {
+    for (const Node *N = First.get(); N; N = N->Tail.get())
+      if (!Callback(static_cast<const void *>(N), sizeof(Node),
+                    static_cast<uint32_t>(N->useCount())))
+        return;
+  }
+
   /// Structural equality (element-wise ==). O(n), O(1) when spines shared.
   friend bool operator==(const PList &A, const PList &B) {
     const Node *X = A.First.get(), *Y = B.First.get();

@@ -70,6 +70,12 @@ public:
     Back.reverse().forEach(Callback);
   }
 
+  /// Walks both spines' nodes for memory accounting (see PList).
+  template <typename Fn> void forEachNode(Fn &&Callback) const {
+    Front.forEachNode(Callback);
+    Back.forEachNode(Callback);
+  }
+
   /// Element-wise equality in queue order. O(n).
   friend bool operator==(const PQueue &A, const PQueue &B) {
     if (A.size() != B.size())

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace tessla {
@@ -175,14 +176,38 @@ struct DecodeContext {
 
 // --- Values ---------------------------------------------------------------
 
-/// Full Value encoding: kind byte, then the payload. Aggregates carry
-/// their representation (mutable vs persistent) and their elements in
-/// canonical (compareValues) order so equal values encode identically.
-void writeValue(ByteWriter &W, const Value &V);
+/// Tag byte marking a back-reference to an aggregate already encoded
+/// under the same share context (structural-sharing dedup). Disjoint
+/// from every Value::Kind.
+constexpr uint8_t ValueBackRefTag = 0xFF;
+
+/// Encode-side share context: maps payload identity to the pre-order
+/// index of its first encoding. Thread one context across every value
+/// of an artifact (all lanes of a checkpoint, all records of a frame)
+/// and aggregates shared between them are encoded once, then referenced.
+struct ValueEncodeShare {
+  std::unordered_map<const void *, uint32_t> Index;
+};
+
+/// Decode-side share context: aggregates by the same pre-order index
+/// the encoder assigned. Decoding with sharing restores shared payloads
+/// as shared handles, not duplicated copies.
+struct ValueDecodeShare {
+  std::vector<Value> Values;
+};
+
+/// Full Value encoding: kind byte, then the payload. Aggregate elements
+/// are written in canonical (compareValues) order so equal values encode
+/// identically. With a non-null \p Share, an aggregate payload already
+/// seen under this context encodes as a back-reference.
+void writeValue(ByteWriter &W, const Value &V,
+                ValueEncodeShare *Share = nullptr);
 
 /// Decodes one Value; on malformed input reports through \p Ctx and
-/// returns unit. Bounded nesting, bounded aggregate counts.
-Value readValue(ByteReader &R, DecodeContext &Ctx, unsigned Depth = 0);
+/// returns unit. Bounded nesting, bounded aggregate counts. \p Share
+/// must mirror the encoder's (non-null iff encoding used one).
+Value readValue(ByteReader &R, DecodeContext &Ctx, unsigned Depth = 0,
+                ValueDecodeShare *Share = nullptr);
 
 } // namespace bc
 } // namespace tessla

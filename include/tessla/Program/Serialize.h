@@ -58,7 +58,7 @@ namespace tessla {
 
 /// Current bundle format version. Bump on any layout change (see the
 /// versioning policy in the file comment).
-constexpr uint32_t TPBFormatVersion = 1;
+constexpr uint32_t TPBFormatVersion = 2;
 
 /// The four magic bytes opening every bundle.
 constexpr uint8_t TPBMagic[4] = {'T', 'P', 'B', 0x1A};

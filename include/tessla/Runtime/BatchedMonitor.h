@@ -116,6 +116,12 @@ public:
   LaneState extractLane(unsigned Lane) override;
   /// Inserts a migrated lane; returns its new lane index.
   unsigned insertLane(LaneState State) override;
+  /// Copies \p Lane's state non-destructively (the fork primitive);
+  /// aggregate values are shared structurally.
+  LaneState snapshotLane(unsigned Lane) const override;
+  /// Visits every Value of every live lane (memory accounting).
+  void visitValues(
+      const std::function<void(const Value &)> &Fn) const override;
 
   // --- Per-lane observers (valid for live lanes). ---
   SessionId laneSession(unsigned Lane) const override {

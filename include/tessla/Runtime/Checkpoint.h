@@ -58,7 +58,7 @@ namespace tessla {
 class MonitorFleet;
 
 /// Current checkpoint format version. Bump on any layout change.
-constexpr uint32_t TCPFormatVersion = 1;
+constexpr uint32_t TCPFormatVersion = 2;
 
 /// The four magic bytes opening every checkpoint.
 constexpr uint8_t TCPMagic[4] = {'T', 'C', 'P', 0x1A};

@@ -5,13 +5,26 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The aggregate payloads behind Value handles. Each payload is either
-/// persistent (our HAMT / banker's queue — the paper's baseline, safe
-/// under arbitrary sharing) or mutable (hash set/map, deque — the
-/// optimized representation, safe only where the mutability analysis
-/// proved exclusivity). A family of streams uses one representation
-/// consistently (Def. 7 rule 3), so the two never mix within a value's
-/// lifetime.
+/// The aggregate payloads behind Value handles, and the two faces through
+/// which the runtime touches them:
+///
+///  - views (SetView/MapView/QueueView): immutable, read-only windows onto
+///    a payload — the only way to inspect an aggregate.
+///  - COW handles (SetCow/MapCow/QueueCow): single-use mutation handles
+///    obtained from Value::setCow()/mapCow()/queueCow(). Every payload is
+///    one persistent structure (HAMT / banker's queue) whose nodes carry
+///    refcounts; the paper's two update regimes are two tiers of this one
+///    representation. When the mutability analysis proved exclusivity
+///    (InPlace) *and* the wrapper is uniquely owned, the handle reuses the
+///    wrapper and the transient HAMT ops mutate uniquely-owned nodes
+///    destructively; otherwise the handle starts from an O(1) copy of the
+///    wrapper (sharing the whole node tree) and every update path-copies
+///    the O(log32 n) spine, leaving all sharers untouched.
+///
+/// The static InPlace verdict is required — dynamic uniqueness alone is
+/// unsound because a program can re-read a slot after deriving two values
+/// from it (s2 = setAdd(s1, x); s3 = setAdd(s1, y)): at the first update
+/// the s1 wrapper is uniquely owned, yet s1 must survive.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,68 +35,180 @@
 #include "tessla/Persistent/Queue.h"
 #include "tessla/Runtime/Value.h"
 
-#include <deque>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
+#include <vector>
 
 namespace tessla {
 
-/// Set payload: one of the two representations is active per IsMutable.
+/// Set payload: a persistent HAMT of elements.
 struct SetData {
-  bool IsMutable;
-  HamtSet<Value, ValueHash> Persistent;
-  std::unordered_set<Value, ValueHash> Mutable;
+  HamtSet<Value, ValueHash> Elems;
 
-  explicit SetData(bool IsMutable) : IsMutable(IsMutable) {}
-
-  size_t size() const {
-    return IsMutable ? Mutable.size() : Persistent.size();
-  }
-  bool contains(const Value &V) const {
-    return IsMutable ? Mutable.count(V) != 0 : Persistent.contains(V);
-  }
+  size_t size() const { return Elems.size(); }
+  bool contains(const Value &V) const { return Elems.contains(V); }
   /// Elements in unspecified order.
-  std::vector<Value> items() const;
+  std::vector<Value> items() const { return Elems.items(); }
 };
 
-/// Map payload.
+/// Map payload: a persistent HAMT of entries.
 struct MapData {
-  bool IsMutable;
-  HamtMap<Value, Value, ValueHash> Persistent;
-  std::unordered_map<Value, Value, ValueHash> Mutable;
+  HamtMap<Value, Value, ValueHash> Entries;
 
-  explicit MapData(bool IsMutable) : IsMutable(IsMutable) {}
-
-  size_t size() const {
-    return IsMutable ? Mutable.size() : Persistent.size();
-  }
+  size_t size() const { return Entries.size(); }
   /// nullptr if absent. The pointer is invalidated by any update.
-  const Value *find(const Value &Key) const;
+  const Value *find(const Value &Key) const { return Entries.find(Key); }
   /// Entries in unspecified order.
-  std::vector<std::pair<Value, Value>> items() const;
-};
-
-/// FIFO queue payload.
-struct QueueData {
-  bool IsMutable;
-  PQueue<Value> Persistent;
-  std::deque<Value> Mutable;
-
-  explicit QueueData(bool IsMutable) : IsMutable(IsMutable) {}
-
-  size_t size() const {
-    return IsMutable ? Mutable.size() : Persistent.size();
+  std::vector<std::pair<Value, Value>> items() const {
+    return Entries.items();
   }
-  bool empty() const { return size() == 0; }
-  /// Elements front (oldest) first.
-  std::vector<Value> items() const;
 };
 
-/// Fresh empty payloads in the requested representation.
-std::shared_ptr<SetData> makeSetData(bool IsMutable);
-std::shared_ptr<MapData> makeMapData(bool IsMutable);
-std::shared_ptr<QueueData> makeQueueData(bool IsMutable);
+/// FIFO queue payload: a persistent two-list queue.
+struct QueueData {
+  PQueue<Value> Elems;
+
+  size_t size() const { return Elems.size(); }
+  bool empty() const { return Elems.empty(); }
+  /// Elements front (oldest) first.
+  std::vector<Value> items() const {
+    std::vector<Value> Out;
+    Out.reserve(Elems.size());
+    Elems.forEach([&Out](const Value &V) { Out.push_back(V); });
+    return Out;
+  }
+};
+
+// --- Views ----------------------------------------------------------------
+
+/// Read-only window onto a set payload. Valid while the Value it came
+/// from is alive and not destructively updated.
+class SetView {
+public:
+  explicit SetView(const SetData *D) : D(D) {}
+
+  size_t size() const { return D->size(); }
+  bool empty() const { return D->size() == 0; }
+  bool contains(const Value &V) const { return D->contains(V); }
+  std::vector<Value> items() const { return D->items(); }
+  template <typename Fn> void forEach(Fn &&Callback) const {
+    D->Elems.forEach(std::forward<Fn>(Callback));
+  }
+  /// Memory-accounting walk over the payload's trie nodes (see
+  /// HamtMap::forEachNode).
+  template <typename Fn> void forEachNode(Fn &&Callback) const {
+    D->Elems.forEachNode(std::forward<Fn>(Callback));
+  }
+
+private:
+  const SetData *D;
+};
+
+/// Read-only window onto a map payload.
+class MapView {
+public:
+  explicit MapView(const MapData *D) : D(D) {}
+
+  size_t size() const { return D->size(); }
+  bool empty() const { return D->size() == 0; }
+  bool contains(const Value &Key) const { return D->find(Key) != nullptr; }
+  /// nullptr if absent. The pointer is invalidated by any update.
+  const Value *find(const Value &Key) const { return D->find(Key); }
+  std::vector<std::pair<Value, Value>> items() const { return D->items(); }
+  template <typename Fn> void forEach(Fn &&Callback) const {
+    D->Entries.forEach(std::forward<Fn>(Callback));
+  }
+  template <typename Fn> void forEachNode(Fn &&Callback) const {
+    D->Entries.forEachNode(std::forward<Fn>(Callback));
+  }
+
+private:
+  const MapData *D;
+};
+
+/// Read-only window onto a queue payload.
+class QueueView {
+public:
+  explicit QueueView(const QueueData *D) : D(D) {}
+
+  size_t size() const { return D->size(); }
+  bool empty() const { return D->empty(); }
+  /// Oldest element. Precondition: !empty().
+  const Value &front() const { return D->Elems.front(); }
+  std::vector<Value> items() const { return D->items(); }
+  template <typename Fn> void forEach(Fn &&Callback) const {
+    D->Elems.forEach(std::forward<Fn>(Callback));
+  }
+  template <typename Fn> void forEachNode(Fn &&Callback) const {
+    D->Elems.forEachNode(std::forward<Fn>(Callback));
+  }
+
+private:
+  const QueueData *D;
+};
+
+// --- COW mutation handles -------------------------------------------------
+
+/// Single-use mutation handle for a set (see the file comment for the
+/// two-tier semantics). Obtain via Value::setCow(); consume with
+/// std::move(handle).finish().
+class SetCow {
+public:
+  explicit SetCow(std::shared_ptr<SetData> D) : D(std::move(D)) {}
+
+  void add(Value V) { D->Elems.insertMut(std::move(V)); }
+  /// Returns true when the element was present.
+  bool remove(const Value &V) { return D->Elems.eraseMut(V); }
+  size_t size() const { return D->size(); }
+  bool contains(const Value &V) const { return D->contains(V); }
+
+  /// The resulting value; the handle is spent.
+  Value finish() && { return Value::set(std::move(D)); }
+
+private:
+  std::shared_ptr<SetData> D;
+};
+
+/// Single-use mutation handle for a map.
+class MapCow {
+public:
+  explicit MapCow(std::shared_ptr<MapData> D) : D(std::move(D)) {}
+
+  void put(Value Key, Value Val) {
+    D->Entries.setMut(std::move(Key), std::move(Val));
+  }
+  /// Returns true when the key was present.
+  bool remove(const Value &Key) { return D->Entries.eraseMut(Key); }
+  size_t size() const { return D->size(); }
+  const Value *find(const Value &Key) const { return D->find(Key); }
+
+  Value finish() && { return Value::map(std::move(D)); }
+
+private:
+  std::shared_ptr<MapData> D;
+};
+
+/// Single-use mutation handle for a queue. The banker's queue is already
+/// O(1) per operation in its persistent form, so both tiers use the
+/// persistent ops; the handle still distinguishes wrapper reuse so the
+/// in-place verdict keeps handle identity (and skips a wrapper
+/// allocation).
+class QueueCow {
+public:
+  explicit QueueCow(std::shared_ptr<QueueData> D) : D(std::move(D)) {}
+
+  void enqueue(Value V) { D->Elems = D->Elems.enqueue(std::move(V)); }
+  /// Drops the oldest element. Precondition: !empty().
+  void dequeue() { D->Elems = D->Elems.dequeue(); }
+  size_t size() const { return D->size(); }
+  bool empty() const { return D->empty(); }
+  const Value &front() const { return D->Elems.front(); }
+
+  Value finish() && { return Value::queue(std::move(D)); }
+
+private:
+  std::shared_ptr<QueueData> D;
+};
 
 } // namespace tessla
 

@@ -127,6 +127,21 @@ public:
   /// Inserts a migrated lane; returns its new lane index.
   virtual unsigned insertLane(EngineLaneState State);
 
+  /// The non-destructive sibling of extractLane(): copies \p Lane's
+  /// complete state into a snapshot while the lane stays live. Aggregate
+  /// values are shared structurally (O(1) handle copies, sound under the
+  /// copy-on-write runtime representation) — this is the fleet's session
+  /// fork primitive. Only idle lanes of migratable engines may be
+  /// snapshotted.
+  virtual EngineLaneState snapshotLane(unsigned Lane) const;
+
+  /// Visits every runtime Value the engine holds across all live lanes
+  /// (slot state, buffered records, recorded outputs) — the fleet's
+  /// aggregate-memory accounting walk. Engines whose state lives outside
+  /// the Value representation (native) keep the no-op default.
+  virtual void visitValues(const std::function<void(const Value &)> &) const {
+  }
+
   // --- Per-lane observers (valid for live lanes). ---
   virtual SessionId laneSession(unsigned Lane) const = 0;
   virtual bool laneFailed(unsigned Lane) const = 0;

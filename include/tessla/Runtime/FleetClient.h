@@ -110,6 +110,15 @@ public:
   restore(const std::vector<uint8_t> &Checkpoint,
           std::string *ErrorOut = nullptr) = 0;
 
+  /// O(1) snapshot-fork of live session \p Src into new session \p Dst
+  /// (MonitorFleet::forkSession): the copy shares all aggregate state
+  /// structurally under COW and diverges under its own input. A control
+  /// operation — requires all producers closed, so the fork point is
+  /// deterministic. False with \p ErrorOut set when \p Src is not live,
+  /// \p Dst already is, or the engine cannot fork (native).
+  virtual bool forkSession(SessionId Src, SessionId Dst,
+                           std::string *ErrorOut = nullptr) = 0;
+
   /// Terminal end-of-input: finishes every session, returns outputs and
   /// counters. Requires all producers closed.
   virtual std::optional<FleetFinish>

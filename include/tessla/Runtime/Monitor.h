@@ -63,10 +63,9 @@ public:
 
   /// Called for every event on an output-marked stream; emission happens
   /// once per timestamp after the calculation section, in stream
-  /// definition order. The Value reference is *borrowed*: with the
-  /// optimization enabled, mutable aggregates behind it are destructively
-  /// updated at later timestamps — render it immediately or store
-  /// V.deepCopy().
+  /// definition order. Storing the Value (a handle copy) is safe and
+  /// O(1): a handler-held handle is a sharer, so later in-place-verdict
+  /// updates path-copy around it instead of mutating through it.
   void setOutputHandler(OutputHandler Handler) {
     this->Handler = std::move(Handler);
   }
@@ -107,6 +106,18 @@ public:
   /// migratable engine over the same Program — into this freshly
   /// constructed monitor, consuming the snapshot's engine fields.
   void restoreState(EngineLaneState &State);
+
+  /// The non-destructive sibling of extractState(): copies the complete
+  /// engine state into \p Out while the monitor stays live. Aggregate
+  /// values are shared structurally (O(1) handle copies) — sound under
+  /// the copy-on-write runtime representation, where a later destructive
+  /// update on either side sees the sharing and path-copies instead.
+  /// This is the primitive behind session forking.
+  void snapshotState(EngineLaneState &Out) const;
+
+  /// Visits every Value the monitor holds (current-value slots and
+  /// *_last slots) — the fleet's aggregate-memory accounting walk.
+  void visitValues(const std::function<void(const Value &)> &Fn) const;
 
 private:
   const Program &Prog;

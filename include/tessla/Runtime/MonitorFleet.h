@@ -216,6 +216,13 @@ struct ShardStats {
   uint64_t RecordsForwarded = 0; ///< records relayed to a session's thief
   uint64_t LockstepSweeps = 0;   ///< batched mode: lockstep sweeps run
   uint64_t BackpressureStalls = 0; ///< producer blocks on this shard's rings
+  uint64_t SessionsForkedIn = 0; ///< sessions created here by forkSession()
+  uint64_t AggregateBytes = 0;   ///< resident aggregate node bytes (each
+                                 ///< shared node counted once)
+  uint64_t AggregateNodesUnique = 0; ///< aggregate nodes with one owner
+  uint64_t AggregateNodesShared = 0; ///< aggregate nodes with >1 owner
+                                     ///< (structural sharing from COW
+                                     ///< updates and session forks)
   std::string Engine;            ///< final engine ("per-session", "batched",
                                  ///< "native"); Auto shards show their verdict
 
@@ -360,6 +367,22 @@ public:
   /// engine, or duplicate session ids in \p Lanes.
   bool restore(std::vector<EngineLaneState> Lanes);
 
+  /// O(1) snapshot-fork of live session \p Src into new session \p Dst:
+  /// the worker executing \p Src snapshots its lane at a quiescent point
+  /// (ShardEngine::snapshotLane — aggregate state is shared structurally
+  /// under COW, never deep-copied) and the copy is adopted on \p Dst's
+  /// home shard, ready to diverge under its own input. The fork cost is
+  /// independent of the session's state size. Records fed to \p Src
+  /// concurrently with the fork land on either side of the fork point
+  /// nondeterministically — quiesce \p Src's producer first for a
+  /// deterministic fork. Called from the controlling thread (serialized
+  /// with finish()/suspend()/restore()). \returns false — with
+  /// \p ErrorOut set — when \p Src is not live, \p Dst already is,
+  /// \p Src == \p Dst, the engine is not migratable (Native), or the
+  /// fleet already finished.
+  bool forkSession(SessionId Src, SessionId Dst,
+                   std::string *ErrorOut = nullptr);
+
   /// True once finish() ran and at least one session's monitor failed.
   bool failed() const;
 
@@ -418,6 +441,10 @@ private:
   std::atomic<bool> Suspending{false};
   std::atomic<unsigned> DrainedWorkers{0};
   std::atomic<uint64_t> RestoresAdopted{0};
+  // One fork in flight at a time (ForkMu); outcome codes: 0 pending,
+  // 1 adopted, -1 source not live, -2 destination already live.
+  std::atomic<int> ForkOutcome{0};
+  std::mutex ForkMu;
   std::mutex AdminMu;
 
   FleetStats Stats;
@@ -432,6 +459,7 @@ private:
   void laneFlushShard(ProducerLane &L, unsigned ShardIdx);
   void laneClose(unsigned LaneIdx);
   void bumpSignal(unsigned ShardIdx);
+  void finishFork(int Outcome);
 };
 
 } // namespace tessla

@@ -7,11 +7,13 @@
 /// \file
 /// The dynamic value carried by one stream event: a scalar (unit, bool,
 /// int, float, string) or a handle to an aggregate (set, map, queue).
-/// Aggregate payloads live behind shared_ptr handles so that values can be
-/// passed between streams in O(1); whether a handle's payload is a
-/// persistent structure (copied-on-update, baseline) or a mutable one
-/// (updated in place, optimized) is decided per stream family by the
-/// aggregate update analysis.
+/// Aggregate payloads live behind shared_ptr handles so values pass
+/// between streams in O(1). Every payload is one persistent structure
+/// (HAMT / banker's queue) with refcounted nodes; reads go through
+/// immutable views (asSet/asMap/asQueue) and updates through
+/// copy-on-write mutation handles (setCow/mapCow/queueCow) that apply
+/// the aggregate update analysis's in-place verdict as a destructive
+/// fast tier over the same representation — see Runtime/Containers.h.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,6 +23,7 @@
 #include "tessla/Lang/Spec.h"
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <variant>
@@ -30,6 +33,12 @@ namespace tessla {
 struct SetData;
 struct MapData;
 struct QueueData;
+class SetView;
+class MapView;
+class QueueView;
+class SetCow;
+class MapCow;
+class QueueCow;
 
 /// Runtime value. Cheap to copy (scalars by value, aggregates by handle).
 class Value {
@@ -73,21 +82,51 @@ public:
   int64_t getInt() const { return std::get<int64_t>(V); }
   double getFloat() const { return std::get<double>(V); }
   const std::string &getString() const { return std::get<std::string>(V); }
-  const std::shared_ptr<SetData> &getSet() const {
-    return std::get<std::shared_ptr<SetData>>(V);
-  }
-  const std::shared_ptr<MapData> &getMap() const {
-    return std::get<std::shared_ptr<MapData>>(V);
-  }
-  const std::shared_ptr<QueueData> &getQueue() const {
-    return std::get<std::shared_ptr<QueueData>>(V);
-  }
 
-  /// Returns a value unaffected by future destructive updates: mutable
-  /// aggregate payloads are cloned, persistent ones (immutable by
-  /// construction) and scalars are shared. Required when storing values
-  /// received from a monitor output handler beyond the callback.
-  Value deepCopy() const;
+  /// Fresh empty aggregates.
+  static Value emptySet();
+  static Value emptyMap();
+  static Value emptyQueue();
+
+  /// Immutable views onto aggregate payloads (Runtime/Containers.h) —
+  /// the only way to read an aggregate. Precondition: matching kind().
+  /// The view is valid while this value (or a copy of its handle) lives.
+  SetView asSet() const;
+  MapView asMap() const;
+  QueueView asQueue() const;
+
+  /// Copy-on-write mutation handles. \p InPlace is the mutability
+  /// analysis's verdict for the updated stream family: when it proved
+  /// exclusivity and this value's handle is dynamically unique, the
+  /// handle mutates the payload destructively (the paper's in-place
+  /// regime); otherwise it starts from an O(1) wrapper copy that shares
+  /// the node tree and every update path-copies — all other sharers are
+  /// unaffected. Precondition: matching kind().
+  SetCow setCow(bool InPlace) const;
+  MapCow mapCow(bool InPlace) const;
+  QueueCow queueCow(bool InPlace) const;
+
+  /// The payload pointer of an aggregate (nullptr for scalars): stable
+  /// identity for structural-sharing detection (serialization dedup,
+  /// equality fast paths, memory accounting).
+  const void *aggregateIdentity() const;
+
+  /// Memory-accounting walk: reports the payload wrapper and every
+  /// persistent node of an aggregate as (pointer, resident bytes,
+  /// refcount); the callback returns true to descend, false to skip a
+  /// subtree it has already visited through another root. Top-level
+  /// payload only — aggregates nested inside elements are not walked.
+  /// No-op for scalars.
+  void forEachAggregateNode(
+      const std::function<bool(const void *, size_t, uint32_t)> &Callback)
+      const;
+
+  /// Historical name from the dual-representation era, when mutable
+  /// payloads had to be cloned before outliving a handler callback.
+  /// Payloads are persistent now: sharing the handle is always safe (a
+  /// later destructive update sees the share and path-copies), so this
+  /// is the identity — O(1).
+  Value deepCopy() const { return *this; }
 
   /// Deep structural equality (aggregates compared element-wise,
   /// independent of representation).

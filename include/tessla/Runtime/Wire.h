@@ -58,6 +58,10 @@
 ///   Error        s->c  human-readable string; the connection closes
 ///   Shutdown     c->s  (empty) stop the server process
 ///   ShutdownAck  s->c  (empty) acknowledged, server is exiting
+///   ForkSession  c->s  u64 source session, u64 destination session —
+///                      O(1) snapshot-fork of a live session's state
+///                      into a new lane (structural sharing, no copy)
+///   ForkAck      s->c  (empty) the fork was adopted
 ///
 //===----------------------------------------------------------------------===//
 
@@ -74,7 +78,7 @@
 namespace tessla {
 
 /// Current wire format version. Bump on any frame-layout change.
-constexpr uint32_t WireFormatVersion = 1;
+constexpr uint32_t WireFormatVersion = 2;
 
 /// The four magic bytes opening every frame.
 constexpr uint8_t WireMagic[4] = {'T', 'W', 'F', 0x1A};
@@ -104,6 +108,8 @@ enum class FrameType : uint8_t {
   Error = 14,
   Shutdown = 15,
   ShutdownAck = 16,
+  ForkSession = 17,
+  ForkAck = 18,
 };
 
 /// Frame-type name for diagnostics ("Batch", "Busy", ...).
@@ -198,6 +204,16 @@ std::optional<WireFinishAck> decodeFinishAck(const uint8_t *Data,
 std::vector<uint8_t> encodeU64(uint64_t V);
 std::optional<uint64_t> decodeU64(const uint8_t *Data, size_t Size,
                                   std::string &ErrorOut);
+
+/// ForkSession payload: source and destination session ids.
+struct WireForkSession {
+  SessionId Src = 0;
+  SessionId Dst = 0;
+};
+std::vector<uint8_t> encodeForkSession(const WireForkSession &F);
+std::optional<WireForkSession> decodeForkSession(const uint8_t *Data,
+                                                 size_t Size,
+                                                 std::string &ErrorOut);
 
 /// String payloads (StatsAck, Error).
 std::vector<uint8_t> encodeString(const std::string &S);

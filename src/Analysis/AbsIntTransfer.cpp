@@ -177,11 +177,11 @@ bool isComparison(BuiltinId Fn) {
 uint64_t aggregateSize(const Value &V) {
   switch (V.kind()) {
   case Value::Kind::Set:
-    return V.getSet()->size();
+    return V.asSet().size();
   case Value::Kind::Map:
-    return V.getMap()->size();
+    return V.asMap().size();
   case Value::Kind::Queue:
-    return V.getQueue()->size();
+    return V.asQueue().size();
   default:
     return 0;
   }

@@ -23,18 +23,18 @@ std::string bc::fourCCName(uint32_t T) {
   return S;
 }
 
-namespace {
-
-template <typename Items>
-void writeSortedValues(ByteWriter &W, Items SortedItems) {
-  W.u32(static_cast<uint32_t>(SortedItems.size()));
-  for (const Value &V : SortedItems)
-    bc::writeValue(W, V);
-}
-
-} // namespace
-
-void bc::writeValue(ByteWriter &W, const Value &V) {
+void bc::writeValue(ByteWriter &W, const Value &V, ValueEncodeShare *Share) {
+  // Pre-order dedup: register the payload *before* encoding its elements
+  // so encoder and decoder assign identical indices to nested aggregates.
+  if (Share && V.isAggregate()) {
+    auto [It, Inserted] = Share->Index.try_emplace(
+        V.aggregateIdentity(), static_cast<uint32_t>(Share->Index.size()));
+    if (!Inserted) {
+      W.u8(ValueBackRefTag);
+      W.u32(It->second);
+      return;
+    }
+  }
   W.u8(static_cast<uint8_t>(V.kind()));
   switch (V.kind()) {
   case Value::Kind::Unit:
@@ -52,34 +52,33 @@ void bc::writeValue(ByteWriter &W, const Value &V) {
     W.str(V.getString());
     break;
   case Value::Kind::Set: {
-    const SetData &D = *V.getSet();
-    W.u8(D.IsMutable ? 1 : 0);
-    std::vector<Value> Items = D.items();
+    std::vector<Value> Items = V.asSet().items();
     std::sort(Items.begin(), Items.end(), [](const Value &A, const Value &B) {
       return compareValues(A, B) < 0;
     });
-    writeSortedValues(W, std::move(Items));
+    W.u32(static_cast<uint32_t>(Items.size()));
+    for (const Value &E : Items)
+      writeValue(W, E, Share);
     break;
   }
   case Value::Kind::Map: {
-    const MapData &D = *V.getMap();
-    W.u8(D.IsMutable ? 1 : 0);
-    std::vector<std::pair<Value, Value>> Items = D.items();
+    std::vector<std::pair<Value, Value>> Items = V.asMap().items();
     std::sort(Items.begin(), Items.end(),
               [](const auto &A, const auto &B) {
                 return compareValues(A.first, B.first) < 0;
               });
     W.u32(static_cast<uint32_t>(Items.size()));
     for (const auto &[K, Val] : Items) {
-      writeValue(W, K);
-      writeValue(W, Val);
+      writeValue(W, K, Share);
+      writeValue(W, Val, Share);
     }
     break;
   }
   case Value::Kind::Queue: {
-    const QueueData &D = *V.getQueue();
-    W.u8(D.IsMutable ? 1 : 0);
-    writeSortedValues(W, D.items()); // front-first, already canonical
+    std::vector<Value> Items = V.asQueue().items(); // front-first
+    W.u32(static_cast<uint32_t>(Items.size()));
+    for (const Value &E : Items)
+      writeValue(W, E, Share);
     break;
   }
   }
@@ -98,7 +97,28 @@ bool readAggregateCount(ByteReader &R, DecodeContext &Ctx, uint32_t &Count) {
 
 } // namespace
 
-Value bc::readValue(ByteReader &R, DecodeContext &Ctx, unsigned Depth) {
+namespace {
+
+/// Reserves the pre-order share slot for an aggregate about to be
+/// decoded; returns its index (or SIZE_MAX without sharing). The slot
+/// holds unit until the aggregate is complete, so an in-flight (cyclic)
+/// back-reference is detectable.
+size_t reserveShareSlot(ValueDecodeShare *Share) {
+  if (!Share)
+    return SIZE_MAX;
+  Share->Values.push_back(Value::unit());
+  return Share->Values.size() - 1;
+}
+
+void fillShareSlot(ValueDecodeShare *Share, size_t Slot, const Value &V) {
+  if (Share)
+    Share->Values[Slot] = V;
+}
+
+} // namespace
+
+Value bc::readValue(ByteReader &R, DecodeContext &Ctx, unsigned Depth,
+                    ValueDecodeShare *Share) {
   if (Depth > MaxNesting) {
     Ctx.fail("value nesting exceeds the format limit");
     return Value::unit();
@@ -107,6 +127,22 @@ Value bc::readValue(ByteReader &R, DecodeContext &Ctx, unsigned Depth) {
   if (R.failed() || !Ctx.Ok) {
     Ctx.fail("truncated value");
     return Value::unit();
+  }
+  if (Kind == ValueBackRefTag) {
+    if (!Share) {
+      Ctx.fail("value back-reference outside a shared encoding");
+      return Value::unit();
+    }
+    uint32_t Idx = R.u32();
+    if (R.failed() || Idx >= Share->Values.size()) {
+      Ctx.fail("value back-reference out of range");
+      return Value::unit();
+    }
+    if (!Share->Values[Idx].isAggregate()) {
+      Ctx.fail("value back-reference into an incomplete aggregate");
+      return Value::unit();
+    }
+    return Share->Values[Idx];
   }
   switch (static_cast<Value::Kind>(Kind)) {
   case Value::Kind::Unit:
@@ -120,50 +156,43 @@ Value bc::readValue(ByteReader &R, DecodeContext &Ctx, unsigned Depth) {
   case Value::Kind::String:
     return Value::string(R.str());
   case Value::Kind::Set: {
-    bool Mut = R.u8() != 0;
     uint32_t N;
     if (!readAggregateCount(R, Ctx, N))
       return Value::unit();
-    auto D = makeSetData(Mut);
-    for (uint32_t I = 0; I != N && Ctx.Ok && !R.failed(); ++I) {
-      Value V = readValue(R, Ctx, Depth + 1);
-      if (Mut)
-        D->Mutable.insert(std::move(V));
-      else
-        D->Persistent = D->Persistent.insert(V);
-    }
-    return Value::set(std::move(D));
+    size_t Slot = reserveShareSlot(Share);
+    SetCow D = Value::emptySet().setCow(true);
+    for (uint32_t I = 0; I != N && Ctx.Ok && !R.failed(); ++I)
+      D.add(readValue(R, Ctx, Depth + 1, Share));
+    Value Out = std::move(D).finish();
+    fillShareSlot(Share, Slot, Out);
+    return Out;
   }
   case Value::Kind::Map: {
-    bool Mut = R.u8() != 0;
     uint32_t N;
     if (!readAggregateCount(R, Ctx, N))
       return Value::unit();
-    auto D = makeMapData(Mut);
+    size_t Slot = reserveShareSlot(Share);
+    MapCow D = Value::emptyMap().mapCow(true);
     for (uint32_t I = 0; I != N && Ctx.Ok && !R.failed(); ++I) {
-      Value K = readValue(R, Ctx, Depth + 1);
-      Value V = readValue(R, Ctx, Depth + 1);
-      if (Mut)
-        D->Mutable[std::move(K)] = std::move(V);
-      else
-        D->Persistent = D->Persistent.set(K, V);
+      Value K = readValue(R, Ctx, Depth + 1, Share);
+      Value V = readValue(R, Ctx, Depth + 1, Share);
+      D.put(std::move(K), std::move(V));
     }
-    return Value::map(std::move(D));
+    Value Out = std::move(D).finish();
+    fillShareSlot(Share, Slot, Out);
+    return Out;
   }
   case Value::Kind::Queue: {
-    bool Mut = R.u8() != 0;
     uint32_t N;
     if (!readAggregateCount(R, Ctx, N))
       return Value::unit();
-    auto D = makeQueueData(Mut);
-    for (uint32_t I = 0; I != N && Ctx.Ok && !R.failed(); ++I) {
-      Value V = readValue(R, Ctx, Depth + 1);
-      if (Mut)
-        D->Mutable.push_back(std::move(V));
-      else
-        D->Persistent = D->Persistent.enqueue(V);
-    }
-    return Value::queue(std::move(D));
+    size_t Slot = reserveShareSlot(Share);
+    QueueCow D = Value::emptyQueue().queueCow(true);
+    for (uint32_t I = 0; I != N && Ctx.Ok && !R.failed(); ++I)
+      D.enqueue(readValue(R, Ctx, Depth + 1, Share));
+    Value Out = std::move(D).finish();
+    fillShareSlot(Share, Slot, Out);
+    return Out;
   }
   }
   Ctx.fail(formatString("unknown value kind %u", Kind));

@@ -660,6 +660,62 @@ BatchedMonitor::LaneState BatchedMonitor::extractLane(unsigned Lane) {
   return S;
 }
 
+BatchedMonitor::LaneState BatchedMonitor::snapshotLane(unsigned Lane) const {
+  assert(Lane < NumLanes && Live[Lane] &&
+         "snapshotLane() targets a live lane");
+  LaneState S;
+  S.Session = Session[Lane];
+  S.PendingTs = PendingTs[Lane];
+  S.CalcDone = CalcDone[Lane] != 0;
+  S.Failed = Failed[Lane] != 0;
+  S.Error = ErrMsg[Lane];
+  S.NumFed = NumFed[Lane];
+  S.NumOutputs = NumOutputs[Lane];
+  S.NumCalcRuns = NumCalcRuns[Lane];
+  S.Cur.resize(NumSlots);
+  S.Present.assign(NumSlots, 0);
+  for (uint32_t Slot = 0; Slot != NumSlots; ++Slot) {
+    size_t I = idx(Slot, Lane);
+    S.Cur[Slot] = Cur[I]; // O(1) per slot: handles share structure
+    S.Present[Slot] = Present[I];
+  }
+  size_t Lasts = Prog.lastSlots().size();
+  S.LastVal.resize(Lasts);
+  S.LastInit.assign(Lasts, 0);
+  for (size_t R = 0; R != Lasts; ++R) {
+    size_t I = R * LaneCap + Lane;
+    S.LastVal[R] = LastVal[I];
+    S.LastInit[R] = LastInit[I];
+  }
+  size_t Delays = Prog.delays().size();
+  S.NextTs.assign(Delays, 0);
+  S.NextTsSet.assign(Delays, 0);
+  for (size_t R = 0; R != Delays; ++R) {
+    size_t I = R * LaneCap + Lane;
+    S.NextTs[R] = NextTs[I];
+    S.NextTsSet[R] = NextTsSet[I];
+  }
+  S.Queue.assign(Queue[Lane].begin() + QueuePos[Lane], Queue[Lane].end());
+  S.Outputs = Outputs[Lane];
+  return S;
+}
+
+void BatchedMonitor::visitValues(
+    const std::function<void(const Value &)> &Fn) const {
+  for (uint32_t Lane = 0; Lane != NumLanes; ++Lane) {
+    if (!Live[Lane])
+      continue;
+    for (uint32_t Slot = 0; Slot != NumSlots; ++Slot)
+      Fn(Cur[idx(Slot, Lane)]);
+    for (size_t R = 0, E = Prog.lastSlots().size(); R != E; ++R)
+      Fn(LastVal[R * LaneCap + Lane]);
+    for (size_t I = QueuePos[Lane], E = Queue[Lane].size(); I != E; ++I)
+      Fn(Queue[Lane][I].V);
+    for (const OutputEvent &E : Outputs[Lane])
+      Fn(E.V);
+  }
+}
+
 unsigned BatchedMonitor::insertLane(LaneState S) {
   uint32_t L = allocLane(S.Session);
   PendingTs[L] = S.PendingTs;

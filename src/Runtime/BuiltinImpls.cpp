@@ -92,68 +92,44 @@ Value expectBool(const Value &V, EvalError &Err) {
 // --- Set operations ------------------------------------------------------
 
 Value setWithInsert(const Value &S, const Value &X, bool InPlace) {
-  if (InPlace) {
-    S.getSet()->Mutable.insert(X);
-    return S;
-  }
-  auto Fresh = makeSetData(false);
-  Fresh->Persistent = S.getSet()->Persistent.insert(X);
-  return Value::set(std::move(Fresh));
+  SetCow C = S.setCow(InPlace);
+  C.add(X);
+  return std::move(C).finish();
 }
 
 Value setWithErase(const Value &S, const Value &X, bool InPlace) {
-  if (InPlace) {
-    S.getSet()->Mutable.erase(X);
-    return S;
-  }
-  auto Fresh = makeSetData(false);
-  Fresh->Persistent = S.getSet()->Persistent.erase(X);
-  return Value::set(std::move(Fresh));
+  SetCow C = S.setCow(InPlace);
+  C.remove(X);
+  return std::move(C).finish();
 }
 
 // --- Queue operations ----------------------------------------------------
 
 Value queueWithEnq(const Value &Q, const Value &X, bool InPlace) {
-  if (InPlace) {
-    Q.getQueue()->Mutable.push_back(X);
-    return Q;
-  }
-  auto Fresh = makeQueueData(false);
-  Fresh->Persistent = Q.getQueue()->Persistent.enqueue(X);
-  return Value::queue(std::move(Fresh));
+  QueueCow C = Q.queueCow(InPlace);
+  C.enqueue(X);
+  return std::move(C).finish();
 }
 
 Value queueWithDeq(const Value &Q, bool InPlace, EvalError &Err) {
-  if (Q.getQueue()->empty()) {
+  if (Q.asQueue().empty()) {
     Err.fail("queueDeq on empty queue");
     return Value::unit();
   }
-  if (InPlace) {
-    Q.getQueue()->Mutable.pop_front();
-    return Q;
-  }
-  auto Fresh = makeQueueData(false);
-  Fresh->Persistent = Q.getQueue()->Persistent.dequeue();
-  return Value::queue(std::move(Fresh));
+  QueueCow C = Q.queueCow(InPlace);
+  C.dequeue();
+  return std::move(C).finish();
 }
 
 Value queueTrimmed(const Value &Q, int64_t Bound, bool InPlace) {
   if (Bound < 0)
     Bound = 0;
-  if (InPlace) {
-    auto &Deque = Q.getQueue()->Mutable;
-    while (Deque.size() > static_cast<size_t>(Bound))
-      Deque.pop_front();
-    return Q;
-  }
-  PQueue<Value> P = Q.getQueue()->Persistent;
-  if (P.size() <= static_cast<size_t>(Bound))
+  if (Q.asQueue().size() <= static_cast<size_t>(Bound))
     return Q; // unchanged: share the handle
-  while (P.size() > static_cast<size_t>(Bound))
-    P = P.dequeue();
-  auto Fresh = makeQueueData(false);
-  Fresh->Persistent = std::move(P);
-  return Value::queue(std::move(Fresh));
+  QueueCow C = Q.queueCow(InPlace);
+  while (C.size() > static_cast<size_t>(Bound))
+    C.dequeue();
+  return std::move(C).finish();
 }
 
 // --- Per-builtin evaluators ----------------------------------------------
@@ -248,8 +224,8 @@ Value evalToInt(const Value *const *Args, bool, EvalError &) {
   return Value::integer(static_cast<int64_t>(TESSLA_ARG(0).getFloat()));
 }
 
-Value evalSetEmpty(const Value *const *, bool InPlace, EvalError &) {
-  return Value::set(makeSetData(InPlace));
+Value evalSetEmpty(const Value *const *, bool, EvalError &) {
+  return Value::emptySet();
 }
 
 Value evalSetAdd(const Value *const *Args, bool InPlace, EvalError &) {
@@ -261,7 +237,7 @@ Value evalSetRemove(const Value *const *Args, bool InPlace, EvalError &) {
 }
 
 Value evalSetToggle(const Value *const *Args, bool InPlace, EvalError &) {
-  return TESSLA_ARG(0).getSet()->contains(TESSLA_ARG(1))
+  return TESSLA_ARG(0).asSet().contains(TESSLA_ARG(1))
              ? setWithErase(TESSLA_ARG(0), TESSLA_ARG(1), InPlace)
              : setWithInsert(TESSLA_ARG(0), TESSLA_ARG(1), InPlace);
 }
@@ -278,75 +254,51 @@ Value evalSetUpdate(const Value *const *Args, bool InPlace, EvalError &) {
 }
 
 Value evalSetUnion(const Value *const *Args, bool InPlace, EvalError &) {
-  // Writes Args[0], reads Args[1]; the reader side is
-  // representation-agnostic.
-  if (InPlace) {
-    const Value &Dst = TESSLA_ARG(0);
-    // items() materializes a copy, so even a (degenerate) self-union
-    // does not iterate a container being modified.
-    for (const Value &V : TESSLA_ARG(1).getSet()->items())
-      Dst.getSet()->Mutable.insert(V);
-    return Dst;
-  }
-  auto Fresh = makeSetData(false);
-  Fresh->Persistent = TESSLA_ARG(0).getSet()->Persistent;
-  for (const Value &V : TESSLA_ARG(1).getSet()->items())
-    Fresh->Persistent = Fresh->Persistent.insert(V);
-  return Value::set(std::move(Fresh));
+  // Writes Args[0], reads Args[1]. items() materializes a copy of the
+  // reader, so even a (degenerate) self-union never iterates a structure
+  // being destructively updated.
+  std::vector<Value> Src = TESSLA_ARG(1).asSet().items();
+  SetCow C = TESSLA_ARG(0).setCow(InPlace);
+  for (Value &V : Src)
+    C.add(std::move(V));
+  return std::move(C).finish();
 }
 
 Value evalSetDiff(const Value *const *Args, bool InPlace, EvalError &) {
-  if (InPlace) {
-    const Value &Dst = TESSLA_ARG(0);
-    for (const Value &V : TESSLA_ARG(1).getSet()->items())
-      Dst.getSet()->Mutable.erase(V);
-    return Dst;
-  }
-  auto Fresh = makeSetData(false);
-  Fresh->Persistent = TESSLA_ARG(0).getSet()->Persistent;
-  for (const Value &V : TESSLA_ARG(1).getSet()->items())
-    Fresh->Persistent = Fresh->Persistent.erase(V);
-  return Value::set(std::move(Fresh));
+  std::vector<Value> Src = TESSLA_ARG(1).asSet().items();
+  SetCow C = TESSLA_ARG(0).setCow(InPlace);
+  for (const Value &V : Src)
+    C.remove(V);
+  return std::move(C).finish();
 }
 
 Value evalSetContains(const Value *const *Args, bool, EvalError &) {
-  return Value::boolean(TESSLA_ARG(0).getSet()->contains(TESSLA_ARG(1)));
+  return Value::boolean(TESSLA_ARG(0).asSet().contains(TESSLA_ARG(1)));
 }
 
 Value evalSetSize(const Value *const *Args, bool, EvalError &) {
   return Value::integer(
-      static_cast<int64_t>(TESSLA_ARG(0).getSet()->size()));
+      static_cast<int64_t>(TESSLA_ARG(0).asSet().size()));
 }
 
-Value evalMapEmpty(const Value *const *, bool InPlace, EvalError &) {
-  return Value::map(makeMapData(InPlace));
+Value evalMapEmpty(const Value *const *, bool, EvalError &) {
+  return Value::emptyMap();
 }
 
 Value evalMapPut(const Value *const *Args, bool InPlace, EvalError &) {
-  const Value &M = TESSLA_ARG(0);
-  if (InPlace) {
-    M.getMap()->Mutable[TESSLA_ARG(1)] = TESSLA_ARG(2);
-    return M;
-  }
-  auto Fresh = makeMapData(false);
-  Fresh->Persistent =
-      M.getMap()->Persistent.set(TESSLA_ARG(1), TESSLA_ARG(2));
-  return Value::map(std::move(Fresh));
+  MapCow C = TESSLA_ARG(0).mapCow(InPlace);
+  C.put(TESSLA_ARG(1), TESSLA_ARG(2));
+  return std::move(C).finish();
 }
 
 Value evalMapRemove(const Value *const *Args, bool InPlace, EvalError &) {
-  const Value &M = TESSLA_ARG(0);
-  if (InPlace) {
-    M.getMap()->Mutable.erase(TESSLA_ARG(1));
-    return M;
-  }
-  auto Fresh = makeMapData(false);
-  Fresh->Persistent = M.getMap()->Persistent.erase(TESSLA_ARG(1));
-  return Value::map(std::move(Fresh));
+  MapCow C = TESSLA_ARG(0).mapCow(InPlace);
+  C.remove(TESSLA_ARG(1));
+  return std::move(C).finish();
 }
 
 Value evalMapGet(const Value *const *Args, bool, EvalError &Err) {
-  const Value *Found = TESSLA_ARG(0).getMap()->find(TESSLA_ARG(1));
+  const Value *Found = TESSLA_ARG(0).asMap().find(TESSLA_ARG(1));
   if (!Found) {
     Err.fail("mapGet: key " + TESSLA_ARG(1).str() + " not present");
     return Value::unit();
@@ -355,22 +307,21 @@ Value evalMapGet(const Value *const *Args, bool, EvalError &Err) {
 }
 
 Value evalMapGetOrElse(const Value *const *Args, bool, EvalError &) {
-  const Value *Found = TESSLA_ARG(0).getMap()->find(TESSLA_ARG(1));
+  const Value *Found = TESSLA_ARG(0).asMap().find(TESSLA_ARG(1));
   return Found ? *Found : TESSLA_ARG(2);
 }
 
 Value evalMapContains(const Value *const *Args, bool, EvalError &) {
-  return Value::boolean(TESSLA_ARG(0).getMap()->find(TESSLA_ARG(1)) !=
-                        nullptr);
+  return Value::boolean(TESSLA_ARG(0).asMap().contains(TESSLA_ARG(1)));
 }
 
 Value evalMapSize(const Value *const *Args, bool, EvalError &) {
   return Value::integer(
-      static_cast<int64_t>(TESSLA_ARG(0).getMap()->size()));
+      static_cast<int64_t>(TESSLA_ARG(0).asMap().size()));
 }
 
-Value evalQueueEmpty(const Value *const *, bool InPlace, EvalError &) {
-  return Value::queue(makeQueueData(InPlace));
+Value evalQueueEmpty(const Value *const *, bool, EvalError &) {
+  return Value::emptyQueue();
 }
 
 Value evalQueueEnq(const Value *const *Args, bool InPlace, EvalError &) {
@@ -382,17 +333,17 @@ Value evalQueueDeq(const Value *const *Args, bool InPlace, EvalError &Err) {
 }
 
 Value evalQueueFront(const Value *const *Args, bool, EvalError &Err) {
-  const QueueData &Q = *TESSLA_ARG(0).getQueue();
+  QueueView Q = TESSLA_ARG(0).asQueue();
   if (Q.empty()) {
     Err.fail("queueFront on empty queue");
     return Value::unit();
   }
-  return Q.IsMutable ? Q.Mutable.front() : Q.Persistent.front();
+  return Q.front();
 }
 
 Value evalQueueSize(const Value *const *Args, bool, EvalError &) {
   return Value::integer(
-      static_cast<int64_t>(TESSLA_ARG(0).getQueue()->size()));
+      static_cast<int64_t>(TESSLA_ARG(0).asQueue().size()));
 }
 
 Value evalQueueTrim(const Value *const *Args, bool InPlace, EvalError &) {

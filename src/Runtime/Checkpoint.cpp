@@ -29,7 +29,8 @@ namespace {
 constexpr uint32_t TagMeta = bc::fourCC('M', 'E', 'T', 'A');
 constexpr uint32_t TagLanes = bc::fourCC('L', 'A', 'N', 'E');
 
-void writeLane(ByteWriter &W, const EngineLaneState &L) {
+void writeLane(ByteWriter &W, const EngineLaneState &L,
+               bc::ValueEncodeShare &Share) {
   W.u64(L.Session);
   W.i64(L.PendingTs);
   uint8_t Flags = 0;
@@ -45,13 +46,13 @@ void writeLane(ByteWriter &W, const EngineLaneState &L) {
 
   W.u32(static_cast<uint32_t>(L.Cur.size()));
   for (const Value &V : L.Cur)
-    bc::writeValue(W, V);
+    bc::writeValue(W, V, &Share);
   for (char P : L.Present)
     W.u8(P ? 1 : 0);
 
   W.u32(static_cast<uint32_t>(L.LastVal.size()));
   for (const Value &V : L.LastVal)
-    bc::writeValue(W, V);
+    bc::writeValue(W, V, &Share);
   for (char P : L.LastInit)
     W.u8(P ? 1 : 0);
 
@@ -65,19 +66,20 @@ void writeLane(ByteWriter &W, const EngineLaneState &L) {
   for (const EnginePendingRecord &R : L.Queue) {
     W.u32(R.Input);
     W.i64(R.Ts);
-    bc::writeValue(W, R.V);
+    bc::writeValue(W, R.V, &Share);
   }
 
   W.u32(static_cast<uint32_t>(L.Outputs.size()));
   for (const OutputEvent &E : L.Outputs) {
     W.i64(E.Ts);
     W.u32(E.Id);
-    bc::writeValue(W, E.V);
+    bc::writeValue(W, E.V, &Share);
   }
 }
 
 bool readLane(ByteReader &R, DecodeContext &Ctx, const Program &P,
-              size_t LaneIdx, EngineLaneState &L) {
+              size_t LaneIdx, EngineLaneState &L,
+              bc::ValueDecodeShare &Share) {
   auto fail = [&](const char *What) {
     return Ctx.fail(formatString("lane #%zu: %s", LaneIdx, What));
   };
@@ -105,7 +107,7 @@ bool readLane(ByteReader &R, DecodeContext &Ctx, const Program &P,
     return fail("slot count exceeds the remaining payload");
   L.Cur.reserve(NCur);
   for (uint32_t I = 0; I != NCur && Ctx.Ok && !R.failed(); ++I)
-    L.Cur.push_back(bc::readValue(R, Ctx));
+    L.Cur.push_back(bc::readValue(R, Ctx, 0, &Share));
   L.Present.resize(NCur, 0);
   for (uint32_t I = 0; I != NCur; ++I)
     L.Present[I] = R.u8() ? 1 : 0;
@@ -119,7 +121,7 @@ bool readLane(ByteReader &R, DecodeContext &Ctx, const Program &P,
     return fail("last-slot count exceeds the remaining payload");
   L.LastVal.reserve(NLast);
   for (uint32_t I = 0; I != NLast && Ctx.Ok && !R.failed(); ++I)
-    L.LastVal.push_back(bc::readValue(R, Ctx));
+    L.LastVal.push_back(bc::readValue(R, Ctx, 0, &Share));
   L.LastInit.resize(NLast, 0);
   for (uint32_t I = 0; I != NLast; ++I)
     L.LastInit[I] = R.u8() ? 1 : 0;
@@ -148,7 +150,7 @@ bool readLane(ByteReader &R, DecodeContext &Ctx, const Program &P,
     EnginePendingRecord Rec;
     Rec.Input = R.u32();
     Rec.Ts = R.i64();
-    Rec.V = bc::readValue(R, Ctx);
+    Rec.V = bc::readValue(R, Ctx, 0, &Share);
     if (Rec.Input >= NumStreams)
       return fail("queued record references a stream out of range");
     L.Queue.push_back(std::move(Rec));
@@ -164,7 +166,7 @@ bool readLane(ByteReader &R, DecodeContext &Ctx, const Program &P,
     OutputEvent E;
     E.Ts = R.i64();
     E.Id = R.u32();
-    E.V = bc::readValue(R, Ctx);
+    E.V = bc::readValue(R, Ctx, 0, &Share);
     if (E.Id >= NumStreams)
       return fail("output event references a stream out of range");
     L.Outputs.push_back(std::move(E));
@@ -189,8 +191,11 @@ std::vector<uint8_t> tessla::serializeCheckpoint(const FleetCheckpoint &C) {
 
   ByteWriter LaneW;
   LaneW.u64(C.Lanes.size());
+  // One share context across every lane: aggregates structurally shared
+  // between lanes (e.g. a forked session's state) encode once.
+  bc::ValueEncodeShare Share;
   for (const EngineLaneState &L : C.Lanes)
-    writeLane(LaneW, L);
+    writeLane(LaneW, L, Share);
 
   const std::pair<uint32_t, const ByteWriter *> Sections[] = {
       {TagMeta, &MetaW},
@@ -308,9 +313,10 @@ tessla::loadCheckpoint(const uint8_t *Data, size_t Size, const Program &P,
       return fail("lane count exceeds the section payload");
     C.Lanes.reserve(N);
     uint64_t PrevSession = 0;
+    bc::ValueDecodeShare Share; // restores cross-lane structural sharing
     for (uint64_t I = 0; I != N; ++I) {
       EngineLaneState L;
-      if (!readLane(R, Ctx, P, static_cast<size_t>(I), L))
+      if (!readLane(R, Ctx, P, static_cast<size_t>(I), L, Share))
         return std::nullopt;
       if (I != 0 && L.Session <= PrevSession)
         return fail("lane sessions not strictly ascending");

@@ -3,47 +3,103 @@
 // Part of the tessla-aggregate-update project, MIT licensed.
 //
 //===----------------------------------------------------------------------===//
+//
+// Value's aggregate surface: view and COW-handle constructors live here,
+// where the payload types are complete.
+//
+//===----------------------------------------------------------------------===//
 
 #include "tessla/Runtime/Containers.h"
 
 using namespace tessla;
 
-std::vector<Value> SetData::items() const {
-  if (IsMutable)
-    return std::vector<Value>(Mutable.begin(), Mutable.end());
-  return Persistent.items();
+Value Value::emptySet() { return Value::set(std::make_shared<SetData>()); }
+Value Value::emptyMap() { return Value::map(std::make_shared<MapData>()); }
+Value Value::emptyQueue() {
+  return Value::queue(std::make_shared<QueueData>());
 }
 
-const Value *MapData::find(const Value &Key) const {
-  if (IsMutable) {
-    auto It = Mutable.find(Key);
-    return It == Mutable.end() ? nullptr : &It->second;
+SetView Value::asSet() const {
+  return SetView(std::get<std::shared_ptr<SetData>>(V).get());
+}
+MapView Value::asMap() const {
+  return MapView(std::get<std::shared_ptr<MapData>>(V).get());
+}
+QueueView Value::asQueue() const {
+  return QueueView(std::get<std::shared_ptr<QueueData>>(V).get());
+}
+
+// The uniqueness check must read the use count *before* copying the
+// handle into the COW wrapper (the copy itself would push it to 2).
+// Wrapper-unique + InPlace selects the destructive tier: the handle
+// shares the wrapper, so the update is visible through this value —
+// exactly the in-place regime's contract. Node-level uniqueness is
+// checked separately inside the transient structure ops, so a wrapper
+// that was forked from another session still path-copies shared nodes.
+
+SetCow Value::setCow(bool InPlace) const {
+  const auto &H = std::get<std::shared_ptr<SetData>>(V);
+  if (InPlace && H.use_count() == 1)
+    return SetCow(H);
+  return SetCow(std::make_shared<SetData>(*H));
+}
+
+MapCow Value::mapCow(bool InPlace) const {
+  const auto &H = std::get<std::shared_ptr<MapData>>(V);
+  if (InPlace && H.use_count() == 1)
+    return MapCow(H);
+  return MapCow(std::make_shared<MapData>(*H));
+}
+
+QueueCow Value::queueCow(bool InPlace) const {
+  const auto &H = std::get<std::shared_ptr<QueueData>>(V);
+  if (InPlace && H.use_count() == 1)
+    return QueueCow(H);
+  return QueueCow(std::make_shared<QueueData>(*H));
+}
+
+const void *Value::aggregateIdentity() const {
+  switch (kind()) {
+  case Kind::Set:
+    return std::get<std::shared_ptr<SetData>>(V).get();
+  case Kind::Map:
+    return std::get<std::shared_ptr<MapData>>(V).get();
+  case Kind::Queue:
+    return std::get<std::shared_ptr<QueueData>>(V).get();
+  default:
+    return nullptr;
   }
-  return Persistent.find(Key);
 }
 
-std::vector<std::pair<Value, Value>> MapData::items() const {
-  if (IsMutable)
-    return std::vector<std::pair<Value, Value>>(Mutable.begin(),
-                                                Mutable.end());
-  return Persistent.items();
-}
-
-std::vector<Value> QueueData::items() const {
-  if (IsMutable)
-    return std::vector<Value>(Mutable.begin(), Mutable.end());
-  std::vector<Value> Out;
-  Out.reserve(Persistent.size());
-  Persistent.forEach([&Out](const Value &V) { Out.push_back(V); });
-  return Out;
-}
-
-std::shared_ptr<SetData> tessla::makeSetData(bool IsMutable) {
-  return std::make_shared<SetData>(IsMutable);
-}
-std::shared_ptr<MapData> tessla::makeMapData(bool IsMutable) {
-  return std::make_shared<MapData>(IsMutable);
-}
-std::shared_ptr<QueueData> tessla::makeQueueData(bool IsMutable) {
-  return std::make_shared<QueueData>(IsMutable);
+void Value::forEachAggregateNode(
+    const std::function<bool(const void *, size_t, uint32_t)> &Callback)
+    const {
+  switch (kind()) {
+  case Kind::Set: {
+    const auto &H = std::get<std::shared_ptr<SetData>>(V);
+    if (!Callback(H.get(), sizeof(SetData),
+                  static_cast<uint32_t>(H.use_count())))
+      return;
+    H->Elems.forEachNode(Callback);
+    return;
+  }
+  case Kind::Map: {
+    const auto &H = std::get<std::shared_ptr<MapData>>(V);
+    if (!Callback(H.get(), sizeof(MapData),
+                  static_cast<uint32_t>(H.use_count())))
+      return;
+    H->Entries.forEachNode(Callback);
+    return;
+  }
+  case Kind::Queue: {
+    const auto &H = std::get<std::shared_ptr<QueueData>>(V);
+    if (!Callback(H.get(), sizeof(QueueData),
+                  static_cast<uint32_t>(H.use_count())))
+      return;
+    H->Elems.forEachNode(Callback);
+    return;
+  }
+  default:
+    return;
+  }
 }

@@ -30,6 +30,14 @@ unsigned ShardEngine::insertLane(EngineLaneState) {
   std::abort();
 }
 
+EngineLaneState ShardEngine::snapshotLane(unsigned) const {
+  std::fprintf(stderr,
+               "tessla: snapshotLane() on a '%s' engine, which does not "
+               "support migration\n",
+               name());
+  std::abort();
+}
+
 namespace {
 
 /// The reference engine: one interpreter Monitor per lane. Eager —
@@ -74,6 +82,27 @@ public:
     --NumLive;
     FreeLanes.push_back(Lane);
     return S;
+  }
+
+  EngineLaneState snapshotLane(unsigned Lane) const override {
+    const LaneSlot &Slot = Lanes[Lane];
+    assert(Slot.Live && "snapshotLane() targets a live lane");
+    EngineLaneState S;
+    Slot.M->snapshotState(S);
+    S.Session = Slot.Session;
+    S.Outputs = *Slot.Outputs; // Value handles shared, not deep-copied
+    return S;
+  }
+
+  void visitValues(
+      const std::function<void(const Value &)> &Fn) const override {
+    for (const LaneSlot &Slot : Lanes) {
+      if (!Slot.Live)
+        continue;
+      Slot.M->visitValues(Fn);
+      for (const OutputEvent &E : *Slot.Outputs)
+        Fn(E.V);
+    }
   }
 
   unsigned insertLane(EngineLaneState S) override {

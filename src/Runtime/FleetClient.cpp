@@ -123,6 +123,19 @@ public:
     return N;
   }
 
+  bool forkSession(SessionId Src, SessionId Dst,
+                   std::string *ErrorOut) override {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!controlReady(ErrorOut))
+      return false;
+    std::string Err;
+    if (!Fleet->forkSession(Src, Dst, &Err)) {
+      setError(ErrorOut, std::move(Err));
+      return false;
+    }
+    return true;
+  }
+
   std::optional<FleetFinish> finish(std::string *ErrorOut) override {
     std::lock_guard<std::mutex> Lock(Mu);
     if (!controlReady(ErrorOut))
@@ -424,6 +437,18 @@ public:
       return std::nullopt;
     }
     return *N;
+  }
+
+  bool forkSession(SessionId Src, SessionId Dst,
+                   std::string *ErrorOut) override {
+    WireForkSession F;
+    F.Src = Src;
+    F.Dst = Dst;
+    if (!sendFrame(*Ctl, FrameType::ForkSession, encodeForkSession(F))) {
+      txError(ErrorOut);
+      return false;
+    }
+    return expect(FrameType::ForkAck, ErrorOut).has_value();
   }
 
   std::optional<FleetFinish> finish(std::string *ErrorOut) override {

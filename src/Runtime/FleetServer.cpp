@@ -214,6 +214,19 @@ bool FleetServer::handleFrame(Transport &T, WireFrame F,
     return sendFrame(T, FrameType::RestoreAck, encodeU64(*N));
   }
 
+  case FrameType::ForkSession: {
+    auto Req = decodeForkSession(F.Payload.data(), F.Payload.size(), Err);
+    if (!Req) {
+      sendError(T, Err);
+      return false;
+    }
+    if (!Client->forkSession(Req->Src, Req->Dst, &Err)) {
+      sendError(T, Err);
+      return false;
+    }
+    return sendFrame(T, FrameType::ForkAck);
+  }
+
   case FrameType::Stats: {
     auto S = Client->statsText(&Err);
     if (!S) {

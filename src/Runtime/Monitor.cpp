@@ -338,6 +338,30 @@ void Monitor::extractState(EngineLaneState &Out) {
   Out.NextTsSet = std::move(NextTsSet);
 }
 
+void Monitor::snapshotState(EngineLaneState &Out) const {
+  Out.PendingTs = PendingTs;
+  Out.CalcDone = CalcDoneForPending;
+  Out.Failed = Err.Failed;
+  Out.Error = Err.Message;
+  Out.NumFed = NumFed;
+  Out.NumOutputs = NumOutputs;
+  Out.NumCalcRuns = NumCalcRuns;
+  Out.Cur = Cur; // O(1) per slot: aggregate handles share structure
+  Out.Present = Present;
+  Out.LastVal = LastVal;
+  Out.LastInit = LastInit;
+  Out.NextTs = NextTs;
+  Out.NextTsSet = NextTsSet;
+}
+
+void Monitor::visitValues(
+    const std::function<void(const Value &)> &Fn) const {
+  for (const Value &V : Cur)
+    Fn(V);
+  for (const Value &V : LastVal)
+    Fn(V);
+}
+
 void Monitor::restoreState(EngineLaneState &State) {
   assert(State.Cur.size() == Prog.numValueSlots() + 1u &&
          "lane snapshot from a different program");

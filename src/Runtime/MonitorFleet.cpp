@@ -12,7 +12,9 @@
 #include <cassert>
 #include <deque>
 #include <set>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 using namespace tessla;
 
@@ -150,6 +152,14 @@ struct MonitorFleet::Shard {
     EventBatch Records;
     std::unique_ptr<EngineLaneState> Lane;
     bool Restored = false;
+    /// Fork adoption: Lane is a fork snapshot to adopt as Session — not
+    /// pinned, not a steal; acknowledge through MonitorFleet::ForkOutcome.
+    bool Forked = false;
+    /// Fork request: snapshot live session Session into new session
+    /// ForkDst (MonitorFleet::forkSession). Relayed to the thief when
+    /// Session was stolen.
+    bool ForkReq = false;
+    SessionId ForkDst = 0;
   };
 
   const unsigned Index;
@@ -203,6 +213,9 @@ struct MonitorFleet::Shard {
   void maybeDonate(MonitorFleet &F);
   void postStealRequests(MonitorFleet &F);
   void maybeSwitchEngine(MonitorFleet &F);
+  void handleForkRequest(MonitorFleet &F, InboxMsg &Msg);
+  void adoptFork(MonitorFleet &F, SessionId Dst, EngineLaneState Lane);
+  void accumulateAggregateStats();
 };
 
 void MonitorFleet::Shard::routeRecord(MonitorFleet &F, EventRecord &R) {
@@ -274,7 +287,11 @@ bool MonitorFleet::Shard::drainInbox(MonitorFleet &F) {
       Inbox.pop_front();
     }
     Progress = true;
-    if (Msg.Lane) {
+    if (Msg.ForkReq) {
+      handleForkRequest(F, Msg);
+    } else if (Msg.Lane && Msg.Forked) {
+      adoptFork(F, Msg.Session, std::move(*Msg.Lane));
+    } else if (Msg.Lane) {
       // Whole-lane hand-off. The FIFO inbox guarantees it precedes any
       // records the home shard forwards afterwards. The snapshot is
       // engine-agnostic, so the thief's engine need not match the
@@ -387,6 +404,86 @@ void MonitorFleet::Shard::maybeSwitchEngine(MonitorFleet &F) {
   for (auto &[Id, LR] : LaneOf)
     LR.Lane = Next->insertLane(Engine->extractLane(LR.Lane));
   Engine = std::move(Next);
+}
+
+/// Executes a fork request on the shard that currently runs the source
+/// session. The snapshot is taken at a quiescent point (after a pump,
+/// so the lane has no unconsumed buffered records) and shares all
+/// aggregate state structurally — the fork itself never copies a node.
+void MonitorFleet::Shard::handleForkRequest(MonitorFleet &F, InboxMsg &Msg) {
+  auto Fw = ForwardTo.find(Msg.Session);
+  if (Fw != ForwardTo.end()) {
+    // The source was stolen: relay the request to its thief through the
+    // same FIFO channel forwarded records use, so the fork point stays
+    // ordered against records this shard already relayed.
+    Shard &T = *F.Workers[Fw->second];
+    {
+      std::lock_guard<std::mutex> G(T.InboxMu);
+      T.Inbox.push_back(std::move(Msg));
+    }
+    F.bumpSignal(T.Index);
+    return;
+  }
+  auto It = LaneOf.find(Msg.Session);
+  if (It == LaneOf.end()) {
+    F.finishFork(-1); // source session is not live
+    return;
+  }
+  // snapshotLane requires an idle lane; a buffering engine may still
+  // hold records routed earlier in this batch.
+  Engine->pump();
+  EngineLaneState S = Engine->snapshotLane(It->second.Lane);
+  S.Session = Msg.ForkDst;
+  unsigned DstShard = F.shardOf(Msg.ForkDst);
+  if (DstShard == Index) {
+    adoptFork(F, Msg.ForkDst, std::move(S));
+    return;
+  }
+  Shard &T = *F.Workers[DstShard];
+  auto Lane = std::make_unique<EngineLaneState>(std::move(S));
+  {
+    std::lock_guard<std::mutex> G(T.InboxMu);
+    InboxMsg M;
+    M.Session = Msg.ForkDst;
+    M.Lane = std::move(Lane);
+    M.Forked = true;
+    T.Inbox.push_back(std::move(M));
+  }
+  F.bumpSignal(DstShard);
+}
+
+/// Adopts a fork snapshot as new session \p Dst on this (its home)
+/// shard and acknowledges the waiting forkSession() caller.
+void MonitorFleet::Shard::adoptFork(MonitorFleet &F, SessionId Dst,
+                                    EngineLaneState Lane) {
+  if (LaneOf.count(Dst) || ForwardTo.count(Dst)) {
+    F.finishFork(-2); // destination session is already live
+    return;
+  }
+  LaneOf[Dst] = {Engine->insertLane(std::move(Lane)), /*StolenIn=*/false};
+  ++Stats.SessionsForkedIn;
+  F.finishFork(1);
+}
+
+/// Walks every runtime Value the engine still holds and accounts its
+/// aggregate nodes: resident bytes (each node once, however many values
+/// share it) and the shared/unique ownership split. Run at worker exit,
+/// before the lanes are retired or extracted.
+void MonitorFleet::Shard::accumulateAggregateStats() {
+  std::unordered_set<const void *> Seen;
+  Engine->visitValues([&](const Value &V) {
+    V.forEachAggregateNode(
+        [&](const void *Node, size_t Bytes, uint32_t Owners) {
+          if (!Seen.insert(Node).second)
+            return false; // subtree already accounted through another ref
+          Stats.AggregateBytes += Bytes;
+          if (Owners > 1)
+            ++Stats.AggregateNodesShared;
+          else
+            ++Stats.AggregateNodesUnique;
+          return true;
+        });
+  });
 }
 
 void MonitorFleet::Shard::run(MonitorFleet &F) {
@@ -509,6 +606,7 @@ void MonitorFleet::Shard::run(MonitorFleet &F) {
     // merges and sorts across shards.
     Stats.LockstepSweeps = Engine->sweeps();
     Stats.Engine = Engine->name();
+    accumulateAggregateStats();
     Suspended.reserve(LaneOf.size());
     for (auto &[Id, LR] : LaneOf) {
       if (Engine->laneFailed(LR.Lane))
@@ -526,6 +624,7 @@ void MonitorFleet::Shard::run(MonitorFleet &F) {
   Engine->finishAll(F.Opts.Horizon);
   Stats.LockstepSweeps = Engine->sweeps();
   Stats.Engine = Engine->name();
+  accumulateAggregateStats();
   for (auto &[Id, LR] : LaneOf) {
     SessionState SS;
     SS.Failed = Engine->laneFailed(LR.Lane);
@@ -821,6 +920,64 @@ bool MonitorFleet::restore(std::vector<EngineLaneState> LaneStates) {
   return true;
 }
 
+void MonitorFleet::finishFork(int Outcome) {
+  ForkOutcome.store(Outcome, std::memory_order_release);
+  ForkOutcome.notify_all();
+}
+
+bool MonitorFleet::forkSession(SessionId Src, SessionId Dst,
+                               std::string *ErrorOut) {
+  auto fail = [&](const char *Msg) {
+    if (ErrorOut)
+      *ErrorOut = Msg;
+    return false;
+  };
+  if (Src == Dst)
+    return fail("fork source and destination sessions must differ");
+  if (Mode == FleetMode::Native)
+    return fail("cannot fork sessions on a native-engine fleet: compiled "
+                "lanes are not migratable");
+  {
+    std::lock_guard<std::mutex> G(AdminMu);
+    if (Finished)
+      return fail("fleet already finished");
+  }
+  std::lock_guard<std::mutex> G(ForkMu); // one fork in flight at a time
+  // Quiesce ingest first. Producers are closed (control-op contract) but
+  // their final batches may still sit in the rings, and the worker
+  // drains its inbox *before* the rings — posting now would let the
+  // fork request overtake the source session's own records. QueueDepth
+  // counts ring + forwarded records from push to post-routing, so zero
+  // everywhere means every record has reached its lane.
+  for (auto &W : Workers)
+    while (W->QueueDepth.load(std::memory_order_acquire) > 0)
+      std::this_thread::yield();
+  ForkOutcome.store(0, std::memory_order_release);
+  unsigned S = shardOf(Src);
+  Shard &T = *Workers[S];
+  {
+    std::lock_guard<std::mutex> IG(T.InboxMu);
+    Shard::InboxMsg M;
+    M.Session = Src;
+    M.ForkReq = true;
+    M.ForkDst = Dst;
+    T.Inbox.push_back(std::move(M));
+  }
+  bumpSignal(S);
+  int Out = ForkOutcome.load(std::memory_order_acquire);
+  while (Out == 0) {
+    ForkOutcome.wait(0, std::memory_order_acquire);
+    Out = ForkOutcome.load(std::memory_order_acquire);
+  }
+  if (Out == 1) {
+    if (ErrorOut)
+      ErrorOut->clear();
+    return true;
+  }
+  return fail(Out == -1 ? "fork source session is not live"
+                        : "fork destination session is already live");
+}
+
 bool MonitorFleet::failed() const {
   return Stats.totalFailedSessions() != 0;
 }
@@ -905,7 +1062,8 @@ std::string ShardStats::str() const {
       "engine=%s sessions=%llu events=%llu batches=%llu "
       "queue-high-water=%llu outputs=%llu failed=%llu "
       "stolen-in=%llu stolen-out=%llu forwarded=%llu sweeps=%llu "
-      "backpressure-stalls=%llu",
+      "backpressure-stalls=%llu forked-in=%llu agg-bytes=%llu "
+      "agg-nodes-unique=%llu agg-nodes-shared=%llu",
       Engine.empty() ? "?" : Engine.c_str(),
       static_cast<unsigned long long>(Sessions),
       static_cast<unsigned long long>(EventsProcessed),
@@ -917,7 +1075,11 @@ std::string ShardStats::str() const {
       static_cast<unsigned long long>(SessionsStolenOut),
       static_cast<unsigned long long>(RecordsForwarded),
       static_cast<unsigned long long>(LockstepSweeps),
-      static_cast<unsigned long long>(BackpressureStalls));
+      static_cast<unsigned long long>(BackpressureStalls),
+      static_cast<unsigned long long>(SessionsForkedIn),
+      static_cast<unsigned long long>(AggregateBytes),
+      static_cast<unsigned long long>(AggregateNodesUnique),
+      static_cast<unsigned long long>(AggregateNodesShared));
 }
 
 std::string FleetStats::str() const {

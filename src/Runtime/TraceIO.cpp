@@ -157,32 +157,32 @@ private:
   std::optional<Value> parseSetOrMap() {
     ++Pos; // '{'
     if (consumeChar('}'))
-      return Value::set(makeSetData(true)); // "{}": empty set and map
-                                            // render identically
+      return Value::emptySet(); // "{}": empty set and map render
+                                // identically
     auto First = parseValue();
     if (!First)
       return std::nullopt;
     if (consumeArrow())
       return parseMapRest(std::move(*First));
-    auto Set = makeSetData(true);
-    Set->Mutable.insert(std::move(*First));
+    SetCow Set = Value::emptySet().setCow(true);
+    Set.add(std::move(*First));
     while (!consumeChar('}')) {
       if (!consumeChar(','))
         return std::nullopt;
       auto Elem = parseValue();
       if (!Elem)
         return std::nullopt;
-      Set->Mutable.insert(std::move(*Elem));
+      Set.add(std::move(*Elem));
     }
-    return Value::set(std::move(Set));
+    return std::move(Set).finish();
   }
 
   std::optional<Value> parseMapRest(Value FirstKey) {
-    auto Map = makeMapData(true);
+    MapCow Map = Value::emptyMap().mapCow(true);
     auto FirstVal = parseValue();
     if (!FirstVal)
       return std::nullopt;
-    Map->Mutable.emplace(std::move(FirstKey), std::move(*FirstVal));
+    Map.put(std::move(FirstKey), std::move(*FirstVal));
     while (!consumeChar('}')) {
       if (!consumeChar(','))
         return std::nullopt;
@@ -192,23 +192,23 @@ private:
       auto Val = parseValue();
       if (!Val)
         return std::nullopt;
-      Map->Mutable.emplace(std::move(*Key), std::move(*Val));
+      Map.put(std::move(*Key), std::move(*Val));
     }
-    return Value::map(std::move(Map));
+    return std::move(Map).finish();
   }
 
   std::optional<Value> parseQueue() {
     ++Pos; // '<'
-    auto Queue = makeQueueData(true);
+    QueueCow Queue = Value::emptyQueue().queueCow(true);
     if (consumeChar('>'))
-      return Value::queue(std::move(Queue));
+      return std::move(Queue).finish();
     while (true) {
       auto Elem = parseValue();
       if (!Elem)
         return std::nullopt;
-      Queue->Mutable.push_back(std::move(*Elem));
+      Queue.enqueue(std::move(*Elem));
       if (consumeChar('>'))
-        return Value::queue(std::move(Queue));
+        return std::move(Queue).finish();
       if (!consumeChar(','))
         return std::nullopt;
     }

@@ -29,37 +29,6 @@ Value Value::fromLiteral(const ConstantLit &Lit) {
   return std::visit(Visitor{}, Lit.V);
 }
 
-Value Value::deepCopy() const {
-  switch (kind()) {
-  case Kind::Set: {
-    const auto &Data = getSet();
-    if (!Data->IsMutable)
-      return *this; // persistent payloads never change
-    auto Clone = makeSetData(true);
-    Clone->Mutable = Data->Mutable;
-    return Value::set(std::move(Clone));
-  }
-  case Kind::Map: {
-    const auto &Data = getMap();
-    if (!Data->IsMutable)
-      return *this;
-    auto Clone = makeMapData(true);
-    Clone->Mutable = Data->Mutable;
-    return Value::map(std::move(Clone));
-  }
-  case Kind::Queue: {
-    const auto &Data = getQueue();
-    if (!Data->IsMutable)
-      return *this;
-    auto Clone = makeQueueData(true);
-    Clone->Mutable = Data->Mutable;
-    return Value::queue(std::move(Clone));
-  }
-  default:
-    return *this;
-  }
-}
-
 std::string_view tessla::valueKindName(Value::Kind K) {
   switch (K) {
   case Value::Kind::Unit:
@@ -97,9 +66,9 @@ bool tessla::operator==(const Value &A, const Value &B) {
   case Value::Kind::String:
     return A.getString() == B.getString();
   case Value::Kind::Set: {
-    const SetData &SA = *A.getSet(), &SB = *B.getSet();
-    if (&SA == &SB)
+    if (A.aggregateIdentity() == B.aggregateIdentity())
       return true;
+    SetView SA = A.asSet(), SB = B.asSet();
     if (SA.size() != SB.size())
       return false;
     for (const Value &V : SA.items())
@@ -108,9 +77,9 @@ bool tessla::operator==(const Value &A, const Value &B) {
     return true;
   }
   case Value::Kind::Map: {
-    const MapData &MA = *A.getMap(), &MB = *B.getMap();
-    if (&MA == &MB)
+    if (A.aggregateIdentity() == B.aggregateIdentity())
       return true;
+    MapView MA = A.asMap(), MB = B.asMap();
     if (MA.size() != MB.size())
       return false;
     for (const auto &[K, V] : MA.items()) {
@@ -121,9 +90,9 @@ bool tessla::operator==(const Value &A, const Value &B) {
     return true;
   }
   case Value::Kind::Queue: {
-    const QueueData &QA = *A.getQueue(), &QB = *B.getQueue();
-    if (&QA == &QB)
+    if (A.aggregateIdentity() == B.aggregateIdentity())
       return true;
+    QueueView QA = A.asQueue(), QB = B.asQueue();
     if (QA.size() != QB.size())
       return false;
     return QA.items() == QB.items();
@@ -163,11 +132,11 @@ int tessla::compareValues(const Value &A, const Value &B) {
   case Value::Kind::Queue: {
     std::vector<Value> IA, IB;
     if (A.kind() == Value::Kind::Set) {
-      IA = sortedItems(A.getSet()->items());
-      IB = sortedItems(B.getSet()->items());
+      IA = sortedItems(A.asSet().items());
+      IB = sortedItems(B.asSet().items());
     } else {
-      IA = A.getQueue()->items();
-      IB = B.getQueue()->items();
+      IA = A.asQueue().items();
+      IB = B.asQueue().items();
     }
     for (size_t I = 0, E = std::min(IA.size(), IB.size()); I != E; ++I)
       if (int C = compareValues(IA[I], IB[I]))
@@ -175,7 +144,7 @@ int tessla::compareValues(const Value &A, const Value &B) {
     return Cmp3(IA.size(), IB.size());
   }
   case Value::Kind::Map: {
-    auto IA = A.getMap()->items(), IB = B.getMap()->items();
+    auto IA = A.asMap().items(), IB = B.asMap().items();
     auto ByKey = [](const std::pair<Value, Value> &X,
                     const std::pair<Value, Value> &Y) {
       return compareValues(X.first, Y.first) < 0;
@@ -212,22 +181,22 @@ size_t Value::hash() const {
   case Kind::String:
     return hashCombine(KindSeed, std::hash<std::string>{}(getString()));
   case Kind::Set: {
-    // XOR: order-independent across representations.
+    // XOR: order-independent of the hash iteration order.
     size_t H = 0;
-    for (const Value &V : getSet()->items())
-      H ^= V.hash();
+    asSet().forEach([&H](const Value &V) { H ^= V.hash(); });
     return hashCombine(KindSeed, H);
   }
   case Kind::Map: {
     size_t H = 0;
-    for (const auto &[K, V] : getMap()->items())
+    asMap().forEach([&H](const Value &K, const Value &V) {
       H ^= hashCombine(K.hash(), V.hash());
+    });
     return hashCombine(KindSeed, H);
   }
   case Kind::Queue: {
     size_t H = 0;
-    for (const Value &V : getQueue()->items())
-      H = hashCombine(H, V.hash());
+    asQueue().forEach(
+        [&H](const Value &V) { H = hashCombine(H, V.hash()); });
     return hashCombine(KindSeed, H);
   }
   }
@@ -248,12 +217,12 @@ std::string Value::str() const {
     return "\"" + escapeString(getString()) + "\"";
   case Kind::Set: {
     std::vector<std::string> Parts;
-    for (const Value &V : sortedItems(getSet()->items()))
+    for (const Value &V : sortedItems(asSet().items()))
       Parts.push_back(V.str());
     return "{" + join(Parts, ", ") + "}";
   }
   case Kind::Map: {
-    auto Items = getMap()->items();
+    auto Items = asMap().items();
     std::sort(Items.begin(), Items.end(),
               [](const auto &X, const auto &Y) {
                 return compareValues(X.first, Y.first) < 0;
@@ -265,8 +234,8 @@ std::string Value::str() const {
   }
   case Kind::Queue: {
     std::vector<std::string> Parts;
-    for (const Value &V : getQueue()->items())
-      Parts.push_back(V.str());
+    asQueue().forEach(
+        [&Parts](const Value &V) { Parts.push_back(V.str()); });
     return "<" + join(Parts, ", ") + ">";
   }
   }

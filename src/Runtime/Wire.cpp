@@ -50,6 +50,10 @@ const char *tessla::frameTypeName(FrameType T) {
     return "Shutdown";
   case FrameType::ShutdownAck:
     return "ShutdownAck";
+  case FrameType::ForkSession:
+    return "ForkSession";
+  case FrameType::ForkAck:
+    return "ForkAck";
   }
   return "?";
 }
@@ -58,7 +62,7 @@ namespace {
 
 bool validFrameType(uint8_t T) {
   return T >= static_cast<uint8_t>(FrameType::Hello) &&
-         T <= static_cast<uint8_t>(FrameType::ShutdownAck);
+         T <= static_cast<uint8_t>(FrameType::ForkAck);
 }
 
 /// Wraps a hostile payload decode: a DecodeContext funneling its
@@ -164,12 +168,14 @@ std::optional<WireFrame> FrameDecoder::next() {
 
 std::vector<uint8_t> tessla::encodeEventBatch(const EventBatch &B) {
   ByteWriter W;
+  bc::ValueEncodeShare Share; // one context per frame: aggregates shared
+                              // between records encode once
   W.u32(static_cast<uint32_t>(B.Records.size()));
   for (const EventRecord &R : B.Records) {
     W.u64(R.Session);
     W.u32(R.Input);
     W.i64(R.Ts);
-    bc::writeValue(W, R.V);
+    bc::writeValue(W, R.V, &Share);
   }
   return W.take();
 }
@@ -186,12 +192,13 @@ tessla::decodeEventBatch(const uint8_t *Data, size_t Size,
   }
   EventBatch B;
   B.Records.reserve(N);
+  bc::ValueDecodeShare Share;
   for (uint32_t I = 0; I != N && P.Ctx.Ok && !R.failed(); ++I) {
     EventRecord Rec;
     Rec.Session = R.u64();
     Rec.Input = R.u32();
     Rec.Ts = R.i64();
-    Rec.V = bc::readValue(R, P.Ctx);
+    Rec.V = bc::readValue(R, P.Ctx, 0, &Share);
     B.Records.push_back(std::move(Rec));
   }
   if (!P.finish(R, "Batch"))
@@ -202,12 +209,13 @@ tessla::decodeEventBatch(const uint8_t *Data, size_t Size,
 std::vector<uint8_t>
 tessla::encodeOutputs(const std::vector<WireOutputRecord> &Events) {
   ByteWriter W;
+  bc::ValueEncodeShare Share; // outputs of forked sessions share state
   W.u32(static_cast<uint32_t>(Events.size()));
   for (const WireOutputRecord &E : Events) {
     W.u64(E.Session);
     W.i64(E.Ts);
     W.u32(E.Stream);
-    bc::writeValue(W, E.V);
+    bc::writeValue(W, E.V, &Share);
   }
   return W.take();
 }
@@ -224,12 +232,13 @@ tessla::decodeOutputs(const uint8_t *Data, size_t Size,
   }
   std::vector<WireOutputRecord> Events;
   Events.reserve(N);
+  bc::ValueDecodeShare Share;
   for (uint32_t I = 0; I != N && P.Ctx.Ok && !R.failed(); ++I) {
     WireOutputRecord E;
     E.Session = R.u64();
     E.Ts = R.i64();
     E.Stream = R.u32();
-    E.V = bc::readValue(R, P.Ctx);
+    E.V = bc::readValue(R, P.Ctx, 0, &Share);
     Events.push_back(std::move(E));
   }
   if (!P.finish(R, "Outputs"))
@@ -313,6 +322,27 @@ std::optional<uint64_t> tessla::decodeU64(const uint8_t *Data, size_t Size,
     return std::nullopt;
   }
   return V;
+}
+
+std::vector<uint8_t> tessla::encodeForkSession(const WireForkSession &F) {
+  ByteWriter W;
+  W.u64(F.Src);
+  W.u64(F.Dst);
+  return W.take();
+}
+
+std::optional<WireForkSession>
+tessla::decodeForkSession(const uint8_t *Data, size_t Size,
+                          std::string &ErrorOut) {
+  ByteReader R(Data, Size);
+  WireForkSession F;
+  F.Src = R.u64();
+  F.Dst = R.u64();
+  if (R.failed() || !R.atEnd()) {
+    ErrorOut = "wire: malformed ForkSession payload";
+    return std::nullopt;
+  }
+  return F;
 }
 
 std::vector<uint8_t> tessla::encodeString(const std::string &S) {

@@ -8,6 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 using namespace tessla;
 
 namespace {
@@ -71,4 +75,53 @@ TEST(RefCntPtrTest, CopyOfObjectGetsFreshCount) {
   EXPECT_EQ(Copy->useCount(), 1u);
   EXPECT_EQ(P->useCount(), 2u);
   EXPECT_EQ(Copy->Payload, 3);
+}
+
+TEST(RefCntPtrTest, ConcurrentRetainReleaseIsExact) {
+  // Forked sessions share aggregate nodes across shard threads: the
+  // count must be atomic so concurrent handle copies on different
+  // threads neither leak nor double-free.
+  ASSERT_EQ(Tracked::Alive, 0);
+  {
+    RefCntPtr<Tracked> P = makeRefCnt<Tracked>(1);
+    constexpr int Threads = 8;
+    constexpr int Iters = 20000;
+    std::vector<std::thread> Pool;
+    for (int T = 0; T != Threads; ++T)
+      Pool.emplace_back([&P] {
+        for (int I = 0; I != Iters; ++I) {
+          RefCntPtr<Tracked> Local = P; // retain
+          RefCntPtr<Tracked> Second = Local;
+          EXPECT_EQ(Second->Payload, 1);
+        } // release
+      });
+    for (std::thread &T : Pool)
+      T.join();
+    EXPECT_EQ(Tracked::Alive, 1);
+    EXPECT_TRUE(P.unique()) << "all transient references released";
+  }
+  EXPECT_EQ(Tracked::Alive, 0);
+}
+
+TEST(RefCntPtrTest, ConcurrentReleaseOfLastReferences) {
+  // Hand one reference each to N threads and let them all drop at once:
+  // exactly one destruction.
+  for (int Round = 0; Round != 50; ++Round) {
+    ASSERT_EQ(Tracked::Alive, 0);
+    constexpr int Threads = 8;
+    std::vector<RefCntPtr<Tracked>> Refs(
+        Threads, makeRefCnt<Tracked>(Round));
+    std::atomic<int> Gate{0};
+    std::vector<std::thread> Pool;
+    for (int T = 0; T != Threads; ++T)
+      Pool.emplace_back([&Gate, &Refs, T] {
+        Gate.fetch_add(1);
+        while (Gate.load() != Threads) {
+        }
+        Refs[T].reset();
+      });
+    for (std::thread &T : Pool)
+      T.join();
+    EXPECT_EQ(Tracked::Alive, 0);
+  }
 }

@@ -52,11 +52,11 @@ namespace {
 uint64_t aggregateElements(const Value &V) {
   switch (V.kind()) {
   case Value::Kind::Set:
-    return V.getSet()->size();
+    return V.asSet().size();
   case Value::Kind::Map:
-    return V.getMap()->size();
+    return V.asMap().size();
   case Value::Kind::Queue:
-    return V.getQueue()->size();
+    return V.asQueue().size();
   default:
     return 0;
   }

@@ -190,3 +190,116 @@ TEST(HamtSetTest, LargeScaleGrowShrink) {
   for (int I = 0; I != 20000; ++I)
     EXPECT_EQ(S.contains(I), I % 2 == 1) << I;
 }
+
+// --- Transient (COW) operations --------------------------------------------
+
+TEST(HamtMapTest, TransientSetMutatesUniqueNodesInPlace) {
+  HamtMap<int, int> M;
+  for (int I = 0; I != 100; ++I)
+    M.setMut(I, I * 2);
+  EXPECT_EQ(M.size(), 100u);
+  for (int I = 0; I != 100; ++I) {
+    ASSERT_NE(M.find(I), nullptr) << I;
+    EXPECT_EQ(*M.find(I), I * 2);
+  }
+  for (int I = 0; I != 100; I += 2)
+    EXPECT_TRUE(M.eraseMut(I));
+  EXPECT_FALSE(M.eraseMut(0)) << "already erased";
+  EXPECT_EQ(M.size(), 50u);
+}
+
+TEST(HamtMapTest, TransientOpsLeaveSnapshotsIntact) {
+  // The COW guarantee: a transient update on a trie whose nodes are
+  // shared with a snapshot must path-copy around the shared nodes, never
+  // write through them.
+  HamtMap<int, int> M;
+  for (int I = 0; I != 500; ++I)
+    M.setMut(I, I);
+  HamtMap<int, int> Snap = M; // shares every node
+  for (int I = 0; I != 500; ++I)
+    M.setMut(I, -I);
+  for (int I = 250; I != 300; ++I)
+    M.eraseMut(I);
+  EXPECT_EQ(Snap.size(), 500u);
+  for (int I = 0; I != 500; ++I) {
+    ASSERT_NE(Snap.find(I), nullptr) << I;
+    EXPECT_EQ(*Snap.find(I), I) << "snapshot observed a transient write";
+  }
+  EXPECT_EQ(M.size(), 450u);
+  ASSERT_NE(M.find(3), nullptr);
+  EXPECT_EQ(*M.find(3), -3);
+}
+
+TEST(HamtMapTest, TransientMatchesPersistentUnderRandomOps) {
+  std::mt19937 Rng(53);
+  HamtMap<int, int> T;
+  HamtMap<int, int> P;
+  std::vector<HamtMap<int, int>> Snaps;
+  for (int Op = 0; Op != 4000; ++Op) {
+    int Key = static_cast<int>(Rng() % 400);
+    if (Rng() % 3 != 0) {
+      int Val = static_cast<int>(Rng());
+      T.setMut(Key, Val);
+      P = P.set(Key, Val);
+    } else {
+      bool Was = T.eraseMut(Key);
+      EXPECT_EQ(Was, P.find(Key) != nullptr);
+      P = P.erase(Key);
+    }
+    ASSERT_EQ(T.size(), P.size());
+    if (Op % 1000 == 0)
+      Snaps.push_back(T); // forces the shared-node fallback afterwards
+  }
+  for (auto &[K, V] : P.items()) {
+    ASSERT_NE(T.find(K), nullptr);
+    EXPECT_EQ(*T.find(K), V);
+  }
+}
+
+TEST(HamtSetTest, TransientInsertEraseWithCollisions) {
+  HamtSet<int, BadHash> S;
+  for (int I = 0; I != 90; ++I)
+    S.insertMut(I);
+  EXPECT_EQ(S.size(), 90u);
+  HamtSet<int, BadHash> Snap = S;
+  for (int I = 0; I != 45; ++I)
+    EXPECT_TRUE(S.eraseMut(I)) << I;
+  EXPECT_EQ(S.size(), 45u);
+  EXPECT_EQ(Snap.size(), 90u) << "collision-node snapshot mutated";
+  for (int I = 0; I != 90; ++I) {
+    EXPECT_EQ(S.contains(I), I >= 45) << I;
+    EXPECT_TRUE(Snap.contains(I)) << I;
+  }
+}
+
+TEST(HamtSetTest, ForEachNodeCountsSharing) {
+  HamtSet<int> S;
+  for (int I = 0; I != 1000; ++I)
+    S.insertMut(I);
+  size_t Nodes = 0, Bytes = 0;
+  S.forEachNode([&](const void *P, size_t B, uint32_t Owners) {
+    EXPECT_NE(P, nullptr);
+    EXPECT_GT(B, 0u);
+    EXPECT_EQ(Owners, 1u) << "unshared trie reports owner count 1";
+    ++Nodes;
+    Bytes += B;
+    return true;
+  });
+  EXPECT_GT(Nodes, 1u);
+  EXPECT_GT(Bytes, Nodes); // every node has a nonzero footprint
+
+  // A full copy shares the root: the walk must now report owners > 1 at
+  // the top, and a false return must prune the descent.
+  HamtSet<int> Copy = S;
+  size_t Visited = 0;
+  bool SawShared = false;
+  S.forEachNode([&](const void *, size_t, uint32_t Owners) {
+    ++Visited;
+    if (Owners > 1)
+      SawShared = true;
+    return false; // prune: only the root is visited
+  });
+  EXPECT_EQ(Visited, 1u);
+  EXPECT_TRUE(SawShared);
+  (void)Copy;
+}

@@ -154,40 +154,32 @@ TEST(SerializeTest, MissingFileReportsDiagnostic) {
 TEST(SerializeTest, AggregateConstantsRoundTrip) {
   // ConstantFold never folds aggregate constants into ConstVal, so reach
   // through OptView and plant them directly: a set, a map and a queue,
-  // in both the persistent and the mutable representation. The canonical
-  // re-serialization equality proves the recursive Value codec (sorted
-  // aggregate encoding included) is lossless.
-  for (bool Mutable : {false, true}) {
-    Program P = compileOrDie(seenSet(), /*Optimize=*/Mutable);
+  // built through both update tiers (destructive and path-copying — the
+  // encoded bytes must not depend on how the structure was built). The
+  // canonical re-serialization equality proves the recursive Value codec
+  // (sorted aggregate encoding included) is lossless.
+  for (bool InPlace : {false, true}) {
+    Program P = compileOrDie(seenSet(), /*Optimize=*/InPlace);
     auto View = P.optView();
     ASSERT_GE(View.Steps.size(), 3u);
 
-    auto SD = makeSetData(Mutable);
-    auto MD = makeMapData(Mutable);
-    auto QD = makeQueueData(Mutable);
-    if (Mutable) {
-      SD->Mutable.insert(Value::integer(3));
-      SD->Mutable.insert(Value::integer(-7));
-      MD->Mutable[Value::integer(1)] = Value::string("one");
-      QD->Mutable.push_back(Value::boolean(true));
-      QD->Mutable.push_back(Value::floating(2.5));
-    } else {
-      SD->Persistent = SD->Persistent.insert(Value::integer(3));
-      SD->Persistent = SD->Persistent.insert(Value::integer(-7));
-      MD->Persistent = MD->Persistent.set(Value::integer(1),
-                                          Value::string("one"));
-      QD->Persistent = QD->Persistent.enqueue(Value::boolean(true));
-      QD->Persistent = QD->Persistent.enqueue(Value::floating(2.5));
-    }
-    View.Steps[0].ConstVal = Value::set(SD);
-    View.Steps[1].ConstVal = Value::map(MD);
-    View.Steps[2].ConstVal = Value::queue(QD);
+    SetCow SC = Value::emptySet().setCow(InPlace);
+    SC.add(Value::integer(3));
+    SC.add(Value::integer(-7));
+    MapCow MC = Value::emptyMap().mapCow(InPlace);
+    MC.put(Value::integer(1), Value::string("one"));
+    QueueCow QC = Value::emptyQueue().queueCow(InPlace);
+    QC.enqueue(Value::boolean(true));
+    QC.enqueue(Value::floating(2.5));
+    View.Steps[0].ConstVal = std::move(SC).finish();
+    View.Steps[1].ConstVal = std::move(MC).finish();
+    View.Steps[2].ConstVal = std::move(QC).finish();
 
     std::vector<uint8_t> Bytes = serializeProgram(P);
     DiagnosticEngine Diags;
     auto Loaded = loadProgram(Bytes, Diags);
     ASSERT_TRUE(Loaded) << Diags.str();
-    EXPECT_EQ(serializeProgram(*Loaded), Bytes) << "mutable=" << Mutable;
+    EXPECT_EQ(serializeProgram(*Loaded), Bytes) << "inplace=" << InPlace;
 
     const auto &Steps = Loaded->steps();
     ASSERT_GE(Steps.size(), 3u);
@@ -303,11 +295,12 @@ TEST(SerializeTest, DeterministicEncoding) {
 }
 
 TEST(SerializeTest, FormatChangeForcesVersionBump) {
-  // Golden-bytes guard: this hash pins format version 1's exact byte
-  // layout for a fixed program. If an intentional layout change lands,
-  // this test fails — bump TPBFormatVersion and update the constants
-  // below TOGETHER, so old readers reject new bundles instead of
-  // misdecoding them.
+  // Golden-bytes guard: this hash pins the current format version's
+  // exact byte layout for a fixed program. If an intentional layout
+  // change lands, this test fails — bump TPBFormatVersion and update the
+  // constants below TOGETHER, so old readers reject new bundles instead
+  // of misdecoding them. (v2: aggregate back-references in the value
+  // codec.)
   Spec S = parseOrDie("in x: Int\n"
                       "def y := x + 1\n"
                       "out y\n");
@@ -315,9 +308,9 @@ TEST(SerializeTest, FormatChangeForcesVersionBump) {
       serializeProgram(compileOrDie(S, /*Optimize=*/false, /*OptLevel=*/0));
   uint64_t Hash = tpbChecksum(Bytes.data(), Bytes.size());
 
-  constexpr uint32_t PinnedVersion = 1;
+  constexpr uint32_t PinnedVersion = 2;
   constexpr uint64_t PinnedSize = 507;
-  constexpr uint64_t PinnedHash = 10857553203215886264ull;
+  constexpr uint64_t PinnedHash = 6444314416503829693ull;
   ASSERT_EQ(TPBFormatVersion, PinnedVersion)
       << "TPBFormatVersion changed: re-pin the golden constants";
   EXPECT_EQ(Bytes.size(), PinnedSize)

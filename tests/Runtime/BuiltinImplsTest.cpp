@@ -34,6 +34,18 @@ Value emptySet(bool InPlace) {
   return apply(BuiltinId::SetEmpty, {Value::unit()}, InPlace, Err);
 }
 
+/// Applies a builtin destructively over the caller's own values. The
+/// arguments are NOT copied — the in-place tier additionally requires
+/// dynamic uniqueness, which a by-value helper would defeat.
+Value applyInPlace(BuiltinId Fn, std::initializer_list<const Value *> Args,
+                   EvalError &Err) {
+  const Value *Ptrs[3] = {nullptr, nullptr, nullptr};
+  unsigned N = 0;
+  for (const Value *A : Args)
+    Ptrs[N++] = A;
+  return applyBuiltin(Fn, Ptrs, N, /*InPlace=*/true, Err);
+}
+
 } // namespace
 
 TEST(BuiltinImplsTest, IntArithmetic) {
@@ -127,25 +139,41 @@ TEST(BuiltinImplsTest, PersistentSetOpsPreserveArgument) {
   Value S0 = emptySet(false);
   Value S1 = apply(BuiltinId::SetAdd, {S0, Value::integer(1)});
   Value S2 = apply(BuiltinId::SetAdd, {S1, Value::integer(2)});
-  EXPECT_EQ(S0.getSet()->size(), 0u) << "argument untouched";
-  EXPECT_EQ(S1.getSet()->size(), 1u);
-  EXPECT_EQ(S2.getSet()->size(), 2u);
-  EXPECT_NE(S1.getSet().get(), S2.getSet().get()) << "fresh handle";
+  EXPECT_EQ(S0.asSet().size(), 0u) << "argument untouched";
+  EXPECT_EQ(S1.asSet().size(), 1u);
+  EXPECT_EQ(S2.asSet().size(), 2u);
+  EXPECT_NE(S1.aggregateIdentity(), S2.aggregateIdentity()) << "fresh handle";
   EXPECT_TRUE(
       apply(BuiltinId::SetContains, {S2, Value::integer(1)}).getBool());
   Value S3 = apply(BuiltinId::SetRemove, {S2, Value::integer(1)});
-  EXPECT_EQ(S2.getSet()->size(), 2u);
-  EXPECT_EQ(S3.getSet()->size(), 1u);
+  EXPECT_EQ(S2.asSet().size(), 2u);
+  EXPECT_EQ(S3.asSet().size(), 1u);
 }
 
 TEST(BuiltinImplsTest, DestructiveSetOpsShareHandle) {
   EvalError Err;
   Value S0 = emptySet(true);
-  Value S1 = apply(BuiltinId::SetAdd, {S0, Value::integer(1)}, true, Err);
+  Value One = Value::integer(1);
+  Value S1 = applyInPlace(BuiltinId::SetAdd, {&S0, &One}, Err);
   ASSERT_FALSE(Err.Failed);
-  EXPECT_EQ(S1.getSet().get(), S0.getSet().get())
+  EXPECT_EQ(S1.aggregateIdentity(), S0.aggregateIdentity())
       << "destructive update returns the same handle";
-  EXPECT_EQ(S0.getSet()->size(), 1u) << "argument mutated in place";
+  EXPECT_EQ(S0.asSet().size(), 1u) << "argument mutated in place";
+}
+
+TEST(BuiltinImplsTest, DestructiveVerdictWithSharedHandlePathCopies) {
+  // The static verdict alone is not enough: a dynamically shared handle
+  // forces the persistent path even in in-place mode, so the sharer
+  // survives unchanged.
+  EvalError Err;
+  Value S0 = emptySet(true);
+  Value Sharer = S0; // use_count == 2
+  Value One = Value::integer(1);
+  Value S1 = applyInPlace(BuiltinId::SetAdd, {&S0, &One}, Err);
+  ASSERT_FALSE(Err.Failed);
+  EXPECT_NE(S1.aggregateIdentity(), S0.aggregateIdentity());
+  EXPECT_EQ(Sharer.asSet().size(), 0u) << "sharer untouched";
+  EXPECT_EQ(S1.asSet().size(), 1u);
 }
 
 TEST(BuiltinImplsTest, SetToggle) {
@@ -166,13 +194,13 @@ TEST(BuiltinImplsTest, SetUpdateWithOptionalArgs) {
   const Value *Ptrs1[3] = {&S, &Add, nullptr};
   Value S1 = applyBuiltin(BuiltinId::SetUpdate, Ptrs1, 3, false, Err);
   ASSERT_FALSE(Err.Failed) << Err.Message;
-  EXPECT_EQ(S1.getSet()->size(), 1u);
+  EXPECT_EQ(S1.asSet().size(), 1u);
   // Only the remove-argument present.
   Value Rem = Value::integer(1);
   const Value *Ptrs2[3] = {&S1, nullptr, &Rem};
   Value S2 = applyBuiltin(BuiltinId::SetUpdate, Ptrs2, 3, false, Err);
   ASSERT_FALSE(Err.Failed);
-  EXPECT_EQ(S2.getSet()->size(), 0u);
+  EXPECT_EQ(S2.asSet().size(), 0u);
 }
 
 TEST(BuiltinImplsTest, MapOps) {
@@ -231,15 +259,18 @@ TEST(BuiltinImplsTest, QueueTrim) {
   EXPECT_EQ(apply(BuiltinId::QueueFront, {Trimmed}).getInt(), 2);
   // Trimming below an already-small size shares the handle.
   Value Same = apply(BuiltinId::QueueTrim, {Trimmed, Value::integer(10)});
-  EXPECT_EQ(Same.getQueue().get(), Trimmed.getQueue().get());
+  EXPECT_EQ(Same.aggregateIdentity(), Trimmed.aggregateIdentity());
   // Destructive trim mutates in place.
   EvalError Err;
   Value MQ = apply(BuiltinId::QueueEmpty, {Value::unit()}, true, Err);
-  for (int I = 0; I != 5; ++I)
-    MQ = apply(BuiltinId::QueueEnq, {MQ, Value::integer(I)}, true, Err);
-  apply(BuiltinId::QueueTrim, {MQ, Value::integer(2)}, true, Err);
+  for (int I = 0; I != 5; ++I) {
+    Value E = Value::integer(I);
+    MQ = applyInPlace(BuiltinId::QueueEnq, {&MQ, &E}, Err);
+  }
+  Value Cap = Value::integer(2);
+  applyInPlace(BuiltinId::QueueTrim, {&MQ, &Cap}, Err);
   ASSERT_FALSE(Err.Failed);
-  EXPECT_EQ(MQ.getQueue()->size(), 2u);
+  EXPECT_EQ(MQ.asQueue().size(), 2u);
 }
 
 TEST(BuiltinImplsTest, SetUnionAndDiff) {
@@ -251,10 +282,10 @@ TEST(BuiltinImplsTest, SetUnionAndDiff) {
   B = apply(BuiltinId::SetAdd, {B, Value::integer(3)});
 
   Value U = apply(BuiltinId::SetUnion, {A, B});
-  EXPECT_EQ(U.getSet()->size(), 3u);
-  EXPECT_EQ(A.getSet()->size(), 2u) << "arguments untouched";
+  EXPECT_EQ(U.asSet().size(), 3u);
+  EXPECT_EQ(A.asSet().size(), 2u) << "arguments untouched";
   Value D = apply(BuiltinId::SetDiff, {A, B});
-  EXPECT_EQ(D.getSet()->size(), 1u);
+  EXPECT_EQ(D.asSet().size(), 1u);
   EXPECT_TRUE(
       apply(BuiltinId::SetContains, {D, Value::integer(1)}).getBool());
 
@@ -262,11 +293,12 @@ TEST(BuiltinImplsTest, SetUnionAndDiff) {
   // come from different variable families).
   EvalError Err;
   Value M = emptySet(true);
-  M = apply(BuiltinId::SetAdd, {M, Value::integer(9)}, true, Err);
-  Value MU = apply(BuiltinId::SetUnion, {M, B}, true, Err);
+  Value Nine = Value::integer(9);
+  M = applyInPlace(BuiltinId::SetAdd, {&M, &Nine}, Err);
+  Value MU = applyInPlace(BuiltinId::SetUnion, {&M, &B}, Err);
   ASSERT_FALSE(Err.Failed) << Err.Message;
-  EXPECT_EQ(MU.getSet().get(), M.getSet().get());
-  EXPECT_EQ(M.getSet()->size(), 3u);
+  EXPECT_EQ(MU.aggregateIdentity(), M.aggregateIdentity());
+  EXPECT_EQ(M.asSet().size(), 3u);
 }
 
 TEST(BuiltinImplsTest, StringOps) {
@@ -280,8 +312,8 @@ TEST(BuiltinImplsTest, StringOps) {
 
 TEST(BuiltinImplsTest, MergeAndFilterPassThrough) {
   Value S = emptySet(false);
-  EXPECT_EQ(apply(BuiltinId::Merge, {S, S}).getSet().get(),
-            S.getSet().get());
+  EXPECT_EQ(apply(BuiltinId::Merge, {S, S}).aggregateIdentity(),
+            S.aggregateIdentity());
   Value F = apply(BuiltinId::Filter, {S, Value::boolean(true)});
-  EXPECT_EQ(F.getSet().get(), S.getSet().get());
+  EXPECT_EQ(F.aggregateIdentity(), S.aggregateIdentity());
 }

@@ -376,3 +376,92 @@ TEST(CheckpointTest, FileRoundTripAndMissingFile) {
   EXPECT_FALSE(loadCheckpointFile(Path + ".missing", P, MDiags));
   EXPECT_FALSE(MDiags.str().empty());
 }
+
+// --- Structural sharing across the round trip -------------------------------
+
+TEST(CheckpointTest, ForkedSessionsShareStructureAcrossRoundTrip) {
+  // forkSession() shares every aggregate handle between the two lanes;
+  // the checkpoint codec must encode the shared payload once (back-refs)
+  // and the decoder must restore the *same* sharing, not two equal
+  // copies — that property is what keeps a checkpoint of N forks O(1)
+  // in N on the aggregate bytes.
+  Program P = workloadProgram();
+  StreamId X = *P.spec().lookup("x");
+  FleetOptions Opts;
+  Opts.Shards = 2;
+  MonitorFleet Fleet(P, Opts);
+  {
+    ProducerHandle Prod = Fleet.producer();
+    for (int64_t I = 1; I <= 64; ++I)
+      ASSERT_TRUE(Prod.feed(1, X, I, Value::integer((I * 11) % 50)));
+    Prod.close();
+  }
+  std::string Err;
+  ASSERT_TRUE(Fleet.forkSession(1, 2, &Err)) << Err;
+
+  FleetCheckpoint C;
+  C.ProgramChecksum = programChecksum(P);
+  C.SourceShards = 2;
+  C.Lanes = Fleet.suspend(&Err);
+  ASSERT_EQ(Err, "");
+  ASSERT_EQ(C.Lanes.size(), 2u);
+
+  auto laneOf = [](std::vector<EngineLaneState> &Lanes, SessionId S)
+      -> EngineLaneState & {
+    for (EngineLaneState &L : Lanes)
+      if (L.Session == S)
+        return L;
+    ADD_FAILURE() << "session " << S << " missing";
+    return Lanes.front();
+  };
+  auto aggIdentities = [](const EngineLaneState &L) {
+    std::vector<const void *> Ids;
+    for (const Value &V : L.Cur)
+      if (V.isAggregate())
+        Ids.push_back(V.aggregateIdentity());
+    for (const Value &V : L.LastVal)
+      if (V.isAggregate())
+        Ids.push_back(V.aggregateIdentity());
+    return Ids;
+  };
+
+  auto IdsA = aggIdentities(laneOf(C.Lanes, 1));
+  auto IdsB = aggIdentities(laneOf(C.Lanes, 2));
+  ASSERT_FALSE(IdsA.empty()) << "workload carries no aggregate state";
+  EXPECT_EQ(IdsA, IdsB) << "fork did not share the aggregate handles";
+
+  std::vector<uint8_t> Shared = serializeCheckpoint(C);
+
+  DiagnosticEngine Diags;
+  auto Loaded = loadCheckpoint(Shared, P, Diags);
+  ASSERT_TRUE(Loaded) << Diags.str();
+  ASSERT_EQ(Loaded->Lanes.size(), 2u);
+  auto ReIdsA = aggIdentities(laneOf(Loaded->Lanes, 1));
+  auto ReIdsB = aggIdentities(laneOf(Loaded->Lanes, 2));
+  ASSERT_FALSE(ReIdsA.empty());
+  EXPECT_EQ(ReIdsA, ReIdsB)
+      << "decode produced equal copies instead of shared structure";
+  EXPECT_EQ(serializeCheckpoint(*Loaded), Shared)
+      << "re-serialization with back-references is not canonical";
+
+  // Same monitor content built as two *independent* sessions encodes
+  // every aggregate twice — strictly larger than the shared encoding.
+  MonitorFleet Indep(P, Opts);
+  {
+    ProducerHandle Prod = Indep.producer();
+    for (int64_t I = 1; I <= 64; ++I)
+      for (SessionId S = 1; S <= 2; ++S)
+        ASSERT_TRUE(Prod.feed(S, X, I, Value::integer((I * 11) % 50)));
+    Prod.close();
+  }
+  FleetCheckpoint CI;
+  CI.ProgramChecksum = programChecksum(P);
+  CI.SourceShards = 2;
+  CI.Lanes = Indep.suspend(&Err);
+  ASSERT_EQ(Err, "");
+  EXPECT_LT(Shared.size(), serializeCheckpoint(CI).size())
+      << "shared aggregates were not deduplicated on the wire";
+
+  Fleet.finish();
+  Indep.finish();
+}

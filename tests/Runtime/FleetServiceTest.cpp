@@ -422,3 +422,118 @@ TEST(FleetServiceTest, UnixSocketLifecycleWithShutdown) {
   Serve.join();
   EXPECT_TRUE(Server.shutdownRequested());
 }
+
+namespace {
+
+/// Drives the fork workload through \p Client: session 1 gets the head
+/// of the trace, forkSession(1, 9) snapshots it into a new lane, and
+/// both sessions then receive the identical tail. Returns the rendered
+/// finish output.
+std::string runForkWorkload(FleetClient &Client, const Spec &S, StreamId X,
+                            const std::vector<Rec> &Recs, Time SplitTs) {
+  std::string Err;
+  {
+    auto Prod = Client.producer(&Err);
+    EXPECT_TRUE(Prod) << Err;
+    if (!Prod)
+      return std::string();
+    for (const Rec &R : Recs)
+      if (R.Session == 1 && R.Ts <= SplitTs)
+        EXPECT_TRUE(Prod->feed(R.Session, X, R.Ts, Value::integer(R.V)));
+    EXPECT_TRUE(Prod->close()) << Prod->error();
+  }
+  EXPECT_TRUE(Client.forkSession(1, 9, &Err)) << Err;
+  {
+    auto Prod = Client.producer(&Err);
+    EXPECT_TRUE(Prod) << Err;
+    if (!Prod)
+      return std::string();
+    for (const Rec &R : Recs)
+      if (R.Session == 1 && R.Ts > SplitTs) {
+        EXPECT_TRUE(Prod->feed(1, X, R.Ts, Value::integer(R.V)));
+        EXPECT_TRUE(Prod->feed(9, X, R.Ts, Value::integer(R.V)));
+      }
+    EXPECT_TRUE(Prod->close()) << Prod->error();
+  }
+  auto R = Client.finish(&Err);
+  EXPECT_TRUE(R) << Err;
+  if (!R)
+    return std::string();
+  EXPECT_EQ(R->FailedSessions, 0u);
+  return renderFinish(S, *R);
+}
+
+} // namespace
+
+TEST(FleetServiceTest, ForkSessionMatchesReplayInProcessAndOverTheWire) {
+  Program P = compileOrDie(seenSet(), true, 1);
+  StreamId X = *P.spec().lookup("x");
+  std::vector<Rec> Recs = workloadTrace(1, 40);
+  const Time SplitTs = 20;
+
+  // Replay reference: two independent sessions each fed the *full*
+  // trace. A fork at the split must be indistinguishable from this —
+  // the forked lane replays the head via its copied recorded outputs
+  // and then diverges-by-zero on the identical tail.
+  FleetOptions Opts;
+  Opts.Shards = 2;
+  std::string Reference;
+  {
+    auto Client = makeInProcessClient(P, Opts);
+    std::string Err;
+    auto Prod = Client->producer(&Err);
+    ASSERT_TRUE(Prod) << Err;
+    for (const Rec &R : Recs) {
+      ASSERT_TRUE(Prod->feed(1, X, R.Ts, Value::integer(R.V)));
+      ASSERT_TRUE(Prod->feed(9, X, R.Ts, Value::integer(R.V)));
+    }
+    ASSERT_TRUE(Prod->close()) << Prod->error();
+    auto R = Client->finish(&Err);
+    ASSERT_TRUE(R) << Err;
+    Reference = renderFinish(P.spec(), *R);
+  }
+  ASSERT_FALSE(Reference.empty());
+
+  auto InProc = makeInProcessClient(P, Opts);
+  EXPECT_EQ(runForkWorkload(*InProc, P.spec(), X, Recs, SplitTs), Reference);
+
+  PipeServer Server(P, Opts);
+  std::string Err;
+  auto Remote = makeRemoteClient(Server.dialer(), &Err);
+  ASSERT_TRUE(Remote) << Err;
+  EXPECT_EQ(runForkWorkload(*Remote, P.spec(), X, Recs, SplitTs), Reference);
+}
+
+TEST(FleetServiceTest, ForkErrorPathsInProcessAndOverTheWire) {
+  Program P = compileOrDie(seenSet(), true, 1);
+  StreamId X = *P.spec().lookup("x");
+
+  // In-process: rejections are synchronous and the client survives.
+  auto Client = makeInProcessClient(P);
+  std::string Err;
+  {
+    auto Prod = Client->producer(&Err);
+    ASSERT_TRUE(Prod) << Err;
+    ASSERT_TRUE(Prod->feed(1, X, 1, Value::integer(3)));
+    ASSERT_TRUE(Prod->close());
+  }
+  EXPECT_FALSE(Client->forkSession(2, 3, &Err));
+  EXPECT_NE(Err.find("not live"), std::string::npos) << Err;
+  EXPECT_FALSE(Client->forkSession(1, 1, &Err));
+  EXPECT_NE(Err.find("differ"), std::string::npos) << Err;
+  ASSERT_TRUE(Client->forkSession(1, 2, &Err)) << Err;
+  EXPECT_FALSE(Client->forkSession(1, 2, &Err));
+  EXPECT_NE(Err.find("already live"), std::string::npos) << Err;
+  auto R = Client->finish(&Err);
+  ASSERT_TRUE(R) << Err;
+
+  // Over the wire: a failed fork elicits an Error frame, and wire
+  // errors are fatal per connection (same contract as every other
+  // control operation).
+  PipeServer Server(P);
+  auto Remote = makeRemoteClient(Server.dialer(), &Err);
+  ASSERT_TRUE(Remote) << Err;
+  EXPECT_FALSE(Remote->forkSession(5, 6, &Err));
+  EXPECT_NE(Err.find("not live"), std::string::npos) << Err;
+  EXPECT_FALSE(Remote->statsText(&Err));
+}

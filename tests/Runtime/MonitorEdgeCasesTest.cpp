@@ -89,20 +89,24 @@ TEST(MonitorEdgeCasesTest, DeepLastRecursionLongTrace) {
   EXPECT_EQ(run(S, Events), "100000: final = 100000\n");
 }
 
-TEST(MonitorEdgeCasesTest, DeepCopyIsolatesMutableAggregates) {
-  auto Data = makeSetData(true);
-  Data->Mutable.insert(Value::integer(1));
-  Value Original = Value::set(Data);
+TEST(MonitorEdgeCasesTest, DeepCopySharesYetUpdatesStayIsolated) {
+  // deepCopy is the identity now (handles share the persistent payload);
+  // isolation comes from COW — an in-place-verdict update sees the share
+  // and path-copies instead of mutating through the copy.
+  SetCow Init = Value::emptySet().setCow(true);
+  Init.add(Value::integer(1));
+  Value Original = std::move(Init).finish();
   Value Copy = Original.deepCopy();
-  Data->Mutable.insert(Value::integer(2));
-  EXPECT_EQ(Original.getSet()->size(), 2u);
-  EXPECT_EQ(Copy.getSet()->size(), 1u) << "copy unaffected by mutation";
+  EXPECT_EQ(Copy.aggregateIdentity(), Original.aggregateIdentity())
+      << "deepCopy shares the payload in O(1)";
 
-  // Persistent payloads share (they can never change).
-  auto PData = makeSetData(false);
-  PData->Persistent = PData->Persistent.insert(Value::integer(1));
-  Value P = Value::set(PData);
-  EXPECT_EQ(P.deepCopy().getSet().get(), P.getSet().get());
+  SetCow C = Original.setCow(true);
+  C.add(Value::integer(2));
+  Original = std::move(C).finish();
+  EXPECT_EQ(Original.asSet().size(), 2u);
+  EXPECT_EQ(Copy.asSet().size(), 1u) << "copy unaffected by the update";
+  EXPECT_NE(Copy.aggregateIdentity(), Original.aggregateIdentity());
+
   // Scalars are value types anyway.
   EXPECT_EQ(Value::integer(3).deepCopy().getInt(), 3);
 }

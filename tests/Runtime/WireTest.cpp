@@ -161,7 +161,7 @@ TEST(WireTest, BadMagicPoisonsForever) {
 }
 
 TEST(WireTest, UnknownFrameTypePoisons) {
-  for (uint8_t Type : {uint8_t{0}, uint8_t{17}, uint8_t{200}}) {
+  for (uint8_t Type : {uint8_t{0}, uint8_t{19}, uint8_t{200}}) {
     std::vector<uint8_t> Bytes = encodeFrame(FrameType::Stats, {});
     Bytes[4] = Type;
     FrameDecoder D;
@@ -373,8 +373,10 @@ TEST(WireTest, ControlCodecsRejectTruncation) {
 
 TEST(WireTest, FormatChangeForcesVersionBump) {
   // Golden bytes for an empty-batch frame: any layout change must show
-  // up here and force a WireFormatVersion bump (see Wire.h).
-  ASSERT_EQ(WireFormatVersion, 1u)
+  // up here and force a WireFormatVersion bump (see Wire.h). v2 added
+  // aggregate back-references inside value payloads; the empty-batch
+  // frame itself is unchanged.
+  ASSERT_EQ(WireFormatVersion, 2u)
       << "wire format changed; re-derive the golden bytes below";
   std::vector<uint8_t> Bytes =
       encodeFrame(FrameType::Batch, encodeEventBatch(EventBatch()));

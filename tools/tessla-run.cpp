@@ -98,6 +98,9 @@ void printUsage(const char *Argv0) {
       "  --restore-from <file.tcp>         restore a checkpoint (into the\n"
       "                                    server with --connect, or into\n"
       "                                    a fresh server with --serve)\n"
+      "  --fork <src>:<dst>                O(1) snapshot-fork of live\n"
+      "                                    session <src> into new session\n"
+      "                                    <dst> (producers must be closed)\n"
       "  --finish                          fleet end-of-input: print the\n"
       "                                    merged outputs\n"
       "  --stats                           print the server's fleet stats\n"
@@ -161,6 +164,7 @@ int main(int argc, char **argv) {
   const char *ConnectPath = nullptr;
   const char *CheckpointTo = nullptr;
   const char *RestoreFrom = nullptr;
+  const char *ForkArg = nullptr;
   bool DoFinish = false;
   bool DoStats = false;
   bool DoShutdown = false;
@@ -226,6 +230,8 @@ int main(int argc, char **argv) {
       CheckpointTo = argv[++I];
     } else if (std::strcmp(Arg, "--restore-from") == 0 && I + 1 < argc) {
       RestoreFrom = argv[++I];
+    } else if (std::strcmp(Arg, "--fork") == 0 && I + 1 < argc) {
+      ForkArg = argv[++I];
     } else if (std::strcmp(Arg, "--finish") == 0) {
       DoFinish = true;
     } else if (std::strcmp(Arg, "--stats") == 0) {
@@ -366,8 +372,8 @@ int main(int argc, char **argv) {
     }
 
     // Feed the trace unless this is a control-only invocation.
-    bool ControlOnly = (CheckpointTo || RestoreFrom || DoFinish || DoStats ||
-                        DoShutdown) &&
+    bool ControlOnly = (CheckpointTo || RestoreFrom || ForkArg || DoFinish ||
+                        DoStats || DoShutdown) &&
                        !TracePath;
     if (!ControlOnly) {
       std::string TraceText;
@@ -430,6 +436,28 @@ int main(int argc, char **argv) {
                      static_cast<unsigned long long>(TotalBusy));
       if (FeedFailed.load())
         return 1;
+    }
+
+    if (ForkArg) {
+      char *Sep = nullptr;
+      unsigned long long Src = std::strtoull(ForkArg, &Sep, 10);
+      if (!Sep || *Sep != ':') {
+        std::fprintf(stderr, "--fork expects <src>:<dst>, got '%s'\n",
+                     ForkArg);
+        return 2;
+      }
+      char *End = nullptr;
+      unsigned long long Dst = std::strtoull(Sep + 1, &End, 10);
+      if (End == Sep + 1 || (End && *End != '\0')) {
+        std::fprintf(stderr, "--fork expects <src>:<dst>, got '%s'\n",
+                     ForkArg);
+        return 2;
+      }
+      if (!Client->forkSession(Src, Dst, &Err)) {
+        std::fprintf(stderr, "fork failed: %s\n", Err.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "forked session %llu -> %llu\n", Src, Dst);
     }
 
     if (CheckpointTo) {
